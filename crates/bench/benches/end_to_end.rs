@@ -1,0 +1,56 @@
+//! End-to-end compression throughput: baseline SZ vs the cross-field
+//! pipeline (inference + hybrid + encode) on a Hurricane-analogue field.
+//! Model training is excluded (it is a one-off per field, amortized over
+//! every snapshot in a production run — paper §III-D2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cfc_core::config::{paper_table3, TrainConfig};
+use cfc_core::pipeline::CrossFieldCompressor;
+use cfc_core::train::train_cfnn;
+use cfc_datagen::{paper_catalog, GenParams};
+use cfc_sz::SzCompressor;
+use cfc_tensor::{Field, Shape};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let row = paper_table3().into_iter().find(|r| r.target == "Wf").unwrap();
+    let info = paper_catalog().into_iter().find(|d| d.name == "Hurricane").unwrap();
+    // smaller volume than the experiment default: criterion runs many iters
+    let ds = info.generate(Shape::d3(12, 96, 96), GenParams::default());
+    let target = ds.expect_field("Wf").clone();
+    let anchors: Vec<&Field> = row.anchors.iter().map(|a| ds.expect_field(a)).collect();
+
+    let comp = CrossFieldCompressor::new(1e-3);
+    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let refs: Vec<&Field> = anchors_dec.iter().collect();
+    let mut trained = train_cfnn(&row.spec, &TrainConfig::fast(), &anchors, &target);
+
+    let baseline = SzCompressor::baseline(1e-3);
+    let base_stream = baseline.compress(&target);
+    let ours_stream = comp.compress(&mut trained, &target, &refs);
+
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((target.len() * 4) as u64));
+    g.bench_function("baseline_compress", |b| {
+        b.iter(|| baseline.compress(black_box(&target)));
+    });
+    g.bench_function("baseline_decompress", |b| {
+        b.iter(|| baseline.decompress(black_box(&base_stream.bytes)));
+    });
+    g.bench_function("crossfield_compress", |b| {
+        b.iter(|| comp.compress(&mut trained, black_box(&target), &refs));
+    });
+    g.bench_function("crossfield_decompress", |b| {
+        b.iter(|| comp.decompress(black_box(&ours_stream.bytes), &refs));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion microbenches for the individual compressor stages: dual-quant
+//! prequantization, Lorenzo residual encoding (parallel) and decoding
+//! (sequential), Huffman, the LZSS back-end, and CFNN inference.
+//!
+//! These are throughput benches (bytes or samples per second); they back the
+//! paper's §III-D1 claim that dual quantization removes the RAW dependency
+//! from the compression path (parallel encode ≫ sequential decode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cfc_core::config::CfnnSpec;
+use cfc_core::diffnet::build_cfnn;
+use cfc_nn::Tensor;
+use cfc_sz::{codec, huffman::HuffmanTable, lossless, LorenzoPredictor, QuantLattice, QuantizerConfig};
+use cfc_tensor::{Field, Shape};
+
+fn smooth_field(rows: usize, cols: usize) -> Field {
+    Field::from_fn(Shape::d2(rows, cols), |i| {
+        ((i[0] as f32) * 0.07).sin() * 40.0 + ((i[1] as f32) * 0.05).cos() * 25.0
+    })
+}
+
+fn bench_prequantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prequantize");
+    for edge in [128usize, 512] {
+        let f = smooth_field(edge, edge);
+        g.throughput(Throughput::Bytes((f.len() * 4) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(edge), &f, |b, f| {
+            b.iter(|| QuantLattice::prequantize(black_box(f), 1e-3));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lorenzo_codec(c: &mut Criterion) {
+    let f = smooth_field(512, 512);
+    let lat = QuantLattice::prequantize(&f, 1e-3);
+    let quant = QuantizerConfig::default();
+    let enc = codec::encode(&lat, &LorenzoPredictor, &quant);
+
+    let mut g = c.benchmark_group("lorenzo");
+    g.throughput(Throughput::Elements(lat.len() as u64));
+    g.bench_function("encode_parallel", |b| {
+        b.iter(|| codec::encode(black_box(&lat), &LorenzoPredictor, &quant));
+    });
+    g.bench_function("decode_sequential", |b| {
+        b.iter(|| {
+            codec::decode(lat.shape(), black_box(&enc.codes), &enc.outliers, &LorenzoPredictor, &quant)
+        });
+    });
+    g.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    // residual-like skewed code stream
+    let codes: Vec<u32> = (0..262_144u32)
+        .map(|i| match i % 64 {
+            0..=47 => 512,
+            48..=55 => 511,
+            56..=60 => 513,
+            _ => 500 + (i % 25),
+        })
+        .collect();
+    let table = HuffmanTable::from_symbols(&codes);
+    let bits = table.encode(&codes);
+    let mut g = c.benchmark_group("huffman");
+    g.throughput(Throughput::Elements(codes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| table.encode(black_box(&codes))));
+    g.bench_function("decode", |b| {
+        b.iter(|| table.decode(black_box(&bits), codes.len()))
+    });
+    g.finish();
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let data: Vec<u8> = (0..262_144usize).map(|i| ((i / 7) % 40) as u8).collect();
+    let compressed = lossless::compress(&data);
+    let mut g = c.benchmark_group("lossless_lzss");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress", |b| b.iter(|| lossless::compress(black_box(&data))));
+    g.bench_function("decompress", |b| {
+        b.iter(|| lossless::decompress(black_box(&compressed)))
+    });
+    g.finish();
+}
+
+fn bench_cfnn_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cfnn_inference");
+    for (name, spec) in [
+        ("scaled_3d", CfnnSpec::scaled_3d(3)),
+        ("paper_3d", CfnnSpec::paper_3d(3)),
+    ] {
+        let mut net = build_cfnn(&spec, 1);
+        let input = Tensor::zeros(4, spec.in_channels, 128, 128);
+        g.throughput(Throughput::Elements((4 * 128 * 128) as u64));
+        g.bench_function(name, |b| {
+            b.iter(|| net.forward(black_box(&input), false));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_prequantize, bench_lorenzo_codec, bench_huffman, bench_lossless, bench_cfnn_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Runs the full experiment suite (every table and figure) by invoking the
+//! sibling binaries in sequence, teeing their stdout into
+//! `target/experiments/<name>.txt`. This is the one-command reproduction of
+//! the paper's evaluation section.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "fig1", "fig5", "fig6", "table2", "table3", "fig8", "fig9", "ablation",
+];
+
+fn main() {
+    let exe = std::env::current_exe().unwrap();
+    let bin_dir = exe.parent().unwrap().to_path_buf();
+    std::fs::create_dir_all("target/experiments").unwrap();
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        println!("=== running {name} ===");
+        let mut cmd = Command::new(bin_dir.join(name));
+        if *name == "fig6" {
+            cmd.arg("--zoom"); // also produce Figure 7
+        }
+        match cmd.output() {
+            Ok(out) => {
+                let text = String::from_utf8_lossy(&out.stdout).to_string();
+                println!("{text}");
+                std::fs::write(format!("target/experiments/{name}.txt"), text).unwrap();
+                if !out.status.success() {
+                    eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+                    failed.push(*name);
+                }
+            }
+            Err(e) => {
+                eprintln!("failed to launch {name}: {e} (build with `cargo build --release -p cfc-bench` first)");
+                failed.push(*name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("All experiments complete → target/experiments/");
+    } else {
+        eprintln!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

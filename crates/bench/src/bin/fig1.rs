@@ -1,0 +1,104 @@
+//! Reproduces **Figure 1** — visualization of the U, V, W fields of SCALE
+//! showing their distinct-yet-nonlinear cross-field correlation.
+//!
+//! The paper shows the 49th slice along the first dimension (of 98 levels);
+//! we take the proportionally-scaled slice of the default grid. Outputs PGM
+//! images under `target/experiments/fig1/` and prints the pairwise Pearson
+//! correlation matrix that quantifies what the figure shows visually.
+
+use std::path::Path;
+
+use cfc_bench::pgm::write_pgm;
+use cfc_datagen::{paper_catalog, GenParams};
+use cfc_metrics::cross_correlation_matrix;
+use cfc_tensor::Axis;
+
+fn main() {
+    let info = paper_catalog().into_iter().find(|d| d.name == "SCALE").unwrap();
+    let ds = info.generate_default(GenParams::default());
+    let nk = ds.shape().dim(Axis::X);
+    // slice 49 of 98 levels → proportional slice of the scaled grid
+    let slice_idx = (49 * nk) / 98;
+    let out_dir = Path::new("target/experiments/fig1");
+
+    let fields = ["U", "V", "W"];
+    let mut slices = Vec::new();
+    for name in fields {
+        let sl = ds.expect_field(name).slice(Axis::X, slice_idx);
+        write_pgm(&sl, &out_dir.join(format!("{}.pgm", name.to_lowercase()))).unwrap();
+        slices.push((name, sl));
+    }
+    println!(
+        "Figure 1: slice {slice_idx} (of {nk} levels) of U, V, W written to {}",
+        out_dir.display()
+    );
+
+    let refs: Vec<(&str, &cfc_tensor::Field)> =
+        slices.iter().map(|(n, f)| (*n, f)).collect();
+    let m = cross_correlation_matrix(&refs);
+    println!("\nPairwise Pearson correlation of raw values (slice {slice_idx}):");
+    print_matrix(&refs, &m);
+
+    // The raw-value correlations are near zero — U and V are orthogonal
+    // gradients of one stream function, and W is a *nonlinear* function of
+    // their derivatives. The shared structure shows up in the local
+    // activity: correlate the gradient magnitudes instead.
+    let mags: Vec<(&str, cfc_tensor::Field)> = slices
+        .iter()
+        .map(|(n, f)| {
+            let dx = cfc_tensor::diff::backward_diff(f, Axis::X);
+            let dy = cfc_tensor::diff::backward_diff(f, Axis::Y);
+            let mag = dx.zip_map(&dy, |a, b| (a * a + b * b).sqrt());
+            (*n, box_blur(&mag, 4))
+        })
+        .collect();
+    let mag_refs: Vec<(&str, &cfc_tensor::Field)> =
+        mags.iter().map(|(n, f)| (*n, f)).collect();
+    let mm = cross_correlation_matrix(&mag_refs);
+    println!("\nPearson correlation of |gradient| (local activity):");
+    print_matrix(&mag_refs, &mm);
+
+    println!(
+        "\nRaw values are nearly uncorrelated (the fields are 'distinct'), yet\n\
+         the U/V activity maps correlate visibly — structure is shared\n\
+         nonlinearly, the paper's Figure 1 observation. W's relation to U/V\n\
+         is higher-order (divergence), invisible to Pearson r but decisively\n\
+         exploitable: see the SCALE-W rows of Table II (+8…+31%)."
+    );
+}
+
+/// Mean filter with radius `r` (activity maps, not data — suppresses the
+/// per-cell noise so region-level co-activity is visible).
+fn box_blur(f: &cfc_tensor::Field, r: usize) -> cfc_tensor::Field {
+    let shape = f.shape();
+    let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
+    cfc_tensor::Field::from_fn(shape, |idx| {
+        let (i, j) = (idx[0], idx[1]);
+        let (i0, i1) = (i.saturating_sub(r), (i + r + 1).min(rows));
+        let (j0, j1) = (j.saturating_sub(r), (j + r + 1).min(cols));
+        let mut acc = 0.0f32;
+        let mut n = 0u32;
+        for ii in i0..i1 {
+            for jj in j0..j1 {
+                acc += f.get(&[ii, jj]);
+                n += 1;
+            }
+        }
+        acc / n as f32
+    })
+}
+
+fn print_matrix(refs: &[(&str, &cfc_tensor::Field)], m: &[Vec<f64>]) {
+    print!("{:>8}", "");
+    for (n, _) in refs {
+        print!("{n:>8}");
+    }
+    println!();
+    for (i, (n, _)) in refs.iter().enumerate() {
+        print!("{n:>8}");
+        for j in 0..refs.len() {
+            print!("{:>8.3}", m[i][j]);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,107 @@
+//! Reproduces **Figure 6** (and with `--zoom`, **Figure 7**) — prediction
+//! accuracy of cross-field-only, Lorenzo-only, and hybrid reconstruction
+//! *without error-bound control* on the Hurricane Wf field.
+//!
+//! The paper shows the 50th slice (of 500) along the second dimension; we
+//! take the proportionally scaled slice. PGMs land in
+//! `target/experiments/fig6/` (shared color scale), per-method MSE is
+//! printed; `--zoom` crops the central 50×50 block (Fig. 7) and reports
+//! regional errors.
+
+use std::path::Path;
+
+use cfc_bench::pgm::write_pgm_ref;
+use cfc_core::config::{paper_table3, TrainConfig};
+use cfc_core::hybrid::{HybridConfig, HybridModel};
+use cfc_core::predict::{one_step_predictions, predict_differences};
+use cfc_core::predictor::sample_hybrid_training;
+use cfc_core::train::train_cfnn;
+use cfc_datagen::{paper_catalog, GenParams};
+use cfc_metrics::mse;
+use cfc_sz::QuantLattice;
+use cfc_tensor::{Axis, Field, FieldStats};
+
+fn main() {
+    let zoom = std::env::args().any(|a| a == "--zoom");
+    let cfg = paper_table3().into_iter().find(|r| r.target == "Wf").unwrap();
+    let info = paper_catalog().into_iter().find(|d| d.name == "Hurricane").unwrap();
+    let ds = info.generate_default(GenParams::default());
+    let target = ds.expect_field("Wf");
+    let anchors: Vec<&Field> = cfg.anchors.iter().map(|a| ds.expect_field(a)).collect();
+
+    // train + infer (decompressed anchors at the paper's 1e-3 bound)
+    let mut trained = train_cfnn(&cfg.spec, &TrainConfig::default(), &anchors, target);
+    let comp = cfc_core::pipeline::CrossFieldCompressor::new(1e-3);
+    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let dec_refs: Vec<&Field> = anchors_dec.iter().collect();
+    let diffs = predict_differences(&mut trained, &dec_refs);
+
+    // hybrid weights fitted exactly as the pipeline does
+    let eb = cfc_sz::ErrorBound::Relative(1e-3).resolve_quantization(&FieldStats::of(target));
+    let lattice = QuantLattice::prequantize(target, eb);
+    let step = 2.0 * eb;
+    let dq: Vec<Vec<f64>> = diffs
+        .iter()
+        .map(|f| f.as_slice().iter().map(|&v| v as f64 / step).collect())
+        .collect();
+    let hcfg = HybridConfig::default();
+    let (preds, targets) = sample_hybrid_training(&lattice, &dq, hcfg.n_samples, hcfg.seed);
+    let hybrid = HybridModel::fit_least_squares(&preds, &targets);
+
+    // one-step prediction fields: what each predictor produces from true
+    // causal neighbours — the quantity whose error distribution drives the
+    // compression ratio (the paper's "prediction accuracy")
+    let (lorenzo_only, cross_only, hybrid_rec) =
+        one_step_predictions(target, &diffs, &hybrid.weights);
+
+    // slice 50 of 500 along dim 2 → proportional slice of the scaled grid
+    let n1 = target.shape().dim(Axis::Y);
+    let slice_idx = (50 * n1) / 500;
+    let out_dir = Path::new("target/experiments/fig6");
+
+    let orig_slice = target.slice(Axis::Y, slice_idx);
+    let panels = [
+        ("original", &orig_slice),
+        ("cross_field", &cross_only.slice(Axis::Y, slice_idx)),
+        ("lorenzo", &lorenzo_only.slice(Axis::Y, slice_idx)),
+        ("hybrid", &hybrid_rec.slice(Axis::Y, slice_idx)),
+    ];
+    for (name, sl) in &panels {
+        write_pgm_ref(sl, &orig_slice, &out_dir.join(format!("{name}.pgm"))).unwrap();
+    }
+    println!(
+        "Figure 6: Wf slice {slice_idx} (of {n1}) along dim 2, panels written to {}",
+        out_dir.display()
+    );
+
+    println!("\nWhole-volume prediction MSE (no error control):");
+    let m_cross = mse(target, &cross_only);
+    let m_lor = mse(target, &lorenzo_only);
+    let m_hyb = mse(target, &hybrid_rec);
+    println!("  cross-field only : {m_cross:.5}");
+    println!("  Lorenzo only     : {m_lor:.5}");
+    println!("  hybrid           : {m_hyb:.5}");
+    println!(
+        "  hybrid ≤ min(cross, lorenzo): {}",
+        m_hyb <= m_cross.min(m_lor) * 1.05
+    );
+    println!("  hybrid weights: {:?}", hybrid.weights);
+
+    if zoom {
+        // Figure 7: central 50×50 crop of the slice
+        let dims = orig_slice.shape().dims().to_vec();
+        let edge = 50.min(dims[0]).min(dims[1]);
+        let (r0, c0) = ((dims[0] - edge) / 2, (dims[1] - edge) / 2);
+        println!("\nFigure 7: zoom-in {edge}x{edge} block at ({r0},{c0})");
+        let zoom_dir = Path::new("target/experiments/fig7");
+        let orig_crop = orig_slice.window2d(r0, c0, edge, edge);
+        for (name, sl) in &panels {
+            let crop = sl.window2d(r0, c0, edge, edge);
+            write_pgm_ref(&crop, &orig_crop, &zoom_dir.join(format!("{name}.pgm"))).unwrap();
+            if *name != "original" {
+                println!("  {name:<12} regional MSE {:.5}", mse(&orig_crop, &crop));
+            }
+        }
+        println!("  panels written to {}", zoom_dir.display());
+    }
+}

@@ -1,0 +1,118 @@
+//! Reproduces **Figure 9** — zoom-in comparison of the CESM CLDTOT field
+//! against two decompressed versions at the *same* ~17× compression ratio.
+//!
+//! The paper fixes the ratio (not the bound): we binary-search the relative
+//! error bound separately for the baseline and for our method until each
+//! stream lands at 17× ± 2 %, then compare a 50×50 crop. Because our method
+//! reaches 17× at a *tighter* bound, its crop shows less distortion — the
+//! paper's visual claim, made quantitative here via regional MSE/PSNR.
+
+use std::path::Path;
+
+use cfc_bench::pgm::write_pgm_ref;
+use cfc_bench::runner::ExperimentContext;
+use cfc_core::config::TrainConfig;
+use cfc_core::pipeline::CrossFieldCompressor;
+use cfc_datagen::GenParams;
+use cfc_metrics::{mse, psnr};
+use cfc_tensor::Field;
+
+const TARGET_RATIO: f64 = 17.0;
+
+fn main() {
+    let mut ctx = ExperimentContext::new(GenParams::default(), TrainConfig::default());
+    // CLDTOT is the paper's Figure 9 field; LWCF is included because on the
+    // synthetic analogue the CLDTOT crossover sits at tighter bounds than
+    // 17x (see EXPERIMENTS.md), so LWCF demonstrates the equal-ratio visual
+    // claim on a field where this reproduction is rate-positive there.
+    for field in ["CLDTOT", "LWCF"] {
+        run_panel(&mut ctx, field);
+    }
+}
+
+fn run_panel(ctx: &mut ExperimentContext, field_name: &str) {
+    let row = ctx
+        .configs()
+        .into_iter()
+        .find(|r| r.target == field_name)
+        .unwrap();
+    let target = ctx.dataset("CESM-ATM").expect_field(field_name).clone();
+    let n = target.len();
+
+    // --- baseline at 17x ------------------------------------------------------
+    let base_eb = search_eb(|eb| {
+        let c = CrossFieldCompressor::new(eb).baseline();
+        c.compress(&target).ratio(n)
+    });
+    let base_c = CrossFieldCompressor::new(base_eb).baseline();
+    let base_stream = base_c.compress(&target);
+    let base_rec = base_c.decompress(&base_stream.bytes);
+
+    // --- ours at 17x -----------------------------------------------------------
+    let ours_eb = search_eb(|eb| {
+        let comp = CrossFieldCompressor::new(eb);
+        let anchors_dec = ctx.anchors_dec(&row, eb);
+        let refs: Vec<&Field> = anchors_dec.iter().collect();
+        let trained = ctx.model(&row);
+        comp.compress(trained, &target, &refs).ratio(n)
+    });
+    let comp = CrossFieldCompressor::new(ours_eb);
+    let anchors_dec = ctx.anchors_dec(&row, ours_eb);
+    let refs: Vec<&Field> = anchors_dec.iter().collect();
+    let trained = ctx.model(&row);
+    let ours_stream = comp.compress(trained, &target, &refs);
+    let ours_rec = comp.decompress(&ours_stream.bytes, &refs);
+
+    println!("\nFigure 9 ({field_name}): at ~{TARGET_RATIO}x compression");
+    println!(
+        "  baseline: rel_eb {base_eb:.3e} → ratio {:.2}x, PSNR {:.2} dB",
+        base_stream.ratio(n),
+        psnr(&target, &base_rec)
+    );
+    println!(
+        "  ours    : rel_eb {ours_eb:.3e} → ratio {:.2}x, PSNR {:.2} dB",
+        ours_stream.ratio(n),
+        psnr(&target, &ours_rec)
+    );
+
+    // --- zoom crops -------------------------------------------------------------
+    let dims = target.shape().dims().to_vec();
+    let edge = 50usize;
+    // a structured region: upper-mid-left quadrant (clouds everywhere, any
+    // fixed window works since the field is globally textured)
+    let (r0, c0) = (dims[0] / 3, dims[1] / 4);
+    let dir = format!("target/experiments/fig9/{field_name}");
+    let out_dir = Path::new(&dir);
+    let orig_crop = target.window2d(r0, c0, edge, edge);
+    let base_crop = base_rec.window2d(r0, c0, edge, edge);
+    let ours_crop = ours_rec.window2d(r0, c0, edge, edge);
+    write_pgm_ref(&orig_crop, &orig_crop, &out_dir.join("original.pgm")).unwrap();
+    write_pgm_ref(&base_crop, &orig_crop, &out_dir.join("baseline.pgm")).unwrap();
+    write_pgm_ref(&ours_crop, &orig_crop, &out_dir.join("ours.pgm")).unwrap();
+
+    println!("\n  zoom crop {edge}x{edge} at ({r0},{c0}) → {}", out_dir.display());
+    println!("  regional MSE baseline: {:.6e}", mse(&orig_crop, &base_crop));
+    println!("  regional MSE ours    : {:.6e}", mse(&orig_crop, &ours_crop));
+    println!(
+        "  ours shows less distortion at equal ratio: {}",
+        mse(&orig_crop, &ours_crop) <= mse(&orig_crop, &base_crop)
+    );
+}
+
+/// Bisection on log(eb) until the compression ratio hits `TARGET_RATIO` ±2 %.
+fn search_eb(mut ratio_at: impl FnMut(f64) -> f64) -> f64 {
+    let (mut lo, mut hi) = (1e-5f64, 5e-2f64); // ratio grows with eb
+    for _ in 0..24 {
+        let mid = ((lo.ln() + hi.ln()) / 2.0).exp(); // geometric bisection
+        let r = ratio_at(mid);
+        if (r - TARGET_RATIO).abs() / TARGET_RATIO < 0.02 {
+            return mid;
+        }
+        if r > TARGET_RATIO {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    ((lo.ln() + hi.ln()) / 2.0).exp()
+}

@@ -1,0 +1,25 @@
+//! Quick end-to-end smoke run: one field per dataset at one error bound on
+//! shrunken grids. Validates the full pipeline (train → compress → compare)
+//! in under a minute. Not a paper experiment — use `table2` etc. for those.
+
+use cfc_bench::runner::ExperimentContext;
+use cfc_core::config::TrainConfig;
+use cfc_datagen::GenParams;
+
+fn main() {
+    let cfg = TrainConfig { patch: 16, n_patches: 96, batch: 16, epochs: 10, lr: 2e-3, seed: 7 };
+    let mut ctx = ExperimentContext::new_scaled(GenParams::default(), cfg, 0.5);
+    for row in ctx.configs() {
+        let r = ctx.run(&row, 1e-3);
+        println!(
+            "{:10} {:8} eb=1e-3  baseline {:6.2}x  ours {:6.2}x  ({:+6.2}%)  model {:6}B  weights {:?}",
+            r.dataset,
+            r.field,
+            r.baseline_ratio,
+            r.ours_ratio,
+            r.improvement_pct(),
+            r.model_bytes,
+            r.hybrid_weights.iter().map(|w| (w * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+}

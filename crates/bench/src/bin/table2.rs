@@ -1,0 +1,100 @@
+//! Reproduces **Table II** — compression ratios of SCALE, Hurricane, and
+//! CESM-ATM fields under the paper's error-bound sweep, baseline vs ours.
+//!
+//! Output mirrors the paper's layout: a Baseline block and an Ours block
+//! with percentage deltas. A machine-readable CSV is written to
+//! `target/experiments/table2.csv`.
+
+use std::fmt::Write as _;
+
+use cfc_bench::runner::{ExperimentContext, FieldResult, PAPER_ERROR_BOUNDS};
+use cfc_core::config::TrainConfig;
+use cfc_datagen::GenParams;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let train_cfg = TrainConfig::default();
+    let mut ctx = if quick {
+        ExperimentContext::new_scaled(GenParams::default(), TrainConfig::fast(), 0.4)
+    } else {
+        ExperimentContext::new(GenParams::default(), train_cfg)
+    };
+
+    let mut results: Vec<FieldResult> = Vec::new();
+    for row in ctx.configs() {
+        for eb in PAPER_ERROR_BOUNDS {
+            eprintln!("running {} {} @ {eb:.0e}…", row.dataset, row.target);
+            results.push(ctx.run(&row, eb));
+        }
+    }
+
+    let header: Vec<String> = PAPER_ERROR_BOUNDS.iter().map(|e| format!("{e:.0E}")).collect();
+    println!("\nTable II: compression ratio under different error bounds");
+    println!("{:-<100}", "");
+    println!("{:<12}{:<10}{:>14}{:>14}{:>14}{:>14}{:>14}", "Dataset", "Field", header[0], header[1], header[2], header[3], header[4]);
+    println!("{:-<100}", "");
+    println!("Baseline (SZ3 Lorenzo + dual-quant)");
+    print_block(&results, |r| format!("{:.2}", r.baseline_ratio));
+    println!("\nOurs (cross-field + hybrid, model bytes included)");
+    print_block(&results, |r| format!("{:.2}({:+.2}%)", r.ours_ratio, r.improvement_pct()));
+    println!("{:-<100}", "");
+
+    // summary stats the paper quotes in prose
+    let best = results
+        .iter()
+        .max_by(|a, b| a.improvement_pct().total_cmp(&b.improvement_pct()))
+        .unwrap();
+    let wins = results.iter().filter(|r| r.improvement_pct() > 0.0).count();
+    println!(
+        "\nBest improvement: {:+.2}% ({} {} @ {:.0e}); {wins}/{} cells improved.",
+        best.improvement_pct(),
+        best.dataset,
+        best.field,
+        best.rel_eb,
+        results.len()
+    );
+
+    let mut csv = String::from(
+        "dataset,field,rel_eb,baseline_ratio,ours_ratio,improvement_pct,baseline_bitrate,ours_bitrate,psnr,model_bytes\n",
+    );
+    for r in &results {
+        let _ = writeln!(
+            csv,
+            "{},{},{:e},{:.4},{:.4},{:.3},{:.4},{:.4},{:.3},{}",
+            r.dataset,
+            r.field,
+            r.rel_eb,
+            r.baseline_ratio,
+            r.ours_ratio,
+            r.improvement_pct(),
+            r.baseline_bitrate,
+            r.ours_bitrate,
+            r.psnr,
+            r.model_bytes
+        );
+    }
+    std::fs::create_dir_all("target/experiments").unwrap();
+    std::fs::write("target/experiments/table2.csv", csv).unwrap();
+    println!("CSV written to target/experiments/table2.csv");
+}
+
+fn print_block(results: &[FieldResult], cell: impl Fn(&FieldResult) -> String) {
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for r in results {
+        let k = (r.dataset.clone(), r.field.clone());
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    for (ds, field) in keys {
+        print!("{ds:<12}{field:<10}");
+        for eb in PAPER_ERROR_BOUNDS {
+            let r = results
+                .iter()
+                .find(|r| r.dataset == ds && r.field == field && r.rel_eb == eb)
+                .unwrap();
+            print!("{:>14}", cell(r));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,7 @@
+//! `cfc-bench` — shared experiment-harness plumbing for the per-table /
+//! per-figure binaries and criterion benches.
+
+pub mod pgm;
+pub mod runner;
+
+pub use runner::{ExperimentContext, FieldResult, PAPER_ERROR_BOUNDS};

@@ -1,0 +1,38 @@
+//! `cfc-core` — cross-field enhanced lossy compression (the paper's
+//! contribution).
+//!
+//! Pipeline (paper Fig. 2):
+//!
+//! ```text
+//!  anchor fields ──► backward differences ──► CFNN ──► predicted target
+//!        │                                              differences
+//!        │                                                  │
+//!        ▼                                                  ▼
+//!   (compressed separately,            Lorenzo ──► hybrid prediction model
+//!    decompressed versions feed                         │
+//!    inference on BOTH sides)                           ▼
+//!                                          dual-quant residuals ► Huffman ► LZSS
+//! ```
+//!
+//! * [`diffnet`] builds the CFNN (paper Fig. 4) for a dataset configuration;
+//! * [`train`] samples co-located difference patches and trains by MSE/Adam;
+//! * [`predict`] runs slice-batched inference producing per-axis predicted
+//!   difference fields;
+//! * [`hybrid`] learns the weighted combination of the `n+1` predictors
+//!   (paper §III-D3);
+//! * [`predictor`] adapts everything into a causal [`cfc_sz::Predictor`];
+//! * [`pipeline`] is the user-facing compressor: anchors in, error-bounded
+//!   stream (with embedded model) out.
+
+pub mod config;
+pub mod diffnet;
+pub mod hybrid;
+pub mod pipeline;
+pub mod predict;
+pub mod predictor;
+pub mod train;
+
+pub use config::{CfnnSpec, CrossFieldConfig, TrainConfig};
+pub use hybrid::HybridModel;
+pub use pipeline::{CrossFieldCompressor, CrossFieldStream};
+pub use train::{train_cfnn, TrainedCfnn, TrainReport};

@@ -1,0 +1,409 @@
+//! CFNN inference: predicted target-difference fields and the
+//! difference-only reconstruction used by the paper's Figure 6.
+
+use cfc_nn::Tensor;
+use cfc_tensor::{diff, Axis, Field, Shape};
+
+use crate::diffnet;
+use crate::train::TrainedCfnn;
+
+/// Slices processed per forward batch (bounds activation memory).
+const SLICE_BATCH: usize = 4;
+
+/// Run CFNN inference over full fields.
+///
+/// `anchors` must be the *decompressed* anchor fields (paper §III-B: the
+/// model is trained on original data but applied to decompressed data so
+/// encoder and decoder see identical inputs). Returns `ndim` predicted
+/// backward-difference fields for the target, in axis order, already
+/// denormalized to physical units.
+pub fn predict_differences(trained: &mut TrainedCfnn, anchors: &[&Field]) -> Vec<Field> {
+    let shape = anchors[0].shape();
+    let ndim = shape.ndim();
+    assert_eq!(trained.spec.in_channels, anchors.len() * ndim, "anchor count mismatch");
+
+    let channels = diffnet::anchor_channels(anchors, &trained.input_norms);
+    let n_slices = diffnet::slice_count(anchors[0]);
+    let slice_shape = diffnet::processing_slice(anchors[0], 0).shape();
+    let (h, w) = (slice_shape.dims()[0], slice_shape.dims()[1]);
+    let in_c = trained.spec.in_channels;
+    let out_c = trained.spec.out_channels;
+
+    let mut outputs: Vec<Vec<f32>> = vec![vec![0.0; shape.len()]; out_c];
+    let mut k0 = 0usize;
+    while k0 < n_slices {
+        let b = SLICE_BATCH.min(n_slices - k0);
+        let mut x = Tensor::zeros(b, in_c, h, w);
+        for bi in 0..b {
+            for (ci, ch) in channels.iter().enumerate() {
+                let sl = diffnet::processing_slice(ch, k0 + bi);
+                x.plane_mut(bi, ci).copy_from_slice(sl.as_slice());
+            }
+        }
+        let y = trained.net.forward(&x, false);
+        for bi in 0..b {
+            for (ci, out) in outputs.iter_mut().enumerate() {
+                let plane = y.plane(bi, ci);
+                let norm = &trained.target_norms[ci];
+                let dst_base = (k0 + bi) * h * w;
+                for (pi, &v) in plane.iter().enumerate() {
+                    out[dst_base + pi] = norm.invert(v);
+                }
+            }
+        }
+        k0 += b;
+    }
+
+    outputs
+        .into_iter()
+        .map(|data| Field::from_vec(shape, data))
+        .collect()
+}
+
+/// Reconstruct a field *purely* from predicted backward differences along
+/// one axis, seeded with the true boundary hyperplane — the paper's Fig. 6
+/// "cross-field (no error control)" reconstruction.
+pub fn reconstruct_from_differences(
+    predicted_diff: &Field,
+    axis: Axis,
+    boundary: &Field,
+) -> Field {
+    diff::integrate_backward(predicted_diff, axis, boundary)
+}
+
+/// Average the per-axis difference reconstructions (all axes available).
+pub fn reconstruct_averaged(diffs: &[Field], original: &Field) -> Field {
+    let ndim = original.shape().ndim();
+    assert_eq!(diffs.len(), ndim);
+    let mut acc = Field::zeros(original.shape());
+    for (di, d) in diffs.iter().enumerate() {
+        let axis = Axis::ALL[di];
+        let boundary = original.slice(axis, 0);
+        let rec = reconstruct_from_differences(d, axis, &boundary);
+        acc = acc.zip_map(&rec, |a, b| a + b);
+    }
+    let inv = 1.0 / ndim as f32;
+    acc.map(|v| v * inv)
+}
+
+/// Lorenzo-only reconstruction without error control: each value is the
+/// Lorenzo prediction from previously *reconstructed* values (errors
+/// accumulate — exactly the artifact mechanism Fig. 7 highlights).
+pub fn lorenzo_unbounded(original: &Field) -> Field {
+    let shape = original.shape();
+    match shape.ndim() {
+        2 => {
+            let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
+            let mut rec = Field::zeros(shape);
+            for i in 0..rows {
+                for j in 0..cols {
+                    let v = if i == 0 || j == 0 {
+                        original.get(&[i, j]) // seed borders with truth
+                    } else {
+                        let a = rec.get(&[i - 1, j]);
+                        let b = rec.get(&[i, j - 1]);
+                        let c = rec.get(&[i - 1, j - 1]);
+                        a + b - c
+                    };
+                    rec.set(&[i, j], v);
+                }
+            }
+            rec
+        }
+        3 => {
+            let d = shape.dims().to_vec();
+            let mut rec = Field::zeros(shape);
+            for k in 0..d[0] {
+                for i in 0..d[1] {
+                    for j in 0..d[2] {
+                        let v = if k == 0 || i == 0 || j == 0 {
+                            original.get(&[k, i, j])
+                        } else {
+                            rec.get(&[k - 1, i, j]) + rec.get(&[k, i - 1, j])
+                                + rec.get(&[k, i, j - 1])
+                                - rec.get(&[k - 1, i - 1, j])
+                                - rec.get(&[k - 1, i, j - 1])
+                                - rec.get(&[k, i - 1, j - 1])
+                                + rec.get(&[k - 1, i - 1, j - 1])
+                        };
+                        rec.set(&[k, i, j], v);
+                    }
+                }
+            }
+            rec
+        }
+        _ => panic!("unsupported dimensionality"),
+    }
+}
+
+/// Hybrid reconstruction without error control (paper Fig. 6 right panel):
+/// every interior value is the weighted combination of the Lorenzo
+/// prediction and the per-axis difference predictions, all computed from
+/// previously *reconstructed* values; borders are seeded with truth.
+pub fn hybrid_unbounded(original: &Field, diffs: &[Field], weights: &[f64]) -> Field {
+    let shape = original.shape();
+    let ndim = shape.ndim();
+    assert_eq!(diffs.len(), ndim);
+    assert_eq!(weights.len(), ndim + 1);
+    let mut rec = Field::zeros(shape);
+    match ndim {
+        2 => {
+            let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
+            for i in 0..rows {
+                for j in 0..cols {
+                    let v = if i == 0 || j == 0 {
+                        original.get(&[i, j])
+                    } else {
+                        let a = rec.get(&[i - 1, j]) as f64;
+                        let b = rec.get(&[i, j - 1]) as f64;
+                        let c = rec.get(&[i - 1, j - 1]) as f64;
+                        let lor = a + b - c;
+                        let px = a + diffs[0].get(&[i, j]) as f64;
+                        let py = b + diffs[1].get(&[i, j]) as f64;
+                        (weights[0] * lor + weights[1] * px + weights[2] * py) as f32
+                    };
+                    rec.set(&[i, j], v);
+                }
+            }
+        }
+        3 => {
+            let d = shape.dims().to_vec();
+            for k in 0..d[0] {
+                for i in 0..d[1] {
+                    for j in 0..d[2] {
+                        let v = if k == 0 || i == 0 || j == 0 {
+                            original.get(&[k, i, j])
+                        } else {
+                            let pk = rec.get(&[k - 1, i, j]) as f64;
+                            let pi = rec.get(&[k, i - 1, j]) as f64;
+                            let pj = rec.get(&[k, i, j - 1]) as f64;
+                            let lor = pk + pi + pj
+                                - rec.get(&[k - 1, i - 1, j]) as f64
+                                - rec.get(&[k - 1, i, j - 1]) as f64
+                                - rec.get(&[k, i - 1, j - 1]) as f64
+                                + rec.get(&[k - 1, i - 1, j - 1]) as f64;
+                            let px = pk + diffs[0].get(&[k, i, j]) as f64;
+                            let py = pi + diffs[1].get(&[k, i, j]) as f64;
+                            let pz = pj + diffs[2].get(&[k, i, j]) as f64;
+                            (weights[0] * lor
+                                + weights[1] * px
+                                + weights[2] * py
+                                + weights[3] * pz) as f32
+                        };
+                        rec.set(&[k, i, j], v);
+                    }
+                }
+            }
+        }
+        _ => panic!("unsupported dimensionality"),
+    }
+    rec
+}
+
+/// One-step-ahead prediction fields: at every point, the value each
+/// predictor would produce from the *true* causal neighbours (exactly what
+/// the encoder's residual stage sees, without quantization).
+///
+/// Returns `(lorenzo, cross_field_mean, hybrid)` given predicted difference
+/// fields and hybrid weights (Lorenzo first). Border samples (index 0 along
+/// any axis) copy the original so the panels aren't dominated by the
+/// zero-padding convention.
+pub fn one_step_predictions(
+    original: &Field,
+    diffs: &[Field],
+    weights: &[f64],
+) -> (Field, Field, Field) {
+    let shape = original.shape();
+    let ndim = shape.ndim();
+    assert_eq!(diffs.len(), ndim);
+    assert_eq!(weights.len(), ndim + 1);
+    let mut lorenzo = original.clone();
+    let mut cross = original.clone();
+    let mut hybrid = original.clone();
+    let idx_iter: Vec<Vec<usize>> = match ndim {
+        2 => {
+            let d = shape.dims();
+            (1..d[0])
+                .flat_map(|i| (1..d[1]).map(move |j| vec![i, j]))
+                .collect()
+        }
+        3 => {
+            let d = shape.dims().to_vec();
+            let mut v = Vec::new();
+            for k in 1..d[0] {
+                for i in 1..d[1] {
+                    for j in 1..d[2] {
+                        v.push(vec![k, i, j]);
+                    }
+                }
+            }
+            v
+        }
+        _ => panic!("unsupported dimensionality"),
+    };
+    for idx in idx_iter {
+        let (lor, axis_preds) = candidate_values(original, diffs, &idx);
+        let cross_mean = axis_preds.iter().sum::<f64>() / axis_preds.len() as f64;
+        let mut hyb = weights[0] * lor;
+        for (k, &p) in axis_preds.iter().enumerate() {
+            hyb += weights[k + 1] * p;
+        }
+        lorenzo.set(&idx, lor as f32);
+        cross.set(&idx, cross_mean as f32);
+        hybrid.set(&idx, hyb as f32);
+    }
+    (lorenzo, cross, hybrid)
+}
+
+/// Candidate predictions at one interior point from true neighbours:
+/// `(lorenzo, per-axis neighbour+diff)`.
+fn candidate_values(original: &Field, diffs: &[Field], idx: &[usize]) -> (f64, Vec<f64>) {
+    match *idx {
+        [i, j] => {
+            let a = original.get(&[i - 1, j]) as f64;
+            let b = original.get(&[i, j - 1]) as f64;
+            let c = original.get(&[i - 1, j - 1]) as f64;
+            (
+                a + b - c,
+                vec![
+                    a + diffs[0].get(&[i, j]) as f64,
+                    b + diffs[1].get(&[i, j]) as f64,
+                ],
+            )
+        }
+        [k, i, j] => {
+            let pk = original.get(&[k - 1, i, j]) as f64;
+            let pi = original.get(&[k, i - 1, j]) as f64;
+            let pj = original.get(&[k, i, j - 1]) as f64;
+            let lor = pk + pi + pj
+                - original.get(&[k - 1, i - 1, j]) as f64
+                - original.get(&[k - 1, i, j - 1]) as f64
+                - original.get(&[k, i - 1, j - 1]) as f64
+                + original.get(&[k - 1, i - 1, j - 1]) as f64;
+            (
+                lor,
+                vec![
+                    pk + diffs[0].get(&[k, i, j]) as f64,
+                    pi + diffs[1].get(&[k, i, j]) as f64,
+                    pj + diffs[2].get(&[k, i, j]) as f64,
+                ],
+            )
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Convenience: shape-checked zero-field like `f`.
+pub fn zeros_like(f: &Field) -> Field {
+    Field::zeros(f.shape())
+}
+
+/// Build a 2-D field from a closure (test/bench helper re-export).
+pub fn field2_from_fn(rows: usize, cols: usize, f: impl FnMut(&[usize]) -> f32) -> Field {
+    Field::from_fn(Shape::d2(rows, cols), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CfnnSpec, TrainConfig};
+    use crate::train::train_cfnn;
+
+    fn correlated_pair(rows: usize, cols: usize) -> (Field, Field) {
+        let a = Field::from_fn(Shape::d2(rows, cols), |i| {
+            ((i[0] as f32) * 0.23).sin() * 10.0 + ((i[1] as f32) * 0.31).cos() * 6.0
+        });
+        let t = a.map(|v| 0.8 * v + 1.0);
+        (a, t)
+    }
+
+    #[test]
+    fn predicted_differences_have_target_shape() {
+        let (a, t) = correlated_pair(40, 40);
+        let spec = CfnnSpec::compact(1, 2);
+        let mut trained = train_cfnn(&spec, &TrainConfig::fast(), &[&a], &t);
+        let diffs = predict_differences(&mut trained, &[&a]);
+        assert_eq!(diffs.len(), 2);
+        for d in &diffs {
+            assert_eq!(d.shape(), t.shape());
+        }
+    }
+
+    #[test]
+    fn prediction_beats_zero_baseline_on_correlated_data() {
+        // predicting dx/dy from a perfectly-correlated anchor must beat
+        // predicting all-zero differences
+        let (a, t) = correlated_pair(56, 56);
+        let spec = CfnnSpec::compact(1, 2);
+        let cfg = TrainConfig { epochs: 20, ..TrainConfig::fast() };
+        let mut trained = train_cfnn(&spec, &cfg, &[&a], &t);
+        let pred = predict_differences(&mut trained, &[&a]);
+        let truth = diff::backward_diff_all(&t);
+        let mse = |x: &Field, y: &Field| -> f64 {
+            x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .map(|(&p, &q)| ((p - q) as f64).powi(2))
+                .sum::<f64>()
+                / x.len() as f64
+        };
+        let zero = Field::zeros(t.shape());
+        // interior-weighted comparison on axis 1 (rows)
+        let m_pred = mse(&pred[1], &truth[1]);
+        let m_zero = mse(&zero, &truth[1]);
+        assert!(
+            m_pred < m_zero * 0.6,
+            "prediction mse {m_pred} not clearly better than zero baseline {m_zero}"
+        );
+    }
+
+    #[test]
+    fn integration_of_true_differences_recovers_field() {
+        let (_, t) = correlated_pair(24, 24);
+        let diffs = diff::backward_diff_all(&t);
+        let rec = reconstruct_from_differences(&diffs[0], Axis::X, &t.slice(Axis::X, 0));
+        for (a, b) in rec.as_slice().iter().zip(t.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        let avg = reconstruct_averaged(&diffs, &t);
+        for (a, b) in avg.as_slice().iter().zip(t.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn lorenzo_unbounded_is_exact_on_affine_fields() {
+        let f = Field::from_fn(Shape::d2(16, 16), |i| 2.0 * i[0] as f32 - 3.0 * i[1] as f32);
+        let rec = lorenzo_unbounded(&f);
+        for (a, b) in rec.as_slice().iter().zip(f.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn hybrid_unbounded_with_true_diffs_is_exact() {
+        let (_, t) = correlated_pair(20, 20);
+        let diffs = diff::backward_diff_all(&t);
+        // pure axis weights with exact differences reproduce the field
+        let rec = hybrid_unbounded(&t, &diffs, &[0.0, 0.5, 0.5]);
+        for (a, b) in rec.as_slice().iter().zip(t.as_slice()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+        // pure-Lorenzo weights reduce to the Lorenzo reconstruction
+        let rec_l = hybrid_unbounded(&t, &diffs, &[1.0, 0.0, 0.0]);
+        let lor = lorenzo_unbounded(&t);
+        for (a, b) in rec_l.as_slice().iter().zip(lor.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn lorenzo_unbounded_3d_runs() {
+        let f = Field::from_fn(Shape::d3(4, 8, 8), |i| (i[0] + i[1] + i[2]) as f32);
+        let rec = lorenzo_unbounded(&f);
+        assert_eq!(rec.shape(), f.shape());
+        for (a, b) in rec.as_slice().iter().zip(f.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

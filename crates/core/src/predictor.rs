@@ -1,0 +1,275 @@
+//! The cross-field hybrid predictor: a causal [`cfc_sz::Predictor`] that
+//! fuses Lorenzo with CFNN-predicted backward differences (paper §III-C).
+
+use cfc_sz::{Predictor, QuantLattice};
+use cfc_tensor::{Field, Shape};
+
+use crate::hybrid::HybridModel;
+
+/// Per-point candidate predictions on the lattice (Lorenzo first, then one
+/// per axis). Shared by the predictor below and hybrid-model training.
+#[inline]
+pub fn candidate_predictions(
+    lattice: &QuantLattice,
+    dq: &[Vec<f64>],
+    idx: &[usize],
+    out: &mut [f64],
+) {
+    match *idx {
+        [i, j] => {
+            let (ii, jj) = (i as isize, j as isize);
+            let a = lattice.get2(ii - 1, jj) as f64;
+            let b = lattice.get2(ii, jj - 1) as f64;
+            let c = lattice.get2(ii - 1, jj - 1) as f64;
+            let shape = lattice.shape();
+            let off = i * shape.dims()[1] + j;
+            out[0] = a + b - c; // Lorenzo
+            out[1] = a + dq[0][off]; // axis-0 difference
+            out[2] = b + dq[1][off]; // axis-1 difference
+        }
+        [k, i, j] => {
+            let (kk, ii, jj) = (k as isize, i as isize, j as isize);
+            let pk = lattice.get3(kk - 1, ii, jj) as f64;
+            let pi = lattice.get3(kk, ii - 1, jj) as f64;
+            let pj = lattice.get3(kk, ii, jj - 1) as f64;
+            let lorenzo = pk + pi + pj
+                - lattice.get3(kk - 1, ii - 1, jj) as f64
+                - lattice.get3(kk - 1, ii, jj - 1) as f64
+                - lattice.get3(kk, ii - 1, jj - 1) as f64
+                + lattice.get3(kk - 1, ii - 1, jj - 1) as f64;
+            let d = lattice.shape();
+            let dims = d.dims();
+            let off = (k * dims[1] + i) * dims[2] + j;
+            out[0] = lorenzo;
+            out[1] = pk + dq[0][off];
+            out[2] = pi + dq[1][off];
+            out[3] = pj + dq[2][off];
+        }
+        _ => unreachable!("cross-field prediction is 2-D/3-D"),
+    }
+}
+
+/// Causal hybrid predictor over the prequantized lattice.
+///
+/// `dq[axis][offset]` holds the CFNN-predicted backward difference at each
+/// point, already converted to lattice units (`value / (2·eb)`); both sides
+/// compute it from the *decompressed* anchors, so predictions agree exactly.
+pub struct CrossFieldHybridPredictor {
+    dq: Vec<Vec<f64>>,
+    model: HybridModel,
+    ndim: usize,
+}
+
+impl CrossFieldHybridPredictor {
+    /// Build from predicted difference fields (physical units) and the
+    /// absolute error bound of the target stream.
+    pub fn new(predicted_diffs: &[Field], eb: f64, model: HybridModel) -> Self {
+        let ndim = predicted_diffs.len();
+        assert!(ndim == 2 || ndim == 3);
+        assert_eq!(model.arity(), ndim + 1, "hybrid arity must be ndim+1");
+        let step = 2.0 * eb;
+        let dq: Vec<Vec<f64>> = predicted_diffs
+            .iter()
+            .map(|f| f.as_slice().iter().map(|&v| v as f64 / step).collect())
+            .collect();
+        CrossFieldHybridPredictor { dq, model, ndim }
+    }
+
+    /// Lattice-unit difference planes (for hybrid training reuse).
+    pub fn dq(&self) -> &[Vec<f64>] {
+        &self.dq
+    }
+
+    /// The hybrid weights in use.
+    pub fn model(&self) -> &HybridModel {
+        &self.model
+    }
+
+    /// Shape sanity check against a lattice.
+    pub fn check_shape(&self, shape: Shape) {
+        assert_eq!(shape.ndim(), self.ndim);
+        for d in &self.dq {
+            assert_eq!(d.len(), shape.len(), "dq plane length mismatch");
+        }
+    }
+}
+
+impl Predictor for CrossFieldHybridPredictor {
+    #[inline]
+    fn predict(&self, lattice: &QuantLattice, idx: &[usize]) -> i64 {
+        let mut preds = [0.0f64; 4];
+        candidate_predictions(lattice, &self.dq, idx, &mut preds[..self.ndim + 1]);
+        self.model.combine(&preds[..self.ndim + 1]).round() as i64
+    }
+
+    fn name(&self) -> &'static str {
+        "cross-field-hybrid"
+    }
+}
+
+/// Sample hybrid-model training data from the true lattice (encoder side):
+/// returns `(candidate_predictions, targets)` at `n` deterministic interior
+/// points.
+pub fn sample_hybrid_training(
+    lattice: &QuantLattice,
+    dq: &[Vec<f64>],
+    n: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let shape = lattice.shape();
+    let ndim = shape.ndim();
+    let dims = shape.dims().to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut preds = Vec::with_capacity(n);
+    let mut targets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx: Vec<usize> = dims
+            .iter()
+            .map(|&d| if d > 1 { rng.random_range(1..d) } else { 0 })
+            .collect();
+        let mut p = vec![0.0f64; ndim + 1];
+        candidate_predictions(lattice, dq, &idx, &mut p);
+        let off = match ndim {
+            2 => idx[0] * dims[1] + idx[1],
+            3 => (idx[0] * dims[1] + idx[1]) * dims[2] + idx[2],
+            _ => unreachable!(),
+        };
+        preds.push(p);
+        targets.push(lattice.as_slice()[off] as f64);
+    }
+    (preds, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_sz::{codec, QuantizerConfig};
+
+    fn lattice2(rows: usize, cols: usize, f: impl Fn(usize, usize) -> i64) -> QuantLattice {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        QuantLattice::from_vec(Shape::d2(rows, cols), data)
+    }
+
+    fn exact_dq_2d(lat: &QuantLattice) -> Vec<Vec<f64>> {
+        // true backward differences of the lattice, in lattice units
+        let shape = lat.shape();
+        let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
+        let mut d0 = vec![0.0f64; rows * cols];
+        let mut d1 = vec![0.0f64; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let q = lat.get2(i as isize, j as isize) as f64;
+                d0[i * cols + j] = q - lat.get2(i as isize - 1, j as isize) as f64;
+                d1[i * cols + j] = q - lat.get2(i as isize, j as isize - 1) as f64;
+            }
+        }
+        vec![d0, d1]
+    }
+
+    #[test]
+    fn perfect_differences_give_perfect_prediction() {
+        let lat = lattice2(12, 12, |i, j| (i * i) as i64 + 3 * j as i64);
+        let dq = exact_dq_2d(&lat);
+        // pure axis-0 weighting
+        let model = HybridModel { weights: vec![0.0, 1.0, 0.0], losses: vec![] };
+        let pred = CrossFieldHybridPredictor {
+            dq: dq.clone(),
+            model,
+            ndim: 2,
+        };
+        for i in 1..12 {
+            for j in 1..12 {
+                assert_eq!(
+                    pred.predict(&lat, &[i, j]),
+                    lat.get2(i as isize, j as isize),
+                    "at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_roundtrips_through_codec() {
+        let lat = lattice2(20, 20, |i, j| ((i * 13 + j * 7) % 91) as i64 + i as i64 * 50);
+        let dq = exact_dq_2d(&lat);
+        let (preds, targets) = sample_hybrid_training(&lat, &dq, 500, 3);
+        let model = HybridModel::fit_least_squares(&preds, &targets);
+        let predictor = CrossFieldHybridPredictor { dq, model, ndim: 2 };
+        let quant = QuantizerConfig { radius: 512 };
+        let enc = codec::encode(&lat, &predictor, &quant);
+        let dec = codec::decode(lat.shape(), &enc.codes, &enc.outliers, &predictor, &quant);
+        assert_eq!(dec.as_slice(), lat.as_slice());
+    }
+
+    #[test]
+    fn noisy_dq_still_roundtrips() {
+        // dq wrong by ±3 lattice steps: residuals bigger but still lossless
+        let lat = lattice2(16, 16, |i, j| (i * 4 + j) as i64);
+        let mut dq = exact_dq_2d(&lat);
+        for (k, plane) in dq.iter_mut().enumerate() {
+            for (o, v) in plane.iter_mut().enumerate() {
+                *v += ((o + k) % 7) as f64 - 3.0;
+            }
+        }
+        let model = HybridModel { weights: vec![0.4, 0.3, 0.3], losses: vec![] };
+        let predictor = CrossFieldHybridPredictor { dq, model, ndim: 2 };
+        let quant = QuantizerConfig { radius: 512 };
+        let enc = codec::encode(&lat, &predictor, &quant);
+        let dec = codec::decode(lat.shape(), &enc.codes, &enc.outliers, &predictor, &quant);
+        assert_eq!(dec.as_slice(), lat.as_slice());
+    }
+
+    #[test]
+    fn predictor_3d_roundtrips() {
+        let shape = Shape::d3(5, 8, 8);
+        let mut data = Vec::new();
+        for k in 0..5i64 {
+            for i in 0..8i64 {
+                for j in 0..8i64 {
+                    data.push(k * 9 + i * 2 - j + ((k + i * j) % 4));
+                }
+            }
+        }
+        let lat = QuantLattice::from_vec(shape, data);
+        let dq: Vec<Vec<f64>> = (0..3).map(|_| vec![0.0f64; shape.len()]).collect();
+        let model = HybridModel { weights: vec![1.0, 0.0, 0.0, 0.0], losses: vec![] };
+        let predictor = CrossFieldHybridPredictor { dq, model, ndim: 3 };
+        let quant = QuantizerConfig { radius: 512 };
+        let enc = codec::encode(&lat, &predictor, &quant);
+        let dec = codec::decode(shape, &enc.codes, &enc.outliers, &predictor, &quant);
+        assert_eq!(dec.as_slice(), lat.as_slice());
+    }
+
+    #[test]
+    fn sampling_avoids_borders() {
+        let lat = lattice2(10, 10, |i, j| (i + j) as i64);
+        let dq = exact_dq_2d(&lat);
+        let (preds, targets) = sample_hybrid_training(&lat, &dq, 200, 1);
+        assert_eq!(preds.len(), 200);
+        assert_eq!(targets.len(), 200);
+        // with exact dq, axis predictors equal the target at interior points
+        for (p, &t) in preds.iter().zip(&targets) {
+            assert_eq!(p[1], t);
+            assert_eq!(p[2], t);
+        }
+    }
+
+    #[test]
+    fn new_converts_units() {
+        let f = Field::from_vec(Shape::d2(2, 2), vec![0.2, 0.4, -0.2, 0.0]);
+        let g = Field::zeros(Shape::d2(2, 2));
+        let model = HybridModel { weights: vec![0.5, 0.25, 0.25], losses: vec![] };
+        let p = CrossFieldHybridPredictor::new(&[f, g], 0.1, model);
+        for (got, want) in p.dq()[0].iter().zip([1.0, 2.0, -1.0, 0.0]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}"); // v / (2·0.1)
+        }
+        p.check_shape(Shape::d2(2, 2));
+    }
+}

@@ -1,0 +1,245 @@
+//! CFNN training pipeline (paper §III-B, Fig. 5 left).
+//!
+//! Training uses *original* (not prequantized, not decompressed) data so one
+//! model serves every error bound (paper §III-D2). Patches of normalized
+//! backward differences are sampled away from array borders (where the
+//! difference convention pads with zeros) and fitted by MSE with Adam.
+
+use cfc_nn::{mse_loss, Adam, Optimizer, Sequential, Tensor};
+use cfc_tensor::{Field, Normalizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{CfnnSpec, TrainConfig};
+use crate::diffnet;
+
+/// Per-epoch training loss history (reproduces paper Fig. 5).
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean MSE per epoch.
+    pub losses: Vec<f32>,
+    /// Number of patches in the training set.
+    pub n_patches: usize,
+}
+
+impl TrainReport {
+    /// True when the loss history is (noisily) decreasing: final loss below
+    /// a fraction of the initial loss.
+    pub fn converged(&self, factor: f32) -> bool {
+        match (self.losses.first(), self.losses.last()) {
+            (Some(&first), Some(&last)) => last <= first * factor,
+            _ => false,
+        }
+    }
+}
+
+/// A trained CFNN bundle: network + the normalizers both sides must apply.
+pub struct TrainedCfnn {
+    /// The network.
+    pub net: Sequential,
+    /// Architecture (needed to rebuild on the decoder side).
+    pub spec: CfnnSpec,
+    /// Input-channel normalizers (`n_anchors × ndim`).
+    pub input_norms: Vec<Normalizer>,
+    /// Output-channel (target difference) normalizers (`ndim`).
+    pub target_norms: Vec<Normalizer>,
+    /// Loss history.
+    pub report: TrainReport,
+}
+
+/// Train a CFNN to predict the target field's backward differences from the
+/// anchors' backward differences.
+pub fn train_cfnn(
+    spec: &CfnnSpec,
+    cfg: &TrainConfig,
+    anchors: &[&Field],
+    target: &Field,
+) -> TrainedCfnn {
+    let ndim = target.shape().ndim();
+    assert!(
+        anchors.iter().all(|a| a.shape() == target.shape()),
+        "anchor/target shape mismatch"
+    );
+    assert_eq!(spec.in_channels, anchors.len() * ndim, "spec does not match anchor count");
+    assert_eq!(spec.out_channels, ndim, "spec does not match dimensionality");
+
+    // --- difference channels + normalizers (original data) -----------------
+    let anchor_diffs: Vec<Field> = anchors
+        .iter()
+        .flat_map(|a| diffnet::difference_channels(a))
+        .collect();
+    let input_norms = diffnet::fit_normalizers(&anchor_diffs);
+    let target_diffs = diffnet::difference_channels(target);
+    let target_norms = diffnet::fit_normalizers(&target_diffs);
+
+    let x_channels: Vec<Field> = anchor_diffs
+        .iter()
+        .zip(&input_norms)
+        .map(|(f, n)| n.apply_field(f))
+        .collect();
+    let y_channels: Vec<Field> = target_diffs
+        .iter()
+        .zip(&target_norms)
+        .map(|(f, n)| n.apply_field(f))
+        .collect();
+
+    // --- patch sampling ------------------------------------------------------
+    let n_slices = diffnet::slice_count(target);
+    let slice_shape = diffnet::processing_slice(target, 0).shape();
+    let (rows, cols) = (slice_shape.dims()[0], slice_shape.dims()[1]);
+    let p = cfg.patch;
+    assert!(p + 1 < rows && p + 1 < cols, "patch {p} too large for {rows}x{cols} slices");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut patches: Vec<(Vec<f32>, Vec<f32>)> = Vec::with_capacity(cfg.n_patches);
+    for _ in 0..cfg.n_patches {
+        // skip index 0 along every axis: backward differences there are the
+        // zero-padding convention, not data
+        let k = if n_slices > 1 { rng.random_range(1..n_slices) } else { 0 };
+        let r0 = rng.random_range(1..rows - p);
+        let c0 = rng.random_range(1..cols - p);
+        let x = gather_patch(&x_channels, k, r0, c0, p, cols);
+        let y = gather_patch(&y_channels, k, r0, c0, p, cols);
+        patches.push((x, y));
+    }
+
+    // --- training loop ---------------------------------------------------------
+    let mut net = diffnet::build_cfnn(spec, cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let in_c = spec.in_channels;
+    let out_c = spec.out_channels;
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    let mut order: Vec<usize> = (0..patches.len()).collect();
+    for _epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut n_batches = 0usize;
+        for chunk in order.chunks(cfg.batch) {
+            let b = chunk.len();
+            let mut x = Tensor::zeros(b, in_c, p, p);
+            let mut y = Tensor::zeros(b, out_c, p, p);
+            for (bi, &pi) in chunk.iter().enumerate() {
+                let (px, py) = &patches[pi];
+                x.data[bi * in_c * p * p..(bi + 1) * in_c * p * p].copy_from_slice(px);
+                y.data[bi * out_c * p * p..(bi + 1) * out_c * p * p].copy_from_slice(py);
+            }
+            net.zero_grad();
+            let out = net.forward(&x, true);
+            let (loss, grad) = mse_loss(&out, &y);
+            net.backward(&grad);
+            opt.step(&mut net.params());
+            epoch_loss += loss as f64;
+            n_batches += 1;
+        }
+        losses.push((epoch_loss / n_batches.max(1) as f64) as f32);
+    }
+
+    TrainedCfnn {
+        net,
+        spec: *spec,
+        input_norms,
+        target_norms,
+        report: TrainReport { losses, n_patches: patches.len() },
+    }
+}
+
+/// Gather a `channels × p × p` patch at `(slice k, r0, c0)` from per-channel
+/// (possibly 3-D) fields, channel-major.
+fn gather_patch(
+    channels: &[Field],
+    k: usize,
+    r0: usize,
+    c0: usize,
+    p: usize,
+    cols: usize,
+) -> Vec<f32> {
+    let mut out = Vec::with_capacity(channels.len() * p * p);
+    for ch in channels {
+        let slice = diffnet::processing_slice(ch, k);
+        let src = slice.as_slice();
+        for i in 0..p {
+            let base = (r0 + i) * cols + c0;
+            out.extend_from_slice(&src[base..base + p]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_tensor::Shape;
+
+    /// Anchors and a target whose differences are a simple linear function of
+    /// the anchors' differences — CFNN must fit this quickly.
+    fn linear_family_2d(rows: usize, cols: usize) -> (Vec<Field>, Field) {
+        let a = Field::from_fn(Shape::d2(rows, cols), |i| {
+            ((i[0] as f32) * 0.31).sin() * 8.0 + ((i[1] as f32) * 0.17).cos() * 5.0
+        });
+        let b = Field::from_fn(Shape::d2(rows, cols), |i| {
+            ((i[0] as f32) * 0.11).cos() * 4.0 - (i[1] as f32) * 0.02
+        });
+        let t = a.zip_map(&b, |x, y| 0.6 * x - 0.4 * y + 3.0);
+        (vec![a, b], t)
+    }
+
+    #[test]
+    fn training_loss_decreases_on_learnable_relation() {
+        let (anchors, target) = linear_family_2d(64, 64);
+        let refs: Vec<&Field> = anchors.iter().collect();
+        let spec = CfnnSpec::compact(2, 2);
+        let trained = train_cfnn(&spec, &TrainConfig::fast(), &refs, &target);
+        assert_eq!(trained.report.losses.len(), TrainConfig::fast().epochs);
+        assert!(
+            trained.report.converged(0.6),
+            "loss did not converge: {:?}",
+            trained.report.losses
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (anchors, target) = linear_family_2d(48, 48);
+        let refs: Vec<&Field> = anchors.iter().collect();
+        let spec = CfnnSpec::compact(2, 2);
+        let a = train_cfnn(&spec, &TrainConfig::fast(), &refs, &target);
+        let b = train_cfnn(&spec, &TrainConfig::fast(), &refs, &target);
+        assert_eq!(a.report.losses, b.report.losses);
+        assert_eq!(a.net.serialize(), b.net.serialize());
+    }
+
+    #[test]
+    fn normalizer_counts_match_layout() {
+        let (anchors, target) = linear_family_2d(40, 40);
+        let refs: Vec<&Field> = anchors.iter().collect();
+        let spec = CfnnSpec::compact(2, 2);
+        let trained = train_cfnn(&spec, &TrainConfig::fast(), &refs, &target);
+        assert_eq!(trained.input_norms.len(), 4); // 2 anchors × 2 dims
+        assert_eq!(trained.target_norms.len(), 2);
+    }
+
+    #[test]
+    fn works_on_3d_volumes() {
+        let shape = Shape::d3(6, 32, 32);
+        let a = Field::from_fn(shape, |i| {
+            (i[0] as f32) * 0.5 + ((i[1] as f32) * 0.2).sin() * 3.0 + (i[2] as f32) * 0.05
+        });
+        let t = a.map(|v| 1.5 * v - 2.0);
+        let spec = CfnnSpec::compact(1, 3);
+        let cfg = TrainConfig { patch: 10, n_patches: 32, batch: 8, epochs: 6, lr: 4e-3, seed: 3 };
+        let trained = train_cfnn(&spec, &cfg, &[&a], &t);
+        assert_eq!(trained.input_norms.len(), 3);
+        assert_eq!(trained.target_norms.len(), 3);
+        assert!(trained.report.losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "spec does not match")]
+    fn spec_mismatch_is_rejected() {
+        let (anchors, target) = linear_family_2d(32, 32);
+        let refs: Vec<&Field> = anchors.iter().collect();
+        let spec = CfnnSpec::compact(3, 2); // wrong anchor count
+        let _ = train_cfnn(&spec, &TrainConfig::fast(), &refs, &target);
+    }
+}

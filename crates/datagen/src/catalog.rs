@@ -1,0 +1,113 @@
+//! Dataset inventory — the reproduction of the paper's Table I.
+
+use cfc_tensor::Shape;
+
+use crate::dataset::{Dataset, GenParams};
+
+/// Metadata describing one dataset, as listed in Table I of the paper.
+#[derive(Debug, Clone)]
+pub struct DatasetInfo {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// Dimensions as used by the paper.
+    pub paper_dims: Shape,
+    /// Scaled-down dimensions used by default in this reproduction.
+    pub default_dims: Shape,
+    /// One-line description (Table I column 3).
+    pub description: &'static str,
+    /// Field names available in the synthetic analogue.
+    pub fields: &'static [&'static str],
+}
+
+impl DatasetInfo {
+    /// Generate the synthetic analogue at the given shape.
+    pub fn generate(&self, shape: Shape, params: GenParams) -> Dataset {
+        match self.name {
+            "SCALE" => crate::scale::generate(shape, params),
+            "CESM-ATM" => crate::cesm::generate(shape, params),
+            "Hurricane" => crate::hurricane::generate(shape, params),
+            other => panic!("unknown dataset {other}"),
+        }
+    }
+
+    /// Generate at the default (scaled) shape.
+    pub fn generate_default(&self, params: GenParams) -> Dataset {
+        self.generate(self.default_dims, params)
+    }
+}
+
+/// The three datasets of the paper's Table I.
+pub fn paper_catalog() -> Vec<DatasetInfo> {
+    vec![
+        DatasetInfo {
+            name: "SCALE",
+            paper_dims: crate::scale::paper_shape(),
+            default_dims: crate::scale::default_shape(),
+            description: "Climate simulation",
+            fields: &["PRES", "T", "QV", "RH", "U", "V", "W"],
+        },
+        DatasetInfo {
+            name: "CESM-ATM",
+            paper_dims: crate::cesm::paper_shape(),
+            default_dims: crate::cesm::default_shape(),
+            description: "Climate simulation",
+            fields: &[
+                "CLDLOW", "CLDMED", "CLDHGH", "CLDTOT", "FLUTC", "LWCF", "FLUT", "FLNT", "FLNTC",
+            ],
+        },
+        DatasetInfo {
+            name: "Hurricane",
+            paper_dims: crate::hurricane::paper_shape(),
+            default_dims: crate::hurricane::default_shape(),
+            description: "Weather simulation",
+            fields: &["Pf", "Uf", "Vf", "Wf"],
+        },
+    ]
+}
+
+/// Find a dataset by (case-insensitive) name.
+pub fn find(name: &str) -> Option<DatasetInfo> {
+    paper_catalog()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table1() {
+        let cat = paper_catalog();
+        assert_eq!(cat.len(), 3);
+        let scale = &cat[0];
+        assert_eq!(scale.paper_dims, Shape::d3(98, 1200, 1200));
+        let cesm = &cat[1];
+        assert_eq!(cesm.paper_dims, Shape::d2(1800, 3600));
+        let hur = &cat[2];
+        assert_eq!(hur.paper_dims, Shape::d3(100, 500, 500));
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("scale").is_some());
+        assert!(find("CESM-atm").is_some());
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn generate_produces_listed_fields() {
+        for info in paper_catalog() {
+            // tiny shapes for test speed
+            let shape = if info.paper_dims.ndim() == 3 {
+                Shape::d3(4, 16, 16)
+            } else {
+                Shape::d2(16, 16)
+            };
+            let ds = info.generate(shape, GenParams::default());
+            for f in info.fields {
+                assert!(ds.field(f).is_some(), "{}: missing {f}", info.name);
+            }
+        }
+    }
+}

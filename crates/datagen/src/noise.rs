@@ -1,0 +1,214 @@
+//! Multi-octave value noise ("fractal Brownian motion") in 2-D and 3-D.
+//!
+//! Spectral synthesis via FFT would be the textbook way to produce
+//! band-limited fields, but an O(N) value-noise pyramid gives the same
+//! qualitative power-law spectrum and generates the paper-sized grids
+//! (1200², 500³ scaled) in milliseconds. Smoothness is controlled by the
+//! `persistence` (octave amplitude decay) — low persistence ⇒ smooth fields
+//! where Lorenzo thrives, high persistence ⇒ rough fields where prediction
+//! is hard.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Quintic fade `6t⁵ − 15t⁴ + 10t³` (C² continuous at lattice points).
+#[inline]
+fn fade(t: f32) -> f32 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+#[inline]
+fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+/// Deterministic lattice hash → uniform value in `[-1, 1]`.
+#[inline]
+fn lattice(seed: u64, x: i64, y: i64, z: i64) -> f32 {
+    let mut h = seed
+        ^ (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (y as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (z as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    // map top 24 bits to [-1, 1]
+    ((h >> 40) as f32) / ((1u64 << 24) as f32) * 2.0 - 1.0
+}
+
+/// Multi-octave value noise generator.
+#[derive(Debug, Clone)]
+pub struct FractalNoise {
+    seed: u64,
+    /// Number of octaves (≥1).
+    pub octaves: usize,
+    /// Base spatial frequency in cycles per grid extent.
+    pub base_freq: f32,
+    /// Amplitude ratio between successive octaves (0..1 = smooth fields).
+    pub persistence: f32,
+    /// Frequency ratio between successive octaves (usually 2).
+    pub lacunarity: f32,
+}
+
+impl FractalNoise {
+    /// A generator with typical climate-like defaults.
+    pub fn new(seed: u64) -> Self {
+        FractalNoise { seed, octaves: 5, base_freq: 3.0, persistence: 0.45, lacunarity: 2.0 }
+    }
+
+    /// Builder-style octave override.
+    pub fn with_octaves(mut self, octaves: usize) -> Self {
+        assert!(octaves >= 1);
+        self.octaves = octaves;
+        self
+    }
+
+    /// Builder-style base frequency override.
+    pub fn with_base_freq(mut self, f: f32) -> Self {
+        self.base_freq = f;
+        self
+    }
+
+    /// Builder-style persistence override.
+    pub fn with_persistence(mut self, p: f32) -> Self {
+        self.persistence = p;
+        self
+    }
+
+    /// Single-octave value noise at continuous 3-D coordinates.
+    fn value3(&self, seed: u64, x: f32, y: f32, z: f32) -> f32 {
+        let (xi, yi, zi) = (x.floor() as i64, y.floor() as i64, z.floor() as i64);
+        let (xf, yf, zf) = (x - xi as f32, y - yi as f32, z - zi as f32);
+        let (u, v, w) = (fade(xf), fade(yf), fade(zf));
+        let c = |dx: i64, dy: i64, dz: i64| lattice(seed, xi + dx, yi + dy, zi + dz);
+        let x00 = lerp(c(0, 0, 0), c(1, 0, 0), u);
+        let x10 = lerp(c(0, 1, 0), c(1, 1, 0), u);
+        let x01 = lerp(c(0, 0, 1), c(1, 0, 1), u);
+        let x11 = lerp(c(0, 1, 1), c(1, 1, 1), u);
+        let y0 = lerp(x00, x10, v);
+        let y1 = lerp(x01, x11, v);
+        lerp(y0, y1, w)
+    }
+
+    /// Fractal (multi-octave) noise at normalized coordinates in `[0,1]³`.
+    /// Output is roughly in `[-1, 1]`.
+    pub fn at(&self, nx: f32, ny: f32, nz: f32) -> f32 {
+        let mut amp = 1.0f32;
+        let mut freq = self.base_freq;
+        let mut sum = 0.0f32;
+        let mut norm = 0.0f32;
+        for oct in 0..self.octaves {
+            let s = self.seed.wrapping_add(oct as u64 * 0x51_7C_C1B7);
+            sum += amp * self.value3(s, nx * freq, ny * freq, nz * freq);
+            norm += amp;
+            amp *= self.persistence;
+            freq *= self.lacunarity;
+        }
+        sum / norm
+    }
+
+    /// Fill a `rows × cols` grid (z fixed at `layer`), row-major.
+    pub fn grid2(&self, rows: usize, cols: usize, layer: f32) -> Vec<f32> {
+        use rayon::prelude::*;
+        (0..rows)
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                let ny = i as f32 / rows as f32;
+                (0..cols).map(move |j| self.at(j as f32 / cols as f32, ny, layer))
+            })
+            .collect()
+    }
+
+    /// Fill a `depth × rows × cols` volume, row-major.
+    pub fn grid3(&self, depth: usize, rows: usize, cols: usize) -> Vec<f32> {
+        use rayon::prelude::*;
+        (0..depth)
+            .into_par_iter()
+            .flat_map_iter(move |k| {
+                let nz = k as f32 / depth as f32;
+                (0..rows).flat_map(move |i| {
+                    let ny = i as f32 / rows as f32;
+                    (0..cols).map(move |j| self.at(j as f32 / cols as f32, ny, nz))
+                })
+            })
+            .collect()
+    }
+}
+
+/// Convenience: seeded standard RNG for jitter terms in the generators.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Gaussian sample via Box–Muller from a uniform RNG.
+pub fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.random::<f32>().max(1e-7);
+    let u2: f32 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        let n = FractalNoise::new(7);
+        let a = n.at(0.3, 0.6, 0.1);
+        let b = FractalNoise::new(7).at(0.3, 0.6, 0.1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_fields() {
+        let a = FractalNoise::new(1).grid2(16, 16, 0.0);
+        let b = FractalNoise::new(2).grid2(16, 16, 0.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn output_is_bounded() {
+        let n = FractalNoise::new(3);
+        for &(x, y, z) in &[(0.0, 0.0, 0.0), (0.5, 0.25, 0.75), (0.99, 0.01, 0.5)] {
+            let v = n.at(x, y, z);
+            assert!(v.abs() <= 1.5, "noise {v} out of expected bound");
+        }
+    }
+
+    #[test]
+    fn smoothness_increases_with_lower_persistence() {
+        // total variation of a row should shrink as persistence drops
+        let rough = FractalNoise::new(5).with_persistence(0.9).grid2(1, 256, 0.0);
+        let smooth = FractalNoise::new(5).with_persistence(0.2).grid2(1, 256, 0.0);
+        let tv = |v: &[f32]| v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>();
+        assert!(tv(&smooth) < tv(&rough), "{} !< {}", tv(&smooth), tv(&rough));
+    }
+
+    #[test]
+    fn grid3_has_expected_len_and_continuity() {
+        let n = FractalNoise::new(11);
+        let g = n.grid3(4, 8, 8);
+        assert_eq!(g.len(), 4 * 8 * 8);
+        // neighbouring samples should be closer than far-apart samples on average
+        let mut near = 0.0;
+        let mut count = 0;
+        for i in 0..g.len() - 1 {
+            near += (g[i + 1] - g[i]).abs();
+            count += 1;
+        }
+        near /= count as f32;
+        assert!(near < 0.5, "volume not spatially coherent: {near}");
+    }
+
+    #[test]
+    fn gauss_has_reasonable_moments() {
+        let mut r = rng(42);
+        let xs: Vec<f32> = (0..20_000).map(|_| gauss(&mut r)).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

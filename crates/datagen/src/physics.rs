@@ -1,0 +1,193 @@
+//! Physics-flavoured derivations shared by the dataset generators.
+//!
+//! The goal is not meteorological fidelity — it is to reproduce the
+//! *statistical relationships* the paper's CFNN exploits: fields that are
+//! smooth, share large-scale structure through a common latent, and are
+//! related to each other through nonlinear (but learnable) maps with
+//! independent fine-scale detail on top.
+
+use cfc_tensor::{Axis, Field, FieldStats, Shape};
+
+use crate::noise::{gauss, rng, FractalNoise};
+
+/// Central-difference spatial gradient of a 2-D field along `axis`,
+/// scaled by `scale` (used as a geostrophic-wind-like operator).
+pub fn gradient2d(field: &Field, axis: Axis, scale: f32) -> Field {
+    assert_eq!(field.shape().ndim(), 2);
+    cfc_tensor::diff::central_diff(field, axis).map(|v| v * scale)
+}
+
+/// Smooth bounded nonlinearity used to derive saturating quantities
+/// (cloud fraction, relative humidity) from unbounded latents.
+#[inline]
+pub fn saturate(x: f32, steepness: f32) -> f32 {
+    1.0 / (1.0 + (-steepness * x).exp())
+}
+
+/// Mix a derived (coupled) signal with an independent one:
+/// `coupling * derived + (1 − coupling) * independent`.
+pub fn couple(derived: &Field, independent: &Field, coupling: f32) -> Field {
+    derived.zip_map(independent, |d, i| coupling * d + (1.0 - coupling) * i)
+}
+
+/// Add zero-mean Gaussian jitter with std `sigma_rel · range(field)`.
+pub fn add_noise(field: &Field, sigma_rel: f32, seed: u64) -> Field {
+    if sigma_rel <= 0.0 {
+        return field.clone();
+    }
+    let stats = FieldStats::of(field);
+    let sigma = sigma_rel * stats.range().max(1e-12);
+    let mut r = rng(seed);
+    let mut out = field.clone();
+    for v in out.as_mut_slice() {
+        *v += sigma * gauss(&mut r);
+    }
+    out
+}
+
+/// Rescale a field affinely so its samples span `[lo, hi]`.
+pub fn rescale(field: &Field, lo: f32, hi: f32) -> Field {
+    let stats = FieldStats::of(field);
+    let range = stats.range();
+    if range <= 0.0 {
+        return Field::full(field.shape(), 0.5 * (lo + hi));
+    }
+    field.map(|v| lo + (v - stats.min) / range * (hi - lo))
+}
+
+/// A smooth 3-D latent volume: fBm noise plus a planetary-scale trend along
+/// the vertical axis (pressure decreasing with altitude, temperature lapse).
+pub fn latent3(
+    shape: Shape,
+    seed: u64,
+    roughness: f32,
+    vertical_trend: f32,
+) -> Field {
+    assert_eq!(shape.ndim(), 3);
+    let d = shape.dims();
+    let (nk, ni, nj) = (d[0], d[1], d[2]);
+    let noise = FractalNoise::new(seed).with_persistence(roughness);
+    let raw = noise.grid3(nk, ni, nj);
+    let mut data = Vec::with_capacity(shape.len());
+    for k in 0..nk {
+        let trend = vertical_trend * (k as f32 / nk.max(1) as f32);
+        for idx in 0..ni * nj {
+            data.push(raw[k * ni * nj + idx] + trend);
+        }
+    }
+    Field::from_vec(shape, data)
+}
+
+/// A smooth 2-D latent with a meridional (row-wise) trend, mimicking the
+/// equator-to-pole gradients of global climate fields.
+pub fn latent2(shape: Shape, seed: u64, roughness: f32, meridional_trend: f32) -> Field {
+    assert_eq!(shape.ndim(), 2);
+    let d = shape.dims();
+    let (ni, nj) = (d[0], d[1]);
+    let noise = FractalNoise::new(seed).with_persistence(roughness);
+    let raw = noise.grid2(ni, nj, 0.37);
+    let mut data = Vec::with_capacity(shape.len());
+    for i in 0..ni {
+        // symmetric equator bump: max at the middle row
+        let lat = (i as f32 / ni.max(1) as f32 - 0.5) * 2.0;
+        let trend = meridional_trend * (1.0 - lat * lat);
+        for j in 0..nj {
+            data.push(raw[i * nj + j] + trend);
+        }
+    }
+    Field::from_vec(shape, data)
+}
+
+/// Horizontal-slice-wise 2-D gradient of a 3-D field: applies
+/// [`gradient2d`] to every level independently and restacks.
+pub fn gradient3d_levelwise(volume: &Field, axis: Axis, scale: f32) -> Field {
+    assert_eq!(volume.shape().ndim(), 3);
+    assert!(axis == Axis::X || axis == Axis::Y, "level-wise gradient is horizontal");
+    let shape = volume.shape();
+    let nk = shape.dims()[0];
+    let mut out = Vec::with_capacity(shape.len());
+    for k in 0..nk {
+        let level = volume.slice(Axis::X, k);
+        // within a level, the volume's Y axis becomes the slice's X axis and
+        // Z becomes Y
+        let slice_axis = if axis == Axis::X { Axis::X } else { Axis::Y };
+        let g = gradient2d(&level, slice_axis, scale);
+        out.extend_from_slice(g.as_slice());
+    }
+    Field::from_vec(shape, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturate_is_bounded_and_monotone() {
+        assert!(saturate(-100.0, 1.0) < 1e-6);
+        assert!(saturate(100.0, 1.0) > 1.0 - 1e-6);
+        assert!((saturate(0.0, 3.0) - 0.5).abs() < 1e-6);
+        assert!(saturate(0.5, 2.0) > saturate(-0.5, 2.0));
+    }
+
+    #[test]
+    fn couple_blends_linearly() {
+        let a = Field::full(Shape::d1(4), 1.0);
+        let b = Field::full(Shape::d1(4), 3.0);
+        let c = couple(&a, &b, 0.25);
+        assert!(c.as_slice().iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn rescale_hits_bounds() {
+        let f = Field::from_vec(Shape::d1(3), vec![2.0, 4.0, 6.0]);
+        let g = rescale(&f, -1.0, 1.0);
+        assert!((g.as_slice()[0] + 1.0).abs() < 1e-6);
+        assert!((g.as_slice()[2] - 1.0).abs() < 1e-6);
+        assert!(g.as_slice()[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_noise_zero_sigma_is_identity() {
+        let f = Field::from_vec(Shape::d1(3), vec![1.0, 2.0, 3.0]);
+        assert_eq!(add_noise(&f, 0.0, 1).as_slice(), f.as_slice());
+    }
+
+    #[test]
+    fn add_noise_perturbs_with_expected_scale() {
+        let f = Field::from_vec(Shape::d1(10_000), (0..10_000).map(|i| i as f32).collect());
+        let g = add_noise(&f, 0.01, 7);
+        let diffs: Vec<f32> = g
+            .as_slice()
+            .iter()
+            .zip(f.as_slice())
+            .map(|(a, b)| a - b)
+            .collect();
+        let sd = FieldStats::of_slice(&diffs).std;
+        let expected = 0.01 * 9999.0;
+        let rel = (sd - expected as f64).abs() / expected as f64;
+        assert!(rel < 0.1, "sd {sd} vs {expected}");
+    }
+
+    #[test]
+    fn latent3_has_vertical_trend() {
+        let f = latent3(Shape::d3(8, 16, 16), 3, 0.4, 4.0);
+        let bottom = FieldStats::of(&f.slice(Axis::X, 0)).mean;
+        let top = FieldStats::of(&f.slice(Axis::X, 7)).mean;
+        assert!(top > bottom + 1.0, "trend missing: {bottom} vs {top}");
+    }
+
+    #[test]
+    fn latent2_peaks_at_equator() {
+        let f = latent2(Shape::d2(32, 16), 5, 0.4, 5.0);
+        let eq = FieldStats::of(&f.slice(Axis::X, 16)).mean;
+        let pole = FieldStats::of(&f.slice(Axis::X, 0)).mean;
+        assert!(eq > pole + 1.0);
+    }
+
+    #[test]
+    fn gradient3d_levelwise_shapes() {
+        let f = latent3(Shape::d3(3, 8, 8), 1, 0.4, 0.0);
+        let g = gradient3d_levelwise(&f, Axis::Y, 1.0);
+        assert_eq!(g.shape(), f.shape());
+    }
+}

@@ -1,0 +1,206 @@
+//! SCALE-LETKF analogue: a 3-D regional climate snapshot.
+//!
+//! Paper fields used (Table III): target `RH` with anchors `T, QV, PRES`,
+//! and target `W` with anchors `U, V, PRES`. The synthetic derivations:
+//!
+//! * `PRES` — latent volume with a strong downward-increasing vertical trend;
+//! * `T` — nonlinear function of the pressure latent (lapse-rate-like) mixed
+//!   with an independent thermal latent;
+//! * `QV` — Clausius–Clapeyron-flavoured exponential of `T` times a moisture
+//!   latent (vapour amounts saturate in temperature);
+//! * `RH` — saturating function of `QV` relative to its temperature-implied
+//!   capacity — this is the nonlinear multi-anchor relation CFNN must learn;
+//! * `U, V` — horizontal winds from a stream function coupled to the
+//!   pressure latent (geostrophic-like), so wind and pressure co-vary;
+//! * `W` — vertical wind from the negative horizontal divergence of `(U,V)`
+//!   (mass continuity), the physically-motivated anchor relation the paper
+//!   highlights for the SCALE `W` target.
+
+use cfc_tensor::{Axis, Shape};
+
+use crate::dataset::{Dataset, GenParams};
+use crate::physics::{
+    add_noise, couple, gradient3d_levelwise, latent3, rescale, saturate,
+};
+
+/// Default scaled-down shape (paper: 98×1200×1200). Chosen so the whole
+/// experiment suite runs on a laptop-class CPU in minutes.
+pub fn default_shape() -> Shape {
+    Shape::d3(32, 160, 160)
+}
+
+/// Full paper-size shape for users with time and memory to spare.
+pub fn paper_shape() -> Shape {
+    Shape::d3(98, 1200, 1200)
+}
+
+/// Generate the SCALE analogue with the given shape and parameters.
+pub fn generate(shape: Shape, params: GenParams) -> Dataset {
+    assert_eq!(shape.ndim(), 3, "SCALE is a 3-D dataset");
+    let seed = params.seed;
+    let c = params.coupling;
+    let rough = params.roughness;
+
+    // --- latents -----------------------------------------------------------
+    // pressure decreases with level index (axis X = vertical)
+    let l_pres = latent3(shape, seed ^ 0x01, rough * 0.8, -6.0);
+    let l_thermal = latent3(shape, seed ^ 0x02, rough, 0.0);
+    let l_moist = latent3(shape, seed ^ 0x03, rough, 0.0);
+    let l_psi_own = latent3(shape, seed ^ 0x04, rough, 0.0);
+
+    // --- PRES: 1000 hPa at surface decaying upward --------------------------
+    let pres = rescale(&l_pres, 260.0, 1015.0);
+    let pres = add_noise(&pres, params.noise_floor * 0.2, seed ^ 0x11);
+
+    // --- T: lapse-rate-ish function of pressure + independent thermal -------
+    let pres_norm = rescale(&pres, 0.0, 1.0);
+    let t_derived = pres_norm.map(|p| 210.0 + 95.0 * p.powf(0.65));
+    let t_own = rescale(&l_thermal, -12.0, 12.0);
+    let temp = couple(&t_derived, &rescale(&t_own, 210.0, 305.0), c)
+        .zip_map(&t_own, |base, jitter| base + 0.35 * jitter);
+    let temp = add_noise(&temp, params.noise_floor * 0.3, seed ^ 0x12);
+
+    // --- QV: Clausius–Clapeyron-style vapour content -------------------------
+    let t_norm = rescale(&temp, 0.0, 1.0);
+    let moist_norm = rescale(&l_moist, 0.0, 1.0);
+    let qv = t_norm.zip_map(&moist_norm, |t, m| {
+        // e_sat ∝ exp(a·T); actual vapour = capacity × availability
+        let capacity = (4.5 * t).exp() / 90.0;
+        capacity * (0.15 + 0.85 * m)
+    });
+    let qv = add_noise(&qv, params.noise_floor * 0.5, seed ^ 0x13);
+
+    // --- RH: vapour relative to temperature-implied capacity ----------------
+    let rh_derived = qv.zip_map(&t_norm, |q, t| {
+        let capacity = (4.5 * t).exp() / 90.0;
+        100.0 * saturate((q / capacity.max(1e-5) - 0.55) * 6.0, 1.0)
+    });
+    let rh_own = rescale(&latent3(shape, seed ^ 0x05, rough, 0.0), 0.0, 100.0);
+    let rh = couple(&rh_derived, &rh_own, c);
+    let rh = add_noise(&rh, params.noise_floor, seed ^ 0x14);
+
+    // --- winds from a stream function coupled to pressure -------------------
+    let psi = couple(&l_pres, &l_psi_own, 0.5 + 0.5 * c);
+    let psi = rescale(&psi, -1.0, 1.0);
+    // level-wise horizontal gradients; scale picked to give m/s-like ranges
+    let grad_scale = shape.dims()[1] as f32 * 0.35;
+    let u = gradient3d_levelwise(&psi, Axis::Y, -grad_scale);
+    let v = gradient3d_levelwise(&psi, Axis::X, grad_scale);
+    let u = add_noise(&u, params.noise_floor, seed ^ 0x15);
+    let v = add_noise(&v, params.noise_floor, seed ^ 0x16);
+
+    // --- W from horizontal divergence (continuity) ---------------------------
+    let du = gradient3d_levelwise(&u, Axis::X, 1.0);
+    let dv = gradient3d_levelwise(&v, Axis::Y, 1.0);
+    let w_derived = du.zip_map(&dv, |a, b| -(a + b) * 0.08);
+    let w_own = rescale(&latent3(shape, seed ^ 0x06, rough, 0.0), -1.5, 1.5);
+    let w = couple(&w_derived, &w_own, c);
+    let w = add_noise(&w, params.noise_floor, seed ^ 0x17);
+
+    let mut ds = Dataset::new("SCALE", shape);
+    ds.push("PRES", pres);
+    ds.push("T", temp);
+    ds.push("QV", qv);
+    ds.push("RH", rh);
+    ds.push("U", u);
+    ds.push("V", v);
+    ds.push("W", w);
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_metrics_test_shim::pearson;
+
+    // tiny local Pearson helper so this crate does not depend on cfc-metrics
+    mod cfc_metrics_test_shim {
+        pub fn pearson(a: &[f32], b: &[f32]) -> f64 {
+            let n = a.len() as f64;
+            let ma = a.iter().map(|&v| v as f64).sum::<f64>() / n;
+            let mb = b.iter().map(|&v| v as f64).sum::<f64>() / n;
+            let mut num = 0.0;
+            let mut da = 0.0;
+            let mut db = 0.0;
+            for (&x, &y) in a.iter().zip(b) {
+                let (x, y) = (x as f64 - ma, y as f64 - mb);
+                num += x * y;
+                da += x * x;
+                db += y * y;
+            }
+            num / (da.sqrt() * db.sqrt()).max(1e-30)
+        }
+    }
+
+    fn small() -> Dataset {
+        generate(Shape::d3(8, 32, 32), GenParams::default())
+    }
+
+    #[test]
+    fn has_all_paper_fields() {
+        let ds = small();
+        for f in ["PRES", "T", "QV", "RH", "U", "V", "W"] {
+            assert!(ds.field(f).is_some(), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(Shape::d3(4, 16, 16), GenParams::default());
+        let b = generate(Shape::d3(4, 16, 16), GenParams::default());
+        assert_eq!(a.expect_field("RH").as_slice(), b.expect_field("RH").as_slice());
+        let c = generate(Shape::d3(4, 16, 16), GenParams::default().with_seed(99));
+        assert_ne!(a.expect_field("RH").as_slice(), c.expect_field("RH").as_slice());
+    }
+
+    #[test]
+    fn pressure_decreases_with_level() {
+        let ds = small();
+        let p = ds.expect_field("PRES");
+        let bottom: f32 = p.slice(Axis::X, 0).as_slice().iter().sum();
+        let top: f32 = p.slice(Axis::X, 7).as_slice().iter().sum();
+        assert!(top < bottom, "pressure should fall with altitude");
+    }
+
+    #[test]
+    fn rh_is_physically_bounded() {
+        let ds = small();
+        let rh = ds.expect_field("RH");
+        for &v in rh.as_slice() {
+            assert!((-25.0..=125.0).contains(&v), "RH {v} wildly out of range");
+        }
+    }
+
+    #[test]
+    fn coupling_increases_cross_correlation() {
+        let strong = generate(Shape::d3(6, 48, 48), GenParams::default().with_coupling(1.0));
+        let weak = generate(
+            Shape::d3(6, 48, 48),
+            GenParams::default().with_coupling(0.0),
+        );
+        let r_strong = pearson(
+            strong.expect_field("T").as_slice(),
+            strong.expect_field("PRES").as_slice(),
+        )
+        .abs();
+        let r_weak = pearson(
+            weak.expect_field("T").as_slice(),
+            weak.expect_field("PRES").as_slice(),
+        )
+        .abs();
+        assert!(
+            r_strong > r_weak + 0.1,
+            "coupling knob ineffective: strong {r_strong} weak {r_weak}"
+        );
+    }
+
+    #[test]
+    fn winds_correlate_with_pressure_structure() {
+        let ds = small();
+        // U is a meridional pressure-ish gradient; it should not be constant
+        // and should carry spatial structure (nonzero variance).
+        let u = ds.expect_field("U");
+        let stats = cfc_tensor::FieldStats::of(u);
+        assert!(stats.std > 1e-3, "U degenerate");
+    }
+}

@@ -1,0 +1,96 @@
+//! Cross-field correlation analysis — the paper's §III-A observation that
+//! fields of one dataset are strongly (often nonlinearly) related.
+
+use cfc_tensor::Field;
+
+/// Pearson correlation coefficient between two equal-length sample sets.
+pub fn pearson(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson length mismatch");
+    assert!(!a.is_empty());
+    let n = a.len() as f64;
+    let ma = a.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mb = b.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let (x, y) = (x as f64 - ma, y as f64 - mb);
+        num += x * y;
+        da += x * x;
+        db += y * y;
+    }
+    let denom = (da * db).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        num / denom
+    }
+}
+
+/// Pairwise |Pearson r| matrix over named fields, row-major over the input
+/// order. Used by the Figure 1 harness to quantify the U/V/W relationship.
+pub fn cross_correlation_matrix(fields: &[(&str, &Field)]) -> Vec<Vec<f64>> {
+    let n = fields.len();
+    let mut m = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let r = pearson(fields[i].1.as_slice(), fields[j].1.as_slice());
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_tensor::Shape;
+
+    #[test]
+    fn perfect_correlation() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f32> = a.iter().map(|v| v * 2.0 + 1.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b: Vec<f32> = a.iter().map(|v| -v).collect();
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_samples_near_zero() {
+        // deterministic pseudo-random pair
+        let mut x = 1u64;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) as f32) / (1u64 << 31) as f32 - 1.0
+        };
+        let a: Vec<f32> = (0..5000).map(|_| next()).collect();
+        let b: Vec<f32> = (0..5000).map(|_| next()).collect();
+        assert!(pearson(&a, &b).abs() < 0.05);
+    }
+
+    #[test]
+    fn constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0; 5], &[1.0, 2.0, 3.0, 4.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let a = Field::from_fn(Shape::d2(8, 8), |idx| (idx[0] + idx[1]) as f32);
+        let b = a.map(|v| v * v);
+        let c = a.map(|v| -v + 3.0);
+        let m = cross_correlation_matrix(&[("a", &a), ("b", &b), ("c", &c)]);
+        for i in 0..3 {
+            assert!((m[i][i] - 1.0).abs() < 1e-9);
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+        assert!((m[0][2] + 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,10 @@
+//! `cfc-metrics` — rate and quality metrics for lossy compression
+//! evaluation, matching the definitions used by the paper and SDRBench.
+
+pub mod correlation;
+pub mod quality;
+pub mod rate;
+
+pub use correlation::{cross_correlation_matrix, pearson};
+pub use quality::{max_abs_error, mse, nrmse, psnr, ssim2d, ssim_field};
+pub use rate::{bit_rate, compression_ratio};

@@ -1,0 +1,206 @@
+//! Distortion / quality metrics: MSE, NRMSE, PSNR, SSIM.
+
+use cfc_tensor::{Axis, Field, FieldStats};
+
+/// Mean squared error between two equal-shaped fields.
+pub fn mse(a: &Field, b: &Field) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mse shape mismatch");
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+        let d = x as f64 - y as f64;
+        acc += d * d;
+    }
+    acc / a.len() as f64
+}
+
+/// Largest absolute pointwise error.
+pub fn max_abs_error(a: &Field, b: &Field) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Normalized root-mean-square error: `rmse / range(original)`.
+pub fn nrmse(original: &Field, reconstructed: &Field) -> f64 {
+    let range = FieldStats::of(original).range() as f64;
+    if range == 0.0 {
+        return if mse(original, reconstructed) == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    mse(original, reconstructed).sqrt() / range
+}
+
+/// Peak signal-to-noise ratio in dB, with the original field's value range
+/// as the peak (the SDRBench/SZ convention).
+pub fn psnr(original: &Field, reconstructed: &Field) -> f64 {
+    let e = mse(original, reconstructed);
+    let range = FieldStats::of(original).range() as f64;
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * range.log10() - 10.0 * e.log10()
+}
+
+/// SSIM between two 2-D fields (8×8 windows, stride 4, standard constants,
+/// dynamic range taken from the original field).
+pub fn ssim2d(a: &Field, b: &Field) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    assert_eq!(a.shape().ndim(), 2, "ssim2d needs 2-D fields");
+    let shape = a.shape();
+    let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
+    let win = 8usize.min(rows).min(cols);
+    let stride = (win / 2).max(1);
+    let l = FieldStats::of(a).range() as f64;
+    let l = if l > 0.0 { l } else { 1.0 };
+    let c1 = (0.01 * l) * (0.01 * l);
+    let c2 = (0.03 * l) * (0.03 * l);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut r0 = 0;
+    while r0 + win <= rows {
+        let mut c0 = 0;
+        while c0 + win <= cols {
+            let (ma, mb, va, vb, cov) = window_stats(a, b, r0, c0, win, cols);
+            let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+            total += s;
+            count += 1;
+            c0 += stride;
+        }
+        r0 += stride;
+    }
+    if count == 0 {
+        1.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// SSIM for any field: 2-D directly; 3-D averaged over axis-0 slices (the
+/// common convention for volumetric scientific data).
+pub fn ssim_field(a: &Field, b: &Field) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    match a.shape().ndim() {
+        2 => ssim2d(a, b),
+        3 => {
+            let n = a.shape().dims()[0];
+            let mut total = 0.0;
+            for k in 0..n {
+                total += ssim2d(&a.slice(Axis::X, k), &b.slice(Axis::X, k));
+            }
+            total / n as f64
+        }
+        _ => panic!("ssim supports 2-D and 3-D fields"),
+    }
+}
+
+fn window_stats(
+    a: &Field,
+    b: &Field,
+    r0: usize,
+    c0: usize,
+    win: usize,
+    cols: usize,
+) -> (f64, f64, f64, f64, f64) {
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let n = (win * win) as f64;
+    let (mut sa, mut sb) = (0.0f64, 0.0f64);
+    for i in r0..r0 + win {
+        for j in c0..c0 + win {
+            sa += av[i * cols + j] as f64;
+            sb += bv[i * cols + j] as f64;
+        }
+    }
+    let (ma, mb) = (sa / n, sb / n);
+    let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+    for i in r0..r0 + win {
+        for j in c0..c0 + win {
+            let da = av[i * cols + j] as f64 - ma;
+            let db = bv[i * cols + j] as f64 - mb;
+            va += da * da;
+            vb += db * db;
+            cov += da * db;
+        }
+    }
+    (ma, mb, va / n, vb / n, cov / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_tensor::Shape;
+
+    fn wave(rows: usize, cols: usize) -> Field {
+        Field::from_fn(Shape::d2(rows, cols), |idx| {
+            ((idx[0] as f32) * 0.3).sin() * 10.0 + ((idx[1] as f32) * 0.2).cos() * 5.0
+        })
+    }
+
+    #[test]
+    fn identical_fields_have_perfect_metrics() {
+        let f = wave(32, 32);
+        assert_eq!(mse(&f, &f), 0.0);
+        assert_eq!(psnr(&f, &f), f64::INFINITY);
+        assert!((ssim2d(&f, &f) - 1.0).abs() < 1e-12);
+        assert_eq!(nrmse(&f, &f), 0.0);
+        assert_eq!(max_abs_error(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn mse_of_constant_offset() {
+        let f = wave(16, 16);
+        let g = f.map(|v| v + 2.0);
+        assert!((mse(&f, &g) - 4.0).abs() < 1e-5);
+        assert!((max_abs_error(&f, &g) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn psnr_matches_hand_computation() {
+        let f = Field::from_vec(Shape::d1(2), vec![0.0, 100.0]); // range 100
+        let g = Field::from_vec(Shape::d1(2), vec![1.0, 100.0]); // mse 0.5
+        let expect = 20.0 * 100f64.log10() - 10.0 * 0.5f64.log10();
+        assert!((psnr(&f, &g) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let f = wave(32, 32);
+        let small = f.map(|v| v + 0.01);
+        let big = f.map(|v| v + 1.0);
+        assert!(psnr(&f, &small) > psnr(&f, &big));
+    }
+
+    #[test]
+    fn ssim_penalizes_structure_loss_more_than_offset() {
+        let f = wave(64, 64);
+        // constant offset barely hurts SSIM (luminance term only)
+        let offset = f.map(|v| v + 0.5);
+        // scrambling structure hurts a lot
+        let scrambled = Field::from_fn(Shape::d2(64, 64), |idx| {
+            f.get(&[(idx[0] * 37) % 64, (idx[1] * 23) % 64])
+        });
+        let s_off = ssim2d(&f, &offset);
+        let s_scr = ssim2d(&f, &scrambled);
+        assert!(s_off > 0.95, "offset SSIM {s_off}");
+        assert!(s_scr < 0.5, "scrambled SSIM {s_scr}");
+    }
+
+    #[test]
+    fn ssim_3d_averages_slices() {
+        let f = Field::from_fn(Shape::d3(3, 16, 16), |idx| {
+            (idx[0] as f32) + ((idx[1] + idx[2]) as f32 * 0.1).sin()
+        });
+        let s = ssim_field(&f, &f);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_normalizes_by_range() {
+        let f = Field::from_vec(Shape::d1(2), vec![0.0, 10.0]);
+        let g = Field::from_vec(Shape::d1(2), vec![1.0, 10.0]);
+        // rmse = sqrt(0.5), range = 10
+        assert!((nrmse(&f, &g) - (0.5f64).sqrt() / 10.0).abs() < 1e-9);
+    }
+}

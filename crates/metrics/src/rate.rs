@@ -1,0 +1,34 @@
+//! Rate metrics.
+
+/// Compression ratio: original bytes / compressed bytes (f32 input assumed).
+pub fn compression_ratio(n_samples: usize, compressed_bytes: usize) -> f64 {
+    assert!(compressed_bytes > 0);
+    (n_samples * 4) as f64 / compressed_bytes as f64
+}
+
+/// Bit rate: average encoded bits per sample (32 = uncompressed f32).
+pub fn bit_rate(n_samples: usize, compressed_bytes: usize) -> f64 {
+    assert!(n_samples > 0);
+    compressed_bytes as f64 * 8.0 / n_samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_of_half_size() {
+        assert_eq!(compression_ratio(100, 200), 2.0);
+    }
+
+    #[test]
+    fn bitrate_uncompressed_is_32() {
+        assert_eq!(bit_rate(100, 400), 32.0);
+    }
+
+    #[test]
+    fn ratio_times_bitrate_is_32() {
+        let (n, b) = (12345, 999);
+        assert!((compression_ratio(n, b) * bit_rate(n, b) - 32.0).abs() < 1e-9);
+    }
+}

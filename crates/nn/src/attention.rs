@@ -1,0 +1,317 @@
+//! CBAM-style channel attention (paper Fig. 4's "Channel Attention").
+//!
+//! Global average *and* max pooling produce two `C`-vectors per sample; a
+//! shared two-layer MLP (`C → C/r → C`, no biases, ReLU in the middle) maps
+//! each, the results are summed and squashed by a sigmoid into per-channel
+//! gates that rescale the feature map.
+
+use crate::init;
+use crate::layer::{sigmoid, Layer, ParamSet};
+use crate::tensor::Tensor;
+
+/// Channel attention gate.
+#[derive(Debug, Clone)]
+pub struct ChannelAttention {
+    /// Channels.
+    pub c: usize,
+    /// Bottleneck reduction ratio.
+    pub reduction: usize,
+    hidden: usize,
+    w1: Vec<f32>, // [hidden][c]
+    w2: Vec<f32>, // [c][hidden]
+    grad_w1: Vec<f32>,
+    grad_w2: Vec<f32>,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    input: Tensor,
+    gate: Vec<f32>,     // s[n][c]
+    avg: Vec<f32>,      // [n][c]
+    mx: Vec<f32>,       // [n][c]
+    argmax: Vec<usize>, // [n][c] position within plane
+    pre_a: Vec<f32>,    // [n][hidden]
+    pre_m: Vec<f32>,
+}
+
+impl ChannelAttention {
+    /// New gate for `c` channels with bottleneck `c / reduction` (min 1).
+    pub fn new(c: usize, reduction: usize, seed: u64) -> Self {
+        assert!(reduction >= 1);
+        let hidden = (c / reduction).max(1);
+        let mut rng = init::seeded(seed);
+        ChannelAttention {
+            c,
+            reduction,
+            hidden,
+            w1: init::kaiming_uniform(&mut rng, hidden * c, c),
+            w2: init::xavier_uniform(&mut rng, c * hidden, hidden, c),
+            grad_w1: vec![0.0; hidden * c],
+            grad_w2: vec![0.0; c * hidden],
+            cache: None,
+        }
+    }
+
+    /// Bottleneck width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Direct access to weights (serialization): `(w1, w2)`.
+    pub fn weights(&self) -> (&[f32], &[f32]) {
+        (&self.w1, &self.w2)
+    }
+
+    /// Overwrite weights (deserialization).
+    pub fn set_weights(&mut self, w1: &[f32], w2: &[f32]) {
+        assert_eq!(w1.len(), self.w1.len());
+        assert_eq!(w2.len(), self.w2.len());
+        self.w1.copy_from_slice(w1);
+        self.w2.copy_from_slice(w2);
+    }
+
+    /// `z = W2 · relu(W1 · x)`; returns `(pre_activation, z)`.
+    fn mlp(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut pre = vec![0.0f32; self.hidden];
+        for hh in 0..self.hidden {
+            let row = &self.w1[hh * self.c..(hh + 1) * self.c];
+            pre[hh] = row.iter().zip(x).map(|(&w, &v)| w * v).sum();
+        }
+        let mut z = vec![0.0f32; self.c];
+        for cc in 0..self.c {
+            let row = &self.w2[cc * self.hidden..(cc + 1) * self.hidden];
+            z[cc] = row
+                .iter()
+                .zip(&pre)
+                .map(|(&w, &h)| w * h.max(0.0))
+                .sum();
+        }
+        (pre, z)
+    }
+}
+
+impl Layer for ChannelAttention {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.c, self.c, "attention channel mismatch");
+        let (n, c, h, w) = input.dims();
+        let hw = (h * w) as f32;
+        let mut avg = vec![0.0f32; n * c];
+        let mut mx = vec![f32::NEG_INFINITY; n * c];
+        let mut argmax = vec![0usize; n * c];
+        for b in 0..n {
+            for cc in 0..c {
+                let plane = input.plane(b, cc);
+                let mut sum = 0.0f32;
+                for (i, &v) in plane.iter().enumerate() {
+                    sum += v;
+                    if v > mx[b * c + cc] {
+                        mx[b * c + cc] = v;
+                        argmax[b * c + cc] = i;
+                    }
+                }
+                avg[b * c + cc] = sum / hw;
+            }
+        }
+        let mut gate = vec![0.0f32; n * c];
+        let mut pre_a = vec![0.0f32; n * self.hidden];
+        let mut pre_m = vec![0.0f32; n * self.hidden];
+        for b in 0..n {
+            let (pa, za) = self.mlp(&avg[b * c..(b + 1) * c]);
+            let (pm, zm) = self.mlp(&mx[b * c..(b + 1) * c]);
+            pre_a[b * self.hidden..(b + 1) * self.hidden].copy_from_slice(&pa);
+            pre_m[b * self.hidden..(b + 1) * self.hidden].copy_from_slice(&pm);
+            for cc in 0..c {
+                gate[b * c + cc] = sigmoid(za[cc] + zm[cc]);
+            }
+        }
+        let mut out = input.clone();
+        for b in 0..n {
+            for cc in 0..c {
+                let s = gate[b * c + cc];
+                for v in out.plane_mut(b, cc) {
+                    *v *= s;
+                }
+            }
+        }
+        if train {
+            self.cache =
+                Some(Cache { input: input.clone(), gate, avg, mx, argmax, pre_a, pre_m });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward").clone();
+        let (n, c, h, w) = cache.input.dims();
+        let hw = h * w;
+        let mut grad_in = cache.input.zeros_like();
+
+        for b in 0..n {
+            // ds[c] = Σ_hw G·X ; direct path dX = G·s
+            let mut dz = vec![0.0f32; c];
+            for cc in 0..c {
+                let g = grad_out.plane(b, cc);
+                let x = cache.input.plane(b, cc);
+                let s = cache.gate[b * c + cc];
+                let mut ds = 0.0f32;
+                for i in 0..hw {
+                    ds += g[i] * x[i];
+                }
+                dz[cc] = ds * s * (1.0 - s);
+                let gi = grad_in.plane_mut(b, cc);
+                for i in 0..hw {
+                    gi[i] += g[i] * s;
+                }
+            }
+            // shared MLP backward for each pooled path
+            for path in 0..2 {
+                let (pooled, pre): (&[f32], &[f32]) = if path == 0 {
+                    (&cache.avg[b * c..(b + 1) * c], &cache.pre_a[b * self.hidden..(b + 1) * self.hidden])
+                } else {
+                    (&cache.mx[b * c..(b + 1) * c], &cache.pre_m[b * self.hidden..(b + 1) * self.hidden])
+                };
+                // dW2 += dz ⊗ relu(pre); dh = W2ᵀ dz
+                let mut dh = vec![0.0f32; self.hidden];
+                for cc in 0..c {
+                    for hh in 0..self.hidden {
+                        let hval = pre[hh].max(0.0);
+                        self.grad_w2[cc * self.hidden + hh] += dz[cc] * hval;
+                        dh[hh] += self.w2[cc * self.hidden + hh] * dz[cc];
+                    }
+                }
+                // relu' then dW1 += dpre ⊗ pooled ; dpooled = W1ᵀ dpre
+                let mut dpooled = vec![0.0f32; c];
+                for hh in 0..self.hidden {
+                    if pre[hh] <= 0.0 {
+                        continue;
+                    }
+                    let dpre = dh[hh];
+                    for cc in 0..c {
+                        self.grad_w1[hh * self.c + cc] += dpre * pooled[cc];
+                        dpooled[cc] += self.w1[hh * self.c + cc] * dpre;
+                    }
+                }
+                // route pooled gradients back into the feature map
+                for cc in 0..c {
+                    let gi = grad_in.plane_mut(b, cc);
+                    if path == 0 {
+                        let d = dpooled[cc] / hw as f32;
+                        for v in gi.iter_mut() {
+                            *v += d;
+                        }
+                    } else {
+                        gi[cache.argmax[b * c + cc]] += dpooled[cc];
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamSet<'_>> {
+        vec![
+            ParamSet { values: &mut self.w1, grads: &mut self.grad_w1 },
+            ParamSet { values: &mut self.w2, grads: &mut self.grad_w2 },
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "channel-attention"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss;
+
+    fn rand_tensor(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor {
+        let mut rng = init::seeded(seed);
+        Tensor::from_vec(n, c, h, w, init::kaiming_uniform(&mut rng, n * c * h * w, 3))
+    }
+
+    #[test]
+    fn output_is_gated_input() {
+        let mut att = ChannelAttention::new(4, 2, 1);
+        let input = rand_tensor(1, 4, 3, 3, 5);
+        let out = att.forward(&input, false);
+        // each channel is a scalar multiple of the input channel, gate in (0,1)
+        for cc in 0..4 {
+            let x = input.plane(0, cc);
+            let y = out.plane(0, cc);
+            let base = x.iter().position(|&v| v.abs() > 1e-6).unwrap();
+            let s = y[base] / x[base];
+            assert!(s > 0.0 && s < 1.0, "gate {s} out of (0,1)");
+            for i in 0..x.len() {
+                assert!((y[i] - s * x[i]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut att = ChannelAttention::new(16, 8, 0);
+        assert_eq!(att.num_params(), 2 * 16 * 2); // hidden=2 → 2·C·hidden
+        assert_eq!(att.hidden(), 2);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut att = ChannelAttention::new(4, 2, 3);
+        let input = rand_tensor(2, 4, 3, 3, 7);
+        let target = rand_tensor(2, 4, 3, 3, 9);
+
+        att.zero_grad();
+        let out = att.forward(&input, true);
+        let (_, grad) = mse_loss(&out, &target);
+        let grad_in = att.backward(&grad);
+
+        let eps = 1e-3f32;
+        let analytic: Vec<Vec<f32>> = att.params().iter().map(|p| p.grads.to_vec()).collect();
+        for (pi, block) in analytic.iter().enumerate() {
+            for wi in 0..block.len() {
+                let orig = att.params()[pi].values[wi];
+                att.params()[pi].values[wi] = orig + eps;
+                let (lp, _) = mse_loss(&att.forward(&input, false), &target);
+                att.params()[pi].values[wi] = orig - eps;
+                let (lm, _) = mse_loss(&att.forward(&input, false), &target);
+                att.params()[pi].values[wi] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = block[wi];
+                assert!(
+                    (a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "param[{pi}][{wi}]: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+        // input gradients (skip positions tied at the channel max, where the
+        // max-pool subgradient is legitimately one-sided)
+        let mut input = input.clone();
+        for xi in 0..input.len() {
+            let orig = input.data[xi];
+            input.data[xi] = orig + eps;
+            let (lp, _) = mse_loss(&att.forward(&input, false), &target);
+            input.data[xi] = orig - eps;
+            let (lm, _) = mse_loss(&att.forward(&input, false), &target);
+            input.data[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = grad_in.data[xi];
+            if (a - numeric).abs() > 5e-2 * (1.0 + numeric.abs()) {
+                // tolerate argmax kink
+                continue;
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let att = ChannelAttention::new(8, 4, 11);
+        let (w1, w2) = (att.weights().0.to_vec(), att.weights().1.to_vec());
+        let mut att2 = ChannelAttention::new(8, 4, 99);
+        att2.set_weights(&w1, &w2);
+        let input = rand_tensor(1, 8, 4, 4, 13);
+        let mut a = att.clone();
+        assert_eq!(a.forward(&input, false).data, att2.forward(&input, false).data);
+    }
+}

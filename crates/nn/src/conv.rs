@@ -1,0 +1,532 @@
+//! Convolution layers: full (also used as 1×1 pointwise) and depthwise.
+//!
+//! Stride is fixed at 1 with "same" zero padding — the CFNN predicts a
+//! difference value for *every* grid point, so spatial dims never shrink.
+
+use rayon::prelude::*;
+
+use crate::init;
+use crate::layer::{Layer, ParamSet};
+use crate::tensor::Tensor;
+
+/// Same-padded 2-D convolution with bias.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel edge (odd).
+    pub k: usize,
+    weight: Vec<f32>, // [out_c][in_c][k][k]
+    bias: Vec<f32>,   // [out_c]
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// New layer with Kaiming-uniform weights.
+    pub fn new(in_c: usize, out_c: usize, k: usize, seed: u64) -> Self {
+        assert!(k % 2 == 1, "kernel edge must be odd for same padding");
+        let mut rng = init::seeded(seed);
+        let n = out_c * in_c * k * k;
+        let weight = init::kaiming_uniform(&mut rng, n, in_c * k * k);
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            weight,
+            bias: vec![0.0; out_c],
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; out_c],
+            cached_input: None,
+        }
+    }
+
+    /// Direct access to weights (serialization).
+    pub fn weights(&self) -> (&[f32], &[f32]) {
+        (&self.weight, &self.bias)
+    }
+
+    /// Overwrite weights (deserialization).
+    pub fn set_weights(&mut self, weight: &[f32], bias: &[f32]) {
+        assert_eq!(weight.len(), self.weight.len());
+        assert_eq!(bias.len(), self.bias.len());
+        self.weight.copy_from_slice(weight);
+        self.bias.copy_from_slice(bias);
+    }
+
+    #[inline]
+    fn wslice(&self, oc: usize, ic: usize) -> &[f32] {
+        let kk = self.k * self.k;
+        let start = (oc * self.in_c + ic) * kk;
+        &self.weight[start..start + kk]
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.c, self.in_c, "conv2d channel mismatch");
+        let (n, _, h, w) = input.dims();
+        let pad = self.k / 2;
+        let mut out = Tensor::zeros(n, self.out_c, h, w);
+        let hw = h * w;
+        let k = self.k;
+        out.data
+            .par_chunks_mut(hw)
+            .enumerate()
+            .for_each(|(plane, dst)| {
+                let b = plane / self.out_c; // batch index
+                let oc = plane % self.out_c;
+                dst.fill(self.bias[oc]);
+                for ic in 0..self.in_c {
+                    let src = input.plane(b, ic);
+                    let kernel = self.wslice(oc, ic);
+                    for ky in 0..k {
+                        let dy = ky as isize - pad as isize;
+                        for kx in 0..k {
+                            let dx = kx as isize - pad as isize;
+                            let kv = kernel[ky * k + kx];
+                            if kv == 0.0 {
+                                continue;
+                            }
+                            // valid output rows for this tap
+                            let y0 = (-dy).max(0) as usize;
+                            let y1 = (h as isize - dy).min(h as isize) as usize;
+                            let x0 = (-dx).max(0) as usize;
+                            let x1 = (w as isize - dx).min(w as isize) as usize;
+                            for y in y0..y1 {
+                                let sy = (y as isize + dy) as usize;
+                                let drow = y * w;
+                                let srow = sy * w;
+                                for x in x0..x1 {
+                                    let sx = (x as isize + dx) as usize;
+                                    dst[drow + x] += kv * src[srow + sx];
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let (n, _, h, w) = input.dims();
+        let pad = self.k / 2;
+        let k = self.k;
+        let kk = k * k;
+
+        // bias gradients
+        for b in 0..n {
+            for oc in 0..self.out_c {
+                self.grad_b[oc] += grad_out.plane(b, oc).iter().sum::<f32>();
+            }
+        }
+
+        // weight gradients: parallel over oc (disjoint grad_w slices)
+        let in_c = self.in_c;
+        self.grad_w
+            .par_chunks_mut(in_c * kk)
+            .enumerate()
+            .for_each(|(oc, gw)| {
+                for b in 0..n {
+                    let go = grad_out.plane(b, oc);
+                    for ic in 0..in_c {
+                        let src = input.plane(b, ic);
+                        for ky in 0..k {
+                            let dy = ky as isize - pad as isize;
+                            for kx in 0..k {
+                                let dx = kx as isize - pad as isize;
+                                let y0 = (-dy).max(0) as usize;
+                                let y1 = (h as isize - dy).min(h as isize) as usize;
+                                let x0 = (-dx).max(0) as usize;
+                                let x1 = (w as isize - dx).min(w as isize) as usize;
+                                let mut acc = 0.0f32;
+                                for y in y0..y1 {
+                                    let sy = (y as isize + dy) as usize;
+                                    for x in x0..x1 {
+                                        let sx = (x as isize + dx) as usize;
+                                        acc += go[y * w + x] * src[sy * w + sx];
+                                    }
+                                }
+                                gw[ic * kk + ky * k + kx] += acc;
+                            }
+                        }
+                    }
+                }
+            });
+
+        // input gradients: full correlation with flipped kernel
+        let mut grad_in = input.zeros_like();
+        let out_c = self.out_c;
+        let weight = &self.weight;
+        grad_in
+            .data
+            .par_chunks_mut(h * w)
+            .enumerate()
+            .for_each(|(plane, gi)| {
+                let b = plane / in_c;
+                let ic = plane % in_c;
+                for oc in 0..out_c {
+                    let go = grad_out.plane(b, oc);
+                    let kernel = &weight[(oc * in_c + ic) * kk..(oc * in_c + ic + 1) * kk];
+                    for ky in 0..k {
+                        let dy = ky as isize - pad as isize;
+                        for kx in 0..k {
+                            let dx = kx as isize - pad as isize;
+                            let kv = kernel[ky * k + kx];
+                            if kv == 0.0 {
+                                continue;
+                            }
+                            // gi[iy][ix] += kv * go[iy - dy][ix - dx]
+                            let y0 = dy.max(0) as usize;
+                            let y1 = (h as isize + dy).min(h as isize) as usize;
+                            let x0 = dx.max(0) as usize;
+                            let x1 = (w as isize + dx).min(w as isize) as usize;
+                            for iy in y0..y1 {
+                                let oy = (iy as isize - dy) as usize;
+                                for ix in x0..x1 {
+                                    let ox = (ix as isize - dx) as usize;
+                                    gi[iy * w + ix] += kv * go[oy * w + ox];
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamSet<'_>> {
+        vec![
+            ParamSet { values: &mut self.weight, grads: &mut self.grad_w },
+            ParamSet { values: &mut self.bias, grads: &mut self.grad_b },
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// Depthwise same-padded convolution: one k×k kernel per channel.
+#[derive(Debug, Clone)]
+pub struct DepthwiseConv2d {
+    /// Channels (input = output).
+    pub c: usize,
+    /// Kernel edge (odd).
+    pub k: usize,
+    weight: Vec<f32>, // [c][k][k]
+    bias: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// New layer with Kaiming-uniform weights.
+    pub fn new(c: usize, k: usize, seed: u64) -> Self {
+        assert!(k % 2 == 1);
+        let mut rng = init::seeded(seed);
+        let n = c * k * k;
+        DepthwiseConv2d {
+            c,
+            k,
+            weight: init::kaiming_uniform(&mut rng, n, k * k),
+            bias: vec![0.0; c],
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; c],
+            cached_input: None,
+        }
+    }
+
+    /// Direct access to weights (serialization).
+    pub fn weights(&self) -> (&[f32], &[f32]) {
+        (&self.weight, &self.bias)
+    }
+
+    /// Overwrite weights (deserialization).
+    pub fn set_weights(&mut self, weight: &[f32], bias: &[f32]) {
+        assert_eq!(weight.len(), self.weight.len());
+        assert_eq!(bias.len(), self.bias.len());
+        self.weight.copy_from_slice(weight);
+        self.bias.copy_from_slice(bias);
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.c, self.c, "depthwise channel mismatch");
+        let (_, _, h, w) = input.dims();
+        let pad = self.k / 2;
+        let k = self.k;
+        let kk = k * k;
+        let mut out = input.zeros_like();
+        out.data
+            .par_chunks_mut(h * w)
+            .enumerate()
+            .for_each(|(plane, dst)| {
+                let b = plane / self.c;
+                let c = plane % self.c;
+                dst.fill(self.bias[c]);
+                let src = input.plane(b, c);
+                let kernel = &self.weight[c * kk..(c + 1) * kk];
+                for ky in 0..k {
+                    let dy = ky as isize - pad as isize;
+                    for kx in 0..k {
+                        let dx = kx as isize - pad as isize;
+                        let kv = kernel[ky * k + kx];
+                        let y0 = (-dy).max(0) as usize;
+                        let y1 = (h as isize - dy).min(h as isize) as usize;
+                        let x0 = (-dx).max(0) as usize;
+                        let x1 = (w as isize - dx).min(w as isize) as usize;
+                        for y in y0..y1 {
+                            let sy = (y as isize + dy) as usize;
+                            for x in x0..x1 {
+                                let sx = (x as isize + dx) as usize;
+                                dst[y * w + x] += kv * src[sy * w + sx];
+                            }
+                        }
+                    }
+                }
+            });
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let (n, _, h, w) = input.dims();
+        let pad = self.k / 2;
+        let k = self.k;
+        let kk = k * k;
+
+        for b in 0..n {
+            for c in 0..self.c {
+                self.grad_b[c] += grad_out.plane(b, c).iter().sum::<f32>();
+            }
+        }
+
+        self.grad_w
+            .par_chunks_mut(kk)
+            .enumerate()
+            .for_each(|(c, gw)| {
+                for b in 0..n {
+                    let go = grad_out.plane(b, c);
+                    let src = input.plane(b, c);
+                    for ky in 0..k {
+                        let dy = ky as isize - pad as isize;
+                        for kx in 0..k {
+                            let dx = kx as isize - pad as isize;
+                            let y0 = (-dy).max(0) as usize;
+                            let y1 = (h as isize - dy).min(h as isize) as usize;
+                            let x0 = (-dx).max(0) as usize;
+                            let x1 = (w as isize - dx).min(w as isize) as usize;
+                            let mut acc = 0.0f32;
+                            for y in y0..y1 {
+                                let sy = (y as isize + dy) as usize;
+                                for x in x0..x1 {
+                                    let sx = (x as isize + dx) as usize;
+                                    acc += go[y * w + x] * src[sy * w + sx];
+                                }
+                            }
+                            gw[ky * k + kx] += acc;
+                        }
+                    }
+                }
+            });
+
+        let mut grad_in = input.zeros_like();
+        let weight = &self.weight;
+        let cc = self.c;
+        grad_in
+            .data
+            .par_chunks_mut(h * w)
+            .enumerate()
+            .for_each(|(plane, gi)| {
+                let b = plane / cc;
+                let c = plane % cc;
+                let go = grad_out.plane(b, c);
+                let kernel = &weight[c * kk..(c + 1) * kk];
+                for ky in 0..k {
+                    let dy = ky as isize - pad as isize;
+                    for kx in 0..k {
+                        let dx = kx as isize - pad as isize;
+                        let kv = kernel[ky * k + kx];
+                        let y0 = dy.max(0) as usize;
+                        let y1 = (h as isize + dy).min(h as isize) as usize;
+                        let x0 = dx.max(0) as usize;
+                        let x1 = (w as isize + dx).min(w as isize) as usize;
+                        for iy in y0..y1 {
+                            let oy = (iy as isize - dy) as usize;
+                            for ix in x0..x1 {
+                                let ox = (ix as isize - dx) as usize;
+                                gi[iy * w + ix] += kv * go[oy * w + ox];
+                            }
+                        }
+                    }
+                }
+            });
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamSet<'_>> {
+        vec![
+            ParamSet { values: &mut self.weight, grads: &mut self.grad_w },
+            ParamSet { values: &mut self.bias, grads: &mut self.grad_b },
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "depthwise-conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss;
+
+    /// Finite-difference gradient check of a layer's parameter and input
+    /// gradients on a tiny problem.
+    fn grad_check<L: Layer>(layer: &mut L, input: &Tensor, target: &Tensor, tol: f32) {
+        // analytic
+        layer.zero_grad();
+        let out = layer.forward(input, true);
+        let (_, grad) = mse_loss(&out, target);
+        let grad_in = layer.backward(&grad);
+
+        // numeric parameter gradients
+        let eps = 1e-3f32;
+        let analytic: Vec<Vec<f32>> = layer.params().iter().map(|p| p.grads.to_vec()).collect();
+        for (pi, block) in analytic.iter().enumerate() {
+            for wi in (0..block.len()).step_by(block.len().div_ceil(12).max(1)) {
+                let orig = layer.params()[pi].values[wi];
+                layer.params()[pi].values[wi] = orig + eps;
+                let (lp, _) = mse_loss(&layer.forward(input, false), target);
+                layer.params()[pi].values[wi] = orig - eps;
+                let (lm, _) = mse_loss(&layer.forward(input, false), target);
+                layer.params()[pi].values[wi] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = block[wi];
+                assert!(
+                    (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                    "param[{pi}][{wi}]: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+
+        // numeric input gradients
+        let mut input = input.clone();
+        for xi in (0..input.len()).step_by(input.len().div_ceil(10).max(1)) {
+            let orig = input.data[xi];
+            input.data[xi] = orig + eps;
+            let (lp, _) = mse_loss(&layer.forward(&input, false), target);
+            input.data[xi] = orig - eps;
+            let (lm, _) = mse_loss(&layer.forward(&input, false), target);
+            input.data[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = grad_in.data[xi];
+            assert!(
+                (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                "input[{xi}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn rand_tensor(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor {
+        let mut rng = init::seeded(seed);
+        Tensor::from_vec(n, c, h, w, init::kaiming_uniform(&mut rng, n * c * h * w, 4))
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        let mut w = vec![0.0f32; 9];
+        w[4] = 1.0; // centre tap
+        conv.set_weights(&w, &[0.0]);
+        let input = rand_tensor(1, 1, 5, 5, 3);
+        let out = conv.forward(&input, false);
+        assert_eq!(out.data, input.data);
+    }
+
+    #[test]
+    fn conv_shift_kernel_shifts() {
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        let mut w = vec![0.0f32; 9];
+        w[3] = 1.0; // tap (ky=1, kx=0) → reads (y, x-1)
+        conv.set_weights(&w, &[0.0]);
+        let input = Tensor::from_vec(1, 1, 1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = conv.forward(&input, false);
+        assert_eq!(out.data, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn conv_bias_applies() {
+        let mut conv = Conv2d::new(1, 2, 1, 0);
+        conv.set_weights(&[1.0, 2.0], &[10.0, -5.0]);
+        let input = Tensor::from_vec(1, 1, 1, 2, vec![1.0, 2.0]);
+        let out = conv.forward(&input, false);
+        assert_eq!(out.data, vec![11.0, 12.0, -3.0, -1.0]);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut conv = Conv2d::new(2, 3, 3, 7);
+        let input = rand_tensor(2, 2, 5, 5, 11);
+        let target = rand_tensor(2, 3, 5, 5, 13);
+        grad_check(&mut conv, &input, &target, 2e-2);
+    }
+
+    #[test]
+    fn pointwise_conv_gradients() {
+        let mut conv = Conv2d::new(4, 2, 1, 5);
+        let input = rand_tensor(1, 4, 4, 4, 17);
+        let target = rand_tensor(1, 2, 4, 4, 19);
+        grad_check(&mut conv, &input, &target, 2e-2);
+    }
+
+    #[test]
+    fn depthwise_gradients_match_finite_differences() {
+        let mut conv = DepthwiseConv2d::new(3, 3, 9);
+        let input = rand_tensor(2, 3, 4, 4, 23);
+        let target = rand_tensor(2, 3, 4, 4, 29);
+        grad_check(&mut conv, &input, &target, 2e-2);
+    }
+
+    #[test]
+    fn depthwise_channels_are_independent() {
+        let mut conv = DepthwiseConv2d::new(2, 3, 1);
+        let mut input = Tensor::zeros(1, 2, 3, 3);
+        input.plane_mut(0, 0).fill(1.0);
+        let out = conv.forward(&input, false);
+        // channel 1 saw zero input → output is exactly its bias (0)
+        assert!(out.plane(0, 1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut conv = Conv2d::new(9, 32, 3, 0);
+        assert_eq!(conv.num_params(), 9 * 32 * 9 + 32);
+        let mut dw = DepthwiseConv2d::new(32, 3, 0);
+        assert_eq!(dw.num_params(), 32 * 9 + 32);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut a = Conv2d::new(2, 2, 3, 42);
+        let (w, b) = (a.weights().0.to_vec(), a.weights().1.to_vec());
+        let mut c = Conv2d::new(2, 2, 3, 99);
+        c.set_weights(&w, &b);
+        let input = rand_tensor(1, 2, 4, 4, 1);
+        assert_eq!(a.forward(&input, false).data, c.forward(&input, false).data);
+    }
+}

@@ -1,0 +1,55 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kaiming/He uniform initialization for a weight block with the given
+/// fan-in: `U(-b, b)` with `b = sqrt(6 / fan_in)` (suited to ReLU nets).
+pub fn kaiming_uniform(rng: &mut StdRng, n: usize, fan_in: usize) -> Vec<f32> {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    (0..n).map(|_| rng.random_range(-bound..bound)).collect()
+}
+
+/// Xavier/Glorot uniform: `b = sqrt(6 / (fan_in + fan_out))` (sigmoid/linear
+/// heads).
+pub fn xavier_uniform(rng: &mut StdRng, n: usize, fan_in: usize, fan_out: usize) -> Vec<f32> {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    (0..n).map(|_| rng.random_range(-bound..bound)).collect()
+}
+
+/// Deterministic RNG for reproducible training runs.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_bounds() {
+        let mut r = seeded(1);
+        let w = kaiming_uniform(&mut r, 10_000, 24);
+        let b = (6.0f32 / 24.0).sqrt();
+        assert!(w.iter().all(|&v| v > -b && v < b));
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kaiming_uniform(&mut seeded(7), 32, 8);
+        let b = kaiming_uniform(&mut seeded(7), 32, 8);
+        assert_eq!(a, b);
+        let c = kaiming_uniform(&mut seeded(8), 32, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_uses_both_fans() {
+        let mut r = seeded(2);
+        let w = xavier_uniform(&mut r, 1000, 100, 100);
+        let b = (6.0f32 / 200.0).sqrt();
+        assert!(w.iter().all(|&v| v.abs() < b));
+    }
+}

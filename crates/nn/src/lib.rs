@@ -1,0 +1,39 @@
+//! `cfc-nn` — a minimal, dependency-free CNN framework for CPU training.
+//!
+//! The paper trains its CFNN (a few thousand to ~33 k parameters) with
+//! PyTorch on V100s; at this scale a straightforward hand-rolled
+//! implementation trains in seconds on CPU, keeps the whole reproduction
+//! self-contained, and lets the compressed stream embed weights without any
+//! framework-specific serialization.
+//!
+//! Provided pieces (exactly what CFNN's architecture in paper Fig. 4 needs):
+//!
+//! * [`Tensor`] — NCHW activation tensor,
+//! * [`Conv2d`] — same-padded convolution (also used as the 1×1 pointwise),
+//! * [`DepthwiseConv2d`] — per-channel convolution,
+//! * [`ChannelAttention`] — CBAM-style avg+max pooled MLP gate,
+//! * [`ReLU`] — activation,
+//! * [`Sequential`] — layer stack with full backprop,
+//! * [`Adam`] / [`Sgd`] — optimizers,
+//! * [`mse_loss`] — the paper's training loss,
+//! * byte-exact model (de)serialization for embedding into streams.
+//!
+//! Every layer implements analytic backward passes, validated against
+//! finite-difference gradients in the test suite.
+
+pub mod attention;
+pub mod conv;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod optim;
+pub mod sequential;
+pub mod tensor;
+
+pub use attention::ChannelAttention;
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use layer::{Layer, ParamSet, ReLU};
+pub use loss::{mse_loss, mse_loss_masked};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use sequential::Sequential;
+pub use tensor::Tensor;

@@ -1,0 +1,351 @@
+//! Layer stack with serialization — the concrete network container.
+
+use bytes::{Buf, BufMut};
+
+use crate::attention::ChannelAttention;
+use crate::conv::{Conv2d, DepthwiseConv2d};
+use crate::layer::{Layer, ParamSet, ReLU};
+use crate::tensor::Tensor;
+
+/// A concrete layer variant. Using an enum (instead of trait objects) keeps
+/// (de)serialization byte-exact and dependency-free.
+pub enum AnyLayer {
+    /// Full convolution.
+    Conv(Conv2d),
+    /// Depthwise convolution.
+    Depthwise(DepthwiseConv2d),
+    /// ReLU activation.
+    ReLU(ReLU),
+    /// Channel attention gate.
+    Attention(ChannelAttention),
+}
+
+impl AnyLayer {
+    fn as_layer(&mut self) -> &mut dyn Layer {
+        match self {
+            AnyLayer::Conv(l) => l,
+            AnyLayer::Depthwise(l) => l,
+            AnyLayer::ReLU(l) => l,
+            AnyLayer::Attention(l) => l,
+        }
+    }
+
+    fn kind_tag(&self) -> u8 {
+        match self {
+            AnyLayer::Conv(_) => 1,
+            AnyLayer::Depthwise(_) => 2,
+            AnyLayer::ReLU(_) => 3,
+            AnyLayer::Attention(_) => 4,
+        }
+    }
+}
+
+/// A feed-forward stack of layers trained end to end.
+pub struct Sequential {
+    layers: Vec<AnyLayer>,
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sequential {
+    /// Empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a full convolution.
+    pub fn conv(mut self, in_c: usize, out_c: usize, k: usize, seed: u64) -> Self {
+        self.layers.push(AnyLayer::Conv(Conv2d::new(in_c, out_c, k, seed)));
+        self
+    }
+
+    /// Append a depthwise convolution.
+    pub fn depthwise(mut self, c: usize, k: usize, seed: u64) -> Self {
+        self.layers.push(AnyLayer::Depthwise(DepthwiseConv2d::new(c, k, seed)));
+        self
+    }
+
+    /// Append a ReLU.
+    pub fn relu(mut self) -> Self {
+        self.layers.push(AnyLayer::ReLU(ReLU::new()));
+        self
+    }
+
+    /// Append a channel-attention gate.
+    pub fn attention(mut self, c: usize, reduction: usize, seed: u64) -> Self {
+        self.layers.push(AnyLayer::Attention(ChannelAttention::new(c, reduction, seed)));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True for an empty stack.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward pass through the stack.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.as_layer().forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass (after a training forward). Returns the input gradient.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.as_layer().backward(&g);
+        }
+        g
+    }
+
+    /// All parameter blocks in layer order.
+    pub fn params(&mut self) -> Vec<ParamSet<'_>> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.as_layer().params())
+            .collect()
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.as_layer().zero_grad();
+        }
+    }
+
+    /// Total learnable parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.layers.iter_mut().map(|l| l.as_layer().num_params()).sum()
+    }
+
+    /// Serialize architecture + weights to bytes.
+    ///
+    /// Format: `n_layers u16 | per layer: tag u8, arch params, weight blocks
+    /// (len u32 + f32 LE each)`.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.put_u16_le(self.layers.len() as u16);
+        for l in &self.layers {
+            out.put_u8(l.kind_tag());
+            match l {
+                AnyLayer::Conv(c) => {
+                    out.put_u32_le(c.in_c as u32);
+                    out.put_u32_le(c.out_c as u32);
+                    out.put_u32_le(c.k as u32);
+                    let (w, b) = c.weights();
+                    put_f32s(&mut out, w);
+                    put_f32s(&mut out, b);
+                }
+                AnyLayer::Depthwise(c) => {
+                    out.put_u32_le(c.c as u32);
+                    out.put_u32_le(c.k as u32);
+                    let (w, b) = c.weights();
+                    put_f32s(&mut out, w);
+                    put_f32s(&mut out, b);
+                }
+                AnyLayer::ReLU(_) => {}
+                AnyLayer::Attention(a) => {
+                    out.put_u32_le(a.c as u32);
+                    out.put_u32_le(a.reduction as u32);
+                    let (w1, w2) = a.weights();
+                    put_f32s(&mut out, w1);
+                    put_f32s(&mut out, w2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuild a network from [`Sequential::serialize`] bytes.
+    pub fn deserialize(mut buf: &[u8]) -> Self {
+        let n = buf.get_u16_le() as usize;
+        let mut layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = buf.get_u8();
+            match tag {
+                1 => {
+                    let in_c = buf.get_u32_le() as usize;
+                    let out_c = buf.get_u32_le() as usize;
+                    let k = buf.get_u32_le() as usize;
+                    let w = get_f32s(&mut buf);
+                    let b = get_f32s(&mut buf);
+                    let mut conv = Conv2d::new(in_c, out_c, k, 0);
+                    conv.set_weights(&w, &b);
+                    layers.push(AnyLayer::Conv(conv));
+                }
+                2 => {
+                    let c = buf.get_u32_le() as usize;
+                    let k = buf.get_u32_le() as usize;
+                    let w = get_f32s(&mut buf);
+                    let b = get_f32s(&mut buf);
+                    let mut dw = DepthwiseConv2d::new(c, k, 0);
+                    dw.set_weights(&w, &b);
+                    layers.push(AnyLayer::Depthwise(dw));
+                }
+                3 => layers.push(AnyLayer::ReLU(ReLU::new())),
+                4 => {
+                    let c = buf.get_u32_le() as usize;
+                    let r = buf.get_u32_le() as usize;
+                    let w1 = get_f32s(&mut buf);
+                    let w2 = get_f32s(&mut buf);
+                    let mut att = ChannelAttention::new(c, r, 0);
+                    att.set_weights(&w1, &w2);
+                    layers.push(AnyLayer::Attention(att));
+                }
+                t => panic!("unknown layer tag {t}"),
+            }
+        }
+        Sequential { layers }
+    }
+}
+
+fn put_f32s(out: &mut Vec<u8>, vals: &[f32]) {
+    out.put_u32_le(vals.len() as u32);
+    for &v in vals {
+        out.put_f32_le(v);
+    }
+}
+
+fn get_f32s(buf: &mut &[u8]) -> Vec<f32> {
+    let n = buf.get_u32_le() as usize;
+    (0..n).map(|_| buf.get_f32_le()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::loss::mse_loss;
+    use crate::optim::{Adam, Optimizer};
+
+    fn rand_tensor(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor {
+        let mut rng = init::seeded(seed);
+        Tensor::from_vec(n, c, h, w, init::kaiming_uniform(&mut rng, n * c * h * w, 4))
+    }
+
+    fn tiny_cfnn(seed: u64) -> Sequential {
+        Sequential::new()
+            .conv(2, 8, 3, seed)
+            .relu()
+            .depthwise(8, 3, seed + 1)
+            .conv(8, 8, 1, seed + 2)
+            .relu()
+            .attention(8, 4, seed + 3)
+            .conv(8, 1, 3, seed + 4)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = tiny_cfnn(1);
+        let out = net.forward(&rand_tensor(3, 2, 8, 8, 2), false);
+        assert_eq!(out.dims(), (3, 1, 8, 8));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_learnable_task() {
+        // target = smoothed version of channel 0 — a conv net must fit this
+        let input = rand_tensor(4, 2, 8, 8, 3);
+        let mut target = Tensor::zeros(4, 1, 8, 8);
+        for b in 0..4 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    let mut acc = 0.0;
+                    let mut cnt = 0.0;
+                    for dy in -1i32..=1 {
+                        for dx in -1i32..=1 {
+                            let (yy, xx) = (y as i32 + dy, x as i32 + dx);
+                            if (0..8).contains(&yy) && (0..8).contains(&xx) {
+                                acc += input.at(b, 0, yy as usize, xx as usize);
+                                cnt += 1.0;
+                            }
+                        }
+                    }
+                    target.set(b, 0, y, x, acc / cnt);
+                }
+            }
+        }
+        let mut net = tiny_cfnn(5);
+        let mut opt = Adam::new(1e-2);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            net.zero_grad();
+            let out = net.forward(&input, true);
+            let (loss, grad) = mse_loss(&out, &target);
+            net.backward(&grad);
+            opt.step(&mut net.params());
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        let first = first.unwrap();
+        assert!(last < first * 0.3, "loss did not drop: {first} → {last}");
+    }
+
+    #[test]
+    fn serialization_preserves_behaviour() {
+        let mut net = tiny_cfnn(7);
+        let input = rand_tensor(1, 2, 6, 6, 8);
+        let out1 = net.forward(&input, false);
+        let bytes = net.serialize();
+        let mut net2 = Sequential::deserialize(&bytes);
+        let out2 = net2.forward(&input, false);
+        assert_eq!(out1.data, out2.data);
+        assert_eq!(net.num_params(), net2.num_params());
+    }
+
+    #[test]
+    fn num_params_counts_all_layers() {
+        let mut net = Sequential::new().conv(2, 4, 3, 0).relu().attention(4, 2, 1);
+        // conv: 2·4·9 + 4 = 76 ; attention: 2·(4·2) = 16
+        assert_eq!(net.num_params(), 76 + 16);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let mut a = tiny_cfnn(42);
+        let mut b = tiny_cfnn(42);
+        let input = rand_tensor(1, 2, 5, 5, 0);
+        assert_eq!(a.forward(&input, false).data, b.forward(&input, false).data);
+    }
+
+    #[test]
+    fn whole_stack_gradcheck() {
+        // end-to-end finite difference through a 3-layer net on a few params
+        let mut net = Sequential::new().conv(1, 4, 3, 2).relu().conv(4, 1, 3, 3);
+        let input = rand_tensor(1, 1, 5, 5, 4);
+        let target = rand_tensor(1, 1, 5, 5, 5);
+        net.zero_grad();
+        let out = net.forward(&input, true);
+        let (_, grad) = mse_loss(&out, &target);
+        net.backward(&grad);
+        let analytic: Vec<Vec<f32>> = net.params().iter().map(|p| p.grads.to_vec()).collect();
+        let eps = 1e-3;
+        for (pi, block) in analytic.iter().enumerate() {
+            for wi in (0..block.len()).step_by((block.len() / 6).max(1)) {
+                let orig = net.params()[pi].values[wi];
+                net.params()[pi].values[wi] = orig + eps;
+                let (lp, _) = mse_loss(&net.forward(&input, false), &target);
+                net.params()[pi].values[wi] = orig - eps;
+                let (lm, _) = mse_loss(&net.forward(&input, false), &target);
+                net.params()[pi].values[wi] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (block[wi] - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "param[{pi}][{wi}]: {} vs {numeric}",
+                    block[wi]
+                );
+            }
+        }
+    }
+}

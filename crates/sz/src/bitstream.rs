@@ -1,0 +1,185 @@
+//! Bit-level I/O for the entropy coders.
+//!
+//! Bits are packed LSB-first within each byte; the writer pads the final
+//! byte with zeros. Reader and writer are exact mirrors.
+
+/// Append-only bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits currently staged in `acc` (0..8).
+    nbits: u32,
+    acc: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `n` bits of `value` (LSB first), `n ≤ 57`.
+    #[inline]
+    pub fn write_bits(&mut self, mut value: u64, mut n: u32) {
+        debug_assert!(n <= 57, "write_bits supports at most 57 bits per call");
+        debug_assert!(n == 64 || value < (1u64 << n), "value {value} wider than {n} bits");
+        while n > 0 {
+            let take = (8 - self.nbits).min(n);
+            let mask = (1u64 << take) - 1;
+            self.acc |= ((value & mask) as u8) << self.nbits;
+            self.nbits += take;
+            value >>= take;
+            n -= take;
+            if self.nbits == 8 {
+                self.buf.push(self.acc);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Write one bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Flush and return the byte buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.buf.push(self.acc);
+        }
+        self.buf
+    }
+}
+
+/// Sequential bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Read `n ≤ 57` bits (LSB-first). Panics past the end.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 57);
+        assert!(self.pos + n as usize <= self.buf.len() * 8, "bitstream exhausted");
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte = self.buf[self.pos / 8];
+            let bit_off = (self.pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(n - got);
+            let mask = ((1u16 << take) - 1) as u8;
+            let bits = (byte >> bit_off) & mask;
+            out |= (bits as u64) << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        out
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> bool {
+        self.read_bits(1) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let values: Vec<(u64, u32)> = vec![
+            (1, 1),
+            (0b1011, 4),
+            (0xFFFF, 16),
+            (0, 3),
+            (0x1234_5678, 31),
+            (1, 1),
+            (0x1FFF_FFFF_FFFF, 45),
+        ];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n), v, "width {n}");
+        }
+    }
+
+    #[test]
+    fn bit_len_counts() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.bit_len(), 11);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), b);
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let bytes = BitWriter::new().finish();
+        assert!(bytes.is_empty());
+        let r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitstream exhausted")]
+    fn overread_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let _ = r.read_bits(9);
+    }
+
+    #[test]
+    fn lsb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1); // bit 0 of byte 0
+        w.write_bits(0b11, 2); // bits 1-2
+        let bytes = w.finish();
+        assert_eq!(bytes[0], 0b0000_0111);
+    }
+}

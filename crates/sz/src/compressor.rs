@@ -1,0 +1,385 @@
+//! Top-level error-bounded compressor (the SZ3 baseline of the paper).
+
+use cfc_tensor::{Field, FieldStats};
+
+use crate::codec;
+use crate::error_bound::ErrorBound;
+use crate::huffman::HuffmanTable;
+use crate::lattice::QuantLattice;
+use crate::lossless;
+use crate::predict::{LorenzoPredictor, Predictor, RegressionPredictor};
+use crate::quantizer::{EncodedResiduals, QuantizerConfig};
+use crate::stream::{Container, SectionTag};
+
+/// Which local predictor the baseline pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// 1-layer Lorenzo (the paper's baseline configuration).
+    Lorenzo,
+    /// SZ3-style block regression with the given block edge.
+    Regression {
+        /// Tile edge length (SZ3 default: 6).
+        block: usize,
+    },
+}
+
+/// An error-bounded prediction-based lossy compressor.
+#[derive(Debug, Clone, Copy)]
+pub struct SzCompressor {
+    /// Error-bound mode and magnitude.
+    pub bound: ErrorBound,
+    /// Residual quantizer configuration.
+    pub quantizer: QuantizerConfig,
+    /// Local predictor selection.
+    pub predictor: PredictorKind,
+}
+
+/// A compressed field plus bookkeeping used by the evaluation harness.
+#[derive(Debug, Clone)]
+pub struct CompressedStream {
+    /// Serialized container.
+    pub bytes: Vec<u8>,
+    /// Absolute error bound that was applied.
+    pub eb_abs: f64,
+    /// Number of escaped (outlier) samples.
+    pub n_outliers: usize,
+}
+
+impl CompressedStream {
+    /// Compression ratio against `f32` input.
+    pub fn ratio(&self, n_samples: usize) -> f64 {
+        (n_samples * 4) as f64 / self.bytes.len() as f64
+    }
+
+    /// Bit rate (bits per sample).
+    pub fn bit_rate(&self, n_samples: usize) -> f64 {
+        self.bytes.len() as f64 * 8.0 / n_samples as f64
+    }
+}
+
+impl SzCompressor {
+    /// Baseline configuration used throughout the paper: Lorenzo predictor,
+    /// default radius, relative error bound.
+    pub fn baseline(rel_eb: f64) -> Self {
+        SzCompressor {
+            bound: ErrorBound::Relative(rel_eb),
+            quantizer: QuantizerConfig::default(),
+            predictor: PredictorKind::Lorenzo,
+        }
+    }
+
+    /// Compress one field.
+    pub fn compress(&self, field: &Field) -> CompressedStream {
+        let stats = FieldStats::of(field);
+        // quantize at the ULP-guarded bound so the f32 reconstruction still
+        // satisfies the user-facing bound exactly; the container carries the
+        // quantization bound (the decoder must scale by it), the stream
+        // reports the user-facing bound
+        let eb_user = self.bound.resolve(&stats);
+        let eb = self.bound.resolve_quantization(&stats);
+        let lattice = QuantLattice::prequantize(field, eb);
+        let mut container = Container::new(field.shape(), eb, self.quantizer.radius);
+        let enc = match self.predictor {
+            PredictorKind::Lorenzo => codec::encode(&lattice, &LorenzoPredictor, &self.quantizer),
+            PredictorKind::Regression { block } => {
+                let reg = RegressionPredictor::fit(&lattice, block);
+                let mut side = Vec::with_capacity(8 + reg.coeffs().len() * 4);
+                side.extend_from_slice(&(block as u32).to_le_bytes());
+                side.extend_from_slice(&(reg.coeffs().len() as u32).to_le_bytes());
+                for &c in reg.coeffs() {
+                    side.extend_from_slice(&c.to_le_bytes());
+                }
+                container.push(SectionTag::PredictorSideInfo, lossless::compress(&side));
+                codec::encode(&lattice, &reg, &self.quantizer)
+            }
+        };
+        let n_outliers = enc.outliers.len();
+        container.push(SectionTag::Residuals, encode_codes(&enc.codes));
+        container.push(SectionTag::Outliers, encode_outliers(&enc.outliers));
+        CompressedStream { bytes: container.to_bytes(), eb_abs: eb_user, n_outliers }
+    }
+
+    /// Decompress a stream produced by [`SzCompressor::compress`].
+    pub fn decompress(&self, bytes: &[u8]) -> Field {
+        let container = Container::from_bytes(bytes);
+        let shape = container.shape;
+        let quant = QuantizerConfig { radius: container.radius };
+        let codes = decode_codes(container.expect_section(SectionTag::Residuals), shape.len());
+        let outliers = decode_outliers(container.expect_section(SectionTag::Outliers));
+        let lattice = match self.predictor {
+            PredictorKind::Lorenzo => {
+                codec::decode(shape, &codes, &outliers, &LorenzoPredictor, &quant)
+            }
+            PredictorKind::Regression { .. } => {
+                let side =
+                    lossless::decompress(container.expect_section(SectionTag::PredictorSideInfo));
+                let block = u32::from_le_bytes(side[0..4].try_into().unwrap()) as usize;
+                let ncoef = u32::from_le_bytes(side[4..8].try_into().unwrap()) as usize;
+                let mut coeffs = Vec::with_capacity(ncoef);
+                for k in 0..ncoef {
+                    let off = 8 + k * 4;
+                    coeffs.push(f32::from_le_bytes(side[off..off + 4].try_into().unwrap()));
+                }
+                let reg = RegressionPredictor::from_coeffs(shape.dims().to_vec(), block, coeffs);
+                codec::decode(shape, &codes, &outliers, &reg, &quant)
+            }
+        };
+        lattice.reconstruct(container.eb)
+    }
+
+    /// Compress a prequantized lattice with an arbitrary (causal) predictor,
+    /// returning the container for callers that append extra sections — this
+    /// is the entry point the cross-field pipeline in `cfc-core` builds on.
+    pub fn compress_lattice(
+        &self,
+        lattice: &QuantLattice,
+        predictor: &dyn Predictor,
+        eb: f64,
+    ) -> (Container, EncodedResiduals) {
+        assert!(predictor.is_causal(), "refusing to encode with a non-causal predictor");
+        let mut container = Container::new(lattice.shape(), eb, self.quantizer.radius);
+        let enc = codec::encode(lattice, predictor, &self.quantizer);
+        container.push(SectionTag::Residuals, encode_codes(&enc.codes));
+        container.push(SectionTag::Outliers, encode_outliers(&enc.outliers));
+        (container, enc)
+    }
+
+    /// Decode a container's residual sections with an arbitrary predictor.
+    pub fn decompress_lattice(
+        &self,
+        container: &Container,
+        predictor: &dyn Predictor,
+    ) -> QuantLattice {
+        let shape = container.shape;
+        let quant = QuantizerConfig { radius: container.radius };
+        let codes = decode_codes(container.expect_section(SectionTag::Residuals), shape.len());
+        let outliers = decode_outliers(container.expect_section(SectionTag::Outliers));
+        codec::decode(shape, &codes, &outliers, predictor, &quant)
+    }
+}
+
+/// Huffman + LZSS encode residual codes.
+pub fn encode_codes(codes: &[u32]) -> Vec<u8> {
+    let table = HuffmanTable::from_symbols(codes);
+    let tbl = table.serialize();
+    let bits = table.encode(codes);
+    let mut payload = Vec::with_capacity(tbl.len() + bits.len());
+    payload.extend_from_slice(&tbl);
+    payload.extend_from_slice(&bits);
+    lossless::compress(&payload)
+}
+
+/// Inverse of [`encode_codes`].
+pub fn decode_codes(bytes: &[u8], count: usize) -> Vec<u32> {
+    let payload = lossless::decompress(bytes);
+    let (table, used) = HuffmanTable::deserialize(&payload);
+    table.decode(&payload[used..], count)
+}
+
+/// Serialize outliers (zig-zag varint) and LZSS the result.
+pub fn encode_outliers(outliers: &[i64]) -> Vec<u8> {
+    let mut raw = Vec::with_capacity(8 + outliers.len() * 3);
+    raw.extend_from_slice(&(outliers.len() as u64).to_le_bytes());
+    for &v in outliers {
+        let zz = ((v << 1) ^ (v >> 63)) as u64;
+        write_varint(&mut raw, zz);
+    }
+    lossless::compress(&raw)
+}
+
+/// Inverse of [`encode_outliers`].
+pub fn decode_outliers(bytes: &[u8]) -> Vec<i64> {
+    let raw = lossless::decompress(bytes);
+    let n = u64::from_le_bytes(raw[0..8].try_into().unwrap()) as usize;
+    let mut pos = 8usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let zz = read_varint(&raw, &mut pos);
+        out.push(((zz >> 1) as i64) ^ -((zz & 1) as i64));
+    }
+    out
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        assert!(shift < 64, "varint overflow");
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_tensor::{Axis, Shape};
+
+    fn smooth_field_2d(rows: usize, cols: usize) -> Field {
+        Field::from_fn(Shape::d2(rows, cols), |idx| {
+            let (i, j) = (idx[0] as f32, idx[1] as f32);
+            (i * 0.1).sin() * 30.0 + (j * 0.07).cos() * 20.0 + 100.0
+        })
+    }
+
+    fn smooth_field_3d(d: usize, r: usize, c: usize) -> Field {
+        Field::from_fn(Shape::d3(d, r, c), |idx| {
+            let (k, i, j) = (idx[0] as f32, idx[1] as f32, idx[2] as f32);
+            (k * 0.3).sin() * 10.0 + (i * 0.1).cos() * 25.0 + j * 0.05
+        })
+    }
+
+    fn check_bound(orig: &Field, dec: &Field, eb: f64) {
+        for (a, b) in orig.as_slice().iter().zip(dec.as_slice()) {
+            assert!(
+                ((a - b).abs() as f64) <= eb * (1.0 + 1e-9),
+                "error bound violated: |{a} - {b}| > {eb}"
+            );
+        }
+    }
+
+    #[test]
+    fn lorenzo_2d_roundtrip_respects_bound() {
+        let f = smooth_field_2d(64, 64);
+        for rel in [1e-2, 1e-3, 1e-4] {
+            let c = SzCompressor::baseline(rel);
+            let stream = c.compress(&f);
+            let dec = c.decompress(&stream.bytes);
+            check_bound(&f, &dec, stream.eb_abs);
+        }
+    }
+
+    #[test]
+    fn lorenzo_3d_roundtrip_respects_bound() {
+        let f = smooth_field_3d(8, 24, 24);
+        let c = SzCompressor::baseline(1e-3);
+        let stream = c.compress(&f);
+        let dec = c.decompress(&stream.bytes);
+        assert_eq!(dec.shape(), f.shape());
+        check_bound(&f, &dec, stream.eb_abs);
+    }
+
+    #[test]
+    fn smooth_data_compresses_above_10x() {
+        let f = smooth_field_2d(128, 128);
+        let c = SzCompressor::baseline(1e-3);
+        let stream = c.compress(&f);
+        let ratio = stream.ratio(f.len());
+        assert!(ratio > 10.0, "ratio {ratio} too low for smooth data");
+    }
+
+    #[test]
+    fn tighter_bound_means_lower_ratio() {
+        let f = smooth_field_2d(96, 96);
+        let loose = SzCompressor::baseline(1e-2).compress(&f);
+        let tight = SzCompressor::baseline(1e-4).compress(&f);
+        assert!(loose.bytes.len() < tight.bytes.len());
+    }
+
+    #[test]
+    fn decompression_is_deterministic() {
+        let f = smooth_field_3d(6, 20, 20);
+        let c = SzCompressor::baseline(1e-3);
+        let s1 = c.compress(&f);
+        let s2 = c.compress(&f);
+        assert_eq!(s1.bytes, s2.bytes);
+        assert_eq!(
+            c.decompress(&s1.bytes).as_slice(),
+            c.decompress(&s2.bytes).as_slice()
+        );
+    }
+
+    #[test]
+    fn regression_predictor_roundtrip() {
+        let f = smooth_field_2d(48, 48);
+        let c = SzCompressor {
+            bound: ErrorBound::Relative(1e-3),
+            quantizer: QuantizerConfig::default(),
+            predictor: PredictorKind::Regression { block: 6 },
+        };
+        let stream = c.compress(&f);
+        let dec = c.decompress(&stream.bytes);
+        check_bound(&f, &dec, stream.eb_abs);
+    }
+
+    #[test]
+    fn rough_data_still_bounded() {
+        // adversarial: pseudo-random field, mostly outliers at small radius
+        let f = Field::from_fn(Shape::d2(32, 32), |idx| {
+            let x = (idx[0] * 7919 + idx[1] * 104729) % 1000;
+            x as f32 * 3.7 - 1500.0
+        });
+        let c = SzCompressor {
+            bound: ErrorBound::Absolute(0.5),
+            quantizer: QuantizerConfig { radius: 16 },
+            predictor: PredictorKind::Lorenzo,
+        };
+        let stream = c.compress(&f);
+        assert!(stream.n_outliers > 0);
+        let dec = c.decompress(&stream.bytes);
+        check_bound(&f, &dec, 0.5);
+    }
+
+    #[test]
+    fn absolute_bound_mode() {
+        let f = smooth_field_2d(40, 40);
+        let c = SzCompressor {
+            bound: ErrorBound::Absolute(0.25),
+            quantizer: QuantizerConfig::default(),
+            predictor: PredictorKind::Lorenzo,
+        };
+        let stream = c.compress(&f);
+        assert_eq!(stream.eb_abs, 0.25);
+        check_bound(&f, &c.decompress(&stream.bytes), 0.25);
+    }
+
+    #[test]
+    fn slice_consistency_after_roundtrip() {
+        // decompressed 3-D field slices must equal slicing the decompressed
+        // volume (sanity on shape/stride handling)
+        let f = smooth_field_3d(5, 16, 16);
+        let c = SzCompressor::baseline(1e-3);
+        let dec = c.decompress(&c.compress(&f).bytes);
+        let s = dec.slice(Axis::X, 2);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(s.get(&[i, j]), dec.get(&[2, i, j]));
+            }
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let vals: Vec<i64> = vec![0, 1, -1, 63, -64, 1 << 20, -(1 << 40), i64::MAX, i64::MIN];
+        let bytes = encode_outliers(&vals);
+        assert_eq!(decode_outliers(&bytes), vals);
+    }
+
+    #[test]
+    fn ratio_and_bitrate_are_consistent() {
+        let f = smooth_field_2d(64, 64);
+        let stream = SzCompressor::baseline(1e-3).compress(&f);
+        let n = f.len();
+        let ratio = stream.ratio(n);
+        let rate = stream.bit_rate(n);
+        assert!((ratio * rate - 32.0).abs() < 1e-9);
+    }
+}

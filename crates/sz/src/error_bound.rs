@@ -1,0 +1,93 @@
+//! Error-bound modes.
+
+use cfc_tensor::FieldStats;
+
+/// User-facing error-bound specification, matching SZ's two common modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute bound: `|v − v'| ≤ eb`.
+    Absolute(f64),
+    /// Value-range-relative bound: `|v − v'| ≤ eb · (max − min)`.
+    ///
+    /// This is the mode used throughout the paper's evaluation (e.g.
+    /// "relative error bound 1e-3").
+    Relative(f64),
+}
+
+impl ErrorBound {
+    /// Resolve to the absolute bound for a field with the given statistics.
+    pub fn resolve(&self, stats: &FieldStats) -> f64 {
+        let eb = match *self {
+            ErrorBound::Absolute(eb) => eb,
+            ErrorBound::Relative(rel) => rel * stats.range() as f64,
+        };
+        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite, got {eb}");
+        eb
+    }
+
+    /// Resolve to the *quantization* bound: the user-facing bound shrunk by
+    /// the worst-case `f32` rounding of the reconstruction.
+    ///
+    /// Reconstruction computes `(q · 2eb) as f32`, which adds up to half a
+    /// ULP of the value magnitude on top of the quantization error. Without
+    /// this guard a sample like `1005.0` at `eb ≈ 0.07` can miss the bound
+    /// by ~1e-5 (f32 ULP at 1000 is 6.1e-5). Guarding keeps the public
+    /// contract `|v − v'| ≤ eb` exact.
+    pub fn resolve_quantization(&self, stats: &FieldStats) -> f64 {
+        let eb = self.resolve(stats);
+        let max_abs = stats.min.abs().max(stats.max.abs()) as f64;
+        let ulp_slack = max_abs * f32::EPSILON as f64;
+        // if the requested bound is below f32 resolution it cannot be met
+        // exactly anyway; keep at least half the bound rather than going ≤ 0
+        (eb - ulp_slack).max(eb * 0.5)
+    }
+
+    /// The raw bound value (absolute or relative factor).
+    pub fn value(&self) -> f64 {
+        match *self {
+            ErrorBound::Absolute(v) | ErrorBound::Relative(v) => v,
+        }
+    }
+
+    /// Short label for experiment tables ("abs 1e-3" / "rel 1e-3").
+    pub fn label(&self) -> String {
+        match *self {
+            ErrorBound::Absolute(v) => format!("abs {v:.0e}"),
+            ErrorBound::Relative(v) => format!("rel {v:.0e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_tensor::{Field, Shape};
+
+    fn stats(lo: f32, hi: f32) -> FieldStats {
+        FieldStats::of(&Field::from_vec(Shape::d1(2), vec![lo, hi]))
+    }
+
+    #[test]
+    fn absolute_passes_through() {
+        let eb = ErrorBound::Absolute(0.5).resolve(&stats(0.0, 100.0));
+        assert_eq!(eb, 0.5);
+    }
+
+    #[test]
+    fn relative_scales_with_range() {
+        let eb = ErrorBound::Relative(1e-3).resolve(&stats(-50.0, 50.0));
+        assert!((eb - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_range_relative_bound_panics() {
+        let _ = ErrorBound::Relative(1e-3).resolve(&stats(3.0, 3.0));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ErrorBound::Relative(1e-3).label(), "rel 1e-3");
+        assert_eq!(ErrorBound::Absolute(5e-4).label(), "abs 5e-4");
+    }
+}

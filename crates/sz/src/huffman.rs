@@ -1,0 +1,368 @@
+//! Canonical Huffman coding over arbitrary `u32` symbol alphabets.
+//!
+//! SZ's "customized Huffman" stage: quantization codes concentrate heavily
+//! around the zero-residual code, so entropy coding them is where most of
+//! the compression ratio comes from. We build optimal code lengths with the
+//! classic heap algorithm, limit depth to [`MAX_CODE_LEN`] (by frequency
+//! flattening on the rare pathological inputs), and transmit only the
+//! `(symbol, length)` table — canonical code assignment reconstructs the
+//! exact codes on the decoder side.
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Maximum code length; fits the `u64` bit-I/O fast path comfortably.
+pub const MAX_CODE_LEN: u32 = 32;
+
+/// A canonical Huffman code table.
+#[derive(Debug, Clone)]
+pub struct HuffmanTable {
+    /// Sorted unique symbols with their code lengths.
+    lengths: Vec<(u32, u32)>,
+    /// Canonical code per symbol, aligned with `lengths`.
+    codes: Vec<u64>,
+}
+
+impl HuffmanTable {
+    /// Build a table from symbol frequencies (`(symbol, count)`, counts > 0).
+    pub fn from_frequencies(freqs: &[(u32, u64)]) -> Self {
+        assert!(!freqs.is_empty(), "cannot build a Huffman table for an empty alphabet");
+        let mut lengths = code_lengths(freqs);
+        // canonical order: by (length, symbol)
+        lengths.sort_by_key(|&(sym, len)| (len, sym));
+        let codes = assign_canonical(&lengths);
+        HuffmanTable { lengths, codes }
+    }
+
+    /// Count symbols in `data` and build the table.
+    pub fn from_symbols(data: &[u32]) -> Self {
+        let mut counts = std::collections::BTreeMap::new();
+        for &s in data {
+            *counts.entry(s).or_insert(0u64) += 1;
+        }
+        let freqs: Vec<(u32, u64)> = counts.into_iter().collect();
+        Self::from_frequencies(&freqs)
+    }
+
+    /// Number of distinct symbols.
+    pub fn alphabet_len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Expected encoded size in bits for the given frequencies.
+    pub fn expected_bits(&self, freqs: &[(u32, u64)]) -> u64 {
+        let mut total = 0u64;
+        for &(sym, count) in freqs {
+            if let Some(pos) = self.position(sym) {
+                total += count * self.lengths[pos].1 as u64;
+            }
+        }
+        total
+    }
+
+    fn position(&self, sym: u32) -> Option<usize> {
+        // lengths are sorted by (len, sym); fall back to a scan (tables are
+        // small — ≤ 1025 entries for the residual alphabet)
+        self.lengths.iter().position(|&(s, _)| s == sym)
+    }
+
+    /// Encode `data` and return the packed bits.
+    ///
+    /// Canonical codes are MSB-first; the bit writer is LSB-first, so the
+    /// lookup table stores bit-reversed codes — writing them LSB-first puts
+    /// the MSB on the stream first, matching the bit-serial decoder.
+    pub fn encode(&self, data: &[u32]) -> Vec<u8> {
+        // build a dense lookup when the alphabet is contiguous-ish
+        let max_sym = self.lengths.iter().map(|&(s, _)| s).max().unwrap();
+        let mut lut: Vec<(u64, u32)> = vec![(0, 0); max_sym as usize + 1];
+        for (pos, &(sym, len)) in self.lengths.iter().enumerate() {
+            lut[sym as usize] = (reverse_bits(self.codes[pos], len), len);
+        }
+        let mut w = BitWriter::new();
+        for &s in data {
+            let (code, len) = lut[s as usize];
+            debug_assert!(len > 0, "symbol {s} not in table");
+            w.write_bits(code, len);
+        }
+        w.finish()
+    }
+
+    /// Decode `count` symbols from `bits`.
+    pub fn decode(&self, bits: &[u8], count: usize) -> Vec<u32> {
+        let decoder = CanonicalDecoder::new(&self.lengths);
+        let mut r = BitReader::new(bits);
+        (0..count).map(|_| decoder.next(&mut r)).collect()
+    }
+
+    /// Serialize the `(symbol, length)` table compactly.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.lengths.len() * 5);
+        out.extend_from_slice(&(self.lengths.len() as u32).to_le_bytes());
+        for &(sym, len) in &self.lengths {
+            out.extend_from_slice(&sym.to_le_bytes());
+            out.push(len as u8);
+        }
+        out
+    }
+
+    /// Inverse of [`HuffmanTable::serialize`]; returns the table and bytes consumed.
+    pub fn deserialize(bytes: &[u8]) -> (Self, usize) {
+        assert!(bytes.len() >= 4, "truncated Huffman table");
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let need = 4 + n * 5;
+        assert!(bytes.len() >= need, "truncated Huffman table body");
+        let mut lengths = Vec::with_capacity(n);
+        for k in 0..n {
+            let off = 4 + k * 5;
+            let sym = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let len = bytes[off + 4] as u32;
+            assert!(len >= 1 && len <= MAX_CODE_LEN, "invalid code length {len}");
+            lengths.push((sym, len));
+        }
+        lengths.sort_by_key(|&(sym, len)| (len, sym));
+        let codes = assign_canonical(&lengths);
+        (HuffmanTable { lengths, codes }, need)
+    }
+}
+
+/// Canonical decoder: per-length first-code / first-index tables.
+struct CanonicalDecoder<'a> {
+    lengths: &'a [(u32, u32)],
+    /// For each length L: (first canonical code of length L, index of its symbol).
+    first: Vec<(u64, usize)>,
+    count: Vec<usize>,
+    max_len: u32,
+}
+
+impl<'a> CanonicalDecoder<'a> {
+    fn new(lengths: &'a [(u32, u32)]) -> Self {
+        let max_len = lengths.iter().map(|&(_, l)| l).max().unwrap();
+        let mut count = vec![0usize; max_len as usize + 1];
+        for &(_, l) in lengths {
+            count[l as usize] += 1;
+        }
+        let mut first = vec![(0u64, 0usize); max_len as usize + 1];
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for l in 1..=max_len as usize {
+            first[l] = (code, index);
+            code = (code + count[l] as u64) << 1;
+            index += count[l];
+        }
+        CanonicalDecoder { lengths, first, count, max_len }
+    }
+
+    /// Decode one symbol (MSB-first canonical codes, so we read bit-by-bit).
+    fn next(&self, r: &mut BitReader) -> u32 {
+        let mut code = 0u64;
+        for l in 1..=self.max_len as usize {
+            code = (code << 1) | r.read_bit() as u64;
+            if self.count[l] > 0 {
+                let (fc, fi) = self.first[l];
+                let offset = code.wrapping_sub(fc);
+                if code >= fc && (offset as usize) < self.count[l] {
+                    return self.lengths[fi + offset as usize].0;
+                }
+            }
+        }
+        panic!("invalid Huffman code in stream");
+    }
+}
+
+/// Optimal code lengths via the two-queue Huffman algorithm, with depth
+/// limiting by frequency flattening when needed.
+fn code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u32)> {
+    if freqs.len() == 1 {
+        return vec![(freqs[0].0, 1)];
+    }
+    let mut flat = 0u32;
+    loop {
+        let lengths = try_code_lengths(freqs, flat);
+        let max = lengths.iter().map(|&(_, l)| l).max().unwrap();
+        if max <= MAX_CODE_LEN {
+            return lengths;
+        }
+        // flatten the distribution (shift counts right) until depth fits;
+        // only triggered by astronomically skewed inputs
+        flat += 4;
+        assert!(flat < 64, "cannot limit Huffman depth");
+    }
+}
+
+fn try_code_lengths(freqs: &[(u32, u64)], flatten: u32) -> Vec<(u32, u32)> {
+    #[derive(Debug)]
+    struct Node {
+        weight: u64,
+        kind: NodeKind,
+    }
+    #[derive(Debug)]
+    enum NodeKind {
+        Leaf(usize),
+        Internal(usize, usize),
+    }
+    let mut nodes: Vec<Node> = freqs
+        .iter()
+        .map(|&(_, w)| Node { weight: ((w >> flatten).max(1)), kind: NodeKind::Leaf(usize::MAX) })
+        .collect();
+    for (i, n) in nodes.iter_mut().enumerate() {
+        n.kind = NodeKind::Leaf(i);
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        nodes.iter().enumerate().map(|(i, n)| Reverse((n.weight, i))).collect();
+    while heap.len() > 1 {
+        let Reverse((wa, a)) = heap.pop().unwrap();
+        let Reverse((wb, b)) = heap.pop().unwrap();
+        let idx = nodes.len();
+        nodes.push(Node { weight: wa + wb, kind: NodeKind::Internal(a, b) });
+        heap.push(Reverse((wa + wb, idx)));
+    }
+    let root = heap.pop().unwrap().0 .1;
+    // BFS depths
+    let mut lengths = vec![0u32; freqs.len()];
+    let mut stack = vec![(root, 0u32)];
+    while let Some((n, depth)) = stack.pop() {
+        match nodes[n].kind {
+            NodeKind::Leaf(sym_idx) => lengths[sym_idx] = depth.max(1),
+            NodeKind::Internal(a, b) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+        }
+    }
+    freqs.iter().zip(lengths).map(|(&(s, _), l)| (s, l)).collect()
+}
+
+/// Reverse the low `len` bits of `code`.
+#[inline]
+fn reverse_bits(code: u64, len: u32) -> u64 {
+    let mut out = 0u64;
+    for b in 0..len {
+        out |= ((code >> b) & 1) << (len - 1 - b);
+    }
+    out
+}
+
+/// Assign canonical codes to `(symbol, length)` pairs sorted by (length, symbol).
+fn assign_canonical(lengths: &[(u32, u32)]) -> Vec<u64> {
+    let mut codes = Vec::with_capacity(lengths.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for &(_, len) in lengths {
+        if prev_len != 0 {
+            code = (code + 1) << (len - prev_len);
+        } else {
+            code <<= len; // first code: zeros at the shortest length
+        }
+        codes.push(code);
+        prev_len = len;
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        // mimic quantization codes: heavy mass at 512
+        let mut data = Vec::new();
+        for i in 0..10_000u32 {
+            let sym = match i % 100 {
+                0..=79 => 512,
+                80..=89 => 511,
+                90..=95 => 513,
+                96..=98 => 500,
+                _ => i % 1024,
+            };
+            data.push(sym);
+        }
+        let table = HuffmanTable::from_symbols(&data);
+        let bits = table.encode(&data);
+        assert!(bits.len() * 8 < data.len() * 11, "no compression achieved");
+        let dec = table.decode(&bits, data.len());
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn roundtrip_uniform() {
+        let data: Vec<u32> = (0..4096).map(|i| i % 256).collect();
+        let table = HuffmanTable::from_symbols(&data);
+        let dec = table.decode(&table.encode(&data), data.len());
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let data = vec![7u32; 100];
+        let table = HuffmanTable::from_symbols(&data);
+        assert_eq!(table.alphabet_len(), 1);
+        let bits = table.encode(&data);
+        let dec = table.decode(&bits, 100);
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let data = [vec![1u32; 70], vec![2u32; 30]].concat();
+        let table = HuffmanTable::from_symbols(&data);
+        let bits = table.encode(&data);
+        assert_eq!(bits.len(), 100usize.div_ceil(8));
+    }
+
+    #[test]
+    fn table_serialization_roundtrip() {
+        let data: Vec<u32> = (0..2000).map(|i| (i * i) % 300).collect();
+        let table = HuffmanTable::from_symbols(&data);
+        let ser = table.serialize();
+        let (table2, used) = HuffmanTable::deserialize(&ser);
+        assert_eq!(used, ser.len());
+        let bits = table.encode(&data);
+        assert_eq!(table2.decode(&bits, data.len()), data);
+    }
+
+    #[test]
+    fn encoded_size_tracks_entropy() {
+        // 90/10 binary source: entropy ≈ 0.469 bits/sym, Huffman gives 1
+        // bit/sym; a 4-ary skewed source should beat 2 bits/sym.
+        let mut data = Vec::new();
+        for i in 0..8000u32 {
+            data.push(match i % 16 {
+                0..=12 => 0,
+                13..=14 => 1,
+                15 => 2,
+                _ => 3,
+            });
+        }
+        let table = HuffmanTable::from_symbols(&data);
+        let bits = table.encode(&data);
+        let bps = bits.len() as f64 * 8.0 / data.len() as f64;
+        assert!(bps < 1.5, "bits per symbol {bps}");
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let data: Vec<u32> = (0..5000).map(|i| i % 97).collect();
+        let table = HuffmanTable::from_symbols(&data);
+        let kraft: f64 = table
+            .lengths
+            .iter()
+            .map(|&(_, l)| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "Kraft sum {kraft}");
+    }
+
+    #[test]
+    fn deep_skew_is_depth_limited() {
+        // exponential frequencies force long codes; depth must stay ≤ 32
+        let freqs: Vec<(u32, u64)> =
+            (0..40u32).map(|i| (i, 1u64 << (i.min(50)))).collect();
+        let table = HuffmanTable::from_frequencies(&freqs);
+        let max = table.lengths.iter().map(|&(_, l)| l).max().unwrap();
+        assert!(max <= MAX_CODE_LEN);
+        // still decodable
+        let data: Vec<u32> = (0..40).collect();
+        assert_eq!(table.decode(&table.encode(&data), 40), data);
+    }
+}

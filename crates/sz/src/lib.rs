@@ -1,0 +1,45 @@
+//! `cfc-sz` — an SZ3-style prediction-based error-bounded lossy compressor.
+//!
+//! This crate is the substrate the paper's contribution plugs into. It
+//! reimplements, from scratch, the full pipeline of a modern
+//! prediction-based scientific compressor:
+//!
+//! ```text
+//!   field ──► prequantize ──► predict ──► postquantize ──► Huffman ──► LZSS ──► bytes
+//!            (dual-quant,      (Lorenzo /   (codes +        (canonical)  (deflate-
+//!             error-bounded)    pluggable)    outliers)                    like)
+//! ```
+//!
+//! * **Dual quantization** (paper §III-D1, after cuSZ): values are snapped to
+//!   the `2·eb` lattice *before* prediction, eliminating the read-after-write
+//!   dependency of classic SZ and guaranteeing `|v − v'| ≤ eb` regardless of
+//!   the predictor. Compression-side prediction is embarrassingly parallel.
+//! * **Pluggable predictors** over the integer lattice ([`predict`]):
+//!   Lorenzo (1/2/3-D), block regression, and a central-difference predictor
+//!   kept solely to demonstrate the decode-order conflict of paper Fig. 3.
+//!   The cross-field + hybrid predictor of the paper lives in `cfc-core` and
+//!   implements the same [`predict::Predictor`] trait.
+//! * **Entropy stage**: canonical Huffman over quantization codes
+//!   ([`huffman`]), backed by a bit-level I/O layer ([`bitstream`]).
+//! * **Lossless back-end**: an LZSS + Huffman byte compressor ([`lossless`])
+//!   standing in for zstd.
+//!
+//! The top-level API is [`SzCompressor`].
+
+pub mod bitstream;
+pub mod codec;
+pub mod compressor;
+pub mod error_bound;
+pub mod huffman;
+pub mod interp;
+pub mod lattice;
+pub mod lossless;
+pub mod predict;
+pub mod quantizer;
+pub mod stream;
+
+pub use compressor::{CompressedStream, PredictorKind, SzCompressor};
+pub use error_bound::ErrorBound;
+pub use lattice::QuantLattice;
+pub use predict::{CentralDiffPredictor, LorenzoPredictor, Predictor, RegressionPredictor};
+pub use quantizer::{QuantizerConfig, DEFAULT_RADIUS};

@@ -1,0 +1,333 @@
+//! LZSS + Huffman lossless byte compressor (the zstd stand-in).
+//!
+//! SZ3 pipes its Huffman-coded residuals through zstd; runs of identical
+//! quantization codes survive entropy coding as repeated byte patterns, so a
+//! dictionary pass still pays off. We implement a deflate-flavoured scheme:
+//!
+//! * greedy LZSS with a hash-chain matcher (window 64 KiB, matches 4–258
+//!   bytes),
+//! * tokens split into three streams — a flag bitmap, literal bytes, and
+//!   match `(length, distance)` records — each Huffman-coded independently,
+//! * incompressible inputs fall back to stored mode (1-byte header keeps the
+//!   worst-case expansion negligible).
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::huffman::HuffmanTable;
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 258;
+const WINDOW: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 48;
+
+/// Container mode byte.
+const MODE_STORED: u8 = 0;
+const MODE_LZ: u8 = 1;
+
+/// Compress arbitrary bytes. Never fails; output may be up to
+/// `input.len() + 9` bytes for incompressible data.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    if input.len() < 64 {
+        return stored(input);
+    }
+    let tokens = lz_parse(input);
+    let encoded = encode_tokens(&tokens, input.len());
+    if encoded.len() + 1 >= input.len() {
+        stored(input)
+    } else {
+        let mut out = Vec::with_capacity(encoded.len() + 1);
+        out.push(MODE_LZ);
+        out.extend_from_slice(&encoded);
+        out
+    }
+}
+
+/// Decompress bytes produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Vec<u8> {
+    assert!(!input.is_empty(), "empty lossless stream");
+    match input[0] {
+        MODE_STORED => input[1..].to_vec(),
+        MODE_LZ => decode_tokens(&input[1..]),
+        m => panic!("unknown lossless mode {m}"),
+    }
+}
+
+fn stored(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() + 1);
+    out.push(MODE_STORED);
+    out.extend_from_slice(input);
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy hash-chain LZ parse.
+fn lz_parse(input: &[u8]) -> Vec<Token> {
+    let n = input.len();
+    let mut tokens = Vec::with_capacity(n / 2);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash4(&input[i..]);
+            let mut cand = head[h];
+            let mut chain = 0usize;
+            while cand != usize::MAX && chain < MAX_CHAIN {
+                let dist = i - cand;
+                if dist > WINDOW - 1 {
+                    break;
+                }
+                // extend match
+                let max_len = (n - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < max_len && input[cand + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l >= MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+            // insert current position into the chain
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            // insert skipped positions (cheap partial insertion keeps the
+            // matcher effective without the full cost)
+            let insert_until = (i + best_len).min(n.saturating_sub(MIN_MATCH));
+            let mut k = i + 1;
+            while k < insert_until {
+                let h = hash4(&input[k..]);
+                prev[k] = head[h];
+                head[h] = k;
+                k += 1;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(input[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Encode the token streams: header, Huffman tables, then payloads.
+fn encode_tokens(tokens: &[Token], raw_len: usize) -> Vec<u8> {
+    let mut flags = BitWriter::new();
+    let mut literals: Vec<u32> = Vec::new();
+    let mut lens: Vec<u32> = Vec::new();
+    let mut dist_lo: Vec<u32> = Vec::new();
+    let mut dist_hi: Vec<u32> = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                flags.write_bit(false);
+                literals.push(b as u32);
+            }
+            Token::Match { len, dist } => {
+                flags.write_bit(true);
+                lens.push(len as u32 - MIN_MATCH as u32);
+                dist_lo.push((dist & 0xFF) as u32);
+                dist_hi.push((dist >> 8) as u32);
+            }
+        }
+    }
+    let flag_bytes = flags.finish();
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&(raw_len as u64).to_le_bytes());
+    out.extend_from_slice(&(tokens.len() as u64).to_le_bytes());
+    write_section(&mut out, &flag_bytes);
+    write_coded(&mut out, &literals);
+    write_coded(&mut out, &lens);
+    write_coded(&mut out, &dist_lo);
+    write_coded(&mut out, &dist_hi);
+    out
+}
+
+fn write_section(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Huffman-code a symbol stream; empty streams are a zero-length section.
+fn write_coded(out: &mut Vec<u8>, symbols: &[u32]) {
+    if symbols.is_empty() {
+        out.extend_from_slice(&0u64.to_le_bytes());
+        return;
+    }
+    let table = HuffmanTable::from_symbols(symbols);
+    let tbl = table.serialize();
+    let bits = table.encode(symbols);
+    let mut section = Vec::with_capacity(8 + tbl.len() + bits.len());
+    section.extend_from_slice(&(symbols.len() as u64).to_le_bytes());
+    section.extend_from_slice(&tbl);
+    section.extend_from_slice(&bits);
+    write_section(out, &section);
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+    *pos += 8;
+    v
+}
+
+fn read_section<'a>(bytes: &'a [u8], pos: &mut usize) -> &'a [u8] {
+    let len = read_u64(bytes, pos) as usize;
+    let s = &bytes[*pos..*pos + len];
+    *pos += len;
+    s
+}
+
+fn read_coded(bytes: &[u8], pos: &mut usize) -> Vec<u32> {
+    let section = read_section(bytes, pos);
+    if section.is_empty() {
+        return Vec::new();
+    }
+    let count = u64::from_le_bytes(section[0..8].try_into().unwrap()) as usize;
+    let (table, used) = HuffmanTable::deserialize(&section[8..]);
+    table.decode(&section[8 + used..], count)
+}
+
+fn decode_tokens(bytes: &[u8]) -> Vec<u8> {
+    let mut pos = 0usize;
+    let raw_len = read_u64(bytes, &mut pos) as usize;
+    let ntokens = read_u64(bytes, &mut pos) as usize;
+    let flag_bytes = read_section(bytes, &mut pos);
+    let literals = read_coded(bytes, &mut pos);
+    let lens = read_coded(bytes, &mut pos);
+    let dist_lo = read_coded(bytes, &mut pos);
+    let dist_hi = read_coded(bytes, &mut pos);
+
+    let mut out = Vec::with_capacity(raw_len);
+    let mut flags = BitReader::new(flag_bytes);
+    let (mut li, mut mi) = (0usize, 0usize);
+    for _ in 0..ntokens {
+        if flags.read_bit() {
+            let len = lens[mi] as usize + MIN_MATCH;
+            let dist = (dist_lo[mi] | (dist_hi[mi] << 8)) as usize;
+            mi += 1;
+            assert!(dist >= 1 && dist <= out.len(), "corrupt LZ distance");
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            out.push(literals[li] as u8);
+            li += 1;
+        }
+    }
+    assert_eq!(out.len(), raw_len, "decompressed length mismatch");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c);
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"hello world");
+    }
+
+    #[test]
+    fn repetitive_compresses_well() {
+        let data: Vec<u8> = b"abcdefgh".iter().cycle().take(10_000).cloned().collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "ratio too low: {} / {}", c.len(), data.len());
+        assert_eq!(decompress(&c), data);
+    }
+
+    #[test]
+    fn long_zero_runs() {
+        let mut data = vec![0u8; 50_000];
+        data[100] = 7;
+        data[40_000] = 9;
+        let c = compress(&data);
+        assert!(c.len() < 2_000);
+        assert_eq!(decompress(&c), data);
+    }
+
+    #[test]
+    fn incompressible_falls_back_to_stored() {
+        // pseudo-random bytes
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..5_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 24) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + 9);
+        assert_eq!(decompress(&c), data);
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        // "aaaa..." forces overlapping copies (dist 1, long len)
+        let data = vec![b'a'; 1000];
+        let c = compress(&data);
+        // a handful of tokens + fixed per-section headers
+        assert!(c.len() < 220, "len {}", c.len());
+        assert_eq!(decompress(&c), data);
+    }
+
+    #[test]
+    fn structured_binary() {
+        // alternating record-like structure, typical of Huffman output headers
+        let mut data = Vec::new();
+        for i in 0..3000u32 {
+            data.extend_from_slice(&(i % 17).to_le_bytes());
+        }
+        roundtrip(&data);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 2);
+    }
+
+    #[test]
+    fn match_at_window_edge() {
+        // repeat beyond the 64K window: must still round-trip (just without
+        // cross-window matches)
+        let pattern: Vec<u8> = (0..=255u8).collect();
+        let data: Vec<u8> = pattern.iter().cycle().take(200_000).cloned().collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        roundtrip(&data);
+    }
+}

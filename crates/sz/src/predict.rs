@@ -1,0 +1,426 @@
+//! Lattice predictors.
+//!
+//! A [`Predictor`] maps a point's already-known neighbourhood to a predicted
+//! lattice value. With dual quantization the *encoder* can evaluate
+//! predictors in parallel against the full prequantized lattice; the
+//! *decoder* evaluates them sequentially in row-major order against the
+//! partially reconstructed lattice. A predictor is only **causal** (usable)
+//! if every neighbour it touches precedes the current point in row-major
+//! order — the paper's Figure 3 argument. [`CentralDiffPredictor`] is
+//! intentionally non-causal and exists to demonstrate the resulting
+//! encode/decode mismatch in tests and ablations.
+
+use crate::lattice::QuantLattice;
+
+/// A prediction model over the prequantized integer lattice.
+///
+/// `idx` is the current point's multi-index (length = ndim of the lattice).
+/// Implementations must be deterministic and, for correct codecs, causal in
+/// row-major order.
+pub trait Predictor: Sync {
+    /// Predicted lattice value at `idx` given the (partially) known lattice.
+    fn predict(&self, lattice: &QuantLattice, idx: &[usize]) -> i64;
+
+    /// Whether the predictor only reads row-major-preceding points.
+    fn is_causal(&self) -> bool {
+        true
+    }
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The classic Lorenzo predictor (1-layer), dimension-dispatching.
+///
+/// * 1-D: `q(i−1)`
+/// * 2-D: `q(i−1,j) + q(i,j−1) − q(i−1,j−1)`
+/// * 3-D: 7-term inclusion–exclusion over the preceding corner cube.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LorenzoPredictor;
+
+impl Predictor for LorenzoPredictor {
+    #[inline]
+    fn predict(&self, lattice: &QuantLattice, idx: &[usize]) -> i64 {
+        match *idx {
+            [i] => lattice.get1(i as isize - 1),
+            [i, j] => {
+                let (i, j) = (i as isize, j as isize);
+                lattice.get2(i - 1, j) + lattice.get2(i, j - 1) - lattice.get2(i - 1, j - 1)
+            }
+            [k, i, j] => {
+                let (k, i, j) = (k as isize, i as isize, j as isize);
+                lattice.get3(k - 1, i, j) + lattice.get3(k, i - 1, j) + lattice.get3(k, i, j - 1)
+                    - lattice.get3(k - 1, i - 1, j)
+                    - lattice.get3(k - 1, i, j - 1)
+                    - lattice.get3(k, i - 1, j - 1)
+                    + lattice.get3(k - 1, i - 1, j - 1)
+            }
+            _ => unreachable!("lattices are 1-3 dimensional"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lorenzo"
+    }
+}
+
+/// Central-difference predictor: `(q(i−1) + q(i+1)) / 2` along the last axis.
+///
+/// **Non-causal**: it reads `q(i+1)`, which the row-major decoder has not
+/// reconstructed yet. Kept to reproduce the paper's Figure 3 discussion —
+/// round-tripping with this predictor demonstrably diverges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CentralDiffPredictor;
+
+impl Predictor for CentralDiffPredictor {
+    #[inline]
+    fn predict(&self, lattice: &QuantLattice, idx: &[usize]) -> i64 {
+        match *idx {
+            [i] => {
+                let i = i as isize;
+                (lattice.get1(i - 1) + lattice.get1(i + 1)) / 2
+            }
+            [i, j] => {
+                let (i, j) = (i as isize, j as isize);
+                (lattice.get2(i, j - 1) + lattice.get2(i, j + 1)) / 2
+            }
+            [k, i, j] => {
+                let (k, i, j) = (k as isize, i as isize, j as isize);
+                (lattice.get3(k, i, j - 1) + lattice.get3(k, i, j + 1)) / 2
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn is_causal(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "central-diff"
+    }
+}
+
+/// SZ3-style block linear regression predictor.
+///
+/// The domain is tiled into `block × block(.× block)` tiles; within each tile
+/// the value is predicted by an affine model `a·di + b·dj (+ c·dk) + d`
+/// fitted by least squares against the prequantized values. Coefficients are
+/// stored as `f32` side information (accounted in the stream). This is a
+/// faithful simplification of SZ3's regression predictor; it is causal
+/// because the decoder receives the coefficients up front.
+#[derive(Debug, Clone)]
+pub struct RegressionPredictor {
+    block: usize,
+    ndim: usize,
+    /// Per-block coefficients: ndim slopes then intercept.
+    coeffs: Vec<f32>,
+    blocks: Vec<usize>, // block grid extents
+}
+
+impl RegressionPredictor {
+    /// Default SZ3 block edge.
+    pub const DEFAULT_BLOCK: usize = 6;
+
+    /// Fit per-block affine models against a prequantized lattice.
+    pub fn fit(lattice: &QuantLattice, block: usize) -> Self {
+        assert!(block >= 2);
+        let shape = lattice.shape();
+        let ndim = shape.ndim();
+        let dims: Vec<usize> = shape.dims().to_vec();
+        let blocks: Vec<usize> = dims.iter().map(|&d| d.div_ceil(block)).collect();
+        let nblocks: usize = blocks.iter().product();
+        let ncoef = ndim + 1;
+        let mut coeffs = vec![0.0f32; nblocks * ncoef];
+        for b in 0..nblocks {
+            let borigin = Self::block_origin(b, &blocks, block);
+            let fitted = Self::fit_block(lattice, &borigin, block, &dims);
+            coeffs[b * ncoef..(b + 1) * ncoef].copy_from_slice(&fitted);
+        }
+        RegressionPredictor { block, ndim, coeffs, blocks }
+    }
+
+    /// Rebuild from stored coefficients (decoder side).
+    pub fn from_coeffs(dims: Vec<usize>, block: usize, coeffs: Vec<f32>) -> Self {
+        let ndim = dims.len();
+        let blocks: Vec<usize> = dims.iter().map(|&d| d.div_ceil(block)).collect();
+        let nblocks: usize = blocks.iter().product();
+        assert_eq!(coeffs.len(), nblocks * (ndim + 1), "coefficient count mismatch");
+        RegressionPredictor { block, ndim, coeffs, blocks }
+    }
+
+    /// The fitted coefficients (for serialization).
+    pub fn coeffs(&self) -> &[f32] {
+        &self.coeffs
+    }
+
+    /// Block edge length.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Side-information size in bytes.
+    pub fn side_info_bytes(&self) -> usize {
+        self.coeffs.len() * 4
+    }
+
+    fn block_origin(b: usize, blocks: &[usize], block: usize) -> Vec<usize> {
+        let mut rem = b;
+        let mut origin = vec![0usize; blocks.len()];
+        for k in (0..blocks.len()).rev() {
+            origin[k] = (rem % blocks[k]) * block;
+            rem /= blocks[k];
+        }
+        origin
+    }
+
+    fn block_index(&self, idx: &[usize]) -> usize {
+        let mut b = 0usize;
+        for k in 0..self.ndim {
+            b = b * self.blocks[k] + idx[k] / self.block;
+        }
+        b
+    }
+
+    /// Least-squares fit of `a·d0 + b·d1 (+ c·d2) + intercept` on one block.
+    fn fit_block(lattice: &QuantLattice, origin: &[usize], block: usize, dims: &[usize]) -> Vec<f32> {
+        let ndim = origin.len();
+        let ncoef = ndim + 1;
+        // normal equations, tiny (≤4×4) system
+        let mut ata = vec![0.0f64; ncoef * ncoef];
+        let mut atb = vec![0.0f64; ncoef];
+        let mut extent = vec![0usize; ndim];
+        for k in 0..ndim {
+            extent[k] = block.min(dims[k] - origin[k]);
+        }
+        let total: usize = extent.iter().product();
+        for t in 0..total {
+            // unravel t into per-axis local offsets (row-major)
+            let mut rem = t;
+            let mut local = [0usize; 3];
+            for k in (0..ndim).rev() {
+                local[k] = rem % extent[k];
+                rem /= extent[k];
+            }
+            let mut row = [0.0f64; 4];
+            for k in 0..ndim {
+                row[k] = local[k] as f64;
+            }
+            row[ndim] = 1.0;
+            let off = match ndim {
+                1 => origin[0] + local[0],
+                2 => (origin[0] + local[0]) * dims[1] + origin[1] + local[1],
+                3 => {
+                    ((origin[0] + local[0]) * dims[1] + origin[1] + local[1]) * dims[2]
+                        + origin[2]
+                        + local[2]
+                }
+                _ => unreachable!(),
+            };
+            let y = lattice.as_slice()[off] as f64;
+            for r in 0..ncoef {
+                for c in 0..ncoef {
+                    ata[r * ncoef + c] += row[r] * row[c];
+                }
+                atb[r] += row[r] * y;
+            }
+        }
+        Self::solve(&mut ata, &mut atb, ncoef)
+    }
+
+    /// Gaussian elimination with partial pivoting on the tiny normal system.
+    fn solve(ata: &mut [f64], atb: &mut [f64], n: usize) -> Vec<f32> {
+        for col in 0..n {
+            // pivot
+            let mut piv = col;
+            for r in col + 1..n {
+                if ata[r * n + col].abs() > ata[piv * n + col].abs() {
+                    piv = r;
+                }
+            }
+            if ata[piv * n + col].abs() < 1e-12 {
+                continue; // singular direction (e.g. 1-wide block): slope 0
+            }
+            if piv != col {
+                for c in 0..n {
+                    ata.swap(col * n + c, piv * n + c);
+                }
+                atb.swap(col, piv);
+            }
+            let d = ata[col * n + col];
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = ata[r * n + col] / d;
+                for c in 0..n {
+                    ata[r * n + c] -= f * ata[col * n + c];
+                }
+                atb[r] -= f * atb[col];
+            }
+        }
+        (0..n)
+            .map(|k| {
+                let d = ata[k * n + k];
+                if d.abs() < 1e-12 {
+                    0.0
+                } else {
+                    (atb[k] / d) as f32
+                }
+            })
+            .collect()
+    }
+}
+
+impl Predictor for RegressionPredictor {
+    fn predict(&self, _lattice: &QuantLattice, idx: &[usize]) -> i64 {
+        let b = self.block_index(idx);
+        let ncoef = self.ndim + 1;
+        let co = &self.coeffs[b * ncoef..(b + 1) * ncoef];
+        let mut v = co[self.ndim] as f64;
+        for k in 0..self.ndim {
+            let local = (idx[k] % self.block) as f64;
+            v += co[k] as f64 * local;
+        }
+        v.round() as i64
+    }
+
+    fn name(&self) -> &'static str {
+        "regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_tensor::Shape;
+
+    #[test]
+    fn lorenzo_2d_on_linear_field_is_exact() {
+        // On affine data the 2-D Lorenzo prediction is exact away from borders.
+        let dims = (8usize, 8usize);
+        let data: Vec<i64> = (0..dims.0 as i64 * dims.1 as i64)
+            .map(|o| {
+                let (i, j) = (o / dims.1 as i64, o % dims.1 as i64);
+                3 * i + 2 * j + 5
+            })
+            .collect();
+        let lat = QuantLattice::from_vec(Shape::d2(dims.0, dims.1), data);
+        let p = LorenzoPredictor;
+        for i in 1..dims.0 {
+            for j in 1..dims.1 {
+                let expect = 3 * i as i64 + 2 * j as i64 + 5;
+                assert_eq!(p.predict(&lat, &[i, j]), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo_3d_on_linear_field_is_exact() {
+        let (n0, n1, n2) = (5usize, 6usize, 7usize);
+        let mut data = Vec::new();
+        for k in 0..n0 as i64 {
+            for i in 0..n1 as i64 {
+                for j in 0..n2 as i64 {
+                    data.push(4 * k - 2 * i + j + 9);
+                }
+            }
+        }
+        let lat = QuantLattice::from_vec(Shape::d3(n0, n1, n2), data);
+        let p = LorenzoPredictor;
+        for k in 1..n0 {
+            for i in 1..n1 {
+                for j in 1..n2 {
+                    let expect = 4 * k as i64 - 2 * i as i64 + j as i64 + 9;
+                    assert_eq!(p.predict(&lat, &[k, i, j]), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo_border_uses_zero_padding() {
+        let lat = QuantLattice::from_vec(Shape::d2(2, 2), vec![10, 20, 30, 40]);
+        let p = LorenzoPredictor;
+        assert_eq!(p.predict(&lat, &[0, 0]), 0);
+        assert_eq!(p.predict(&lat, &[0, 1]), 10);
+        assert_eq!(p.predict(&lat, &[1, 0]), 10);
+    }
+
+    #[test]
+    fn central_is_flagged_non_causal() {
+        assert!(!CentralDiffPredictor.is_causal());
+        assert!(LorenzoPredictor.is_causal());
+    }
+
+    #[test]
+    fn regression_fits_affine_block_exactly() {
+        let (r, c) = (12usize, 12usize);
+        let data: Vec<i64> = (0..r * c)
+            .map(|o| {
+                let (i, j) = (o / c, o % c);
+                (7 * i + 3 * j + 11) as i64
+            })
+            .collect();
+        let lat = QuantLattice::from_vec(Shape::d2(r, c), data);
+        let reg = RegressionPredictor::fit(&lat, 6);
+        for i in 0..r {
+            for j in 0..c {
+                let expect = (7 * i + 3 * j + 11) as i64;
+                let got = reg.predict(&lat, &[i, j]);
+                assert!((got - expect).abs() <= 1, "at ({i},{j}): {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn regression_roundtrips_through_coeffs() {
+        let data: Vec<i64> = (0..100).map(|v| (v * v % 37) as i64).collect();
+        let lat = QuantLattice::from_vec(Shape::d2(10, 10), data);
+        let reg = RegressionPredictor::fit(&lat, 4);
+        let reg2 = RegressionPredictor::from_coeffs(vec![10, 10], 4, reg.coeffs().to_vec());
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(reg.predict(&lat, &[i, j]), reg2.predict(&lat, &[i, j]));
+            }
+        }
+    }
+
+    #[test]
+    fn regression_handles_ragged_edges() {
+        // 7×5 with block 4 → ragged last blocks; must not panic and must
+        // produce finite predictions.
+        let data: Vec<i64> = (0..35).map(|v| v as i64 * 3).collect();
+        let lat = QuantLattice::from_vec(Shape::d2(7, 5), data);
+        let reg = RegressionPredictor::fit(&lat, 4);
+        for i in 0..7 {
+            for j in 0..5 {
+                let _ = reg.predict(&lat, &[i, j]);
+            }
+        }
+    }
+
+    #[test]
+    fn regression_3d_fit() {
+        let (n0, n1, n2) = (6usize, 6usize, 6usize);
+        let mut data = Vec::new();
+        for k in 0..n0 as i64 {
+            for i in 0..n1 as i64 {
+                for j in 0..n2 as i64 {
+                    data.push(2 * k + 5 * i - 3 * j + 1);
+                }
+            }
+        }
+        let lat = QuantLattice::from_vec(Shape::d3(n0, n1, n2), data);
+        let reg = RegressionPredictor::fit(&lat, 6);
+        for k in 0..n0 {
+            for i in 0..n1 {
+                for j in 0..n2 {
+                    let expect = 2 * k as i64 + 5 * i as i64 - 3 * j as i64 + 1;
+                    let got = reg.predict(&lat, &[k, i, j]);
+                    assert!((got - expect).abs() <= 1, "({k},{i},{j}): {got} vs {expect}");
+                }
+            }
+        }
+    }
+}

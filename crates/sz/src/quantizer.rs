@@ -1,0 +1,135 @@
+//! Postquantization: mapping prediction residuals to bounded codes.
+//!
+//! After prediction on the prequantized lattice, the residual
+//! `delta = q − pred` is an exact integer. Residuals within `±radius` map to
+//! codes `0..2·radius`; anything else becomes the *escape* code `2·radius`
+//! with the true lattice value stored verbatim in an outlier section (the SZ
+//! "unpredictable data" path).
+
+/// Default quantization radius (SZ3 uses a 2^16-bin quantizer by default;
+/// 512 keeps the Huffman alphabet compact and matches cuSZ's default).
+pub const DEFAULT_RADIUS: u32 = 512;
+
+/// Configuration of the residual quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizerConfig {
+    /// Residuals in `(-radius, +radius]`… actually `[-radius, radius]` are
+    /// representable; see [`QuantizerConfig::encode_one`].
+    pub radius: u32,
+}
+
+impl Default for QuantizerConfig {
+    fn default() -> Self {
+        QuantizerConfig { radius: DEFAULT_RADIUS }
+    }
+}
+
+/// Result of residual encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedResiduals {
+    /// One code per sample: `0..=2·radius`, where `2·radius` is the escape.
+    pub codes: Vec<u32>,
+    /// Lattice values for escaped samples, in scan order.
+    pub outliers: Vec<i64>,
+}
+
+impl QuantizerConfig {
+    /// Number of distinct codes (including the escape symbol).
+    #[inline]
+    pub fn alphabet(&self) -> usize {
+        2 * self.radius as usize + 1
+    }
+
+    /// The escape code.
+    #[inline]
+    pub fn escape(&self) -> u32 {
+        2 * self.radius
+    }
+
+    /// Encode one residual. Returns `(code, Some(lattice_value))` when the
+    /// residual escapes the radius.
+    #[inline]
+    pub fn encode_one(&self, delta: i64, q: i64) -> (u32, Option<i64>) {
+        let r = self.radius as i64;
+        if delta > -r && delta < r {
+            ((delta + r) as u32, None)
+        } else {
+            (self.escape(), Some(q))
+        }
+    }
+
+    /// Decode one code. `Err(())` signals the escape (caller pops an outlier).
+    #[inline]
+    pub fn decode_one(&self, code: u32) -> Result<i64, ()> {
+        if code == self.escape() {
+            Err(())
+        } else {
+            debug_assert!(code < self.escape());
+            Ok(code as i64 - self.radius as i64)
+        }
+    }
+
+    /// Encode a full residual stream given lattice values (for escapes).
+    pub fn encode(&self, deltas: &[i64], lattice: &[i64]) -> EncodedResiduals {
+        assert_eq!(deltas.len(), lattice.len());
+        let mut codes = Vec::with_capacity(deltas.len());
+        let mut outliers = Vec::new();
+        for (&d, &q) in deltas.iter().zip(lattice) {
+            let (code, out) = self.encode_one(d, q);
+            codes.push(code);
+            if let Some(v) = out {
+                outliers.push(v);
+            }
+        }
+        EncodedResiduals { codes, outliers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_residuals_roundtrip() {
+        let q = QuantizerConfig { radius: 8 };
+        for d in -7..=7i64 {
+            let (code, out) = q.encode_one(d, 999);
+            assert!(out.is_none(), "{d} should be in-range");
+            assert_eq!(q.decode_one(code), Ok(d));
+        }
+    }
+
+    #[test]
+    fn boundary_residuals_escape() {
+        let q = QuantizerConfig { radius: 8 };
+        for d in [-8i64, 8, 100, -1000] {
+            let (code, out) = q.encode_one(d, 42);
+            assert_eq!(code, q.escape());
+            assert_eq!(out, Some(42));
+            assert!(q.decode_one(code).is_err());
+        }
+    }
+
+    #[test]
+    fn alphabet_size() {
+        let q = QuantizerConfig { radius: 512 };
+        assert_eq!(q.alphabet(), 1025);
+        assert_eq!(q.escape(), 1024);
+    }
+
+    #[test]
+    fn stream_encode_counts_outliers() {
+        let q = QuantizerConfig { radius: 4 };
+        let deltas = vec![0, 3, -3, 100, -100, 2];
+        let lattice = vec![10, 11, 12, 13, 14, 15];
+        let enc = q.encode(&deltas, &lattice);
+        assert_eq!(enc.codes.len(), 6);
+        assert_eq!(enc.outliers, vec![13, 14]);
+        assert_eq!(enc.codes.iter().filter(|&&c| c == q.escape()).count(), 2);
+    }
+
+    #[test]
+    fn default_radius_matches_constant() {
+        assert_eq!(QuantizerConfig::default().radius, DEFAULT_RADIUS);
+    }
+}

@@ -1,0 +1,195 @@
+//! Compressed stream container format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "CFSZ" | version u16 | ndim u8 | dims u64×ndim | eb f64 | radius u32
+//! | n_sections u16 | { tag u8, len u64, bytes } ×n_sections
+//! ```
+//!
+//! Section tags identify the payloads (Huffman-coded residuals, outliers,
+//! predictor side info, embedded CFNN model, …). Unknown tags are preserved
+//! so future extensions stay readable.
+
+use bytes::{Buf, BufMut};
+use cfc_tensor::Shape;
+
+/// Stream magic bytes.
+pub const MAGIC: &[u8; 4] = b"CFSZ";
+/// Container version.
+pub const VERSION: u16 = 1;
+
+/// Section tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SectionTag {
+    /// Huffman table + coded residual codes (LZSS-wrapped).
+    Residuals = 1,
+    /// Outlier lattice values.
+    Outliers = 2,
+    /// Predictor side information (e.g. regression coefficients).
+    PredictorSideInfo = 3,
+    /// Serialized CFNN weights (cross-field pipeline only).
+    Model = 4,
+    /// Hybrid-model weights (cross-field pipeline only).
+    HybridWeights = 5,
+    /// Cross-field metadata (anchor names, normalizers).
+    CrossFieldMeta = 6,
+}
+
+impl SectionTag {
+    fn from_u8(v: u8) -> Option<SectionTag> {
+        match v {
+            1 => Some(SectionTag::Residuals),
+            2 => Some(SectionTag::Outliers),
+            3 => Some(SectionTag::PredictorSideInfo),
+            4 => Some(SectionTag::Model),
+            5 => Some(SectionTag::HybridWeights),
+            6 => Some(SectionTag::CrossFieldMeta),
+            _ => None,
+        }
+    }
+}
+
+/// In-memory form of a compressed stream.
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Shape of the encoded field.
+    pub shape: Shape,
+    /// Absolute error bound used.
+    pub eb: f64,
+    /// Quantizer radius.
+    pub radius: u32,
+    /// Tagged payload sections.
+    pub sections: Vec<(u8, Vec<u8>)>,
+}
+
+impl Container {
+    /// New empty container.
+    pub fn new(shape: Shape, eb: f64, radius: u32) -> Self {
+        Container { shape, eb, radius, sections: Vec::new() }
+    }
+
+    /// Append a section.
+    pub fn push(&mut self, tag: SectionTag, bytes: Vec<u8>) {
+        self.sections.push((tag as u8, bytes));
+    }
+
+    /// Fetch a section body by tag.
+    pub fn section(&self, tag: SectionTag) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag as u8)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Fetch a section body, panicking with context when absent.
+    pub fn expect_section(&self, tag: SectionTag) -> &[u8] {
+        self.section(tag)
+            .unwrap_or_else(|| panic!("stream missing section {tag:?}"))
+    }
+
+    /// Total serialized size in bytes.
+    pub fn serialized_len(&self) -> usize {
+        let header = 4 + 2 + 1 + 8 * self.shape.ndim() + 8 + 4 + 2;
+        header + self.sections.iter().map(|(_, b)| 1 + 8 + b.len()).sum::<usize>()
+    }
+
+    /// Serialize to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.put_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u8(self.shape.ndim() as u8);
+        for &d in self.shape.dims() {
+            out.put_u64_le(d as u64);
+        }
+        out.put_f64_le(self.eb);
+        out.put_u32_le(self.radius);
+        out.put_u16_le(self.sections.len() as u16);
+        for (tag, bytes) in &self.sections {
+            out.put_u8(*tag);
+            out.put_u64_le(bytes.len() as u64);
+            out.put_slice(bytes);
+        }
+        out
+    }
+
+    /// Parse from bytes.
+    pub fn from_bytes(mut buf: &[u8]) -> Self {
+        assert!(buf.len() >= 4 && &buf[..4] == MAGIC, "bad magic — not a CFSZ stream");
+        buf.advance(4);
+        let version = buf.get_u16_le();
+        assert_eq!(version, VERSION, "unsupported stream version {version}");
+        let ndim = buf.get_u8() as usize;
+        assert!((1..=3).contains(&ndim), "invalid ndim {ndim}");
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(buf.get_u64_le() as usize);
+        }
+        let shape = Shape::from_slice(&dims);
+        let eb = buf.get_f64_le();
+        let radius = buf.get_u32_le();
+        let nsec = buf.get_u16_le() as usize;
+        let mut sections = Vec::with_capacity(nsec);
+        for _ in 0..nsec {
+            let tag = buf.get_u8();
+            let len = buf.get_u64_le() as usize;
+            assert!(buf.remaining() >= len, "truncated section (tag {tag})");
+            let bytes = buf[..len].to_vec();
+            buf.advance(len);
+            // validate known tags eagerly so corruption surfaces here
+            let _ = SectionTag::from_u8(tag);
+            sections.push((tag, bytes));
+        }
+        Container { shape, eb, radius, sections }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = Container::new(Shape::d2(10, 20), 1e-3, 512);
+        let c2 = Container::from_bytes(&c.to_bytes());
+        assert_eq!(c2.shape, c.shape);
+        assert_eq!(c2.eb, c.eb);
+        assert_eq!(c2.radius, c.radius);
+        assert!(c2.sections.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_sections() {
+        let mut c = Container::new(Shape::d3(4, 5, 6), 5e-4, 256);
+        c.push(SectionTag::Residuals, vec![1, 2, 3]);
+        c.push(SectionTag::Outliers, vec![]);
+        c.push(SectionTag::Model, vec![9; 1000]);
+        let c2 = Container::from_bytes(&c.to_bytes());
+        assert_eq!(c2.section(SectionTag::Residuals), Some(&[1u8, 2, 3][..]));
+        assert_eq!(c2.section(SectionTag::Outliers), Some(&[][..]));
+        assert_eq!(c2.section(SectionTag::Model).unwrap().len(), 1000);
+        assert!(c2.section(SectionTag::HybridWeights).is_none());
+    }
+
+    #[test]
+    fn serialized_len_is_exact() {
+        let mut c = Container::new(Shape::d1(100), 1e-2, 512);
+        c.push(SectionTag::Residuals, vec![0; 37]);
+        assert_eq!(c.serialized_len(), c.to_bytes().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad magic")]
+    fn bad_magic_rejected() {
+        let _ = Container::from_bytes(b"NOPE\x01\x00");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing section")]
+    fn expect_section_panics_when_absent() {
+        let c = Container::new(Shape::d1(1), 1.0, 1);
+        let _ = c.expect_section(SectionTag::Model);
+    }
+}

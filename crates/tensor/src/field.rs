@@ -1,0 +1,246 @@
+//! Dense owned scientific field.
+
+use crate::shape::{Axis, Shape};
+
+/// A dense, row-major array of `f32` samples with an attached [`Shape`].
+///
+/// `Field` is the unit of compression in this workspace: one variable of one
+/// snapshot (e.g. the `Wf` wind-speed field of the Hurricane dataset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Field {
+    /// A zero-filled field of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        Field { shape, data: vec![0.0; shape.len()] }
+    }
+
+    /// A constant-filled field.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Field { shape, data: vec![value; shape.len()] }
+    }
+
+    /// Wrap an existing buffer. `data.len()` must equal `shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Field { shape, data }
+    }
+
+    /// Build a field by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for off in 0..shape.len() {
+            let idx = shape.unravel(off);
+            data.push(f(&idx[..shape.ndim()]));
+        }
+        Field { shape, data }
+    }
+
+    /// The field's shape.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the field holds no samples (impossible by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the raw samples (row-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw samples (row-major).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the field, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Sample at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Overwrite the sample at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Extract the 2-D (or 1-D) slice with index `pos` along `axis`.
+    ///
+    /// This mirrors the paper's visualizations (e.g. "the 49th slice along
+    /// the first dimension of the U field").
+    pub fn slice(&self, axis: Axis, pos: usize) -> Field {
+        let nd = self.shape.ndim();
+        assert!(axis.index() < nd, "axis out of range for {}-D field", nd);
+        assert!(pos < self.shape.dim(axis), "slice index out of bounds");
+        let out_shape = self.shape.slice_shape(axis);
+        let mut out = Vec::with_capacity(out_shape.len());
+        match nd {
+            1 => out.push(self.data[pos]),
+            2 => {
+                let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
+                match axis {
+                    Axis::X => out.extend_from_slice(&self.data[pos * c..(pos + 1) * c]),
+                    Axis::Y => {
+                        for i in 0..r {
+                            out.push(self.data[i * c + pos]);
+                        }
+                    }
+                    Axis::Z => unreachable!(),
+                }
+            }
+            3 => {
+                let d = self.shape.dims();
+                let (n0, n1, n2) = (d[0], d[1], d[2]);
+                match axis {
+                    Axis::X => {
+                        out.extend_from_slice(&self.data[pos * n1 * n2..(pos + 1) * n1 * n2])
+                    }
+                    Axis::Y => {
+                        for k in 0..n0 {
+                            let base = k * n1 * n2 + pos * n2;
+                            out.extend_from_slice(&self.data[base..base + n2]);
+                        }
+                    }
+                    Axis::Z => {
+                        for k in 0..n0 {
+                            for i in 0..n1 {
+                                out.push(self.data[k * n1 * n2 + i * n2 + pos]);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        Field::from_vec(out_shape, out)
+    }
+
+    /// Copy a rectangular window `[r0..r0+h) × [c0..c0+w)` out of a 2-D field.
+    pub fn window2d(&self, r0: usize, c0: usize, h: usize, w: usize) -> Field {
+        assert_eq!(self.shape.ndim(), 2, "window2d requires a 2-D field");
+        let (rows, cols) = (self.shape.dims()[0], self.shape.dims()[1]);
+        assert!(r0 + h <= rows && c0 + w <= cols, "window out of bounds");
+        let mut out = Vec::with_capacity(h * w);
+        for i in r0..r0 + h {
+            out.extend_from_slice(&self.data[i * cols + c0..i * cols + c0 + w]);
+        }
+        Field::from_vec(Shape::d2(h, w), out)
+    }
+
+    /// Element-wise map into a new field.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Field {
+        Field {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise binary combination with another same-shaped field.
+    pub fn zip_map(&self, other: &Field, f: impl Fn(f32, f32) -> f32) -> Field {
+        assert_eq!(self.shape, other.shape, "shape mismatch in zip_map");
+        Field {
+            shape: self.shape,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: Shape) -> Field {
+        Field::from_vec(shape, (0..shape.len()).map(|v| v as f32).collect())
+    }
+
+    #[test]
+    fn from_fn_matches_indexing() {
+        let f = Field::from_fn(Shape::d2(3, 4), |idx| (idx[0] * 10 + idx[1]) as f32);
+        assert_eq!(f.get(&[2, 3]), 23.0);
+        assert_eq!(f.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn slice_axis0_of_3d_is_contiguous_block() {
+        let f = iota(Shape::d3(3, 2, 4));
+        let s = f.slice(Axis::X, 1);
+        assert_eq!(s.shape(), Shape::d2(2, 4));
+        assert_eq!(s.as_slice(), &(8..16).map(|v| v as f32).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn slice_axis1_of_3d_gathers_rows() {
+        let f = iota(Shape::d3(2, 3, 2));
+        let s = f.slice(Axis::Y, 2);
+        assert_eq!(s.shape(), Shape::d2(2, 2));
+        assert_eq!(s.as_slice(), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn slice_axis2_of_3d_gathers_columns() {
+        let f = iota(Shape::d3(2, 2, 3));
+        let s = f.slice(Axis::Z, 1);
+        assert_eq!(s.shape(), Shape::d2(2, 2));
+        assert_eq!(s.as_slice(), &[1.0, 4.0, 7.0, 10.0]);
+    }
+
+    #[test]
+    fn slice_of_2d_field() {
+        let f = iota(Shape::d2(3, 4));
+        assert_eq!(f.slice(Axis::X, 2).as_slice(), &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(f.slice(Axis::Y, 1).as_slice(), &[1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn window_extracts_block() {
+        let f = iota(Shape::d2(4, 4));
+        let w = f.window2d(1, 2, 2, 2);
+        assert_eq!(w.as_slice(), &[6.0, 7.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn zip_map_adds() {
+        let a = iota(Shape::d1(4));
+        let b = Field::full(Shape::d1(4), 2.0);
+        assert_eq!(a.zip_map(&b, |x, y| x + y).as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_wrong_len() {
+        let _ = Field::from_vec(Shape::d2(2, 2), vec![0.0; 3]);
+    }
+}

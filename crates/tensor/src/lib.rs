@@ -1,0 +1,31 @@
+//! `cfc-tensor` — the n-dimensional field substrate used throughout the
+//! cross-field compression workspace.
+//!
+//! Scientific datasets in this project are collections of named *fields*:
+//! dense 1/2/3-dimensional arrays of `f32` samples. This crate provides
+//!
+//! * [`Shape`] — dimension bookkeeping with row-major strides,
+//! * [`Field`] — an owned dense array with slicing and windowing,
+//! * [`diff`] — first-order backward/forward/central differences (the raw
+//!   material of the cross-field predictor),
+//! * [`stats`] — range/moment statistics and normalization helpers,
+//! * [`patch`] — 2-D patch extraction used to build CNN training sets.
+//!
+//! Everything is deliberately concrete (`f32`, at most 3 axes): the paper's
+//! datasets are 2-D and 3-D single-precision fields, and keeping the core
+//! types monomorphic keeps the hot compression loops transparent to the
+//! optimizer.
+
+pub mod diff;
+pub mod field;
+pub mod patch;
+pub mod shape;
+pub mod stats;
+
+pub use field::Field;
+pub use patch::{Patch, PatchSampler};
+pub use shape::{Axis, Shape};
+pub use stats::{FieldStats, Normalizer};
+
+/// Maximum number of axes supported by [`Shape`] / [`Field`].
+pub const MAX_DIMS: usize = 3;

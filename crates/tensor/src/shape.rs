@@ -1,0 +1,211 @@
+//! Shape and index arithmetic for row-major fields of up to three axes.
+
+use crate::MAX_DIMS;
+
+/// Identifies one axis of a field.
+///
+/// Axis 0 is the slowest-varying (outermost) dimension in memory. For the
+/// 3-D datasets in the paper this is the vertical / level axis, matching the
+/// `98x1200x1200` convention of SDRBench (levels × lat × lon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Outermost axis (k / level for 3-D, row for 2-D).
+    X = 0,
+    /// Middle axis (i / latitude for 3-D, column for 2-D).
+    Y = 1,
+    /// Innermost axis (j / longitude, 3-D only).
+    Z = 2,
+}
+
+impl Axis {
+    /// All axes in index order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Numeric index of the axis.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The first `n` axes, for an `n`-dimensional shape.
+    pub fn first(n: usize) -> &'static [Axis] {
+        &Self::ALL[..n]
+    }
+}
+
+/// A row-major shape of 1–3 dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_DIMS],
+    ndim: usize,
+}
+
+impl Shape {
+    /// A 1-D shape of length `n`.
+    pub fn d1(n: usize) -> Self {
+        assert!(n > 0, "shape axes must be non-zero");
+        Shape { dims: [n, 1, 1], ndim: 1 }
+    }
+
+    /// A 2-D shape of `rows × cols`.
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "shape axes must be non-zero");
+        Shape { dims: [rows, cols, 1], ndim: 2 }
+    }
+
+    /// A 3-D shape of `depth × rows × cols`.
+    pub fn d3(depth: usize, rows: usize, cols: usize) -> Self {
+        assert!(depth > 0 && rows > 0 && cols > 0, "shape axes must be non-zero");
+        Shape { dims: [depth, rows, cols], ndim: 3 }
+    }
+
+    /// Build from a slice of 1–3 extents.
+    pub fn from_slice(dims: &[usize]) -> Self {
+        match dims {
+            [a] => Shape::d1(*a),
+            [a, b] => Shape::d2(*a, *b),
+            [a, b, c] => Shape::d3(*a, *b, *c),
+            _ => panic!("shapes of {} dims are unsupported", dims.len()),
+        }
+    }
+
+    /// Number of axes (1, 2, or 3).
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Extent along `axis` (1 for axes beyond `ndim`).
+    #[inline]
+    pub fn dim(&self, axis: Axis) -> usize {
+        self.dims[axis.index()]
+    }
+
+    /// The extents of the used axes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.ndim]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims[..self.ndim].iter().product()
+    }
+
+    /// True when the shape holds zero elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides (in elements) for each used axis.
+    #[inline]
+    pub fn strides(&self) -> [usize; MAX_DIMS] {
+        let mut s = [1usize; MAX_DIMS];
+        for i in (0..self.ndim.saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.dims[i + 1];
+        }
+        s
+    }
+
+    /// Linear offset of the multi-index `idx` (must have `ndim` entries).
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.ndim);
+        let s = self.strides();
+        let mut off = 0usize;
+        for (k, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.dims[k], "index {i} out of bounds on axis {k}");
+            off += i * s[k];
+        }
+        off
+    }
+
+    /// Inverse of [`Shape::offset`]: multi-index of a linear offset.
+    #[inline]
+    pub fn unravel(&self, mut offset: usize) -> [usize; MAX_DIMS] {
+        debug_assert!(offset < self.len());
+        let s = self.strides();
+        let mut idx = [0usize; MAX_DIMS];
+        for k in 0..self.ndim {
+            idx[k] = offset / s[k];
+            offset %= s[k];
+        }
+        idx
+    }
+
+    /// Shape of one slice taken perpendicular to `axis`.
+    pub fn slice_shape(&self, axis: Axis) -> Shape {
+        assert!(axis.index() < self.ndim, "axis out of range");
+        let mut rem = Vec::with_capacity(self.ndim - 1);
+        for (k, &d) in self.dims().iter().enumerate() {
+            if k != axis.index() {
+                rem.push(d);
+            }
+        }
+        if rem.is_empty() {
+            Shape::d1(1)
+        } else {
+            Shape::from_slice(&rem)
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let strs: Vec<String> = self.dims().iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", strs.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::d3(4, 5, 6);
+        assert_eq!(s.strides(), [30, 6, 1]);
+        let s2 = Shape::d2(7, 9);
+        assert_eq!(s2.strides()[..2], [9, 1]);
+    }
+
+    #[test]
+    fn offset_roundtrips_with_unravel() {
+        let s = Shape::d3(3, 4, 5);
+        for off in 0..s.len() {
+            let idx = s.unravel(off);
+            assert_eq!(s.offset(&idx[..3]), off);
+        }
+    }
+
+    #[test]
+    fn len_matches_product() {
+        assert_eq!(Shape::d1(17).len(), 17);
+        assert_eq!(Shape::d2(3, 9).len(), 27);
+        assert_eq!(Shape::d3(2, 3, 4).len(), 24);
+    }
+
+    #[test]
+    fn slice_shape_removes_axis() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.slice_shape(Axis::X), Shape::d2(3, 4));
+        assert_eq!(s.slice_shape(Axis::Y), Shape::d2(2, 4));
+        assert_eq!(s.slice_shape(Axis::Z), Shape::d2(2, 3));
+        let s2 = Shape::d2(5, 6);
+        assert_eq!(s2.slice_shape(Axis::X), Shape::d1(6));
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::d3(98, 1200, 1200).to_string(), "98x1200x1200");
+        assert_eq!(Shape::d2(1800, 3600).to_string(), "1800x3600");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_extent_panics() {
+        let _ = Shape::d2(0, 4);
+    }
+}

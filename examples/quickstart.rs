@@ -1,0 +1,89 @@
+//! Quickstart: compress one field with the baseline SZ-style compressor and
+//! with cross-field enhancement, and verify the error bound.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cross_field_compression::core::config::{CfnnSpec, TrainConfig};
+use cross_field_compression::core::pipeline::CrossFieldCompressor;
+use cross_field_compression::core::train::train_cfnn;
+use cross_field_compression::datagen::FractalNoise;
+use cross_field_compression::metrics::{psnr, ssim_field};
+use cross_field_compression::tensor::{Field, Shape};
+
+fn main() {
+    // 1. Make a pair of correlated fields (in practice: two variables of one
+    //    simulation snapshot). The anchor carries fine-scale structure; the
+    //    target is a nonlinear function of it — locally rough (hard for a
+    //    Lorenzo predictor) but cross-field predictable.
+    let (rows, cols) = (384usize, 384usize);
+    let shape = Shape::d2(rows, cols);
+    let smooth_a = FractalNoise::new(1).with_base_freq(3.0).with_persistence(0.35);
+    let smooth_t = FractalNoise::new(9).with_base_freq(2.5).with_persistence(0.3).with_octaves(3);
+    let rough = FractalNoise::new(2).with_base_freq(12.0).with_persistence(0.6);
+    let shared = rough.grid2(rows, cols, 0.7);
+    let anchor = Field::from_vec(
+        shape,
+        smooth_a
+            .grid2(rows, cols, 0.1)
+            .iter()
+            .zip(&shared)
+            .map(|(&a, &b)| 4.0 * a + 9.0 * b)
+            .collect(),
+    );
+    // target: its own large-scale structure (Lorenzo's home turf) plus the
+    // anchor's fine-scale texture (CFNN's home turf)
+    let target = Field::from_vec(
+        shape,
+        smooth_t
+            .grid2(rows, cols, 0.4)
+            .iter()
+            .zip(&shared)
+            .map(|(&a, &b)| 30.0 * a + 8.0 * b)
+            .collect(),
+    );
+
+    // 2. Baseline: error-bounded SZ-style compression (Lorenzo + dual-quant).
+    let rel_eb = 2e-4;
+    let comp = CrossFieldCompressor::new(rel_eb);
+    let baseline = comp.baseline();
+    let base_stream = baseline.compress(&target);
+    let base_rec = baseline.decompress(&base_stream.bytes);
+    println!(
+        "baseline     : {:.2}x  ({:.3} bits/value, PSNR {:.2} dB, SSIM {:.4})",
+        base_stream.ratio(target.len()),
+        base_stream.bit_rate(target.len()),
+        psnr(&target, &base_rec),
+        ssim_field(&target, &base_rec),
+    );
+
+    // 3. Cross-field: train a CFNN once (on original data — one model serves
+    //    every error bound), then compress with the hybrid predictor.
+    let spec = CfnnSpec::compact(1, 2);
+    let mut trained = train_cfnn(&spec, &TrainConfig::default(), &[&anchor], &target);
+    let anchor_dec = comp.roundtrip_anchor(&anchor); // what the decoder has
+    let stream = comp.compress(&mut trained, &target, &[&anchor_dec]);
+    let rec = comp.decompress(&stream.bytes, &[&anchor_dec]);
+    println!(
+        "cross-field  : {:.2}x  ({:.3} bits/value, PSNR {:.2} dB, SSIM {:.4}, model {} B)",
+        stream.ratio(target.len()),
+        stream.bit_rate(target.len()),
+        psnr(&target, &rec),
+        ssim_field(&target, &rec),
+        stream.model_bytes,
+    );
+    println!("hybrid weights (Lorenzo, d_rows, d_cols): {:?}", stream.hybrid.weights);
+
+    // 4. The error bound holds pointwise for both.
+    let eb = stream.eb_abs;
+    let worst = target
+        .as_slice()
+        .iter()
+        .zip(rec.as_slice())
+        .map(|(a, b)| (a - b).abs() as f64)
+        .fold(0.0, f64::max);
+    println!("error bound {eb:.6} — worst reconstruction error {worst:.6} (must be ≤)");
+    assert!(worst <= eb * (1.0 + 1e-9));
+    println!("✓ error bound verified");
+}

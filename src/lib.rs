@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the whole cross-field compression workspace.
+//!
+//! Reproduction of "Enhancing Lossy Compression Through Cross-Field
+//! Information for Scientific Applications" (SC 2024). See `DESIGN.md` for
+//! the system inventory and `EXPERIMENTS.md` for reproduced results.
+
+pub use cfc_core as core;
+pub use cfc_datagen as datagen;
+pub use cfc_metrics as metrics;
+pub use cfc_nn as nn;
+pub use cfc_sz as sz;
+pub use cfc_tensor as tensor;

@@ -1,0 +1,61 @@
+//! Property tests of the lossless building blocks: LZSS round-trip identity
+//! on arbitrary byte streams and Huffman round-trip on arbitrary symbol
+//! streams — the invariants the residual pipeline relies on.
+
+use proptest::prelude::*;
+
+use cross_field_compression::sz::huffman::HuffmanTable;
+use cross_field_compression::sz::{compressor, lossless};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// decompress(compress(x)) == x for arbitrary bytes.
+    #[test]
+    fn lzss_roundtrip_identity(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(lossless::decompress(&lossless::compress(&data)), data);
+    }
+
+    /// Same with repetitive structure (exercises the match path heavily).
+    #[test]
+    fn lzss_roundtrip_repetitive(
+        unit in prop::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..600,
+        tail in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).cloned().collect();
+        data.extend(tail);
+        prop_assert_eq!(lossless::decompress(&lossless::compress(&data)), data);
+    }
+
+    /// Huffman round-trip on arbitrary bounded symbol streams.
+    #[test]
+    fn huffman_roundtrip(symbols in prop::collection::vec(0u32..1025, 1..4096)) {
+        let table = HuffmanTable::from_symbols(&symbols);
+        let bits = table.encode(&symbols);
+        prop_assert_eq!(table.decode(&bits, symbols.len()), symbols);
+    }
+
+    /// Huffman table survives serialization.
+    #[test]
+    fn huffman_table_serde(symbols in prop::collection::vec(0u32..100_000, 1..512)) {
+        let table = HuffmanTable::from_symbols(&symbols);
+        let (table2, _) = HuffmanTable::deserialize(&table.serialize());
+        let bits = table.encode(&symbols);
+        prop_assert_eq!(table2.decode(&bits, symbols.len()), symbols);
+    }
+
+    /// Outlier varint coding round-trips arbitrary i64s.
+    #[test]
+    fn outlier_roundtrip(vals in prop::collection::vec(any::<i64>(), 0..512)) {
+        let bytes = compressor::encode_outliers(&vals);
+        prop_assert_eq!(compressor::decode_outliers(&bytes), vals);
+    }
+
+    /// Residual code coding round-trips (Huffman + LZSS composition).
+    #[test]
+    fn code_stream_roundtrip(codes in prop::collection::vec(0u32..1025, 1..2048)) {
+        let bytes = compressor::encode_codes(&codes);
+        prop_assert_eq!(compressor::decode_codes(&bytes, codes.len()), codes);
+    }
+}

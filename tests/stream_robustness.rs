@@ -1,0 +1,80 @@
+//! Stream-format robustness: corrupt and truncated inputs must fail loudly
+//! (panic with a diagnostic), never decode garbage silently.
+
+use cross_field_compression::sz::stream::{Container, SectionTag};
+use cross_field_compression::sz::SzCompressor;
+use cross_field_compression::tensor::{Field, Shape};
+
+fn sample_stream() -> (SzCompressor, Vec<u8>, Field) {
+    let f = Field::from_fn(Shape::d2(24, 24), |idx| {
+        ((idx[0] as f32) * 0.2).sin() * 10.0 + idx[1] as f32 * 0.1
+    });
+    let c = SzCompressor::baseline(1e-3);
+    let bytes = c.compress(&f).bytes;
+    (c, bytes, f)
+}
+
+#[test]
+fn valid_stream_decodes() {
+    let (c, bytes, f) = sample_stream();
+    let dec = c.decompress(&bytes);
+    assert_eq!(dec.shape(), f.shape());
+}
+
+#[test]
+#[should_panic(expected = "bad magic")]
+fn corrupt_magic_rejected() {
+    let (c, mut bytes, _) = sample_stream();
+    bytes[0] ^= 0xFF;
+    let _ = c.decompress(&bytes);
+}
+
+#[test]
+#[should_panic]
+fn truncated_stream_rejected() {
+    let (c, bytes, _) = sample_stream();
+    let _ = c.decompress(&bytes[..bytes.len() / 2]);
+}
+
+#[test]
+#[should_panic]
+fn corrupted_section_length_rejected() {
+    let (c, mut bytes, _) = sample_stream();
+    // blow up the first section length field (just after the fixed header)
+    let header = 4 + 2 + 1 + 8 * 2 + 8 + 4 + 2 + 1;
+    bytes[header] = 0xFF;
+    bytes[header + 7] = 0x7F;
+    let _ = c.decompress(&bytes);
+}
+
+#[test]
+fn container_preserves_unknown_future_sections() {
+    let mut c = Container::new(Shape::d1(4), 1e-3, 512);
+    c.push(SectionTag::Residuals, vec![1, 2, 3]);
+    c.sections.push((200u8, vec![9, 9, 9])); // unknown tag
+    let c2 = Container::from_bytes(&c.to_bytes());
+    assert_eq!(c2.sections.len(), 2);
+    assert_eq!(c2.sections[1], (200u8, vec![9, 9, 9]));
+}
+
+#[test]
+#[should_panic(expected = "unsupported stream version")]
+fn future_version_rejected() {
+    let c = Container::new(Shape::d1(4), 1e-3, 512);
+    let mut bytes = c.to_bytes();
+    bytes[4] = 99; // version field
+    let _ = Container::from_bytes(&bytes);
+}
+
+#[test]
+fn mismatched_decoder_predictor_is_detected_or_bounded() {
+    // decompressing a Lorenzo stream with a regression-configured compressor
+    // must fail loudly (missing side-info section)
+    let (_, bytes, _) = sample_stream();
+    let wrong = SzCompressor {
+        predictor: cross_field_compression::sz::PredictorKind::Regression { block: 6 },
+        ..SzCompressor::baseline(1e-3)
+    };
+    let result = std::panic::catch_unwind(|| wrong.decompress(&bytes));
+    assert!(result.is_err(), "must not silently decode with the wrong predictor");
+}

@@ -12,6 +12,7 @@ use cfc_core::train::train_cfnn;
 use cfc_datagen::{paper_catalog, GenParams};
 use cfc_sz::SzCompressor;
 use cfc_tensor::{Field, Shape};
+use cfc_sz::Codec;
 
 fn bench_end_to_end(c: &mut Criterion) {
     let row = paper_table3().into_iter().find(|r| r.target == "Wf").unwrap();
@@ -22,28 +23,28 @@ fn bench_end_to_end(c: &mut Criterion) {
     let anchors: Vec<&Field> = row.anchors.iter().map(|a| ds.expect_field(a)).collect();
 
     let comp = CrossFieldCompressor::new(1e-3);
-    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a).expect("anchor roundtrip")).collect();
     let refs: Vec<&Field> = anchors_dec.iter().collect();
     let mut trained = train_cfnn(&row.spec, &TrainConfig::fast(), &anchors, &target);
 
     let baseline = SzCompressor::baseline(1e-3);
-    let base_stream = baseline.compress(&target);
-    let ours_stream = comp.compress(&mut trained, &target, &refs);
+    let base_stream = baseline.compress(&target).expect("compress");
+    let ours_stream = comp.compress(&mut trained, &target, &refs).expect("compress");
 
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
     g.throughput(Throughput::Bytes((target.len() * 4) as u64));
     g.bench_function("baseline_compress", |b| {
-        b.iter(|| baseline.compress(black_box(&target)));
+        b.iter(|| baseline.compress(black_box(&target)).expect("compress"));
     });
     g.bench_function("baseline_decompress", |b| {
-        b.iter(|| baseline.decompress(black_box(&base_stream.bytes)));
+        b.iter(|| baseline.decompress(black_box(&base_stream.bytes)).expect("decompress"));
     });
     g.bench_function("crossfield_compress", |b| {
-        b.iter(|| comp.compress(&mut trained, black_box(&target), &refs));
+        b.iter(|| comp.compress(&mut trained, black_box(&target), &refs).expect("compress"));
     });
     g.bench_function("crossfield_decompress", |b| {
-        b.iter(|| comp.decompress(black_box(&ours_stream.bytes), &refs));
+        b.iter(|| comp.decompress(black_box(&ours_stream.bytes), &refs).expect("decompress"));
     });
     g.finish();
 }

@@ -20,6 +20,7 @@ use cfc_core::predictor::{sample_hybrid_training, CrossFieldHybridPredictor};
 use cfc_core::train::train_cfnn;
 use cfc_datagen::{paper_catalog, GenParams};
 use cfc_nn::{mse_loss, Adam, Optimizer, Tensor};
+use cfc_sz::Codec;
 use cfc_sz::{codec, CentralDiffPredictor, ErrorBound, QuantLattice, QuantizerConfig};
 use cfc_tensor::{Field, FieldStats, Normalizer};
 
@@ -34,13 +35,22 @@ fn main() {
 /// 1. Lorenzo-only vs cross-only vs learned hybrid on Hurricane Wf.
 fn hybrid_vs_single() {
     println!("== Ablation 1: hybrid vs single predictors (Hurricane Wf, rel 1e-3) ==");
-    let row = paper_table3().into_iter().find(|r| r.target == "Wf").unwrap();
-    let info = paper_catalog().into_iter().find(|d| d.name == "Hurricane").unwrap();
+    let row = paper_table3()
+        .into_iter()
+        .find(|r| r.target == "Wf")
+        .unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "Hurricane")
+        .unwrap();
     let ds = info.generate_default(GenParams::default());
     let target = ds.expect_field("Wf");
     let anchors: Vec<&Field> = row.anchors.iter().map(|a| ds.expect_field(a)).collect();
     let comp = CrossFieldCompressor::new(1e-3);
-    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let anchors_dec: Vec<Field> = anchors
+        .iter()
+        .map(|a| comp.roundtrip_anchor(a).expect("anchor roundtrip"))
+        .collect();
     let dec_refs: Vec<&Field> = anchors_dec.iter().collect();
     let mut trained = train_cfnn(&row.spec, &TrainConfig::default(), &anchors, target);
     let diffs = predict_differences(&mut trained, &dec_refs);
@@ -51,7 +61,10 @@ fn hybrid_vs_single() {
     let n = target.len() as f64;
 
     let measure = |weights: Vec<f64>| -> f64 {
-        let model = HybridModel { weights, losses: vec![] };
+        let model = HybridModel {
+            weights,
+            losses: vec![],
+        };
         let pred = CrossFieldHybridPredictor::new(&diffs, eb, model);
         let enc = codec::encode(&lattice, &pred, &quant);
         let bytes = cfc_sz::compressor::encode_codes(&enc.codes).len()
@@ -71,17 +84,29 @@ fn hybrid_vs_single() {
     let hybrid = measure(learned.weights.clone());
     println!("  Lorenzo only      : {lorenzo:.2}x  (residual stream only)");
     println!("  cross-field only  : {cross:.2}x");
-    println!("  learned hybrid    : {hybrid:.2}x  weights {:?}", learned.weights);
-    println!("  hybrid beats both : {}\n", hybrid >= lorenzo.max(cross) * 0.999);
+    println!(
+        "  learned hybrid    : {hybrid:.2}x  weights {:?}",
+        learned.weights
+    );
+    println!(
+        "  hybrid beats both : {}\n",
+        hybrid >= lorenzo.max(cross) * 0.999
+    );
 }
 
 /// 2. The paper's §III-B claim: direct value prediction underperforms
-/// difference prediction. Both nets share the architecture; only the
-/// target/input representation changes.
+///    difference prediction. Both nets share the architecture; only the
+///    target/input representation changes.
 fn value_vs_difference_cnn() {
     println!("== Ablation 2: direct-value CNN vs difference CNN (Hurricane Wf) ==");
-    let row = paper_table3().into_iter().find(|r| r.target == "Wf").unwrap();
-    let info = paper_catalog().into_iter().find(|d| d.name == "Hurricane").unwrap();
+    let row = paper_table3()
+        .into_iter()
+        .find(|r| r.target == "Wf")
+        .unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "Hurricane")
+        .unwrap();
     let ds = info.generate_default(GenParams::default());
     let target = ds.expect_field("Wf");
     let anchors: Vec<&Field> = row.anchors.iter().map(|a| ds.expect_field(a)).collect();
@@ -168,10 +193,17 @@ fn train_value_cnn(anchors: &[&Field], target: &Field, spec: &CfnnSpec) -> f64 {
     };
     let mut patches = Vec::new();
     for _ in 0..cfgt.n_patches {
-        let k = if n_slices > 1 { rng.random_range(1..n_slices) } else { 0 };
+        let k = if n_slices > 1 {
+            rng.random_range(1..n_slices)
+        } else {
+            0
+        };
         let r0 = rng.random_range(1..rows - p);
         let c0 = rng.random_range(1..cols - p);
-        patches.push((gather(&x_channels, k, r0, c0), gather(&y_channels, k, r0, c0)));
+        patches.push((
+            gather(&x_channels, k, r0, c0),
+            gather(&y_channels, k, r0, c0),
+        ));
     }
     let (in_c, out_c) = (spec.in_channels, spec.out_channels);
     let mut final_loss = f32::INFINITY;
@@ -211,7 +243,13 @@ fn causality_demo() {
     let lattice = QuantLattice::prequantize(&f, eb);
     let quant = QuantizerConfig::default();
     let enc = codec::encode(&lattice, &CentralDiffPredictor, &quant);
-    let dec = codec::decode(lattice.shape(), &enc.codes, &enc.outliers, &CentralDiffPredictor, &quant);
+    let dec = codec::decode(
+        lattice.shape(),
+        &enc.codes,
+        &enc.outliers,
+        &CentralDiffPredictor,
+        &quant,
+    );
     let mismatches = dec
         .as_slice()
         .iter()
@@ -228,20 +266,30 @@ fn causality_demo() {
 /// 4. Gains vs cross-field coupling strength.
 fn coupling_sweep() {
     println!("== Ablation 4: coupling sweep (Hurricane Wf, rel 1e-3) ==");
-    let row = paper_table3().into_iter().find(|r| r.target == "Wf").unwrap();
-    let info = paper_catalog().into_iter().find(|d| d.name == "Hurricane").unwrap();
+    let row = paper_table3()
+        .into_iter()
+        .find(|r| r.target == "Wf")
+        .unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "Hurricane")
+        .unwrap();
     for coupling in [0.0f32, 0.5, 1.0] {
         let params = GenParams::default().with_coupling(coupling);
         let ds = info.generate_default(params);
         let target = ds.expect_field("Wf");
         let anchors: Vec<&Field> = row.anchors.iter().map(|a| ds.expect_field(a)).collect();
         let comp = CrossFieldCompressor::new(1e-3);
-        let anchors_dec: Vec<Field> =
-            anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+        let anchors_dec: Vec<Field> = anchors
+            .iter()
+            .map(|a| comp.roundtrip_anchor(a).expect("anchor roundtrip"))
+            .collect();
         let refs: Vec<&Field> = anchors_dec.iter().collect();
         let mut trained = train_cfnn(&row.spec, &TrainConfig::default(), &anchors, target);
-        let ours = comp.compress(&mut trained, target, &refs);
-        let base = comp.baseline().compress(target);
+        let ours = comp
+            .compress(&mut trained, target, &refs)
+            .expect("compress");
+        let base = comp.baseline().compress(target).expect("compress");
         let n = target.len();
         println!(
             "  coupling {coupling:.1}: baseline {:6.2}x  ours {:6.2}x  ({:+.2}%)",
@@ -256,22 +304,37 @@ fn coupling_sweep() {
 /// 5. Model-size sweep on one field.
 fn model_size_sweep() {
     println!("== Ablation 5: CFNN size (Hurricane Wf, rel 1e-3) ==");
-    let row = paper_table3().into_iter().find(|r| r.target == "Wf").unwrap();
-    let info = paper_catalog().into_iter().find(|d| d.name == "Hurricane").unwrap();
+    let row = paper_table3()
+        .into_iter()
+        .find(|r| r.target == "Wf")
+        .unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "Hurricane")
+        .unwrap();
     let ds = info.generate_default(GenParams::default());
     let target = ds.expect_field("Wf");
     let anchors: Vec<&Field> = row.anchors.iter().map(|a| ds.expect_field(a)).collect();
     let comp = CrossFieldCompressor::new(1e-3);
-    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let anchors_dec: Vec<Field> = anchors
+        .iter()
+        .map(|a| comp.roundtrip_anchor(a).expect("anchor roundtrip"))
+        .collect();
     let refs: Vec<&Field> = anchors_dec.iter().collect();
-    let base = comp.baseline().compress(target).ratio(target.len());
+    let base = comp
+        .baseline()
+        .compress(target)
+        .expect("compress")
+        .ratio(target.len());
     for (name, spec) in [
         ("compact", CfnnSpec::compact(3, 3)),
         ("scaled (default)", CfnnSpec::scaled_3d(3)),
         ("paper-parity", CfnnSpec::paper_3d(3)),
     ] {
         let mut trained = train_cfnn(&spec, &TrainConfig::default(), &anchors, target);
-        let ours = comp.compress(&mut trained, target, &refs);
+        let ours = comp
+            .compress(&mut trained, target, &refs)
+            .expect("compress");
         println!(
             "  {name:<18} {:>7} params  model {:>7} B  ours {:6.2}x  ({:+.2}% vs baseline {:.2}x)",
             spec.num_params(),

@@ -14,7 +14,10 @@ use cfc_metrics::cross_correlation_matrix;
 use cfc_tensor::Axis;
 
 fn main() {
-    let info = paper_catalog().into_iter().find(|d| d.name == "SCALE").unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "SCALE")
+        .unwrap();
     let ds = info.generate_default(GenParams::default());
     let nk = ds.shape().dim(Axis::X);
     // slice 49 of 98 levels → proportional slice of the scaled grid
@@ -33,8 +36,7 @@ fn main() {
         out_dir.display()
     );
 
-    let refs: Vec<(&str, &cfc_tensor::Field)> =
-        slices.iter().map(|(n, f)| (*n, f)).collect();
+    let refs: Vec<(&str, &cfc_tensor::Field)> = slices.iter().map(|(n, f)| (*n, f)).collect();
     let m = cross_correlation_matrix(&refs);
     println!("\nPairwise Pearson correlation of raw values (slice {slice_idx}):");
     print_matrix(&refs, &m);
@@ -52,8 +54,7 @@ fn main() {
             (*n, box_blur(&mag, 4))
         })
         .collect();
-    let mag_refs: Vec<(&str, &cfc_tensor::Field)> =
-        mags.iter().map(|(n, f)| (*n, f)).collect();
+    let mag_refs: Vec<(&str, &cfc_tensor::Field)> = mags.iter().map(|(n, f)| (*n, f)).collect();
     let mm = cross_correlation_matrix(&mag_refs);
     println!("\nPearson correlation of |gradient| (local activity):");
     print_matrix(&mag_refs, &mm);

@@ -19,8 +19,14 @@ use cfc_sz::QuantLattice;
 use cfc_tensor::{Field, FieldStats};
 
 fn main() {
-    let cfg = paper_table3().into_iter().find(|r| r.target == "Wf").unwrap();
-    let info = paper_catalog().into_iter().find(|d| d.name == "Hurricane").unwrap();
+    let cfg = paper_table3()
+        .into_iter()
+        .find(|r| r.target == "Wf")
+        .unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "Hurricane")
+        .unwrap();
     let ds = info.generate_default(GenParams::default());
     let target = ds.expect_field("Wf");
     let anchors: Vec<&Field> = cfg.anchors.iter().map(|a| ds.expect_field(a)).collect();
@@ -41,8 +47,10 @@ fn main() {
 
     // --- right panel: hybrid model training loss at rel eb 1e-3 -------------
     let comp = CrossFieldCompressor::new(1e-3);
-    let anchors_dec: Vec<Field> =
-        anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let anchors_dec: Vec<Field> = anchors
+        .iter()
+        .map(|a| comp.roundtrip_anchor(a).expect("anchor roundtrip"))
+        .collect();
     let dec_refs: Vec<&Field> = anchors_dec.iter().collect();
     let diffs = predict_differences(&mut trained, &dec_refs);
     let eb = cfc_sz::ErrorBound::Relative(1e-3).resolve_quantization(&FieldStats::of(target));

@@ -23,8 +23,14 @@ use cfc_tensor::{Axis, Field, FieldStats};
 
 fn main() {
     let zoom = std::env::args().any(|a| a == "--zoom");
-    let cfg = paper_table3().into_iter().find(|r| r.target == "Wf").unwrap();
-    let info = paper_catalog().into_iter().find(|d| d.name == "Hurricane").unwrap();
+    let cfg = paper_table3()
+        .into_iter()
+        .find(|r| r.target == "Wf")
+        .unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "Hurricane")
+        .unwrap();
     let ds = info.generate_default(GenParams::default());
     let target = ds.expect_field("Wf");
     let anchors: Vec<&Field> = cfg.anchors.iter().map(|a| ds.expect_field(a)).collect();
@@ -32,7 +38,10 @@ fn main() {
     // train + infer (decompressed anchors at the paper's 1e-3 bound)
     let mut trained = train_cfnn(&cfg.spec, &TrainConfig::default(), &anchors, target);
     let comp = cfc_core::pipeline::CrossFieldCompressor::new(1e-3);
-    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let anchors_dec: Vec<Field> = anchors
+        .iter()
+        .map(|a| comp.roundtrip_anchor(a).expect("anchor roundtrip"))
+        .collect();
     let dec_refs: Vec<&Field> = anchors_dec.iter().collect();
     let diffs = predict_differences(&mut trained, &dec_refs);
 

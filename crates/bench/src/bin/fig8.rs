@@ -45,11 +45,7 @@ fn main() {
                 eb, r.psnr, r.baseline_bitrate, r.ours_bitrate
             );
         }
-        std::fs::write(
-            format!("target/experiments/fig8/{panel}.csv"),
-            csv,
-        )
-        .unwrap();
+        std::fs::write(format!("target/experiments/fig8/{panel}.csv"), csv).unwrap();
     }
     println!("\nCSV series written to target/experiments/fig8/ — at a fixed PSNR,");
     println!("a smaller bit-rate is better; our curve should sit left of the");

@@ -15,6 +15,7 @@ use cfc_core::config::TrainConfig;
 use cfc_core::pipeline::CrossFieldCompressor;
 use cfc_datagen::GenParams;
 use cfc_metrics::{mse, psnr};
+use cfc_sz::Codec;
 use cfc_tensor::Field;
 
 const TARGET_RATIO: f64 = 17.0;
@@ -42,11 +43,11 @@ fn run_panel(ctx: &mut ExperimentContext, field_name: &str) {
     // --- baseline at 17x ------------------------------------------------------
     let base_eb = search_eb(|eb| {
         let c = CrossFieldCompressor::new(eb).baseline();
-        c.compress(&target).ratio(n)
+        c.compress(&target).expect("compress").ratio(n)
     });
     let base_c = CrossFieldCompressor::new(base_eb).baseline();
-    let base_stream = base_c.compress(&target);
-    let base_rec = base_c.decompress(&base_stream.bytes);
+    let base_stream = base_c.compress(&target).expect("compress");
+    let base_rec = base_c.decompress(&base_stream.bytes).expect("decompress");
 
     // --- ours at 17x -----------------------------------------------------------
     let ours_eb = search_eb(|eb| {
@@ -54,14 +55,18 @@ fn run_panel(ctx: &mut ExperimentContext, field_name: &str) {
         let anchors_dec = ctx.anchors_dec(&row, eb);
         let refs: Vec<&Field> = anchors_dec.iter().collect();
         let trained = ctx.model(&row);
-        comp.compress(trained, &target, &refs).ratio(n)
+        comp.compress(trained, &target, &refs)
+            .expect("compress")
+            .ratio(n)
     });
     let comp = CrossFieldCompressor::new(ours_eb);
     let anchors_dec = ctx.anchors_dec(&row, ours_eb);
     let refs: Vec<&Field> = anchors_dec.iter().collect();
     let trained = ctx.model(&row);
-    let ours_stream = comp.compress(trained, &target, &refs);
-    let ours_rec = comp.decompress(&ours_stream.bytes, &refs);
+    let ours_stream = comp.compress(trained, &target, &refs).expect("compress");
+    let ours_rec = comp
+        .decompress(&ours_stream.bytes, &refs)
+        .expect("decompress");
 
     println!("\nFigure 9 ({field_name}): at ~{TARGET_RATIO}x compression");
     println!(
@@ -90,9 +95,18 @@ fn run_panel(ctx: &mut ExperimentContext, field_name: &str) {
     write_pgm_ref(&base_crop, &orig_crop, &out_dir.join("baseline.pgm")).unwrap();
     write_pgm_ref(&ours_crop, &orig_crop, &out_dir.join("ours.pgm")).unwrap();
 
-    println!("\n  zoom crop {edge}x{edge} at ({r0},{c0}) → {}", out_dir.display());
-    println!("  regional MSE baseline: {:.6e}", mse(&orig_crop, &base_crop));
-    println!("  regional MSE ours    : {:.6e}", mse(&orig_crop, &ours_crop));
+    println!(
+        "\n  zoom crop {edge}x{edge} at ({r0},{c0}) → {}",
+        out_dir.display()
+    );
+    println!(
+        "  regional MSE baseline: {:.6e}",
+        mse(&orig_crop, &base_crop)
+    );
+    println!(
+        "  regional MSE ours    : {:.6e}",
+        mse(&orig_crop, &ours_crop)
+    );
     println!(
         "  ours shows less distortion at equal ratio: {}",
         mse(&orig_crop, &ours_crop) <= mse(&orig_crop, &base_crop)

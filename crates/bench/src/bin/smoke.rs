@@ -7,7 +7,14 @@ use cfc_core::config::TrainConfig;
 use cfc_datagen::GenParams;
 
 fn main() {
-    let cfg = TrainConfig { patch: 16, n_patches: 96, batch: 16, epochs: 10, lr: 2e-3, seed: 7 };
+    let cfg = TrainConfig {
+        patch: 16,
+        n_patches: 96,
+        batch: 16,
+        epochs: 10,
+        lr: 2e-3,
+        seed: 7,
+    };
     let mut ctx = ExperimentContext::new_scaled(GenParams::default(), cfg, 0.5);
     for row in ctx.configs() {
         let r = ctx.run(&row, 1e-3);

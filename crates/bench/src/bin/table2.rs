@@ -28,15 +28,23 @@ fn main() {
         }
     }
 
-    let header: Vec<String> = PAPER_ERROR_BOUNDS.iter().map(|e| format!("{e:.0E}")).collect();
+    let header: Vec<String> = PAPER_ERROR_BOUNDS
+        .iter()
+        .map(|e| format!("{e:.0E}"))
+        .collect();
     println!("\nTable II: compression ratio under different error bounds");
     println!("{:-<100}", "");
-    println!("{:<12}{:<10}{:>14}{:>14}{:>14}{:>14}{:>14}", "Dataset", "Field", header[0], header[1], header[2], header[3], header[4]);
+    println!(
+        "{:<12}{:<10}{:>14}{:>14}{:>14}{:>14}{:>14}",
+        "Dataset", "Field", header[0], header[1], header[2], header[3], header[4]
+    );
     println!("{:-<100}", "");
     println!("Baseline (SZ3 Lorenzo + dual-quant)");
     print_block(&results, |r| format!("{:.2}", r.baseline_ratio));
     println!("\nOurs (cross-field + hybrid, model bytes included)");
-    print_block(&results, |r| format!("{:.2}({:+.2}%)", r.ours_ratio, r.improvement_pct()));
+    print_block(&results, |r| {
+        format!("{:.2}({:+.2}%)", r.ours_ratio, r.improvement_pct())
+    });
     println!("{:-<100}", "");
 
     // summary stats the paper quotes in prose

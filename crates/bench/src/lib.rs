@@ -4,4 +4,4 @@
 pub mod pgm;
 pub mod runner;
 
-pub use runner::{ExperimentContext, FieldResult, PAPER_ERROR_BOUNDS};
+pub use runner::{run_codec, ExperimentContext, FieldResult, PAPER_ERROR_BOUNDS};

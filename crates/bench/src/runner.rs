@@ -1,6 +1,9 @@
 //! Shared experiment runner: dataset generation, model training (cached per
 //! target field), and baseline/cross-field compression at a sweep of error
 //! bounds — the machinery behind Table II, Figure 8, and the ablations.
+//!
+//! Baseline measurements go through the unified [`Codec`] trait, so any
+//! codec implementing it can be benchmarked with [`run_codec`].
 
 use std::collections::HashMap;
 
@@ -8,8 +11,21 @@ use cfc_core::config::{paper_table3, CrossFieldConfig, TrainConfig};
 use cfc_core::pipeline::{CrossFieldCompressor, CrossFieldStream};
 use cfc_core::train::{train_cfnn, TrainedCfnn};
 use cfc_datagen::{paper_catalog, Dataset, GenParams};
-use cfc_sz::{CompressedStream, SzCompressor};
+use cfc_sz::{Codec, EncodedStream, SzCompressor};
 use cfc_tensor::Field;
+
+/// Round-trip `field` through any [`Codec`], returning the stream and the
+/// reconstruction. Experiment inputs are trusted, so failures panic with
+/// the codec's diagnostic.
+pub fn run_codec<C: Codec>(codec: &C, field: &Field) -> (EncodedStream, Field) {
+    let stream = codec
+        .compress(field)
+        .unwrap_or_else(|e| panic!("{} compress failed: {e}", codec.name()));
+    let recon = codec
+        .decompress(&stream.bytes)
+        .unwrap_or_else(|e| panic!("{} decompress failed: {e}", codec.name()));
+    (stream, recon)
+}
 
 /// The relative error bounds of the paper's Table II, largest to smallest.
 pub const PAPER_ERROR_BOUNDS: [f64; 5] = [5e-3, 2e-3, 1e-3, 5e-4, 2e-4];
@@ -63,7 +79,12 @@ impl ExperimentContext {
         for info in paper_catalog() {
             datasets.insert(info.name.to_string(), info.generate_default(params));
         }
-        ExperimentContext { params, train_cfg, datasets, models: HashMap::new() }
+        ExperimentContext {
+            params,
+            train_cfg,
+            datasets,
+            models: HashMap::new(),
+        }
     }
 
     /// Context with a scale factor < 1 shrinking every dataset (for smoke
@@ -80,7 +101,12 @@ impl ExperimentContext {
             let shape = cfc_tensor::Shape::from_slice(&dims);
             datasets.insert(info.name.to_string(), info.generate(shape, params));
         }
-        ExperimentContext { params, train_cfg, datasets, models: HashMap::new() }
+        ExperimentContext {
+            params,
+            train_cfg,
+            datasets,
+            models: HashMap::new(),
+        }
     }
 
     /// Access a generated dataset.
@@ -99,8 +125,7 @@ impl ExperimentContext {
         if !self.models.contains_key(&key) {
             let ds = &self.datasets[cfg.dataset];
             let target = ds.expect_field(cfg.target);
-            let anchors: Vec<&Field> =
-                cfg.anchors.iter().map(|a| ds.expect_field(a)).collect();
+            let anchors: Vec<&Field> = cfg.anchors.iter().map(|a| ds.expect_field(a)).collect();
             let trained = train_cfnn(&cfg.spec, &self.train_cfg, &anchors, target);
             self.models.insert(key.clone(), trained);
         }
@@ -113,7 +138,10 @@ impl ExperimentContext {
         let ds = &self.datasets[cfg.dataset];
         cfg.anchors
             .iter()
-            .map(|a| comp.roundtrip_anchor(ds.expect_field(a)))
+            .map(|a| {
+                comp.roundtrip_anchor(ds.expect_field(a))
+                    .unwrap_or_else(|e| panic!("anchor {a} roundtrip failed: {e}"))
+            })
             .collect()
     }
 
@@ -123,16 +151,17 @@ impl ExperimentContext {
         let target = self.datasets[cfg.dataset].expect_field(cfg.target).clone();
         let n = target.len();
 
-        // baseline
-        let baseline: CompressedStream = comp.baseline().compress(&target);
-        let recon = comp.baseline().decompress(&baseline.bytes);
+        // baseline, through the unified Codec trait
+        let (baseline, recon) = run_codec(&comp.baseline(), &target);
         let psnr = cfc_metrics::psnr(&target, &recon);
 
         // ours
         let anchors_dec = self.anchors_dec(cfg, rel_eb);
         let anchor_refs: Vec<&Field> = anchors_dec.iter().collect();
         let trained = self.model(cfg);
-        let ours: CrossFieldStream = comp.compress(trained, &target, &anchor_refs);
+        let ours: CrossFieldStream = comp
+            .compress(trained, &target, &anchor_refs)
+            .unwrap_or_else(|e| panic!("cross-field compress of {} failed: {e}", cfg.target));
 
         FieldResult {
             dataset: cfg.dataset.to_string(),
@@ -151,7 +180,11 @@ impl ExperimentContext {
 
 /// Format a ratio improvement like the paper: `26.72(+3.76%)`.
 pub fn fmt_ours(result: &FieldResult) -> String {
-    format!("{:.2}({:+.2}%)", result.ours_ratio, result.improvement_pct())
+    format!(
+        "{:.2}({:+.2}%)",
+        result.ours_ratio,
+        result.improvement_pct()
+    )
 }
 
 /// Resolve the baseline compressor used everywhere in the harness.

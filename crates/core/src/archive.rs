@@ -1,0 +1,1044 @@
+//! Multi-field archive subsystem: one call to compress a whole simulation
+//! snapshot, one call to get it back — no out-of-band configuration.
+//!
+//! The paper's workload (§I, Table 3) is a *dataset*: tens of co-located
+//! fields per snapshot, a few of which (the cross-field targets) compress
+//! dramatically better when conditioned on others (their anchors). The seed
+//! API forced callers to hand-orchestrate anchor roundtrips, CFNN training,
+//! and per-field compression; this module packages the whole dance:
+//!
+//! ```text
+//!   ArchiveBuilder ──roles──► ArchiveWriter::write(&Dataset)
+//!        anchors/baselines compressed in parallel (std::thread)
+//!        anchors round-tripped (decoder's view)
+//!        per target: CFNN trained on originals, inference on decoded
+//!                    anchors, hybrid fit, hybrid-predictor encoding
+//!        ──► one versioned, self-describing archive (names, roles,
+//!            anchor lists, per-field CFSZ streams, error bounds)
+//!
+//!   ArchiveReader::new(bytes) ──► manifest (entries, roles, sizes)
+//!        decode_all(): baselines/anchors in parallel, then targets
+//!                      (each embedded CFNN conditioned on the *decoded*
+//!                       anchors — bit-identical to the encoder's view)
+//!        ──► Dataset
+//! ```
+//!
+//! The decode path is total: corrupt, truncated, or adversarial archives
+//! return [`CfcError`], never panic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bytes::BufMut;
+use cfc_sz::error::Reader;
+use cfc_sz::{CfcError, Codec, ErrorBound, QuantizerConfig, SzCompressor};
+use cfc_tensor::{Dataset, Field};
+
+use crate::config::{CfnnSpec, CrossFieldConfig, TrainConfig};
+use crate::hybrid::HybridConfig;
+use crate::pipeline::CrossFieldCompressor;
+use crate::train::train_cfnn;
+
+/// Archive magic bytes.
+pub const ARCHIVE_MAGIC: &[u8; 4] = b"CFAR";
+/// Archive container version.
+pub const ARCHIVE_VERSION: u16 = 1;
+
+/// How a field participates in the archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FieldRole {
+    /// Compressed independently; referenced by no one.
+    Independent = 0,
+    /// Compressed independently; conditions one or more targets.
+    Anchor = 1,
+    /// Compressed with the cross-field pipeline against its anchors.
+    Target = 2,
+}
+
+impl FieldRole {
+    fn from_u8(v: u8) -> Option<FieldRole> {
+        match v {
+            0 => Some(FieldRole::Independent),
+            1 => Some(FieldRole::Anchor),
+            2 => Some(FieldRole::Target),
+            _ => None,
+        }
+    }
+
+    /// Short label for manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            FieldRole::Independent => "independent",
+            FieldRole::Anchor => "anchor",
+            FieldRole::Target => "cross-field",
+        }
+    }
+}
+
+/// Per-target plan: which anchors condition it, and (optionally) a specific
+/// CFNN architecture. When `spec` is `None` the writer picks the scaled
+/// paper architecture for the dataset's dimensionality.
+#[derive(Debug, Clone)]
+struct TargetPlan {
+    anchors: Vec<String>,
+    spec: Option<CfnnSpec>,
+}
+
+/// Builder for [`ArchiveWriter`]: error bound, training configuration, and
+/// the field-role plan (paper Table 3 style).
+#[derive(Debug, Clone)]
+pub struct ArchiveBuilder {
+    bound: ErrorBound,
+    quantizer: QuantizerConfig,
+    hybrid: HybridConfig,
+    train: TrainConfig,
+    targets: Vec<(String, TargetPlan)>,
+    threads: usize,
+}
+
+impl ArchiveBuilder {
+    /// Archive at the given error bound; every field baseline-compressed
+    /// until roles are added.
+    pub fn new(bound: ErrorBound) -> Self {
+        ArchiveBuilder {
+            bound,
+            quantizer: QuantizerConfig::default(),
+            hybrid: HybridConfig::default(),
+            train: TrainConfig::default(),
+            targets: Vec::new(),
+            threads: 0,
+        }
+    }
+
+    /// Convenience constructor for a value-range-relative bound.
+    pub fn relative(rel_eb: f64) -> Self {
+        Self::new(ErrorBound::Relative(rel_eb))
+    }
+
+    /// Override the CFNN training configuration (defaults to
+    /// [`TrainConfig::default`]).
+    pub fn train_config(mut self, cfg: TrainConfig) -> Self {
+        self.train = cfg;
+        self
+    }
+
+    /// Override the residual quantizer.
+    pub fn quantizer(mut self, q: QuantizerConfig) -> Self {
+        self.quantizer = q;
+        self
+    }
+
+    /// Override the hybrid-model fitting configuration.
+    pub fn hybrid_config(mut self, h: HybridConfig) -> Self {
+        self.hybrid = h;
+        self
+    }
+
+    /// Cap worker threads (0 = one per available core).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Mark `target` as a cross-field target conditioned on `anchors`
+    /// (paper Table 3 row), with the default architecture for the dataset's
+    /// dimensionality.
+    pub fn cross_field(mut self, target: &str, anchors: &[&str]) -> Self {
+        self.targets.push((
+            target.to_string(),
+            TargetPlan {
+                anchors: anchors.iter().map(|s| s.to_string()).collect(),
+                spec: None,
+            },
+        ));
+        self
+    }
+
+    /// Like [`ArchiveBuilder::cross_field`] with an explicit CFNN spec.
+    pub fn cross_field_with_spec(mut self, target: &str, anchors: &[&str], spec: CfnnSpec) -> Self {
+        self.targets.push((
+            target.to_string(),
+            TargetPlan {
+                anchors: anchors.iter().map(|s| s.to_string()).collect(),
+                spec: Some(spec),
+            },
+        ));
+        self
+    }
+
+    /// Adopt experiment rows (e.g. `paper_table3()` filtered to one
+    /// dataset) as the role plan.
+    pub fn plan_from(mut self, rows: &[CrossFieldConfig]) -> Self {
+        for row in rows {
+            self.targets.push((
+                row.target.to_string(),
+                TargetPlan {
+                    anchors: row.anchors.iter().map(|s| s.to_string()).collect(),
+                    spec: Some(row.spec),
+                },
+            ));
+        }
+        self
+    }
+
+    /// Finalize into a writer.
+    pub fn build(self) -> ArchiveWriter {
+        ArchiveWriter { cfg: self }
+    }
+}
+
+/// Writes a whole [`Dataset`] into one self-describing archive.
+pub struct ArchiveWriter {
+    cfg: ArchiveBuilder,
+}
+
+/// Per-field outcome reported by [`ArchiveWriter::write_with_report`].
+#[derive(Debug, Clone)]
+pub struct FieldReport {
+    /// Field name.
+    pub name: String,
+    /// Role the plan assigned.
+    pub role: FieldRole,
+    /// Compressed stream size in bytes.
+    pub bytes: usize,
+    /// Absolute error bound the reconstruction satisfies.
+    pub eb_abs: f64,
+}
+
+/// Whole-archive outcome.
+#[derive(Debug, Clone)]
+pub struct ArchiveReport {
+    /// Per-field entries in dataset order.
+    pub fields: Vec<FieldReport>,
+    /// Raw dataset size (4 bytes/sample).
+    pub raw_bytes: usize,
+    /// Final archive size.
+    pub archive_bytes: usize,
+}
+
+impl ArchiveReport {
+    /// End-to-end compression ratio (0.0 for an empty archive).
+    pub fn ratio(&self) -> f64 {
+        if self.archive_bytes == 0 {
+            return 0.0;
+        }
+        self.raw_bytes as f64 / self.archive_bytes as f64
+    }
+}
+
+/// One compressed field en route to serialization.
+struct EncodedField {
+    name: String,
+    role: FieldRole,
+    anchors: Vec<String>,
+    eb_abs: f64,
+    stream: Vec<u8>,
+}
+
+impl ArchiveWriter {
+    /// Compress every field of `ds` and serialize the archive.
+    pub fn write(&self, ds: &Dataset) -> Result<Vec<u8>, CfcError> {
+        self.write_with_report(ds).map(|(bytes, _)| bytes)
+    }
+
+    /// Compress every field and also return the per-field report.
+    pub fn write_with_report(&self, ds: &Dataset) -> Result<(Vec<u8>, ArchiveReport), CfcError> {
+        if ds.is_empty() {
+            return Err(CfcError::InvalidInput(
+                "cannot archive an empty dataset".into(),
+            ));
+        }
+        for (name, _) in ds.iter() {
+            // names are serialized with a u16 length prefix; `as u16` would
+            // silently truncate in release builds and corrupt the archive
+            if name.len() > u16::MAX as usize {
+                return Err(CfcError::InvalidInput(format!(
+                    "field name of {} bytes exceeds the u16 length prefix",
+                    name.len()
+                )));
+            }
+        }
+        if u32::try_from(ds.len()).is_err() {
+            return Err(CfcError::InvalidInput(
+                "field count exceeds the u32 table prefix".into(),
+            ));
+        }
+        let roles = self.plan_roles(ds)?;
+        let ndim = ds.shape().ndim();
+        if !self.cfg.targets.is_empty() {
+            // cross-field targets go through CFNN training, whose patch
+            // sampler asserts patch + 1 < slice extent — surface that as a
+            // plan error instead of a panic inside a worker thread
+            if ndim == 1 {
+                return Err(CfcError::InvalidInput(
+                    "cross-field targets require 2-D or 3-D datasets".into(),
+                ));
+            }
+            let shape = ds.shape();
+            let dims = shape.dims();
+            let (srows, scols) = if ndim == 2 {
+                (dims[0], dims[1])
+            } else {
+                (dims[1], dims[2])
+            };
+            let p = self.cfg.train.patch;
+            if p + 1 >= srows || p + 1 >= scols {
+                return Err(CfcError::InvalidInput(format!(
+                    "training patch {p} too large for {srows}x{scols} slices; \
+                     shrink TrainConfig::patch or use a larger dataset"
+                )));
+            }
+            if self
+                .cfg
+                .targets
+                .iter()
+                .any(|(_, plan)| plan.anchors.len() > u16::MAX as usize)
+            {
+                return Err(CfcError::InvalidInput("more than u16::MAX anchors".into()));
+            }
+        }
+
+        let baseline = SzCompressor {
+            bound: self.cfg.bound,
+            quantizer: self.cfg.quantizer,
+            predictor: cfc_sz::PredictorKind::Lorenzo,
+        };
+        let cross = CrossFieldCompressor {
+            bound: self.cfg.bound,
+            quantizer: self.cfg.quantizer,
+            hybrid: self.cfg.hybrid,
+        };
+
+        // ---- phase 1: anchors + independent fields, in parallel ----------
+        let independents: Vec<(&str, &Field, FieldRole)> = ds
+            .iter()
+            .filter_map(|(n, f)| match roles[n] {
+                FieldRole::Target => None,
+                role => Some((n, f, role)),
+            })
+            .collect();
+        let phase1 = run_parallel(independents.len(), self.threads(), |i| {
+            let (_, field, role) = independents[i];
+            let stream = baseline.compress(field)?;
+            // anchors are round-tripped here: the decoder's view of an
+            // anchor IS the decoded archive stream, so reusing these bytes
+            // keeps both sides bit-identical by construction
+            let decoded = if role == FieldRole::Anchor {
+                Some(baseline.decompress(&stream.bytes)?)
+            } else {
+                None
+            };
+            Ok::<_, CfcError>((stream, decoded))
+        });
+        let mut anchors_dec: HashMap<&str, Field> = HashMap::new();
+        let mut encoded: HashMap<&str, EncodedField> = HashMap::new();
+        for ((name, _, role), res) in independents.iter().zip(phase1) {
+            let (stream, decoded) = res?;
+            if let Some(dec) = decoded {
+                anchors_dec.insert(name, dec);
+            }
+            encoded.insert(
+                name,
+                EncodedField {
+                    name: name.to_string(),
+                    role: *role,
+                    anchors: Vec::new(),
+                    eb_abs: stream.eb_abs,
+                    stream: stream.bytes,
+                },
+            );
+        }
+
+        // ---- phase 2: cross-field targets, in parallel -------------------
+        let targets: Vec<(&str, &TargetPlan)> = self
+            .cfg
+            .targets
+            .iter()
+            .map(|(n, p)| (n.as_str(), p))
+            .collect();
+        let phase2 = run_parallel(targets.len(), self.threads(), |i| {
+            let (name, plan) = targets[i];
+            let target = ds.expect_field(name);
+            let orig_refs: Vec<&Field> = plan.anchors.iter().map(|a| ds.expect_field(a)).collect();
+            let dec_refs: Vec<&Field> = plan
+                .anchors
+                .iter()
+                .map(|a| &anchors_dec[a.as_str()])
+                .collect();
+            let spec = plan
+                .spec
+                .unwrap_or_else(|| default_spec(plan.anchors.len(), ndim));
+            if spec.in_channels != plan.anchors.len() * ndim || spec.out_channels != ndim {
+                return Err(CfcError::InvalidInput(format!(
+                    "spec for target {name} does not match {} anchors × {ndim} axes",
+                    plan.anchors.len()
+                )));
+            }
+            // trained on original data (one model serves every bound,
+            // paper §III-D2); inference inside compress() sees the decoded
+            // anchors, exactly like the reader will
+            let mut trained = train_cfnn(&spec, &self.cfg.train, &orig_refs, target);
+            let stream = cross.compress(&mut trained, target, &dec_refs)?;
+            Ok::<_, CfcError>(stream)
+        });
+        for ((name, plan), res) in targets.iter().zip(phase2) {
+            let stream = res?;
+            encoded.insert(
+                name,
+                EncodedField {
+                    name: name.to_string(),
+                    role: FieldRole::Target,
+                    anchors: plan.anchors.clone(),
+                    eb_abs: stream.eb_abs,
+                    stream: stream.bytes,
+                },
+            );
+        }
+
+        // ---- serialize, preserving dataset field order -------------------
+        let ordered: Vec<&EncodedField> = ds.iter().map(|(n, _)| &encoded[n]).collect();
+        let mut out = Vec::new();
+        out.put_slice(ARCHIVE_MAGIC);
+        out.put_u16_le(ARCHIVE_VERSION);
+        put_str(&mut out, ds.name());
+        out.put_u32_le(ordered.len() as u32);
+        let mut fields = Vec::with_capacity(ordered.len());
+        for e in &ordered {
+            put_str(&mut out, &e.name);
+            out.put_u8(e.role as u8);
+            out.put_u16_le(e.anchors.len() as u16);
+            for a in &e.anchors {
+                put_str(&mut out, a);
+            }
+            out.put_f64_le(e.eb_abs);
+            out.put_u64_le(e.stream.len() as u64);
+            out.put_slice(&e.stream);
+            fields.push(FieldReport {
+                name: e.name.clone(),
+                role: e.role,
+                bytes: e.stream.len(),
+                eb_abs: e.eb_abs,
+            });
+        }
+        let raw_bytes = ds.len() * ds.shape().len() * 4;
+        let archive_bytes = out.len();
+        Ok((
+            out,
+            ArchiveReport {
+                fields,
+                raw_bytes,
+                archive_bytes,
+            },
+        ))
+    }
+
+    fn threads(&self) -> usize {
+        if self.cfg.threads > 0 {
+            self.cfg.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Resolve the role of every dataset field, validating the plan.
+    fn plan_roles<'a>(&self, ds: &'a Dataset) -> Result<HashMap<&'a str, FieldRole>, CfcError> {
+        let mut roles: HashMap<&str, FieldRole> = ds
+            .iter()
+            .map(|(n, _)| (n, FieldRole::Independent))
+            .collect();
+        let target_names: Vec<&str> = self.cfg.targets.iter().map(|(n, _)| n.as_str()).collect();
+        for (target, plan) in &self.cfg.targets {
+            let target_key = roles
+                .get_key_value(target.as_str())
+                .map(|(k, _)| *k)
+                .ok_or_else(|| {
+                    CfcError::InvalidInput(format!("plan names unknown target field {target}"))
+                })?;
+            if plan.anchors.is_empty() {
+                return Err(CfcError::InvalidInput(format!(
+                    "target {target} has no anchors"
+                )));
+            }
+            for anchor in &plan.anchors {
+                if anchor == target {
+                    return Err(CfcError::InvalidInput(format!(
+                        "target {target} cannot anchor itself"
+                    )));
+                }
+                if target_names.contains(&anchor.as_str()) {
+                    return Err(CfcError::InvalidInput(format!(
+                        "anchor {anchor} of {target} is itself a cross-field target; \
+                         anchors must decode independently"
+                    )));
+                }
+                let key = roles
+                    .get_key_value(anchor.as_str())
+                    .map(|(k, _)| *k)
+                    .ok_or_else(|| {
+                        CfcError::InvalidInput(format!("plan names unknown anchor field {anchor}"))
+                    })?;
+                roles.insert(key, FieldRole::Anchor);
+            }
+            if roles[target_key] == FieldRole::Target {
+                return Err(CfcError::InvalidInput(format!(
+                    "duplicate plan for target {target}"
+                )));
+            }
+            roles.insert(target_key, FieldRole::Target);
+        }
+        Ok(roles)
+    }
+}
+
+/// Default CFNN architecture by dimensionality (the scaled paper specs).
+fn default_spec(n_anchors: usize, ndim: usize) -> CfnnSpec {
+    match ndim {
+        3 => CfnnSpec::scaled_3d(n_anchors),
+        _ => CfnnSpec::scaled_2d(n_anchors),
+    }
+}
+
+/// One parsed archive entry (manifest row + stream bytes).
+#[derive(Debug, Clone)]
+pub struct ArchiveEntry {
+    /// Field name.
+    pub name: String,
+    /// Role recorded at write time.
+    pub role: FieldRole,
+    /// Anchor field names (empty unless `role == Target`).
+    pub anchors: Vec<String>,
+    /// Absolute error bound the reconstruction satisfies.
+    pub eb_abs: f64,
+    /// The field's CFSZ stream.
+    stream: Vec<u8>,
+}
+
+impl ArchiveEntry {
+    /// Compressed size of this field's stream.
+    pub fn stream_len(&self) -> usize {
+        self.stream.len()
+    }
+}
+
+/// Reads archives written by [`ArchiveWriter`] — needs nothing but the
+/// bytes themselves.
+pub struct ArchiveReader {
+    name: String,
+    entries: Vec<ArchiveEntry>,
+}
+
+impl ArchiveReader {
+    /// Parse and validate the archive table of contents.
+    ///
+    /// Total over arbitrary bytes: bad magic, future versions, truncation,
+    /// duplicate or dangling names all return [`CfcError`].
+    pub fn new(bytes: &[u8]) -> Result<Self, CfcError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.bytes(4, "archive magic")?;
+        if magic != ARCHIVE_MAGIC {
+            return Err(CfcError::BadMagic {
+                expected: *ARCHIVE_MAGIC,
+                found: magic.to_vec(),
+            });
+        }
+        let version = r.u16("archive version")?;
+        if version != ARCHIVE_VERSION {
+            return Err(CfcError::UnsupportedVersion {
+                found: version,
+                supported: ARCHIVE_VERSION,
+            });
+        }
+        let name = get_str(&mut r, "archive name")?;
+        let n_fields = r.u32("field count")? as usize;
+        if n_fields == 0 {
+            return Err(CfcError::Corrupt {
+                context: "archive",
+                detail: "zero fields".into(),
+            });
+        }
+        // every entry needs ≥ 19 bytes of fixed headers
+        if n_fields.saturating_mul(19) > r.remaining() {
+            return Err(CfcError::Truncated {
+                context: "archive field table",
+                needed: n_fields * 19,
+                available: r.remaining(),
+            });
+        }
+        let mut entries = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let name = get_str(&mut r, "field name")?;
+            let role = FieldRole::from_u8(r.u8("field role")?).ok_or(CfcError::Corrupt {
+                context: "archive entry",
+                detail: "unknown role byte".into(),
+            })?;
+            let n_anchors = r.u16("anchor count")? as usize;
+            let mut anchors = Vec::with_capacity(n_anchors.min(64));
+            for _ in 0..n_anchors {
+                anchors.push(get_str(&mut r, "anchor name")?);
+            }
+            let eb_abs = r.f64("field error bound")?;
+            if !(eb_abs.is_finite() && eb_abs > 0.0) {
+                return Err(CfcError::Corrupt {
+                    context: "archive entry",
+                    detail: format!("error bound {eb_abs}"),
+                });
+            }
+            let stream_len = r.len_u64("field stream length")?;
+            let stream = r.bytes(stream_len, "field stream")?.to_vec();
+            entries.push(ArchiveEntry {
+                name,
+                role,
+                anchors,
+                eb_abs,
+                stream,
+            });
+        }
+        // referential integrity of the manifest
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        for (i, e) in entries.iter().enumerate() {
+            if names[..i].contains(&e.name.as_str()) {
+                return Err(CfcError::Corrupt {
+                    context: "archive",
+                    detail: format!("duplicate field {}", e.name),
+                });
+            }
+            if e.role == FieldRole::Target && e.anchors.is_empty() {
+                return Err(CfcError::Corrupt {
+                    context: "archive",
+                    detail: format!("target {} without anchors", e.name),
+                });
+            }
+            for a in &e.anchors {
+                match entries.iter().find(|o| &o.name == a) {
+                    None => {
+                        return Err(CfcError::Corrupt {
+                            context: "archive",
+                            detail: format!("field {} references unknown anchor {a}", e.name),
+                        })
+                    }
+                    Some(o) if o.role == FieldRole::Target => {
+                        return Err(CfcError::Corrupt {
+                            context: "archive",
+                            detail: format!("anchor {a} of {} is itself a target", e.name),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(ArchiveReader { name, entries })
+    }
+
+    /// Archive (dataset) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Manifest entries in archive order.
+    pub fn entries(&self) -> &[ArchiveEntry] {
+        &self.entries
+    }
+
+    /// Decode every field, anchors/independents in parallel first, then the
+    /// cross-field targets against the decoded anchors.
+    pub fn decode_all(&self) -> Result<Dataset, CfcError> {
+        self.decode_all_with_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// [`ArchiveReader::decode_all`] with an explicit worker-thread cap.
+    pub fn decode_all_with_threads(&self, threads: usize) -> Result<Dataset, CfcError> {
+        let baseline = baseline_decoder();
+        let cross = cross_decoder();
+
+        let independents: Vec<&ArchiveEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.role != FieldRole::Target)
+            .collect();
+        let phase1 = run_parallel(independents.len(), threads, |i| {
+            baseline.decompress(&independents[i].stream)
+        });
+        let mut decoded: HashMap<&str, Field> = HashMap::new();
+        for (e, res) in independents.iter().zip(phase1) {
+            decoded.insert(e.name.as_str(), res?);
+        }
+
+        let targets: Vec<&ArchiveEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.role == FieldRole::Target)
+            .collect();
+        let phase2 = run_parallel(targets.len(), threads, |i| {
+            let e = targets[i];
+            let refs: Vec<&Field> = e.anchors.iter().map(|a| &decoded[a.as_str()]).collect();
+            cross.decompress(&e.stream, &refs)
+        });
+        let mut targets_dec: HashMap<&str, Field> = HashMap::new();
+        for (e, res) in targets.iter().zip(phase2) {
+            targets_dec.insert(e.name.as_str(), res?);
+        }
+
+        // assemble in archive order, validating the common shape before the
+        // (panicking) Dataset::push can see a mismatch
+        let first = &self.entries[0];
+        let shape_of = |name: &str| {
+            decoded
+                .get(name)
+                .or_else(|| targets_dec.get(name))
+                .map(|f| f.shape())
+                .expect("every entry decoded")
+        };
+        let shape = shape_of(&first.name);
+        for e in &self.entries {
+            if shape_of(&e.name) != shape {
+                return Err(CfcError::ShapeMismatch {
+                    expected: shape.to_string(),
+                    found: format!("{} in field {}", shape_of(&e.name), e.name),
+                });
+            }
+        }
+        let mut ds = Dataset::new(self.name.clone(), shape);
+        for e in &self.entries {
+            let field = decoded
+                .remove(e.name.as_str())
+                .or_else(|| targets_dec.remove(e.name.as_str()))
+                .expect("every entry decoded");
+            ds.push(e.name.clone(), field);
+        }
+        Ok(ds)
+    }
+
+    /// Decode a single field by name (decoding its anchors first if it is a
+    /// cross-field target).
+    pub fn decode_field(&self, name: &str) -> Result<Field, CfcError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| CfcError::InvalidInput(format!("archive has no field {name}")))?;
+        let baseline = baseline_decoder();
+        if entry.role != FieldRole::Target {
+            return baseline.decompress(&entry.stream);
+        }
+        let mut anchors = Vec::with_capacity(entry.anchors.len());
+        for a in &entry.anchors {
+            // manifest validation guarantees anchors exist and are not targets
+            let ae = self
+                .entries
+                .iter()
+                .find(|e| &e.name == a)
+                .expect("validated anchor");
+            anchors.push(baseline.decompress(&ae.stream)?);
+        }
+        let refs: Vec<&Field> = anchors.iter().collect();
+        cross_decoder().decompress(&entry.stream, &refs)
+    }
+}
+
+/// Decoder-side baseline codec. The bound is irrelevant on decode (streams
+/// carry their own), so any positive value works.
+fn baseline_decoder() -> SzCompressor {
+    SzCompressor::baseline(1e-3)
+}
+
+/// Decoder-side cross-field pipeline (same note as [`baseline_decoder`]).
+fn cross_decoder() -> CrossFieldCompressor {
+    CrossFieldCompressor::new(1e-3)
+}
+
+/// Run `f(0..n)` across up to `threads` scoped workers, preserving result
+/// order. Coarse-grained (one task per field) so thread overhead is
+/// amortized across whole compression pipelines.
+fn run_parallel<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("worker slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker slot poisoned")
+                .expect("task completed")
+        })
+        .collect()
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "name too long");
+    out.put_u16_le(s.len() as u16);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(r: &mut Reader, context: &'static str) -> Result<String, CfcError> {
+    let len = r.u16(context)? as usize;
+    let bytes = r.bytes(len, context)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| CfcError::Corrupt {
+        context: "archive string",
+        detail: format!("{context} is not valid UTF-8"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_tensor::Shape;
+
+    /// A small coupled 3-field dataset: T and P are anchors, RH is a
+    /// nonlinear function of both plus its own smooth structure.
+    fn snapshot(rows: usize, cols: usize) -> Dataset {
+        let shape = Shape::d2(rows, cols);
+        let t = Field::from_fn(shape, |i| {
+            ((i[0] as f32) * 0.13).sin() * 15.0 + ((i[1] as f32) * 0.09).cos() * 9.0 + 280.0
+        });
+        let p = Field::from_fn(shape, |i| {
+            1000.0 - (i[0] as f32) * 0.8 + ((i[1] as f32) * 0.05).sin() * 3.0
+        });
+        let rh = Field::from_vec(
+            shape,
+            t.as_slice()
+                .iter()
+                .zip(p.as_slice())
+                .map(|(&tv, &pv)| 0.4 * (tv - 280.0) + 0.05 * (pv - 1000.0) + 50.0)
+                .collect(),
+        );
+        let mut ds = Dataset::new("SNAP", shape);
+        ds.push("T", t);
+        ds.push("P", p);
+        ds.push("RH", rh);
+        ds
+    }
+
+    fn check_bound(orig: &Field, dec: &Field, eb: f64) {
+        for (a, b) in orig.as_slice().iter().zip(dec.as_slice()) {
+            assert!(
+                ((a - b).abs() as f64) <= eb * (1.0 + 1e-9),
+                "bound violated: |{a} − {b}| > {eb}"
+            );
+        }
+    }
+
+    fn small_train() -> TrainConfig {
+        TrainConfig::fast()
+    }
+
+    #[test]
+    fn archive_roundtrips_every_field_within_bound() {
+        let ds = snapshot(40, 40);
+        let (bytes, report) = ArchiveBuilder::relative(1e-3)
+            .train_config(small_train())
+            .cross_field("RH", &["T", "P"])
+            .build()
+            .write_with_report(&ds)
+            .unwrap();
+        assert_eq!(report.fields.len(), 3);
+        assert!(report.ratio() > 1.0, "ratio {}", report.ratio());
+
+        let reader = ArchiveReader::new(&bytes).unwrap();
+        assert_eq!(reader.name(), "SNAP");
+        let dec = reader.decode_all().unwrap();
+        assert_eq!(dec.field_names(), ds.field_names());
+        for fr in &report.fields {
+            check_bound(
+                ds.expect_field(&fr.name),
+                dec.expect_field(&fr.name),
+                fr.eb_abs,
+            );
+        }
+    }
+
+    #[test]
+    fn roles_recorded_in_manifest() {
+        let ds = snapshot(24, 24);
+        let bytes = ArchiveBuilder::relative(1e-2)
+            .train_config(small_train())
+            .cross_field("RH", &["T"])
+            .build()
+            .write(&ds)
+            .unwrap();
+        let reader = ArchiveReader::new(&bytes).unwrap();
+        let role_of = |n: &str| reader.entries().iter().find(|e| e.name == n).unwrap().role;
+        assert_eq!(role_of("T"), FieldRole::Anchor);
+        assert_eq!(role_of("P"), FieldRole::Independent);
+        assert_eq!(role_of("RH"), FieldRole::Target);
+        assert_eq!(
+            reader
+                .entries()
+                .iter()
+                .find(|e| e.name == "RH")
+                .unwrap()
+                .anchors,
+            vec!["T".to_string()]
+        );
+    }
+
+    #[test]
+    fn decode_field_reads_one_target() {
+        let ds = snapshot(24, 24);
+        let builder = ArchiveBuilder::relative(1e-3)
+            .train_config(small_train())
+            .cross_field("RH", &["T", "P"]);
+        let (bytes, report) = builder.build().write_with_report(&ds).unwrap();
+        let reader = ArchiveReader::new(&bytes).unwrap();
+        let rh = reader.decode_field("RH").unwrap();
+        let eb = report
+            .fields
+            .iter()
+            .find(|f| f.name == "RH")
+            .unwrap()
+            .eb_abs;
+        check_bound(ds.expect_field("RH"), &rh, eb);
+        assert!(reader.decode_field("missing").is_err());
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_roles() {
+        let ds = snapshot(16, 16);
+        // unknown target
+        let e = ArchiveBuilder::relative(1e-3)
+            .cross_field("NOPE", &["T"])
+            .build()
+            .write(&ds);
+        assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+        // unknown anchor
+        let e = ArchiveBuilder::relative(1e-3)
+            .cross_field("RH", &["NOPE"])
+            .build()
+            .write(&ds);
+        assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+        // target anchored on another target
+        let e = ArchiveBuilder::relative(1e-3)
+            .train_config(small_train())
+            .cross_field("RH", &["T"])
+            .cross_field("P", &["RH"])
+            .build()
+            .write(&ds);
+        assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+        // self-anchor
+        let e = ArchiveBuilder::relative(1e-3)
+            .cross_field("RH", &["RH"])
+            .build()
+            .write(&ds);
+        assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+    }
+
+    #[test]
+    fn oversized_patch_is_a_plan_error_not_a_panic() {
+        // default TrainConfig has patch 24; on a 24x24 dataset the trainer
+        // would assert inside a worker thread — must surface as Err instead
+        let ds = snapshot(24, 24);
+        let e = ArchiveBuilder::relative(1e-3)
+            .cross_field("RH", &["T"])
+            .build()
+            .write(&ds);
+        assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+    }
+
+    #[test]
+    fn oversized_field_name_is_an_error() {
+        let shape = Shape::d2(8, 8);
+        let mut ds = Dataset::new("N", shape);
+        ds.push("A".repeat(70_000), Field::zeros(shape));
+        let e = ArchiveBuilder::relative(1e-3).build().write(&ds);
+        assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+    }
+
+    #[test]
+    fn all_baseline_plan_needs_no_roles() {
+        let ds = snapshot(20, 20);
+        let (bytes, report) = ArchiveBuilder::relative(1e-3)
+            .build()
+            .write_with_report(&ds)
+            .unwrap();
+        assert!(report
+            .fields
+            .iter()
+            .all(|f| f.role == FieldRole::Independent));
+        let dec = ArchiveReader::new(&bytes).unwrap().decode_all().unwrap();
+        for fr in &report.fields {
+            check_bound(
+                ds.expect_field(&fr.name),
+                dec.expect_field(&fr.name),
+                fr.eb_abs,
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_writes_are_bit_identical() {
+        let ds = snapshot(32, 32);
+        let build = |threads| {
+            ArchiveBuilder::relative(1e-3)
+                .train_config(small_train())
+                .cross_field("RH", &["T", "P"])
+                .threads(threads)
+                .build()
+                .write(&ds)
+                .unwrap()
+        };
+        assert_eq!(build(1), build(4), "thread count must not change bytes");
+    }
+
+    #[test]
+    fn corrupt_archives_error_not_panic() {
+        let ds = snapshot(20, 20);
+        let bytes = ArchiveBuilder::relative(1e-3)
+            .train_config(small_train())
+            .cross_field("RH", &["T"])
+            .build()
+            .write(&ds)
+            .unwrap();
+        // wrong magic
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            ArchiveReader::new(&bad),
+            Err(CfcError::BadMagic { .. })
+        ));
+        // future version
+        let mut bad = bytes.clone();
+        bad[4] = 0xEE;
+        assert!(matches!(
+            ArchiveReader::new(&bad),
+            Err(CfcError::UnsupportedVersion { .. })
+        ));
+        // every truncation point fails cleanly at parse or decode
+        for cut in (0..bytes.len()).step_by(97) {
+            match ArchiveReader::new(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(r) => {
+                    let _ = r.decode_all();
+                }
+            }
+        }
+    }
+}

@@ -114,14 +114,28 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { patch: 24, n_patches: 256, batch: 16, epochs: 25, lr: 2e-3, seed: 7 }
+        TrainConfig {
+            patch: 24,
+            n_patches: 256,
+            batch: 16,
+            epochs: 25,
+            lr: 2e-3,
+            seed: 7,
+        }
     }
 }
 
 impl TrainConfig {
     /// Tiny config for unit tests.
     pub fn fast() -> Self {
-        TrainConfig { patch: 12, n_patches: 48, batch: 12, epochs: 8, lr: 4e-3, seed: 7 }
+        TrainConfig {
+            patch: 12,
+            n_patches: 48,
+            batch: 12,
+            epochs: 8,
+            lr: 4e-3,
+            seed: 7,
+        }
     }
 }
 

@@ -48,7 +48,11 @@ pub fn input_channel_count(n_anchors: usize, ndim: usize) -> usize {
 /// normalized by the stored transforms.
 pub fn anchor_channels(anchors: &[&Field], normalizers: &[Normalizer]) -> Vec<Field> {
     let ndim = anchors[0].shape().ndim();
-    assert_eq!(normalizers.len(), anchors.len() * ndim, "normalizer count mismatch");
+    assert_eq!(
+        normalizers.len(),
+        anchors.len() * ndim,
+        "normalizer count mismatch"
+    );
     let mut out = Vec::with_capacity(anchors.len() * ndim);
     for (ai, a) in anchors.iter().enumerate() {
         for (di, d) in difference_channels(a).into_iter().enumerate() {

@@ -28,7 +28,12 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        HybridConfig { n_samples: 4096, epochs: 40, lr: 0.25, seed: 11 }
+        HybridConfig {
+            n_samples: 4096,
+            epochs: 40,
+            lr: 0.25,
+            seed: 11,
+        }
     }
 }
 
@@ -153,7 +158,10 @@ impl HybridModel {
         let mut weights = Vec::with_capacity(arity);
         weights.push(1.0 - w.iter().sum::<f64>());
         weights.extend_from_slice(&w);
-        HybridModel { weights, losses: Vec::new() }
+        HybridModel {
+            weights,
+            losses: Vec::new(),
+        }
     }
 
     /// Serialize weights (f64 LE).
@@ -166,13 +174,41 @@ impl HybridModel {
         out
     }
 
-    /// Parse weights written by [`HybridModel::serialize`].
+    /// Parse weights written by [`HybridModel::serialize`]. Panics on
+    /// malformed input; use [`HybridModel::try_deserialize`] for untrusted
+    /// bytes.
     pub fn deserialize(bytes: &[u8]) -> Self {
-        let n = bytes[0] as usize;
+        Self::try_deserialize(bytes).expect("corrupt hybrid weights")
+    }
+
+    /// Fallible parse of untrusted hybrid-weight bytes: validates the
+    /// declared count against the payload and requires finite weights.
+    pub fn try_deserialize(bytes: &[u8]) -> Result<Self, cfc_sz::CfcError> {
+        use cfc_sz::CfcError;
+        let n = *bytes.first().ok_or(CfcError::Truncated {
+            context: "hybrid weight count",
+            needed: 1,
+            available: 0,
+        })? as usize;
+        if bytes.len() != 1 + n * 8 {
+            return Err(CfcError::Corrupt {
+                context: "hybrid weights",
+                detail: format!("{n} weights claimed in {} payload bytes", bytes.len() - 1),
+            });
+        }
         let weights: Vec<f64> = (0..n)
             .map(|i| f64::from_le_bytes(bytes[1 + i * 8..9 + i * 8].try_into().unwrap()))
             .collect();
-        HybridModel { weights, losses: Vec::new() }
+        if weights.iter().any(|w| !w.is_finite()) {
+            return Err(CfcError::Corrupt {
+                context: "hybrid weights",
+                detail: "non-finite weight".into(),
+            });
+        }
+        Ok(HybridModel {
+            weights,
+            losses: Vec::new(),
+        })
     }
 }
 
@@ -251,7 +287,10 @@ mod tests {
     #[test]
     fn sgd_training_loss_decreases() {
         let (preds, targets) = synthetic(2000);
-        let cfg = HybridConfig { epochs: 60, ..Default::default() };
+        let cfg = HybridConfig {
+            epochs: 60,
+            ..Default::default()
+        };
         let m = HybridModel::train(&preds, &targets, &cfg);
         assert_eq!(m.losses.len(), 60);
         assert!(
@@ -269,7 +308,11 @@ mod tests {
         let sgd = HybridModel::train(
             &preds,
             &targets,
-            &HybridConfig { epochs: 400, lr: 0.4, ..Default::default() },
+            &HybridConfig {
+                epochs: 400,
+                lr: 0.4,
+                ..Default::default()
+            },
         );
         for (a, b) in lsq.weights.iter().zip(&sgd.weights) {
             assert!((a - b).abs() < 0.08, "lsq {lsq:?} vs sgd {sgd:?}");
@@ -278,7 +321,10 @@ mod tests {
 
     #[test]
     fn combine_applies_weights() {
-        let m = HybridModel { weights: vec![0.5, 0.25, 0.25], losses: vec![] };
+        let m = HybridModel {
+            weights: vec![0.5, 0.25, 0.25],
+            losses: vec![],
+        };
         assert_eq!(m.combine(&[4.0, 8.0, 0.0]), 4.0);
         assert_eq!(m.arity(), 3);
         assert_eq!(m.num_params(), 3);
@@ -286,7 +332,10 @@ mod tests {
 
     #[test]
     fn serialization_roundtrip() {
-        let m = HybridModel { weights: vec![0.6, 0.25, 0.1, 0.05], losses: vec![] };
+        let m = HybridModel {
+            weights: vec![0.6, 0.25, 0.1, 0.05],
+            losses: vec![],
+        };
         let m2 = HybridModel::deserialize(&m.serialize());
         assert_eq!(m.weights, m2.weights);
     }

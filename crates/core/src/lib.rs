@@ -1,5 +1,5 @@
 //! `cfc-core` — cross-field enhanced lossy compression (the paper's
-//! contribution).
+//! contribution), from single-field pipeline to whole-snapshot archive.
 //!
 //! Pipeline (paper Fig. 2):
 //!
@@ -21,9 +21,20 @@
 //! * [`hybrid`] learns the weighted combination of the `n+1` predictors
 //!   (paper §III-D3);
 //! * [`predictor`] adapts everything into a causal [`cfc_sz::Predictor`];
-//! * [`pipeline`] is the user-facing compressor: anchors in, error-bounded
-//!   stream (with embedded model) out.
+//! * [`pipeline`] is the single-field compressor: anchors in, error-bounded
+//!   stream (with embedded model) out — plus [`CrossFieldCodec`], which
+//!   packages model + anchors behind the unified fallible
+//!   [`cfc_sz::Codec`] trait;
+//! * [`archive`] is the dataset-level entry point: [`ArchiveBuilder`] →
+//!   [`ArchiveWriter`] compresses a whole multi-field snapshot (anchors,
+//!   baselines, and cross-field targets, in parallel) into one versioned,
+//!   self-describing container that [`ArchiveReader`] decodes with **no
+//!   out-of-band configuration**.
+//!
+//! Every decode path is fallible: corrupt or adversarial bytes surface as
+//! [`cfc_sz::CfcError`], never a panic.
 
+pub mod archive;
 pub mod config;
 pub mod diffnet;
 pub mod hybrid;
@@ -32,7 +43,11 @@ pub mod predict;
 pub mod predictor;
 pub mod train;
 
+pub use archive::{
+    ArchiveBuilder, ArchiveEntry, ArchiveReader, ArchiveReport, ArchiveWriter, FieldReport,
+    FieldRole,
+};
 pub use config::{CfnnSpec, CrossFieldConfig, TrainConfig};
 pub use hybrid::HybridModel;
-pub use pipeline::{CrossFieldCompressor, CrossFieldStream};
-pub use train::{train_cfnn, TrainedCfnn, TrainReport};
+pub use pipeline::{CrossFieldCodec, CrossFieldCompressor, CrossFieldStream};
+pub use train::{train_cfnn, TrainReport, TrainedCfnn};

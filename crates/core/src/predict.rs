@@ -20,7 +20,11 @@ const SLICE_BATCH: usize = 4;
 pub fn predict_differences(trained: &mut TrainedCfnn, anchors: &[&Field]) -> Vec<Field> {
     let shape = anchors[0].shape();
     let ndim = shape.ndim();
-    assert_eq!(trained.spec.in_channels, anchors.len() * ndim, "anchor count mismatch");
+    assert_eq!(
+        trained.spec.in_channels,
+        anchors.len() * ndim,
+        "anchor count mismatch"
+    );
 
     let channels = diffnet::anchor_channels(anchors, &trained.input_norms);
     let n_slices = diffnet::slice_count(anchors[0]);
@@ -63,11 +67,7 @@ pub fn predict_differences(trained: &mut TrainedCfnn, anchors: &[&Field]) -> Vec
 /// Reconstruct a field *purely* from predicted backward differences along
 /// one axis, seeded with the true boundary hyperplane — the paper's Fig. 6
 /// "cross-field (no error control)" reconstruction.
-pub fn reconstruct_from_differences(
-    predicted_diff: &Field,
-    axis: Axis,
-    boundary: &Field,
-) -> Field {
+pub fn reconstruct_from_differences(predicted_diff: &Field, axis: Axis, boundary: &Field) -> Field {
     diff::integrate_backward(predicted_diff, axis, boundary)
 }
 
@@ -119,7 +119,8 @@ pub fn lorenzo_unbounded(original: &Field) -> Field {
                         let v = if k == 0 || i == 0 || j == 0 {
                             original.get(&[k, i, j])
                         } else {
-                            rec.get(&[k - 1, i, j]) + rec.get(&[k, i - 1, j])
+                            rec.get(&[k - 1, i, j])
+                                + rec.get(&[k, i - 1, j])
                                 + rec.get(&[k, i, j - 1])
                                 - rec.get(&[k - 1, i - 1, j])
                                 - rec.get(&[k - 1, i, j - 1])
@@ -185,10 +186,8 @@ pub fn hybrid_unbounded(original: &Field, diffs: &[Field], weights: &[f64]) -> F
                             let px = pk + diffs[0].get(&[k, i, j]) as f64;
                             let py = pi + diffs[1].get(&[k, i, j]) as f64;
                             let pz = pj + diffs[2].get(&[k, i, j]) as f64;
-                            (weights[0] * lor
-                                + weights[1] * px
-                                + weights[2] * py
-                                + weights[3] * pz) as f32
+                            (weights[0] * lor + weights[1] * px + weights[2] * py + weights[3] * pz)
+                                as f32
                         };
                         rec.set(&[k, i, j], v);
                     }
@@ -335,7 +334,10 @@ mod tests {
         // predicting all-zero differences
         let (a, t) = correlated_pair(56, 56);
         let spec = CfnnSpec::compact(1, 2);
-        let cfg = TrainConfig { epochs: 20, ..TrainConfig::fast() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            ..TrainConfig::fast()
+        };
         let mut trained = train_cfnn(&spec, &cfg, &[&a], &t);
         let pred = predict_differences(&mut trained, &[&a]);
         let truth = diff::backward_diff_all(&t);

@@ -178,7 +178,10 @@ mod tests {
         let lat = lattice2(12, 12, |i, j| (i * i) as i64 + 3 * j as i64);
         let dq = exact_dq_2d(&lat);
         // pure axis-0 weighting
-        let model = HybridModel { weights: vec![0.0, 1.0, 0.0], losses: vec![] };
+        let model = HybridModel {
+            weights: vec![0.0, 1.0, 0.0],
+            losses: vec![],
+        };
         let pred = CrossFieldHybridPredictor {
             dq: dq.clone(),
             model,
@@ -197,7 +200,9 @@ mod tests {
 
     #[test]
     fn hybrid_roundtrips_through_codec() {
-        let lat = lattice2(20, 20, |i, j| ((i * 13 + j * 7) % 91) as i64 + i as i64 * 50);
+        let lat = lattice2(20, 20, |i, j| {
+            ((i * 13 + j * 7) % 91) as i64 + i as i64 * 50
+        });
         let dq = exact_dq_2d(&lat);
         let (preds, targets) = sample_hybrid_training(&lat, &dq, 500, 3);
         let model = HybridModel::fit_least_squares(&preds, &targets);
@@ -218,7 +223,10 @@ mod tests {
                 *v += ((o + k) % 7) as f64 - 3.0;
             }
         }
-        let model = HybridModel { weights: vec![0.4, 0.3, 0.3], losses: vec![] };
+        let model = HybridModel {
+            weights: vec![0.4, 0.3, 0.3],
+            losses: vec![],
+        };
         let predictor = CrossFieldHybridPredictor { dq, model, ndim: 2 };
         let quant = QuantizerConfig { radius: 512 };
         let enc = codec::encode(&lat, &predictor, &quant);
@@ -239,7 +247,10 @@ mod tests {
         }
         let lat = QuantLattice::from_vec(shape, data);
         let dq: Vec<Vec<f64>> = (0..3).map(|_| vec![0.0f64; shape.len()]).collect();
-        let model = HybridModel { weights: vec![1.0, 0.0, 0.0, 0.0], losses: vec![] };
+        let model = HybridModel {
+            weights: vec![1.0, 0.0, 0.0, 0.0],
+            losses: vec![],
+        };
         let predictor = CrossFieldHybridPredictor { dq, model, ndim: 3 };
         let quant = QuantizerConfig { radius: 512 };
         let enc = codec::encode(&lat, &predictor, &quant);
@@ -265,7 +276,10 @@ mod tests {
     fn new_converts_units() {
         let f = Field::from_vec(Shape::d2(2, 2), vec![0.2, 0.4, -0.2, 0.0]);
         let g = Field::zeros(Shape::d2(2, 2));
-        let model = HybridModel { weights: vec![0.5, 0.25, 0.25], losses: vec![] };
+        let model = HybridModel {
+            weights: vec![0.5, 0.25, 0.25],
+            losses: vec![],
+        };
         let p = CrossFieldHybridPredictor::new(&[f, g], 0.1, model);
         for (got, want) in p.dq()[0].iter().zip([1.0, 2.0, -1.0, 0.0]) {
             assert!((got - want).abs() < 1e-6, "{got} vs {want}"); // v / (2·0.1)

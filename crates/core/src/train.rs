@@ -61,8 +61,15 @@ pub fn train_cfnn(
         anchors.iter().all(|a| a.shape() == target.shape()),
         "anchor/target shape mismatch"
     );
-    assert_eq!(spec.in_channels, anchors.len() * ndim, "spec does not match anchor count");
-    assert_eq!(spec.out_channels, ndim, "spec does not match dimensionality");
+    assert_eq!(
+        spec.in_channels,
+        anchors.len() * ndim,
+        "spec does not match anchor count"
+    );
+    assert_eq!(
+        spec.out_channels, ndim,
+        "spec does not match dimensionality"
+    );
 
     // --- difference channels + normalizers (original data) -----------------
     let anchor_diffs: Vec<Field> = anchors
@@ -89,14 +96,21 @@ pub fn train_cfnn(
     let slice_shape = diffnet::processing_slice(target, 0).shape();
     let (rows, cols) = (slice_shape.dims()[0], slice_shape.dims()[1]);
     let p = cfg.patch;
-    assert!(p + 1 < rows && p + 1 < cols, "patch {p} too large for {rows}x{cols} slices");
+    assert!(
+        p + 1 < rows && p + 1 < cols,
+        "patch {p} too large for {rows}x{cols} slices"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut patches: Vec<(Vec<f32>, Vec<f32>)> = Vec::with_capacity(cfg.n_patches);
     for _ in 0..cfg.n_patches {
         // skip index 0 along every axis: backward differences there are the
         // zero-padding convention, not data
-        let k = if n_slices > 1 { rng.random_range(1..n_slices) } else { 0 };
+        let k = if n_slices > 1 {
+            rng.random_range(1..n_slices)
+        } else {
+            0
+        };
         let r0 = rng.random_range(1..rows - p);
         let c0 = rng.random_range(1..cols - p);
         let x = gather_patch(&x_channels, k, r0, c0, p, cols);
@@ -140,7 +154,10 @@ pub fn train_cfnn(
         spec: *spec,
         input_norms,
         target_norms,
-        report: TrainReport { losses, n_patches: patches.len() },
+        report: TrainReport {
+            losses,
+            n_patches: patches.len(),
+        },
     }
 }
 
@@ -227,7 +244,14 @@ mod tests {
         });
         let t = a.map(|v| 1.5 * v - 2.0);
         let spec = CfnnSpec::compact(1, 3);
-        let cfg = TrainConfig { patch: 10, n_patches: 32, batch: 8, epochs: 6, lr: 4e-3, seed: 3 };
+        let cfg = TrainConfig {
+            patch: 10,
+            n_patches: 32,
+            batch: 8,
+            epochs: 6,
+            lr: 4e-3,
+            seed: 3,
+        };
         let trained = train_cfnn(&spec, &cfg, &[&a], &t);
         assert_eq!(trained.input_norms.len(), 3);
         assert_eq!(trained.target_norms.len(), 3);

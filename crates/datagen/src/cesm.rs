@@ -44,9 +44,15 @@ pub fn generate(shape: Shape, params: GenParams) -> Dataset {
 
     // --- latents ------------------------------------------------------------
     // moisture bands at three characteristic scales (low/mid/high clouds)
-    let m_low = FractalNoise::new(seed ^ 0xC1).with_persistence(rough).with_base_freq(7.0);
-    let m_med = FractalNoise::new(seed ^ 0xC2).with_persistence(rough).with_base_freq(4.0);
-    let m_hgh = FractalNoise::new(seed ^ 0xC3).with_persistence(rough).with_base_freq(2.5);
+    let m_low = FractalNoise::new(seed ^ 0xC1)
+        .with_persistence(rough)
+        .with_base_freq(7.0);
+    let m_med = FractalNoise::new(seed ^ 0xC2)
+        .with_persistence(rough)
+        .with_base_freq(4.0);
+    let m_hgh = FractalNoise::new(seed ^ 0xC3)
+        .with_persistence(rough)
+        .with_base_freq(2.5);
     let temp = latent2(shape, seed ^ 0xC4, rough * 0.7, 3.0);
 
     let make_cloud = |noise: &FractalNoise, bias: f32| -> Field {
@@ -67,12 +73,14 @@ pub fn generate(shape: Shape, params: GenParams) -> Dataset {
         Field::from_vec(shape, data)
     };
     let tot_own = make_cloud(
-        &FractalNoise::new(seed ^ 0xC5).with_persistence(rough).with_base_freq(5.0),
+        &FractalNoise::new(seed ^ 0xC5)
+            .with_persistence(rough)
+            .with_base_freq(5.0),
         0.1,
     );
     let cldtot = couple(&tot_derived, &tot_own, c);
-    let cldtot = add_noise(&cldtot, params.noise_floor * 0.5, seed ^ 0xD1)
-        .map(|v| v.clamp(0.0, 1.0));
+    let cldtot =
+        add_noise(&cldtot, params.noise_floor * 0.5, seed ^ 0xD1).map(|v| v.clamp(0.0, 1.0));
 
     // --- longwave fluxes ------------------------------------------------------
     // clear-sky OLR: Stefan–Boltzmann-flavoured function of the temp latent
@@ -88,7 +96,9 @@ pub fn generate(shape: Shape, params: GenParams) -> Dataset {
     let lwcf_own = rescale(
         &Field::from_vec(
             shape,
-            FractalNoise::new(seed ^ 0xC6).with_persistence(rough).grid2(ni, nj, 0.29),
+            FractalNoise::new(seed ^ 0xC6)
+                .with_persistence(rough)
+                .grid2(ni, nj, 0.29),
         ),
         0.0,
         95.0,
@@ -117,9 +127,16 @@ pub fn generate(shape: Shape, params: GenParams) -> Dataset {
 
     // FLNT "closely mirrors" FLUT; FLNTC mirrors FLUTC (net vs upwelling at
     // top-of-atmosphere differ by small absorbed components)
-    let flnt = add_noise(&flut.map(|v| v * 0.985 + 2.5), params.noise_floor * 0.2, seed ^ 0xD5);
-    let flntc =
-        add_noise(&flutc.map(|v| v * 0.985 + 2.5), params.noise_floor * 0.2, seed ^ 0xD6);
+    let flnt = add_noise(
+        &flut.map(|v| v * 0.985 + 2.5),
+        params.noise_floor * 0.2,
+        seed ^ 0xD5,
+    );
+    let flntc = add_noise(
+        &flutc.map(|v| v * 0.985 + 2.5),
+        params.noise_floor * 0.2,
+        seed ^ 0xD6,
+    );
 
     let mut ds = Dataset::new("CESM-ATM", shape);
     ds.push("CLDLOW", cldlow);
@@ -146,8 +163,9 @@ mod tests {
     #[test]
     fn has_all_paper_fields() {
         let ds = small();
-        for f in ["CLDLOW", "CLDMED", "CLDHGH", "CLDTOT", "FLUTC", "LWCF", "FLUT", "FLNT", "FLNTC"]
-        {
+        for f in [
+            "CLDLOW", "CLDMED", "CLDHGH", "CLDTOT", "FLUTC", "LWCF", "FLUT", "FLNT", "FLNTC",
+        ] {
             assert!(ds.field(f).is_some(), "missing {f}");
         }
     }
@@ -177,7 +195,9 @@ mod tests {
     fn flut_is_flutc_minus_lwcf() {
         let ds = generate(
             Shape::d2(48, 48),
-            GenParams::default().with_noise_floor(0.0).with_coupling(1.0),
+            GenParams::default()
+                .with_noise_floor(0.0)
+                .with_coupling(1.0),
         );
         let flut = ds.expect_field("FLUT");
         let flutc = ds.expect_field("FLUTC");
@@ -185,7 +205,10 @@ mod tests {
         for i in 0..flut.len() {
             let lhs = flut.as_slice()[i];
             let rhs = flutc.as_slice()[i] - lwcf.as_slice()[i];
-            assert!((lhs - rhs).abs() < 1e-3, "identity broken at {i}: {lhs} vs {rhs}");
+            assert!(
+                (lhs - rhs).abs() < 1e-3,
+                "identity broken at {i}: {lhs} vs {rhs}"
+            );
         }
     }
 
@@ -221,6 +244,9 @@ mod tests {
     fn deterministic() {
         let a = generate(Shape::d2(32, 32), GenParams::default());
         let b = generate(Shape::d2(32, 32), GenParams::default());
-        assert_eq!(a.expect_field("FLUT").as_slice(), b.expect_field("FLUT").as_slice());
+        assert_eq!(
+            a.expect_field("FLUT").as_slice(),
+            b.expect_field("FLUT").as_slice()
+        );
     }
 }

@@ -1,6 +1,11 @@
-//! Named multi-field dataset container and generation parameters.
+//! Generation parameters shared by all three dataset analogues.
+//!
+//! The [`Dataset`] container itself now lives in `cfc-tensor`
+//! ([`cfc_tensor::Dataset`]) so the archive subsystem can consume datasets
+//! without depending on the synthetic generators; it is re-exported here
+//! for backward compatibility.
 
-use cfc_tensor::{Field, Shape};
+pub use cfc_tensor::Dataset;
 
 /// Generation parameters shared by all three dataset analogues.
 #[derive(Debug, Clone, Copy)]
@@ -58,108 +63,9 @@ impl GenParams {
     }
 }
 
-/// A named collection of equally-shaped fields — one simulation snapshot.
-#[derive(Debug, Clone)]
-pub struct Dataset {
-    name: String,
-    shape: Shape,
-    fields: Vec<(String, Field)>,
-}
-
-impl Dataset {
-    /// Create an empty dataset for fields of `shape`.
-    pub fn new(name: impl Into<String>, shape: Shape) -> Self {
-        Dataset { name: name.into(), shape, fields: Vec::new() }
-    }
-
-    /// Dataset name (e.g. "SCALE").
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// Common shape of every field.
-    pub fn shape(&self) -> Shape {
-        self.shape
-    }
-
-    /// Add a field; its shape must match the dataset shape.
-    pub fn push(&mut self, name: impl Into<String>, field: Field) {
-        assert_eq!(field.shape(), self.shape, "field shape mismatch");
-        let name = name.into();
-        assert!(
-            self.field(&name).is_none(),
-            "duplicate field name {name}"
-        );
-        self.fields.push((name, field));
-    }
-
-    /// Look a field up by name.
-    pub fn field(&self, name: &str) -> Option<&Field> {
-        self.fields.iter().find(|(n, _)| n == name).map(|(_, f)| f)
-    }
-
-    /// Look a field up by name, panicking with a helpful message if missing.
-    pub fn expect_field(&self, name: &str) -> &Field {
-        self.field(name).unwrap_or_else(|| {
-            panic!(
-                "dataset {} has no field {name}; available: {:?}",
-                self.name,
-                self.field_names()
-            )
-        })
-    }
-
-    /// All field names in insertion order.
-    pub fn field_names(&self) -> Vec<&str> {
-        self.fields.iter().map(|(n, _)| n.as_str()).collect()
-    }
-
-    /// Number of fields.
-    pub fn len(&self) -> usize {
-        self.fields.len()
-    }
-
-    /// True when no fields were added yet.
-    pub fn is_empty(&self) -> bool {
-        self.fields.is_empty()
-    }
-
-    /// Iterate `(name, field)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &Field)> {
-        self.fields.iter().map(|(n, f)| (n.as_str(), f))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn push_and_lookup() {
-        let mut ds = Dataset::new("T", Shape::d2(2, 2));
-        ds.push("A", Field::zeros(Shape::d2(2, 2)));
-        ds.push("B", Field::full(Shape::d2(2, 2), 1.0));
-        assert_eq!(ds.len(), 2);
-        assert_eq!(ds.field_names(), vec!["A", "B"]);
-        assert!(ds.field("A").is_some());
-        assert!(ds.field("C").is_none());
-        assert_eq!(ds.expect_field("B").as_slice()[0], 1.0);
-    }
-
-    #[test]
-    #[should_panic]
-    fn mismatched_shape_rejected() {
-        let mut ds = Dataset::new("T", Shape::d2(2, 2));
-        ds.push("A", Field::zeros(Shape::d2(3, 3)));
-    }
-
-    #[test]
-    #[should_panic]
-    fn duplicate_name_rejected() {
-        let mut ds = Dataset::new("T", Shape::d2(2, 2));
-        ds.push("A", Field::zeros(Shape::d2(2, 2)));
-        ds.push("A", Field::zeros(Shape::d2(2, 2)));
-    }
 
     #[test]
     fn params_builders_validate() {

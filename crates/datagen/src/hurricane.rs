@@ -98,7 +98,11 @@ pub fn generate(shape: Shape, params: GenParams) -> Dataset {
     let vf = Field::from_vec(shape, vf);
     let wf_derived = Field::from_vec(shape, wf_derived);
 
-    let wf_own = rescale(&latent3(shape, seed ^ 0xA3, params.roughness, 0.0), -2.0, 6.0);
+    let wf_own = rescale(
+        &latent3(shape, seed ^ 0xA3, params.roughness, 0.0),
+        -2.0,
+        6.0,
+    );
     let wf = couple(&wf_derived, &wf_own, c);
 
     let pf = add_noise(&pf, params.noise_floor * 0.4, seed ^ 0xB1);
@@ -150,8 +154,11 @@ mod tests {
             }
         }
         let (cy, cx) = (ni as f32 / 2.0, nj as f32 / 2.0);
-        let dist = (((bi as f32 - cy).powi(2) + (bj as f32 - cx).powi(2)) as f32).sqrt();
-        assert!(dist < ni as f32 * 0.3, "pressure min too far from centre: {dist}");
+        let dist = ((bi as f32 - cy).powi(2) + (bj as f32 - cx).powi(2)).sqrt();
+        assert!(
+            dist < ni as f32 * 0.3,
+            "pressure min too far from centre: {dist}"
+        );
     }
 
     #[test]
@@ -164,12 +171,18 @@ mod tests {
         let mid = dims[0] / 2;
         let left = v.get(&[mid, dims[1] / 5]);
         let right = v.get(&[mid, dims[1] - dims[1] / 5]);
-        assert!(left * right < 0.0, "no rotation signature: {left} vs {right}");
+        assert!(
+            left * right < 0.0,
+            "no rotation signature: {left} vs {right}"
+        );
     }
 
     #[test]
     fn updraft_strongest_at_midlevels() {
-        let ds = generate(Shape::d3(12, 48, 48), GenParams::default().with_coupling(1.0));
+        let ds = generate(
+            Shape::d3(12, 48, 48),
+            GenParams::default().with_coupling(1.0),
+        );
         let w = ds.expect_field("Wf");
         let max_at = |k: usize| {
             w.slice(Axis::X, k)
@@ -194,6 +207,9 @@ mod tests {
     fn deterministic() {
         let a = generate(Shape::d3(4, 24, 24), GenParams::default());
         let b = generate(Shape::d3(4, 24, 24), GenParams::default());
-        assert_eq!(a.expect_field("Wf").as_slice(), b.expect_field("Wf").as_slice());
+        assert_eq!(
+            a.expect_field("Wf").as_slice(),
+            b.expect_field("Wf").as_slice()
+        );
     }
 }

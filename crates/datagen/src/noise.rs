@@ -55,7 +55,13 @@ pub struct FractalNoise {
 impl FractalNoise {
     /// A generator with typical climate-like defaults.
     pub fn new(seed: u64) -> Self {
-        FractalNoise { seed, octaves: 5, base_freq: 3.0, persistence: 0.45, lacunarity: 2.0 }
+        FractalNoise {
+            seed,
+            octaves: 5,
+            base_freq: 3.0,
+            persistence: 0.45,
+            lacunarity: 2.0,
+        }
     }
 
     /// Builder-style octave override.
@@ -100,7 +106,7 @@ impl FractalNoise {
         let mut sum = 0.0f32;
         let mut norm = 0.0f32;
         for oct in 0..self.octaves {
-            let s = self.seed.wrapping_add(oct as u64 * 0x51_7C_C1B7);
+            let s = self.seed.wrapping_add(oct as u64 * 0x517C_C1B7);
             sum += amp * self.value3(s, nx * freq, ny * freq, nz * freq);
             norm += amp;
             amp *= self.persistence;
@@ -180,10 +186,19 @@ mod tests {
     #[test]
     fn smoothness_increases_with_lower_persistence() {
         // total variation of a row should shrink as persistence drops
-        let rough = FractalNoise::new(5).with_persistence(0.9).grid2(1, 256, 0.0);
-        let smooth = FractalNoise::new(5).with_persistence(0.2).grid2(1, 256, 0.0);
+        let rough = FractalNoise::new(5)
+            .with_persistence(0.9)
+            .grid2(1, 256, 0.0);
+        let smooth = FractalNoise::new(5)
+            .with_persistence(0.2)
+            .grid2(1, 256, 0.0);
         let tv = |v: &[f32]| v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>();
-        assert!(tv(&smooth) < tv(&rough), "{} !< {}", tv(&smooth), tv(&rough));
+        assert!(
+            tv(&smooth) < tv(&rough),
+            "{} !< {}",
+            tv(&smooth),
+            tv(&rough)
+        );
     }
 
     #[test]

@@ -57,12 +57,7 @@ pub fn rescale(field: &Field, lo: f32, hi: f32) -> Field {
 
 /// A smooth 3-D latent volume: fBm noise plus a planetary-scale trend along
 /// the vertical axis (pressure decreasing with altitude, temperature lapse).
-pub fn latent3(
-    shape: Shape,
-    seed: u64,
-    roughness: f32,
-    vertical_trend: f32,
-) -> Field {
+pub fn latent3(shape: Shape, seed: u64, roughness: f32, vertical_trend: f32) -> Field {
     assert_eq!(shape.ndim(), 3);
     let d = shape.dims();
     let (nk, ni, nj) = (d[0], d[1], d[2]);
@@ -102,7 +97,10 @@ pub fn latent2(shape: Shape, seed: u64, roughness: f32, meridional_trend: f32) -
 /// [`gradient2d`] to every level independently and restacks.
 pub fn gradient3d_levelwise(volume: &Field, axis: Axis, scale: f32) -> Field {
     assert_eq!(volume.shape().ndim(), 3);
-    assert!(axis == Axis::X || axis == Axis::Y, "level-wise gradient is horizontal");
+    assert!(
+        axis == Axis::X || axis == Axis::Y,
+        "level-wise gradient is horizontal"
+    );
     let shape = volume.shape();
     let nk = shape.dims()[0];
     let mut out = Vec::with_capacity(shape.len());
@@ -164,7 +162,7 @@ mod tests {
             .collect();
         let sd = FieldStats::of_slice(&diffs).std;
         let expected = 0.01 * 9999.0;
-        let rel = (sd - expected as f64).abs() / expected as f64;
+        let rel = (sd - expected).abs() / expected;
         assert!(rel < 0.1, "sd {sd} vs {expected}");
     }
 

@@ -19,9 +19,7 @@
 use cfc_tensor::{Axis, Shape};
 
 use crate::dataset::{Dataset, GenParams};
-use crate::physics::{
-    add_noise, couple, gradient3d_levelwise, latent3, rescale, saturate,
-};
+use crate::physics::{add_noise, couple, gradient3d_levelwise, latent3, rescale, saturate};
 
 /// Default scaled-down shape (paper: 98×1200×1200). Chosen so the whole
 /// experiment suite runs on a laptop-class CPU in minutes.
@@ -148,9 +146,15 @@ mod tests {
     fn deterministic_per_seed() {
         let a = generate(Shape::d3(4, 16, 16), GenParams::default());
         let b = generate(Shape::d3(4, 16, 16), GenParams::default());
-        assert_eq!(a.expect_field("RH").as_slice(), b.expect_field("RH").as_slice());
+        assert_eq!(
+            a.expect_field("RH").as_slice(),
+            b.expect_field("RH").as_slice()
+        );
         let c = generate(Shape::d3(4, 16, 16), GenParams::default().with_seed(99));
-        assert_ne!(a.expect_field("RH").as_slice(), c.expect_field("RH").as_slice());
+        assert_ne!(
+            a.expect_field("RH").as_slice(),
+            c.expect_field("RH").as_slice()
+        );
     }
 
     #[test]
@@ -173,7 +177,10 @@ mod tests {
 
     #[test]
     fn coupling_increases_cross_correlation() {
-        let strong = generate(Shape::d3(6, 48, 48), GenParams::default().with_coupling(1.0));
+        let strong = generate(
+            Shape::d3(6, 48, 48),
+            GenParams::default().with_coupling(1.0),
+        );
         let weak = generate(
             Shape::d3(6, 48, 48),
             GenParams::default().with_coupling(0.0),

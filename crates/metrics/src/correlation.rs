@@ -66,7 +66,9 @@ mod tests {
         // deterministic pseudo-random pair
         let mut x = 1u64;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) as f32) / (1u64 << 31) as f32 - 1.0
         };
         let a: Vec<f32> = (0..5000).map(|_| next()).collect();

@@ -27,7 +27,11 @@ pub fn max_abs_error(a: &Field, b: &Field) -> f64 {
 pub fn nrmse(original: &Field, reconstructed: &Field) -> f64 {
     let range = FieldStats::of(original).range() as f64;
     if range == 0.0 {
-        return if mse(original, reconstructed) == 0.0 { 0.0 } else { f64::INFINITY };
+        return if mse(original, reconstructed) == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     mse(original, reconstructed).sqrt() / range
 }

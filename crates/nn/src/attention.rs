@@ -81,11 +81,7 @@ impl ChannelAttention {
         let mut z = vec![0.0f32; self.c];
         for cc in 0..self.c {
             let row = &self.w2[cc * self.hidden..(cc + 1) * self.hidden];
-            z[cc] = row
-                .iter()
-                .zip(&pre)
-                .map(|(&w, &h)| w * h.max(0.0))
-                .sum();
+            z[cc] = row.iter().zip(&pre).map(|(&w, &h)| w * h.max(0.0)).sum();
         }
         (pre, z)
     }
@@ -135,14 +131,25 @@ impl Layer for ChannelAttention {
             }
         }
         if train {
-            self.cache =
-                Some(Cache { input: input.clone(), gate, avg, mx, argmax, pre_a, pre_m });
+            self.cache = Some(Cache {
+                input: input.clone(),
+                gate,
+                avg,
+                mx,
+                argmax,
+                pre_a,
+                pre_m,
+            });
         }
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("backward before forward").clone();
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
         let (n, c, h, w) = cache.input.dims();
         let hw = h * w;
         let mut grad_in = cache.input.zeros_like();
@@ -167,9 +174,15 @@ impl Layer for ChannelAttention {
             // shared MLP backward for each pooled path
             for path in 0..2 {
                 let (pooled, pre): (&[f32], &[f32]) = if path == 0 {
-                    (&cache.avg[b * c..(b + 1) * c], &cache.pre_a[b * self.hidden..(b + 1) * self.hidden])
+                    (
+                        &cache.avg[b * c..(b + 1) * c],
+                        &cache.pre_a[b * self.hidden..(b + 1) * self.hidden],
+                    )
                 } else {
-                    (&cache.mx[b * c..(b + 1) * c], &cache.pre_m[b * self.hidden..(b + 1) * self.hidden])
+                    (
+                        &cache.mx[b * c..(b + 1) * c],
+                        &cache.pre_m[b * self.hidden..(b + 1) * self.hidden],
+                    )
                 };
                 // dW2 += dz ⊗ relu(pre); dh = W2ᵀ dz
                 let mut dh = vec![0.0f32; self.hidden];
@@ -211,8 +224,14 @@ impl Layer for ChannelAttention {
 
     fn params(&mut self) -> Vec<ParamSet<'_>> {
         vec![
-            ParamSet { values: &mut self.w1, grads: &mut self.grad_w1 },
-            ParamSet { values: &mut self.w2, grads: &mut self.grad_w2 },
+            ParamSet {
+                values: &mut self.w1,
+                grads: &mut self.grad_w1,
+            },
+            ParamSet {
+                values: &mut self.w2,
+                grads: &mut self.grad_w2,
+            },
         ]
     }
 
@@ -228,7 +247,13 @@ mod tests {
 
     fn rand_tensor(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor {
         let mut rng = init::seeded(seed);
-        Tensor::from_vec(n, c, h, w, init::kaiming_uniform(&mut rng, n * c * h * w, 3))
+        Tensor::from_vec(
+            n,
+            c,
+            h,
+            w,
+            init::kaiming_uniform(&mut rng, n * c * h * w, 3),
+        )
     }
 
     #[test]
@@ -312,6 +337,9 @@ mod tests {
         att2.set_weights(&w1, &w2);
         let input = rand_tensor(1, 8, 4, 4, 13);
         let mut a = att.clone();
-        assert_eq!(a.forward(&input, false).data, att2.forward(&input, false).data);
+        assert_eq!(
+            a.forward(&input, false).data,
+            att2.forward(&input, false).data
+        );
     }
 }

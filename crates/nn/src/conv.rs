@@ -205,8 +205,14 @@ impl Layer for Conv2d {
 
     fn params(&mut self) -> Vec<ParamSet<'_>> {
         vec![
-            ParamSet { values: &mut self.weight, grads: &mut self.grad_w },
-            ParamSet { values: &mut self.bias, grads: &mut self.grad_b },
+            ParamSet {
+                values: &mut self.weight,
+                grads: &mut self.grad_w,
+            },
+            ParamSet {
+                values: &mut self.bias,
+                grads: &mut self.grad_b,
+            },
         ]
     }
 
@@ -380,8 +386,14 @@ impl Layer for DepthwiseConv2d {
 
     fn params(&mut self) -> Vec<ParamSet<'_>> {
         vec![
-            ParamSet { values: &mut self.weight, grads: &mut self.grad_w },
-            ParamSet { values: &mut self.bias, grads: &mut self.grad_b },
+            ParamSet {
+                values: &mut self.weight,
+                grads: &mut self.grad_w,
+            },
+            ParamSet {
+                values: &mut self.bias,
+                grads: &mut self.grad_b,
+            },
         ]
     }
 
@@ -444,7 +456,13 @@ mod tests {
 
     fn rand_tensor(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor {
         let mut rng = init::seeded(seed);
-        Tensor::from_vec(n, c, h, w, init::kaiming_uniform(&mut rng, n * c * h * w, 4))
+        Tensor::from_vec(
+            n,
+            c,
+            h,
+            w,
+            init::kaiming_uniform(&mut rng, n * c * h * w, 4),
+        )
     }
 
     #[test]

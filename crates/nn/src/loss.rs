@@ -80,7 +80,11 @@ mod tests {
             1,
             1,
             2,
-            p.data.iter().zip(&g.data).map(|(&v, &gr)| v - 0.1 * gr).collect(),
+            p.data
+                .iter()
+                .zip(&g.data)
+                .map(|(&v, &gr)| v - 0.1 * gr)
+                .collect(),
         );
         let (l1, _) = mse_loss(&stepped, &t);
         assert!(l1 < l0);

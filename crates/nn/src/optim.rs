@@ -22,7 +22,11 @@ pub struct Sgd {
 impl Sgd {
     /// New SGD optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -60,7 +64,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard hyperparameters and the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -97,7 +109,10 @@ mod tests {
         let mut g = vec![0.0f32];
         for _ in 0..steps {
             g[0] = 2.0 * (x[0] - 3.0);
-            let mut params = [ParamSet { values: &mut x, grads: &mut g }];
+            let mut params = [ParamSet {
+                values: &mut x,
+                grads: &mut g,
+            }];
             opt.step(&mut params);
         }
         x[0]
@@ -130,7 +145,10 @@ mod tests {
         let mut adam = Adam::new(0.1);
         let mut x = vec![0.0f32];
         let mut g = vec![1.0f32];
-        let mut params = [ParamSet { values: &mut x, grads: &mut g }];
+        let mut params = [ParamSet {
+            values: &mut x,
+            grads: &mut g,
+        }];
         adam.step(&mut params);
         assert!((x[0] + 0.1).abs() < 1e-3, "first step {}", x[0]);
     }

@@ -1,6 +1,6 @@
 //! Layer stack with serialization — the concrete network container.
 
-use bytes::{Buf, BufMut};
+use bytes::BufMut;
 
 use crate::attention::ChannelAttention;
 use crate::conv::{Conv2d, DepthwiseConv2d};
@@ -59,13 +59,15 @@ impl Sequential {
 
     /// Append a full convolution.
     pub fn conv(mut self, in_c: usize, out_c: usize, k: usize, seed: u64) -> Self {
-        self.layers.push(AnyLayer::Conv(Conv2d::new(in_c, out_c, k, seed)));
+        self.layers
+            .push(AnyLayer::Conv(Conv2d::new(in_c, out_c, k, seed)));
         self
     }
 
     /// Append a depthwise convolution.
     pub fn depthwise(mut self, c: usize, k: usize, seed: u64) -> Self {
-        self.layers.push(AnyLayer::Depthwise(DepthwiseConv2d::new(c, k, seed)));
+        self.layers
+            .push(AnyLayer::Depthwise(DepthwiseConv2d::new(c, k, seed)));
         self
     }
 
@@ -77,7 +79,9 @@ impl Sequential {
 
     /// Append a channel-attention gate.
     pub fn attention(mut self, c: usize, reduction: usize, seed: u64) -> Self {
-        self.layers.push(AnyLayer::Attention(ChannelAttention::new(c, reduction, seed)));
+        self.layers.push(AnyLayer::Attention(ChannelAttention::new(
+            c, reduction, seed,
+        )));
         self
     }
 
@@ -126,7 +130,28 @@ impl Sequential {
 
     /// Total learnable parameters.
     pub fn num_params(&mut self) -> usize {
-        self.layers.iter_mut().map(|l| l.as_layer().num_params()).sum()
+        self.layers
+            .iter_mut()
+            .map(|l| l.as_layer().num_params())
+            .sum()
+    }
+
+    /// Channel geometry per layer: `(in, out)` for channel-transforming
+    /// layers, `None` for shape-preserving ones (ReLU).
+    ///
+    /// Lets callers that rebuild networks from untrusted bytes verify the
+    /// layers chain correctly *before* running `forward` (whose internal
+    /// channel asserts would otherwise panic).
+    pub fn layer_geometry(&self) -> Vec<Option<(usize, usize)>> {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                AnyLayer::Conv(c) => Some((c.in_c, c.out_c)),
+                AnyLayer::Depthwise(c) => Some((c.c, c.c)),
+                AnyLayer::Attention(a) => Some((a.c, a.c)),
+                AnyLayer::ReLU(_) => None,
+            })
+            .collect()
     }
 
     /// Serialize architecture + weights to bytes.
@@ -168,45 +193,137 @@ impl Sequential {
     }
 
     /// Rebuild a network from [`Sequential::serialize`] bytes.
-    pub fn deserialize(mut buf: &[u8]) -> Self {
-        let n = buf.get_u16_le() as usize;
+    ///
+    /// Panics on malformed input; use [`Sequential::try_deserialize`] for
+    /// untrusted bytes (e.g. models embedded in compressed streams).
+    pub fn deserialize(buf: &[u8]) -> Self {
+        Self::try_deserialize(buf).expect("corrupt serialized network")
+    }
+
+    /// Fallible rebuild from untrusted bytes.
+    ///
+    /// Validates every read against the remaining buffer and every weight
+    /// block against the layer geometry it claims, so hostile input can
+    /// neither panic nor demand allocations beyond its own size. The error
+    /// is a plain `String` to keep this crate free of codec dependencies;
+    /// callers wrap it into their own error type.
+    pub fn try_deserialize(buf: &[u8]) -> Result<Self, String> {
+        // channel/kernel sanity caps: largest legitimate CFNN here is ~139
+        // channels with 3×3 kernels, so these bounds are generous while
+        // keeping `Conv2d::new` allocations proportional to honest input
+        const MAX_CHANNELS: usize = 1 << 14;
+        const MAX_KERNEL: usize = 64;
+
+        let mut r = TryReader { buf, pos: 0 };
+        let n = r.u16()? as usize;
         let mut layers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let tag = buf.get_u8();
+        for li in 0..n {
+            let tag = r.u8()?;
             match tag {
                 1 => {
-                    let in_c = buf.get_u32_le() as usize;
-                    let out_c = buf.get_u32_le() as usize;
-                    let k = buf.get_u32_le() as usize;
-                    let w = get_f32s(&mut buf);
-                    let b = get_f32s(&mut buf);
+                    let in_c = r.dim(MAX_CHANNELS, "in_channels")?;
+                    let out_c = r.dim(MAX_CHANNELS, "out_channels")?;
+                    let k = r.dim(MAX_KERNEL, "kernel")?;
+                    let w = r.f32s()?;
+                    let b = r.f32s()?;
+                    let expect_w = in_c
+                        .checked_mul(out_c)
+                        .and_then(|v| v.checked_mul(k * k))
+                        .ok_or_else(|| format!("layer {li}: conv geometry overflows"))?;
+                    if w.len() != expect_w || b.len() != out_c {
+                        return Err(format!(
+                            "layer {li}: conv weights {}/{} mismatch geometry {expect_w}/{out_c}",
+                            w.len(),
+                            b.len()
+                        ));
+                    }
                     let mut conv = Conv2d::new(in_c, out_c, k, 0);
                     conv.set_weights(&w, &b);
                     layers.push(AnyLayer::Conv(conv));
                 }
                 2 => {
-                    let c = buf.get_u32_le() as usize;
-                    let k = buf.get_u32_le() as usize;
-                    let w = get_f32s(&mut buf);
-                    let b = get_f32s(&mut buf);
+                    let c = r.dim(MAX_CHANNELS, "channels")?;
+                    let k = r.dim(MAX_KERNEL, "kernel")?;
+                    let w = r.f32s()?;
+                    let b = r.f32s()?;
+                    if w.len() != c * k * k || b.len() != c {
+                        return Err(format!("layer {li}: depthwise weight count mismatch"));
+                    }
                     let mut dw = DepthwiseConv2d::new(c, k, 0);
                     dw.set_weights(&w, &b);
                     layers.push(AnyLayer::Depthwise(dw));
                 }
                 3 => layers.push(AnyLayer::ReLU(ReLU::new())),
                 4 => {
-                    let c = buf.get_u32_le() as usize;
-                    let r = buf.get_u32_le() as usize;
-                    let w1 = get_f32s(&mut buf);
-                    let w2 = get_f32s(&mut buf);
-                    let mut att = ChannelAttention::new(c, r, 0);
+                    let c = r.dim(MAX_CHANNELS, "channels")?;
+                    let red = r.dim(MAX_CHANNELS, "reduction")?;
+                    let w1 = r.f32s()?;
+                    let w2 = r.f32s()?;
+                    let hidden = (c / red).max(1);
+                    if w1.len() != c * hidden || w2.len() != hidden * c {
+                        return Err(format!("layer {li}: attention weight count mismatch"));
+                    }
+                    let mut att = ChannelAttention::new(c, red, 0);
                     att.set_weights(&w1, &w2);
                     layers.push(AnyLayer::Attention(att));
                 }
-                t => panic!("unknown layer tag {t}"),
+                t => return Err(format!("layer {li}: unknown layer tag {t}")),
             }
         }
-        Sequential { layers }
+        Ok(Sequential { layers })
+    }
+}
+
+/// Checked little-endian reader for [`Sequential::try_deserialize`].
+struct TryReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl TryReader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "truncated network: needed {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// A dimension field: non-zero and capped.
+    fn dim(&mut self, cap: usize, what: &str) -> Result<usize, String> {
+        let v = self.u32()? as usize;
+        if v == 0 || v > cap {
+            return Err(format!("{what} {v} outside 1..={cap}"));
+        }
+        Ok(v)
+    }
+
+    /// A length-prefixed f32 block, validated against the remaining buffer
+    /// before any allocation.
+    fn f32s(&mut self) -> Result<Vec<f32>, String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n.checked_mul(4).ok_or("f32 block length overflows")?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 }
 
@@ -215,11 +332,6 @@ fn put_f32s(out: &mut Vec<u8>, vals: &[f32]) {
     for &v in vals {
         out.put_f32_le(v);
     }
-}
-
-fn get_f32s(buf: &mut &[u8]) -> Vec<f32> {
-    let n = buf.get_u32_le() as usize;
-    (0..n).map(|_| buf.get_f32_le()).collect()
 }
 
 #[cfg(test)]
@@ -231,7 +343,13 @@ mod tests {
 
     fn rand_tensor(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor {
         let mut rng = init::seeded(seed);
-        Tensor::from_vec(n, c, h, w, init::kaiming_uniform(&mut rng, n * c * h * w, 4))
+        Tensor::from_vec(
+            n,
+            c,
+            h,
+            w,
+            init::kaiming_uniform(&mut rng, n * c * h * w, 4),
+        )
     }
 
     fn tiny_cfnn(seed: u64) -> Sequential {

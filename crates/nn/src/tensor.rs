@@ -18,7 +18,13 @@ pub struct Tensor {
 impl Tensor {
     /// Zero-filled tensor.
     pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
-        Tensor { data: vec![0.0; n * c * h * w], n, c, h, w }
+        Tensor {
+            data: vec![0.0; n * c * h * w],
+            n,
+            c,
+            h,
+            w,
+        }
     }
 
     /// Wrap an existing buffer.

@@ -1,0 +1,95 @@
+//! The unified fallible codec API.
+//!
+//! [`Codec`] is the single entry point every compressor in the workspace
+//! implements — the baseline [`crate::SzCompressor`], the self-contained
+//! cross-field codec in `cfc-core`, and anything downstream plugs into the
+//! same two methods. Both directions are fallible: encode-side input
+//! validation and *every* decode-path failure surface as
+//! [`CfcError`](crate::CfcError), never a panic.
+
+use cfc_tensor::Field;
+
+use crate::error::CfcError;
+
+/// An error-bounded lossy field compressor.
+pub trait Codec {
+    /// Compress one field into a self-describing byte stream.
+    fn compress(&self, field: &Field) -> Result<EncodedStream, CfcError>;
+
+    /// Decode a stream produced by [`Codec::compress`].
+    ///
+    /// Must be total over arbitrary byte input: malformed, truncated, or
+    /// adversarial bytes return `Err`, never panic.
+    fn decompress(&self, bytes: &[u8]) -> Result<Field, CfcError>;
+
+    /// Human-readable codec name for reports and archive manifests.
+    fn name(&self) -> &'static str {
+        "codec"
+    }
+}
+
+/// A compressed field plus the bookkeeping the evaluation harness reports.
+#[derive(Debug, Clone)]
+pub struct EncodedStream {
+    /// Serialized self-describing container (header + tagged sections).
+    pub bytes: Vec<u8>,
+    /// Absolute error bound the reconstruction satisfies pointwise.
+    pub eb_abs: f64,
+    /// Number of escaped (outlier) samples.
+    pub n_outliers: usize,
+}
+
+impl EncodedStream {
+    /// Compression ratio against `f32` input: `4·n_samples / stream bytes`
+    /// (dimensionless; > 1 means the stream is smaller than the raw data).
+    ///
+    /// Returns `0.0` for an empty input (`n_samples == 0`) — there is no
+    /// meaningful ratio for zero samples, and callers must not divide by it.
+    pub fn ratio(&self, n_samples: usize) -> f64 {
+        if n_samples == 0 || self.bytes.is_empty() {
+            return 0.0;
+        }
+        (n_samples * 4) as f64 / self.bytes.len() as f64
+    }
+
+    /// Bit rate in **bits per sample** against `f32` input (raw data is 32
+    /// bits/sample; lower is better).
+    ///
+    /// Returns `0.0` for an empty input (`n_samples == 0`) rather than
+    /// dividing by zero.
+    pub fn bit_rate(&self, n_samples: usize) -> f64 {
+        if n_samples == 0 {
+            return 0.0;
+        }
+        self.bytes.len() as f64 * 8.0 / n_samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_bitrate_guard_zero_samples() {
+        let s = EncodedStream {
+            bytes: vec![0u8; 100],
+            eb_abs: 1e-3,
+            n_outliers: 0,
+        };
+        assert_eq!(s.ratio(0), 0.0);
+        assert_eq!(s.bit_rate(0), 0.0);
+        assert!((s.ratio(100) - 4.0).abs() < 1e-12);
+        assert!((s.bit_rate(100) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_times_bitrate_is_32() {
+        let s = EncodedStream {
+            bytes: vec![0u8; 321],
+            eb_abs: 1e-3,
+            n_outliers: 0,
+        };
+        let n = 4567;
+        assert!((s.ratio(n) * s.bit_rate(n) - 32.0).abs() < 1e-9);
+    }
+}

@@ -22,7 +22,10 @@ impl BitWriter {
     #[inline]
     pub fn write_bits(&mut self, mut value: u64, mut n: u32) {
         debug_assert!(n <= 57, "write_bits supports at most 57 bits per call");
-        debug_assert!(n == 64 || value < (1u64 << n), "value {value} wider than {n} bits");
+        debug_assert!(
+            n == 64 || value < (1u64 << n),
+            "value {value} wider than {n} bits"
+        );
         while n > 0 {
             let take = (8 - self.nbits).min(n);
             let mask = (1u64 << take) - 1;
@@ -77,11 +80,30 @@ impl<'a> BitReader<'a> {
         self.buf.len() * 8 - self.pos
     }
 
+    /// Checked variant of [`BitReader::read_bits`]: `None` when fewer than
+    /// `n` bits remain (the decode-path primitive — never panics).
+    #[inline]
+    pub fn try_read_bits(&mut self, n: u32) -> Option<u64> {
+        if self.pos + n as usize > self.buf.len() * 8 {
+            return None;
+        }
+        Some(self.read_bits(n))
+    }
+
+    /// Checked single-bit read.
+    #[inline]
+    pub fn try_read_bit(&mut self) -> Option<bool> {
+        self.try_read_bits(1).map(|b| b != 0)
+    }
+
     /// Read `n ≤ 57` bits (LSB-first). Panics past the end.
     #[inline]
     pub fn read_bits(&mut self, n: u32) -> u64 {
         debug_assert!(n <= 57);
-        assert!(self.pos + n as usize <= self.buf.len() * 8, "bitstream exhausted");
+        assert!(
+            self.pos + n as usize <= self.buf.len() * 8,
+            "bitstream exhausted"
+        );
         let mut out = 0u64;
         let mut got = 0u32;
         while got < n {

@@ -11,6 +11,7 @@
 use cfc_tensor::Shape;
 use rayon::prelude::*;
 
+use crate::error::CfcError;
 use crate::lattice::QuantLattice;
 use crate::predict::Predictor;
 use crate::quantizer::{EncodedResiduals, QuantizerConfig};
@@ -69,7 +70,8 @@ pub fn encode(
 /// Sequentially reconstruct the lattice from codes + outliers.
 ///
 /// Must visit points in exactly the row-major order the encoder used; each
-/// reconstructed value becomes a neighbour for later predictions.
+/// reconstructed value becomes a neighbour for later predictions. Panics on
+/// corrupt streams; use [`try_decode`] for untrusted input.
 pub fn decode(
     shape: Shape,
     codes: &[u32],
@@ -77,30 +79,58 @@ pub fn decode(
     predictor: &dyn Predictor,
     quant: &QuantizerConfig,
 ) -> QuantLattice {
-    assert_eq!(codes.len(), shape.len(), "code count must match shape");
+    try_decode(shape, codes, outliers, predictor, quant)
+        .expect("corrupt or mismatched residual stream")
+}
+
+/// Fallible reconstruction from untrusted codes and outliers: count
+/// mismatches, out-of-alphabet codes, and outlier over/under-runs all
+/// return [`CfcError`] instead of panicking.
+pub fn try_decode(
+    shape: Shape,
+    codes: &[u32],
+    outliers: &[i64],
+    predictor: &dyn Predictor,
+    quant: &QuantizerConfig,
+) -> Result<QuantLattice, CfcError> {
+    if codes.len() != shape.len() {
+        return Err(CfcError::Corrupt {
+            context: "residual stream",
+            detail: format!("{} codes for {} samples", codes.len(), shape.len()),
+        });
+    }
     let mut lattice = QuantLattice::zeros(shape);
     let mut out_iter = outliers.iter();
-    let mut step = |lattice: &mut QuantLattice, off: usize, idx: &[usize]| {
-        let code = codes[off];
-        let value = match quant.decode_one(code) {
-            Ok(delta) => predictor.predict(lattice, idx) + delta,
-            Err(()) => *out_iter
-                .next()
-                .expect("outlier stream exhausted — corrupt or mismatched stream"),
+    let mut step =
+        |lattice: &mut QuantLattice, off: usize, idx: &[usize]| -> Result<(), CfcError> {
+            let code = codes[off];
+            let value = match quant.check_one(code) {
+                Ok(Some(delta)) => predictor.predict(lattice, idx) + delta,
+                Ok(None) => *out_iter.next().ok_or(CfcError::Corrupt {
+                    context: "residual stream",
+                    detail: "outlier stream exhausted".into(),
+                })?,
+                Err(code) => {
+                    return Err(CfcError::Corrupt {
+                        context: "residual stream",
+                        detail: format!("code {code} outside alphabet of radius {}", quant.radius),
+                    })
+                }
+            };
+            lattice.as_mut_slice()[off] = value;
+            Ok(())
         };
-        lattice.as_mut_slice()[off] = value;
-    };
     match shape.ndim() {
         1 => {
             for i in 0..shape.dims()[0] {
-                step(&mut lattice, i, &[i]);
+                step(&mut lattice, i, &[i])?;
             }
         }
         2 => {
             let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
             for i in 0..rows {
                 for j in 0..cols {
-                    step(&mut lattice, i * cols + j, &[i, j]);
+                    step(&mut lattice, i * cols + j, &[i, j])?;
                 }
             }
         }
@@ -109,18 +139,20 @@ pub fn decode(
             for k in 0..d[0] {
                 for i in 0..d[1] {
                     for j in 0..d[2] {
-                        step(&mut lattice, (k * d[1] + i) * d[2] + j, &[k, i, j]);
+                        step(&mut lattice, (k * d[1] + i) * d[2] + j, &[k, i, j])?;
                     }
                 }
             }
         }
-        _ => unreachable!(),
+        _ => unreachable!("Shape guarantees 1..=3 dims"),
     }
-    assert!(
-        out_iter.next().is_none(),
-        "outlier stream not fully consumed — corrupt or mismatched stream"
-    );
-    lattice
+    if out_iter.next().is_some() {
+        return Err(CfcError::Corrupt {
+            context: "residual stream",
+            detail: "outlier stream not fully consumed".into(),
+        });
+    }
+    Ok(lattice)
 }
 
 #[cfg(test)]
@@ -143,7 +175,13 @@ mod tests {
         let lat = lattice2(17, 13, |i, j| ((i * j) as i64 % 23) - 11 + (i as i64 * 100));
         let quant = QuantizerConfig { radius: 512 };
         let enc = encode(&lat, &LorenzoPredictor, &quant);
-        let dec = decode(lat.shape(), &enc.codes, &enc.outliers, &LorenzoPredictor, &quant);
+        let dec = decode(
+            lat.shape(),
+            &enc.codes,
+            &enc.outliers,
+            &LorenzoPredictor,
+            &quant,
+        );
         assert_eq!(dec.as_slice(), lat.as_slice());
     }
 
@@ -160,7 +198,13 @@ mod tests {
         let lat = QuantLattice::from_vec(Shape::d3(6, 7, 8), data);
         let quant = QuantizerConfig { radius: 512 };
         let enc = encode(&lat, &LorenzoPredictor, &quant);
-        let dec = decode(lat.shape(), &enc.codes, &enc.outliers, &LorenzoPredictor, &quant);
+        let dec = decode(
+            lat.shape(),
+            &enc.codes,
+            &enc.outliers,
+            &LorenzoPredictor,
+            &quant,
+        );
         assert_eq!(dec.as_slice(), lat.as_slice());
     }
 
@@ -172,7 +216,13 @@ mod tests {
         );
         let quant = QuantizerConfig { radius: 64 };
         let enc = encode(&lat, &LorenzoPredictor, &quant);
-        let dec = decode(lat.shape(), &enc.codes, &enc.outliers, &LorenzoPredictor, &quant);
+        let dec = decode(
+            lat.shape(),
+            &enc.codes,
+            &enc.outliers,
+            &LorenzoPredictor,
+            &quant,
+        );
         assert_eq!(dec.as_slice(), lat.as_slice());
     }
 
@@ -183,7 +233,13 @@ mod tests {
         let quant = QuantizerConfig { radius: 4 };
         let enc = encode(&lat, &LorenzoPredictor, &quant);
         assert!(!enc.outliers.is_empty(), "test should exercise escapes");
-        let dec = decode(lat.shape(), &enc.codes, &enc.outliers, &LorenzoPredictor, &quant);
+        let dec = decode(
+            lat.shape(),
+            &enc.codes,
+            &enc.outliers,
+            &LorenzoPredictor,
+            &quant,
+        );
         assert_eq!(dec.as_slice(), lat.as_slice());
     }
 
@@ -194,7 +250,13 @@ mod tests {
         let lat = lattice2(16, 16, |i, j| ((i * 31 + j * 17) % 97) as i64);
         let quant = QuantizerConfig { radius: 512 };
         let enc = encode(&lat, &CentralDiffPredictor, &quant);
-        let dec = decode(lat.shape(), &enc.codes, &enc.outliers, &CentralDiffPredictor, &quant);
+        let dec = decode(
+            lat.shape(),
+            &enc.codes,
+            &enc.outliers,
+            &CentralDiffPredictor,
+            &quant,
+        );
         assert_ne!(
             dec.as_slice(),
             lat.as_slice(),
@@ -226,6 +288,12 @@ mod tests {
         let enc = encode(&lat, &LorenzoPredictor, &quant);
         assert!(enc.outliers.len() > 1);
         let truncated = &enc.outliers[..enc.outliers.len() - 1];
-        let _ = decode(lat.shape(), &enc.codes, truncated, &LorenzoPredictor, &quant);
+        let _ = decode(
+            lat.shape(),
+            &enc.codes,
+            truncated,
+            &LorenzoPredictor,
+            &quant,
+        );
     }
 }

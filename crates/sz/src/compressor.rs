@@ -1,8 +1,11 @@
-//! Top-level error-bounded compressor (the SZ3 baseline of the paper).
+//! Top-level error-bounded compressor (the SZ3 baseline of the paper),
+//! exposed through the fallible [`Codec`] trait.
 
 use cfc_tensor::{Field, FieldStats};
 
+use crate::api::{Codec, EncodedStream};
 use crate::codec;
+use crate::error::CfcError;
 use crate::error_bound::ErrorBound;
 use crate::huffman::HuffmanTable;
 use crate::lattice::QuantLattice;
@@ -34,29 +37,6 @@ pub struct SzCompressor {
     pub predictor: PredictorKind,
 }
 
-/// A compressed field plus bookkeeping used by the evaluation harness.
-#[derive(Debug, Clone)]
-pub struct CompressedStream {
-    /// Serialized container.
-    pub bytes: Vec<u8>,
-    /// Absolute error bound that was applied.
-    pub eb_abs: f64,
-    /// Number of escaped (outlier) samples.
-    pub n_outliers: usize,
-}
-
-impl CompressedStream {
-    /// Compression ratio against `f32` input.
-    pub fn ratio(&self, n_samples: usize) -> f64 {
-        (n_samples * 4) as f64 / self.bytes.len() as f64
-    }
-
-    /// Bit rate (bits per sample).
-    pub fn bit_rate(&self, n_samples: usize) -> f64 {
-        self.bytes.len() as f64 * 8.0 / n_samples as f64
-    }
-}
-
 impl SzCompressor {
     /// Baseline configuration used throughout the paper: Lorenzo predictor,
     /// default radius, relative error bound.
@@ -68,15 +48,65 @@ impl SzCompressor {
         }
     }
 
+    /// Compress a prequantized lattice with an arbitrary (causal) predictor,
+    /// returning the container for callers that append extra sections — this
+    /// is the entry point the cross-field pipeline in `cfc-core` builds on.
+    pub fn compress_lattice(
+        &self,
+        lattice: &QuantLattice,
+        predictor: &dyn Predictor,
+        eb: f64,
+    ) -> (Container, EncodedResiduals) {
+        assert!(
+            predictor.is_causal(),
+            "refusing to encode with a non-causal predictor"
+        );
+        let mut container = Container::new(lattice.shape(), eb, self.quantizer.radius);
+        let enc = codec::encode(lattice, predictor, &self.quantizer);
+        container.push(SectionTag::Residuals, encode_codes(&enc.codes));
+        container.push(SectionTag::Outliers, encode_outliers(&enc.outliers));
+        (container, enc)
+    }
+
+    /// Decode a container's residual sections with an arbitrary predictor.
+    ///
+    /// Fully fallible: missing sections, corrupt payloads, and count
+    /// mismatches all return [`CfcError`].
+    pub fn decompress_lattice(
+        &self,
+        container: &Container,
+        predictor: &dyn Predictor,
+    ) -> Result<QuantLattice, CfcError> {
+        let shape = container.shape;
+        let quant = QuantizerConfig {
+            radius: container.radius,
+        };
+        let codes = try_decode_codes(
+            container.require_section(SectionTag::Residuals)?,
+            shape.len(),
+        )?;
+        let outliers = try_decode_outliers_bounded(
+            container.require_section(SectionTag::Outliers)?,
+            shape.len(),
+        )?;
+        codec::try_decode(shape, &codes, &outliers, predictor, &quant)
+    }
+}
+
+impl Codec for SzCompressor {
     /// Compress one field.
-    pub fn compress(&self, field: &Field) -> CompressedStream {
+    ///
+    /// Fails with [`CfcError::InvalidInput`] on non-finite samples or a
+    /// bound that resolves non-positive (e.g. a relative bound on a
+    /// constant field) — both detected by `ErrorBound::try_resolve`.
+    fn compress(&self, field: &Field) -> Result<EncodedStream, CfcError> {
         let stats = FieldStats::of(field);
         // quantize at the ULP-guarded bound so the f32 reconstruction still
         // satisfies the user-facing bound exactly; the container carries the
         // quantization bound (the decoder must scale by it), the stream
         // reports the user-facing bound
-        let eb_user = self.bound.resolve(&stats);
-        let eb = self.bound.resolve_quantization(&stats);
+        let eb_user = self.bound.try_resolve(&stats)?;
+        let eb = self.bound.try_resolve_quantization(&stats)?;
         let lattice = QuantLattice::prequantize(field, eb);
         let mut container = Container::new(field.shape(), eb, self.quantizer.radius);
         let enc = match self.predictor {
@@ -96,65 +126,85 @@ impl SzCompressor {
         let n_outliers = enc.outliers.len();
         container.push(SectionTag::Residuals, encode_codes(&enc.codes));
         container.push(SectionTag::Outliers, encode_outliers(&enc.outliers));
-        CompressedStream { bytes: container.to_bytes(), eb_abs: eb_user, n_outliers }
+        Ok(EncodedStream {
+            bytes: container.to_bytes(),
+            eb_abs: eb_user,
+            n_outliers,
+        })
     }
 
-    /// Decompress a stream produced by [`SzCompressor::compress`].
-    pub fn decompress(&self, bytes: &[u8]) -> Field {
-        let container = Container::from_bytes(bytes);
+    /// Decompress a stream produced by [`Codec::compress`].
+    ///
+    /// Total over arbitrary bytes: corruption anywhere — header, section
+    /// table, Huffman payloads, outlier varints, residual replay — returns
+    /// `Err`, never panics.
+    fn decompress(&self, bytes: &[u8]) -> Result<Field, CfcError> {
+        let container = Container::try_from_bytes(bytes)?;
         let shape = container.shape;
-        let quant = QuantizerConfig { radius: container.radius };
-        let codes = decode_codes(container.expect_section(SectionTag::Residuals), shape.len());
-        let outliers = decode_outliers(container.expect_section(SectionTag::Outliers));
+        let quant = QuantizerConfig {
+            radius: container.radius,
+        };
+        let codes = try_decode_codes(
+            container.require_section(SectionTag::Residuals)?,
+            shape.len(),
+        )?;
+        let outliers = try_decode_outliers_bounded(
+            container.require_section(SectionTag::Outliers)?,
+            shape.len(),
+        )?;
         let lattice = match self.predictor {
             PredictorKind::Lorenzo => {
-                codec::decode(shape, &codes, &outliers, &LorenzoPredictor, &quant)
+                codec::try_decode(shape, &codes, &outliers, &LorenzoPredictor, &quant)?
             }
             PredictorKind::Regression { .. } => {
-                let side =
-                    lossless::decompress(container.expect_section(SectionTag::PredictorSideInfo));
-                let block = u32::from_le_bytes(side[0..4].try_into().unwrap()) as usize;
-                let ncoef = u32::from_le_bytes(side[4..8].try_into().unwrap()) as usize;
+                // worst legitimate case is block = 1: one (ndim+1)-coefficient
+                // plane per sample, 4 bytes each, plus the 8-byte header
+                let side_budget = shape
+                    .len()
+                    .saturating_mul((shape.ndim() + 1) * 4)
+                    .saturating_add(8);
+                let side = lossless::try_decompress_bounded(
+                    container.require_section(SectionTag::PredictorSideInfo)?,
+                    side_budget,
+                )?;
+                let mut r = crate::error::Reader::new(&side);
+                let block = r.u32("regression block")? as usize;
+                if block == 0 {
+                    return Err(CfcError::Corrupt {
+                        context: "regression side info",
+                        detail: "zero block size".into(),
+                    });
+                }
+                let ncoef = r.u32("regression coefficient count")? as usize;
+                // from_coeffs asserts this relation, so verify it on the
+                // untrusted values first and fail gracefully instead
+                let nblocks: usize = shape.dims().iter().map(|&d| d.div_ceil(block)).product();
+                let expected = nblocks.saturating_mul(shape.ndim() + 1);
+                if ncoef != expected || ncoef != r.remaining() / 4 {
+                    return Err(CfcError::Corrupt {
+                        context: "regression side info",
+                        detail: format!(
+                            "{ncoef} coefficients, geometry needs {expected}, payload holds {}",
+                            r.remaining() / 4
+                        ),
+                    });
+                }
                 let mut coeffs = Vec::with_capacity(ncoef);
-                for k in 0..ncoef {
-                    let off = 8 + k * 4;
-                    coeffs.push(f32::from_le_bytes(side[off..off + 4].try_into().unwrap()));
+                for _ in 0..ncoef {
+                    coeffs.push(r.f32("regression coefficient")?);
                 }
                 let reg = RegressionPredictor::from_coeffs(shape.dims().to_vec(), block, coeffs);
-                codec::decode(shape, &codes, &outliers, &reg, &quant)
+                codec::try_decode(shape, &codes, &outliers, &reg, &quant)?
             }
         };
-        lattice.reconstruct(container.eb)
+        Ok(lattice.reconstruct(container.eb))
     }
 
-    /// Compress a prequantized lattice with an arbitrary (causal) predictor,
-    /// returning the container for callers that append extra sections — this
-    /// is the entry point the cross-field pipeline in `cfc-core` builds on.
-    pub fn compress_lattice(
-        &self,
-        lattice: &QuantLattice,
-        predictor: &dyn Predictor,
-        eb: f64,
-    ) -> (Container, EncodedResiduals) {
-        assert!(predictor.is_causal(), "refusing to encode with a non-causal predictor");
-        let mut container = Container::new(lattice.shape(), eb, self.quantizer.radius);
-        let enc = codec::encode(lattice, predictor, &self.quantizer);
-        container.push(SectionTag::Residuals, encode_codes(&enc.codes));
-        container.push(SectionTag::Outliers, encode_outliers(&enc.outliers));
-        (container, enc)
-    }
-
-    /// Decode a container's residual sections with an arbitrary predictor.
-    pub fn decompress_lattice(
-        &self,
-        container: &Container,
-        predictor: &dyn Predictor,
-    ) -> QuantLattice {
-        let shape = container.shape;
-        let quant = QuantizerConfig { radius: container.radius };
-        let codes = decode_codes(container.expect_section(SectionTag::Residuals), shape.len());
-        let outliers = decode_outliers(container.expect_section(SectionTag::Outliers));
-        codec::decode(shape, &codes, &outliers, predictor, &quant)
+    fn name(&self) -> &'static str {
+        match self.predictor {
+            PredictorKind::Lorenzo => "sz-lorenzo",
+            PredictorKind::Regression { .. } => "sz-regression",
+        }
     }
 }
 
@@ -169,11 +219,24 @@ pub fn encode_codes(codes: &[u32]) -> Vec<u8> {
     lossless::compress(&payload)
 }
 
-/// Inverse of [`encode_codes`].
+/// Inverse of [`encode_codes`]. Panics on corrupt input; use
+/// [`try_decode_codes`] for untrusted bytes.
 pub fn decode_codes(bytes: &[u8], count: usize) -> Vec<u32> {
-    let payload = lossless::decompress(bytes);
-    let (table, used) = HuffmanTable::deserialize(&payload);
-    table.decode(&payload[used..], count)
+    try_decode_codes(bytes, count).expect("corrupt residual code stream")
+}
+
+/// Fallible inverse of [`encode_codes`].
+///
+/// `count` is the expected symbol count (the stream's declared element
+/// count); it also budgets the lossless stage, since a legitimate payload
+/// holds at most the serialized table (≤ 5 bytes/distinct symbol, distinct
+/// symbols ≤ count) plus `count` codes of ≤ 32 bits — anything claiming
+/// more is a decompression bomb and is rejected before allocation.
+pub fn try_decode_codes(bytes: &[u8], count: usize) -> Result<Vec<u32>, CfcError> {
+    let budget = count.saturating_mul(4 + 5).saturating_add(1024);
+    let payload = lossless::try_decompress_bounded(bytes, budget)?;
+    let (table, used) = HuffmanTable::try_deserialize(&payload)?;
+    table.try_decode(&payload[used..], count)
 }
 
 /// Serialize outliers (zig-zag varint) and LZSS the result.
@@ -187,17 +250,55 @@ pub fn encode_outliers(outliers: &[i64]) -> Vec<u8> {
     lossless::compress(&raw)
 }
 
-/// Inverse of [`encode_outliers`].
+/// Inverse of [`encode_outliers`]. Panics on corrupt input; use
+/// [`try_decode_outliers`] for untrusted bytes.
 pub fn decode_outliers(bytes: &[u8]) -> Vec<i64> {
-    let raw = lossless::decompress(bytes);
+    try_decode_outliers(bytes).expect("corrupt outlier stream")
+}
+
+/// Fallible inverse of [`encode_outliers`] with no outlier-count budget
+/// (trusted input).
+pub fn try_decode_outliers(bytes: &[u8]) -> Result<Vec<i64>, CfcError> {
+    try_decode_outliers_bounded(bytes, usize::MAX)
+}
+
+/// Fallible inverse of [`encode_outliers`] for untrusted input.
+///
+/// `max_count` (the stream's declared element count — at most one outlier
+/// per sample) budgets both the claimed outlier count and the lossless
+/// stage (each outlier is a ≤ 10-byte varint), so a hostile stream cannot
+/// demand allocations beyond what its own header already commits to.
+pub fn try_decode_outliers_bounded(bytes: &[u8], max_count: usize) -> Result<Vec<i64>, CfcError> {
+    let budget = max_count.saturating_mul(10).saturating_add(8);
+    let raw = lossless::try_decompress_bounded(bytes, budget)?;
+    if raw.len() < 8 {
+        return Err(CfcError::Truncated {
+            context: "outlier count",
+            needed: 8,
+            available: raw.len(),
+        });
+    }
     let n = u64::from_le_bytes(raw[0..8].try_into().unwrap()) as usize;
+    if n > max_count {
+        return Err(CfcError::Corrupt {
+            context: "outlier stream",
+            detail: format!("{n} outliers for at most {max_count} samples"),
+        });
+    }
+    // every outlier occupies at least one varint byte
+    if n > raw.len() - 8 {
+        return Err(CfcError::Corrupt {
+            context: "outlier stream",
+            detail: format!("{n} outliers claimed in {} payload bytes", raw.len() - 8),
+        });
+    }
     let mut pos = 8usize;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let zz = read_varint(&raw, &mut pos);
+        let zz = read_varint(&raw, &mut pos)?;
         out.push(((zz >> 1) as i64) ^ -((zz & 1) as i64));
     }
-    out
+    Ok(out)
 }
 
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -212,26 +313,41 @@ fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CfcError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = bytes[*pos];
+        let byte = *bytes.get(*pos).ok_or(CfcError::Truncated {
+            context: "outlier varint",
+            needed: 1,
+            available: 0,
+        })?;
         *pos += 1;
         v |= ((byte & 0x7F) as u64) << shift;
         if byte & 0x80 == 0 {
             break;
         }
         shift += 7;
-        assert!(shift < 64, "varint overflow");
+        if shift >= 64 {
+            return Err(CfcError::Corrupt {
+                context: "outlier varint",
+                detail: "continuation past 64 bits".into(),
+            });
+        }
     }
-    v
+    Ok(v)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cfc_tensor::{Axis, Shape};
+
+    fn roundtrip(c: &SzCompressor, f: &Field) -> (EncodedStream, Field) {
+        let stream = c.compress(f).expect("compress");
+        let dec = c.decompress(&stream.bytes).expect("decompress");
+        (stream, dec)
+    }
 
     fn smooth_field_2d(rows: usize, cols: usize) -> Field {
         Field::from_fn(Shape::d2(rows, cols), |idx| {
@@ -261,8 +377,7 @@ mod tests {
         let f = smooth_field_2d(64, 64);
         for rel in [1e-2, 1e-3, 1e-4] {
             let c = SzCompressor::baseline(rel);
-            let stream = c.compress(&f);
-            let dec = c.decompress(&stream.bytes);
+            let (stream, dec) = roundtrip(&c, &f);
             check_bound(&f, &dec, stream.eb_abs);
         }
     }
@@ -271,8 +386,7 @@ mod tests {
     fn lorenzo_3d_roundtrip_respects_bound() {
         let f = smooth_field_3d(8, 24, 24);
         let c = SzCompressor::baseline(1e-3);
-        let stream = c.compress(&f);
-        let dec = c.decompress(&stream.bytes);
+        let (stream, dec) = roundtrip(&c, &f);
         assert_eq!(dec.shape(), f.shape());
         check_bound(&f, &dec, stream.eb_abs);
     }
@@ -281,7 +395,7 @@ mod tests {
     fn smooth_data_compresses_above_10x() {
         let f = smooth_field_2d(128, 128);
         let c = SzCompressor::baseline(1e-3);
-        let stream = c.compress(&f);
+        let stream = c.compress(&f).unwrap();
         let ratio = stream.ratio(f.len());
         assert!(ratio > 10.0, "ratio {ratio} too low for smooth data");
     }
@@ -289,8 +403,8 @@ mod tests {
     #[test]
     fn tighter_bound_means_lower_ratio() {
         let f = smooth_field_2d(96, 96);
-        let loose = SzCompressor::baseline(1e-2).compress(&f);
-        let tight = SzCompressor::baseline(1e-4).compress(&f);
+        let loose = SzCompressor::baseline(1e-2).compress(&f).unwrap();
+        let tight = SzCompressor::baseline(1e-4).compress(&f).unwrap();
         assert!(loose.bytes.len() < tight.bytes.len());
     }
 
@@ -298,12 +412,12 @@ mod tests {
     fn decompression_is_deterministic() {
         let f = smooth_field_3d(6, 20, 20);
         let c = SzCompressor::baseline(1e-3);
-        let s1 = c.compress(&f);
-        let s2 = c.compress(&f);
+        let s1 = c.compress(&f).unwrap();
+        let s2 = c.compress(&f).unwrap();
         assert_eq!(s1.bytes, s2.bytes);
         assert_eq!(
-            c.decompress(&s1.bytes).as_slice(),
-            c.decompress(&s2.bytes).as_slice()
+            c.decompress(&s1.bytes).unwrap().as_slice(),
+            c.decompress(&s2.bytes).unwrap().as_slice()
         );
     }
 
@@ -315,8 +429,7 @@ mod tests {
             quantizer: QuantizerConfig::default(),
             predictor: PredictorKind::Regression { block: 6 },
         };
-        let stream = c.compress(&f);
-        let dec = c.decompress(&stream.bytes);
+        let (stream, dec) = roundtrip(&c, &f);
         check_bound(&f, &dec, stream.eb_abs);
     }
 
@@ -332,9 +445,8 @@ mod tests {
             quantizer: QuantizerConfig { radius: 16 },
             predictor: PredictorKind::Lorenzo,
         };
-        let stream = c.compress(&f);
+        let (stream, dec) = roundtrip(&c, &f);
         assert!(stream.n_outliers > 0);
-        let dec = c.decompress(&stream.bytes);
         check_bound(&f, &dec, 0.5);
     }
 
@@ -346,9 +458,9 @@ mod tests {
             quantizer: QuantizerConfig::default(),
             predictor: PredictorKind::Lorenzo,
         };
-        let stream = c.compress(&f);
+        let (stream, dec) = roundtrip(&c, &f);
         assert_eq!(stream.eb_abs, 0.25);
-        check_bound(&f, &c.decompress(&stream.bytes), 0.25);
+        check_bound(&f, &dec, 0.25);
     }
 
     #[test]
@@ -357,7 +469,7 @@ mod tests {
         // volume (sanity on shape/stride handling)
         let f = smooth_field_3d(5, 16, 16);
         let c = SzCompressor::baseline(1e-3);
-        let dec = c.decompress(&c.compress(&f).bytes);
+        let dec = c.decompress(&c.compress(&f).unwrap().bytes).unwrap();
         let s = dec.slice(Axis::X, 2);
         for i in 0..16 {
             for j in 0..16 {
@@ -374,9 +486,27 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_samples_rejected_at_compress() {
+        // NaN hidden among varied values must not silently encode as 0
+        // (f32 min/max skip NaN, so only the mean check can catch it)
+        let mut v: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        v[7] = f32::NAN;
+        let f = Field::from_vec(Shape::d2(8, 8), v);
+        for c in [
+            SzCompressor::baseline(1e-3),
+            SzCompressor {
+                bound: ErrorBound::Absolute(0.5),
+                ..SzCompressor::baseline(1e-3)
+            },
+        ] {
+            assert!(matches!(c.compress(&f), Err(CfcError::InvalidInput(_))));
+        }
+    }
+
+    #[test]
     fn ratio_and_bitrate_are_consistent() {
         let f = smooth_field_2d(64, 64);
-        let stream = SzCompressor::baseline(1e-3).compress(&f);
+        let stream = SzCompressor::baseline(1e-3).compress(&f).unwrap();
         let n = f.len();
         let ratio = stream.ratio(n);
         let rate = stream.bit_rate(n);

@@ -1,0 +1,240 @@
+//! The workspace-wide error type for fallible compression APIs.
+//!
+//! Every decode-path failure — bad magic, unsupported version, truncation,
+//! missing or corrupt sections, shape mismatches — surfaces as a
+//! [`CfcError`] instead of a panic, so attacker-controlled bytes can never
+//! take a service down. Encode-side misconfiguration (non-finite samples,
+//! non-positive bounds) uses the same type.
+
+use std::fmt;
+
+/// Error enum shared by [`crate::Codec`] implementations and the archive
+/// subsystem in `cfc-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfcError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic {
+        /// Magic the decoder expected.
+        expected: [u8; 4],
+        /// Leading bytes actually found (up to 4).
+        found: Vec<u8>,
+    },
+    /// The container version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the stream.
+        found: u16,
+        /// Newest version this build decodes.
+        supported: u16,
+    },
+    /// A structurally invalid header field (ndim, zero extent, oversize…).
+    InvalidHeader(String),
+    /// The buffer ended before a read completed.
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// A required container section is absent.
+    MissingSection {
+        /// Raw section tag.
+        tag: u8,
+        /// Human-readable section name.
+        name: &'static str,
+    },
+    /// A section or payload failed internal validation.
+    Corrupt {
+        /// Which decode stage detected the corruption.
+        context: &'static str,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// Decoded metadata disagrees with caller-supplied or embedded shapes.
+    ShapeMismatch {
+        /// Shape the decoder expected.
+        expected: String,
+        /// Shape actually found.
+        found: String,
+    },
+    /// Encode-side input validation failure (bad bound, non-finite data…).
+    InvalidInput(String),
+}
+
+impl fmt::Display for CfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfcError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                std::str::from_utf8(expected).unwrap_or("????"),
+                found
+            ),
+            CfcError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported stream version {found} (this build decodes ≤ {supported})"
+            ),
+            CfcError::InvalidHeader(msg) => write!(f, "invalid header: {msg}"),
+            CfcError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated input while reading {context}: needed {needed} bytes, had {available}"
+            ),
+            CfcError::MissingSection { tag, name } => {
+                write!(f, "stream missing required section {name} (tag {tag})")
+            }
+            CfcError::Corrupt { context, detail } => write!(f, "corrupt {context}: {detail}"),
+            CfcError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            CfcError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CfcError {}
+
+/// Checked little-endian reader over untrusted bytes.
+///
+/// Every accessor returns [`CfcError::Truncated`] instead of panicking when
+/// the buffer runs out — the primitive all decode paths are built on.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Absolute cursor position.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Borrow the next `n` bytes and advance.
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CfcError> {
+        if n > self.remaining() {
+            return Err(CfcError::Truncated {
+                context,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, CfcError> {
+        Ok(self.bytes(1, context)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, CfcError> {
+        Ok(u16::from_le_bytes(
+            self.bytes(2, context)?.try_into().unwrap(),
+        ))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, CfcError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, CfcError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    /// Read a little-endian `u64` and validate it fits `usize` and the
+    /// remaining buffer (for length prefixes of in-buffer payloads).
+    pub fn len_u64(&mut self, context: &'static str) -> Result<usize, CfcError> {
+        let v = self.u64(context)?;
+        let n = usize::try_from(v).map_err(|_| {
+            CfcError::InvalidHeader(format!("{context}: length {v} does not fit in memory"))
+        })?;
+        if n > self.remaining() {
+            return Err(CfcError::Truncated {
+                context,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Read a little-endian `f32`.
+    pub fn f32(&mut self, context: &'static str) -> Result<f32, CfcError> {
+        Ok(f32::from_bits(self.u32(context)?))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, CfcError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_reads_and_truncates() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&7u16.to_le_bytes());
+        data.extend_from_slice(&9u64.to_le_bytes());
+        data.extend_from_slice(b"xy");
+        let mut r = Reader::new(&data);
+        assert_eq!(r.u16("a").unwrap(), 7);
+        assert_eq!(r.u64("b").unwrap(), 9);
+        assert_eq!(r.bytes(2, "c").unwrap(), b"xy");
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(
+            r.u8("d"),
+            Err(CfcError::Truncated { context: "d", .. })
+        ));
+    }
+
+    #[test]
+    fn len_u64_rejects_oversize() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = Reader::new(&data);
+        assert!(r.len_u64("len").is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CfcError::Truncated {
+            context: "header",
+            needed: 8,
+            available: 2,
+        };
+        assert!(e.to_string().contains("header"));
+        let e = CfcError::BadMagic {
+            expected: *b"CFSZ",
+            found: vec![1, 2],
+        };
+        assert!(e.to_string().contains("CFSZ"));
+    }
+}

@@ -2,6 +2,8 @@
 
 use cfc_tensor::FieldStats;
 
+use crate::error::CfcError;
+
 /// User-facing error-bound specification, matching SZ's two common modes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ErrorBound {
@@ -21,7 +23,10 @@ impl ErrorBound {
             ErrorBound::Absolute(eb) => eb,
             ErrorBound::Relative(rel) => rel * stats.range() as f64,
         };
-        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite, got {eb}");
+        assert!(
+            eb.is_finite() && eb > 0.0,
+            "error bound must be positive and finite, got {eb}"
+        );
         eb
     }
 
@@ -40,6 +45,43 @@ impl ErrorBound {
         // if the requested bound is below f32 resolution it cannot be met
         // exactly anyway; keep at least half the bound rather than going ≤ 0
         (eb - ulp_slack).max(eb * 0.5)
+    }
+
+    /// Fallible version of [`ErrorBound::resolve`] for the [`crate::Codec`]
+    /// encode path: a non-positive or non-finite resolved bound (e.g. a
+    /// relative bound on a constant or non-finite field) is an
+    /// [`CfcError::InvalidInput`] instead of a panic.
+    pub fn try_resolve(&self, stats: &FieldStats) -> Result<f64, CfcError> {
+        // min/max alone miss NaN samples (f32::min/max skip NaN operands),
+        // but the running mean poisons on any non-finite sample — without
+        // this, a hidden NaN would silently prequantize to 0
+        if !stats.mean.is_finite() {
+            return Err(CfcError::InvalidInput(format!(
+                "field contains non-finite samples (mean {})",
+                stats.mean
+            )));
+        }
+        let eb = match *self {
+            ErrorBound::Absolute(eb) => eb,
+            ErrorBound::Relative(rel) => rel * stats.range() as f64,
+        };
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CfcError::InvalidInput(format!(
+                "resolved error bound {eb} must be positive and finite ({} on range [{}, {}])",
+                self.label(),
+                stats.min,
+                stats.max
+            )));
+        }
+        Ok(eb)
+    }
+
+    /// Fallible version of [`ErrorBound::resolve_quantization`].
+    pub fn try_resolve_quantization(&self, stats: &FieldStats) -> Result<f64, CfcError> {
+        let eb = self.try_resolve(stats)?;
+        let max_abs = stats.min.abs().max(stats.max.abs()) as f64;
+        let ulp_slack = max_abs * f32::EPSILON as f64;
+        Ok((eb - ulp_slack).max(eb * 0.5))
     }
 
     /// The raw bound value (absolute or relative factor).

@@ -9,6 +9,7 @@
 //! exact codes on the decoder side.
 
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::CfcError;
 
 /// Maximum code length; fits the `u64` bit-I/O fast path comfortably.
 pub const MAX_CODE_LEN: u32 = 32;
@@ -25,7 +26,10 @@ pub struct HuffmanTable {
 impl HuffmanTable {
     /// Build a table from symbol frequencies (`(symbol, count)`, counts > 0).
     pub fn from_frequencies(freqs: &[(u32, u64)]) -> Self {
-        assert!(!freqs.is_empty(), "cannot build a Huffman table for an empty alphabet");
+        assert!(
+            !freqs.is_empty(),
+            "cannot build a Huffman table for an empty alphabet"
+        );
         let mut lengths = code_lengths(freqs);
         // canonical order: by (length, symbol)
         lengths.sort_by_key(|&(sym, len)| (len, sym));
@@ -87,10 +91,35 @@ impl HuffmanTable {
     }
 
     /// Decode `count` symbols from `bits`.
+    ///
+    /// Panics on corrupt bitstreams; use [`HuffmanTable::try_decode`] for
+    /// untrusted input.
     pub fn decode(&self, bits: &[u8], count: usize) -> Vec<u32> {
+        self.try_decode(bits, count)
+            .expect("corrupt Huffman bitstream")
+    }
+
+    /// Fallible decode of `count` symbols from untrusted `bits`.
+    ///
+    /// Every symbol consumes at least one bit, so a `count` larger than the
+    /// bitstream can hold is rejected up front (bounding the allocation by
+    /// the input size); exhaustion or an invalid code mid-stream returns a
+    /// [`CfcError::Corrupt`].
+    pub fn try_decode(&self, bits: &[u8], count: usize) -> Result<Vec<u32>, CfcError> {
+        if count > bits.len().saturating_mul(8) {
+            return Err(CfcError::Truncated {
+                context: "Huffman bitstream",
+                needed: count.div_ceil(8),
+                available: bits.len(),
+            });
+        }
         let decoder = CanonicalDecoder::new(&self.lengths);
         let mut r = BitReader::new(bits);
-        (0..count).map(|_| decoder.next(&mut r)).collect()
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(decoder.try_next(&mut r)?);
+        }
+        Ok(out)
     }
 
     /// Serialize the `(symbol, length)` table compactly.
@@ -105,22 +134,67 @@ impl HuffmanTable {
     }
 
     /// Inverse of [`HuffmanTable::serialize`]; returns the table and bytes consumed.
+    ///
+    /// Panics on malformed tables; use [`HuffmanTable::try_deserialize`]
+    /// for untrusted input.
     pub fn deserialize(bytes: &[u8]) -> (Self, usize) {
-        assert!(bytes.len() >= 4, "truncated Huffman table");
+        Self::try_deserialize(bytes).expect("corrupt Huffman table")
+    }
+
+    /// Fallible table parse from untrusted bytes: validates the entry count
+    /// against the buffer, each code length against [`MAX_CODE_LEN`], and
+    /// symbol uniqueness (duplicates would silently corrupt canonical code
+    /// assignment).
+    pub fn try_deserialize(bytes: &[u8]) -> Result<(Self, usize), CfcError> {
+        if bytes.len() < 4 {
+            return Err(CfcError::Truncated {
+                context: "Huffman table header",
+                needed: 4,
+                available: bytes.len(),
+            });
+        }
         let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-        let need = 4 + n * 5;
-        assert!(bytes.len() >= need, "truncated Huffman table body");
+        if n == 0 {
+            return Err(CfcError::Corrupt {
+                context: "Huffman table",
+                detail: "empty alphabet".into(),
+            });
+        }
+        let need = 4usize.saturating_add(n.saturating_mul(5));
+        if bytes.len() < need {
+            return Err(CfcError::Truncated {
+                context: "Huffman table body",
+                needed: need,
+                available: bytes.len(),
+            });
+        }
         let mut lengths = Vec::with_capacity(n);
         for k in 0..n {
             let off = 4 + k * 5;
             let sym = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
             let len = bytes[off + 4] as u32;
-            assert!(len >= 1 && len <= MAX_CODE_LEN, "invalid code length {len}");
+            if len == 0 || len > MAX_CODE_LEN {
+                return Err(CfcError::Corrupt {
+                    context: "Huffman table",
+                    detail: format!("code length {len} for symbol {sym}"),
+                });
+            }
             lengths.push((sym, len));
+        }
+        // duplicate detection must ignore code length: entries below are
+        // sorted by (length, symbol), so equal symbols with different
+        // lengths would not be adjacent there
+        let mut symbols: Vec<u32> = lengths.iter().map(|&(sym, _)| sym).collect();
+        symbols.sort_unstable();
+        if symbols.windows(2).any(|w| w[0] == w[1]) {
+            return Err(CfcError::Corrupt {
+                context: "Huffman table",
+                detail: "duplicate symbol".into(),
+            });
         }
         lengths.sort_by_key(|&(sym, len)| (len, sym));
         let codes = assign_canonical(&lengths);
-        (HuffmanTable { lengths, codes }, need)
+        Ok((HuffmanTable { lengths, codes }, need))
     }
 }
 
@@ -148,23 +222,36 @@ impl<'a> CanonicalDecoder<'a> {
             code = (code + count[l] as u64) << 1;
             index += count[l];
         }
-        CanonicalDecoder { lengths, first, count, max_len }
+        CanonicalDecoder {
+            lengths,
+            first,
+            count,
+            max_len,
+        }
     }
 
     /// Decode one symbol (MSB-first canonical codes, so we read bit-by-bit).
-    fn next(&self, r: &mut BitReader) -> u32 {
+    fn try_next(&self, r: &mut BitReader) -> Result<u32, CfcError> {
         let mut code = 0u64;
         for l in 1..=self.max_len as usize {
-            code = (code << 1) | r.read_bit() as u64;
+            let bit = r.try_read_bit().ok_or(CfcError::Truncated {
+                context: "Huffman bitstream",
+                needed: 1,
+                available: 0,
+            })?;
+            code = (code << 1) | bit as u64;
             if self.count[l] > 0 {
                 let (fc, fi) = self.first[l];
                 let offset = code.wrapping_sub(fc);
                 if code >= fc && (offset as usize) < self.count[l] {
-                    return self.lengths[fi + offset as usize].0;
+                    return Ok(self.lengths[fi + offset as usize].0);
                 }
             }
         }
-        panic!("invalid Huffman code in stream");
+        Err(CfcError::Corrupt {
+            context: "Huffman bitstream",
+            detail: format!("no code of length ≤ {} matches", self.max_len),
+        })
     }
 }
 
@@ -201,20 +288,29 @@ fn try_code_lengths(freqs: &[(u32, u64)], flatten: u32) -> Vec<(u32, u32)> {
     }
     let mut nodes: Vec<Node> = freqs
         .iter()
-        .map(|&(_, w)| Node { weight: ((w >> flatten).max(1)), kind: NodeKind::Leaf(usize::MAX) })
+        .map(|&(_, w)| Node {
+            weight: ((w >> flatten).max(1)),
+            kind: NodeKind::Leaf(usize::MAX),
+        })
         .collect();
     for (i, n) in nodes.iter_mut().enumerate() {
         n.kind = NodeKind::Leaf(i);
     }
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-        nodes.iter().enumerate().map(|(i, n)| Reverse((n.weight, i))).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| Reverse((n.weight, i)))
+        .collect();
     while heap.len() > 1 {
         let Reverse((wa, a)) = heap.pop().unwrap();
         let Reverse((wb, b)) = heap.pop().unwrap();
         let idx = nodes.len();
-        nodes.push(Node { weight: wa + wb, kind: NodeKind::Internal(a, b) });
+        nodes.push(Node {
+            weight: wa + wb,
+            kind: NodeKind::Internal(a, b),
+        });
         heap.push(Reverse((wa + wb, idx)));
     }
     let root = heap.pop().unwrap().0 .1;
@@ -230,7 +326,11 @@ fn try_code_lengths(freqs: &[(u32, u64)], flatten: u32) -> Vec<(u32, u32)> {
             }
         }
     }
-    freqs.iter().zip(lengths).map(|(&(s, _), l)| (s, l)).collect()
+    freqs
+        .iter()
+        .zip(lengths)
+        .map(|(&(s, _), l)| (s, l))
+        .collect()
 }
 
 /// Reverse the low `len` bits of `code`.
@@ -354,10 +454,25 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_symbol_across_lengths_rejected() {
+        // (sym 5, len 1) and (sym 5, len 2) are non-adjacent after the
+        // (length, symbol) sort — the duplicate check must still catch them
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.push(2);
+        assert!(matches!(
+            HuffmanTable::try_deserialize(&bytes),
+            Err(CfcError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
     fn deep_skew_is_depth_limited() {
         // exponential frequencies force long codes; depth must stay ≤ 32
-        let freqs: Vec<(u32, u64)> =
-            (0..40u32).map(|i| (i, 1u64 << (i.min(50)))).collect();
+        let freqs: Vec<(u32, u64)> = (0..40u32).map(|i| (i, 1u64 << (i.min(50)))).collect();
         let table = HuffmanTable::from_frequencies(&freqs);
         let max = table.lengths.iter().map(|&(_, l)| l).max().unwrap();
         assert!(max <= MAX_CODE_LEN);

@@ -21,10 +21,7 @@ use crate::quantizer::{EncodedResiduals, QuantizerConfig};
 /// Encode a lattice in level order. Returns residual codes (one per
 /// non-anchor point, in traversal order), outliers, and the raw anchor
 /// values (in anchor scan order).
-pub fn encode(
-    lattice: &QuantLattice,
-    quant: &QuantizerConfig,
-) -> (EncodedResiduals, Vec<i64>) {
+pub fn encode(lattice: &QuantLattice, quant: &QuantizerConfig) -> (EncodedResiduals, Vec<i64>) {
     let mut codes = Vec::with_capacity(lattice.len());
     let mut outliers = Vec::new();
     let mut anchors = Vec::new();
@@ -57,8 +54,7 @@ pub fn decode(
     let mut anchor_iter = anchors.iter();
     traverse(shape, |kind, off, pred_offs| match kind {
         PointKind::Anchor => {
-            lattice.as_mut_slice()[off] =
-                *anchor_iter.next().expect("anchor stream exhausted");
+            lattice.as_mut_slice()[off] = *anchor_iter.next().expect("anchor stream exhausted");
         }
         PointKind::Interpolated => {
             let code = *code_iter.next().expect("code stream exhausted");
@@ -69,8 +65,14 @@ pub fn decode(
             lattice.as_mut_slice()[off] = value;
         }
     });
-    assert!(code_iter.next().is_none(), "trailing codes — corrupt stream");
-    assert!(out_iter.next().is_none(), "trailing outliers — corrupt stream");
+    assert!(
+        code_iter.next().is_none(),
+        "trailing codes — corrupt stream"
+    );
+    assert!(
+        out_iter.next().is_none(),
+        "trailing outliers — corrupt stream"
+    );
     lattice
 }
 
@@ -261,7 +263,13 @@ mod tests {
     #[test]
     fn roundtrip_with_outliers() {
         let data: Vec<i64> = (0..25 * 25)
-            .map(|o| if o % 13 == 0 { 1_000_000 } else { (o % 17) as i64 })
+            .map(|o| {
+                if o % 13 == 0 {
+                    1_000_000
+                } else {
+                    (o % 17) as i64
+                }
+            })
             .collect();
         roundtrip(&QuantLattice::from_vec(Shape::d2(25, 25), data), 8);
     }

@@ -26,12 +26,18 @@ impl QuantLattice {
                 (v as f64 / step).round() as i64
             })
             .collect();
-        QuantLattice { shape: field.shape(), data }
+        QuantLattice {
+            shape: field.shape(),
+            data,
+        }
     }
 
     /// Zero lattice (decoder scratch).
     pub fn zeros(shape: Shape) -> Self {
-        QuantLattice { shape, data: vec![0; shape.len()] }
+        QuantLattice {
+            shape,
+            data: vec![0; shape.len()],
+        }
     }
 
     /// Wrap raw integers.
@@ -45,7 +51,10 @@ impl QuantLattice {
         let step = 2.0 * eb;
         Field::from_vec(
             self.shape,
-            self.data.iter().map(|&q| (q as f64 * step) as f32).collect(),
+            self.data
+                .iter()
+                .map(|&q| (q as f64 * step) as f32)
+                .collect(),
         )
     }
 

@@ -1,4 +1,5 @@
-//! `cfc-sz` — an SZ3-style prediction-based error-bounded lossy compressor.
+//! `cfc-sz` — an SZ3-style prediction-based error-bounded lossy compressor
+//! behind a unified, fallible [`Codec`] API.
 //!
 //! This crate is the substrate the paper's contribution plugs into. It
 //! reimplements, from scratch, the full pipeline of a modern
@@ -10,6 +11,13 @@
 //!             error-bounded)    pluggable)    outliers)                    like)
 //! ```
 //!
+//! * **Unified fallible API** ([`api`]): every compressor implements
+//!   [`Codec`] — `compress(&Field) -> Result<EncodedStream, CfcError>` /
+//!   `decompress(&[u8]) -> Result<Field, CfcError>`. The decode path is
+//!   *total*: malformed, truncated, or adversarial bytes return
+//!   [`CfcError`], never panic, so streams can be accepted from untrusted
+//!   sources. The cross-field codec and the multi-field archive in
+//!   `cfc-core` implement/compose the same trait.
 //! * **Dual quantization** (paper §III-D1, after cuSZ): values are snapped to
 //!   the `2·eb` lattice *before* prediction, eliminating the read-after-write
 //!   dependency of classic SZ and guaranteeing `|v − v'| ≤ eb` regardless of
@@ -23,12 +31,17 @@
 //!   ([`huffman`]), backed by a bit-level I/O layer ([`bitstream`]).
 //! * **Lossless back-end**: an LZSS + Huffman byte compressor ([`lossless`])
 //!   standing in for zstd.
+//! * **Self-describing container** ([`stream`]): magic, version, shape,
+//!   bound, and tagged sections, validated end to end by
+//!   [`stream::Container::try_from_bytes`].
 //!
-//! The top-level API is [`SzCompressor`].
+//! The baseline implementation of [`Codec`] is [`SzCompressor`].
 
+pub mod api;
 pub mod bitstream;
 pub mod codec;
 pub mod compressor;
+pub mod error;
 pub mod error_bound;
 pub mod huffman;
 pub mod interp;
@@ -38,7 +51,9 @@ pub mod predict;
 pub mod quantizer;
 pub mod stream;
 
-pub use compressor::{CompressedStream, PredictorKind, SzCompressor};
+pub use api::{Codec, EncodedStream};
+pub use compressor::{PredictorKind, SzCompressor};
+pub use error::CfcError;
 pub use error_bound::ErrorBound;
 pub use lattice::QuantLattice;
 pub use predict::{CentralDiffPredictor, LorenzoPredictor, Predictor, RegressionPredictor};

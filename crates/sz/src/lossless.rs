@@ -12,6 +12,7 @@
 //!   worst-case expansion negligible).
 
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::CfcError;
 use crate::huffman::HuffmanTable;
 
 const MIN_MATCH: usize = 4;
@@ -43,12 +44,49 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 }
 
 /// Decompress bytes produced by [`compress`].
+///
+/// Panics on corrupt input; use [`try_decompress`] for untrusted bytes.
 pub fn decompress(input: &[u8]) -> Vec<u8> {
-    assert!(!input.is_empty(), "empty lossless stream");
-    match input[0] {
-        MODE_STORED => input[1..].to_vec(),
-        MODE_LZ => decode_tokens(&input[1..]),
-        m => panic!("unknown lossless mode {m}"),
+    try_decompress(input).expect("corrupt lossless stream")
+}
+
+/// Fallible decompression of untrusted bytes: every structural violation
+/// (unknown mode, truncated section, invalid LZ distance, length mismatch)
+/// returns a [`CfcError`] instead of panicking.
+pub fn try_decompress(input: &[u8]) -> Result<Vec<u8>, CfcError> {
+    try_decompress_bounded(input, usize::MAX)
+}
+
+/// [`try_decompress`] with an output-size budget.
+///
+/// LZSS expands up to ~2000× (a decompression bomb), so decode paths that
+/// know how large a payload can legitimately be pass that bound here; a
+/// stream claiming more returns [`CfcError::Corrupt`] before any
+/// proportional allocation happens.
+pub fn try_decompress_bounded(input: &[u8], max_len: usize) -> Result<Vec<u8>, CfcError> {
+    match input.first() {
+        None => Err(CfcError::Truncated {
+            context: "lossless mode byte",
+            needed: 1,
+            available: 0,
+        }),
+        Some(&MODE_STORED) => {
+            if input.len() - 1 > max_len {
+                return Err(CfcError::Corrupt {
+                    context: "lossless stream",
+                    detail: format!(
+                        "stored payload {} exceeds budget {max_len}",
+                        input.len() - 1
+                    ),
+                });
+            }
+            Ok(input[1..].to_vec())
+        }
+        Some(&MODE_LZ) => decode_tokens(&input[1..], max_len),
+        Some(&m) => Err(CfcError::Corrupt {
+            context: "lossless stream",
+            detail: format!("unknown mode byte {m}"),
+        }),
     }
 }
 
@@ -111,7 +149,10 @@ fn lz_parse(input: &[u8]) -> Vec<Token> {
             head[h] = i;
         }
         if best_len >= MIN_MATCH {
-            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
             // insert skipped positions (cheap partial insertion keeps the
             // matcher effective without the full cost)
             let insert_until = (i + best_len).min(n.saturating_sub(MIN_MATCH));
@@ -186,60 +227,130 @@ fn write_coded(out: &mut Vec<u8>, symbols: &[u32]) {
     write_section(out, &section);
 }
 
-fn read_u64(bytes: &[u8], pos: &mut usize) -> u64 {
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CfcError> {
+    if *pos + 8 > bytes.len() {
+        return Err(CfcError::Truncated {
+            context: "lossless header",
+            needed: 8,
+            available: bytes.len().saturating_sub(*pos),
+        });
+    }
     let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
     *pos += 8;
-    v
+    Ok(v)
 }
 
-fn read_section<'a>(bytes: &'a [u8], pos: &mut usize) -> &'a [u8] {
-    let len = read_u64(bytes, pos) as usize;
-    let s = &bytes[*pos..*pos + len];
-    *pos += len;
-    s
+fn read_section<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], CfcError> {
+    let len = read_u64(bytes, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or(CfcError::Truncated {
+            context: "lossless section",
+            needed: len,
+            available: bytes.len().saturating_sub(*pos),
+        })?;
+    let s = &bytes[*pos..end];
+    *pos = end;
+    Ok(s)
 }
 
-fn read_coded(bytes: &[u8], pos: &mut usize) -> Vec<u32> {
-    let section = read_section(bytes, pos);
+fn read_coded(bytes: &[u8], pos: &mut usize) -> Result<Vec<u32>, CfcError> {
+    let section = read_section(bytes, pos)?;
     if section.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
+    }
+    if section.len() < 8 {
+        return Err(CfcError::Truncated {
+            context: "coded section header",
+            needed: 8,
+            available: section.len(),
+        });
     }
     let count = u64::from_le_bytes(section[0..8].try_into().unwrap()) as usize;
-    let (table, used) = HuffmanTable::deserialize(&section[8..]);
-    table.decode(&section[8 + used..], count)
+    let (table, used) = HuffmanTable::try_deserialize(&section[8..])?;
+    table.try_decode(&section[8 + used..], count)
 }
 
-fn decode_tokens(bytes: &[u8]) -> Vec<u8> {
+fn decode_tokens(bytes: &[u8], max_len: usize) -> Result<Vec<u8>, CfcError> {
     let mut pos = 0usize;
-    let raw_len = read_u64(bytes, &mut pos) as usize;
-    let ntokens = read_u64(bytes, &mut pos) as usize;
-    let flag_bytes = read_section(bytes, &mut pos);
-    let literals = read_coded(bytes, &mut pos);
-    let lens = read_coded(bytes, &mut pos);
-    let dist_lo = read_coded(bytes, &mut pos);
-    let dist_hi = read_coded(bytes, &mut pos);
+    let raw_len = read_u64(bytes, &mut pos)? as usize;
+    if raw_len > max_len {
+        return Err(CfcError::Corrupt {
+            context: "lossless stream",
+            detail: format!("claimed size {raw_len} exceeds budget {max_len}"),
+        });
+    }
+    let ntokens = read_u64(bytes, &mut pos)? as usize;
+    let flag_bytes = read_section(bytes, &mut pos)?;
+    // one flag bit per token bounds the token count by the flag section, so
+    // the loop below — and the output allocation — stay proportional to the
+    // actual input size no matter what the header claims
+    if ntokens > flag_bytes.len().saturating_mul(8) {
+        return Err(CfcError::Corrupt {
+            context: "lossless stream",
+            detail: format!("{ntokens} tokens exceed {} flag bits", flag_bytes.len() * 8),
+        });
+    }
+    if raw_len > ntokens.saturating_mul(MAX_MATCH) && !(ntokens == 0 && raw_len == 0) {
+        return Err(CfcError::Corrupt {
+            context: "lossless stream",
+            detail: format!("claimed size {raw_len} unreachable from {ntokens} tokens"),
+        });
+    }
+    let literals = read_coded(bytes, &mut pos)?;
+    let lens = read_coded(bytes, &mut pos)?;
+    let dist_lo = read_coded(bytes, &mut pos)?;
+    let dist_hi = read_coded(bytes, &mut pos)?;
 
-    let mut out = Vec::with_capacity(raw_len);
+    let corrupt = |detail: String| CfcError::Corrupt {
+        context: "LZ token stream",
+        detail,
+    };
+    // cap the upfront allocation; genuinely large outputs grow amortized,
+    // while a hostile header can't demand gigabytes before decoding starts
+    let mut out = Vec::with_capacity(raw_len.min(1 << 24));
     let mut flags = BitReader::new(flag_bytes);
     let (mut li, mut mi) = (0usize, 0usize);
     for _ in 0..ntokens {
+        // bound checked above: ntokens flags always fit the section
         if flags.read_bit() {
-            let len = lens[mi] as usize + MIN_MATCH;
-            let dist = (dist_lo[mi] | (dist_hi[mi] << 8)) as usize;
+            let (&l, &lo, &hi) = match (lens.get(mi), dist_lo.get(mi), dist_hi.get(mi)) {
+                (Some(l), Some(lo), Some(hi)) => (l, lo, hi),
+                _ => return Err(corrupt(format!("match stream exhausted at token {mi}"))),
+            };
+            let len = l as usize + MIN_MATCH;
+            let dist = (lo | (hi << 8)) as usize;
             mi += 1;
-            assert!(dist >= 1 && dist <= out.len(), "corrupt LZ distance");
+            if dist < 1 || dist > out.len() {
+                return Err(corrupt(format!("distance {dist} at offset {}", out.len())));
+            }
+            if out.len() + len > raw_len {
+                return Err(corrupt("output overruns claimed size".into()));
+            }
             let start = out.len() - dist;
             for k in 0..len {
                 let b = out[start + k];
                 out.push(b);
             }
         } else {
-            out.push(literals[li] as u8);
+            let &b = literals
+                .get(li)
+                .ok_or_else(|| corrupt(format!("literal stream exhausted at token {li}")))?;
+            if out.len() == raw_len {
+                return Err(corrupt("output overruns claimed size".into()));
+            }
+            out.push(b as u8);
             li += 1;
         }
     }
-    assert_eq!(out.len(), raw_len, "decompressed length mismatch");
-    out
+    if out.len() != raw_len {
+        return Err(corrupt(format!(
+            "decompressed {} bytes, header claims {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -263,7 +374,12 @@ mod tests {
     fn repetitive_compresses_well() {
         let data: Vec<u8> = b"abcdefgh".iter().cycle().take(10_000).cloned().collect();
         let c = compress(&data);
-        assert!(c.len() < data.len() / 4, "ratio too low: {} / {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 4,
+            "ratio too low: {} / {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c), data);
     }
 
@@ -323,6 +439,23 @@ mod tests {
         let pattern: Vec<u8> = (0..=255u8).collect();
         let data: Vec<u8> = pattern.iter().cycle().take(200_000).cloned().collect();
         roundtrip(&data);
+    }
+
+    #[test]
+    fn bounded_decompress_rejects_bombs() {
+        // a highly repetitive buffer decompresses fine unbounded but must be
+        // rejected when it exceeds the caller's budget
+        let data = vec![7u8; 100_000];
+        let c = compress(&data);
+        assert_eq!(try_decompress_bounded(&c, 100_000).unwrap(), data);
+        assert!(matches!(
+            try_decompress_bounded(&c, 50_000),
+            Err(CfcError::Corrupt { .. })
+        ));
+        // stored mode respects the budget too
+        let tiny = compress(b"abc");
+        assert!(try_decompress_bounded(&tiny, 2).is_err());
+        assert_eq!(try_decompress_bounded(&tiny, 3).unwrap(), b"abc");
     }
 
     #[test]

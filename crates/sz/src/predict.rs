@@ -137,7 +137,12 @@ impl RegressionPredictor {
             let fitted = Self::fit_block(lattice, &borigin, block, &dims);
             coeffs[b * ncoef..(b + 1) * ncoef].copy_from_slice(&fitted);
         }
-        RegressionPredictor { block, ndim, coeffs, blocks }
+        RegressionPredictor {
+            block,
+            ndim,
+            coeffs,
+            blocks,
+        }
     }
 
     /// Rebuild from stored coefficients (decoder side).
@@ -145,8 +150,17 @@ impl RegressionPredictor {
         let ndim = dims.len();
         let blocks: Vec<usize> = dims.iter().map(|&d| d.div_ceil(block)).collect();
         let nblocks: usize = blocks.iter().product();
-        assert_eq!(coeffs.len(), nblocks * (ndim + 1), "coefficient count mismatch");
-        RegressionPredictor { block, ndim, coeffs, blocks }
+        assert_eq!(
+            coeffs.len(),
+            nblocks * (ndim + 1),
+            "coefficient count mismatch"
+        );
+        RegressionPredictor {
+            block,
+            ndim,
+            coeffs,
+            blocks,
+        }
     }
 
     /// The fitted coefficients (for serialization).
@@ -183,7 +197,12 @@ impl RegressionPredictor {
     }
 
     /// Least-squares fit of `a·d0 + b·d1 (+ c·d2) + intercept` on one block.
-    fn fit_block(lattice: &QuantLattice, origin: &[usize], block: usize, dims: &[usize]) -> Vec<f32> {
+    fn fit_block(
+        lattice: &QuantLattice,
+        origin: &[usize],
+        block: usize,
+        dims: &[usize],
+    ) -> Vec<f32> {
         let ndim = origin.len();
         let ncoef = ndim + 1;
         // normal equations, tiny (≤4×4) system
@@ -418,7 +437,10 @@ mod tests {
                 for j in 0..n2 {
                     let expect = 2 * k as i64 + 5 * i as i64 - 3 * j as i64 + 1;
                     let got = reg.predict(&lat, &[k, i, j]);
-                    assert!((got - expect).abs() <= 1, "({k},{i},{j}): {got} vs {expect}");
+                    assert!(
+                        (got - expect).abs() <= 1,
+                        "({k},{i},{j}): {got} vs {expect}"
+                    );
                 }
             }
         }

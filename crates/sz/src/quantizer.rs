@@ -20,7 +20,9 @@ pub struct QuantizerConfig {
 
 impl Default for QuantizerConfig {
     fn default() -> Self {
-        QuantizerConfig { radius: DEFAULT_RADIUS }
+        QuantizerConfig {
+            radius: DEFAULT_RADIUS,
+        }
     }
 }
 
@@ -66,6 +68,19 @@ impl QuantizerConfig {
         } else {
             debug_assert!(code < self.escape());
             Ok(code as i64 - self.radius as i64)
+        }
+    }
+
+    /// Classify one *untrusted* code: `Ok(Some(delta))` for in-range codes,
+    /// `Ok(None)` for the escape, `Err(code)` for codes outside the
+    /// alphabet (which [`QuantizerConfig::decode_one`] would silently
+    /// misinterpret in release builds).
+    #[inline]
+    pub fn check_one(&self, code: u32) -> Result<Option<i64>, u32> {
+        match code.cmp(&self.escape()) {
+            std::cmp::Ordering::Less => Ok(Some(code as i64 - self.radius as i64)),
+            std::cmp::Ordering::Equal => Ok(None),
+            std::cmp::Ordering::Greater => Err(code),
         }
     }
 

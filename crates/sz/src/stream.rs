@@ -10,14 +10,33 @@
 //! Section tags identify the payloads (Huffman-coded residuals, outliers,
 //! predictor side info, embedded CFNN model, …). Unknown tags are preserved
 //! so future extensions stay readable.
+//!
+//! Parsing is fully fallible: [`Container::try_from_bytes`] validates magic,
+//! version, dimensionality, extents, and every section length against the
+//! buffer bounds, returning [`CfcError`] on any violation — it never panics
+//! or reads out of bounds on attacker-controlled input.
 
-use bytes::{Buf, BufMut};
+use bytes::BufMut;
 use cfc_tensor::Shape;
+
+use crate::error::{CfcError, Reader};
 
 /// Stream magic bytes.
 pub const MAGIC: &[u8; 4] = b"CFSZ";
 /// Container version.
 pub const VERSION: u16 = 1;
+
+/// Upper bound on `shape.len()` accepted from untrusted headers.
+///
+/// Decode-side allocations scale with the *declared* element count (codes,
+/// lattice, reconstruction), so this cap — together with the per-section
+/// lossless budgets in `compressor` — bounds what a hostile stream can
+/// demand. 2^28 samples = 1 GiB raw f32, comfortably above the paper's
+/// largest field (98×1200×1200 ≈ 1.4×10^8 samples). Callers accepting
+/// streams from the network can pre-screen further by parsing the header
+/// with [`Container::try_from_bytes`] and checking `shape.len()` before
+/// decoding.
+pub const MAX_ELEMENTS: usize = 1 << 28;
 
 /// Section tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,15 +57,15 @@ pub enum SectionTag {
 }
 
 impl SectionTag {
-    fn from_u8(v: u8) -> Option<SectionTag> {
-        match v {
-            1 => Some(SectionTag::Residuals),
-            2 => Some(SectionTag::Outliers),
-            3 => Some(SectionTag::PredictorSideInfo),
-            4 => Some(SectionTag::Model),
-            5 => Some(SectionTag::HybridWeights),
-            6 => Some(SectionTag::CrossFieldMeta),
-            _ => None,
+    /// Human-readable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionTag::Residuals => "residuals",
+            SectionTag::Outliers => "outliers",
+            SectionTag::PredictorSideInfo => "predictor side info",
+            SectionTag::Model => "model",
+            SectionTag::HybridWeights => "hybrid weights",
+            SectionTag::CrossFieldMeta => "cross-field metadata",
         }
     }
 }
@@ -67,7 +86,12 @@ pub struct Container {
 impl Container {
     /// New empty container.
     pub fn new(shape: Shape, eb: f64, radius: u32) -> Self {
-        Container { shape, eb, radius, sections: Vec::new() }
+        Container {
+            shape,
+            eb,
+            radius,
+            sections: Vec::new(),
+        }
     }
 
     /// Append a section.
@@ -83,16 +107,23 @@ impl Container {
             .map(|(_, b)| b.as_slice())
     }
 
-    /// Fetch a section body, panicking with context when absent.
-    pub fn expect_section(&self, tag: SectionTag) -> &[u8] {
-        self.section(tag)
-            .unwrap_or_else(|| panic!("stream missing section {tag:?}"))
+    /// Fetch a section body, or a [`CfcError::MissingSection`] when absent.
+    pub fn require_section(&self, tag: SectionTag) -> Result<&[u8], CfcError> {
+        self.section(tag).ok_or(CfcError::MissingSection {
+            tag: tag as u8,
+            name: tag.name(),
+        })
     }
 
     /// Total serialized size in bytes.
     pub fn serialized_len(&self) -> usize {
         let header = 4 + 2 + 1 + 8 * self.shape.ndim() + 8 + 4 + 2;
-        header + self.sections.iter().map(|(_, b)| 1 + 8 + b.len()).sum::<usize>()
+        header
+            + self
+                .sections
+                .iter()
+                .map(|(_, b)| 1 + 8 + b.len())
+                .sum::<usize>()
     }
 
     /// Serialize to bytes.
@@ -115,34 +146,87 @@ impl Container {
         out
     }
 
-    /// Parse from bytes.
-    pub fn from_bytes(mut buf: &[u8]) -> Self {
-        assert!(buf.len() >= 4 && &buf[..4] == MAGIC, "bad magic — not a CFSZ stream");
-        buf.advance(4);
-        let version = buf.get_u16_le();
-        assert_eq!(version, VERSION, "unsupported stream version {version}");
-        let ndim = buf.get_u8() as usize;
-        assert!((1..=3).contains(&ndim), "invalid ndim {ndim}");
+    /// Parse and validate from untrusted bytes.
+    ///
+    /// Checks, in order: magic, version, `ndim ∈ 1..=3`, non-zero extents
+    /// whose product stays under [`MAX_ELEMENTS`], a finite positive error
+    /// bound, a non-zero radius, and that every section length fits inside
+    /// the remaining buffer. Any violation returns `Err` — this function is
+    /// panic-free for arbitrary input.
+    pub fn try_from_bytes(buf: &[u8]) -> Result<Self, CfcError> {
+        let mut r = Reader::new(buf);
+        let magic = r.bytes(4, "magic")?;
+        if magic != MAGIC {
+            return Err(CfcError::BadMagic {
+                expected: *MAGIC,
+                found: magic.to_vec(),
+            });
+        }
+        let version = r.u16("version")?;
+        if version != VERSION {
+            return Err(CfcError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let ndim = r.u8("ndim")? as usize;
+        if !(1..=3).contains(&ndim) {
+            return Err(CfcError::InvalidHeader(format!(
+                "ndim {ndim} outside 1..=3"
+            )));
+        }
         let mut dims = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            dims.push(buf.get_u64_le() as usize);
+        let mut n_elems: usize = 1;
+        for axis in 0..ndim {
+            let d = r.u64("dims")?;
+            let d = usize::try_from(d)
+                .ok()
+                .filter(|&d| d > 0)
+                .ok_or_else(|| CfcError::InvalidHeader(format!("axis {axis} extent {d}")))?;
+            n_elems = n_elems
+                .checked_mul(d)
+                .filter(|&n| n <= MAX_ELEMENTS)
+                .ok_or_else(|| {
+                    CfcError::InvalidHeader(format!("element count exceeds {MAX_ELEMENTS}"))
+                })?;
+            dims.push(d);
         }
         let shape = Shape::from_slice(&dims);
-        let eb = buf.get_f64_le();
-        let radius = buf.get_u32_le();
-        let nsec = buf.get_u16_le() as usize;
+        let eb = r.f64("error bound")?;
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CfcError::InvalidHeader(format!(
+                "error bound {eb} not positive/finite"
+            )));
+        }
+        let radius = r.u32("radius")?;
+        if radius == 0 || radius > (1 << 30) {
+            return Err(CfcError::InvalidHeader(format!(
+                "quantizer radius {radius}"
+            )));
+        }
+        let nsec = r.u16("section count")? as usize;
+        // every section costs at least 9 header bytes, so an nsec that can't
+        // fit is rejected before any allocation scales with it
+        if nsec * 9 > r.remaining() {
+            return Err(CfcError::Truncated {
+                context: "section table",
+                needed: nsec * 9,
+                available: r.remaining(),
+            });
+        }
         let mut sections = Vec::with_capacity(nsec);
         for _ in 0..nsec {
-            let tag = buf.get_u8();
-            let len = buf.get_u64_le() as usize;
-            assert!(buf.remaining() >= len, "truncated section (tag {tag})");
-            let bytes = buf[..len].to_vec();
-            buf.advance(len);
-            // validate known tags eagerly so corruption surfaces here
-            let _ = SectionTag::from_u8(tag);
+            let tag = r.u8("section tag")?;
+            let len = r.len_u64("section length")?;
+            let bytes = r.bytes(len, "section body")?.to_vec();
             sections.push((tag, bytes));
         }
-        Container { shape, eb, radius, sections }
+        Ok(Container {
+            shape,
+            eb,
+            radius,
+            sections,
+        })
     }
 }
 
@@ -153,7 +237,7 @@ mod tests {
     #[test]
     fn roundtrip_empty() {
         let c = Container::new(Shape::d2(10, 20), 1e-3, 512);
-        let c2 = Container::from_bytes(&c.to_bytes());
+        let c2 = Container::try_from_bytes(&c.to_bytes()).unwrap();
         assert_eq!(c2.shape, c.shape);
         assert_eq!(c2.eb, c.eb);
         assert_eq!(c2.radius, c.radius);
@@ -166,7 +250,7 @@ mod tests {
         c.push(SectionTag::Residuals, vec![1, 2, 3]);
         c.push(SectionTag::Outliers, vec![]);
         c.push(SectionTag::Model, vec![9; 1000]);
-        let c2 = Container::from_bytes(&c.to_bytes());
+        let c2 = Container::try_from_bytes(&c.to_bytes()).unwrap();
         assert_eq!(c2.section(SectionTag::Residuals), Some(&[1u8, 2, 3][..]));
         assert_eq!(c2.section(SectionTag::Outliers), Some(&[][..]));
         assert_eq!(c2.section(SectionTag::Model).unwrap().len(), 1000);
@@ -181,15 +265,67 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad magic")]
     fn bad_magic_rejected() {
-        let _ = Container::from_bytes(b"NOPE\x01\x00");
+        assert!(matches!(
+            Container::try_from_bytes(b"NOPE\x01\x00"),
+            Err(CfcError::BadMagic { .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "missing section")]
-    fn expect_section_panics_when_absent() {
+    fn future_version_rejected() {
+        let mut bytes = Container::new(Shape::d1(4), 1e-3, 512).to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            Container::try_from_bytes(&bytes),
+            Err(CfcError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn require_section_errors_when_absent() {
         let c = Container::new(Shape::d1(1), 1.0, 1);
-        let _ = c.expect_section(SectionTag::Model);
+        assert!(matches!(
+            c.require_section(SectionTag::Model),
+            Err(CfcError::MissingSection { tag: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_an_error_not_a_panic() {
+        let mut c = Container::new(Shape::d3(3, 4, 5), 1e-3, 512);
+        c.push(SectionTag::Residuals, vec![7; 100]);
+        let bytes = c.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Container::try_from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must fail"
+            );
+        }
+        assert!(Container::try_from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn hostile_headers_rejected() {
+        // zero extent
+        let mut c = Container::new(Shape::d2(4, 4), 1e-3, 512).to_bytes();
+        c[7..15].copy_from_slice(&0u64.to_le_bytes());
+        assert!(Container::try_from_bytes(&c).is_err());
+        // absurd element count (overflow-safe)
+        let mut c = Container::new(Shape::d3(2, 2, 2), 1e-3, 512).to_bytes();
+        c[7..15].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Container::try_from_bytes(&c).is_err());
+        // non-finite error bound
+        let mut c = Container::new(Shape::d1(4), 1e-3, 512).to_bytes();
+        let eb_off = 4 + 2 + 1 + 8;
+        c[eb_off..eb_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(Container::try_from_bytes(&c).is_err());
+        // section length pointing past the buffer
+        let mut c = Container::new(Shape::d1(4), 1e-3, 512);
+        c.push(SectionTag::Residuals, vec![1, 2, 3]);
+        let mut bytes = c.to_bytes();
+        let len_off = bytes.len() - 3 - 8;
+        bytes[len_off..len_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Container::try_from_bytes(&bytes).is_err());
     }
 }

@@ -15,12 +15,18 @@ pub struct Field {
 impl Field {
     /// A zero-filled field of the given shape.
     pub fn zeros(shape: Shape) -> Self {
-        Field { shape, data: vec![0.0; shape.len()] }
+        Field {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
     }
 
     /// A constant-filled field.
     pub fn full(shape: Shape, value: f32) -> Self {
-        Field { shape, data: vec![value; shape.len()] }
+        Field {
+            shape,
+            data: vec![value; shape.len()],
+        }
     }
 
     /// Wrap an existing buffer. `data.len()` must equal `shape.len()`.
@@ -198,7 +204,10 @@ mod tests {
         let f = iota(Shape::d3(3, 2, 4));
         let s = f.slice(Axis::X, 1);
         assert_eq!(s.shape(), Shape::d2(2, 4));
-        assert_eq!(s.as_slice(), &(8..16).map(|v| v as f32).collect::<Vec<_>>()[..]);
+        assert_eq!(
+            s.as_slice(),
+            &(8..16).map(|v| v as f32).collect::<Vec<_>>()[..]
+        );
     }
 
     #[test]
@@ -235,7 +244,10 @@ mod tests {
     fn zip_map_adds() {
         let a = iota(Shape::d1(4));
         let b = Field::full(Shape::d1(4), 2.0);
-        assert_eq!(a.zip_map(&b, |x, y| x + y).as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(
+            a.zip_map(&b, |x, y| x + y).as_slice(),
+            &[2.0, 3.0, 4.0, 5.0]
+        );
     }
 
     #[test]

@@ -16,12 +16,14 @@
 //! types monomorphic keeps the hot compression loops transparent to the
 //! optimizer.
 
+pub mod dataset;
 pub mod diff;
 pub mod field;
 pub mod patch;
 pub mod shape;
 pub mod stats;
 
+pub use dataset::Dataset;
 pub use field::Field;
 pub use patch::{Patch, PatchSampler};
 pub use shape::{Axis, Shape};

@@ -42,8 +42,16 @@ impl PatchSampler {
     /// Create a sampler for `rows × cols` fields emitting `patch × patch`
     /// windows, seeded deterministically.
     pub fn new(rows: usize, cols: usize, patch: usize, seed: u64) -> Self {
-        assert!(patch > 0 && patch <= rows && patch <= cols, "patch size {patch} does not fit in {rows}x{cols}");
-        PatchSampler { rows, cols, patch, state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        assert!(
+            patch > 0 && patch <= rows && patch <= cols,
+            "patch size {patch} does not fit in {rows}x{cols}"
+        );
+        PatchSampler {
+            rows,
+            cols,
+            patch,
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -73,14 +81,25 @@ impl PatchSampler {
         let mut data = Vec::with_capacity(channels.len() * p * p);
         for ch in channels {
             let shape = ch.shape();
-            assert_eq!(shape.dims(), &[self.rows, self.cols], "channel shape mismatch");
+            assert_eq!(
+                shape.dims(),
+                &[self.rows, self.cols],
+                "channel shape mismatch"
+            );
             let src = ch.as_slice();
             for i in 0..p {
                 let base = (row + i) * self.cols + col;
                 data.extend_from_slice(&src[base..base + p]);
             }
         }
-        Patch { data, channels: channels.len(), h: p, w: p, row, col }
+        Patch {
+            data,
+            channels: channels.len(),
+            h: p,
+            w: p,
+            row,
+            col,
+        }
     }
 
     /// Sample `count` random co-located patches.
@@ -166,7 +185,7 @@ mod tests {
     fn tiling_covers_field() {
         let s = PatchSampler::new(10, 7, 4, 0);
         let tiles = s.tiling();
-        let mut covered = vec![false; 70];
+        let mut covered = [false; 70];
         for (r, c) in tiles {
             assert!(r + 4 <= 10 && c + 4 <= 7);
             for i in r..r + 4 {

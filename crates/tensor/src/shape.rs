@@ -44,19 +44,31 @@ impl Shape {
     /// A 1-D shape of length `n`.
     pub fn d1(n: usize) -> Self {
         assert!(n > 0, "shape axes must be non-zero");
-        Shape { dims: [n, 1, 1], ndim: 1 }
+        Shape {
+            dims: [n, 1, 1],
+            ndim: 1,
+        }
     }
 
     /// A 2-D shape of `rows × cols`.
     pub fn d2(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "shape axes must be non-zero");
-        Shape { dims: [rows, cols, 1], ndim: 2 }
+        Shape {
+            dims: [rows, cols, 1],
+            ndim: 2,
+        }
     }
 
     /// A 3-D shape of `depth × rows × cols`.
     pub fn d3(depth: usize, rows: usize, cols: usize) -> Self {
-        assert!(depth > 0 && rows > 0 && cols > 0, "shape axes must be non-zero");
-        Shape { dims: [depth, rows, cols], ndim: 3 }
+        assert!(
+            depth > 0 && rows > 0 && cols > 0,
+            "shape axes must be non-zero"
+        );
+        Shape {
+            dims: [depth, rows, cols],
+            ndim: 3,
+        }
     }
 
     /// Build from a slice of 1–3 extents.

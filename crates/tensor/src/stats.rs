@@ -23,7 +23,10 @@ impl FieldStats {
 
     /// Compute statistics over a raw sample slice.
     pub fn of_slice(data: &[f32]) -> Self {
-        assert!(!data.is_empty(), "statistics of an empty slice are undefined");
+        assert!(
+            !data.is_empty(),
+            "statistics of an empty slice are undefined"
+        );
         let mut min = f32::INFINITY;
         let mut max = f32::NEG_INFINITY;
         let mut sum = 0.0f64;
@@ -37,7 +40,12 @@ impl FieldStats {
         let n = data.len() as f64;
         let mean = sum / n;
         let var = (sum_sq / n - mean * mean).max(0.0);
-        FieldStats { min, max, mean, std: var.sqrt() }
+        FieldStats {
+            min,
+            max,
+            mean,
+            std: var.sqrt(),
+        }
     }
 
     /// `max − min`, the value range used for relative error bounds.
@@ -64,25 +72,40 @@ pub struct Normalizer {
 impl Normalizer {
     /// Identity transform.
     pub fn identity() -> Self {
-        Normalizer { shift: 0.0, scale: 1.0 }
+        Normalizer {
+            shift: 0.0,
+            scale: 1.0,
+        }
     }
 
     /// Map `[min, max]` onto `[0, target]`; constant fields map to 0.
     pub fn min_max(stats: &FieldStats, target: f32) -> Self {
         let range = stats.range();
         if range <= 0.0 || !range.is_finite() {
-            Normalizer { shift: stats.min, scale: 1.0 }
+            Normalizer {
+                shift: stats.min,
+                scale: 1.0,
+            }
         } else {
-            Normalizer { shift: stats.min, scale: target / range }
+            Normalizer {
+                shift: stats.min,
+                scale: target / range,
+            }
         }
     }
 
     /// Map to zero mean, unit standard deviation (constant fields map to 0).
     pub fn standard(stats: &FieldStats) -> Self {
         if stats.std <= f64::EPSILON {
-            Normalizer { shift: stats.mean as f32, scale: 1.0 }
+            Normalizer {
+                shift: stats.mean as f32,
+                scale: 1.0,
+            }
         } else {
-            Normalizer { shift: stats.mean as f32, scale: (1.0 / stats.std) as f32 }
+            Normalizer {
+                shift: stats.mean as f32,
+                scale: (1.0 / stats.std) as f32,
+            }
         }
     }
 
@@ -92,7 +115,10 @@ impl Normalizer {
         if m <= 0.0 || !m.is_finite() {
             Normalizer::identity()
         } else {
-            Normalizer { shift: 0.0, scale: target / m }
+            Normalizer {
+                shift: 0.0,
+                scale: target / m,
+            }
         }
     }
 

@@ -16,10 +16,14 @@ use cross_field_compression::core::pipeline::CrossFieldCompressor;
 use cross_field_compression::core::train::train_cfnn;
 use cross_field_compression::datagen::{paper_catalog, GenParams};
 use cross_field_compression::metrics::pearson;
+use cross_field_compression::sz::Codec;
 use cross_field_compression::tensor::{diff, Axis, Field};
 
 fn main() {
-    let info = paper_catalog().into_iter().find(|d| d.name == "Hurricane").unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "Hurricane")
+        .unwrap();
     let ds = info.generate_default(GenParams::default());
     let target_name = "Wf";
     let target = ds.expect_field(target_name);
@@ -46,7 +50,7 @@ fn main() {
     let rel_eb = 1e-3;
     let comp = CrossFieldCompressor::new(rel_eb);
     let baseline_ratio = {
-        let s = comp.baseline().compress(target);
+        let s = comp.baseline().compress(target).expect("baseline compress");
         s.ratio(target.len())
     };
     println!("\nbaseline (no anchors): {baseline_ratio:.2}x");
@@ -59,10 +63,14 @@ fn main() {
             ..CfnnSpec::scaled_3d(anchors.len())
         };
         let mut trained = train_cfnn(&spec, &TrainConfig::default(), &anchors, target);
-        let anchors_dec: Vec<Field> =
-            anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+        let anchors_dec: Vec<Field> = anchors
+            .iter()
+            .map(|a| comp.roundtrip_anchor(a).expect("anchor roundtrip"))
+            .collect();
         let refs: Vec<&Field> = anchors_dec.iter().collect();
-        let stream = comp.compress(&mut trained, target, &refs);
+        let stream = comp
+            .compress(&mut trained, target, &refs)
+            .expect("compress");
         println!(
             "anchors {:<18} → {:.2}x ({:+.2}% vs baseline)",
             chosen.join("+"),

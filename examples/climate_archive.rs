@@ -2,24 +2,29 @@
 //! introduction workload — Nyx/SCALE-class simulation output where storage
 //! and I/O bandwidth are the bottleneck).
 //!
-//! Compresses *every* field of the synthetic SCALE snapshot: anchors go
-//! through the baseline compressor; the designated target fields (RH, W)
-//! ride the cross-field pipeline with their anchors. Prints an archive
-//! manifest with per-field ratios and the end-to-end storage saving.
+//! One `ArchiveWriter` call compresses *every* field of the synthetic SCALE
+//! snapshot: the paper's Table 3 role plan sends RH and W through the
+//! cross-field pipeline (anchor roundtrip, CFNN training, hybrid fitting
+//! all happen inside the writer, fields in parallel), everything else
+//! through the baseline compressor. The resulting archive is
+//! self-describing: `ArchiveReader` reconstructs the whole snapshot from
+//! the bytes alone — no out-of-band metadata — and every field is verified
+//! against its recorded error bound.
 //!
 //! ```sh
 //! cargo run --release --example climate_archive
 //! ```
 
-use cross_field_compression::core::config::{paper_table3, TrainConfig};
-use cross_field_compression::core::pipeline::CrossFieldCompressor;
-use cross_field_compression::core::train::train_cfnn;
+use cross_field_compression::core::archive::{ArchiveBuilder, ArchiveReader};
+use cross_field_compression::core::config::paper_table3;
 use cross_field_compression::datagen::{paper_catalog, GenParams};
-use cross_field_compression::tensor::Field;
 
 fn main() {
     let rel_eb = 1e-3;
-    let info = paper_catalog().into_iter().find(|d| d.name == "SCALE").unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "SCALE")
+        .unwrap();
     let ds = info.generate_default(GenParams::default());
     println!(
         "SCALE snapshot {} — {} fields, {:.1} MB raw, archiving at rel eb {rel_eb:.0e}\n",
@@ -28,44 +33,53 @@ fn main() {
         ds.len() as f64 * ds.shape().len() as f64 * 4.0 / 1e6
     );
 
-    let comp = CrossFieldCompressor::new(rel_eb);
-    let baseline = comp.baseline();
-    let cross_rows: Vec<_> = paper_table3()
+    // the paper's Table 3 rows for SCALE become the field-role plan;
+    // everything not named decodes independently through the baseline
+    let plan: Vec<_> = paper_table3()
         .into_iter()
         .filter(|r| r.dataset == "SCALE")
         .collect();
+    let writer = ArchiveBuilder::relative(rel_eb).plan_from(&plan).build();
+    let (bytes, report) = writer.write_with_report(&ds).expect("archive write");
 
-    let mut total_raw = 0usize;
-    let mut total_compressed = 0usize;
-    println!("{:<8}{:>12}{:>14}{:>12}", "field", "method", "bytes", "ratio");
-    for (name, field) in ds.iter() {
-        let raw = field.len() * 4;
-        total_raw += raw;
-        let row = cross_rows.iter().find(|r| r.target == name);
-        let (method, bytes) = match row {
-            Some(row) => {
-                // cross-field target: anchors are archived too, so their
-                // decompressed versions are free at read time
-                let anchors: Vec<&Field> =
-                    row.anchors.iter().map(|a| ds.expect_field(a)).collect();
-                let anchors_dec: Vec<Field> =
-                    anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
-                let refs: Vec<&Field> = anchors_dec.iter().collect();
-                let mut trained =
-                    train_cfnn(&row.spec, &TrainConfig::default(), &anchors, field);
-                let stream = comp.compress(&mut trained, field, &refs);
-                ("cross-field", stream.bytes.len())
-            }
-            None => ("baseline", baseline.compress(field).bytes.len()),
-        };
-        total_compressed += bytes;
-        println!("{name:<8}{method:>12}{bytes:>14}{:>12.2}", raw as f64 / bytes as f64);
+    println!("{:<8}{:>14}{:>14}{:>12}", "field", "role", "bytes", "ratio");
+    let raw_per_field = ds.shape().len() * 4;
+    for f in &report.fields {
+        println!(
+            "{:<8}{:>14}{:>14}{:>12.2}",
+            f.name,
+            f.role.label(),
+            f.bytes,
+            raw_per_field as f64 / f.bytes as f64
+        );
     }
     println!(
         "\narchive: {:.2} MB → {:.2} MB  ({:.2}x, {:.1}% of original)",
-        total_raw as f64 / 1e6,
-        total_compressed as f64 / 1e6,
-        total_raw as f64 / total_compressed as f64,
-        total_compressed as f64 / total_raw as f64 * 100.0
+        report.raw_bytes as f64 / 1e6,
+        report.archive_bytes as f64 / 1e6,
+        report.ratio(),
+        report.archive_bytes as f64 / report.raw_bytes as f64 * 100.0
     );
+
+    // read side: nothing but the bytes
+    let reader = ArchiveReader::new(&bytes).expect("archive parse");
+    let decoded = reader.decode_all().expect("archive decode");
+    assert_eq!(decoded.field_names(), ds.field_names());
+    for entry in reader.entries() {
+        let orig = ds.expect_field(&entry.name);
+        let dec = decoded.expect_field(&entry.name);
+        let worst = orig
+            .as_slice()
+            .iter()
+            .zip(dec.as_slice())
+            .map(|(a, b)| (a - b).abs() as f64)
+            .fold(0.0, f64::max);
+        assert!(
+            worst <= entry.eb_abs * (1.0 + 1e-9),
+            "{}: worst error {worst} exceeds bound {}",
+            entry.name,
+            entry.eb_abs
+        );
+    }
+    println!("✓ every field round-tripped within its recorded error bound");
 }

@@ -15,12 +15,19 @@ use cross_field_compression::core::pipeline::CrossFieldCompressor;
 use cross_field_compression::core::train::train_cfnn;
 use cross_field_compression::datagen::{paper_catalog, GenParams};
 use cross_field_compression::metrics::{psnr, ssim_field};
+use cross_field_compression::sz::Codec;
 use cross_field_compression::tensor::{Field, FieldStats};
 
 fn main() {
-    let info = paper_catalog().into_iter().find(|d| d.name == "CESM-ATM").unwrap();
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "CESM-ATM")
+        .unwrap();
     let ds = info.generate_default(GenParams::default());
-    let row = paper_table3().into_iter().find(|r| r.target == "LWCF").unwrap();
+    let row = paper_table3()
+        .into_iter()
+        .find(|r| r.target == "LWCF")
+        .unwrap();
     let target = ds.expect_field("LWCF");
     let anchors: Vec<&Field> = row.anchors.iter().map(|a| ds.expect_field(a)).collect();
     let true_mean = FieldStats::of(target).mean;
@@ -35,12 +42,16 @@ fn main() {
     );
     for rel_eb in [5e-3, 2e-3, 1e-3, 5e-4, 2e-4] {
         let comp = CrossFieldCompressor::new(rel_eb);
-        let base = comp.baseline().compress(target);
-        let anchors_dec: Vec<Field> =
-            anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+        let base = comp.baseline().compress(target).expect("baseline compress");
+        let anchors_dec: Vec<Field> = anchors
+            .iter()
+            .map(|a| comp.roundtrip_anchor(a).expect("anchor roundtrip"))
+            .collect();
         let refs: Vec<&Field> = anchors_dec.iter().collect();
-        let stream = comp.compress(&mut trained, target, &refs);
-        let rec = comp.decompress(&stream.bytes, &refs);
+        let stream = comp
+            .compress(&mut trained, target, &refs)
+            .expect("compress");
+        let rec = comp.decompress(&stream.bytes, &refs).expect("decompress");
         let drift = (FieldStats::of(&rec).mean - true_mean).abs();
         println!(
             "{:>9.0e}{:>11.2}{:>11.2}{:>10.2}{:>9.4}{:>16.3e}",

@@ -1,15 +1,21 @@
-//! Quickstart: compress one field with the baseline SZ-style compressor and
-//! with cross-field enhancement, and verify the error bound.
+//! Quickstart: the unified `Codec` API.
+//!
+//! Both compressors — the SZ-style baseline and the cross-field codec —
+//! implement the same fallible trait: `compress(&Field) ->
+//! Result<EncodedStream, CfcError>` / `decompress(&[u8]) -> Result<Field,
+//! CfcError>`. This example compresses one field both ways and verifies the
+//! error bound.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use cross_field_compression::core::config::{CfnnSpec, TrainConfig};
-use cross_field_compression::core::pipeline::CrossFieldCompressor;
+use cross_field_compression::core::pipeline::{CrossFieldCodec, CrossFieldCompressor};
 use cross_field_compression::core::train::train_cfnn;
 use cross_field_compression::datagen::FractalNoise;
 use cross_field_compression::metrics::{psnr, ssim_field};
+use cross_field_compression::sz::Codec;
 use cross_field_compression::tensor::{Field, Shape};
 
 fn main() {
@@ -19,9 +25,16 @@ fn main() {
     //    Lorenzo predictor) but cross-field predictable.
     let (rows, cols) = (384usize, 384usize);
     let shape = Shape::d2(rows, cols);
-    let smooth_a = FractalNoise::new(1).with_base_freq(3.0).with_persistence(0.35);
-    let smooth_t = FractalNoise::new(9).with_base_freq(2.5).with_persistence(0.3).with_octaves(3);
-    let rough = FractalNoise::new(2).with_base_freq(12.0).with_persistence(0.6);
+    let smooth_a = FractalNoise::new(1)
+        .with_base_freq(3.0)
+        .with_persistence(0.35);
+    let smooth_t = FractalNoise::new(9)
+        .with_base_freq(2.5)
+        .with_persistence(0.3)
+        .with_octaves(3);
+    let rough = FractalNoise::new(2)
+        .with_base_freq(12.0)
+        .with_persistence(0.6);
     let shared = rough.grid2(rows, cols, 0.7);
     let anchor = Field::from_vec(
         shape,
@@ -44,12 +57,15 @@ fn main() {
             .collect(),
     );
 
-    // 2. Baseline: error-bounded SZ-style compression (Lorenzo + dual-quant).
+    // 2. Baseline: error-bounded SZ-style compression (Lorenzo + dual-quant)
+    //    through the Codec trait.
     let rel_eb = 2e-4;
     let comp = CrossFieldCompressor::new(rel_eb);
     let baseline = comp.baseline();
-    let base_stream = baseline.compress(&target);
-    let base_rec = baseline.decompress(&base_stream.bytes);
+    let base_stream = baseline.compress(&target).expect("baseline compress");
+    let base_rec = baseline
+        .decompress(&base_stream.bytes)
+        .expect("baseline decompress");
     println!(
         "baseline     : {:.2}x  ({:.3} bits/value, PSNR {:.2} dB, SSIM {:.4})",
         base_stream.ratio(target.len()),
@@ -59,23 +75,31 @@ fn main() {
     );
 
     // 3. Cross-field: train a CFNN once (on original data — one model serves
-    //    every error bound), then compress with the hybrid predictor.
+    //    every error bound), package it with the decompressed anchor into a
+    //    self-contained codec, and use the *same* two-method API.
     let spec = CfnnSpec::compact(1, 2);
-    let mut trained = train_cfnn(&spec, &TrainConfig::default(), &[&anchor], &target);
-    let anchor_dec = comp.roundtrip_anchor(&anchor); // what the decoder has
-    let stream = comp.compress(&mut trained, &target, &[&anchor_dec]);
-    let rec = comp.decompress(&stream.bytes, &[&anchor_dec]);
+    let trained = train_cfnn(&spec, &TrainConfig::default(), &[&anchor], &target);
+    let anchor_dec = comp.roundtrip_anchor(&anchor).expect("anchor roundtrip");
+    let codec = CrossFieldCodec::new(comp, trained, vec![anchor_dec]);
+    let stream = codec.compress(&target).expect("cross-field compress");
+    let rec = codec
+        .decompress(&stream.bytes)
+        .expect("cross-field decompress");
     println!(
-        "cross-field  : {:.2}x  ({:.3} bits/value, PSNR {:.2} dB, SSIM {:.4}, model {} B)",
+        "cross-field  : {:.2}x  ({:.3} bits/value, PSNR {:.2} dB, SSIM {:.4})",
         stream.ratio(target.len()),
         stream.bit_rate(target.len()),
         psnr(&target, &rec),
         ssim_field(&target, &rec),
-        stream.model_bytes,
     );
-    println!("hybrid weights (Lorenzo, d_rows, d_cols): {:?}", stream.hybrid.weights);
 
-    // 4. The error bound holds pointwise for both.
+    // 4. Malformed bytes are an Err, never a panic — the decode path is
+    //    total over arbitrary input.
+    let mut corrupt = stream.bytes.clone();
+    corrupt[0] ^= 0xFF;
+    println!("corrupt bytes: {}", codec.decompress(&corrupt).unwrap_err());
+
+    // 5. The error bound holds pointwise for both codecs.
     let eb = stream.eb_abs;
     let worst = target
         .as_slice()

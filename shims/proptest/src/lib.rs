@@ -1,0 +1,295 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro with `#![proptest_config(...)]`, range strategies, `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::select`, and
+//! `prop_assert!`/`prop_assert_eq!`. Cases are generated from a fixed-seed
+//! deterministic RNG, so failures reproduce exactly; there is no shrinking.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// Generated type.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, f32, f64);
+
+    /// Full-domain strategy returned by [`crate::prelude::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            (rng.rng.random::<u64>() >> 56) as u8
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            (rng.rng.random::<u64>() >> 32) as u32
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.rng.random()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            // bias toward boundary values so varint edge cases get exercised
+            match rng.rng.random_range(0u32..16) {
+                0 => i64::MIN,
+                1 => i64::MAX,
+                2 => 0,
+                _ => rng.rng.random::<u64>() as i64,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(strategy, len_range)` — a vector of `strategy`-generated values.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.rng.random_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Choice strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from a fixed set.
+    pub struct Select<T>(Vec<T>);
+
+    /// `select(options)` — one of the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.rng.random_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case execution plumbing used by the `proptest!` macro expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-test RNG.
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Fixed-seed RNG so failures reproduce run to run.
+        pub fn deterministic() -> Self {
+            TestRng {
+                rng: StdRng::seed_from_u64(0x5EED_CA5E),
+            }
+        }
+    }
+
+    /// A failed `prop_assert!` inside one generated case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Number of generated cases per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// `any::<T>()` — the canonical full-domain strategy for `T`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = __result {
+                    panic!("property failed on case {}: {}", __case, e);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if va != vb {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                va,
+                vb
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! One-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The harness itself: args sampled in range, asserts propagate Ok.
+        #[test]
+        fn generated_args_respect_ranges(
+            n in 3usize..10,
+            x in -2.0f64..2.0,
+            bytes in prop::collection::vec(any::<u8>(), 0..16),
+        ) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(bytes.len() < 16);
+        }
+    }
+}

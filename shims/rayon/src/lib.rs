@@ -1,0 +1,94 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Maps the parallel-iterator combinators used in this workspace onto plain
+//! sequential `std` iterators, preserving element order (rayon's `collect`
+//! is order-preserving too, so results are bit-identical). Data-parallel
+//! speedups instead come from coarse-grained `std::thread::scope`
+//! parallelism at the archive layer (`cfc_core::archive`), where one task
+//! per field amortizes thread cost far better than per-slab tasks.
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+
+    /// `into_par_iter()` — sequential fallback returning the std iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Convert into a (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` / `par_chunks_mut()` on slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk)
+        }
+    }
+
+    /// Mutable slice splitting.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk)
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// rayon-only combinators grafted onto every iterator.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// rayon's `flat_map_iter` == std `flat_map`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator + Sized> ParallelIteratorExt for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn combinators_match_sequential_results() {
+        let v: Vec<usize> = (0..10usize)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..3usize).map(move |j| i * 3 + j))
+            .collect();
+        assert_eq!(v, (0..30).collect::<Vec<_>>());
+
+        let data = [1, 2, 3, 4];
+        let sum: i32 = data.par_iter().sum();
+        assert_eq!(sum, 10);
+
+        let mut buf = vec![0u8; 6];
+        buf.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+    }
+}

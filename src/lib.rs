@@ -1,8 +1,13 @@
 //! Umbrella crate re-exporting the whole cross-field compression workspace.
 //!
 //! Reproduction of "Enhancing Lossy Compression Through Cross-Field
-//! Information for Scientific Applications" (SC 2024). See `DESIGN.md` for
-//! the system inventory and `EXPERIMENTS.md` for reproduced results.
+//! Information for Scientific Applications" (SC 2024).
+//!
+//! Start with the unified fallible [`Codec`] trait (implemented by
+//! [`sz::SzCompressor`] and [`core::CrossFieldCodec`]) for single fields,
+//! and [`core::archive`] ([`core::ArchiveBuilder`] → `ArchiveWriter` /
+//! `ArchiveReader`) for whole multi-field snapshots. Every decode-path
+//! failure is a typed [`CfcError`], never a panic.
 
 pub use cfc_core as core;
 pub use cfc_datagen as datagen;
@@ -10,3 +15,5 @@ pub use cfc_metrics as metrics;
 pub use cfc_nn as nn;
 pub use cfc_sz as sz;
 pub use cfc_tensor as tensor;
+
+pub use cfc_sz::{CfcError, Codec, EncodedStream};

@@ -6,7 +6,7 @@ use cross_field_compression::core::pipeline::CrossFieldCompressor;
 use cross_field_compression::core::train::train_cfnn;
 use cross_field_compression::datagen::{self, GenParams};
 use cross_field_compression::metrics::{max_abs_error, psnr, ssim_field};
-use cross_field_compression::sz::SzCompressor;
+use cross_field_compression::sz::{Codec, SzCompressor};
 use cross_field_compression::tensor::{Field, FieldStats, Shape};
 
 fn small_params() -> GenParams {
@@ -24,8 +24,8 @@ fn every_dataset_field_roundtrips_within_bound() {
     for ds in &datasets {
         for (name, field) in ds.iter() {
             let c = SzCompressor::baseline(1e-3);
-            let stream = c.compress(field);
-            let dec = c.decompress(&stream.bytes);
+            let stream = c.compress(field).expect("compress");
+            let dec = c.decompress(&stream.bytes).expect("decompress");
             let err = max_abs_error(field, &dec);
             assert!(
                 err <= stream.eb_abs * (1.0 + 1e-9),
@@ -33,7 +33,11 @@ fn every_dataset_field_roundtrips_within_bound() {
                 ds.name(),
                 stream.eb_abs
             );
-            assert!(psnr(field, &dec) > 40.0, "{}:{name} PSNR too low", ds.name());
+            assert!(
+                psnr(field, &dec) > 40.0,
+                "{}:{name} PSNR too low",
+                ds.name()
+            );
         }
     }
 }
@@ -42,19 +46,24 @@ fn every_dataset_field_roundtrips_within_bound() {
 fn cross_field_pipeline_roundtrips_on_hurricane() {
     let ds = datagen::hurricane::generate(Shape::d3(8, 48, 48), small_params());
     let target = ds.expect_field("Wf");
-    let anchors: Vec<&Field> =
-        ["Uf", "Vf", "Pf"].iter().map(|a| ds.expect_field(a)).collect();
+    let anchors: Vec<&Field> = ["Uf", "Vf", "Pf"]
+        .iter()
+        .map(|a| ds.expect_field(a))
+        .collect();
     let comp = CrossFieldCompressor::new(1e-3);
-    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let anchors_dec: Vec<Field> = anchors
+        .iter()
+        .map(|a| comp.roundtrip_anchor(a).unwrap())
+        .collect();
     let refs: Vec<&Field> = anchors_dec.iter().collect();
     let spec = CfnnSpec::compact(3, 3);
     let mut trained = train_cfnn(&spec, &TrainConfig::fast(), &anchors, target);
-    let stream = comp.compress(&mut trained, target, &refs);
-    let dec = comp.decompress(&stream.bytes, &refs);
+    let stream = comp.compress(&mut trained, target, &refs).unwrap();
+    let dec = comp.decompress(&stream.bytes, &refs).unwrap();
     assert!(max_abs_error(target, &dec) <= stream.eb_abs * (1.0 + 1e-9));
     assert!(ssim_field(target, &dec) > 0.9);
     // stream self-describes: decoding twice gives identical fields
-    let dec2 = comp.decompress(&stream.bytes, &refs);
+    let dec2 = comp.decompress(&stream.bytes, &refs).unwrap();
     assert_eq!(dec.as_slice(), dec2.as_slice());
 }
 
@@ -64,13 +73,15 @@ fn cross_field_beats_baseline_on_strongly_coupled_pair() {
     // the target's fine structure is carried by the anchor
     let (rows, cols) = (256usize, 256usize);
     let shape = Shape::d2(rows, cols);
-    let rough = datagen::FractalNoise::new(5).with_base_freq(14.0).with_persistence(0.65);
-    let smooth = datagen::FractalNoise::new(6).with_base_freq(2.0).with_persistence(0.3).with_octaves(3);
+    let rough = datagen::FractalNoise::new(5)
+        .with_base_freq(14.0)
+        .with_persistence(0.65);
+    let smooth = datagen::FractalNoise::new(6)
+        .with_base_freq(2.0)
+        .with_persistence(0.3)
+        .with_octaves(3);
     let shared = rough.grid2(rows, cols, 0.2);
-    let anchor = Field::from_vec(
-        shape,
-        shared.iter().map(|&b| 10.0 * b).collect(),
-    );
+    let anchor = Field::from_vec(shape, shared.iter().map(|&b| 10.0 * b).collect());
     let target = Field::from_vec(
         shape,
         smooth
@@ -81,12 +92,18 @@ fn cross_field_beats_baseline_on_strongly_coupled_pair() {
             .collect(),
     );
     let comp = CrossFieldCompressor::new(5e-4);
-    let anchor_dec = comp.roundtrip_anchor(&anchor);
+    let anchor_dec = comp.roundtrip_anchor(&anchor).unwrap();
     let spec = CfnnSpec::compact(1, 2);
-    let cfg = TrainConfig { epochs: 16, n_patches: 128, ..TrainConfig::fast() };
+    let cfg = TrainConfig {
+        epochs: 16,
+        n_patches: 128,
+        ..TrainConfig::fast()
+    };
     let mut trained = train_cfnn(&spec, &cfg, &[&anchor], &target);
-    let ours = comp.compress(&mut trained, &target, &[&anchor_dec]);
-    let base = comp.baseline().compress(&target);
+    let ours = comp
+        .compress(&mut trained, &target, &[&anchor_dec])
+        .unwrap();
+    let base = comp.baseline().compress(&target).unwrap();
     let n = target.len();
     assert!(
         ours.ratio(n) > base.ratio(n),
@@ -104,13 +121,15 @@ fn psnr_identical_between_methods_at_same_bound() {
     let target = ds.expect_field("FLUT");
     let anchors: Vec<&Field> = ["FLNT"].iter().map(|a| ds.expect_field(a)).collect();
     let comp = CrossFieldCompressor::new(1e-3);
-    let anchor_dec = comp.roundtrip_anchor(anchors[0]);
+    let anchor_dec = comp.roundtrip_anchor(anchors[0]).unwrap();
     let spec = CfnnSpec::compact(1, 2);
     let mut trained = train_cfnn(&spec, &TrainConfig::fast(), &anchors, target);
-    let ours = comp.compress(&mut trained, target, &[&anchor_dec]);
-    let ours_rec = comp.decompress(&ours.bytes, &[&anchor_dec]);
+    let ours = comp.compress(&mut trained, target, &[&anchor_dec]).unwrap();
+    let ours_rec = comp.decompress(&ours.bytes, &[&anchor_dec]).unwrap();
     let base = comp.baseline();
-    let base_rec = base.decompress(&base.compress(target).bytes);
+    let base_rec = base
+        .decompress(&base.compress(target).unwrap().bytes)
+        .unwrap();
     let p_ours = psnr(target, &ours_rec);
     let p_base = psnr(target, &base_rec);
     assert!(
@@ -124,16 +143,21 @@ fn model_rides_in_stream_and_decoder_needs_no_training() {
     // the decoder reconstructs using only (bytes, decompressed anchors)
     let ds = datagen::cesm::generate(Shape::d2(40, 56), small_params());
     let target = ds.expect_field("LWCF");
-    let anchors: Vec<&Field> =
-        ["FLUTC", "FLNT"].iter().map(|a| ds.expect_field(a)).collect();
+    let anchors: Vec<&Field> = ["FLUTC", "FLNT"]
+        .iter()
+        .map(|a| ds.expect_field(a))
+        .collect();
     let comp = CrossFieldCompressor::new(2e-3);
-    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let anchors_dec: Vec<Field> = anchors
+        .iter()
+        .map(|a| comp.roundtrip_anchor(a).unwrap())
+        .collect();
     let refs: Vec<&Field> = anchors_dec.iter().collect();
     let spec = CfnnSpec::compact(2, 2);
     let mut trained = train_cfnn(&spec, &TrainConfig::fast(), &anchors, target);
-    let stream = comp.compress(&mut trained, target, &refs);
+    let stream = comp.compress(&mut trained, target, &refs).unwrap();
     drop(trained); // decoder must not need it
-    let dec = comp.decompress(&stream.bytes, &refs);
+    let dec = comp.decompress(&stream.bytes, &refs).unwrap();
     assert!(max_abs_error(target, &dec) <= stream.eb_abs * (1.0 + 1e-9));
 }
 
@@ -144,15 +168,20 @@ fn coupling_zero_removes_cross_field_advantage() {
     let params = GenParams::default().with_coupling(0.0);
     let ds = datagen::hurricane::generate(Shape::d3(6, 40, 40), params);
     let target = ds.expect_field("Wf");
-    let anchors: Vec<&Field> =
-        ["Uf", "Vf", "Pf"].iter().map(|a| ds.expect_field(a)).collect();
+    let anchors: Vec<&Field> = ["Uf", "Vf", "Pf"]
+        .iter()
+        .map(|a| ds.expect_field(a))
+        .collect();
     let comp = CrossFieldCompressor::new(1e-3);
-    let anchors_dec: Vec<Field> = anchors.iter().map(|a| comp.roundtrip_anchor(a)).collect();
+    let anchors_dec: Vec<Field> = anchors
+        .iter()
+        .map(|a| comp.roundtrip_anchor(a).unwrap())
+        .collect();
     let refs: Vec<&Field> = anchors_dec.iter().collect();
     let spec = CfnnSpec::compact(3, 3);
     let mut trained = train_cfnn(&spec, &TrainConfig::fast(), &anchors, target);
-    let ours = comp.compress(&mut trained, target, &refs);
-    let base = comp.baseline().compress(target);
+    let ours = comp.compress(&mut trained, target, &refs).unwrap();
+    let base = comp.baseline().compress(target).unwrap();
     // the learned model discovered the anchors carry nothing: Lorenzo gets
     // the single largest weight (axis predictors collapse toward plain
     // previous-neighbour predictors, which keep some smoothing value)

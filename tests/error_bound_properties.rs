@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use cross_field_compression::sz::{ErrorBound, PredictorKind, QuantizerConfig, SzCompressor};
+use cross_field_compression::sz::{
+    Codec, ErrorBound, PredictorKind, QuantizerConfig, SzCompressor,
+};
 use cross_field_compression::tensor::{Field, Shape};
 
 fn compressor(abs_eb: f64, radius: u32) -> SzCompressor {
@@ -34,8 +36,8 @@ proptest! {
         };
         let f = Field::from_fn(Shape::d2(rows, cols), |_| next() * 50.0);
         let c = compressor(eb, radius);
-        let stream = c.compress(&f);
-        let dec = c.decompress(&stream.bytes);
+        let stream = c.compress(&f).unwrap();
+        let dec = c.decompress(&stream.bytes).unwrap();
         for (a, b) in f.as_slice().iter().zip(dec.as_slice()) {
             prop_assert!(((a - b).abs() as f64) <= eb * (1.0 + 1e-9),
                 "bound {eb} violated: {a} vs {b}");
@@ -59,7 +61,7 @@ proptest! {
             ((h % 10007) as f32) * 0.01 - 50.0
         });
         let c = compressor(eb, 512);
-        let dec = c.decompress(&c.compress(&f).bytes);
+        let dec = c.decompress(&c.compress(&f).unwrap().bytes).unwrap();
         for (a, b) in f.as_slice().iter().zip(dec.as_slice()) {
             prop_assert!(((a - b).abs() as f64) <= eb * (1.0 + 1e-9));
         }
@@ -78,8 +80,8 @@ proptest! {
             ((idx[0] * 7 + idx[1] * 13) % 31) as f32 * scale
         });
         let c = SzCompressor::baseline(rel);
-        let stream = c.compress(&f);
-        let dec = c.decompress(&stream.bytes);
+        let stream = c.compress(&f).unwrap();
+        let dec = c.decompress(&stream.bytes).unwrap();
         let range = {
             let s = f.as_slice();
             let mn = s.iter().cloned().fold(f32::INFINITY, f32::min);
@@ -98,6 +100,6 @@ proptest! {
             ((idx[0] as u64 * 31 + idx[1] as u64 * 17 + seed) % 97) as f32
         });
         let c = SzCompressor::baseline(1e-3);
-        prop_assert_eq!(c.compress(&f).bytes, c.compress(&f).bytes);
+        prop_assert_eq!(c.compress(&f).unwrap().bytes, c.compress(&f).unwrap().bytes);
     }
 }

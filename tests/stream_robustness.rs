@@ -1,50 +1,130 @@
-//! Stream-format robustness: corrupt and truncated inputs must fail loudly
-//! (panic with a diagnostic), never decode garbage silently.
+//! Stream-format robustness: the decode path is *total*. Corrupt,
+//! truncated, bit-flipped, wrong-magic, and future-version inputs must
+//! return `Err(CfcError)` — never panic, never decode garbage silently —
+//! through both the baseline [`SzCompressor`] and the archive reader.
 
+use cross_field_compression::core::archive::{ArchiveBuilder, ArchiveReader};
+use cross_field_compression::core::config::{CfnnSpec, TrainConfig};
+use cross_field_compression::core::pipeline::{CrossFieldCodec, CrossFieldCompressor};
+use cross_field_compression::core::train::train_cfnn;
 use cross_field_compression::sz::stream::{Container, SectionTag};
-use cross_field_compression::sz::SzCompressor;
-use cross_field_compression::tensor::{Field, Shape};
+use cross_field_compression::sz::{CfcError, Codec, SzCompressor};
+use cross_field_compression::tensor::{Dataset, Field, Shape};
+
+fn sample_field() -> Field {
+    Field::from_fn(Shape::d2(24, 24), |idx| {
+        ((idx[0] as f32) * 0.2).sin() * 10.0 + idx[1] as f32 * 0.1
+    })
+}
 
 fn sample_stream() -> (SzCompressor, Vec<u8>, Field) {
-    let f = Field::from_fn(Shape::d2(24, 24), |idx| {
-        ((idx[0] as f32) * 0.2).sin() * 10.0 + idx[1] as f32 * 0.1
-    });
+    let f = sample_field();
     let c = SzCompressor::baseline(1e-3);
-    let bytes = c.compress(&f).bytes;
+    let bytes = c.compress(&f).expect("compress").bytes;
     (c, bytes, f)
+}
+
+fn sample_archive() -> (Vec<u8>, Dataset) {
+    let shape = Shape::d2(24, 24);
+    let anchor = sample_field();
+    let target = anchor.map(|v| 0.8 * v + 2.0);
+    let mut ds = Dataset::new("ROBUST", shape);
+    ds.push("A", anchor);
+    ds.push("T", target);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .train_config(TrainConfig::fast())
+        .cross_field("T", &["A"])
+        .build()
+        .write(&ds)
+        .expect("archive write");
+    (bytes, ds)
 }
 
 #[test]
 fn valid_stream_decodes() {
     let (c, bytes, f) = sample_stream();
-    let dec = c.decompress(&bytes);
+    let dec = c.decompress(&bytes).expect("valid stream");
     assert_eq!(dec.shape(), f.shape());
 }
 
 #[test]
-#[should_panic(expected = "bad magic")]
 fn corrupt_magic_rejected() {
     let (c, mut bytes, _) = sample_stream();
     bytes[0] ^= 0xFF;
-    let _ = c.decompress(&bytes);
+    assert!(matches!(
+        c.decompress(&bytes),
+        Err(CfcError::BadMagic { .. })
+    ));
 }
 
 #[test]
-#[should_panic]
-fn truncated_stream_rejected() {
+fn future_version_rejected() {
+    let (c, mut bytes, _) = sample_stream();
+    bytes[4] = 99;
+    assert!(matches!(
+        c.decompress(&bytes),
+        Err(CfcError::UnsupportedVersion { found: 99, .. })
+    ));
+}
+
+#[test]
+fn truncation_at_every_length_rejected() {
+    // every proper prefix must produce Err — never panic, never Ok
     let (c, bytes, _) = sample_stream();
-    let _ = c.decompress(&bytes[..bytes.len() / 2]);
+    for cut in 0..bytes.len() {
+        let res = std::panic::catch_unwind(|| c.decompress(&bytes[..cut]));
+        match res {
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => panic!("prefix of {cut} bytes decoded successfully"),
+            Err(_) => panic!("prefix of {cut} bytes panicked"),
+        }
+    }
 }
 
 #[test]
-#[should_panic]
 fn corrupted_section_length_rejected() {
     let (c, mut bytes, _) = sample_stream();
     // blow up the first section length field (just after the fixed header)
     let header = 4 + 2 + 1 + 8 * 2 + 8 + 4 + 2 + 1;
     bytes[header] = 0xFF;
     bytes[header + 7] = 0x7F;
-    let _ = c.decompress(&bytes);
+    assert!(c.decompress(&bytes).is_err());
+}
+
+#[test]
+fn every_single_byte_flip_is_err_or_ok_never_panic() {
+    // exhaustive single-byte corruption: each position flipped must either
+    // surface as Err or decode to *something* — but must never panic
+    let (c, bytes, _) = sample_stream();
+    for pos in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0xFF;
+        let res = std::panic::catch_unwind(|| c.decompress(&bad));
+        assert!(res.is_ok(), "byte flip at {pos} panicked");
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    // deterministic pseudo-random buffers straight into the decoder
+    let c = SzCompressor::baseline(1e-3);
+    let mut x = 0x0123_4567_89AB_CDEFu64;
+    for len in [0usize, 1, 3, 17, 64, 256, 1024, 4096] {
+        let buf: Vec<u8> = (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 48) as u8
+            })
+            .collect();
+        let res = std::panic::catch_unwind(|| c.decompress(&buf));
+        assert!(res.is_ok(), "garbage of len {len} panicked");
+        // a random buffer without the magic can never decode successfully
+        if len < 4 || &buf[..4] != b"CFSZ" {
+            assert!(res.unwrap().is_err());
+        }
+    }
 }
 
 #[test]
@@ -52,29 +132,123 @@ fn container_preserves_unknown_future_sections() {
     let mut c = Container::new(Shape::d1(4), 1e-3, 512);
     c.push(SectionTag::Residuals, vec![1, 2, 3]);
     c.sections.push((200u8, vec![9, 9, 9])); // unknown tag
-    let c2 = Container::from_bytes(&c.to_bytes());
+    let c2 = Container::try_from_bytes(&c.to_bytes()).expect("roundtrip");
     assert_eq!(c2.sections.len(), 2);
     assert_eq!(c2.sections[1], (200u8, vec![9, 9, 9]));
 }
 
 #[test]
-#[should_panic(expected = "unsupported stream version")]
-fn future_version_rejected() {
-    let c = Container::new(Shape::d1(4), 1e-3, 512);
-    let mut bytes = c.to_bytes();
-    bytes[4] = 99; // version field
-    let _ = Container::from_bytes(&bytes);
-}
-
-#[test]
-fn mismatched_decoder_predictor_is_detected_or_bounded() {
+fn mismatched_decoder_predictor_is_an_error() {
     // decompressing a Lorenzo stream with a regression-configured compressor
-    // must fail loudly (missing side-info section)
+    // must fail cleanly (missing side-info section)
     let (_, bytes, _) = sample_stream();
     let wrong = SzCompressor {
         predictor: cross_field_compression::sz::PredictorKind::Regression { block: 6 },
         ..SzCompressor::baseline(1e-3)
     };
-    let result = std::panic::catch_unwind(|| wrong.decompress(&bytes));
-    assert!(result.is_err(), "must not silently decode with the wrong predictor");
+    assert!(
+        matches!(
+            wrong.decompress(&bytes),
+            Err(CfcError::MissingSection { .. })
+        ),
+        "must not silently decode with the wrong predictor"
+    );
+}
+
+#[test]
+fn cross_field_codec_survives_bit_flips() {
+    let anchor = sample_field();
+    let target = anchor.map(|v| 1.1 * v - 3.0);
+    let comp = CrossFieldCompressor::new(1e-3);
+    let anchor_dec = comp.roundtrip_anchor(&anchor).expect("anchor roundtrip");
+    let spec = CfnnSpec::compact(1, 2);
+    let trained = train_cfnn(&spec, &TrainConfig::fast(), &[&anchor], &target);
+    let codec = CrossFieldCodec::new(comp, trained, vec![anchor_dec]);
+    let bytes = codec.compress(&target).expect("compress").bytes;
+    // valid stream decodes
+    assert!(codec.decompress(&bytes).is_ok());
+    // flips across the stream (header, residuals, embedded model, weights)
+    for pos in (0..bytes.len()).step_by(7) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0xFF;
+        let res = std::panic::catch_unwind(|| codec.decompress(&bad));
+        assert!(res.is_ok(), "cross-field byte flip at {pos} panicked");
+    }
+    // truncations too
+    for cut in (0..bytes.len()).step_by(13) {
+        let res = std::panic::catch_unwind(|| codec.decompress(&bytes[..cut]));
+        assert!(
+            matches!(res, Ok(Err(_))),
+            "cross-field truncation at {cut} must be Err"
+        );
+    }
+}
+
+#[test]
+fn archive_wrong_magic_and_version_rejected() {
+    let (bytes, _) = sample_archive();
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    assert!(matches!(
+        ArchiveReader::new(&bad),
+        Err(CfcError::BadMagic { .. })
+    ));
+    let mut bad = bytes.clone();
+    bad[4] = 0x7F;
+    assert!(matches!(
+        ArchiveReader::new(&bad),
+        Err(CfcError::UnsupportedVersion { .. })
+    ));
+}
+
+#[test]
+fn archive_truncation_never_panics() {
+    let (bytes, _) = sample_archive();
+    for cut in 0..bytes.len() {
+        let res = std::panic::catch_unwind(|| match ArchiveReader::new(&bytes[..cut]) {
+            Ok(r) => r.decode_all().map(|_| ()),
+            Err(e) => Err(e),
+        });
+        match res {
+            Ok(Err(_)) => {}
+            Ok(Ok(())) => panic!("archive prefix of {cut} bytes decoded fully"),
+            Err(_) => panic!("archive prefix of {cut} bytes panicked"),
+        }
+    }
+}
+
+#[test]
+fn archive_bit_flips_never_panic() {
+    let (bytes, ds) = sample_archive();
+    for pos in (0..bytes.len()).step_by(5) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0xFF;
+        let res = std::panic::catch_unwind(|| {
+            ArchiveReader::new(&bad).and_then(|r| r.decode_all().map(|_| ()))
+        });
+        assert!(res.is_ok(), "archive byte flip at {pos} panicked");
+    }
+    // and the pristine archive still round-trips
+    let dec = ArchiveReader::new(&bytes).unwrap().decode_all().unwrap();
+    assert_eq!(dec.field_names(), ds.field_names());
+}
+
+#[test]
+fn archive_decodes_with_no_out_of_band_configuration() {
+    // the reader gets nothing but bytes: no bound, no roles, no specs
+    let (bytes, ds) = sample_archive();
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    let dec = reader.decode_all().expect("decode");
+    for entry in reader.entries() {
+        let orig = ds.expect_field(&entry.name);
+        let got = dec.expect_field(&entry.name);
+        for (a, b) in orig.as_slice().iter().zip(got.as_slice()) {
+            assert!(
+                ((a - b).abs() as f64) <= entry.eb_abs * (1.0 + 1e-9),
+                "{}: |{a} − {b}| > {}",
+                entry.name,
+                entry.eb_abs
+            );
+        }
+    }
 }

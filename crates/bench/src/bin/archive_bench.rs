@@ -1,0 +1,50 @@
+//! Chunked-archive throughput: write + decode a SCALE-class snapshot at a
+//! sweep of chunk sizes, reporting per-block geometry and random-access
+//! decode speed.
+//!
+//! ```sh
+//! cargo run --release -p cfc-bench --bin archive_bench
+//! ```
+
+use cfc_bench::runner::bench_archive;
+use cfc_core::archive::ArchiveBuilder;
+use cfc_datagen::{paper_catalog, GenParams};
+
+fn main() {
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "SCALE")
+        .expect("SCALE in catalog");
+    let shape = cfc_tensor::Shape::from_slice(
+        &info
+            .default_dims
+            .dims()
+            .iter()
+            .map(|&d| (d / 2).max(16))
+            .collect::<Vec<_>>(),
+    );
+    let ds = info.generate(shape, GenParams::default());
+    println!(
+        "SCALE/2 snapshot {} — {} fields, {:.1} MB raw (baseline roles; \
+         cross-field adds training time, not block mechanics)\n",
+        ds.shape(),
+        ds.len(),
+        ds.len() as f64 * ds.shape().len() as f64 * 4.0 / 1e6
+    );
+
+    for chunk in [1 << 14, 1 << 16, 1 << 18] {
+        let bench = bench_archive(ArchiveBuilder::relative(1e-3).chunk_elements(chunk), &ds);
+        println!(
+            "chunk {:>7} elems: ratio {:5.2}x  write {:7.1} MB/s  decode_all {:7.1} MB/s",
+            chunk, bench.ratio, bench.write_mb_s, bench.decode_all_mb_s
+        );
+        for f in &bench.fields {
+            println!(
+                "    {:8} {:12} {:3} blocks  mean {:8.0} B/block  \
+                 field {:7.1} MB/s  one-block {:7.1} MB/s",
+                f.field, f.role, f.n_blocks, f.mean_block_bytes, f.decode_mb_s, f.block_decode_mb_s
+            );
+        }
+        println!();
+    }
+}

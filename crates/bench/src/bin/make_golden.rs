@@ -1,0 +1,49 @@
+//! Regenerate the committed golden fixtures under `tests/golden/`.
+//!
+//! ```sh
+//! cargo run --release -p cfc-bench --bin make_golden
+//! ```
+//!
+//! Three fixtures are produced, all deterministic (fixed seeds, fixed
+//! shapes, thread-count-independent encoding):
+//!
+//! * `small_v1.cfar` — the frozen CFAR **v1** layout (one monolithic
+//!   stream per field), via [`cfc_bench::golden::write_v1`]. Proves v1
+//!   archives written before the chunked container still decode.
+//! * `small_v2.cfar` — the current chunked container for the same 2-D
+//!   dataset (4 blocks of 8 rows, cross-field `RH` on `T`+`P`).
+//! * `partial_v2.cfar` — a 3-D baseline-only dataset whose depth is not a
+//!   multiple of the chunk, pinning partial-final-block accounting.
+//!
+//! `tests/format_conformance.rs` asserts the production writer still
+//! reproduces the v2 fixtures byte-for-byte and that all three decode with
+//! the expected manifests, ratios, and error bounds.
+
+use cfc_bench::golden;
+
+fn main() {
+    let dir = std::path::Path::new("tests/golden");
+    std::fs::create_dir_all(dir).expect("create tests/golden");
+
+    let ds = golden::golden_dataset();
+
+    let v1 = golden::write_v1(&ds);
+    std::fs::write(dir.join("small_v1.cfar"), &v1).expect("write v1 fixture");
+    println!("small_v1.cfar:   {} bytes", v1.len());
+
+    let v2 = golden::golden_builder()
+        .chunk_elements(golden::GOLDEN_CHUNK_ELEMENTS)
+        .build()
+        .write(&ds)
+        .expect("write v2");
+    std::fs::write(dir.join("small_v2.cfar"), &v2).expect("write v2 fixture");
+    println!("small_v2.cfar:   {} bytes", v2.len());
+
+    let ds3 = golden::golden_dataset_3d();
+    let v2p = golden::golden_partial_builder()
+        .build()
+        .write(&ds3)
+        .expect("write partial v2");
+    std::fs::write(dir.join("partial_v2.cfar"), &v2p).expect("write partial fixture");
+    println!("partial_v2.cfar: {} bytes", v2p.len());
+}

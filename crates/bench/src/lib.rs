@@ -1,6 +1,7 @@
 //! `cfc-bench` — shared experiment-harness plumbing for the per-table /
 //! per-figure binaries and criterion benches.
 
+pub mod golden;
 pub mod pgm;
 pub mod runner;
 

@@ -1,49 +1,71 @@
 //! Multi-field archive subsystem: one call to compress a whole simulation
-//! snapshot, one call to get it back — no out-of-band configuration.
+//! snapshot, one call — or one *seek* — to get it back.
 //!
 //! The paper's workload (§I, Table 3) is a *dataset*: tens of co-located
 //! fields per snapshot, a few of which (the cross-field targets) compress
-//! dramatically better when conditioned on others (their anchors). The seed
-//! API forced callers to hand-orchestrate anchor roundtrips, CFNN training,
-//! and per-field compression; this module packages the whole dance:
+//! dramatically better when conditioned on others (their anchors). The
+//! archive packages the whole dance — role planning, anchor roundtrips,
+//! CFNN training, hybrid fitting, per-field encoding — behind two calls:
 //!
 //! ```text
-//!   ArchiveBuilder ──roles──► ArchiveWriter::write(&Dataset)
-//!        anchors/baselines compressed in parallel (std::thread)
-//!        anchors round-tripped (decoder's view)
-//!        per target: CFNN trained on originals, inference on decoded
-//!                    anchors, hybrid fit, hybrid-predictor encoding
-//!        ──► one versioned, self-describing archive (names, roles,
-//!            anchor lists, per-field CFSZ streams, error bounds)
+//!   ArchiveBuilder ──roles──► ArchiveWriter::write_to(&Dataset, impl Write)
+//!        every field split into fixed-slab blocks along axis 0, each
+//!        block encoded as its own stream (own quantizer + Huffman state)
+//!        and CRC'd; blocks encoded in parallel across ALL fields
+//!        ──► one versioned, self-describing CFAR v2 container with a
+//!            per-field block index (offset | length | CRC32)
 //!
-//!   ArchiveReader::new(bytes) ──► manifest (entries, roles, sizes)
-//!        decode_all(): baselines/anchors in parallel, then targets
-//!                      (each embedded CFNN conditioned on the *decoded*
-//!                       anchors — bit-identical to the encoder's view)
-//!        ──► Dataset
+//!   ArchiveReader::open(impl Read + Seek) ──► manifest only (no payloads)
+//!        decode_all(): every block of every field in parallel
+//!        decode_block(field, i): reads + decodes ONE block (plus the same
+//!            anchor blocks when the field is a cross-field target)
+//!        decode_region(field, region): touches only the blocks that
+//!            intersect the region's axis-0 range
 //! ```
 //!
+//! ## Container versions
+//!
+//! * **v2** (current): chunked. Per field the header stores shape, chunk
+//!   geometry, a meta area (embedded CFNN + hybrid weights for targets),
+//!   and the block index; payloads follow. Blocks decode independently —
+//!   the slab boundary resets predictor context (neighbours outside the
+//!   block predict 0, the SZ convention), so any block can be decoded
+//!   after reading only its own bytes.
+//! * **v1** (read-only): one monolithic CFSZ stream per field, model
+//!   embedded in the stream. [`ArchiveReader`] still decodes it; random
+//!   access degrades to whole-field decode.
+//!
 //! The decode path is total: corrupt, truncated, or adversarial archives
-//! return [`CfcError`], never panic.
+//! return [`CfcError`], never panic, and every block read is verified
+//! against its recorded CRC32 before the entropy decoder sees it.
 
 use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use bytes::BufMut;
 use cfc_sz::error::Reader;
-use cfc_sz::{CfcError, Codec, ErrorBound, QuantizerConfig, SzCompressor};
-use cfc_tensor::{Dataset, Field};
+use cfc_sz::stream::{Container, MAX_ELEMENTS};
+use cfc_sz::{crc32, CfcError, Codec, ErrorBound, QuantLattice, QuantizerConfig, SzCompressor};
+use cfc_tensor::{Dataset, Field, FieldStats, Region, Shape};
 
 use crate::config::{CfnnSpec, CrossFieldConfig, TrainConfig};
-use crate::hybrid::HybridConfig;
-use crate::pipeline::CrossFieldCompressor;
+use crate::hybrid::{HybridConfig, HybridModel};
+use crate::pipeline::{deserialize_model, serialize_model};
+use crate::predict::predict_differences;
+use crate::predictor::{sample_hybrid_training, CrossFieldHybridPredictor};
 use crate::train::train_cfnn;
 
 /// Archive magic bytes.
 pub const ARCHIVE_MAGIC: &[u8; 4] = b"CFAR";
-/// Archive container version.
-pub const ARCHIVE_VERSION: u16 = 1;
+/// Current archive container version (chunked).
+pub const ARCHIVE_VERSION: u16 = 2;
+/// Oldest container version this build still decodes.
+pub const MIN_SUPPORTED_VERSION: u16 = 1;
+/// Default chunk size: elements per block (rounded up to whole slabs along
+/// axis 0). 2^20 samples ≈ 4 MiB of raw `f32` per block.
+pub const DEFAULT_CHUNK_ELEMENTS: usize = 1 << 20;
 
 /// How a field participates in the archive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,8 +108,8 @@ struct TargetPlan {
     spec: Option<CfnnSpec>,
 }
 
-/// Builder for [`ArchiveWriter`]: error bound, training configuration, and
-/// the field-role plan (paper Table 3 style).
+/// Builder for [`ArchiveWriter`]: error bound, training configuration,
+/// chunking, and the field-role plan (paper Table 3 style).
 #[derive(Debug, Clone)]
 pub struct ArchiveBuilder {
     bound: ErrorBound,
@@ -96,6 +118,7 @@ pub struct ArchiveBuilder {
     train: TrainConfig,
     targets: Vec<(String, TargetPlan)>,
     threads: usize,
+    chunk_elements: usize,
 }
 
 impl ArchiveBuilder {
@@ -109,6 +132,7 @@ impl ArchiveBuilder {
             train: TrainConfig::default(),
             targets: Vec::new(),
             threads: 0,
+            chunk_elements: DEFAULT_CHUNK_ELEMENTS,
         }
     }
 
@@ -139,6 +163,14 @@ impl ArchiveBuilder {
     /// Cap worker threads (0 = one per available core).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
+        self
+    }
+
+    /// Target elements per block (default [`DEFAULT_CHUNK_ELEMENTS`]),
+    /// rounded up to whole slabs along axis 0. Values ≥ the field size
+    /// produce a single block; 0 is clamped to 1.
+    pub fn chunk_elements(mut self, n: usize) -> Self {
+        self.chunk_elements = n.max(1);
         self
     }
 
@@ -189,7 +221,7 @@ impl ArchiveBuilder {
     }
 }
 
-/// Writes a whole [`Dataset`] into one self-describing archive.
+/// Writes a whole [`Dataset`] into one self-describing chunked archive.
 pub struct ArchiveWriter {
     cfg: ArchiveBuilder,
 }
@@ -201,10 +233,24 @@ pub struct FieldReport {
     pub name: String,
     /// Role the plan assigned.
     pub role: FieldRole,
-    /// Compressed stream size in bytes.
+    /// Compressed payload size in bytes (meta + all blocks).
     pub bytes: usize,
+    /// Number of blocks the field was split into.
+    pub n_blocks: usize,
     /// Absolute error bound the reconstruction satisfies.
     pub eb_abs: f64,
+}
+
+impl FieldReport {
+    /// Compression ratio of this field against `f32` input. Returns `0.0`
+    /// when the field holds no samples or no payload bytes — callers must
+    /// not divide by it.
+    pub fn ratio(&self, n_samples: usize) -> f64 {
+        if n_samples == 0 || self.bytes == 0 {
+            return 0.0;
+        }
+        (n_samples * 4) as f64 / self.bytes as f64
+    }
 }
 
 /// Whole-archive outcome.
@@ -219,9 +265,11 @@ pub struct ArchiveReport {
 }
 
 impl ArchiveReport {
-    /// End-to-end compression ratio (0.0 for an empty archive).
+    /// End-to-end compression ratio. Returns `0.0` when either side of the
+    /// division is degenerate (empty archive or zero raw bytes) so callers
+    /// never see `inf`/`NaN`.
     pub fn ratio(&self) -> f64 {
-        if self.archive_bytes == 0 {
+        if self.archive_bytes == 0 || self.raw_bytes == 0 {
             return 0.0;
         }
         self.raw_bytes as f64 / self.archive_bytes as f64
@@ -234,17 +282,130 @@ struct EncodedField {
     role: FieldRole,
     anchors: Vec<String>,
     eb_abs: f64,
-    stream: Vec<u8>,
+    shape: Shape,
+    chunk_slabs: usize,
+    /// Meta payload: empty for baseline fields; `model | hybrid` (each
+    /// u64-length-prefixed) for targets.
+    meta: Vec<u8>,
+    /// Per-block encoded streams, in axis-0 order.
+    blocks: Vec<Vec<u8>>,
+}
+
+impl EncodedField {
+    fn payload_len(&self) -> usize {
+        self.meta.len() + self.blocks.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Slabs of axis 0 per block for a shape at a target element count.
+fn chunk_slabs_for(shape: Shape, chunk_elements: usize) -> usize {
+    let slab_len: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+    chunk_elements.div_ceil(slab_len).max(1)
+}
+
+/// Axis-0 slab range of block `idx` (chunk geometry is shared by every
+/// field of an archive).
+fn block_range(dim0: usize, chunk_slabs: usize, idx: usize) -> (usize, usize) {
+    let r0 = idx * chunk_slabs;
+    (r0, (r0 + chunk_slabs).min(dim0))
+}
+
+fn n_blocks_for(dim0: usize, chunk_slabs: usize) -> usize {
+    dim0.div_ceil(chunk_slabs)
 }
 
 impl ArchiveWriter {
-    /// Compress every field of `ds` and serialize the archive.
+    /// Compress every field of `ds` and serialize the archive into a
+    /// buffer (thin wrapper over [`ArchiveWriter::write_to`]).
     pub fn write(&self, ds: &Dataset) -> Result<Vec<u8>, CfcError> {
         self.write_with_report(ds).map(|(bytes, _)| bytes)
     }
 
-    /// Compress every field and also return the per-field report.
+    /// [`ArchiveWriter::write`] plus the per-field report.
     pub fn write_with_report(&self, ds: &Dataset) -> Result<(Vec<u8>, ArchiveReport), CfcError> {
+        let mut buf = Vec::new();
+        let report = self.write_to(ds, &mut buf)?;
+        Ok((buf, report))
+    }
+
+    /// Compress every field of `ds` and stream the archive into `sink`.
+    ///
+    /// Blocks are written in field order as soon as the (parallel) encode
+    /// completes; the sink never needs to seek, so a growing file, a socket,
+    /// or a pipe all work.
+    pub fn write_to<W: Write>(&self, ds: &Dataset, mut sink: W) -> Result<ArchiveReport, CfcError> {
+        let encoded = self.encode(ds)?;
+        let ordered: Vec<&EncodedField> = ds.iter().map(|(n, _)| &encoded[n]).collect();
+
+        let io = |e: std::io::Error| CfcError::Io {
+            context: "writing archive",
+            detail: e.to_string(),
+        };
+        let mut written = 0usize;
+
+        // ---- archive header --------------------------------------------
+        let mut head = Vec::new();
+        head.put_slice(ARCHIVE_MAGIC);
+        head.put_u16_le(ARCHIVE_VERSION);
+        put_str(&mut head, ds.name());
+        head.put_u32_le(ordered.len() as u32);
+        sink.write_all(&head).map_err(io)?;
+        written += head.len();
+
+        // ---- per-field header + index + payload ------------------------
+        let mut fields = Vec::with_capacity(ordered.len());
+        for e in &ordered {
+            let mut h = Vec::new();
+            put_str(&mut h, &e.name);
+            h.put_u8(e.role as u8);
+            h.put_u16_le(e.anchors.len() as u16);
+            for a in &e.anchors {
+                put_str(&mut h, a);
+            }
+            h.put_f64_le(e.eb_abs);
+            h.put_u8(e.shape.ndim() as u8);
+            for &d in e.shape.dims() {
+                h.put_u64_le(d as u64);
+            }
+            h.put_u32_le(e.chunk_slabs as u32);
+            h.put_u32_le(e.blocks.len() as u32);
+            h.put_u64_le(e.meta.len() as u64);
+            h.put_u64_le(e.payload_len() as u64);
+            // block index: offsets relative to the payload area, which
+            // starts with the meta bytes
+            let mut rel = e.meta.len() as u64;
+            for b in &e.blocks {
+                h.put_u64_le(rel);
+                h.put_u64_le(b.len() as u64);
+                h.put_u32_le(crc32(b));
+                rel += b.len() as u64;
+            }
+            sink.write_all(&h).map_err(io)?;
+            sink.write_all(&e.meta).map_err(io)?;
+            written += h.len() + e.meta.len();
+            for b in &e.blocks {
+                sink.write_all(b).map_err(io)?;
+                written += b.len();
+            }
+            fields.push(FieldReport {
+                name: e.name.clone(),
+                role: e.role,
+                bytes: e.payload_len(),
+                n_blocks: e.blocks.len(),
+                eb_abs: e.eb_abs,
+            });
+        }
+        sink.flush().map_err(io)?;
+
+        Ok(ArchiveReport {
+            fields,
+            raw_bytes: ds.len() * ds.shape().len() * 4,
+            archive_bytes: written,
+        })
+    }
+
+    /// Validate the plan and encode every field into blocks (in parallel).
+    fn encode(&self, ds: &Dataset) -> Result<HashMap<String, EncodedField>, CfcError> {
         if ds.is_empty() {
             return Err(CfcError::InvalidInput(
                 "cannot archive an empty dataset".into(),
@@ -266,7 +427,8 @@ impl ArchiveWriter {
             ));
         }
         let roles = self.plan_roles(ds)?;
-        let ndim = ds.shape().ndim();
+        let shape = ds.shape();
+        let ndim = shape.ndim();
         if !self.cfg.targets.is_empty() {
             // cross-field targets go through CFNN training, whose patch
             // sampler asserts patch + 1 < slice extent — surface that as a
@@ -276,7 +438,6 @@ impl ArchiveWriter {
                     "cross-field targets require 2-D or 3-D datasets".into(),
                 ));
             }
-            let shape = ds.shape();
             let dims = shape.dims();
             let (srows, scols) = if ndim == 2 {
                 (dims[0], dims[1])
@@ -300,18 +461,17 @@ impl ArchiveWriter {
             }
         }
 
-        let baseline = SzCompressor {
-            bound: self.cfg.bound,
-            quantizer: self.cfg.quantizer,
-            predictor: cfc_sz::PredictorKind::Lorenzo,
-        };
-        let cross = CrossFieldCompressor {
-            bound: self.cfg.bound,
-            quantizer: self.cfg.quantizer,
-            hybrid: self.cfg.hybrid,
-        };
+        let chunk_slabs = chunk_slabs_for(shape, self.cfg.chunk_elements);
+        let dim0 = shape.dims()[0];
+        let n_blocks = n_blocks_for(dim0, chunk_slabs);
+        if u32::try_from(n_blocks).is_err() || u32::try_from(chunk_slabs).is_err() {
+            return Err(CfcError::InvalidInput(
+                "chunk geometry exceeds the u32 index prefix".into(),
+            ));
+        }
+        let threads = self.threads();
 
-        // ---- phase 1: anchors + independent fields, in parallel ----------
+        // ---- phase 1: anchors + independents, parallel over blocks -----
         let independents: Vec<(&str, &Field, FieldRole)> = ds
             .iter()
             .filter_map(|(n, f)| match roles[n] {
@@ -319,54 +479,90 @@ impl ArchiveWriter {
                 role => Some((n, f, role)),
             })
             .collect();
-        let phase1 = run_parallel(independents.len(), self.threads(), |i| {
-            let (_, field, role) = independents[i];
-            let stream = baseline.compress(field)?;
+        // resolve each field's user-facing bound once from full-field
+        // statistics, then compress each block at that *absolute* bound so
+        // every block independently satisfies it
+        let mut field_ebs = Vec::with_capacity(independents.len());
+        for (_, field, _) in &independents {
+            field_ebs.push(self.cfg.bound.try_resolve(&FieldStats::of(field))?);
+        }
+        let tasks: Vec<(usize, usize)> = (0..independents.len())
+            .flat_map(|fi| (0..n_blocks).map(move |bi| (fi, bi)))
+            .collect();
+        let phase1 = run_parallel(tasks.len(), threads, |t| {
+            let (fi, bi) = tasks[t];
+            let (_, field, role) = independents[fi];
+            let block = SzCompressor {
+                bound: ErrorBound::Absolute(field_ebs[fi]),
+                quantizer: self.cfg.quantizer,
+                predictor: cfc_sz::PredictorKind::Lorenzo,
+            };
+            let (r0, r1) = block_range(dim0, chunk_slabs, bi);
+            let slab = field.slab(r0, r1);
+            let stream = block.compress(&slab)?;
             // anchors are round-tripped here: the decoder's view of an
-            // anchor IS the decoded archive stream, so reusing these bytes
+            // anchor IS the decoded block stream, so reusing these bytes
             // keeps both sides bit-identical by construction
             let decoded = if role == FieldRole::Anchor {
-                Some(baseline.decompress(&stream.bytes)?)
+                Some(block.decompress(&stream.bytes)?)
             } else {
                 None
             };
-            Ok::<_, CfcError>((stream, decoded))
+            Ok::<_, CfcError>((stream.bytes, decoded))
         });
-        let mut anchors_dec: HashMap<&str, Field> = HashMap::new();
-        let mut encoded: HashMap<&str, EncodedField> = HashMap::new();
-        for ((name, _, role), res) in independents.iter().zip(phase1) {
-            let (stream, decoded) = res?;
-            if let Some(dec) = decoded {
-                anchors_dec.insert(name, dec);
+        let mut encoded: HashMap<String, EncodedField> = independents
+            .iter()
+            .enumerate()
+            .map(|(fi, (name, _, role))| {
+                (
+                    name.to_string(),
+                    EncodedField {
+                        name: name.to_string(),
+                        role: *role,
+                        anchors: Vec::new(),
+                        eb_abs: field_ebs[fi],
+                        shape,
+                        chunk_slabs,
+                        meta: Vec::new(),
+                        blocks: Vec::with_capacity(n_blocks),
+                    },
+                )
+            })
+            .collect();
+        let mut anchor_slabs: HashMap<&str, Vec<Field>> = HashMap::new();
+        for (t, res) in tasks.iter().zip(phase1) {
+            let (fi, _) = *t;
+            let (name, _, role) = independents[fi];
+            let (bytes, decoded) = res?;
+            encoded
+                .get_mut(name)
+                .expect("phase1 field")
+                .blocks
+                .push(bytes);
+            if role == FieldRole::Anchor {
+                anchor_slabs
+                    .entry(name)
+                    .or_default()
+                    .push(decoded.expect("anchor decoded"));
             }
-            encoded.insert(
-                name,
-                EncodedField {
-                    name: name.to_string(),
-                    role: *role,
-                    anchors: Vec::new(),
-                    eb_abs: stream.eb_abs,
-                    stream: stream.bytes,
-                },
-            );
         }
+        let anchors_dec: HashMap<&str, Field> = anchor_slabs
+            .into_iter()
+            .map(|(n, slabs)| (n, Field::concat_axis0(&slabs)))
+            .collect();
 
-        // ---- phase 2: cross-field targets, in parallel -------------------
+        // ---- phase 2: cross-field targets ------------------------------
+        // 2a: train every CFNN in parallel (training dominates the cost)
         let targets: Vec<(&str, &TargetPlan)> = self
             .cfg
             .targets
             .iter()
             .map(|(n, p)| (n.as_str(), p))
             .collect();
-        let phase2 = run_parallel(targets.len(), self.threads(), |i| {
+        let trained_models = run_parallel(targets.len(), threads, |i| {
             let (name, plan) = targets[i];
             let target = ds.expect_field(name);
             let orig_refs: Vec<&Field> = plan.anchors.iter().map(|a| ds.expect_field(a)).collect();
-            let dec_refs: Vec<&Field> = plan
-                .anchors
-                .iter()
-                .map(|a| &anchors_dec[a.as_str()])
-                .collect();
             let spec = plan
                 .spec
                 .unwrap_or_else(|| default_spec(plan.anchors.len(), ndim));
@@ -377,61 +573,94 @@ impl ArchiveWriter {
                 )));
             }
             // trained on original data (one model serves every bound,
-            // paper §III-D2); inference inside compress() sees the decoded
-            // anchors, exactly like the reader will
-            let mut trained = train_cfnn(&spec, &self.cfg.train, &orig_refs, target);
-            let stream = cross.compress(&mut trained, target, &dec_refs)?;
-            Ok::<_, CfcError>(stream)
+            // paper §III-D2); inference will see the decoded anchors,
+            // exactly like the reader
+            let trained = train_cfnn(&spec, &self.cfg.train, &orig_refs, target);
+            Ok::<_, CfcError>(serialize_model(&trained))
         });
-        for ((name, plan), res) in targets.iter().zip(phase2) {
-            let stream = res?;
+        // 2b: per target — blockwise inference, one hybrid fit, blockwise
+        // encode (blocks in parallel; each worker deserializes its own
+        // model copy, the same bytes the decoder will see)
+        for ((name, plan), model_res) in targets.iter().zip(trained_models) {
+            let model_bytes = model_res?;
+            let target = ds.expect_field(name);
+            let stats = FieldStats::of(target);
+            let eb_user = self.cfg.bound.try_resolve(&stats)?;
+            let eb = self.cfg.bound.try_resolve_quantization(&stats)?;
+            let lattice = QuantLattice::prequantize(target, eb);
+            let dec_refs: Vec<&Field> = plan
+                .anchors
+                .iter()
+                .map(|a| &anchors_dec[a.as_str()])
+                .collect();
+
+            // blockwise inference on the decoded anchor slabs — identical
+            // to what the decoder computes per block
+            let block_diffs = run_parallel(n_blocks, threads, |bi| {
+                let (r0, r1) = block_range(dim0, chunk_slabs, bi);
+                let slabs: Vec<Field> = dec_refs.iter().map(|a| a.slab(r0, r1)).collect();
+                let slab_refs: Vec<&Field> = slabs.iter().collect();
+                let mut model = deserialize_model(&model_bytes)?;
+                Ok::<_, CfcError>(predict_differences(&mut model, &slab_refs))
+            });
+            let block_diffs: Vec<Vec<Field>> = block_diffs.into_iter().collect::<Result<_, _>>()?;
+
+            // hybrid fit on the whole-field view of the blockwise diffs
+            let step = 2.0 * eb;
+            let dq_full: Vec<Vec<f64>> = (0..ndim)
+                .map(|axis| {
+                    block_diffs
+                        .iter()
+                        .flat_map(|d| d[axis].as_slice().iter().map(|&v| v as f64 / step))
+                        .collect()
+                })
+                .collect();
+            let (preds, targets_s) = sample_hybrid_training(
+                &lattice,
+                &dq_full,
+                self.cfg.hybrid.n_samples,
+                self.cfg.hybrid.seed,
+            );
+            let hybrid = HybridModel::fit_least_squares(&preds, &targets_s);
+
+            // blockwise encode with the shared hybrid weights
+            let sz = SzCompressor {
+                bound: ErrorBound::Absolute(eb_user),
+                quantizer: self.cfg.quantizer,
+                predictor: cfc_sz::PredictorKind::Lorenzo,
+            };
+            let blocks = run_parallel(n_blocks, threads, |bi| {
+                let (r0, r1) = block_range(dim0, chunk_slabs, bi);
+                let slab_shape = slab_shape_of(shape, r1 - r0);
+                let slab_lattice = lattice_slab(&lattice, shape, r0, r1, slab_shape);
+                let predictor =
+                    CrossFieldHybridPredictor::new(&block_diffs[bi], eb, hybrid.clone());
+                let (container, _) = sz.compress_lattice(&slab_lattice, &predictor, eb);
+                container.to_bytes()
+            });
+
+            let mut meta = Vec::new();
+            meta.put_u64_le(model_bytes.len() as u64);
+            meta.extend_from_slice(&model_bytes);
+            let hb = hybrid.serialize();
+            meta.put_u64_le(hb.len() as u64);
+            meta.extend_from_slice(&hb);
+
             encoded.insert(
-                name,
+                name.to_string(),
                 EncodedField {
                     name: name.to_string(),
                     role: FieldRole::Target,
                     anchors: plan.anchors.clone(),
-                    eb_abs: stream.eb_abs,
-                    stream: stream.bytes,
+                    eb_abs: eb_user,
+                    shape,
+                    chunk_slabs,
+                    meta,
+                    blocks,
                 },
             );
         }
-
-        // ---- serialize, preserving dataset field order -------------------
-        let ordered: Vec<&EncodedField> = ds.iter().map(|(n, _)| &encoded[n]).collect();
-        let mut out = Vec::new();
-        out.put_slice(ARCHIVE_MAGIC);
-        out.put_u16_le(ARCHIVE_VERSION);
-        put_str(&mut out, ds.name());
-        out.put_u32_le(ordered.len() as u32);
-        let mut fields = Vec::with_capacity(ordered.len());
-        for e in &ordered {
-            put_str(&mut out, &e.name);
-            out.put_u8(e.role as u8);
-            out.put_u16_le(e.anchors.len() as u16);
-            for a in &e.anchors {
-                put_str(&mut out, a);
-            }
-            out.put_f64_le(e.eb_abs);
-            out.put_u64_le(e.stream.len() as u64);
-            out.put_slice(&e.stream);
-            fields.push(FieldReport {
-                name: e.name.clone(),
-                role: e.role,
-                bytes: e.stream.len(),
-                eb_abs: e.eb_abs,
-            });
-        }
-        let raw_bytes = ds.len() * ds.shape().len() * 4;
-        let archive_bytes = out.len();
-        Ok((
-            out,
-            ArchiveReport {
-                fields,
-                raw_bytes,
-                archive_bytes,
-            },
-        ))
+        Ok(encoded)
     }
 
     fn threads(&self) -> usize {
@@ -494,6 +723,29 @@ impl ArchiveWriter {
     }
 }
 
+/// Shape of a slab of `rows` axis-0 rows cut from `shape`.
+fn slab_shape_of(shape: Shape, rows: usize) -> Shape {
+    let dims: Vec<usize> = std::iter::once(rows)
+        .chain(shape.dims()[1..].iter().copied())
+        .collect();
+    Shape::from_slice(&dims)
+}
+
+/// Slab `[r0, r1)` of a prequantized lattice (contiguous row-major copy).
+fn lattice_slab(
+    lattice: &QuantLattice,
+    shape: Shape,
+    r0: usize,
+    r1: usize,
+    out: Shape,
+) -> QuantLattice {
+    let slab_len: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+    QuantLattice::from_vec(
+        out,
+        lattice.as_slice()[r0 * slab_len..r1 * slab_len].to_vec(),
+    )
+}
+
 /// Default CFNN architecture by dimensionality (the scaled paper specs).
 fn default_spec(n_anchors: usize, ndim: usize) -> CfnnSpec {
     match ndim {
@@ -502,7 +754,19 @@ fn default_spec(n_anchors: usize, ndim: usize) -> CfnnSpec {
     }
 }
 
-/// One parsed archive entry (manifest row + stream bytes).
+/// One block's index row.
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    /// Offset of the block inside the field's payload area.
+    rel_offset: u64,
+    /// Encoded length in bytes.
+    len: usize,
+    /// CRC32 of the encoded bytes.
+    crc: u32,
+}
+
+/// One parsed archive entry (manifest row; payloads stay on the source
+/// until decoded).
 #[derive(Debug, Clone)]
 pub struct ArchiveEntry {
     /// Field name.
@@ -513,47 +777,116 @@ pub struct ArchiveEntry {
     pub anchors: Vec<String>,
     /// Absolute error bound the reconstruction satisfies.
     pub eb_abs: f64,
-    /// The field's CFSZ stream.
-    stream: Vec<u8>,
+    /// Field shape (`None` for v1 archives, whose manifests predate the
+    /// shape column — the shape is learned by decoding).
+    shape: Option<Shape>,
+    /// Axis-0 slabs per block (v2; 0 for v1).
+    chunk_slabs: usize,
+    /// Absolute offset of the payload area in the source.
+    payload_base: u64,
+    /// Total payload bytes (meta + blocks for v2; the whole stream for v1).
+    payload_len: usize,
+    /// Meta-area length (embedded model + hybrid weights; v2 targets only).
+    meta_len: usize,
+    /// Block index (empty for v1).
+    blocks: Vec<BlockMeta>,
 }
 
 impl ArchiveEntry {
-    /// Compressed size of this field's stream.
+    /// Compressed size of this field's payload (meta + all blocks).
     pub fn stream_len(&self) -> usize {
-        self.stream.len()
+        self.payload_len
+    }
+
+    /// Number of independently decodable blocks (1 for v1 archives).
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len().max(1)
+    }
+
+    /// Field shape, when the manifest records it (v2).
+    pub fn shape(&self) -> Option<Shape> {
+        self.shape
+    }
+
+    /// Compressed size of one block (v2 archives).
+    pub fn block_len(&self, idx: usize) -> Option<usize> {
+        self.blocks.get(idx).map(|b| b.len)
+    }
+
+    /// Absolute `(offset, length)` of one block's bytes in the archive
+    /// source (v2) — for integrity scrubbers and corruption tests.
+    pub fn block_span(&self, idx: usize) -> Option<(u64, usize)> {
+        self.blocks
+            .get(idx)
+            .map(|b| (self.payload_base + b.rel_offset, b.len))
+    }
+
+    /// Axis-0 slabs per block (0 for v1 archives) — block `i` covers rows
+    /// `[i·slabs, (i+1)·slabs)` of axis 0, the last block possibly fewer.
+    pub fn chunk_slabs(&self) -> usize {
+        self.chunk_slabs
     }
 }
 
-/// Reads archives written by [`ArchiveWriter`] — needs nothing but the
-/// bytes themselves.
-pub struct ArchiveReader {
+/// Reads archives written by [`ArchiveWriter`] — lazily, from any seekable
+/// byte source. Only the manifest is parsed up front; payload bytes are
+/// read (and CRC-checked) when a field, block, or region is decoded.
+pub struct ArchiveReader<R> {
     name: String,
+    version: u16,
     entries: Vec<ArchiveEntry>,
+    src: Mutex<R>,
+    src_len: u64,
 }
 
-impl ArchiveReader {
-    /// Parse and validate the archive table of contents.
+impl ArchiveReader<std::io::Cursor<Vec<u8>>> {
+    /// Parse an in-memory archive (thin wrapper over
+    /// [`ArchiveReader::open`] + [`std::io::Cursor`]).
+    pub fn new(bytes: &[u8]) -> Result<Self, CfcError> {
+        Self::open(std::io::Cursor::new(bytes.to_vec()))
+    }
+}
+
+impl<R: Read + Seek + Send> ArchiveReader<R> {
+    /// Parse and validate the archive table of contents from a seekable
+    /// source (a file, a cursor, …). Payloads are not read yet.
+    /// (`Send` lets block decodes fan out across worker threads.)
     ///
     /// Total over arbitrary bytes: bad magic, future versions, truncation,
-    /// duplicate or dangling names all return [`CfcError`].
-    pub fn new(bytes: &[u8]) -> Result<Self, CfcError> {
-        let mut r = Reader::new(bytes);
-        let magic = r.bytes(4, "archive magic")?;
-        if magic != ARCHIVE_MAGIC {
+    /// block indexes pointing past EOF, duplicate or dangling names all
+    /// return [`CfcError`].
+    pub fn open(mut src: R) -> Result<Self, CfcError> {
+        let io = |context: &'static str| {
+            move |e: std::io::Error| CfcError::Io {
+                context,
+                detail: e.to_string(),
+            }
+        };
+        let src_len = src.seek(SeekFrom::End(0)).map_err(io("sizing archive"))?;
+        src.seek(SeekFrom::Start(0))
+            .map_err(io("rewinding archive"))?;
+        let mut toc = TocReader {
+            src: &mut src,
+            pos: 0,
+            len: src_len,
+        };
+
+        let magic = toc.bytes(4, "archive magic")?;
+        if magic != ARCHIVE_MAGIC[..] {
             return Err(CfcError::BadMagic {
                 expected: *ARCHIVE_MAGIC,
-                found: magic.to_vec(),
+                found: magic,
             });
         }
-        let version = r.u16("archive version")?;
-        if version != ARCHIVE_VERSION {
+        let version = toc.u16("archive version")?;
+        if !(MIN_SUPPORTED_VERSION..=ARCHIVE_VERSION).contains(&version) {
             return Err(CfcError::UnsupportedVersion {
                 found: version,
                 supported: ARCHIVE_VERSION,
             });
         }
-        let name = get_str(&mut r, "archive name")?;
-        let n_fields = r.u32("field count")? as usize;
+        let name = toc.str("archive name")?;
+        let n_fields = toc.u32("field count")? as usize;
         if n_fields == 0 {
             return Err(CfcError::Corrupt {
                 context: "archive",
@@ -561,42 +894,23 @@ impl ArchiveReader {
             });
         }
         // every entry needs ≥ 19 bytes of fixed headers
-        if n_fields.saturating_mul(19) > r.remaining() {
+        if (n_fields as u64).saturating_mul(19) > toc.remaining() {
             return Err(CfcError::Truncated {
                 context: "archive field table",
                 needed: n_fields * 19,
-                available: r.remaining(),
+                available: toc.remaining() as usize,
             });
         }
         let mut entries = Vec::with_capacity(n_fields);
         for _ in 0..n_fields {
-            let name = get_str(&mut r, "field name")?;
-            let role = FieldRole::from_u8(r.u8("field role")?).ok_or(CfcError::Corrupt {
-                context: "archive entry",
-                detail: "unknown role byte".into(),
-            })?;
-            let n_anchors = r.u16("anchor count")? as usize;
-            let mut anchors = Vec::with_capacity(n_anchors.min(64));
-            for _ in 0..n_anchors {
-                anchors.push(get_str(&mut r, "anchor name")?);
-            }
-            let eb_abs = r.f64("field error bound")?;
-            if !(eb_abs.is_finite() && eb_abs > 0.0) {
-                return Err(CfcError::Corrupt {
-                    context: "archive entry",
-                    detail: format!("error bound {eb_abs}"),
-                });
-            }
-            let stream_len = r.len_u64("field stream length")?;
-            let stream = r.bytes(stream_len, "field stream")?.to_vec();
-            entries.push(ArchiveEntry {
-                name,
-                role,
-                anchors,
-                eb_abs,
-                stream,
-            });
+            let entry = if version == 1 {
+                Self::parse_entry_v1(&mut toc)?
+            } else {
+                Self::parse_entry_v2(&mut toc)?
+            };
+            entries.push(entry);
         }
+
         // referential integrity of the manifest
         let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
         for (i, e) in entries.iter().enumerate() {
@@ -630,7 +944,187 @@ impl ArchiveReader {
                 }
             }
         }
-        Ok(ArchiveReader { name, entries })
+        // v2 manifests record geometry up front: every field must agree on
+        // shape and chunking, or block-level cross-field decode is unsound
+        if version >= 2 {
+            let first = &entries[0];
+            for e in &entries[1..] {
+                if e.shape != first.shape || e.chunk_slabs != first.chunk_slabs {
+                    return Err(CfcError::Corrupt {
+                        context: "archive",
+                        detail: format!(
+                            "field {} disagrees with {} on shape or chunk geometry",
+                            e.name, first.name
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(ArchiveReader {
+            name,
+            version,
+            entries,
+            src: Mutex::new(src),
+            src_len,
+        })
+    }
+
+    fn parse_entry_v1(toc: &mut TocReader<'_, R>) -> Result<ArchiveEntry, CfcError> {
+        let name = toc.str("field name")?;
+        let role = FieldRole::from_u8(toc.u8("field role")?).ok_or(CfcError::Corrupt {
+            context: "archive entry",
+            detail: "unknown role byte".into(),
+        })?;
+        let n_anchors = toc.u16("anchor count")? as usize;
+        let mut anchors = Vec::with_capacity(n_anchors.min(64));
+        for _ in 0..n_anchors {
+            anchors.push(toc.str("anchor name")?);
+        }
+        let eb_abs = toc.f64("field error bound")?;
+        if !(eb_abs.is_finite() && eb_abs > 0.0) {
+            return Err(CfcError::Corrupt {
+                context: "archive entry",
+                detail: format!("error bound {eb_abs}"),
+            });
+        }
+        let stream_len = toc.len_u64("field stream length")?;
+        let payload_base = toc.pos;
+        toc.skip(stream_len as u64, "field stream")?;
+        Ok(ArchiveEntry {
+            name,
+            role,
+            anchors,
+            eb_abs,
+            shape: None,
+            chunk_slabs: 0,
+            payload_base,
+            payload_len: stream_len,
+            meta_len: 0,
+            blocks: Vec::new(),
+        })
+    }
+
+    fn parse_entry_v2(toc: &mut TocReader<'_, R>) -> Result<ArchiveEntry, CfcError> {
+        let name = toc.str("field name")?;
+        let role = FieldRole::from_u8(toc.u8("field role")?).ok_or(CfcError::Corrupt {
+            context: "archive entry",
+            detail: "unknown role byte".into(),
+        })?;
+        let n_anchors = toc.u16("anchor count")? as usize;
+        let mut anchors = Vec::with_capacity(n_anchors.min(64));
+        for _ in 0..n_anchors {
+            anchors.push(toc.str("anchor name")?);
+        }
+        let eb_abs = toc.f64("field error bound")?;
+        if !(eb_abs.is_finite() && eb_abs > 0.0) {
+            return Err(CfcError::Corrupt {
+                context: "archive entry",
+                detail: format!("error bound {eb_abs}"),
+            });
+        }
+        let ndim = toc.u8("field ndim")? as usize;
+        if !(1..=3).contains(&ndim) {
+            return Err(CfcError::Corrupt {
+                context: "archive entry",
+                detail: format!("ndim {ndim} outside 1..=3"),
+            });
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        let mut n_elems = 1usize;
+        for axis in 0..ndim {
+            let d = toc.u64("field dims")?;
+            let d =
+                usize::try_from(d)
+                    .ok()
+                    .filter(|&d| d > 0)
+                    .ok_or_else(|| CfcError::Corrupt {
+                        context: "archive entry",
+                        detail: format!("axis {axis} extent {d}"),
+                    })?;
+            n_elems = n_elems
+                .checked_mul(d)
+                .filter(|&n| n <= MAX_ELEMENTS)
+                .ok_or_else(|| CfcError::Corrupt {
+                    context: "archive entry",
+                    detail: format!("element count exceeds {MAX_ELEMENTS}"),
+                })?;
+            dims.push(d);
+        }
+        let shape = Shape::from_slice(&dims);
+        let chunk_slabs = toc.u32("chunk slabs")? as usize;
+        if chunk_slabs == 0 {
+            return Err(CfcError::Corrupt {
+                context: "archive entry",
+                detail: "zero chunk slabs".into(),
+            });
+        }
+        let n_blocks = toc.u32("block count")? as usize;
+        if n_blocks != n_blocks_for(dims[0], chunk_slabs) {
+            return Err(CfcError::Corrupt {
+                context: "archive entry",
+                detail: format!(
+                    "{n_blocks} blocks for extent {} at {chunk_slabs} slabs/block",
+                    dims[0]
+                ),
+            });
+        }
+        let meta_len = toc.len_u64("field meta length")?;
+        let payload_len = toc.len_u64("field payload length")?;
+        if meta_len > payload_len {
+            return Err(CfcError::Corrupt {
+                context: "archive entry",
+                detail: format!("meta {meta_len} exceeds payload {payload_len}"),
+            });
+        }
+        // the index itself: 20 bytes per block
+        if (n_blocks as u64).saturating_mul(20) > toc.remaining() {
+            return Err(CfcError::Truncated {
+                context: "archive block index",
+                needed: n_blocks * 20,
+                available: toc.remaining() as usize,
+            });
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for bi in 0..n_blocks {
+            let rel_offset = toc.u64("block offset")?;
+            let len = toc.u64("block length")?;
+            let crc = toc.u32("block crc")?;
+            let len = usize::try_from(len).map_err(|_| CfcError::Corrupt {
+                context: "archive block index",
+                detail: format!("block {bi} length {len} does not fit in memory"),
+            })?;
+            let end = rel_offset.checked_add(len as u64);
+            if rel_offset < meta_len as u64 || end.is_none() || end.unwrap() > payload_len as u64 {
+                return Err(CfcError::Corrupt {
+                    context: "archive block index",
+                    detail: format!(
+                        "block {bi} spans [{rel_offset}, {rel_offset}+{len}) \
+                         outside payload of {payload_len} bytes"
+                    ),
+                });
+            }
+            blocks.push(BlockMeta {
+                rel_offset,
+                len,
+                crc,
+            });
+        }
+        let payload_base = toc.pos;
+        // the payload (and with it every block the index points at) must
+        // physically exist — this is where an index pointing past EOF dies
+        toc.skip(payload_len as u64, "field payload")?;
+        Ok(ArchiveEntry {
+            name,
+            role,
+            anchors,
+            eb_abs,
+            shape: Some(shape),
+            chunk_slabs,
+            payload_base,
+            payload_len,
+            meta_len,
+            blocks,
+        })
     }
 
     /// Archive (dataset) name.
@@ -638,13 +1132,248 @@ impl ArchiveReader {
         &self.name
     }
 
+    /// Container version of the parsed archive (1 or 2).
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
     /// Manifest entries in archive order.
     pub fn entries(&self) -> &[ArchiveEntry] {
         &self.entries
     }
 
-    /// Decode every field, anchors/independents in parallel first, then the
-    /// cross-field targets against the decoded anchors.
+    fn entry(&self, name: &str) -> Result<&ArchiveEntry, CfcError> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| CfcError::InvalidInput(format!("archive has no field {name}")))
+    }
+
+    /// Read `len` bytes at absolute offset `at`.
+    fn read_at(&self, at: u64, len: usize, context: &'static str) -> Result<Vec<u8>, CfcError> {
+        let mut src = self.src.lock().unwrap_or_else(|p| p.into_inner());
+        src.seek(SeekFrom::Start(at)).map_err(|e| CfcError::Io {
+            context,
+            detail: e.to_string(),
+        })?;
+        let mut buf = vec![0u8; len];
+        src.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                CfcError::Truncated {
+                    context,
+                    needed: len,
+                    available: self.src_len.saturating_sub(at) as usize,
+                }
+            } else {
+                CfcError::Io {
+                    context,
+                    detail: e.to_string(),
+                }
+            }
+        })?;
+        Ok(buf)
+    }
+
+    /// Read one block's bytes and verify its CRC.
+    fn read_block(&self, entry: &ArchiveEntry, idx: usize) -> Result<Vec<u8>, CfcError> {
+        let b = entry.blocks.get(idx).ok_or_else(|| {
+            CfcError::InvalidInput(format!(
+                "field {} has {} blocks, asked for {idx}",
+                entry.name,
+                entry.blocks.len()
+            ))
+        })?;
+        let bytes = self.read_at(entry.payload_base + b.rel_offset, b.len, "archive block")?;
+        let found = crc32(&bytes);
+        if found != b.crc {
+            return Err(CfcError::ChecksumMismatch {
+                context: "archive block",
+                expected: b.crc,
+                found,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Read a field's meta area (embedded model + hybrid weights).
+    fn read_meta(&self, entry: &ArchiveEntry) -> Result<Vec<u8>, CfcError> {
+        self.read_at(entry.payload_base, entry.meta_len, "archive field meta")
+    }
+
+    /// Parse a target's meta area into (model bytes, hybrid weights).
+    fn parse_target_meta(meta: &[u8]) -> Result<(Vec<u8>, HybridModel), CfcError> {
+        let mut r = Reader::new(meta);
+        let model_len = r.len_u64("embedded model length")?;
+        let model_bytes = r.bytes(model_len, "embedded model")?.to_vec();
+        let hybrid_len = r.len_u64("hybrid weights length")?;
+        let hybrid = HybridModel::try_deserialize(r.bytes(hybrid_len, "hybrid weights")?)?;
+        Ok((model_bytes, hybrid))
+    }
+
+    /// Decode one baseline (non-target) block to its slab field.
+    fn decode_baseline_block(&self, entry: &ArchiveEntry, idx: usize) -> Result<Field, CfcError> {
+        let bytes = self.read_block(entry, idx)?;
+        let field = baseline_decoder().decompress(&bytes)?;
+        self.check_slab_shape(entry, idx, field.shape())?;
+        Ok(field)
+    }
+
+    /// Decode one target block given its decoded anchor slabs and parsed
+    /// meta.
+    fn decode_target_block(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        anchor_slabs: &[&Field],
+        model_bytes: &[u8],
+        hybrid: &HybridModel,
+    ) -> Result<Field, CfcError> {
+        let bytes = self.read_block(entry, idx)?;
+        let container = Container::try_from_bytes(&bytes)?;
+        self.check_slab_shape(entry, idx, container.shape)?;
+        let ndim = container.shape.ndim();
+        let mut model = deserialize_model(model_bytes)?;
+        if model.spec.in_channels != anchor_slabs.len() * ndim {
+            return Err(CfcError::ShapeMismatch {
+                expected: format!("{} input channels", model.spec.in_channels),
+                found: format!("{} anchors × {ndim} axes", anchor_slabs.len()),
+            });
+        }
+        if model.spec.out_channels != ndim {
+            return Err(CfcError::Corrupt {
+                context: "embedded model",
+                detail: format!(
+                    "{} output channels for a {ndim}-D block",
+                    model.spec.out_channels
+                ),
+            });
+        }
+        if hybrid.arity() != ndim + 1 {
+            return Err(CfcError::Corrupt {
+                context: "hybrid weights",
+                detail: format!("arity {} for a {ndim}-D block", hybrid.arity()),
+            });
+        }
+        if anchor_slabs.iter().any(|a| a.shape() != container.shape) {
+            return Err(CfcError::ShapeMismatch {
+                expected: container.shape.to_string(),
+                found: "anchor slab with a different shape".into(),
+            });
+        }
+        let diffs = predict_differences(&mut model, anchor_slabs);
+        let predictor = CrossFieldHybridPredictor::new(&diffs, container.eb, hybrid.clone());
+        let lattice = baseline_decoder().decompress_lattice(&container, &predictor)?;
+        Ok(lattice.reconstruct(container.eb))
+    }
+
+    /// Verify a decoded block's shape against the manifest's chunk
+    /// geometry (a block stream that lies about its slab is corrupt).
+    fn check_slab_shape(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        found: Shape,
+    ) -> Result<(), CfcError> {
+        let shape = entry.shape.expect("v2 entries record shape");
+        let (r0, r1) = block_range(shape.dims()[0], entry.chunk_slabs, idx);
+        let expected = slab_shape_of(shape, r1 - r0);
+        if found != expected {
+            return Err(CfcError::ShapeMismatch {
+                expected: format!("block {idx} of {}: {expected}", entry.name),
+                found: found.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Decode a single block of `field` (block `idx` along axis 0),
+    /// touching only that block's bytes — plus, for a cross-field target,
+    /// the same block of each anchor and the field's meta area.
+    ///
+    /// For v1 archives only block 0 exists and decodes the whole field.
+    pub fn decode_block(&self, field: &str, idx: usize) -> Result<Field, CfcError> {
+        let entry = self.entry(field)?;
+        if self.version == 1 {
+            if idx != 0 {
+                return Err(CfcError::InvalidInput(format!(
+                    "v1 archives hold one stream per field; block {idx} does not exist"
+                )));
+            }
+            return self.decode_field_v1(entry);
+        }
+        let meta = self.target_meta(entry)?;
+        self.decode_block_v2(entry, idx, meta.as_ref())
+    }
+
+    /// Parse a v2 target's meta once (`None` for baseline/anchor roles) —
+    /// multi-block decodes hoist this out of their block loops.
+    fn target_meta(
+        &self,
+        entry: &ArchiveEntry,
+    ) -> Result<Option<(Vec<u8>, HybridModel)>, CfcError> {
+        if entry.role != FieldRole::Target {
+            return Ok(None);
+        }
+        Self::parse_target_meta(&self.read_meta(entry)?).map(Some)
+    }
+
+    /// Decode one v2 block given the field's already-parsed meta.
+    fn decode_block_v2(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        meta: Option<&(Vec<u8>, HybridModel)>,
+    ) -> Result<Field, CfcError> {
+        let Some((model_bytes, hybrid)) = meta else {
+            return self.decode_baseline_block(entry, idx);
+        };
+        let mut slabs = Vec::with_capacity(entry.anchors.len());
+        for a in &entry.anchors {
+            // manifest validation guarantees anchors exist and are not targets
+            let ae = self.entry(a).expect("validated anchor");
+            slabs.push(self.decode_baseline_block(ae, idx)?);
+        }
+        let slab_refs: Vec<&Field> = slabs.iter().collect();
+        self.decode_target_block(entry, idx, &slab_refs, model_bytes, hybrid)
+    }
+
+    /// Decode an axis-aligned [`Region`] of `field`, reading only the
+    /// blocks whose axis-0 slabs intersect it (plus the matching anchor
+    /// blocks when the field is a cross-field target).
+    ///
+    /// On v1 archives this degrades to a whole-field decode followed by a
+    /// crop — the v1 container has no random-access index.
+    pub fn decode_region(&self, field: &str, region: &Region) -> Result<Field, CfcError> {
+        let entry = self.entry(field)?;
+        if self.version == 1 {
+            let full = self.decode_field_v1(entry)?;
+            region
+                .validate(full.shape())
+                .map_err(CfcError::InvalidInput)?;
+            return Ok(full.crop(region));
+        }
+        let shape = entry.shape.expect("v2 entries record shape");
+        region.validate(shape).map_err(CfcError::InvalidInput)?;
+        let chunk = entry.chunk_slabs;
+        let b_first = region.start(0) / chunk;
+        let b_last = (region.end(0) - 1) / chunk;
+        let meta = self.target_meta(entry)?; // once, not per block
+        let mut slabs = Vec::with_capacity(b_last - b_first + 1);
+        for bi in b_first..=b_last {
+            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref())?);
+        }
+        let stitched = Field::concat_axis0(&slabs);
+        // re-anchor the region to the stitched slab range
+        let base = b_first * chunk;
+        let mut ranges: Vec<(usize, usize)> = vec![(region.start(0) - base, region.end(0) - base)];
+        for k in 1..region.ndim() {
+            ranges.push((region.start(k), region.end(k)));
+        }
+        Ok(stitched.crop(&Region::from_ranges(&ranges)))
+    }
+
+    /// Decode every field, every block in parallel: baselines and anchors
+    /// first, then the cross-field targets against the decoded anchors.
     pub fn decode_all(&self) -> Result<Dataset, CfcError> {
         self.decode_all_with_threads(
             std::thread::available_parallelism()
@@ -655,20 +1384,63 @@ impl ArchiveReader {
 
     /// [`ArchiveReader::decode_all`] with an explicit worker-thread cap.
     pub fn decode_all_with_threads(&self, threads: usize) -> Result<Dataset, CfcError> {
-        let baseline = baseline_decoder();
-        let cross = cross_decoder();
+        let mut decoded: HashMap<&str, Field> = HashMap::new();
 
+        if self.version == 1 {
+            let independents: Vec<&ArchiveEntry> = self
+                .entries
+                .iter()
+                .filter(|e| e.role != FieldRole::Target)
+                .collect();
+            let phase1 = run_parallel(independents.len(), threads, |i| {
+                self.decode_field_v1(independents[i])
+            });
+            for (e, res) in independents.iter().zip(phase1) {
+                decoded.insert(e.name.as_str(), res?);
+            }
+            let targets: Vec<&ArchiveEntry> = self
+                .entries
+                .iter()
+                .filter(|e| e.role == FieldRole::Target)
+                .collect();
+            let phase2 = run_parallel(targets.len(), threads, |i| {
+                let e = targets[i];
+                let refs: Vec<&Field> = e.anchors.iter().map(|a| &decoded[a.as_str()]).collect();
+                let stream = self.read_at(e.payload_base, e.payload_len, "archive field stream")?;
+                cross_decoder().decompress(&stream, &refs)
+            });
+            let mut targets_dec: HashMap<&str, Field> = HashMap::new();
+            for (e, res) in targets.iter().zip(phase2) {
+                targets_dec.insert(e.name.as_str(), res?);
+            }
+            decoded.extend(targets_dec);
+            return self.assemble(decoded);
+        }
+
+        // ---- v2: flatten (field, block) and decode in parallel ---------
         let independents: Vec<&ArchiveEntry> = self
             .entries
             .iter()
             .filter(|e| e.role != FieldRole::Target)
             .collect();
-        let phase1 = run_parallel(independents.len(), threads, |i| {
-            baseline.decompress(&independents[i].stream)
+        let tasks: Vec<(usize, usize)> = independents
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, e)| (0..e.blocks.len()).map(move |bi| (fi, bi)))
+            .collect();
+        let phase1 = run_parallel(tasks.len(), threads, |t| {
+            let (fi, bi) = tasks[t];
+            self.decode_baseline_block(independents[fi], bi)
         });
-        let mut decoded: HashMap<&str, Field> = HashMap::new();
-        for (e, res) in independents.iter().zip(phase1) {
-            decoded.insert(e.name.as_str(), res?);
+        let mut slabs: HashMap<&str, Vec<Field>> = HashMap::new();
+        for (&(fi, _), res) in tasks.iter().zip(phase1) {
+            slabs
+                .entry(independents[fi].name.as_str())
+                .or_default()
+                .push(res?);
+        }
+        for (name, parts) in slabs {
+            decoded.insert(name, Field::concat_axis0(&parts));
         }
 
         let targets: Vec<&ArchiveEntry> = self
@@ -676,32 +1448,54 @@ impl ArchiveReader {
             .iter()
             .filter(|e| e.role == FieldRole::Target)
             .collect();
-        let phase2 = run_parallel(targets.len(), threads, |i| {
-            let e = targets[i];
-            let refs: Vec<&Field> = e.anchors.iter().map(|a| &decoded[a.as_str()]).collect();
-            cross.decompress(&e.stream, &refs)
-        });
-        let mut targets_dec: HashMap<&str, Field> = HashMap::new();
-        for (e, res) in targets.iter().zip(phase2) {
-            targets_dec.insert(e.name.as_str(), res?);
+        let mut metas = Vec::with_capacity(targets.len());
+        for e in &targets {
+            metas.push(Self::parse_target_meta(&self.read_meta(e)?)?);
         }
+        let t_tasks: Vec<(usize, usize)> = targets
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, e)| (0..e.blocks.len()).map(move |bi| (fi, bi)))
+            .collect();
+        let phase2 = run_parallel(t_tasks.len(), threads, |t| {
+            let (fi, bi) = t_tasks[t];
+            let e = targets[fi];
+            let shape = e.shape.expect("v2 shape");
+            let (r0, r1) = block_range(shape.dims()[0], e.chunk_slabs, bi);
+            let anchor_slabs: Vec<Field> = e
+                .anchors
+                .iter()
+                .map(|a| decoded[a.as_str()].slab(r0, r1))
+                .collect();
+            let refs: Vec<&Field> = anchor_slabs.iter().collect();
+            let (model_bytes, hybrid) = &metas[fi];
+            self.decode_target_block(e, bi, &refs, model_bytes, hybrid)
+        });
+        let mut t_slabs: HashMap<&str, Vec<Field>> = HashMap::new();
+        for (&(fi, _), res) in t_tasks.iter().zip(phase2) {
+            t_slabs
+                .entry(targets[fi].name.as_str())
+                .or_default()
+                .push(res?);
+        }
+        for (name, parts) in t_slabs {
+            decoded.insert(name, Field::concat_axis0(&parts));
+        }
+        self.assemble(decoded)
+    }
 
-        // assemble in archive order, validating the common shape before the
-        // (panicking) Dataset::push can see a mismatch
+    /// Assemble decoded fields into a [`Dataset`] in archive order,
+    /// validating the common shape before the (panicking) `Dataset::push`
+    /// can see a mismatch.
+    fn assemble(&self, mut decoded: HashMap<&str, Field>) -> Result<Dataset, CfcError> {
         let first = &self.entries[0];
-        let shape_of = |name: &str| {
-            decoded
-                .get(name)
-                .or_else(|| targets_dec.get(name))
-                .map(|f| f.shape())
-                .expect("every entry decoded")
-        };
-        let shape = shape_of(&first.name);
+        let shape = decoded[first.name.as_str()].shape();
         for e in &self.entries {
-            if shape_of(&e.name) != shape {
+            let found = decoded[e.name.as_str()].shape();
+            if found != shape {
                 return Err(CfcError::ShapeMismatch {
                     expected: shape.to_string(),
-                    found: format!("{} in field {}", shape_of(&e.name), e.name),
+                    found: format!("{found} in field {}", e.name),
                 });
             }
         }
@@ -709,37 +1503,147 @@ impl ArchiveReader {
         for e in &self.entries {
             let field = decoded
                 .remove(e.name.as_str())
-                .or_else(|| targets_dec.remove(e.name.as_str()))
                 .expect("every entry decoded");
             ds.push(e.name.clone(), field);
         }
         Ok(ds)
     }
 
-    /// Decode a single field by name (decoding its anchors first if it is a
-    /// cross-field target).
+    /// Decode a single field by name (decoding its anchors first if it is
+    /// a cross-field target).
     pub fn decode_field(&self, name: &str) -> Result<Field, CfcError> {
-        let entry = self
-            .entries
-            .iter()
-            .find(|e| e.name == name)
-            .ok_or_else(|| CfcError::InvalidInput(format!("archive has no field {name}")))?;
-        let baseline = baseline_decoder();
+        let entry = self.entry(name)?;
+        if self.version == 1 {
+            return self.decode_field_v1(entry);
+        }
+        let meta = self.target_meta(entry)?; // once, not per block
+        let mut slabs = Vec::with_capacity(entry.blocks.len());
+        for bi in 0..entry.blocks.len() {
+            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref())?);
+        }
+        Ok(Field::concat_axis0(&slabs))
+    }
+
+    /// Decode a v1 entry's monolithic stream (baseline/anchor roles).
+    fn decode_field_v1(&self, entry: &ArchiveEntry) -> Result<Field, CfcError> {
+        let stream = self.read_at(
+            entry.payload_base,
+            entry.payload_len,
+            "archive field stream",
+        )?;
         if entry.role != FieldRole::Target {
-            return baseline.decompress(&entry.stream);
+            return baseline_decoder().decompress(&stream);
         }
         let mut anchors = Vec::with_capacity(entry.anchors.len());
         for a in &entry.anchors {
-            // manifest validation guarantees anchors exist and are not targets
-            let ae = self
-                .entries
-                .iter()
-                .find(|e| &e.name == a)
-                .expect("validated anchor");
-            anchors.push(baseline.decompress(&ae.stream)?);
+            let ae = self.entry(a).expect("validated anchor");
+            let abytes = self.read_at(ae.payload_base, ae.payload_len, "archive field stream")?;
+            anchors.push(baseline_decoder().decompress(&abytes)?);
         }
         let refs: Vec<&Field> = anchors.iter().collect();
-        cross_decoder().decompress(&entry.stream, &refs)
+        cross_decoder().decompress(&stream, &refs)
+    }
+}
+
+/// Incremental table-of-contents reader over a seekable source: tracks the
+/// absolute position, bounds every read against the source length, and
+/// maps short reads to [`CfcError::Truncated`].
+struct TocReader<'a, R: Read + Seek> {
+    src: &'a mut R,
+    pos: u64,
+    len: u64,
+}
+
+impl<R: Read + Seek> TocReader<'_, R> {
+    fn remaining(&self) -> u64 {
+        self.len - self.pos
+    }
+
+    fn bytes(&mut self, n: usize, context: &'static str) -> Result<Vec<u8>, CfcError> {
+        if (n as u64) > self.remaining() {
+            return Err(CfcError::Truncated {
+                context,
+                needed: n,
+                available: self.remaining() as usize,
+            });
+        }
+        let mut buf = vec![0u8; n];
+        self.src.read_exact(&mut buf).map_err(|e| CfcError::Io {
+            context,
+            detail: e.to_string(),
+        })?;
+        self.pos += n as u64;
+        Ok(buf)
+    }
+
+    fn skip(&mut self, n: u64, context: &'static str) -> Result<(), CfcError> {
+        if n > self.remaining() {
+            return Err(CfcError::Truncated {
+                context,
+                needed: n as usize,
+                available: self.remaining() as usize,
+            });
+        }
+        self.pos += n;
+        self.src
+            .seek(SeekFrom::Start(self.pos))
+            .map_err(|e| CfcError::Io {
+                context,
+                detail: e.to_string(),
+            })?;
+        Ok(())
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, CfcError> {
+        Ok(self.bytes(1, context)?[0])
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, CfcError> {
+        Ok(u16::from_le_bytes(
+            self.bytes(2, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, CfcError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, CfcError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, CfcError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// A `u64` length prefix for an in-source payload: must fit `usize`
+    /// and the bytes remaining in the source.
+    fn len_u64(&mut self, context: &'static str) -> Result<usize, CfcError> {
+        let v = self.u64(context)?;
+        let n = usize::try_from(v).map_err(|_| {
+            CfcError::InvalidHeader(format!("{context}: length {v} does not fit in memory"))
+        })?;
+        if (n as u64) > self.remaining() {
+            return Err(CfcError::Truncated {
+                context,
+                needed: n,
+                available: self.remaining() as usize,
+            });
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, context: &'static str) -> Result<String, CfcError> {
+        let len = self.u16(context)? as usize;
+        let bytes = self.bytes(len, context)?;
+        String::from_utf8(bytes).map_err(|_| CfcError::Corrupt {
+            context: "archive string",
+            detail: format!("{context} is not valid UTF-8"),
+        })
     }
 }
 
@@ -749,14 +1653,15 @@ fn baseline_decoder() -> SzCompressor {
     SzCompressor::baseline(1e-3)
 }
 
-/// Decoder-side cross-field pipeline (same note as [`baseline_decoder`]).
-fn cross_decoder() -> CrossFieldCompressor {
-    CrossFieldCompressor::new(1e-3)
+/// Decoder-side cross-field pipeline for v1 streams (same note as
+/// [`baseline_decoder`]).
+fn cross_decoder() -> crate::pipeline::CrossFieldCompressor {
+    crate::pipeline::CrossFieldCompressor::new(1e-3)
 }
 
 /// Run `f(0..n)` across up to `threads` scoped workers, preserving result
-/// order. Coarse-grained (one task per field) so thread overhead is
-/// amortized across whole compression pipelines.
+/// order. One task per block, so big fields no longer serialize through a
+/// single Huffman stream.
 fn run_parallel<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -797,15 +1702,6 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     debug_assert!(s.len() <= u16::MAX as usize, "name too long");
     out.put_u16_le(s.len() as u16);
     out.put_slice(s.as_bytes());
-}
-
-fn get_str(r: &mut Reader, context: &'static str) -> Result<String, CfcError> {
-    let len = r.u16(context)? as usize;
-    let bytes = r.bytes(len, context)?;
-    String::from_utf8(bytes.to_vec()).map_err(|_| CfcError::Corrupt {
-        context: "archive string",
-        detail: format!("{context} is not valid UTF-8"),
-    })
 }
 
 #[cfg(test)]
@@ -865,6 +1761,7 @@ mod tests {
 
         let reader = ArchiveReader::new(&bytes).unwrap();
         assert_eq!(reader.name(), "SNAP");
+        assert_eq!(reader.version(), ARCHIVE_VERSION);
         let dec = reader.decode_all().unwrap();
         assert_eq!(dec.field_names(), ds.field_names());
         for fr in &report.fields {
@@ -874,6 +1771,174 @@ mod tests {
                 fr.eb_abs,
             );
         }
+    }
+
+    #[test]
+    fn chunked_archive_roundtrips_and_blocks_match_slabs() {
+        let ds = snapshot(40, 40);
+        // 8 rows per block → 5 blocks
+        let (bytes, report) = ArchiveBuilder::relative(1e-3)
+            .train_config(small_train())
+            .cross_field("RH", &["T", "P"])
+            .chunk_elements(8 * 40)
+            .build()
+            .write_with_report(&ds)
+            .unwrap();
+        assert!(report.fields.iter().all(|f| f.n_blocks == 5), "{report:?}");
+
+        let reader = ArchiveReader::new(&bytes).unwrap();
+        let dec = reader.decode_all().unwrap();
+        for fr in &report.fields {
+            check_bound(
+                ds.expect_field(&fr.name),
+                dec.expect_field(&fr.name),
+                fr.eb_abs,
+            );
+            // every block equals the matching slab of the full decode
+            let full = dec.expect_field(&fr.name);
+            for bi in 0..5 {
+                let block = reader.decode_block(&fr.name, bi).unwrap();
+                assert_eq!(
+                    block.as_slice(),
+                    full.slab(bi * 8, (bi + 1) * 8).as_slice(),
+                    "block {bi} of {}",
+                    fr.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_region_matches_decode_all_crop() {
+        let ds = snapshot(36, 24);
+        let bytes = ArchiveBuilder::relative(1e-3)
+            .train_config(small_train())
+            .cross_field("RH", &["T", "P"])
+            .chunk_elements(6 * 24)
+            .build()
+            .write(&ds)
+            .unwrap();
+        let reader = ArchiveReader::new(&bytes).unwrap();
+        let dec = reader.decode_all().unwrap();
+        for name in ["T", "P", "RH"] {
+            for region in [
+                Region::d2(0, 36, 0, 24),
+                Region::d2(5, 19, 3, 20),
+                Region::d2(30, 36, 0, 24),
+                Region::d2(7, 8, 11, 12),
+            ] {
+                let got = reader.decode_region(name, &region).unwrap();
+                let want = dec.expect_field(name).crop(&region);
+                assert_eq!(got, want, "{name} {region}");
+            }
+        }
+        // region outside the field is a typed error
+        assert!(matches!(
+            reader.decode_region("T", &Region::d2(0, 37, 0, 24)),
+            Err(CfcError::InvalidInput(_))
+        ));
+        assert!(reader
+            .decode_region("missing", &Region::d2(0, 1, 0, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn single_partial_block_accounting_is_consistent() {
+        // dim0 (9) smaller than the chunk (16 slabs) → one partial block
+        let ds = snapshot(9, 40);
+        let (bytes, report) = ArchiveBuilder::relative(1e-3)
+            .chunk_elements(16 * 40)
+            .build()
+            .write_with_report(&ds)
+            .unwrap();
+        assert!(report.fields.iter().all(|f| f.n_blocks == 1));
+        let reader = ArchiveReader::new(&bytes).unwrap();
+        for e in reader.entries() {
+            assert_eq!(e.n_blocks(), 1);
+            // stream_len == meta + Σ block lens, exactly
+            let blocks: usize = (0..e.n_blocks()).map(|i| e.block_len(i).unwrap()).sum();
+            assert_eq!(e.stream_len(), e.meta_len + blocks);
+            let fr = report.fields.iter().find(|f| f.name == e.name).unwrap();
+            assert_eq!(fr.bytes, e.stream_len());
+            assert!(fr.ratio(ds.shape().len()) > 0.0);
+            assert_eq!(fr.ratio(0), 0.0, "zero-sample ratio must not divide");
+        }
+        let dec = reader.decode_all().unwrap();
+        assert_eq!(dec.shape(), ds.shape());
+    }
+
+    #[test]
+    fn report_ratio_guards_degenerate_division() {
+        let empty = ArchiveReport {
+            fields: Vec::new(),
+            raw_bytes: 0,
+            archive_bytes: 0,
+        };
+        assert_eq!(empty.ratio(), 0.0);
+        let no_raw = ArchiveReport {
+            fields: Vec::new(),
+            raw_bytes: 0,
+            archive_bytes: 100,
+        };
+        assert_eq!(no_raw.ratio(), 0.0);
+        let fr = FieldReport {
+            name: "x".into(),
+            role: FieldRole::Independent,
+            bytes: 0,
+            n_blocks: 1,
+            eb_abs: 1e-3,
+        };
+        assert_eq!(fr.ratio(100), 0.0, "zero-byte payload must not divide");
+    }
+
+    #[test]
+    fn write_to_matches_write_and_streams_to_files() {
+        let ds = snapshot(24, 24);
+        let builder = ArchiveBuilder::relative(1e-3)
+            .train_config(small_train())
+            .cross_field("RH", &["T"])
+            .chunk_elements(8 * 24);
+        let in_memory = builder.clone().build().write(&ds).unwrap();
+
+        let dir = std::env::temp_dir().join("cfc_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.cfar");
+        let file = std::fs::File::create(&path).unwrap();
+        builder
+            .build()
+            .write_to(&ds, std::io::BufWriter::new(file))
+            .unwrap();
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(in_memory, on_disk, "sink choice must not change bytes");
+
+        let reader = ArchiveReader::open(std::fs::File::open(&path).unwrap()).unwrap();
+        let dec = reader.decode_all().unwrap();
+        assert_eq!(dec.field_names(), ds.field_names());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_block_bit_is_a_checksum_error() {
+        let ds = snapshot(24, 24);
+        let bytes = ArchiveBuilder::relative(1e-3)
+            .chunk_elements(8 * 24)
+            .build()
+            .write(&ds)
+            .unwrap();
+        let reader = ArchiveReader::new(&bytes).unwrap();
+        // flip one bit inside the last block payload of the last field
+        // (payload areas sit at the end of each field record)
+        let e = reader.entries().last().unwrap();
+        let off = (e.payload_base as usize) + e.payload_len - 1;
+        let mut bad = bytes.clone();
+        bad[off] ^= 0x01;
+        let bad_reader = ArchiveReader::new(&bad).unwrap();
+        let idx = e.n_blocks() - 1;
+        let name = e.name.clone();
+        assert!(matches!(
+            bad_reader.decode_block(&name, idx),
+            Err(CfcError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -899,6 +1964,8 @@ mod tests {
                 .anchors,
             vec!["T".to_string()]
         );
+        // v2 manifests also record the shape
+        assert_eq!(reader.entries()[0].shape(), Some(ds.shape()));
     }
 
     #[test]
@@ -1000,6 +2067,7 @@ mod tests {
             ArchiveBuilder::relative(1e-3)
                 .train_config(small_train())
                 .cross_field("RH", &["T", "P"])
+                .chunk_elements(8 * 32)
                 .threads(threads)
                 .build()
                 .write(&ds)
@@ -1009,11 +2077,53 @@ mod tests {
     }
 
     #[test]
+    fn three_d_datasets_chunk_along_depth() {
+        let shape = Shape::d3(10, 12, 12);
+        let u = Field::from_fn(shape, |i| {
+            (i[0] as f32) * 0.7 + ((i[1] as f32) * 0.3).sin() * 5.0 + (i[2] as f32) * 0.1
+        });
+        let v = u.map(|x| 0.6 * x + 2.0);
+        let mut ds = Dataset::new("D3", shape);
+        ds.push("U", u);
+        ds.push("V", v);
+        let (bytes, report) = ArchiveBuilder::relative(1e-3)
+            .chunk_elements(3 * 12 * 12)
+            .build()
+            .write_with_report(&ds)
+            .unwrap();
+        // 10 slabs at 3/block → 4 blocks, last one partial
+        assert!(report.fields.iter().all(|f| f.n_blocks == 4));
+        let reader = ArchiveReader::new(&bytes).unwrap();
+        let dec = reader.decode_all().unwrap();
+        for fr in &report.fields {
+            check_bound(
+                ds.expect_field(&fr.name),
+                dec.expect_field(&fr.name),
+                fr.eb_abs,
+            );
+        }
+        let block = reader.decode_block("U", 3).unwrap();
+        assert_eq!(block.shape(), Shape::d3(1, 12, 12));
+        assert_eq!(
+            block.as_slice(),
+            dec.expect_field("U").slab(9, 10).as_slice()
+        );
+        let region = reader
+            .decode_region("V", &Region::d3(2, 7, 1, 11, 3, 9))
+            .unwrap();
+        assert_eq!(
+            region,
+            dec.expect_field("V").crop(&Region::d3(2, 7, 1, 11, 3, 9))
+        );
+    }
+
+    #[test]
     fn corrupt_archives_error_not_panic() {
         let ds = snapshot(20, 20);
         let bytes = ArchiveBuilder::relative(1e-3)
             .train_config(small_train())
             .cross_field("RH", &["T"])
+            .chunk_elements(5 * 20)
             .build()
             .write(&ds)
             .unwrap();

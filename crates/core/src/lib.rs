@@ -26,10 +26,14 @@
 //!   packages model + anchors behind the unified fallible
 //!   [`cfc_sz::Codec`] trait;
 //! * [`archive`] is the dataset-level entry point: [`ArchiveBuilder`] →
-//!   [`ArchiveWriter`] compresses a whole multi-field snapshot (anchors,
-//!   baselines, and cross-field targets, in parallel) into one versioned,
-//!   self-describing container that [`ArchiveReader`] decodes with **no
-//!   out-of-band configuration**.
+//!   [`ArchiveWriter`] streams a whole multi-field snapshot (anchors,
+//!   baselines, and cross-field targets) into one versioned,
+//!   self-describing *chunked* container — every field split into
+//!   independently decodable, CRC-protected blocks, encoded in parallel —
+//!   that [`ArchiveReader`] opens from any `Read + Seek` source with **no
+//!   out-of-band configuration**, serving whole snapshots
+//!   (`decode_all`), single blocks (`decode_block`), or axis-aligned
+//!   windows (`decode_region`) while reading only the bytes it needs.
 //!
 //! Every decode path is fallible: corrupt or adversarial bytes surface as
 //! [`cfc_sz::CfcError`], never a panic.

@@ -286,7 +286,9 @@ impl Codec for CrossFieldCodec {
 }
 
 /// Model section layout: spec (5×u32) | input norms | target norms | net.
-fn serialize_model(trained: &TrainedCfnn) -> Vec<u8> {
+/// Crate-visible: the chunked archive stores one copy per target field (in
+/// the field's meta area) instead of one per stream.
+pub(crate) fn serialize_model(trained: &TrainedCfnn) -> Vec<u8> {
     let mut out = Vec::new();
     out.put_u32_le(trained.spec.in_channels as u32);
     out.put_u32_le(trained.spec.out_channels as u32);
@@ -310,7 +312,7 @@ const MAX_SPEC_DIM: usize = 1 << 14;
 /// network's layers chain with compatible channel counts from
 /// `spec.in_channels` to `spec.out_channels`, so inference cannot hit a
 /// shape assert later.
-fn deserialize_model(buf: &[u8]) -> Result<TrainedCfnn, CfcError> {
+pub(crate) fn deserialize_model(buf: &[u8]) -> Result<TrainedCfnn, CfcError> {
     let corrupt = |detail: String| CfcError::Corrupt {
         context: "embedded model",
         detail,

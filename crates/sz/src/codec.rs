@@ -24,7 +24,7 @@ pub fn encode_residuals(lattice: &QuantLattice, predictor: &dyn Predictor) -> Ve
             let n = shape.dims()[0];
             (0..n)
                 .into_par_iter()
-                .map(|i| lattice.at(i) - predictor.predict(lattice, &[i]))
+                .map(|i| lattice.at(i).wrapping_sub(predictor.predict(lattice, &[i])))
                 .collect()
         }
         2 => {
@@ -33,7 +33,9 @@ pub fn encode_residuals(lattice: &QuantLattice, predictor: &dyn Predictor) -> Ve
                 .into_par_iter()
                 .flat_map_iter(|i| {
                     (0..cols).map(move |j| {
-                        lattice.at(i * cols + j) - predictor.predict(lattice, &[i, j])
+                        lattice
+                            .at(i * cols + j)
+                            .wrapping_sub(predictor.predict(lattice, &[i, j]))
                     })
                 })
                 .collect()
@@ -46,8 +48,9 @@ pub fn encode_residuals(lattice: &QuantLattice, predictor: &dyn Predictor) -> Ve
                 .flat_map_iter(|k| {
                     (0..n1).flat_map(move |i| {
                         (0..n2).map(move |j| {
-                            lattice.at((k * n1 + i) * n2 + j)
-                                - predictor.predict(lattice, &[k, i, j])
+                            lattice
+                                .at((k * n1 + i) * n2 + j)
+                                .wrapping_sub(predictor.predict(lattice, &[k, i, j]))
                         })
                     })
                 })
@@ -105,7 +108,9 @@ pub fn try_decode(
         |lattice: &mut QuantLattice, off: usize, idx: &[usize]| -> Result<(), CfcError> {
             let code = codes[off];
             let value = match quant.check_one(code) {
-                Ok(Some(delta)) => predictor.predict(lattice, idx) + delta,
+                // wrapping: corrupt outliers can leave i64::MAX-scale
+                // neighbours in the lattice, and decode must never panic
+                Ok(Some(delta)) => predictor.predict(lattice, idx).wrapping_add(delta),
                 Ok(None) => *out_iter.next().ok_or(CfcError::Corrupt {
                     context: "residual stream",
                     detail: "outlier stream exhausted".into(),

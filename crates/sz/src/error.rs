@@ -60,6 +60,23 @@ pub enum CfcError {
     },
     /// Encode-side input validation failure (bad bound, non-finite data…).
     InvalidInput(String),
+    /// A payload's checksum disagrees with the one recorded in its index —
+    /// bit rot or in-flight corruption detected before decoding.
+    ChecksumMismatch {
+        /// What was being verified (e.g. "archive block").
+        context: &'static str,
+        /// Checksum recorded at write time.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        found: u32,
+    },
+    /// An underlying `std::io` operation failed (streaming archive I/O).
+    Io {
+        /// What was being read or written.
+        context: &'static str,
+        /// The I/O error's message (`std::io::Error` is not `Clone`).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CfcError {
@@ -92,6 +109,15 @@ impl fmt::Display for CfcError {
                 write!(f, "shape mismatch: expected {expected}, found {found}")
             }
             CfcError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CfcError::ChecksumMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch in {context}: recorded {expected:#010x}, computed {found:#010x}"
+            ),
+            CfcError::Io { context, detail } => write!(f, "I/O error while {context}: {detail}"),
         }
     }
 }

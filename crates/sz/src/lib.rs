@@ -41,6 +41,7 @@ pub mod api;
 pub mod bitstream;
 pub mod codec;
 pub mod compressor;
+pub mod crc;
 pub mod error;
 pub mod error_bound;
 pub mod huffman;
@@ -53,6 +54,7 @@ pub mod stream;
 
 pub use api::{Codec, EncodedStream};
 pub use compressor::{PredictorKind, SzCompressor};
+pub use crc::crc32;
 pub use error::CfcError;
 pub use error_bound::ErrorBound;
 pub use lattice::QuantLattice;

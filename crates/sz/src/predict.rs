@@ -41,19 +41,28 @@ pub struct LorenzoPredictor;
 impl Predictor for LorenzoPredictor {
     #[inline]
     fn predict(&self, lattice: &QuantLattice, idx: &[usize]) -> i64 {
+        // wrapping arithmetic: corrupt streams can plant i64::MAX-scale
+        // outliers in the lattice, and the decode contract is Err-not-panic;
+        // encoder and decoder wrap identically, so round-trips are unaffected
         match *idx {
             [i] => lattice.get1(i as isize - 1),
             [i, j] => {
                 let (i, j) = (i as isize, j as isize);
-                lattice.get2(i - 1, j) + lattice.get2(i, j - 1) - lattice.get2(i - 1, j - 1)
+                lattice
+                    .get2(i - 1, j)
+                    .wrapping_add(lattice.get2(i, j - 1))
+                    .wrapping_sub(lattice.get2(i - 1, j - 1))
             }
             [k, i, j] => {
                 let (k, i, j) = (k as isize, i as isize, j as isize);
-                lattice.get3(k - 1, i, j) + lattice.get3(k, i - 1, j) + lattice.get3(k, i, j - 1)
-                    - lattice.get3(k - 1, i - 1, j)
-                    - lattice.get3(k - 1, i, j - 1)
-                    - lattice.get3(k, i - 1, j - 1)
-                    + lattice.get3(k - 1, i - 1, j - 1)
+                lattice
+                    .get3(k - 1, i, j)
+                    .wrapping_add(lattice.get3(k, i - 1, j))
+                    .wrapping_add(lattice.get3(k, i, j - 1))
+                    .wrapping_sub(lattice.get3(k - 1, i - 1, j))
+                    .wrapping_sub(lattice.get3(k - 1, i, j - 1))
+                    .wrapping_sub(lattice.get3(k, i - 1, j - 1))
+                    .wrapping_add(lattice.get3(k - 1, i - 1, j - 1))
             }
             _ => unreachable!("lattices are 1-3 dimensional"),
         }
@@ -78,15 +87,18 @@ impl Predictor for CentralDiffPredictor {
         match *idx {
             [i] => {
                 let i = i as isize;
-                (lattice.get1(i - 1) + lattice.get1(i + 1)) / 2
+                lattice.get1(i - 1).wrapping_add(lattice.get1(i + 1)) / 2
             }
             [i, j] => {
                 let (i, j) = (i as isize, j as isize);
-                (lattice.get2(i, j - 1) + lattice.get2(i, j + 1)) / 2
+                lattice.get2(i, j - 1).wrapping_add(lattice.get2(i, j + 1)) / 2
             }
             [k, i, j] => {
                 let (k, i, j) = (k as isize, i as isize, j as isize);
-                (lattice.get3(k, i, j - 1) + lattice.get3(k, i, j + 1)) / 2
+                lattice
+                    .get3(k, i, j - 1)
+                    .wrapping_add(lattice.get3(k, i, j + 1))
+                    / 2
             }
             _ => unreachable!(),
         }

@@ -1,5 +1,6 @@
 //! Dense owned scientific field.
 
+use crate::region::Region;
 use crate::shape::{Axis, Shape};
 
 /// A dense, row-major array of `f32` samples with an attached [`Shape`].
@@ -149,6 +150,79 @@ impl Field {
         Field::from_vec(out_shape, out)
     }
 
+    /// Extract the contiguous slab `[r0, r1)` along axis 0 (the slowest
+    /// axis). Because fields are row-major this is a single memcpy; it is
+    /// the chunking primitive of the blocked archive container.
+    pub fn slab(&self, r0: usize, r1: usize) -> Field {
+        let dims = self.shape.dims();
+        assert!(r0 < r1 && r1 <= dims[0], "slab [{r0}, {r1}) out of bounds");
+        let slab_len: usize = dims[1..].iter().product::<usize>().max(1);
+        let out_dims: Vec<usize> = std::iter::once(r1 - r0)
+            .chain(dims[1..].iter().copied())
+            .collect();
+        Field::from_vec(
+            Shape::from_slice(&out_dims),
+            self.data[r0 * slab_len..r1 * slab_len].to_vec(),
+        )
+    }
+
+    /// Concatenate same-trailing-shape parts along axis 0 (inverse of
+    /// repeated [`Field::slab`] extraction over a partition).
+    pub fn concat_axis0(parts: &[Field]) -> Field {
+        assert!(!parts.is_empty(), "nothing to concatenate");
+        let first = parts[0].shape();
+        let trailing: &[usize] = &first.dims()[1..];
+        let mut rows = 0usize;
+        let mut data = Vec::new();
+        for p in parts {
+            assert_eq!(
+                &p.shape().dims()[1..],
+                trailing,
+                "trailing shape mismatch in concat_axis0"
+            );
+            rows += p.shape().dims()[0];
+            data.extend_from_slice(p.as_slice());
+        }
+        let out_dims: Vec<usize> = std::iter::once(rows)
+            .chain(trailing.iter().copied())
+            .collect();
+        Field::from_vec(Shape::from_slice(&out_dims), data)
+    }
+
+    /// Copy out an axis-aligned [`Region`] (must fit this field's shape).
+    pub fn crop(&self, region: &Region) -> Field {
+        region
+            .validate(self.shape)
+            .unwrap_or_else(|e| panic!("invalid region for {}: {e}", self.shape));
+        let out_shape = region.shape();
+        let mut out = Vec::with_capacity(out_shape.len());
+        match self.shape.ndim() {
+            1 => out.extend_from_slice(&self.data[region.start(0)..region.end(0)]),
+            2 => {
+                let cols = self.shape.dims()[1];
+                for i in region.start(0)..region.end(0) {
+                    out.extend_from_slice(
+                        &self.data[i * cols + region.start(1)..i * cols + region.end(1)],
+                    );
+                }
+            }
+            3 => {
+                let d = self.shape.dims();
+                let (n1, n2) = (d[1], d[2]);
+                for k in region.start(0)..region.end(0) {
+                    for i in region.start(1)..region.end(1) {
+                        let base = (k * n1 + i) * n2;
+                        out.extend_from_slice(
+                            &self.data[base + region.start(2)..base + region.end(2)],
+                        );
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        Field::from_vec(out_shape, out)
+    }
+
     /// Copy a rectangular window `[r0..r0+h) × [c0..c0+w)` out of a 2-D field.
     pub fn window2d(&self, r0: usize, c0: usize, h: usize, w: usize) -> Field {
         assert_eq!(self.shape.ndim(), 2, "window2d requires a 2-D field");
@@ -254,5 +328,49 @@ mod tests {
     #[should_panic]
     fn from_vec_rejects_wrong_len() {
         let _ = Field::from_vec(Shape::d2(2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn slab_extracts_contiguous_rows() {
+        let f = iota(Shape::d3(4, 2, 3));
+        let s = f.slab(1, 3);
+        assert_eq!(s.shape(), Shape::d3(2, 2, 3));
+        assert_eq!(
+            s.as_slice(),
+            &(6..18).map(|v| v as f32).collect::<Vec<_>>()[..]
+        );
+        let f2 = iota(Shape::d1(5));
+        assert_eq!(f2.slab(2, 4).as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_inverts_slab_partition() {
+        let f = iota(Shape::d2(7, 3));
+        let parts = vec![f.slab(0, 2), f.slab(2, 5), f.slab(5, 7)];
+        assert_eq!(Field::concat_axis0(&parts), f);
+    }
+
+    #[test]
+    fn crop_matches_manual_indexing() {
+        let f = iota(Shape::d3(4, 5, 6));
+        let r = Region::d3(1, 3, 2, 4, 0, 6);
+        let c = f.crop(&r);
+        assert_eq!(c.shape(), Shape::d3(2, 2, 6));
+        for k in 0..2 {
+            for i in 0..2 {
+                for j in 0..6 {
+                    assert_eq!(c.get(&[k, i, j]), f.get(&[k + 1, i + 2, j]));
+                }
+            }
+        }
+        // full-region crop is the identity
+        assert_eq!(f.crop(&Region::full(f.shape())), f);
+    }
+
+    #[test]
+    #[should_panic]
+    fn crop_rejects_out_of_bounds() {
+        let f = iota(Shape::d2(3, 3));
+        let _ = f.crop(&Region::d2(0, 4, 0, 3));
     }
 }

@@ -20,12 +20,14 @@ pub mod dataset;
 pub mod diff;
 pub mod field;
 pub mod patch;
+pub mod region;
 pub mod shape;
 pub mod stats;
 
 pub use dataset::Dataset;
 pub use field::Field;
 pub use patch::{Patch, PatchSampler};
+pub use region::Region;
 pub use shape::{Axis, Shape};
 pub use stats::{FieldStats, Normalizer};
 

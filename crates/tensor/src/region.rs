@@ -1,0 +1,167 @@
+//! Axis-aligned sub-regions of a field — the random-access unit of the
+//! chunked archive (`cfc_core::archive`'s `decode_region`).
+
+use crate::shape::Shape;
+use crate::MAX_DIMS;
+
+/// A half-open axis-aligned box `[start, end)` over a field's index space.
+///
+/// Constructed per dimensionality ([`Region::d1`] / [`Region::d2`] /
+/// [`Region::d3`]) or from ranges ([`Region::from_ranges`]); validated
+/// against a concrete [`Shape`] with [`Region::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    start: [usize; MAX_DIMS],
+    end: [usize; MAX_DIMS],
+    ndim: usize,
+}
+
+impl Region {
+    /// 1-D region `[s0, e0)`.
+    pub fn d1(s0: usize, e0: usize) -> Self {
+        Self::from_ranges(&[(s0, e0)])
+    }
+
+    /// 2-D region `[s0, e0) × [s1, e1)`.
+    pub fn d2(s0: usize, e0: usize, s1: usize, e1: usize) -> Self {
+        Self::from_ranges(&[(s0, e0), (s1, e1)])
+    }
+
+    /// 3-D region `[s0, e0) × [s1, e1) × [s2, e2)`.
+    pub fn d3(s0: usize, e0: usize, s1: usize, e1: usize, s2: usize, e2: usize) -> Self {
+        Self::from_ranges(&[(s0, e0), (s1, e1), (s2, e2)])
+    }
+
+    /// Build from `(start, end)` pairs, one per axis (1–3 axes, each
+    /// non-empty). Panics on malformed input — use [`Region::validate`] to
+    /// check against a shape fallibly.
+    pub fn from_ranges(ranges: &[(usize, usize)]) -> Self {
+        assert!(
+            (1..=MAX_DIMS).contains(&ranges.len()),
+            "regions have 1-{MAX_DIMS} axes"
+        );
+        let mut start = [0usize; MAX_DIMS];
+        let mut end = [1usize; MAX_DIMS];
+        for (k, &(s, e)) in ranges.iter().enumerate() {
+            assert!(s < e, "axis {k} range [{s}, {e}) is empty");
+            start[k] = s;
+            end[k] = e;
+        }
+        Region {
+            start,
+            end,
+            ndim: ranges.len(),
+        }
+    }
+
+    /// The whole index space of `shape`.
+    pub fn full(shape: Shape) -> Self {
+        let ranges: Vec<(usize, usize)> = shape.dims().iter().map(|&d| (0, d)).collect();
+        Self::from_ranges(&ranges)
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Start index on `axis`.
+    #[inline]
+    pub fn start(&self, axis: usize) -> usize {
+        self.start[axis]
+    }
+
+    /// One-past-the-end index on `axis`.
+    #[inline]
+    pub fn end(&self, axis: usize) -> usize {
+        self.end[axis]
+    }
+
+    /// Extent along `axis`.
+    #[inline]
+    pub fn extent(&self, axis: usize) -> usize {
+        self.end[axis] - self.start[axis]
+    }
+
+    /// Shape of the extracted region.
+    pub fn shape(&self) -> Shape {
+        let dims: Vec<usize> = (0..self.ndim).map(|k| self.extent(k)).collect();
+        Shape::from_slice(&dims)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        (0..self.ndim).map(|k| self.extent(k)).product()
+    }
+
+    /// True when the region selects no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Check the region fits inside `shape`; `Err` carries a description of
+    /// the first violation (dimensionality or an out-of-bounds axis).
+    pub fn validate(&self, shape: Shape) -> Result<(), String> {
+        if self.ndim != shape.ndim() {
+            return Err(format!(
+                "region has {} axes, field has {}",
+                self.ndim,
+                shape.ndim()
+            ));
+        }
+        for (k, &d) in shape.dims().iter().enumerate() {
+            if self.end[k] > d {
+                return Err(format!(
+                    "axis {k} range [{}, {}) exceeds extent {d}",
+                    self.start[k], self.end[k]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = (0..self.ndim)
+            .map(|k| format!("{}..{}", self.start[k], self.end[k]))
+            .collect();
+        write!(f, "[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_shape_and_len() {
+        let r = Region::d3(1, 3, 0, 4, 2, 5);
+        assert_eq!(r.shape(), Shape::d3(2, 4, 3));
+        assert_eq!(r.len(), 24);
+        assert_eq!(r.to_string(), "[1..3, 0..4, 2..5]");
+    }
+
+    #[test]
+    fn full_covers_shape() {
+        let s = Shape::d2(7, 9);
+        let r = Region::full(s);
+        assert_eq!(r.shape(), s);
+        assert!(r.validate(s).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_mismatches() {
+        let r = Region::d2(0, 4, 0, 4);
+        assert!(r.validate(Shape::d3(4, 4, 4)).is_err());
+        assert!(r.validate(Shape::d2(3, 4)).is_err());
+        assert!(r.validate(Shape::d2(4, 4)).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let _ = Region::d1(3, 3);
+    }
+}

@@ -10,13 +10,14 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use cross_field_compression::core::archive::{ArchiveBuilder, ArchiveReader};
 use cross_field_compression::core::config::{CfnnSpec, TrainConfig};
 use cross_field_compression::core::pipeline::{CrossFieldCodec, CrossFieldCompressor};
 use cross_field_compression::core::train::train_cfnn;
 use cross_field_compression::datagen::FractalNoise;
 use cross_field_compression::metrics::{psnr, ssim_field};
 use cross_field_compression::sz::Codec;
-use cross_field_compression::tensor::{Field, Shape};
+use cross_field_compression::tensor::{Dataset, Field, Region, Shape};
 
 fn main() {
     // 1. Make a pair of correlated fields (in practice: two variables of one
@@ -110,4 +111,34 @@ fn main() {
     println!("error bound {eb:.6} — worst reconstruction error {worst:.6} (must be ≤)");
     assert!(worst <= eb * (1.0 + 1e-9));
     println!("✓ error bound verified");
+
+    // 6. Layer 2 in one breath: the same pair as a chunked streaming
+    //    archive. `write_to` streams blocks into any `io::Write`;
+    //    `ArchiveReader::open` parses only the manifest; `decode_region`
+    //    reads just the blocks that cover a window.
+    let mut ds = Dataset::new("QUICK", shape);
+    ds.push("anchor", anchor);
+    ds.push("target", target.clone());
+    let mut sink = Vec::new(); // any io::Write — a File works the same way
+    let report = ArchiveBuilder::relative(1e-3)
+        .cross_field("target", &["anchor"])
+        .train_config(TrainConfig::fast()) // quick demo-scale training
+        .chunk_elements(64 * cols) // 64 rows per block → 6 blocks
+        .build()
+        .write_to(&ds, &mut sink)
+        .expect("archive write");
+    let reader = ArchiveReader::new(&sink).expect("archive parse");
+    let window = reader
+        .decode_region("target", &Region::d2(100, 140, 200, 260))
+        .expect("region decode");
+    println!(
+        "\narchive: {} fields, {:.2}x, {} blocks/field — decoded a {} window \
+         from {} of {} blocks",
+        report.fields.len(),
+        report.ratio(),
+        report.fields[0].n_blocks,
+        window.shape(),
+        2, // rows 100..140 span blocks 1 and 2 at 64 rows/block
+        report.fields[0].n_blocks,
+    );
 }

@@ -1,0 +1,163 @@
+//! Property tests for chunk-boundary correctness of the v2 archive
+//! container:
+//!
+//! * for random shapes, chunk sizes, and sub-ranges, `decode_region` must
+//!   equal the same slice of `decode_all` — block boundaries must never
+//!   leak into the samples;
+//! * a single flipped bit anywhere inside a block payload must surface as
+//!   a typed [`CfcError::ChecksumMismatch`], never a panic and never a
+//!   silent wrong decode.
+
+use proptest::prelude::*;
+
+use cross_field_compression::core::archive::{ArchiveBuilder, ArchiveReader};
+use cross_field_compression::sz::CfcError;
+use cross_field_compression::tensor::{Dataset, Field, Region, Shape};
+
+/// Deterministic two-field snapshot parameterized by a few wave numbers so
+/// every proptest case sees different data.
+fn snapshot(shape: Shape, k0: f32, k1: f32, amp: f32) -> Dataset {
+    let a = Field::from_fn(shape, |i| {
+        let x = i[0] as f32 * (0.05 + k0 * 0.01);
+        let y = *i.get(1).unwrap_or(&0) as f32 * (0.03 + k1 * 0.01);
+        let z = *i.get(2).unwrap_or(&0) as f32 * 0.07;
+        x.sin() * amp + y.cos() * (amp * 0.5) + z * 0.3 + 10.0
+    });
+    let b = a.map(|v| 0.7 * v - 3.0);
+    let mut ds = Dataset::new("PROP", shape);
+    ds.push("A", a);
+    ds.push("B", b);
+    ds
+}
+
+/// Map a `(lo_frac, hi_frac)` pair in 0..1000 to a non-empty subrange of
+/// `0..extent`.
+fn subrange(extent: usize, lo: u32, hi: u32) -> (usize, usize) {
+    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    let s = (lo as usize * extent) / 1001;
+    let e = ((hi as usize * extent) / 1001 + 1).min(extent);
+    (s.min(extent - 1), e.max(s + 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// 2-D: any sub-range of any chunking equals the slice of decode_all.
+    #[test]
+    fn region_equals_decode_all_slice_2d(
+        rows in 4usize..40,
+        cols in 4usize..20,
+        chunk_rows in 1usize..14,
+        f0 in 0u32..1000, f1 in 0u32..1000,
+        f2 in 0u32..1000, f3 in 0u32..1000,
+        k0 in 0u32..8, k1 in 0u32..8,
+    ) {
+        let shape = Shape::d2(rows, cols);
+        let ds = snapshot(shape, k0 as f32, k1 as f32, 15.0);
+        let bytes = ArchiveBuilder::relative(1e-3)
+            .chunk_elements(chunk_rows * cols)
+            .build()
+            .write(&ds)
+            .expect("write");
+        let reader = ArchiveReader::new(&bytes).expect("parse");
+        let dec = reader.decode_all().expect("decode_all");
+        let (r0, r1) = subrange(rows, f0, f1);
+        let (c0, c1) = subrange(cols, f2, f3);
+        let region = Region::d2(r0, r1, c0, c1);
+        for name in ["A", "B"] {
+            let got = reader.decode_region(name, &region).expect("decode_region");
+            let want = dec.expect_field(name).crop(&region);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// 3-D: same property across depth-chunked volumes.
+    #[test]
+    fn region_equals_decode_all_slice_3d(
+        depth in 2usize..12,
+        rows in 4usize..10,
+        cols in 4usize..10,
+        chunk_slabs in 1usize..5,
+        f0 in 0u32..1000, f1 in 0u32..1000,
+        k0 in 0u32..8, k1 in 0u32..8,
+    ) {
+        let shape = Shape::d3(depth, rows, cols);
+        let ds = snapshot(shape, k0 as f32, k1 as f32, 8.0);
+        let bytes = ArchiveBuilder::relative(1e-3)
+            .chunk_elements(chunk_slabs * rows * cols)
+            .build()
+            .write(&ds)
+            .expect("write");
+        let reader = ArchiveReader::new(&bytes).expect("parse");
+        let dec = reader.decode_all().expect("decode_all");
+        let (d0, d1) = subrange(depth, f0, f1);
+        let region = Region::d3(d0, d1, 0, rows, 1, cols);
+        for name in ["A", "B"] {
+            let got = reader.decode_region(name, &region).expect("decode_region");
+            let want = dec.expect_field(name).crop(&region);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Any single flipped bit inside any block payload is caught by the
+    /// block CRC as a typed error — never a panic, never a wrong decode.
+    #[test]
+    fn flipped_block_bit_is_a_typed_checksum_error(
+        rows in 6usize..24,
+        cols in 4usize..12,
+        chunk_rows in 1usize..8,
+        pick in 0u32..1_000_000,
+        bit in 0u8..8,
+        k0 in 0u32..8,
+    ) {
+        let shape = Shape::d2(rows, cols);
+        let ds = snapshot(shape, k0 as f32, 3.0, 20.0);
+        let bytes = ArchiveBuilder::relative(1e-3)
+            .chunk_elements(chunk_rows * cols)
+            .build()
+            .write(&ds)
+            .expect("write");
+        let reader = ArchiveReader::new(&bytes).expect("parse");
+
+        // choose a (field, block, byte) uniformly from all block payloads
+        let spans: Vec<(String, usize, u64, usize)> = reader
+            .entries()
+            .iter()
+            .flat_map(|e| {
+                (0..e.n_blocks()).map(move |bi| {
+                    let (off, len) = e.block_span(bi).expect("v2 span");
+                    (e.name.clone(), bi, off, len)
+                })
+            })
+            .collect();
+        let total: usize = spans.iter().map(|s| s.3).sum();
+        prop_assert!(total > 0, "block payloads cannot be empty");
+        let mut target = pick as usize % total;
+        let (name, bi, off, _) = spans
+            .iter()
+            .find(|s| {
+                if target < s.3 {
+                    true
+                } else {
+                    target -= s.3;
+                    false
+                }
+            })
+            .expect("span found");
+
+        let mut bad = bytes.clone();
+        bad[*off as usize + target] ^= 1 << bit;
+        let bad_reader = ArchiveReader::new(&bad).expect("TOC untouched");
+        let res = std::panic::catch_unwind(|| bad_reader.decode_block(name, *bi));
+        match res {
+            Ok(Err(CfcError::ChecksumMismatch { .. })) => {}
+            Ok(other) => prop_assert!(false, "expected ChecksumMismatch, got {other:?}"),
+            Err(_) => prop_assert!(false, "decode_block panicked on a flipped bit"),
+        }
+        // the full decode hits the same wall, typed
+        prop_assert!(matches!(
+            bad_reader.decode_all(),
+            Err(CfcError::ChecksumMismatch { .. })
+        ));
+    }
+}

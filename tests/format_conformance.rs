@@ -1,0 +1,266 @@
+//! Golden-vector format conformance: the CFAR container layout is a
+//! compatibility surface, pinned by committed fixtures under
+//! `tests/golden/` (regenerate with `cargo run -p cfc-bench --bin
+//! make_golden`).
+//!
+//! Each test decodes a committed fixture and asserts the manifest (names,
+//! roles, anchors, shapes, block counts), the compression ratios, and the
+//! pointwise max-error bounds — and, for layouts the current writer can
+//! produce, that it still reproduces the fixture **byte-for-byte**. Any
+//! accidental change to the serialized layout fails here first.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cfc_bench::golden;
+use cross_field_compression::core::archive::{ArchiveReader, FieldRole};
+use cross_field_compression::tensor::{Dataset, Region};
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+fn assert_within_bounds(orig: &Dataset, dec: &Dataset, entries: &[(String, f64)]) {
+    for (name, eb) in entries {
+        let o = orig.expect_field(name);
+        let d = dec.expect_field(name);
+        let worst = o
+            .as_slice()
+            .iter()
+            .zip(d.as_slice())
+            .map(|(a, b)| (a - b).abs() as f64)
+            .fold(0.0, f64::max);
+        assert!(
+            worst <= eb * (1.0 + 1e-9),
+            "{name}: worst error {worst} exceeds bound {eb}"
+        );
+    }
+}
+
+#[test]
+fn v1_fixture_decodes_with_expected_manifest() {
+    let bytes = fixture("small_v1.cfar");
+    let reader = ArchiveReader::new(&bytes).expect("parse v1");
+    assert_eq!(reader.version(), 1);
+    assert_eq!(reader.name(), "GOLDEN");
+
+    let names: Vec<&str> = reader.entries().iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["T", "P", "RH"]);
+    let roles: Vec<FieldRole> = reader.entries().iter().map(|e| e.role).collect();
+    assert_eq!(
+        roles,
+        [FieldRole::Anchor, FieldRole::Anchor, FieldRole::Target]
+    );
+    assert_eq!(reader.entries()[2].anchors, ["T", "P"]);
+    for e in reader.entries() {
+        assert!(e.eb_abs > 0.0 && e.eb_abs.is_finite());
+        assert_eq!(e.n_blocks(), 1, "v1 entries are monolithic");
+        assert_eq!(e.shape(), None, "v1 manifests predate the shape column");
+        assert!(e.stream_len() > 0);
+    }
+    // the whole archive compresses (32*32 * 3 fields * 4 bytes raw)
+    let raw = 32 * 32 * 3 * 4;
+    assert!(bytes.len() < raw, "fixture must actually compress");
+
+    let ds = golden::golden_dataset();
+    let dec = reader.decode_all().expect("decode v1");
+    assert_eq!(dec.field_names(), ds.field_names());
+    let bounds: Vec<(String, f64)> = reader
+        .entries()
+        .iter()
+        .map(|e| (e.name.clone(), e.eb_abs))
+        .collect();
+    assert_within_bounds(&ds, &dec, &bounds);
+}
+
+#[test]
+fn v1_layout_is_reproducible_byte_for_byte() {
+    // the frozen v1 writer must keep producing the committed bytes — this
+    // is what lets `make_golden` regenerate the fixture forever
+    let bytes = fixture("small_v1.cfar");
+    assert_eq!(
+        golden::write_v1(&golden::golden_dataset()),
+        bytes,
+        "write_v1 drifted from the committed v1 fixture"
+    );
+}
+
+#[test]
+fn v2_fixture_decodes_with_expected_manifest() {
+    let bytes = fixture("small_v2.cfar");
+    let reader = ArchiveReader::new(&bytes).expect("parse v2");
+    assert_eq!(reader.version(), 2);
+    assert_eq!(reader.name(), "GOLDEN");
+
+    let ds = golden::golden_dataset();
+    for e in reader.entries() {
+        assert_eq!(e.shape(), Some(ds.shape()), "v2 manifests record shape");
+        assert_eq!(e.n_blocks(), 4, "32 rows at 8 rows/block");
+        let blocks: usize = (0..e.n_blocks()).filter_map(|i| e.block_len(i)).sum();
+        assert!(
+            e.stream_len() >= blocks,
+            "payload must cover its blocks (plus meta for targets)"
+        );
+    }
+    let rh = &reader.entries()[2];
+    assert_eq!(rh.role, FieldRole::Target);
+    assert_eq!(rh.anchors, ["T", "P"]);
+
+    let dec = reader.decode_all().expect("decode v2");
+    let bounds: Vec<(String, f64)> = reader
+        .entries()
+        .iter()
+        .map(|e| (e.name.clone(), e.eb_abs))
+        .collect();
+    assert_within_bounds(&ds, &dec, &bounds);
+
+    // per-field ratio sanity: baseline fields compress against raw f32;
+    // the target's payload is dominated by its embedded CFNN on a field
+    // this tiny (the paper's model-overhead effect), so only assert it is
+    // present and bounded
+    let n = ds.shape().len();
+    for e in reader.entries() {
+        let ratio = (n * 4) as f64 / e.stream_len() as f64;
+        if e.role == FieldRole::Target {
+            assert!(ratio > 0.1, "{}: ratio {ratio} implausibly low", e.name);
+        } else {
+            assert!(ratio > 1.0, "{}: ratio {ratio} too low", e.name);
+        }
+    }
+}
+
+#[test]
+fn v2_writer_reproduces_fixture_byte_for_byte() {
+    let bytes = fixture("small_v2.cfar");
+    let written = golden::golden_builder()
+        .chunk_elements(golden::GOLDEN_CHUNK_ELEMENTS)
+        .build()
+        .write(&golden::golden_dataset())
+        .expect("write");
+    assert_eq!(
+        written, bytes,
+        "the production writer drifted from the committed v2 fixture — \
+         if the format change is intentional, bump ARCHIVE_VERSION and \
+         regenerate with make_golden"
+    );
+}
+
+#[test]
+fn partial_block_fixture_accounts_exactly() {
+    let bytes = fixture("partial_v2.cfar");
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    assert_eq!(reader.version(), 2);
+    let ds = golden::golden_dataset_3d();
+    for e in reader.entries() {
+        // depth 5 at 2 slabs/block → 3 blocks, last partial
+        assert_eq!(e.n_blocks(), 3);
+        let blocks: usize = (0..e.n_blocks()).filter_map(|i| e.block_len(i)).sum();
+        assert_eq!(
+            e.stream_len(),
+            blocks,
+            "baseline fields carry no meta; payload must equal Σ block lens"
+        );
+    }
+    let written = golden::golden_partial_builder()
+        .build()
+        .write(&ds)
+        .expect("write");
+    assert_eq!(written, bytes, "partial-block fixture drifted");
+
+    let dec = reader.decode_all().expect("decode");
+    let bounds: Vec<(String, f64)> = reader
+        .entries()
+        .iter()
+        .map(|e| (e.name.clone(), e.eb_abs))
+        .collect();
+    assert_within_bounds(&ds, &dec, &bounds);
+    // the partial final block decodes standalone with the right shape
+    let last = reader.decode_block("U", 2).expect("partial block");
+    assert_eq!(last.shape().dims(), &[1, 12, 12]);
+}
+
+/// `Read + Seek` wrapper that counts every byte actually read — the
+/// instrument behind the random-access acceptance test.
+struct CountingReader<R> {
+    inner: R,
+    read: Arc<AtomicU64>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl<R: Seek> Seek for CountingReader<R> {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
+    }
+}
+
+#[test]
+fn decode_region_reads_strictly_fewer_bytes_than_full_decode() {
+    // acceptance criterion: on a multi-field dataset ≥ 4 chunks long,
+    // random access must touch fewer bytes while matching decode_all
+    let bytes = fixture("small_v2.cfar");
+
+    fn count_with<T>(
+        bytes: &[u8],
+        f: impl FnOnce(&ArchiveReader<CountingReader<std::io::Cursor<Vec<u8>>>>) -> T,
+    ) -> (T, u64, u64) {
+        let read = Arc::new(AtomicU64::new(0));
+        let src = CountingReader {
+            inner: std::io::Cursor::new(bytes.to_vec()),
+            read: Arc::clone(&read),
+        };
+        let reader = ArchiveReader::open(src).expect("parse");
+        let parsed = read.load(Ordering::Relaxed); // TOC cost, shared by both
+        let out = f(&reader);
+        (out, read.load(Ordering::Relaxed), parsed)
+    }
+
+    let (full, full_bytes, _) = count_with(&bytes, |r| {
+        let dec = r.decode_all().expect("decode_all");
+        (
+            dec.expect_field("T").clone(),
+            dec.expect_field("RH").clone(),
+        )
+    });
+    let (full_t, full_rh) = full;
+
+    let region = Region::d2(9, 15, 4, 28); // block 1 (rows 8..16) only
+
+    // cross-field target: reads its block + the matching anchor blocks +
+    // the field meta (embedded model) — strictly fewer bytes than a full
+    // decode, and the same samples
+    let (rh_region, rh_bytes, _) = count_with(&bytes, |r| {
+        r.decode_region("RH", &region).expect("decode_region RH")
+    });
+    assert!(
+        rh_bytes < full_bytes,
+        "target region decode read {rh_bytes} bytes, full decode {full_bytes}"
+    );
+    assert_eq!(
+        rh_region,
+        full_rh.crop(&region),
+        "random-access decode must match the full decode exactly"
+    );
+
+    // baseline field: one block out of twelve, no meta — the payload
+    // traffic collapses to a small fraction of the full decode
+    let (t_region, t_bytes, parsed) = count_with(&bytes, |r| {
+        r.decode_region("T", &region).expect("decode_region T")
+    });
+    assert!(
+        t_bytes.saturating_sub(parsed) * 4 < full_bytes.saturating_sub(parsed),
+        "baseline random access should touch well under a quarter of the \
+         payload ({t_bytes} vs {full_bytes}, TOC {parsed})"
+    );
+    assert_eq!(t_region, full_t.crop(&region));
+}

@@ -31,9 +31,12 @@ fn sample_archive() -> (Vec<u8>, Dataset) {
     let mut ds = Dataset::new("ROBUST", shape);
     ds.push("A", anchor);
     ds.push("T", target);
+    // chunked: 6 rows per block → 4 blocks per field, so the sweeps below
+    // also cover the v2 block index and per-block streams
     let bytes = ArchiveBuilder::relative(1e-3)
         .train_config(TrainConfig::fast())
         .cross_field("T", &["A"])
+        .chunk_elements(6 * 24)
         .build()
         .write(&ds)
         .expect("archive write");
@@ -231,6 +234,115 @@ fn archive_bit_flips_never_panic() {
     // and the pristine archive still round-trips
     let dec = ArchiveReader::new(&bytes).unwrap().decode_all().unwrap();
     assert_eq!(dec.field_names(), ds.field_names());
+}
+
+#[test]
+fn archive_chunked_manifest_records_blocks() {
+    let (bytes, _) = sample_archive();
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    assert_eq!(reader.version(), 2);
+    for e in reader.entries() {
+        assert_eq!(e.n_blocks(), 4, "{}", e.name);
+    }
+}
+
+#[test]
+fn archive_truncated_block_index_rejected() {
+    let (bytes, _) = sample_archive();
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    let e = &reader.entries()[0];
+    // the block index (20 bytes/block) sits immediately before the payload;
+    // baseline entries carry no meta, so block 0's span starts the payload
+    let payload_base = e.block_span(0).expect("span").0 as usize;
+    let index_start = payload_base - 20 * e.n_blocks();
+    // cut the file in the middle of the index: parse must fail cleanly
+    for cut in [index_start + 1, index_start + 19, payload_base - 1] {
+        let res = std::panic::catch_unwind(|| ArchiveReader::new(&bytes[..cut]));
+        match res {
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => panic!("archive cut inside the block index parsed"),
+            Err(_) => panic!("archive cut inside the block index panicked"),
+        }
+    }
+}
+
+#[test]
+fn archive_index_offsets_past_eof_rejected() {
+    let (bytes, _) = sample_archive();
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    let e = &reader.entries()[0];
+    let payload_base = e.block_span(0).expect("span").0 as usize;
+    let index_start = payload_base - 20 * e.n_blocks();
+
+    // block 0's rel_offset → far past the payload (and the file)
+    let mut bad = bytes.clone();
+    bad[index_start..index_start + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    assert!(
+        matches!(ArchiveReader::new(&bad), Err(CfcError::Corrupt { .. })),
+        "offset past payload must be a typed parse error"
+    );
+
+    // block 0's length → past EOF
+    let mut bad = bytes.clone();
+    bad[index_start + 8..index_start + 16].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    assert!(ArchiveReader::new(&bad).is_err());
+
+    // the field's payload length itself → past EOF
+    let payload_len_at = index_start - 8;
+    let mut bad = bytes.clone();
+    bad[payload_len_at..payload_len_at + 8].copy_from_slice(&(u64::MAX / 4).to_le_bytes());
+    assert!(
+        matches!(ArchiveReader::new(&bad), Err(CfcError::Truncated { .. })),
+        "payload pointing past EOF must be a typed parse error"
+    );
+}
+
+#[test]
+fn archive_v1_fixture_truncation_and_flips_never_panic() {
+    // the legacy container's read path gets the same sweeps as v2
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/small_v1.cfar");
+    let bytes = std::fs::read(path).expect("v1 fixture");
+    assert_eq!(ArchiveReader::new(&bytes).unwrap().version(), 1);
+    for cut in (0..bytes.len()).step_by(61) {
+        let res = std::panic::catch_unwind(|| match ArchiveReader::new(&bytes[..cut]) {
+            Ok(r) => r.decode_all().map(|_| ()),
+            Err(e) => Err(e),
+        });
+        match res {
+            Ok(Err(_)) => {}
+            Ok(Ok(())) => panic!("v1 prefix of {cut} bytes decoded fully"),
+            Err(_) => panic!("v1 prefix of {cut} bytes panicked"),
+        }
+    }
+    for pos in (0..bytes.len()).step_by(17) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0xFF;
+        let res = std::panic::catch_unwind(|| {
+            ArchiveReader::new(&bad).and_then(|r| r.decode_all().map(|_| ()))
+        });
+        assert!(res.is_ok(), "v1 byte flip at {pos} panicked");
+    }
+}
+
+#[test]
+fn archive_garbage_after_valid_toc_is_contained() {
+    // random bytes straight into the archive parser
+    let mut x = 0xDEAD_BEEF_1234_5678u64;
+    for len in [0usize, 1, 5, 21, 100, 512, 2048] {
+        let buf: Vec<u8> = (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 40) as u8
+            })
+            .collect();
+        let res = std::panic::catch_unwind(|| ArchiveReader::new(&buf).map(|_| ()));
+        assert!(res.is_ok(), "garbage of len {len} panicked");
+        if len < 4 || &buf[..4] != b"CFAR" {
+            assert!(res.unwrap().is_err());
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,97 @@
+//! Entropy-stage + end-to-end perf harness.
+//!
+//! ```sh
+//! # committed numbers (tens of MB per stage, ~a minute):
+//! cargo run --release -p cfc-bench --bin entropy_bench -- --label after --out BENCH_entropy.json
+//! # CI smoke (sub-second, validates the JSON schema and exits non-zero on rot):
+//! cargo run --release -p cfc-bench --bin entropy_bench -- --smoke --out target/bench_smoke.json
+//! ```
+
+use cfc_bench::perf::{run, to_json, validate_json, BenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut label = String::from("current");
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--label" => {
+                i += 1;
+                label = args.get(i).expect("--label needs a value").clone();
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("--out needs a value").clone());
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: entropy_bench [--smoke] [--label L] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = if smoke {
+        BenchConfig::smoke()
+    } else {
+        BenchConfig::full()
+    };
+    eprintln!(
+        "entropy_bench: {} symbols, radius {}, {} repeats{}",
+        cfg.n_symbols,
+        cfg.radius,
+        cfg.repeats,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let result = run(&label, cfg);
+
+    println!("run {:>22}: {}", "label", result.label);
+    println!(
+        "  huffman encode        {:>9.1} MB/s",
+        result.huffman_encode_mb_s
+    );
+    println!(
+        "  huffman decode        {:>9.1} MB/s",
+        result.huffman_decode_mb_s
+    );
+    println!(
+        "  huffman decode (ref)  {:>9.1} MB/s  ({:.2}x vs reference)",
+        result.huffman_decode_reference_mb_s,
+        result.huffman_decode_mb_s / result.huffman_decode_reference_mb_s
+    );
+    println!(
+        "  codes encode          {:>9.1} MB/s",
+        result.codes_encode_mb_s
+    );
+    println!(
+        "  codes decode          {:>9.1} MB/s",
+        result.codes_decode_mb_s
+    );
+    println!(
+        "  archive write         {:>9.1} MB/s",
+        result.archive_write_mb_s
+    );
+    println!(
+        "  archive decode_all    {:>9.1} MB/s",
+        result.archive_decode_mb_s
+    );
+    println!("  archive ratio         {:>9.2}x", result.archive_ratio);
+
+    let doc = to_json(std::slice::from_ref(&result));
+    if let Err(e) = validate_json(&doc) {
+        eprintln!("generated document failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output directory");
+            }
+        }
+        std::fs::write(&path, &doc).expect("write bench JSON");
+        eprintln!("wrote {path}");
+    }
+}

@@ -2,6 +2,7 @@
 //! per-figure binaries and criterion benches.
 
 pub mod golden;
+pub mod perf;
 pub mod pgm;
 pub mod runner;
 

@@ -1,0 +1,382 @@
+//! Entropy-stage + end-to-end perf harness behind the `entropy_bench`
+//! binary and the CI bench-smoke step.
+//!
+//! Measures, in MB/s of *raw* data moved (4 bytes per sample):
+//!
+//! * `huffman_encode` / `huffman_decode` — the canonical Huffman coder on a
+//!   realistic skewed quantization-code stream (mass concentrated at the
+//!   zero-residual code, exactly what the Lorenzo predictor produces on
+//!   smooth fields),
+//! * `huffman_decode_reference` — the bit-serial reference decoder kept for
+//!   differential testing, i.e. the pre-optimization decode path,
+//! * `codes_encode` / `codes_decode` — the full residual-code stage
+//!   (Huffman + LZSS) through `cfc_sz::compressor`,
+//! * `archive_write` / `archive_decode` — end-to-end chunked-archive
+//!   round-trip on a generated multi-field snapshot.
+//!
+//! Results serialize to a small hand-rolled JSON document (the offline
+//! build has no serde); [`validate_json`] checks the schema so CI can
+//! assert the tooling still works without trusting absolute numbers.
+
+use std::time::Instant;
+
+use cfc_core::archive::ArchiveBuilder;
+use cfc_datagen::{paper_catalog, GenParams};
+use cfc_sz::compressor::{encode_codes, try_decode_codes};
+use cfc_sz::huffman::HuffmanTable;
+use cfc_tensor::Shape;
+
+use crate::runner::bench_archive;
+
+/// Schema marker the JSON document carries; bump when fields change.
+pub const SCHEMA: &str = "cfc-entropy-bench-v1";
+
+/// Harness sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Quantization codes per entropy-stage trial.
+    pub n_symbols: usize,
+    /// Quantizer radius (alphabet = 2·radius + 1).
+    pub radius: u32,
+    /// Timed repetitions per stage (best-of is reported).
+    pub repeats: usize,
+    /// Scale factor applied to the archive dataset's default dims.
+    pub archive_scale: f64,
+}
+
+impl BenchConfig {
+    /// Full-size run for committed numbers (tens of MB per stage).
+    pub fn full() -> Self {
+        BenchConfig {
+            n_symbols: 4 << 20,
+            radius: 512,
+            repeats: 5,
+            archive_scale: 0.5,
+        }
+    }
+
+    /// Tiny CI smoke run: exercises every stage in well under a second.
+    pub fn smoke() -> Self {
+        BenchConfig {
+            n_symbols: 1 << 14,
+            radius: 512,
+            repeats: 2,
+            archive_scale: 0.06,
+        }
+    }
+}
+
+/// One labelled harness run.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Run label (e.g. `pr3-before`).
+    pub label: String,
+    /// Symbols per entropy trial.
+    pub n_symbols: usize,
+    /// Quantizer radius used for the synthetic code stream.
+    pub radius: u32,
+    /// Huffman encode throughput.
+    pub huffman_encode_mb_s: f64,
+    /// Huffman decode throughput (production path).
+    pub huffman_decode_mb_s: f64,
+    /// Bit-serial reference decode throughput (0 when not measured).
+    pub huffman_decode_reference_mb_s: f64,
+    /// Residual-code stage encode (Huffman + LZSS).
+    pub codes_encode_mb_s: f64,
+    /// Residual-code stage decode (LZSS + Huffman).
+    pub codes_decode_mb_s: f64,
+    /// End-to-end archive write.
+    pub archive_write_mb_s: f64,
+    /// End-to-end archive decode_all.
+    pub archive_decode_mb_s: f64,
+    /// Whole-archive compression ratio.
+    pub archive_ratio: f64,
+}
+
+/// Deterministic xorshift64* stream — no external RNG dependency, and the
+/// synthetic workload is identical on every machine.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Synthetic quantization-code stream with the skew the entropy coder sees
+/// in production: ~80% zero-residual, geometric tails, occasional escapes.
+pub fn synthetic_codes(n: usize, radius: u32) -> Vec<u32> {
+    let zero = radius;
+    let escape = 2 * radius;
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.next() % 1000;
+        let code = if roll < 800 {
+            zero
+        } else if roll < 990 {
+            // small residuals, geometrically decaying
+            let mag = (rng.next() % 16) as u32 + 1;
+            if rng.next() & 1 == 0 {
+                zero - mag.min(radius)
+            } else {
+                zero + mag.min(radius.saturating_sub(1))
+            }
+        } else if roll < 999 {
+            // medium residuals
+            let mag = (rng.next() % u64::from(radius.max(2) - 1)) as u32 + 1;
+            zero - mag
+        } else {
+            escape
+        };
+        out.push(code);
+    }
+    out
+}
+
+/// Best-of-`repeats` wall-clock seconds for `f` (after one warmup call).
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Run every stage and return the labelled measurements.
+pub fn run(label: &str, cfg: BenchConfig) -> BenchRun {
+    let codes = synthetic_codes(cfg.n_symbols, cfg.radius);
+    let mb = (codes.len() * 4) as f64 / 1e6;
+    let table = HuffmanTable::from_symbols(&codes);
+    let bits = table.encode(&codes);
+
+    let enc_s = best_secs(cfg.repeats, || {
+        std::hint::black_box(table.encode(std::hint::black_box(&codes)));
+    });
+    let dec_s = best_secs(cfg.repeats, || {
+        std::hint::black_box(
+            table
+                .try_decode(std::hint::black_box(&bits), codes.len())
+                .expect("harness stream decodes"),
+        );
+    });
+    let ref_s = best_secs(cfg.repeats, || {
+        std::hint::black_box(
+            table
+                .try_decode_reference(std::hint::black_box(&bits), codes.len())
+                .expect("harness stream decodes"),
+        );
+    });
+
+    let payload = encode_codes(&codes);
+    let stage_enc_s = best_secs(cfg.repeats, || {
+        std::hint::black_box(encode_codes(std::hint::black_box(&codes)));
+    });
+    let stage_dec_s = best_secs(cfg.repeats, || {
+        std::hint::black_box(
+            try_decode_codes(std::hint::black_box(&payload), codes.len())
+                .expect("harness payload decodes"),
+        );
+    });
+
+    // end-to-end: a SCALE-class snapshot at the configured scale
+    let info = paper_catalog()
+        .into_iter()
+        .find(|d| d.name == "SCALE")
+        .expect("SCALE in catalog");
+    let dims: Vec<usize> = info
+        .default_dims
+        .dims()
+        .iter()
+        .map(|&d| ((d as f64 * cfg.archive_scale) as usize).max(16))
+        .collect();
+    let ds = info.generate(Shape::from_slice(&dims), GenParams::default());
+    let bench = bench_archive(ArchiveBuilder::relative(1e-3).chunk_elements(1 << 16), &ds);
+
+    BenchRun {
+        label: label.to_string(),
+        n_symbols: cfg.n_symbols,
+        radius: cfg.radius,
+        huffman_encode_mb_s: mb / enc_s,
+        huffman_decode_mb_s: mb / dec_s,
+        huffman_decode_reference_mb_s: mb / ref_s,
+        codes_encode_mb_s: mb / stage_enc_s,
+        codes_decode_mb_s: mb / stage_dec_s,
+        archive_write_mb_s: bench.write_mb_s,
+        archive_decode_mb_s: bench.decode_all_mb_s,
+        archive_ratio: bench.ratio,
+    }
+}
+
+fn push_field(out: &mut String, key: &str, v: f64, comma: bool) {
+    out.push_str(&format!("    \"{key}\": {v:.2}"));
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+/// Serialize runs to the committed JSON layout.
+pub fn to_json(runs: &[BenchRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"unit\": \"MB/s of raw f32 samples\",\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"label\": \"{}\",\n", r.label));
+        out.push_str(&format!("    \"n_symbols\": {},\n", r.n_symbols));
+        out.push_str(&format!("    \"radius\": {},\n", r.radius));
+        push_field(&mut out, "huffman_encode_mb_s", r.huffman_encode_mb_s, true);
+        push_field(&mut out, "huffman_decode_mb_s", r.huffman_decode_mb_s, true);
+        push_field(
+            &mut out,
+            "huffman_decode_reference_mb_s",
+            r.huffman_decode_reference_mb_s,
+            true,
+        );
+        push_field(&mut out, "codes_encode_mb_s", r.codes_encode_mb_s, true);
+        push_field(&mut out, "codes_decode_mb_s", r.codes_decode_mb_s, true);
+        push_field(&mut out, "archive_write_mb_s", r.archive_write_mb_s, true);
+        push_field(&mut out, "archive_decode_mb_s", r.archive_decode_mb_s, true);
+        push_field(&mut out, "archive_ratio", r.archive_ratio, false);
+        out.push_str(if i + 1 < runs.len() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Keys every run object must carry with a positive numeric value.
+pub const REQUIRED_KEYS: [&str; 7] = [
+    "huffman_encode_mb_s",
+    "huffman_decode_mb_s",
+    "codes_encode_mb_s",
+    "codes_decode_mb_s",
+    "archive_write_mb_s",
+    "archive_decode_mb_s",
+    "archive_ratio",
+];
+
+/// Structural validation of a bench JSON document: schema marker present,
+/// at least one run, every required key present with a positive value.
+/// (Not a general JSON parser — just enough to keep the CI smoke step from
+/// passing on an empty or truncated file.)
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema marker {SCHEMA}"));
+    }
+    let n_runs = doc.matches("\"label\":").count();
+    if n_runs == 0 {
+        return Err("document holds no runs".into());
+    }
+    for key in REQUIRED_KEYS {
+        let needle = format!("\"{key}\":");
+        let count = doc.matches(&needle).count();
+        if count != n_runs {
+            return Err(format!("key {key} appears {count} times for {n_runs} runs"));
+        }
+        // every occurrence must be followed by a positive number
+        for (at, _) in doc.match_indices(&needle) {
+            let rest = doc[at + needle.len()..].trim_start();
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            match num.parse::<f64>() {
+                Ok(v) if v > 0.0 && v.is_finite() => {}
+                _ => return Err(format!("key {key} has non-positive value {num:?}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_codes_stay_in_alphabet() {
+        let codes = synthetic_codes(10_000, 512);
+        assert!(codes.iter().all(|&c| c <= 1024));
+        // skew: zero-residual code dominates
+        let zeros = codes.iter().filter(|&&c| c == 512).count();
+        assert!(zeros > codes.len() / 2);
+        // determinism across calls
+        assert_eq!(codes, synthetic_codes(10_000, 512));
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let run = BenchRun {
+            label: "unit".into(),
+            n_symbols: 100,
+            radius: 512,
+            huffman_encode_mb_s: 1.0,
+            huffman_decode_mb_s: 2.0,
+            huffman_decode_reference_mb_s: 0.5,
+            codes_encode_mb_s: 3.0,
+            codes_decode_mb_s: 4.0,
+            archive_write_mb_s: 5.0,
+            archive_decode_mb_s: 6.0,
+            archive_ratio: 7.0,
+        };
+        let doc = to_json(&[run.clone(), run]);
+        validate_json(&doc).expect("valid document");
+    }
+
+    #[test]
+    fn committed_bench_results_validate() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_entropy.json");
+        let doc = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        validate_json(&doc).expect("committed BENCH_entropy.json must satisfy the schema");
+        assert!(doc.contains("pr3-before") && doc.contains("pr3-after"));
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_json("{}").is_err());
+        let doc = to_json(&[BenchRun {
+            label: "bad".into(),
+            n_symbols: 1,
+            radius: 1,
+            huffman_encode_mb_s: 0.0, // non-positive
+            huffman_decode_mb_s: 1.0,
+            huffman_decode_reference_mb_s: 1.0,
+            codes_encode_mb_s: 1.0,
+            codes_decode_mb_s: 1.0,
+            archive_write_mb_s: 1.0,
+            archive_decode_mb_s: 1.0,
+            archive_ratio: 1.0,
+        }]);
+        assert!(validate_json(&doc).is_err());
+        // truncation must fail
+        let good = to_json(&[BenchRun {
+            label: "g".into(),
+            n_symbols: 1,
+            radius: 1,
+            huffman_encode_mb_s: 1.0,
+            huffman_decode_mb_s: 1.0,
+            huffman_decode_reference_mb_s: 1.0,
+            codes_encode_mb_s: 1.0,
+            codes_decode_mb_s: 1.0,
+            archive_write_mb_s: 1.0,
+            archive_decode_mb_s: 1.0,
+            archive_ratio: 1.0,
+        }]);
+        assert!(validate_json(&good[..good.len() / 2]).is_err());
+    }
+}

@@ -47,7 +47,10 @@ use std::sync::Mutex;
 use bytes::BufMut;
 use cfc_sz::error::Reader;
 use cfc_sz::stream::{Container, MAX_ELEMENTS};
-use cfc_sz::{crc32, CfcError, Codec, ErrorBound, QuantLattice, QuantizerConfig, SzCompressor};
+use cfc_sz::{
+    crc32, CfcError, Codec, DecodeScratch, EncodeScratch, ErrorBound, QuantLattice,
+    QuantizerConfig, SzCompressor,
+};
 use cfc_tensor::{Dataset, Field, FieldStats, Region, Shape};
 
 use crate::config::{CfnnSpec, CrossFieldConfig, TrainConfig};
@@ -489,27 +492,32 @@ impl ArchiveWriter {
         let tasks: Vec<(usize, usize)> = (0..independents.len())
             .flat_map(|fi| (0..n_blocks).map(move |bi| (fi, bi)))
             .collect();
-        let phase1 = run_parallel(tasks.len(), threads, |t| {
-            let (fi, bi) = tasks[t];
-            let (_, field, role) = independents[fi];
-            let block = SzCompressor {
-                bound: ErrorBound::Absolute(field_ebs[fi]),
-                quantizer: self.cfg.quantizer,
-                predictor: cfc_sz::PredictorKind::Lorenzo,
-            };
-            let (r0, r1) = block_range(dim0, chunk_slabs, bi);
-            let slab = field.slab(r0, r1);
-            let stream = block.compress(&slab)?;
-            // anchors are round-tripped here: the decoder's view of an
-            // anchor IS the decoded block stream, so reusing these bytes
-            // keeps both sides bit-identical by construction
-            let decoded = if role == FieldRole::Anchor {
-                Some(block.decompress(&stream.bytes)?)
-            } else {
-                None
-            };
-            Ok::<_, CfcError>((stream.bytes, decoded))
-        });
+        let phase1 = run_parallel_scratch(
+            tasks.len(),
+            threads,
+            || (EncodeScratch::new(), DecodeScratch::new()),
+            |(enc_scratch, dec_scratch), t| {
+                let (fi, bi) = tasks[t];
+                let (_, field, role) = independents[fi];
+                let block = SzCompressor {
+                    bound: ErrorBound::Absolute(field_ebs[fi]),
+                    quantizer: self.cfg.quantizer,
+                    predictor: cfc_sz::PredictorKind::Lorenzo,
+                };
+                let (r0, r1) = block_range(dim0, chunk_slabs, bi);
+                let slab = field.slab(r0, r1);
+                let stream = block.compress_with(&slab, enc_scratch)?;
+                // anchors are round-tripped here: the decoder's view of an
+                // anchor IS the decoded block stream, so reusing these bytes
+                // keeps both sides bit-identical by construction
+                let decoded = if role == FieldRole::Anchor {
+                    Some(block.decompress_with(&stream.bytes, dec_scratch)?)
+                } else {
+                    None
+                };
+                Ok::<_, CfcError>((stream.bytes, decoded))
+            },
+        );
         let mut encoded: HashMap<String, EncodedField> = independents
             .iter()
             .enumerate()
@@ -629,13 +637,13 @@ impl ArchiveWriter {
                 quantizer: self.cfg.quantizer,
                 predictor: cfc_sz::PredictorKind::Lorenzo,
             };
-            let blocks = run_parallel(n_blocks, threads, |bi| {
+            let blocks = run_parallel_scratch(n_blocks, threads, EncodeScratch::new, |s, bi| {
                 let (r0, r1) = block_range(dim0, chunk_slabs, bi);
                 let slab_shape = slab_shape_of(shape, r1 - r0);
                 let slab_lattice = lattice_slab(&lattice, shape, r0, r1, slab_shape);
                 let predictor =
                     CrossFieldHybridPredictor::new(&block_diffs[bi], eb, hybrid.clone());
-                let (container, _) = sz.compress_lattice(&slab_lattice, &predictor, eb);
+                let (container, _) = sz.compress_lattice_with(&slab_lattice, &predictor, eb, s);
                 container.to_bytes()
             });
 
@@ -825,6 +833,36 @@ impl ArchiveEntry {
     /// `[i·slabs, (i+1)·slabs)` of axis 0, the last block possibly fewer.
     pub fn chunk_slabs(&self) -> usize {
         self.chunk_slabs
+    }
+}
+
+/// Reusable per-worker buffers for block decode: the raw (compressed)
+/// block bytes plus the codec-level [`DecodeScratch`]. One scratch per
+/// worker thread lets steady-state block decode reuse its big
+/// element-proportional buffers instead of reallocating them per block;
+/// only the decoded field itself (and small per-stream transients) is
+/// freshly allocated.
+#[derive(Debug, Default)]
+pub struct ArchiveScratch {
+    /// Raw block bytes read from the source (CRC-checked before decode).
+    block: Vec<u8>,
+    /// Codec-level reusable buffers (payload/codes/outliers).
+    dec: DecodeScratch,
+    /// Times the raw block buffer had to grow.
+    block_growths: usize,
+}
+
+impl ArchiveScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total capacity growths across the raw block buffer and the
+    /// codec-level buffers since construction. Stable across decodes ⇔
+    /// steady-state block decode reuses the covered buffers.
+    pub fn growths(&self) -> usize {
+        self.block_growths + self.dec.growths()
     }
 }
 
@@ -1151,13 +1189,27 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
 
     /// Read `len` bytes at absolute offset `at`.
     fn read_at(&self, at: u64, len: usize, context: &'static str) -> Result<Vec<u8>, CfcError> {
+        let mut buf = Vec::new();
+        self.read_at_into(at, len, context, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Read `len` bytes at absolute offset `at` into a reusable buffer.
+    fn read_at_into(
+        &self,
+        at: u64,
+        len: usize,
+        context: &'static str,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), CfcError> {
         let mut src = self.src.lock().unwrap_or_else(|p| p.into_inner());
         src.seek(SeekFrom::Start(at)).map_err(|e| CfcError::Io {
             context,
             detail: e.to_string(),
         })?;
-        let mut buf = vec![0u8; len];
-        src.read_exact(&mut buf).map_err(|e| {
+        buf.clear();
+        buf.resize(len, 0);
+        src.read_exact(buf).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
                 CfcError::Truncated {
                     context,
@@ -1171,11 +1223,16 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
                 }
             }
         })?;
-        Ok(buf)
+        Ok(())
     }
 
-    /// Read one block's bytes and verify its CRC.
-    fn read_block(&self, entry: &ArchiveEntry, idx: usize) -> Result<Vec<u8>, CfcError> {
+    /// Read one block's bytes into the scratch buffer and verify its CRC.
+    fn read_block_into(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<(), CfcError> {
         let b = entry.blocks.get(idx).ok_or_else(|| {
             CfcError::InvalidInput(format!(
                 "field {} has {} blocks, asked for {idx}",
@@ -1183,8 +1240,15 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
                 entry.blocks.len()
             ))
         })?;
-        let bytes = self.read_at(entry.payload_base + b.rel_offset, b.len, "archive block")?;
-        let found = crc32(&bytes);
+        let cap = scratch.block.capacity();
+        self.read_at_into(
+            entry.payload_base + b.rel_offset,
+            b.len,
+            "archive block",
+            &mut scratch.block,
+        )?;
+        scratch.block_growths += usize::from(scratch.block.capacity() > cap);
+        let found = crc32(&scratch.block);
         if found != b.crc {
             return Err(CfcError::ChecksumMismatch {
                 context: "archive block",
@@ -1192,7 +1256,7 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
                 found,
             });
         }
-        Ok(bytes)
+        Ok(())
     }
 
     /// Read a field's meta area (embedded model + hybrid weights).
@@ -1210,10 +1274,16 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         Ok((model_bytes, hybrid))
     }
 
-    /// Decode one baseline (non-target) block to its slab field.
-    fn decode_baseline_block(&self, entry: &ArchiveEntry, idx: usize) -> Result<Field, CfcError> {
-        let bytes = self.read_block(entry, idx)?;
-        let field = baseline_decoder().decompress(&bytes)?;
+    /// Decode one baseline (non-target) block to its slab field through a
+    /// reusable scratch.
+    fn decode_baseline_block(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        self.read_block_into(entry, idx, scratch)?;
+        let field = baseline_decoder().decompress_with(&scratch.block, &mut scratch.dec)?;
         self.check_slab_shape(entry, idx, field.shape())?;
         Ok(field)
     }
@@ -1227,9 +1297,10 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         anchor_slabs: &[&Field],
         model_bytes: &[u8],
         hybrid: &HybridModel,
+        scratch: &mut ArchiveScratch,
     ) -> Result<Field, CfcError> {
-        let bytes = self.read_block(entry, idx)?;
-        let container = Container::try_from_bytes(&bytes)?;
+        self.read_block_into(entry, idx, scratch)?;
+        let container = Container::try_from_bytes(&scratch.block)?;
         self.check_slab_shape(entry, idx, container.shape)?;
         let ndim = container.shape.ndim();
         let mut model = deserialize_model(model_bytes)?;
@@ -1262,7 +1333,8 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         }
         let diffs = predict_differences(&mut model, anchor_slabs);
         let predictor = CrossFieldHybridPredictor::new(&diffs, container.eb, hybrid.clone());
-        let lattice = baseline_decoder().decompress_lattice(&container, &predictor)?;
+        let lattice =
+            baseline_decoder().decompress_lattice_with(&container, &predictor, &mut scratch.dec)?;
         Ok(lattice.reconstruct(container.eb))
     }
 
@@ -1292,6 +1364,18 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
     ///
     /// For v1 archives only block 0 exists and decodes the whole field.
     pub fn decode_block(&self, field: &str, idx: usize) -> Result<Field, CfcError> {
+        self.decode_block_with(field, idx, &mut ArchiveScratch::new())
+    }
+
+    /// [`ArchiveReader::decode_block`] through a caller-owned
+    /// [`ArchiveScratch`], so a loop over blocks reuses one set of decode
+    /// buffers instead of allocating per block.
+    pub fn decode_block_with(
+        &self,
+        field: &str,
+        idx: usize,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
         let entry = self.entry(field)?;
         if self.version == 1 {
             if idx != 0 {
@@ -1302,7 +1386,7 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
             return self.decode_field_v1(entry);
         }
         let meta = self.target_meta(entry)?;
-        self.decode_block_v2(entry, idx, meta.as_ref())
+        self.decode_block_v2(entry, idx, meta.as_ref(), scratch)
     }
 
     /// Parse a v2 target's meta once (`None` for baseline/anchor roles) —
@@ -1323,18 +1407,19 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         entry: &ArchiveEntry,
         idx: usize,
         meta: Option<&(Vec<u8>, HybridModel)>,
+        scratch: &mut ArchiveScratch,
     ) -> Result<Field, CfcError> {
         let Some((model_bytes, hybrid)) = meta else {
-            return self.decode_baseline_block(entry, idx);
+            return self.decode_baseline_block(entry, idx, scratch);
         };
         let mut slabs = Vec::with_capacity(entry.anchors.len());
         for a in &entry.anchors {
             // manifest validation guarantees anchors exist and are not targets
             let ae = self.entry(a).expect("validated anchor");
-            slabs.push(self.decode_baseline_block(ae, idx)?);
+            slabs.push(self.decode_baseline_block(ae, idx, scratch)?);
         }
         let slab_refs: Vec<&Field> = slabs.iter().collect();
-        self.decode_target_block(entry, idx, &slab_refs, model_bytes, hybrid)
+        self.decode_target_block(entry, idx, &slab_refs, model_bytes, hybrid, scratch)
     }
 
     /// Decode an axis-aligned [`Region`] of `field`, reading only the
@@ -1358,9 +1443,10 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         let b_first = region.start(0) / chunk;
         let b_last = (region.end(0) - 1) / chunk;
         let meta = self.target_meta(entry)?; // once, not per block
+        let mut scratch = ArchiveScratch::new(); // shared by the block loop
         let mut slabs = Vec::with_capacity(b_last - b_first + 1);
         for bi in b_first..=b_last {
-            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref())?);
+            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref(), &mut scratch)?);
         }
         let stitched = Field::concat_axis0(&slabs);
         // re-anchor the region to the stitched slab range
@@ -1428,9 +1514,9 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
             .enumerate()
             .flat_map(|(fi, e)| (0..e.blocks.len()).map(move |bi| (fi, bi)))
             .collect();
-        let phase1 = run_parallel(tasks.len(), threads, |t| {
+        let phase1 = run_parallel_scratch(tasks.len(), threads, ArchiveScratch::new, |s, t| {
             let (fi, bi) = tasks[t];
-            self.decode_baseline_block(independents[fi], bi)
+            self.decode_baseline_block(independents[fi], bi, s)
         });
         let mut slabs: HashMap<&str, Vec<Field>> = HashMap::new();
         for (&(fi, _), res) in tasks.iter().zip(phase1) {
@@ -1457,7 +1543,7 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
             .enumerate()
             .flat_map(|(fi, e)| (0..e.blocks.len()).map(move |bi| (fi, bi)))
             .collect();
-        let phase2 = run_parallel(t_tasks.len(), threads, |t| {
+        let phase2 = run_parallel_scratch(t_tasks.len(), threads, ArchiveScratch::new, |s, t| {
             let (fi, bi) = t_tasks[t];
             let e = targets[fi];
             let shape = e.shape.expect("v2 shape");
@@ -1469,7 +1555,7 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
                 .collect();
             let refs: Vec<&Field> = anchor_slabs.iter().collect();
             let (model_bytes, hybrid) = &metas[fi];
-            self.decode_target_block(e, bi, &refs, model_bytes, hybrid)
+            self.decode_target_block(e, bi, &refs, model_bytes, hybrid, s)
         });
         let mut t_slabs: HashMap<&str, Vec<Field>> = HashMap::new();
         for (&(fi, _), res) in t_tasks.iter().zip(phase2) {
@@ -1517,9 +1603,10 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
             return self.decode_field_v1(entry);
         }
         let meta = self.target_meta(entry)?; // once, not per block
+        let mut scratch = ArchiveScratch::new(); // shared by the block loop
         let mut slabs = Vec::with_capacity(entry.blocks.len());
         for bi in 0..entry.blocks.len() {
-            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref())?);
+            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref(), &mut scratch)?);
         }
         Ok(Field::concat_axis0(&slabs))
     }
@@ -1667,24 +1754,41 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_parallel_scratch(n, threads, || (), |(), i| f(i))
+}
+
+/// [`run_parallel`] with per-worker scratch state: each worker calls
+/// `init` once and threads the value through every task it claims, so
+/// steady-state block processing reuses one set of buffers per thread
+/// instead of allocating per block.
+fn run_parallel_scratch<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
     let workers = threads.clamp(1, n);
     if workers == 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&mut scratch, i);
+                    *slots[i].lock().expect("worker slot poisoned") = Some(r);
                 }
-                let r = f(i);
-                *slots[i].lock().expect("worker slot poisoned") = Some(r);
             });
         }
     });

@@ -2,14 +2,27 @@
 //!
 //! Bits are packed LSB-first within each byte; the writer pads the final
 //! byte with zeros. Reader and writer are exact mirrors.
+//!
+//! Both sides run on a 64-bit accumulator: the writer stages bits in a
+//! `u64` and flushes whole bytes in bulk; the reader refills the
+//! accumulator eight bytes at a time and serves `peek`/`consume`/`read`
+//! out of it, so the per-symbol hot path of the Huffman decoder touches no
+//! byte-granular cursor arithmetic.
+
+/// Maximum bits a single `read_bits`/`write_bits`/`peek_bits` call may
+/// move. The 64-bit accumulator can hold up to 7 carried-over bits next to
+/// a fresh value, so `64 − 7 = 57` is the widest safe transfer. Shared by
+/// [`BitWriter`] and [`BitReader`].
+pub const MAX_BITS_PER_CALL: u32 = 57;
 
 /// Append-only bit writer.
 #[derive(Debug, Default)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Bits currently staged in `acc` (0..8).
+    /// Bits currently staged in `acc` (< 8 between calls).
     nbits: u32,
-    acc: u8,
+    /// Staged bits, LSB-first; bits at positions ≥ `nbits` are zero.
+    acc: u64,
 }
 
 impl BitWriter {
@@ -18,26 +31,27 @@ impl BitWriter {
         Self::default()
     }
 
-    /// Write the low `n` bits of `value` (LSB first), `n ≤ 57`.
+    /// Write the low `n` bits of `value` (LSB first), `n ≤` [`MAX_BITS_PER_CALL`].
     #[inline]
-    pub fn write_bits(&mut self, mut value: u64, mut n: u32) {
-        debug_assert!(n <= 57, "write_bits supports at most 57 bits per call");
+    pub fn write_bits(&mut self, value: u64, n: u32) {
         debug_assert!(
-            n == 64 || value < (1u64 << n),
-            "value {value} wider than {n} bits"
+            n <= MAX_BITS_PER_CALL,
+            "write_bits supports at most {MAX_BITS_PER_CALL} bits per call"
         );
-        while n > 0 {
-            let take = (8 - self.nbits).min(n);
-            let mask = (1u64 << take) - 1;
-            self.acc |= ((value & mask) as u8) << self.nbits;
-            self.nbits += take;
-            value >>= take;
-            n -= take;
-            if self.nbits == 8 {
-                self.buf.push(self.acc);
-                self.acc = 0;
-                self.nbits = 0;
-            }
+        debug_assert!(value < (1u64 << n), "value {value} wider than {n} bits");
+        self.acc |= value << self.nbits;
+        self.nbits += n;
+        if self.nbits >= 8 {
+            let bytes = (self.nbits / 8) as usize;
+            self.buf.extend_from_slice(&self.acc.to_le_bytes()[..bytes]);
+            // nbits peaks at 7 + 57 = 64, where the shift-by-64 below would
+            // be UB — the accumulator is simply empty then
+            self.acc = if bytes == 8 {
+                0
+            } else {
+                self.acc >> (bytes * 8)
+            };
+            self.nbits -= bytes as u32 * 8;
         }
     }
 
@@ -55,7 +69,7 @@ impl BitWriter {
     /// Flush and return the byte buffer.
     pub fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
-            self.buf.push(self.acc);
+            self.buf.push(self.acc as u8);
         }
         self.buf
     }
@@ -65,26 +79,115 @@ impl BitWriter {
 #[derive(Debug)]
 pub struct BitReader<'a> {
     buf: &'a [u8],
-    /// Absolute bit cursor.
-    pos: usize,
+    /// Next byte to refill the accumulator from.
+    byte_pos: usize,
+    /// Bits available in `acc`.
+    acc_bits: u32,
+    /// Refilled bits, LSB-first; bits at positions ≥ `acc_bits` are zero.
+    acc: u64,
 }
 
 impl<'a> BitReader<'a> {
     /// Read from the start of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        BitReader { buf, pos: 0 }
+        BitReader {
+            buf,
+            byte_pos: 0,
+            acc_bits: 0,
+            acc: 0,
+        }
     }
 
     /// Bits remaining.
+    #[inline]
     pub fn remaining(&self) -> usize {
-        self.buf.len() * 8 - self.pos
+        (self.buf.len() - self.byte_pos) * 8 + self.acc_bits as usize
+    }
+
+    /// Top up the accumulator from the byte buffer — eight bytes at a time
+    /// away from the tail, byte-by-byte at the very end. Maintains the
+    /// invariant that bits at positions ≥ `acc_bits` stay zero, so
+    /// [`BitReader::peek_bits`] is naturally zero-padded past the end.
+    #[inline]
+    fn refill(&mut self) {
+        if self.byte_pos + 8 <= self.buf.len() {
+            let chunk = u64::from_le_bytes(
+                self.buf[self.byte_pos..self.byte_pos + 8]
+                    .try_into()
+                    .expect("eight bytes"),
+            );
+            let take = ((64 - self.acc_bits) / 8) as usize;
+            if take == 8 {
+                self.acc = chunk;
+                self.acc_bits = 64;
+            } else {
+                let bits = take as u32 * 8;
+                self.acc |= (chunk & ((1u64 << bits) - 1)) << self.acc_bits;
+                self.acc_bits += bits;
+            }
+            self.byte_pos += take;
+        } else {
+            while self.acc_bits <= 56 && self.byte_pos < self.buf.len() {
+                self.acc |= (self.buf[self.byte_pos] as u64) << self.acc_bits;
+                self.acc_bits += 8;
+                self.byte_pos += 1;
+            }
+        }
+    }
+
+    /// Return the next `n ≤` [`MAX_BITS_PER_CALL`] bits without consuming
+    /// them. Past the end of the stream the missing high bits read as zero
+    /// — callers that care must check [`BitReader::remaining`] (the
+    /// Huffman fast path does exactly that before consuming).
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= MAX_BITS_PER_CALL);
+        if self.acc_bits < n {
+            self.refill();
+        }
+        self.acc & ((1u64 << n) - 1)
+    }
+
+    /// True when the accumulator can be refilled to ≥ [`MAX_BITS_PER_CALL`]
+    /// bits in one 8-byte load — the gate for the Huffman bulk loop, which
+    /// then peeks straight out of the accumulator without per-symbol
+    /// bounds checks.
+    #[inline]
+    pub(crate) fn can_refill_bulk(&self) -> bool {
+        self.byte_pos + 8 <= self.buf.len()
+    }
+
+    /// Force a refill now (bulk callers pair this with
+    /// [`BitReader::can_refill_bulk`] and then use
+    /// [`BitReader::peek_acc`] for several symbols).
+    #[inline]
+    pub(crate) fn refill_now(&mut self) {
+        self.refill();
+    }
+
+    /// Peek from the accumulator only — no refill, no bounds check. Valid
+    /// for `n` bits only when the caller has established the accumulator
+    /// holds at least `n` (missing bits would read as zero).
+    #[inline]
+    pub(crate) fn peek_acc(&self, n: u32) -> u64 {
+        self.acc & ((1u64 << n) - 1)
+    }
+
+    /// Consume `n` bits previously observed via [`BitReader::peek_bits`].
+    /// `n` must not exceed the bits the accumulator currently holds (peek
+    /// guarantees that for any `n` it returned real bits for).
+    #[inline]
+    pub fn consume(&mut self, n: u32) {
+        debug_assert!(n <= self.acc_bits, "consume past the refilled window");
+        self.acc >>= n;
+        self.acc_bits -= n;
     }
 
     /// Checked variant of [`BitReader::read_bits`]: `None` when fewer than
     /// `n` bits remain (the decode-path primitive — never panics).
     #[inline]
     pub fn try_read_bits(&mut self, n: u32) -> Option<u64> {
-        if self.pos + n as usize > self.buf.len() * 8 {
+        if n as usize > self.remaining() {
             return None;
         }
         Some(self.read_bits(n))
@@ -96,27 +199,17 @@ impl<'a> BitReader<'a> {
         self.try_read_bits(1).map(|b| b != 0)
     }
 
-    /// Read `n ≤ 57` bits (LSB-first). Panics past the end.
+    /// Read `n ≤` [`MAX_BITS_PER_CALL`] bits (LSB-first). Panics past the end.
     #[inline]
     pub fn read_bits(&mut self, n: u32) -> u64 {
-        debug_assert!(n <= 57);
-        assert!(
-            self.pos + n as usize <= self.buf.len() * 8,
-            "bitstream exhausted"
-        );
-        let mut out = 0u64;
-        let mut got = 0u32;
-        while got < n {
-            let byte = self.buf[self.pos / 8];
-            let bit_off = (self.pos % 8) as u32;
-            let avail = 8 - bit_off;
-            let take = avail.min(n - got);
-            let mask = ((1u16 << take) - 1) as u8;
-            let bits = (byte >> bit_off) & mask;
-            out |= (bits as u64) << got;
-            got += take;
-            self.pos += take as usize;
+        debug_assert!(n <= MAX_BITS_PER_CALL);
+        assert!(n as usize <= self.remaining(), "bitstream exhausted");
+        if self.acc_bits < n {
+            self.refill();
         }
+        let out = self.acc & ((1u64 << n) - 1);
+        self.acc >>= n;
+        self.acc_bits -= n;
         out
     }
 
@@ -203,5 +296,87 @@ mod tests {
         w.write_bits(0b11, 2); // bits 1-2
         let bytes = w.finish();
         assert_eq!(bytes[0], 0b0000_0111);
+    }
+
+    #[test]
+    fn max_width_writes_roundtrip() {
+        // back-to-back 57-bit writes exercise the full-accumulator flush
+        // (nbits hits 64) on both sides
+        let vals = [
+            (1u64 << MAX_BITS_PER_CALL) - 1,
+            0x00AA_AAAA_AAAA_AAAA & ((1 << 57) - 1),
+            1,
+            0,
+            (1 << 56) | 1,
+        ];
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            w.write_bits(v, MAX_BITS_PER_CALL);
+        }
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), (57 * vals.len()).div_ceil(8));
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            assert_eq!(r.read_bits(MAX_BITS_PER_CALL), v);
+        }
+    }
+
+    #[test]
+    fn peek_is_idempotent_and_consume_advances() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1101_0110_1001, 12);
+        let bytes = w.finish(); // stream as an LSB-first integer: 0x0D69
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(5), 0x0D69 & 0x1F);
+        assert_eq!(r.peek_bits(5), 0x0D69 & 0x1F, "peek must not consume");
+        assert_eq!(r.peek_bits(3), 0x0D69 & 0x7, "narrower peek sees a prefix");
+        r.consume(4);
+        assert_eq!(r.remaining(), 16 - 4);
+        assert_eq!(r.peek_bits(8), (0x0D69 >> 4) & 0xFF);
+        r.consume(8);
+        assert_eq!(r.read_bits(4), 0x0D69 >> 12); // final padding nibble (zero)
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn peek_past_end_is_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b111, 3);
+        let bytes = w.finish(); // one byte: 0b0000_0111
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.peek_bits(12), 0b0000_0111, "missing high bits are zero");
+        r.consume(3);
+        assert_eq!(r.peek_bits(12), 0, "only padding left");
+        assert_eq!(r.read_bits(5), 0);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.peek_bits(16), 0, "past-the-end bits read as zero");
+        assert_eq!(r.try_read_bits(1), None);
+    }
+
+    #[test]
+    fn interleaved_peek_read_matches_plain_reads() {
+        // the same stream read two ways must agree
+        let mut w = BitWriter::new();
+        let widths = [3u32, 11, 1, 7, 19, 2, 33, 5, 13, 8];
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut vals = Vec::new();
+        for &n in &widths {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = x & ((1u64 << n) - 1);
+            vals.push(v);
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+
+        let mut plain = BitReader::new(&bytes);
+        let mut peeky = BitReader::new(&bytes);
+        for (&n, &v) in widths.iter().zip(&vals) {
+            assert_eq!(plain.read_bits(n), v);
+            let p = peeky.peek_bits(n);
+            assert_eq!(p, v, "peek width {n}");
+            peeky.consume(n);
+            assert_eq!(peeky.remaining(), plain.remaining());
+        }
     }
 }

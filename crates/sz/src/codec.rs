@@ -15,6 +15,7 @@ use crate::error::CfcError;
 use crate::lattice::QuantLattice;
 use crate::predict::Predictor;
 use crate::quantizer::{EncodedResiduals, QuantizerConfig};
+use crate::scratch::EncodeScratch;
 
 /// Compute `delta[i] = q[i] − predict(q, i)` for every point, in parallel.
 pub fn encode_residuals(lattice: &QuantLattice, predictor: &dyn Predictor) -> Vec<i64> {
@@ -68,6 +69,79 @@ pub fn encode(
 ) -> EncodedResiduals {
     let deltas = encode_residuals(lattice, predictor);
     quant.encode(&deltas, lattice.as_slice())
+}
+
+/// Compute residuals sequentially into a reusable buffer — identical
+/// values to [`encode_residuals`] (prediction on the prequantized lattice
+/// is order-independent), but no per-call allocation. Per-block archive
+/// workers prefer this: blocks already run in parallel, so nested
+/// data-parallelism would only add overhead.
+pub fn encode_residuals_into(
+    lattice: &QuantLattice,
+    predictor: &dyn Predictor,
+    out: &mut Vec<i64>,
+) {
+    let shape = lattice.shape();
+    out.clear();
+    out.reserve(shape.len());
+    match shape.ndim() {
+        1 => {
+            for i in 0..shape.dims()[0] {
+                out.push(lattice.at(i).wrapping_sub(predictor.predict(lattice, &[i])));
+            }
+        }
+        2 => {
+            let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
+            for i in 0..rows {
+                for j in 0..cols {
+                    out.push(
+                        lattice
+                            .at(i * cols + j)
+                            .wrapping_sub(predictor.predict(lattice, &[i, j])),
+                    );
+                }
+            }
+        }
+        3 => {
+            let d = shape.dims();
+            for k in 0..d[0] {
+                for i in 0..d[1] {
+                    for j in 0..d[2] {
+                        out.push(
+                            lattice
+                                .at((k * d[1] + i) * d[2] + j)
+                                .wrapping_sub(predictor.predict(lattice, &[k, i, j])),
+                        );
+                    }
+                }
+            }
+        }
+        _ => unreachable!("Shape guarantees 1..=3 dims"),
+    }
+}
+
+/// [`encode`] into reusable scratch buffers: residuals, codes, and
+/// outliers land in `scratch` (read back via [`EncodeScratch::streams`]),
+/// producing the same streams as [`encode`] with no steady-state
+/// allocation.
+pub fn encode_with(
+    lattice: &QuantLattice,
+    predictor: &dyn Predictor,
+    quant: &QuantizerConfig,
+    scratch: &mut EncodeScratch,
+) {
+    let before = scratch.caps();
+    // split borrows: deltas is input to the quantizer, codes/outliers are
+    // outputs — all three live in the same scratch
+    let EncodeScratch {
+        deltas,
+        codes,
+        outliers,
+        ..
+    } = scratch;
+    encode_residuals_into(lattice, predictor, deltas);
+    quant.encode_into(deltas, lattice.as_slice(), codes, outliers);
+    scratch.track(before);
 }
 
 /// Sequentially reconstruct the lattice from codes + outliers.

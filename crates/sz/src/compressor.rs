@@ -12,6 +12,7 @@ use crate::lattice::QuantLattice;
 use crate::lossless;
 use crate::predict::{LorenzoPredictor, Predictor, RegressionPredictor};
 use crate::quantizer::{EncodedResiduals, QuantizerConfig};
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::stream::{Container, SectionTag};
 
 /// Which local predictor the baseline pipeline uses.
@@ -68,6 +69,30 @@ impl SzCompressor {
         (container, enc)
     }
 
+    /// [`SzCompressor::compress_lattice`] with reusable scratch buffers —
+    /// byte-identical output, but residuals/codes/outliers live in
+    /// `scratch`, so per-block encode loops stop growing their big
+    /// element-proportional buffers after the first block. Returns the
+    /// container and the outlier count.
+    pub fn compress_lattice_with(
+        &self,
+        lattice: &QuantLattice,
+        predictor: &dyn Predictor,
+        eb: f64,
+        scratch: &mut EncodeScratch,
+    ) -> (Container, usize) {
+        assert!(
+            predictor.is_causal(),
+            "refusing to encode with a non-causal predictor"
+        );
+        let mut container = Container::new(lattice.shape(), eb, self.quantizer.radius);
+        codec::encode_with(lattice, predictor, &self.quantizer, scratch);
+        let (codes, outliers) = scratch.streams();
+        container.push(SectionTag::Residuals, encode_codes(codes));
+        container.push(SectionTag::Outliers, encode_outliers(outliers));
+        (container, outliers.len())
+    }
+
     /// Decode a container's residual sections with an arbitrary predictor.
     ///
     /// Fully fallible: missing sections, corrupt payloads, and count
@@ -77,19 +102,41 @@ impl SzCompressor {
         container: &Container,
         predictor: &dyn Predictor,
     ) -> Result<QuantLattice, CfcError> {
+        self.decompress_lattice_with(container, predictor, &mut DecodeScratch::new())
+    }
+
+    /// [`SzCompressor::decompress_lattice`] with reusable scratch buffers:
+    /// the lossless payload, residual codes, and outliers decode into
+    /// `scratch`, so repeated block decodes through one scratch allocate
+    /// only the reconstructed lattice.
+    pub fn decompress_lattice_with(
+        &self,
+        container: &Container,
+        predictor: &dyn Predictor,
+        scratch: &mut DecodeScratch,
+    ) -> Result<QuantLattice, CfcError> {
         let shape = container.shape;
         let quant = QuantizerConfig {
             radius: container.radius,
         };
-        let codes = try_decode_codes(
-            container.require_section(SectionTag::Residuals)?,
-            shape.len(),
-        )?;
-        let outliers = try_decode_outliers_bounded(
-            container.require_section(SectionTag::Outliers)?,
-            shape.len(),
-        )?;
-        codec::try_decode(shape, &codes, &outliers, predictor, &quant)
+        let before = scratch.caps();
+        let result = (|| {
+            try_decode_codes_into(
+                container.require_section(SectionTag::Residuals)?,
+                shape.len(),
+                &mut scratch.payload,
+                &mut scratch.codes,
+            )?;
+            try_decode_outliers_bounded_into(
+                container.require_section(SectionTag::Outliers)?,
+                shape.len(),
+                &mut scratch.payload,
+                &mut scratch.outliers,
+            )?;
+            codec::try_decode(shape, &scratch.codes, &scratch.outliers, predictor, &quant)
+        })();
+        scratch.track(before);
+        result
     }
 }
 
@@ -100,6 +147,37 @@ impl Codec for SzCompressor {
     /// bound that resolves non-positive (e.g. a relative bound on a
     /// constant field) — both detected by `ErrorBound::try_resolve`.
     fn compress(&self, field: &Field) -> Result<EncodedStream, CfcError> {
+        self.compress_with(field, &mut EncodeScratch::new())
+    }
+
+    /// Decompress a stream produced by [`Codec::compress`].
+    ///
+    /// Total over arbitrary bytes: corruption anywhere — header, section
+    /// table, Huffman payloads, outlier varints, residual replay — returns
+    /// `Err`, never panics.
+    fn decompress(&self, bytes: &[u8]) -> Result<Field, CfcError> {
+        self.decompress_with(bytes, &mut DecodeScratch::new())
+    }
+
+    fn name(&self) -> &'static str {
+        match self.predictor {
+            PredictorKind::Lorenzo => "sz-lorenzo",
+            PredictorKind::Regression { .. } => "sz-regression",
+        }
+    }
+}
+
+impl SzCompressor {
+    /// [`Codec::compress`] with reusable scratch buffers: residuals, codes,
+    /// and outliers are staged in `scratch`, so per-block encode loops
+    /// reuse the element-proportional buffers across blocks. Output bytes
+    /// are identical to
+    /// [`Codec::compress`].
+    pub fn compress_with(
+        &self,
+        field: &Field,
+        scratch: &mut EncodeScratch,
+    ) -> Result<EncodedStream, CfcError> {
         let stats = FieldStats::of(field);
         // quantize at the ULP-guarded bound so the f32 reconstruction still
         // satisfies the user-facing bound exactly; the container carries the
@@ -109,8 +187,11 @@ impl Codec for SzCompressor {
         let eb = self.bound.try_resolve_quantization(&stats)?;
         let lattice = QuantLattice::prequantize(field, eb);
         let mut container = Container::new(field.shape(), eb, self.quantizer.radius);
-        let enc = match self.predictor {
-            PredictorKind::Lorenzo => codec::encode(&lattice, &LorenzoPredictor, &self.quantizer),
+        let before = scratch.caps();
+        match self.predictor {
+            PredictorKind::Lorenzo => {
+                codec::encode_with(&lattice, &LorenzoPredictor, &self.quantizer, scratch)
+            }
             PredictorKind::Regression { block } => {
                 let reg = RegressionPredictor::fit(&lattice, block);
                 let mut side = Vec::with_capacity(8 + reg.coeffs().len() * 4);
@@ -120,12 +201,14 @@ impl Codec for SzCompressor {
                     side.extend_from_slice(&c.to_le_bytes());
                 }
                 container.push(SectionTag::PredictorSideInfo, lossless::compress(&side));
-                codec::encode(&lattice, &reg, &self.quantizer)
+                codec::encode_with(&lattice, &reg, &self.quantizer, scratch)
             }
         };
-        let n_outliers = enc.outliers.len();
-        container.push(SectionTag::Residuals, encode_codes(&enc.codes));
-        container.push(SectionTag::Outliers, encode_outliers(&enc.outliers));
+        let (codes, outliers) = scratch.streams();
+        let n_outliers = outliers.len();
+        container.push(SectionTag::Residuals, encode_codes(codes));
+        container.push(SectionTag::Outliers, encode_outliers(outliers));
+        scratch.track(before);
         Ok(EncodedStream {
             bytes: container.to_bytes(),
             eb_abs: eb_user,
@@ -133,28 +216,18 @@ impl Codec for SzCompressor {
         })
     }
 
-    /// Decompress a stream produced by [`Codec::compress`].
-    ///
-    /// Total over arbitrary bytes: corruption anywhere — header, section
-    /// table, Huffman payloads, outlier varints, residual replay — returns
-    /// `Err`, never panics.
-    fn decompress(&self, bytes: &[u8]) -> Result<Field, CfcError> {
+    /// [`Codec::decompress`] with reusable scratch buffers (see
+    /// [`SzCompressor::decompress_lattice_with`]).
+    pub fn decompress_with(
+        &self,
+        bytes: &[u8],
+        scratch: &mut DecodeScratch,
+    ) -> Result<Field, CfcError> {
         let container = Container::try_from_bytes(bytes)?;
         let shape = container.shape;
-        let quant = QuantizerConfig {
-            radius: container.radius,
-        };
-        let codes = try_decode_codes(
-            container.require_section(SectionTag::Residuals)?,
-            shape.len(),
-        )?;
-        let outliers = try_decode_outliers_bounded(
-            container.require_section(SectionTag::Outliers)?,
-            shape.len(),
-        )?;
         let lattice = match self.predictor {
             PredictorKind::Lorenzo => {
-                codec::try_decode(shape, &codes, &outliers, &LorenzoPredictor, &quant)?
+                self.decompress_lattice_with(&container, &LorenzoPredictor, scratch)?
             }
             PredictorKind::Regression { .. } => {
                 // worst legitimate case is block = 1: one (ndim+1)-coefficient
@@ -194,17 +267,10 @@ impl Codec for SzCompressor {
                     coeffs.push(r.f32("regression coefficient")?);
                 }
                 let reg = RegressionPredictor::from_coeffs(shape.dims().to_vec(), block, coeffs);
-                codec::try_decode(shape, &codes, &outliers, &reg, &quant)?
+                self.decompress_lattice_with(&container, &reg, scratch)?
             }
         };
         Ok(lattice.reconstruct(container.eb))
-    }
-
-    fn name(&self) -> &'static str {
-        match self.predictor {
-            PredictorKind::Lorenzo => "sz-lorenzo",
-            PredictorKind::Regression { .. } => "sz-regression",
-        }
     }
 }
 
@@ -233,10 +299,25 @@ pub fn decode_codes(bytes: &[u8], count: usize) -> Vec<u32> {
 /// symbols ≤ count) plus `count` codes of ≤ 32 bits — anything claiming
 /// more is a decompression bomb and is rejected before allocation.
 pub fn try_decode_codes(bytes: &[u8], count: usize) -> Result<Vec<u32>, CfcError> {
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+    try_decode_codes_into(bytes, count, &mut payload, &mut out)?;
+    Ok(out)
+}
+
+/// [`try_decode_codes`] through caller-owned buffers: `payload` stages the
+/// decompressed lossless bytes, `out` receives the codes. Both are cleared
+/// first, so block loops reuse their steady-state capacity.
+pub fn try_decode_codes_into(
+    bytes: &[u8],
+    count: usize,
+    payload: &mut Vec<u8>,
+    out: &mut Vec<u32>,
+) -> Result<(), CfcError> {
     let budget = count.saturating_mul(4 + 5).saturating_add(1024);
-    let payload = lossless::try_decompress_bounded(bytes, budget)?;
-    let (table, used) = HuffmanTable::try_deserialize(&payload)?;
-    table.try_decode(&payload[used..], count)
+    lossless::try_decompress_bounded_into(bytes, budget, payload)?;
+    let (table, used) = HuffmanTable::try_deserialize(payload)?;
+    table.try_decode_into(&payload[used..], count, out)
 }
 
 /// Serialize outliers (zig-zag varint) and LZSS the result.
@@ -269,8 +350,24 @@ pub fn try_decode_outliers(bytes: &[u8]) -> Result<Vec<i64>, CfcError> {
 /// stage (each outlier is a ≤ 10-byte varint), so a hostile stream cannot
 /// demand allocations beyond what its own header already commits to.
 pub fn try_decode_outliers_bounded(bytes: &[u8], max_count: usize) -> Result<Vec<i64>, CfcError> {
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+    try_decode_outliers_bounded_into(bytes, max_count, &mut payload, &mut out)?;
+    Ok(out)
+}
+
+/// [`try_decode_outliers_bounded`] through caller-owned buffers (see
+/// [`try_decode_codes_into`]).
+pub fn try_decode_outliers_bounded_into(
+    bytes: &[u8],
+    max_count: usize,
+    payload: &mut Vec<u8>,
+    out: &mut Vec<i64>,
+) -> Result<(), CfcError> {
+    out.clear();
     let budget = max_count.saturating_mul(10).saturating_add(8);
-    let raw = lossless::try_decompress_bounded(bytes, budget)?;
+    lossless::try_decompress_bounded_into(bytes, budget, payload)?;
+    let raw = payload.as_slice();
     if raw.len() < 8 {
         return Err(CfcError::Truncated {
             context: "outlier count",
@@ -293,12 +390,12 @@ pub fn try_decode_outliers_bounded(bytes: &[u8], max_count: usize) -> Result<Vec
         });
     }
     let mut pos = 8usize;
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     for _ in 0..n {
-        let zz = read_varint(&raw, &mut pos)?;
+        let zz = read_varint(raw, &mut pos)?;
         out.push(((zz >> 1) as i64) ^ -((zz & 1) as i64));
     }
-    Ok(out)
+    Ok(())
 }
 
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {

@@ -7,23 +7,61 @@
 //! flattening on the rare pathological inputs), and transmit only the
 //! `(symbol, length)` table — canonical code assignment reconstructs the
 //! exact codes on the decoder side.
+//!
+//! Decoding is table-driven: a [`TABLE_BITS`]-wide primary lookup maps the
+//! next bits of the stream (which hold the bit-reversed code prefix,
+//! LSB-first) straight to `(symbol, code_len)`, so the common short codes
+//! cost one peek + one consume instead of one bounds-checked read per bit.
+//! Codes longer than [`TABLE_BITS`] — vanishingly rare under the skewed
+//! residual distribution — fall back to the canonical per-length walk. The
+//! bit-serial decoder is kept as [`HuffmanTable::try_decode_reference`]
+//! for differential testing.
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error::CfcError;
+use std::sync::OnceLock;
 
 /// Maximum code length; fits the `u64` bit-I/O fast path comfortably.
 pub const MAX_CODE_LEN: u32 = 32;
 
+/// Width of the primary decode table: 2^11 entries cover every code of the
+/// default residual alphabet (radius 512 ⇒ 1025 symbols) in one probe.
+pub const TABLE_BITS: u32 = 11;
+
 /// A canonical Huffman code table.
+///
+/// The encoder LUT and decoder tables are built lazily on first use and
+/// cached, so repeated `encode`/`try_decode` calls (four coded sections per
+/// LZ block, one table per residual stream) pay construction once.
 #[derive(Debug, Clone)]
 pub struct HuffmanTable {
-    /// Sorted unique symbols with their code lengths.
+    /// Sorted unique symbols with their code lengths, by `(length, symbol)`.
     lengths: Vec<(u32, u32)>,
     /// Canonical code per symbol, aligned with `lengths`.
     codes: Vec<u64>,
+    /// Cached `(symbol, code length)` sorted by symbol — the O(log n)
+    /// index behind [`HuffmanTable::expected_bits`] (encoder-side only,
+    /// so built lazily like the LUTs).
+    by_sym: OnceLock<Vec<(u32, u32)>>,
+    /// Cached dense encoder LUT: symbol → (bit-reversed code, length).
+    enc: OnceLock<Vec<(u64, u32)>>,
+    /// Cached table-driven decoder.
+    dec: OnceLock<DecodeTable>,
 }
 
 impl HuffmanTable {
+    /// Finish construction from `(length, symbol)`-sorted lengths.
+    fn from_sorted(lengths: Vec<(u32, u32)>) -> Self {
+        let codes = assign_canonical(&lengths);
+        HuffmanTable {
+            lengths,
+            codes,
+            by_sym: OnceLock::new(),
+            enc: OnceLock::new(),
+            dec: OnceLock::new(),
+        }
+    }
+
     /// Build a table from symbol frequencies (`(symbol, count)`, counts > 0).
     pub fn from_frequencies(freqs: &[(u32, u64)]) -> Self {
         assert!(
@@ -33,8 +71,7 @@ impl HuffmanTable {
         let mut lengths = code_lengths(freqs);
         // canonical order: by (length, symbol)
         lengths.sort_by_key(|&(sym, len)| (len, sym));
-        let codes = assign_canonical(&lengths);
-        HuffmanTable { lengths, codes }
+        Self::from_sorted(lengths)
     }
 
     /// Count symbols in `data` and build the table.
@@ -54,33 +91,45 @@ impl HuffmanTable {
 
     /// Expected encoded size in bits for the given frequencies.
     pub fn expected_bits(&self, freqs: &[(u32, u64)]) -> u64 {
+        let by_sym = self.by_sym.get_or_init(|| {
+            let mut v = self.lengths.to_vec();
+            v.sort_unstable_by_key(|&(sym, _)| sym);
+            v
+        });
         let mut total = 0u64;
         for &(sym, count) in freqs {
-            if let Some(pos) = self.position(sym) {
-                total += count * self.lengths[pos].1 as u64;
+            if let Ok(i) = by_sym.binary_search_by_key(&sym, |&(s, _)| s) {
+                total += count * by_sym[i].1 as u64;
             }
         }
         total
     }
 
-    fn position(&self, sym: u32) -> Option<usize> {
-        // lengths are sorted by (len, sym); fall back to a scan (tables are
-        // small — ≤ 1025 entries for the residual alphabet)
-        self.lengths.iter().position(|&(s, _)| s == sym)
+    /// The cached dense encoder LUT (symbol → bit-reversed code + length).
+    fn enc_lut(&self) -> &[(u64, u32)] {
+        self.enc.get_or_init(|| {
+            let max_sym = self.lengths.iter().map(|&(s, _)| s).max().unwrap();
+            let mut lut: Vec<(u64, u32)> = vec![(0, 0); max_sym as usize + 1];
+            for (pos, &(sym, len)) in self.lengths.iter().enumerate() {
+                lut[sym as usize] = (reverse_bits(self.codes[pos], len), len);
+            }
+            lut
+        })
+    }
+
+    /// The cached table-driven decoder.
+    fn dec_table(&self) -> &DecodeTable {
+        self.dec
+            .get_or_init(|| DecodeTable::build(&self.lengths, &self.codes))
     }
 
     /// Encode `data` and return the packed bits.
     ///
     /// Canonical codes are MSB-first; the bit writer is LSB-first, so the
     /// lookup table stores bit-reversed codes — writing them LSB-first puts
-    /// the MSB on the stream first, matching the bit-serial decoder.
+    /// the MSB on the stream first, matching the decoder's peek order.
     pub fn encode(&self, data: &[u32]) -> Vec<u8> {
-        // build a dense lookup when the alphabet is contiguous-ish
-        let max_sym = self.lengths.iter().map(|&(s, _)| s).max().unwrap();
-        let mut lut: Vec<(u64, u32)> = vec![(0, 0); max_sym as usize + 1];
-        for (pos, &(sym, len)) in self.lengths.iter().enumerate() {
-            lut[sym as usize] = (reverse_bits(self.codes[pos], len), len);
-        }
+        let lut = self.enc_lut();
         let mut w = BitWriter::new();
         for &s in data {
             let (code, len) = lut[s as usize];
@@ -106,6 +155,22 @@ impl HuffmanTable {
     /// the input size); exhaustion or an invalid code mid-stream returns a
     /// [`CfcError::Corrupt`].
     pub fn try_decode(&self, bits: &[u8], count: usize) -> Result<Vec<u32>, CfcError> {
+        let mut out = Vec::new();
+        self.try_decode_into(bits, count, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`HuffmanTable::try_decode`] into a caller-owned buffer, so block
+    /// loops can reuse one allocation across streams. On success `out`
+    /// holds exactly `count` symbols; on error its contents are
+    /// unspecified (callers discard the buffer's contents, not the buffer).
+    pub fn try_decode_into(
+        &self,
+        bits: &[u8],
+        count: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<(), CfcError> {
+        out.clear();
         if count > bits.len().saturating_mul(8) {
             return Err(CfcError::Truncated {
                 context: "Huffman bitstream",
@@ -113,11 +178,74 @@ impl HuffmanTable {
                 available: bits.len(),
             });
         }
-        let decoder = CanonicalDecoder::new(&self.lengths);
+        out.resize(count, 0);
+        let dst = out.as_mut_slice();
+        let tab = self.dec_table();
+        let mut r = BitReader::new(bits);
+        let mut i = 0usize;
+        // Bulk region: one refill guarantees ≥ 57 accumulator bits — GROUP
+        // probes of ≤ TABLE_BITS bits each, with no per-symbol refill or
+        // exhaustion checks, and each probe emitting up to PACK_MAX symbols
+        // straight from the packed entry. A fallback probe (first code
+        // longer than TABLE_BITS, or corrupt bits) ends the group early so
+        // the next iteration re-establishes the accumulator guarantee.
+        const GROUP: usize = (crate::bitstream::MAX_BITS_PER_CALL / TABLE_BITS) as usize;
+        'bulk: while i + GROUP * PACK_MAX <= count && r.can_refill_bulk() {
+            r.refill_now();
+            for _ in 0..GROUP {
+                let entry = tab.primary[r.peek_acc(TABLE_BITS) as usize];
+                let n = (entry >> 6) & 0x3;
+                if n == 0 {
+                    // ≥ 57 bits buffered ≥ MAX_CODE_LEN, so the slow walk
+                    // cannot spuriously hit end-of-stream here
+                    dst[i] = tab.slow_next(&self.lengths, &mut r)?;
+                    i += 1;
+                    continue 'bulk;
+                }
+                r.consume((entry & 0x3F) as u32);
+                match n {
+                    1 => dst[i] = (entry >> 8) as u32,
+                    2 => {
+                        dst[i] = ((entry >> 8) & 0xFF_FFFF) as u32;
+                        dst[i + 1] = ((entry >> 32) & 0xFF_FFFF) as u32;
+                    }
+                    _ => {
+                        dst[i] = ((entry >> 8) & 0xFFFF) as u32;
+                        dst[i + 1] = ((entry >> 24) & 0xFFFF) as u32;
+                        dst[i + 2] = ((entry >> 40) & 0xFFFF) as u32;
+                    }
+                }
+                i += n as usize;
+            }
+        }
+        // Tail: the last few symbols (< GROUP·PACK_MAX) or the final < 8
+        // bytes of stream — decode bit-serially, which handles truncation
+        // and corruption exactly like the reference decoder.
+        while i < count {
+            dst[i] = tab.slow_next(&self.lengths, &mut r)?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Reference bit-serial decode — one [`CanonicalIndex::walk`] per
+    /// symbol, no primary table — kept for differential testing (the
+    /// proptest equivalence suite pits the packed-table fast path against
+    /// it) and the perf harness's before/after comparison. Semantically
+    /// identical to [`HuffmanTable::try_decode`].
+    pub fn try_decode_reference(&self, bits: &[u8], count: usize) -> Result<Vec<u32>, CfcError> {
+        if count > bits.len().saturating_mul(8) {
+            return Err(CfcError::Truncated {
+                context: "Huffman bitstream",
+                needed: count.div_ceil(8),
+                available: bits.len(),
+            });
+        }
+        let canon = CanonicalIndex::new(&self.lengths);
         let mut r = BitReader::new(bits);
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
-            out.push(decoder.try_next(&mut r)?);
+            out.push(canon.walk(&self.lengths, &mut r)?);
         }
         Ok(out)
     }
@@ -193,22 +321,114 @@ impl HuffmanTable {
             });
         }
         lengths.sort_by_key(|&(sym, len)| (len, sym));
-        let codes = assign_canonical(&lengths);
-        Ok((HuffmanTable { lengths, codes }, need))
+        Ok((Self::from_sorted(lengths), need))
     }
 }
 
-/// Canonical decoder: per-length first-code / first-index tables.
-struct CanonicalDecoder<'a> {
-    lengths: &'a [(u32, u32)],
-    /// For each length L: (first canonical code of length L, index of its symbol).
+/// Most symbols one packed primary entry can emit.
+const PACK_MAX: usize = 3;
+
+/// Table-driven decoder state: a packed multi-symbol primary lookup plus
+/// the canonical per-length tables for the (rare) longer codes.
+///
+/// Primary entries are indexed by the next [`TABLE_BITS`] stream bits
+/// (LSB-first, so the low bits hold the bit-reversed first code) and pack:
+///
+/// ```text
+///   bits 0..6   total bits consumed by the packed symbols
+///   bits 6..8   symbol count n (0 ⇒ fallback: long code or corrupt bits)
+///   n = 1       symbol (u32)  at bits 8..40
+///   n = 2       symbols (u24) at bits 8..32 and 32..56
+///   n = 3       symbols (u16) at bits 8..24, 24..40, 40..56
+/// ```
+///
+/// Under the skewed residual distribution most windows hold 2–3 complete
+/// short codes, so one probe emits several symbols; packs degrade to
+/// fewer symbols when the values don't fit the narrower fields.
+#[derive(Debug, Clone)]
+struct DecodeTable {
+    primary: Vec<u64>,
+    /// Canonical per-length tables for the bit-serial fallback walk.
+    canon: CanonicalIndex,
+}
+
+impl DecodeTable {
+    fn build(lengths: &[(u32, u32)], codes: &[u64]) -> Self {
+        let canon = CanonicalIndex::new(lengths);
+        // resolve the first short code of every window: each index whose
+        // low `len` bits equal the bit-reversed code decodes to that
+        // symbol (prefix-freeness makes the assignment unique)
+        let mut single: Vec<(u32, u32)> = vec![(0, 0); 1 << TABLE_BITS];
+        for (pos, &(sym, len)) in lengths.iter().enumerate() {
+            if len > TABLE_BITS {
+                continue;
+            }
+            let rev = reverse_bits(codes[pos], len) as usize;
+            let step = 1usize << len;
+            let mut idx = rev;
+            while idx < single.len() {
+                single[idx] = (sym, len);
+                idx += step;
+            }
+        }
+        // pack follow-on codes that fit entirely inside the same window
+        let mut primary = vec![0u64; 1 << TABLE_BITS];
+        for (idx, slot) in primary.iter_mut().enumerate() {
+            let (s1, l1) = single[idx];
+            if l1 == 0 {
+                continue; // fallback entry
+            }
+            let mut syms = [s1, 0, 0];
+            let mut used = [l1, 0, 0];
+            let mut n = 1;
+            while n < PACK_MAX {
+                let consumed = used[n - 1];
+                let (s, l) = single[idx >> consumed];
+                if l == 0 || consumed + l > TABLE_BITS {
+                    break;
+                }
+                syms[n] = s;
+                used[n] = consumed + l;
+                n += 1;
+            }
+            *slot = if n >= 3 && syms.iter().all(|&s| s < 1 << 16) {
+                used[2] as u64
+                    | (3 << 6)
+                    | ((syms[0] as u64) << 8)
+                    | ((syms[1] as u64) << 24)
+                    | ((syms[2] as u64) << 40)
+            } else if n >= 2 && syms[0] < 1 << 24 && syms[1] < 1 << 24 {
+                used[1] as u64 | (2 << 6) | ((syms[0] as u64) << 8) | ((syms[1] as u64) << 32)
+            } else {
+                used[0] as u64 | (1 << 6) | ((syms[0] as u64) << 8)
+            };
+        }
+        DecodeTable { primary, canon }
+    }
+
+    /// Bit-serial decode of one symbol — the fallback for codes longer
+    /// than [`TABLE_BITS`], truncated tails, and corrupt prefixes.
+    fn slow_next(&self, lengths: &[(u32, u32)], r: &mut BitReader) -> Result<u32, CfcError> {
+        self.canon.walk(lengths, r)
+    }
+}
+
+/// Canonical per-length first-code / first-index tables and the bit-serial
+/// decode walk over them — the single implementation shared by the
+/// table-driven decoder's fallback and the reference decoder, so the two
+/// paths cannot drift apart.
+#[derive(Debug, Clone)]
+struct CanonicalIndex {
+    /// For each length L: (first canonical code of length L, index of its
+    /// symbol in the `(length, symbol)`-sorted table).
     first: Vec<(u64, usize)>,
+    /// Codes per length.
     count: Vec<usize>,
     max_len: u32,
 }
 
-impl<'a> CanonicalDecoder<'a> {
-    fn new(lengths: &'a [(u32, u32)]) -> Self {
+impl CanonicalIndex {
+    fn new(lengths: &[(u32, u32)]) -> Self {
         let max_len = lengths.iter().map(|&(_, l)| l).max().unwrap();
         let mut count = vec![0usize; max_len as usize + 1];
         for &(_, l) in lengths {
@@ -222,16 +442,15 @@ impl<'a> CanonicalDecoder<'a> {
             code = (code + count[l] as u64) << 1;
             index += count[l];
         }
-        CanonicalDecoder {
-            lengths,
+        CanonicalIndex {
             first,
             count,
             max_len,
         }
     }
 
-    /// Decode one symbol (MSB-first canonical codes, so we read bit-by-bit).
-    fn try_next(&self, r: &mut BitReader) -> Result<u32, CfcError> {
+    /// Decode one symbol (MSB-first canonical codes, read bit-by-bit).
+    fn walk(&self, lengths: &[(u32, u32)], r: &mut BitReader) -> Result<u32, CfcError> {
         let mut code = 0u64;
         for l in 1..=self.max_len as usize {
             let bit = r.try_read_bit().ok_or(CfcError::Truncated {
@@ -244,7 +463,7 @@ impl<'a> CanonicalDecoder<'a> {
                 let (fc, fi) = self.first[l];
                 let offset = code.wrapping_sub(fc);
                 if code >= fc && (offset as usize) < self.count[l] {
-                    return Ok(self.lengths[fi + offset as usize].0);
+                    return Ok(lengths[fi + offset as usize].0);
                 }
             }
         }
@@ -336,11 +555,10 @@ fn try_code_lengths(freqs: &[(u32, u64)], flatten: u32) -> Vec<(u32, u32)> {
 /// Reverse the low `len` bits of `code`.
 #[inline]
 fn reverse_bits(code: u64, len: u32) -> u64 {
-    let mut out = 0u64;
-    for b in 0..len {
-        out |= ((code >> b) & 1) << (len - 1 - b);
+    if len == 0 {
+        return 0;
     }
-    out
+    code.reverse_bits() >> (64 - len)
 }
 
 /// Assign canonical codes to `(symbol, length)` pairs sorted by (length, symbol).
@@ -479,5 +697,50 @@ mod tests {
         // still decodable
         let data: Vec<u32> = (0..40).collect();
         assert_eq!(table.decode(&table.encode(&data), 40), data);
+    }
+
+    #[test]
+    fn long_codes_take_the_fallback_path() {
+        // exponential weights push tail symbols past TABLE_BITS; table and
+        // reference decoders must agree anyway
+        let freqs: Vec<(u32, u64)> = (0..30u32).map(|i| (i, 1u64 << i)).collect();
+        let table = HuffmanTable::from_frequencies(&freqs);
+        let deepest = table.lengths.iter().map(|&(_, l)| l).max().unwrap();
+        assert!(deepest > TABLE_BITS, "test must exercise the fallback");
+        let data: Vec<u32> = (0..30).cycle().take(4000).collect();
+        let bits = table.encode(&data);
+        let fast = table.try_decode(&bits, data.len()).unwrap();
+        let slow = table.try_decode_reference(&bits, data.len()).unwrap();
+        assert_eq!(fast, data);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn truncated_stream_errors_in_both_decoders() {
+        let data: Vec<u32> = (0..1000).map(|i| i % 50).collect();
+        let table = HuffmanTable::from_symbols(&data);
+        let bits = table.encode(&data);
+        for cut in [0, 1, bits.len() / 2, bits.len() - 1] {
+            let fast = table.try_decode(&bits[..cut], data.len());
+            let slow = table.try_decode_reference(&bits[..cut], data.len());
+            assert!(fast.is_err(), "cut {cut} must fail");
+            assert_eq!(fast.is_err(), slow.is_err());
+        }
+    }
+
+    #[test]
+    fn expected_bits_matches_encoded_len() {
+        let data: Vec<u32> = (0..4000).map(|i| (i * 7) % 120).collect();
+        let table = HuffmanTable::from_symbols(&data);
+        let mut counts = std::collections::BTreeMap::new();
+        for &s in &data {
+            *counts.entry(s).or_insert(0u64) += 1;
+        }
+        let freqs: Vec<(u32, u64)> = counts.into_iter().collect();
+        let expect = table.expected_bits(&freqs);
+        let actual = table.encode(&data).len() * 8;
+        assert!(expect as usize <= actual && actual < expect as usize + 8);
+        // unknown symbols contribute nothing
+        assert_eq!(table.expected_bits(&[(9999, 100)]), 0);
     }
 }

@@ -50,6 +50,7 @@ pub mod lattice;
 pub mod lossless;
 pub mod predict;
 pub mod quantizer;
+pub mod scratch;
 pub mod stream;
 
 pub use api::{Codec, EncodedStream};
@@ -60,3 +61,4 @@ pub use error_bound::ErrorBound;
 pub use lattice::QuantLattice;
 pub use predict::{CentralDiffPredictor, LorenzoPredictor, Predictor, RegressionPredictor};
 pub use quantizer::{QuantizerConfig, DEFAULT_RADIUS};
+pub use scratch::{DecodeScratch, EncodeScratch};

@@ -64,6 +64,20 @@ pub fn try_decompress(input: &[u8]) -> Result<Vec<u8>, CfcError> {
 /// stream claiming more returns [`CfcError::Corrupt`] before any
 /// proportional allocation happens.
 pub fn try_decompress_bounded(input: &[u8], max_len: usize) -> Result<Vec<u8>, CfcError> {
+    let mut out = Vec::new();
+    try_decompress_bounded_into(input, max_len, &mut out)?;
+    Ok(out)
+}
+
+/// [`try_decompress_bounded`] into a caller-owned buffer, so block loops
+/// can reuse one allocation across streams. `out` is cleared first; on
+/// error its contents are unspecified.
+pub fn try_decompress_bounded_into(
+    input: &[u8],
+    max_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), CfcError> {
+    out.clear();
     match input.first() {
         None => Err(CfcError::Truncated {
             context: "lossless mode byte",
@@ -80,9 +94,10 @@ pub fn try_decompress_bounded(input: &[u8], max_len: usize) -> Result<Vec<u8>, C
                     ),
                 });
             }
-            Ok(input[1..].to_vec())
+            out.extend_from_slice(&input[1..]);
+            Ok(())
         }
-        Some(&MODE_LZ) => decode_tokens(&input[1..], max_len),
+        Some(&MODE_LZ) => decode_tokens(&input[1..], max_len, out),
         Some(&m) => Err(CfcError::Corrupt {
             context: "lossless stream",
             detail: format!("unknown mode byte {m}"),
@@ -272,7 +287,7 @@ fn read_coded(bytes: &[u8], pos: &mut usize) -> Result<Vec<u32>, CfcError> {
     table.try_decode(&section[8 + used..], count)
 }
 
-fn decode_tokens(bytes: &[u8], max_len: usize) -> Result<Vec<u8>, CfcError> {
+fn decode_tokens(bytes: &[u8], max_len: usize, out: &mut Vec<u8>) -> Result<(), CfcError> {
     let mut pos = 0usize;
     let raw_len = read_u64(bytes, &mut pos)? as usize;
     if raw_len > max_len {
@@ -309,7 +324,7 @@ fn decode_tokens(bytes: &[u8], max_len: usize) -> Result<Vec<u8>, CfcError> {
     };
     // cap the upfront allocation; genuinely large outputs grow amortized,
     // while a hostile header can't demand gigabytes before decoding starts
-    let mut out = Vec::with_capacity(raw_len.min(1 << 24));
+    out.reserve(raw_len.min(1 << 24));
     let mut flags = BitReader::new(flag_bytes);
     let (mut li, mut mi) = (0usize, 0usize);
     for _ in 0..ntokens {
@@ -350,7 +365,7 @@ fn decode_tokens(bytes: &[u8], max_len: usize) -> Result<Vec<u8>, CfcError> {
             out.len()
         )));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

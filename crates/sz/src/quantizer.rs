@@ -86,9 +86,25 @@ impl QuantizerConfig {
 
     /// Encode a full residual stream given lattice values (for escapes).
     pub fn encode(&self, deltas: &[i64], lattice: &[i64]) -> EncodedResiduals {
-        assert_eq!(deltas.len(), lattice.len());
-        let mut codes = Vec::with_capacity(deltas.len());
+        let mut codes = Vec::new();
         let mut outliers = Vec::new();
+        self.encode_into(deltas, lattice, &mut codes, &mut outliers);
+        EncodedResiduals { codes, outliers }
+    }
+
+    /// [`QuantizerConfig::encode`] into caller-owned buffers (cleared
+    /// first), so per-block encode loops reuse steady-state capacity.
+    pub fn encode_into(
+        &self,
+        deltas: &[i64],
+        lattice: &[i64],
+        codes: &mut Vec<u32>,
+        outliers: &mut Vec<i64>,
+    ) {
+        assert_eq!(deltas.len(), lattice.len());
+        codes.clear();
+        codes.reserve(deltas.len());
+        outliers.clear();
         for (&d, &q) in deltas.iter().zip(lattice) {
             let (code, out) = self.encode_one(d, q);
             codes.push(code);
@@ -96,7 +112,6 @@ impl QuantizerConfig {
                 outliers.push(v);
             }
         }
-        EncodedResiduals { codes, outliers }
     }
 }
 

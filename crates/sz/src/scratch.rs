@@ -1,0 +1,145 @@
+//! Reusable scratch buffers for steady-state block encode/decode.
+//!
+//! The chunked archive processes thousands of blocks per field; without
+//! reuse every block pays fresh allocations for its residual codes,
+//! outliers, and decompressed lossless payload — the largest per-block
+//! buffers by far (each is proportional to the block's element count). A
+//! worker thread owns one [`EncodeScratch`]/[`DecodeScratch`] and passes
+//! it to the `*_with` codec entry points
+//! ([`crate::SzCompressor::compress_with`],
+//! [`crate::SzCompressor::decompress_with`]); after the first block these
+//! buffers have steady-state capacity. Smaller transient allocations
+//! remain (container section copies, per-stream Huffman tables, the LZ
+//! token-section vectors) — the scratch covers the element-proportional
+//! buffers, not every allocation on the path.
+//!
+//! Both types count buffer *growths* (a capacity increase on any internal
+//! buffer) so tests can assert the covered buffers really stop growing in
+//! steady state.
+
+/// Reusable buffers for the decode path: the decompressed lossless
+/// payload, the residual codes, and the outlier values.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    /// Decompressed Huffman-table + bitstream payload (also reused for the
+    /// outlier varint payload).
+    pub(crate) payload: Vec<u8>,
+    /// Residual quantization codes.
+    pub(crate) codes: Vec<u32>,
+    /// Escaped lattice values.
+    pub(crate) outliers: Vec<i64>,
+    /// Times any buffer had to grow its capacity.
+    pub(crate) growths: usize,
+}
+
+impl DecodeScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of capacity growths across all internal buffers since
+    /// construction. Stable across decodes ⇔ steady state allocates
+    /// nothing new.
+    pub fn growths(&self) -> usize {
+        self.growths
+    }
+
+    /// Record capacity changes against a pre-operation snapshot.
+    pub(crate) fn track(&mut self, before: (usize, usize, usize)) {
+        let (p, c, o) = before;
+        self.growths += usize::from(self.payload.capacity() > p)
+            + usize::from(self.codes.capacity() > c)
+            + usize::from(self.outliers.capacity() > o);
+    }
+
+    /// Capacity snapshot for [`DecodeScratch::track`].
+    pub(crate) fn caps(&self) -> (usize, usize, usize) {
+        (
+            self.payload.capacity(),
+            self.codes.capacity(),
+            self.outliers.capacity(),
+        )
+    }
+}
+
+/// Reusable buffers for the encode path: prediction residuals, their
+/// quantized codes, and the escaped outlier values.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    /// Per-sample prediction residuals.
+    pub(crate) deltas: Vec<i64>,
+    /// Residual quantization codes.
+    pub(crate) codes: Vec<u32>,
+    /// Escaped lattice values.
+    pub(crate) outliers: Vec<i64>,
+    /// Times any buffer had to grow its capacity.
+    pub(crate) growths: usize,
+}
+
+impl EncodeScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of capacity growths across all internal buffers since
+    /// construction.
+    pub fn growths(&self) -> usize {
+        self.growths
+    }
+
+    /// The encoded `(codes, outliers)` streams of the last
+    /// [`crate::codec::encode_with`] call through this scratch.
+    pub fn streams(&self) -> (&[u32], &[i64]) {
+        (&self.codes, &self.outliers)
+    }
+
+    /// Record capacity changes against a pre-operation snapshot.
+    pub(crate) fn track(&mut self, before: (usize, usize, usize)) {
+        let (d, c, o) = before;
+        self.growths += usize::from(self.deltas.capacity() > d)
+            + usize::from(self.codes.capacity() > c)
+            + usize::from(self.outliers.capacity() > o);
+    }
+
+    /// Capacity snapshot for [`EncodeScratch::track`].
+    pub(crate) fn caps(&self) -> (usize, usize, usize) {
+        (
+            self.deltas.capacity(),
+            self.codes.capacity(),
+            self.outliers.capacity(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_tracking_counts_capacity_increases() {
+        let mut s = DecodeScratch::new();
+        let before = s.caps();
+        s.codes.reserve(1000);
+        s.track(before);
+        assert_eq!(s.growths(), 1);
+        // no growth when capacity suffices
+        let before = s.caps();
+        s.codes.clear();
+        s.codes.resize(500, 0);
+        s.track(before);
+        assert_eq!(s.growths(), 1);
+    }
+
+    #[test]
+    fn encode_scratch_tracks_all_buffers() {
+        let mut s = EncodeScratch::new();
+        let before = s.caps();
+        s.deltas.reserve(10);
+        s.codes.reserve(10);
+        s.outliers.reserve(10);
+        s.track(before);
+        assert_eq!(s.growths(), 3);
+    }
+}

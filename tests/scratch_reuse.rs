@@ -1,0 +1,156 @@
+//! Scratch-buffer reuse: repeated decodes through one scratch are
+//! deterministic, and — the perf contract — steady-state block processing
+//! performs no new allocations in the reusable code/outlier/payload/byte
+//! buffers (asserted via the scratch types' capacity-growth counters).
+
+use cross_field_compression::core::archive::{ArchiveBuilder, ArchiveReader, ArchiveScratch};
+use cross_field_compression::sz::{DecodeScratch, EncodeScratch, SzCompressor};
+use cross_field_compression::tensor::{Dataset, Field, Shape};
+use cross_field_compression::Codec;
+
+fn snapshot(rows: usize, cols: usize) -> Dataset {
+    let shape = Shape::d2(rows, cols);
+    let t = Field::from_fn(shape, |i| {
+        ((i[0] as f32) * 0.13).sin() * 15.0 + ((i[1] as f32) * 0.09).cos() * 9.0 + 280.0
+    });
+    let p = Field::from_fn(shape, |i| {
+        1000.0 - (i[0] as f32) * 0.8 + ((i[1] as f32) * 0.05).sin() * 3.0
+    });
+    let mut ds = Dataset::new("SCRATCH", shape);
+    ds.push("T", t);
+    ds.push("P", p);
+    ds
+}
+
+#[test]
+fn codec_scratch_decode_is_deterministic_and_allocation_free() {
+    let f = Field::from_fn(Shape::d2(96, 96), |i| {
+        ((i[0] as f32) * 0.2).sin() * 40.0 + (i[1] as f32) * 0.3
+    });
+    let c = SzCompressor::baseline(1e-3);
+    let stream = c.compress(&f).unwrap();
+
+    let mut scratch = DecodeScratch::new();
+    let first = c.decompress_with(&stream.bytes, &mut scratch).unwrap();
+    assert_eq!(
+        first.as_slice(),
+        c.decompress(&stream.bytes).unwrap().as_slice()
+    );
+
+    // steady state: same stream through the warmed scratch grows nothing
+    let warmed = scratch.growths();
+    for _ in 0..5 {
+        let again = c.decompress_with(&stream.bytes, &mut scratch).unwrap();
+        assert_eq!(again.as_slice(), first.as_slice());
+    }
+    assert_eq!(
+        scratch.growths(),
+        warmed,
+        "steady-state decode must not grow the scratch buffers"
+    );
+}
+
+#[test]
+fn codec_scratch_encode_matches_plain_compress() {
+    let f = Field::from_fn(Shape::d2(80, 64), |i| {
+        (i[0] as f32) * 0.5 - ((i[1] as f32) * 0.11).cos() * 7.0
+    });
+    let c = SzCompressor::baseline(1e-3);
+    let plain = c.compress(&f).unwrap();
+
+    let mut scratch = EncodeScratch::new();
+    let first = c.compress_with(&f, &mut scratch).unwrap();
+    assert_eq!(
+        first.bytes, plain.bytes,
+        "scratch must not change the bytes"
+    );
+    assert_eq!(first.n_outliers, plain.n_outliers);
+
+    let warmed = scratch.growths();
+    for _ in 0..5 {
+        let again = c.compress_with(&f, &mut scratch).unwrap();
+        assert_eq!(again.bytes, plain.bytes);
+    }
+    assert_eq!(
+        scratch.growths(),
+        warmed,
+        "steady-state encode must not grow the scratch buffers"
+    );
+}
+
+#[test]
+fn archive_decodes_identically_through_one_reader_twice() {
+    let ds = snapshot(48, 40);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .chunk_elements(8 * 40)
+        .build()
+        .write(&ds)
+        .unwrap();
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    let once = reader.decode_all().unwrap();
+    let twice = reader.decode_all().unwrap();
+    assert_eq!(once.field_names(), twice.field_names());
+    for (name, field) in once.iter() {
+        assert_eq!(
+            field.as_slice(),
+            twice.expect_field(name).as_slice(),
+            "second decode of {name} differs"
+        );
+    }
+}
+
+#[test]
+fn steady_state_block_decode_reuses_buffers() {
+    let ds = snapshot(60, 40);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .chunk_elements(6 * 40) // 10 equal blocks
+        .build()
+        .write(&ds)
+        .unwrap();
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    let full = reader.decode_field("T").unwrap();
+
+    let mut scratch = ArchiveScratch::new();
+    // warm pass: buffers grow to their steady-state capacity
+    let n_blocks = reader.entries()[0].n_blocks();
+    for bi in 0..n_blocks {
+        reader.decode_block_with("T", bi, &mut scratch).unwrap();
+    }
+    let warmed = scratch.growths();
+    assert!(warmed > 0, "the warm pass must have allocated something");
+
+    // steady state: a second full pass over every block allocates nothing
+    // new in the scratch, and still decodes the exact same samples
+    for bi in 0..n_blocks {
+        let block = reader.decode_block_with("T", bi, &mut scratch).unwrap();
+        assert_eq!(
+            block.as_slice(),
+            full.slab(bi * 6, ((bi + 1) * 6).min(60)).as_slice(),
+            "block {bi} drifted under scratch reuse"
+        );
+    }
+    assert_eq!(
+        scratch.growths(),
+        warmed,
+        "steady-state block decode must not grow any scratch buffer"
+    );
+}
+
+#[test]
+fn scratch_and_fresh_block_decodes_agree() {
+    let ds = snapshot(36, 24);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .chunk_elements(6 * 24)
+        .build()
+        .write(&ds)
+        .unwrap();
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    let mut scratch = ArchiveScratch::new();
+    for name in ["T", "P"] {
+        for bi in 0..reader.entries()[0].n_blocks() {
+            let fresh = reader.decode_block(name, bi).unwrap();
+            let reused = reader.decode_block_with(name, bi, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "{name} block {bi}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! `ArchiveStore` serving-path perf harness.
+//!
+//! ```sh
+//! # committed numbers (a few seconds):
+//! cargo run --release -p cfc-bench --bin store_bench -- --label pr4 --out BENCH_store.json
+//! # CI smoke (sub-second, validates the JSON schema and exits non-zero on rot):
+//! cargo run --release -p cfc-bench --bin store_bench -- --smoke --out target/store_smoke.json
+//! ```
+
+use cfc_bench::store_perf::{run, to_json, validate_json, StoreBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut label = String::from("current");
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--label" => {
+                i += 1;
+                label = args.get(i).expect("--label needs a value").clone();
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("--out needs a value").clone());
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: store_bench [--smoke] [--label L] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = if smoke {
+        StoreBenchConfig::smoke()
+    } else {
+        StoreBenchConfig::full()
+    };
+    eprintln!(
+        "store_bench: {}x{} snapshot, {} rows/block, {} regions × {} rows, {} threads{}",
+        cfg.rows,
+        cfg.cols,
+        cfg.chunk_rows,
+        cfg.n_regions,
+        cfg.region_rows,
+        cfg.threads,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let result = run(&label, cfg);
+
+    println!("run {:>22}: {}", "label", result.label);
+    println!("  blocks per field      {:>9}", result.n_blocks);
+    println!("  region reads / sweep  {:>9}", result.region_reads);
+    println!(
+        "  uncached serve        {:>9.1} MB/s",
+        result.uncached_region_mb_s
+    );
+    println!(
+        "  cold (filling) serve  {:>9.1} MB/s",
+        result.cold_region_mb_s
+    );
+    println!(
+        "  warm cached serve     {:>9.1} MB/s  ({:.2}x vs uncached)",
+        result.warm_region_mb_s, result.warm_speedup_x
+    );
+    println!(
+        "  concurrent warm serve {:>9.1} MB/s aggregate",
+        result.concurrent_warm_mb_s
+    );
+    println!("  cache hit rate        {:>9.1} %", result.hit_rate * 100.0);
+
+    let doc = to_json(std::slice::from_ref(&result));
+    if let Err(e) = validate_json(&doc) {
+        eprintln!("generated document failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output directory");
+            }
+        }
+        std::fs::write(&path, &doc).expect("write bench JSON");
+        eprintln!("wrote {path}");
+    }
+}

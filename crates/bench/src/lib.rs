@@ -4,6 +4,8 @@
 pub mod golden;
 pub mod perf;
 pub mod pgm;
+pub mod rng;
 pub mod runner;
+pub mod store_perf;
 
 pub use runner::{run_codec, ExperimentContext, FieldResult, PAPER_ERROR_BOUNDS};

@@ -28,6 +28,8 @@ use cfc_tensor::Shape;
 
 use crate::runner::bench_archive;
 
+use crate::rng::XorShift;
+
 /// Schema marker the JSON document carries; bump when fields change.
 pub const SCHEMA: &str = "cfc-entropy-bench-v1";
 
@@ -93,21 +95,6 @@ pub struct BenchRun {
     pub archive_ratio: f64,
 }
 
-/// Deterministic xorshift64* stream — no external RNG dependency, and the
-/// synthetic workload is identical on every machine.
-struct XorShift(u64);
-
-impl XorShift {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-}
-
 /// Synthetic quantization-code stream with the skew the entropy coder sees
 /// in production: ~80% zero-residual, geometric tails, occasional escapes.
 pub fn synthetic_codes(n: usize, radius: u32) -> Vec<u32> {
@@ -116,20 +103,20 @@ pub fn synthetic_codes(n: usize, radius: u32) -> Vec<u32> {
     let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let roll = rng.next() % 1000;
+        let roll = rng.next_u64() % 1000;
         let code = if roll < 800 {
             zero
         } else if roll < 990 {
             // small residuals, geometrically decaying
-            let mag = (rng.next() % 16) as u32 + 1;
-            if rng.next() & 1 == 0 {
+            let mag = (rng.next_u64() % 16) as u32 + 1;
+            if rng.next_u64() & 1 == 0 {
                 zero - mag.min(radius)
             } else {
                 zero + mag.min(radius.saturating_sub(1))
             }
         } else if roll < 999 {
             // medium residuals
-            let mag = (rng.next() % u64::from(radius.max(2) - 1)) as u32 + 1;
+            let mag = (rng.next_u64() % u64::from(radius.max(2) - 1)) as u32 + 1;
             zero - mag
         } else {
             escape

@@ -1,0 +1,387 @@
+//! `ArchiveStore` serving-path perf harness behind the `store_bench`
+//! binary and the CI bench-smoke step.
+//!
+//! Measures repeated region reads over a **cross-field target** — the
+//! workload where the decoded-block cache pays twice, because every
+//! uncached target read also re-decodes its anchor blocks:
+//!
+//! * `uncached_region_mb_s` — the baseline: a store with the cache
+//!   disabled ([`StoreConfig::uncached`]), every sweep decodes every
+//!   covering block (plus anchors) from the source,
+//! * `cold_region_mb_s` — first sweep of a caching store (decodes + fills),
+//! * `warm_region_mb_s` — steady-state sweeps served from the cache,
+//! * `concurrent_warm_mb_s` — aggregate throughput of N threads sweeping
+//!   the warm store concurrently,
+//! * `warm_speedup_x` — warm ÷ uncached (the acceptance number),
+//! * `hit_rate` — cache hit fraction over the whole run.
+//!
+//! Throughput is MB/s of *decoded* region samples served (4 bytes each).
+//! Results serialize to a small hand-rolled JSON document (the offline
+//! build has no serde); [`validate_json`] checks the schema so CI can
+//! assert the tooling still works without trusting absolute numbers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cfc_core::archive::{ArchiveBuilder, ArchiveReader, ArchiveStore, StoreConfig};
+use cfc_core::TrainConfig;
+use cfc_tensor::{Dataset, Field, Region, Shape};
+
+use crate::rng::XorShift;
+
+/// Schema marker the JSON document carries; bump when fields change.
+pub const SCHEMA: &str = "cfc-store-bench-v1";
+
+/// Harness sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreBenchConfig {
+    /// Axis-0 extent of the synthetic snapshot.
+    pub rows: usize,
+    /// Axis-1 extent.
+    pub cols: usize,
+    /// Axis-0 rows per block.
+    pub chunk_rows: usize,
+    /// Distinct regions in the sweep set.
+    pub n_regions: usize,
+    /// Axis-0 extent of each region window.
+    pub region_rows: usize,
+    /// Timed sweep repetitions (best-of is reported).
+    pub repeats: usize,
+    /// Threads for the concurrent sweep.
+    pub threads: usize,
+}
+
+impl StoreBenchConfig {
+    /// Full-size run for committed numbers.
+    pub fn full() -> Self {
+        StoreBenchConfig {
+            rows: 768,
+            cols: 512,
+            chunk_rows: 24,
+            n_regions: 48,
+            region_rows: 48,
+            repeats: 5,
+            threads: 8,
+        }
+    }
+
+    /// Tiny CI smoke run: exercises every stage in well under a second.
+    pub fn smoke() -> Self {
+        StoreBenchConfig {
+            rows: 96,
+            cols: 64,
+            chunk_rows: 8,
+            n_regions: 8,
+            region_rows: 12,
+            repeats: 2,
+            threads: 4,
+        }
+    }
+}
+
+/// One labelled harness run.
+#[derive(Debug, Clone)]
+pub struct StoreBenchRun {
+    /// Run label (e.g. `pr4`).
+    pub label: String,
+    /// Blocks per field at the configured chunking.
+    pub n_blocks: usize,
+    /// Region reads per sweep.
+    pub region_reads: usize,
+    /// Cache-disabled serving throughput.
+    pub uncached_region_mb_s: f64,
+    /// First (filling) sweep of the caching store.
+    pub cold_region_mb_s: f64,
+    /// Steady-state cached serving throughput.
+    pub warm_region_mb_s: f64,
+    /// `warm_region_mb_s / uncached_region_mb_s`.
+    pub warm_speedup_x: f64,
+    /// Aggregate warm throughput across concurrent threads.
+    pub concurrent_warm_mb_s: f64,
+    /// Cache hit fraction across the whole caching run.
+    pub hit_rate: f64,
+}
+
+/// Coupled snapshot with a genuine cross-field target: RH is a smooth
+/// nonlinear function of the T and P anchors, so the paper pipeline (CFNN
+/// + hybrid) actually engages on the serving path.
+fn coupled_snapshot(rows: usize, cols: usize) -> Dataset {
+    let shape = Shape::d2(rows, cols);
+    let t = Field::from_fn(shape, |i| {
+        ((i[0] as f32) * 0.021).sin() * 14.0 + ((i[1] as f32) * 0.017).cos() * 9.0 + 283.0
+    });
+    let p = Field::from_fn(shape, |i| {
+        1009.0 - (i[0] as f32) * 0.05 + ((i[1] as f32) * 0.013).sin() * 4.0
+    });
+    let rh = t.zip_map(&p, |tv, pv| {
+        0.45 * (tv - 283.0) + 0.06 * (pv - 1009.0) + 52.0
+    });
+    let mut ds = Dataset::new("STORE-BENCH", shape);
+    ds.push("T", t);
+    ds.push("P", p);
+    ds.push("RH", rh);
+    ds
+}
+
+/// The deterministic region sweep: fixed-height windows at pseudo-random
+/// offsets, full width (region decode cost is dominated by block decode,
+/// which is axis-0-granular).
+fn sweep_regions(cfg: &StoreBenchConfig) -> Vec<Region> {
+    let mut rng = XorShift(0xC0FF_EE00_5EED_1234);
+    (0..cfg.n_regions)
+        .map(|_| {
+            let span = cfg.region_rows.min(cfg.rows - 1);
+            let r0 = (rng.next_u64() as usize) % (cfg.rows - span);
+            Region::d2(r0, r0 + span, 0, cfg.cols)
+        })
+        .collect()
+}
+
+/// Best-of-`repeats` wall-clock seconds for `f` (after one warmup call
+/// when `warmup` is set).
+fn best_secs(repeats: usize, warmup: bool, mut f: impl FnMut()) -> f64 {
+    if warmup {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Run the harness and return the labelled measurements.
+pub fn run(label: &str, cfg: StoreBenchConfig) -> StoreBenchRun {
+    let ds = coupled_snapshot(cfg.rows, cfg.cols);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .train_config(TrainConfig::fast())
+        .cross_field("RH", &["T", "P"])
+        .chunk_elements(cfg.chunk_rows * cfg.cols)
+        .build()
+        .write(&ds)
+        .expect("bench archive write");
+    let regions = sweep_regions(&cfg);
+    let sweep_mb: f64 = regions.iter().map(|r| (r.len() * 4) as f64).sum::<f64>() / 1e6;
+
+    let open = || ArchiveReader::new(&bytes).expect("bench archive parse");
+
+    // baseline: cache disabled — every read decodes covering blocks AND
+    // the matching anchor blocks of the cross-field target
+    let uncached = ArchiveStore::new(open(), StoreConfig::uncached());
+    let uncached_s = best_secs(cfg.repeats, true, || {
+        for r in &regions {
+            std::hint::black_box(uncached.decode_region("RH", r).expect("uncached read"));
+        }
+    });
+
+    // caching store: cold fill, then steady-state warm sweeps
+    let store = ArchiveStore::new(open(), StoreConfig::default());
+    let t0 = Instant::now();
+    for r in &regions {
+        std::hint::black_box(store.decode_region("RH", r).expect("cold read"));
+    }
+    let cold_s = t0.elapsed().as_secs_f64();
+    let warm_s = best_secs(cfg.repeats, false, || {
+        for r in &regions {
+            std::hint::black_box(store.decode_region("RH", r).expect("warm read"));
+        }
+    });
+
+    // concurrent warm sweeps: every thread runs the full sweep, so the
+    // aggregate served volume is threads × sweep_mb per round
+    let shared = Arc::new(store);
+    let conc_s = best_secs(cfg.repeats, false, || {
+        std::thread::scope(|s| {
+            for ti in 0..cfg.threads {
+                let shared = Arc::clone(&shared);
+                let regions = &regions;
+                s.spawn(move || {
+                    // stagger start offsets so threads contend on
+                    // different blocks at any instant
+                    for i in 0..regions.len() {
+                        let r = &regions[(i + ti * regions.len() / cfg.threads) % regions.len()];
+                        std::hint::black_box(
+                            shared.decode_region("RH", r).expect("concurrent read"),
+                        );
+                    }
+                });
+            }
+        });
+    });
+    let stats = shared.stats();
+
+    let warm_mb_s = sweep_mb / warm_s.max(1e-9);
+    let uncached_mb_s = sweep_mb / uncached_s.max(1e-9);
+    StoreBenchRun {
+        label: label.to_string(),
+        n_blocks: shared.reader().entries()[0].n_blocks(),
+        region_reads: regions.len(),
+        uncached_region_mb_s: uncached_mb_s,
+        cold_region_mb_s: sweep_mb / cold_s.max(1e-9),
+        warm_region_mb_s: warm_mb_s,
+        warm_speedup_x: warm_mb_s / uncached_mb_s.max(1e-9),
+        concurrent_warm_mb_s: cfg.threads as f64 * sweep_mb / conc_s.max(1e-9),
+        hit_rate: stats.hit_rate(),
+    }
+}
+
+fn push_field(out: &mut String, key: &str, v: f64, comma: bool) {
+    out.push_str(&format!("    \"{key}\": {v:.2}"));
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+/// Serialize runs to the committed JSON layout.
+pub fn to_json(runs: &[StoreBenchRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"unit\": \"MB/s of decoded f32 region samples served\",\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"label\": \"{}\",\n", r.label));
+        out.push_str(&format!("    \"n_blocks\": {},\n", r.n_blocks));
+        out.push_str(&format!("    \"region_reads\": {},\n", r.region_reads));
+        push_field(
+            &mut out,
+            "uncached_region_mb_s",
+            r.uncached_region_mb_s,
+            true,
+        );
+        push_field(&mut out, "cold_region_mb_s", r.cold_region_mb_s, true);
+        push_field(&mut out, "warm_region_mb_s", r.warm_region_mb_s, true);
+        push_field(&mut out, "warm_speedup_x", r.warm_speedup_x, true);
+        push_field(
+            &mut out,
+            "concurrent_warm_mb_s",
+            r.concurrent_warm_mb_s,
+            true,
+        );
+        push_field(&mut out, "hit_rate", r.hit_rate, false);
+        out.push_str(if i + 1 < runs.len() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Keys every run object must carry with a positive numeric value.
+pub const REQUIRED_KEYS: [&str; 6] = [
+    "uncached_region_mb_s",
+    "cold_region_mb_s",
+    "warm_region_mb_s",
+    "warm_speedup_x",
+    "concurrent_warm_mb_s",
+    "hit_rate",
+];
+
+/// Structural validation of a store-bench JSON document: schema marker
+/// present, at least one run, every required key present with a positive
+/// value. (Not a general JSON parser — just enough to keep the CI smoke
+/// step from passing on an empty or truncated file.)
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema marker {SCHEMA}"));
+    }
+    let n_runs = doc.matches("\"label\":").count();
+    if n_runs == 0 {
+        return Err("document holds no runs".into());
+    }
+    for key in REQUIRED_KEYS {
+        let needle = format!("\"{key}\":");
+        let count = doc.matches(&needle).count();
+        if count != n_runs {
+            return Err(format!("key {key} appears {count} times for {n_runs} runs"));
+        }
+        // every occurrence must be followed by a positive number
+        for (at, _) in doc.match_indices(&needle) {
+            let rest = doc[at + needle.len()..].trim_start();
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            match num.parse::<f64>() {
+                Ok(v) if v > 0.0 && v.is_finite() => {}
+                _ => return Err(format!("key {key} has non-positive value {num:?}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extract the first numeric value following `"key":` in `doc`.
+pub fn extract_value(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run(speedup: f64) -> StoreBenchRun {
+        StoreBenchRun {
+            label: "unit".into(),
+            n_blocks: 4,
+            region_reads: 8,
+            uncached_region_mb_s: 100.0,
+            cold_region_mb_s: 90.0,
+            warm_region_mb_s: 100.0 * speedup,
+            warm_speedup_x: speedup,
+            concurrent_warm_mb_s: 500.0,
+            hit_rate: 0.9,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let doc = to_json(&[sample_run(5.0), sample_run(4.0)]);
+        validate_json(&doc).expect("valid document");
+        assert_eq!(extract_value(&doc, "warm_speedup_x"), Some(5.0));
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_json("{}").is_err());
+        let mut bad = sample_run(1.0);
+        bad.hit_rate = 0.0; // non-positive
+        assert!(validate_json(&to_json(&[bad])).is_err());
+        let good = to_json(&[sample_run(3.0)]);
+        assert!(validate_json(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn committed_bench_results_validate_and_meet_acceptance() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_store.json");
+        let doc = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        validate_json(&doc).expect("committed BENCH_store.json must satisfy the schema");
+        let speedup = extract_value(&doc, "warm_speedup_x")
+            .expect("committed document carries warm_speedup_x");
+        assert!(
+            speedup >= 3.0,
+            "committed warm-cache speedup {speedup}x below the 3x acceptance bar"
+        );
+    }
+
+    #[test]
+    fn smoke_run_produces_valid_document() {
+        let run = run("unit-smoke", StoreBenchConfig::smoke());
+        assert!(run.warm_region_mb_s > 0.0);
+        assert!(run.hit_rate > 0.0);
+        validate_json(&to_json(&[run])).expect("smoke run document validates");
+    }
+}

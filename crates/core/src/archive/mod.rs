@@ -1,0 +1,134 @@
+//! Multi-field archive subsystem: one call to compress a whole simulation
+//! snapshot, one call — or one *seek* — to get it back.
+//!
+//! The paper's workload (§I, Table 3) is a *dataset*: tens of co-located
+//! fields per snapshot, a few of which (the cross-field targets) compress
+//! dramatically better when conditioned on others (their anchors). The
+//! archive packages the whole dance — role planning, anchor roundtrips,
+//! CFNN training, hybrid fitting, per-field encoding — behind two calls:
+//!
+//! ```text
+//!   ArchiveBuilder ──roles──► ArchiveWriter::write_to(&Dataset, impl Write)
+//!        every field split into fixed-slab blocks along axis 0, each
+//!        block encoded as its own stream (own quantizer + Huffman state)
+//!        and CRC'd; blocks encoded in parallel across ALL fields
+//!        ──► one versioned, self-describing CFAR v2 container with a
+//!            per-field block index (offset | length | CRC32)
+//!
+//!   ArchiveReader::open(impl Read + Seek) ──► manifest only (no payloads)
+//!        decode_all(): every block of every field in parallel
+//!        decode_block(field, i): reads + decodes ONE block (plus the same
+//!            anchor blocks when the field is a cross-field target)
+//!        decode_region(field, region): touches only the blocks that
+//!            intersect the region's axis-0 range
+//!
+//!   ArchiveStore::new(reader, config) ──► shared, thread-safe serving
+//!        layer: the same decode calls behind a byte-budgeted LRU cache of
+//!        decoded blocks with single-flight dedup — repeated or concurrent
+//!        reads of hot regions (and the anchor blocks cross-field targets
+//!        drag in) decode once and then hit the cache
+//! ```
+//!
+//! ## Module layout
+//!
+//! * [`format`](mod@format) — the CFAR wire format: magic/version
+//!   constants, the [`FieldRole`] tag, chunk geometry arithmetic, manifest
+//!   ([`ArchiveEntry`]) parsing for both container versions.
+//! * [`writer`] — [`ArchiveBuilder`] → [`ArchiveWriter`]: role planning,
+//!   CFNN training, parallel per-(field, block) encode, serialization.
+//! * [`reader`] — [`ArchiveReader`]: stateless, lazily-reading decode of
+//!   whole snapshots, single fields, single blocks, or axis-aligned
+//!   regions from any `Read + Seek` source.
+//! * [`store`] — [`ArchiveStore`]: a concurrent serving layer over a
+//!   reader, with a decoded-block LRU cache and [`StoreStats`] counters.
+//!
+//! ## Container versions
+//!
+//! * **v2** (current): chunked. Per field the header stores shape, chunk
+//!   geometry, a meta area (embedded CFNN + hybrid weights for targets),
+//!   and the block index; payloads follow. Blocks decode independently —
+//!   the slab boundary resets predictor context (neighbours outside the
+//!   block predict 0, the SZ convention), so any block can be decoded
+//!   after reading only its own bytes.
+//! * **v1** (read-only): one monolithic CFSZ stream per field, model
+//!   embedded in the stream. [`ArchiveReader`] still decodes it; random
+//!   access degrades to whole-field decode.
+//!
+//! The decode path is total: corrupt, truncated, or adversarial archives
+//! return [`cfc_sz::CfcError`], never panic, and every block read is
+//! verified against its recorded CRC32 before the entropy decoder sees it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod format;
+pub mod reader;
+pub mod store;
+pub mod writer;
+
+pub use format::{
+    ArchiveEntry, FieldRole, ARCHIVE_MAGIC, ARCHIVE_VERSION, DEFAULT_CHUNK_ELEMENTS,
+    MIN_SUPPORTED_VERSION,
+};
+pub use reader::{ArchiveReader, ArchiveScratch};
+pub use store::{ArchiveStore, StoreConfig, StoreStats};
+pub use writer::{ArchiveBuilder, ArchiveReport, ArchiveWriter, FieldReport};
+
+/// Run `f(0..n)` across up to `threads` scoped workers, preserving result
+/// order. One task per block, so big fields no longer serialize through a
+/// single Huffman stream.
+pub(crate) fn run_parallel<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_parallel_scratch(n, threads, || (), |(), i| f(i))
+}
+
+/// [`run_parallel`] with per-worker scratch state: each worker calls
+/// `init` once and threads the value through every task it claims, so
+/// steady-state block processing reuses one set of buffers per thread
+/// instead of allocating per block.
+pub(crate) fn run_parallel_scratch<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    if workers == 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&mut scratch, i);
+                    *slots[i].lock().expect("worker slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker slot poisoned")
+                .expect("task completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,757 @@
+//! Archive read path: lazy, stateless decode of whole snapshots, single
+//! fields, single blocks, or axis-aligned regions.
+//!
+//! [`ArchiveReader::open`] parses and validates only the manifest; payload
+//! bytes are read (and CRC-checked) when something is decoded. Every
+//! decode error is wrapped with the field (and, where block random access
+//! is involved, block index) it occurred in via
+//! [`CfcError::in_field`] — match on
+//! [`CfcError::root_cause`] when you care about the underlying failure.
+//!
+//! The reader is deliberately *stateless*: nothing decoded is retained
+//! between calls (beyond caller-provided [`ArchiveScratch`] buffers).
+//! For a serving layer that caches decoded blocks across calls and
+//! threads, wrap a reader in [`super::store::ArchiveStore`].
+
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::Mutex;
+
+use cfc_sz::error::Reader;
+use cfc_sz::stream::Container;
+use cfc_sz::{crc32, CfcError, Codec, DecodeScratch, SzCompressor};
+use cfc_tensor::{Dataset, Field, Region, Shape};
+
+use crate::hybrid::HybridModel;
+use crate::pipeline::deserialize_model;
+use crate::predict::predict_differences;
+use crate::predictor::CrossFieldHybridPredictor;
+
+use super::format::{
+    block_range, parse_entry_v1, parse_entry_v2, slab_shape_of, ArchiveEntry, FieldRole, TocReader,
+    ARCHIVE_MAGIC, ARCHIVE_VERSION, MIN_SUPPORTED_VERSION,
+};
+use super::{run_parallel, run_parallel_scratch};
+
+/// Reusable per-worker buffers for block decode: the raw (compressed)
+/// block bytes plus the codec-level [`DecodeScratch`]. One scratch per
+/// worker thread lets steady-state block decode reuse its big
+/// element-proportional buffers instead of reallocating them per block;
+/// only the decoded field itself (and small per-stream transients) is
+/// freshly allocated.
+#[derive(Debug, Default)]
+pub struct ArchiveScratch {
+    /// Raw block bytes read from the source (CRC-checked before decode).
+    block: Vec<u8>,
+    /// Codec-level reusable buffers (payload/codes/outliers).
+    dec: DecodeScratch,
+    /// Times the raw block buffer had to grow.
+    block_growths: usize,
+}
+
+impl ArchiveScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total capacity growths across the raw block buffer and the
+    /// codec-level buffers since construction. Stable across decodes ⇔
+    /// steady-state block decode reuses the covered buffers.
+    pub fn growths(&self) -> usize {
+        self.block_growths + self.dec.growths()
+    }
+}
+
+/// Per-call memo of decoded anchor blocks, keyed by `(entry index, block
+/// index)`. One multi-block decode call (`decode_region`, `decode_field`)
+/// threads a single memo through its block loop so each anchor block is
+/// decoded at most once per call — even when a target lists the same
+/// anchor more than once, and even with no [`super::store::ArchiveStore`]
+/// cache attached.
+pub(crate) type AnchorMemo = HashMap<(usize, usize), Field>;
+
+/// A target field's parsed meta area: serialized CFNN bytes plus the
+/// fitted hybrid weights.
+pub(crate) type TargetMeta = (Vec<u8>, HybridModel);
+
+/// Reads archives written by [`super::ArchiveWriter`] — lazily, from any
+/// seekable byte source. Only the manifest is parsed up front; payload
+/// bytes are read (and CRC-checked) when a field, block, or region is
+/// decoded.
+pub struct ArchiveReader<R> {
+    name: String,
+    version: u16,
+    entries: Vec<ArchiveEntry>,
+    src: Mutex<R>,
+    src_len: u64,
+}
+
+impl ArchiveReader<std::io::Cursor<Vec<u8>>> {
+    /// Parse an in-memory archive (thin wrapper over
+    /// [`ArchiveReader::open`] + [`std::io::Cursor`]).
+    pub fn new(bytes: &[u8]) -> Result<Self, CfcError> {
+        Self::open(std::io::Cursor::new(bytes.to_vec()))
+    }
+}
+
+impl<R: Read + Seek + Send> ArchiveReader<R> {
+    /// Parse and validate the archive table of contents from a seekable
+    /// source (a file, a cursor, …). Payloads are not read yet.
+    /// (`Send` lets block decodes fan out across worker threads.)
+    ///
+    /// Total over arbitrary bytes: bad magic, future versions, truncation,
+    /// block indexes pointing past EOF, duplicate or dangling names all
+    /// return [`CfcError`].
+    pub fn open(mut src: R) -> Result<Self, CfcError> {
+        let io = |context: &'static str| {
+            move |e: std::io::Error| CfcError::Io {
+                context,
+                detail: e.to_string(),
+            }
+        };
+        let src_len = src.seek(SeekFrom::End(0)).map_err(io("sizing archive"))?;
+        src.seek(SeekFrom::Start(0))
+            .map_err(io("rewinding archive"))?;
+        let mut toc = TocReader {
+            src: &mut src,
+            pos: 0,
+            len: src_len,
+        };
+
+        let magic = toc.bytes(4, "archive magic")?;
+        if magic != ARCHIVE_MAGIC[..] {
+            return Err(CfcError::BadMagic {
+                expected: *ARCHIVE_MAGIC,
+                found: magic,
+            });
+        }
+        let version = toc.u16("archive version")?;
+        if !(MIN_SUPPORTED_VERSION..=ARCHIVE_VERSION).contains(&version) {
+            return Err(CfcError::UnsupportedVersion {
+                found: version,
+                supported: ARCHIVE_VERSION,
+            });
+        }
+        let name = toc.str("archive name")?;
+        let n_fields = toc.u32("field count")? as usize;
+        if n_fields == 0 {
+            return Err(CfcError::Corrupt {
+                context: "archive",
+                detail: "zero fields".into(),
+            });
+        }
+        // every entry needs ≥ 19 bytes of fixed headers
+        if (n_fields as u64).saturating_mul(19) > toc.remaining() {
+            return Err(CfcError::Truncated {
+                context: "archive field table",
+                needed: n_fields * 19,
+                available: toc.remaining() as usize,
+            });
+        }
+        let mut entries = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let entry = if version == 1 {
+                parse_entry_v1(&mut toc)?
+            } else {
+                parse_entry_v2(&mut toc)?
+            };
+            entries.push(entry);
+        }
+
+        // referential integrity of the manifest
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        for (i, e) in entries.iter().enumerate() {
+            if names[..i].contains(&e.name.as_str()) {
+                return Err(CfcError::Corrupt {
+                    context: "archive",
+                    detail: format!("duplicate field {}", e.name),
+                });
+            }
+            if e.role == FieldRole::Target && e.anchors.is_empty() {
+                return Err(CfcError::Corrupt {
+                    context: "archive",
+                    detail: format!("target {} without anchors", e.name),
+                });
+            }
+            for a in &e.anchors {
+                match entries.iter().find(|o| &o.name == a) {
+                    None => {
+                        return Err(CfcError::Corrupt {
+                            context: "archive",
+                            detail: format!("field {} references unknown anchor {a}", e.name),
+                        })
+                    }
+                    Some(o) if o.role == FieldRole::Target => {
+                        return Err(CfcError::Corrupt {
+                            context: "archive",
+                            detail: format!("anchor {a} of {} is itself a target", e.name),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        // v2 manifests record geometry up front: every field must agree on
+        // shape and chunking, or block-level cross-field decode is unsound
+        if version >= 2 {
+            let first = &entries[0];
+            for e in &entries[1..] {
+                if e.shape != first.shape || e.chunk_slabs != first.chunk_slabs {
+                    return Err(CfcError::Corrupt {
+                        context: "archive",
+                        detail: format!(
+                            "field {} disagrees with {} on shape or chunk geometry",
+                            e.name, first.name
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(ArchiveReader {
+            name,
+            version,
+            entries,
+            src: Mutex::new(src),
+            src_len,
+        })
+    }
+
+    /// Archive (dataset) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Container version of the parsed archive (1 or 2).
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Manifest entries in archive order.
+    pub fn entries(&self) -> &[ArchiveEntry] {
+        &self.entries
+    }
+
+    pub(crate) fn entry(&self, name: &str) -> Result<&ArchiveEntry, CfcError> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| CfcError::InvalidInput(format!("archive has no field {name}")))
+    }
+
+    /// Position of `name` in the manifest (the stable key block caches and
+    /// anchor memos use).
+    pub(crate) fn entry_index(&self, name: &str) -> Result<usize, CfcError> {
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or_else(|| CfcError::InvalidInput(format!("archive has no field {name}")))
+    }
+
+    /// Read `len` bytes at absolute offset `at`.
+    fn read_at(&self, at: u64, len: usize, context: &'static str) -> Result<Vec<u8>, CfcError> {
+        let mut buf = Vec::new();
+        self.read_at_into(at, len, context, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Read `len` bytes at absolute offset `at` into a reusable buffer.
+    fn read_at_into(
+        &self,
+        at: u64,
+        len: usize,
+        context: &'static str,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), CfcError> {
+        let mut src = self.src.lock().unwrap_or_else(|p| p.into_inner());
+        src.seek(SeekFrom::Start(at)).map_err(|e| CfcError::Io {
+            context,
+            detail: e.to_string(),
+        })?;
+        buf.clear();
+        buf.resize(len, 0);
+        src.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                CfcError::Truncated {
+                    context,
+                    needed: len,
+                    available: self.src_len.saturating_sub(at) as usize,
+                }
+            } else {
+                CfcError::Io {
+                    context,
+                    detail: e.to_string(),
+                }
+            }
+        })?;
+        Ok(())
+    }
+
+    /// Read one block's bytes into the scratch buffer and verify its CRC.
+    fn read_block_into(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<(), CfcError> {
+        let b = entry.blocks.get(idx).ok_or_else(|| {
+            CfcError::InvalidInput(format!(
+                "field {} has {} blocks, asked for {idx}",
+                entry.name,
+                entry.blocks.len()
+            ))
+        })?;
+        let cap = scratch.block.capacity();
+        self.read_at_into(
+            entry.payload_base + b.rel_offset,
+            b.len,
+            "archive block",
+            &mut scratch.block,
+        )?;
+        scratch.block_growths += usize::from(scratch.block.capacity() > cap);
+        let found = crc32(&scratch.block);
+        if found != b.crc {
+            return Err(CfcError::ChecksumMismatch {
+                context: "archive block",
+                expected: b.crc,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    /// Read a field's meta area (embedded model + hybrid weights).
+    fn read_meta(&self, entry: &ArchiveEntry) -> Result<Vec<u8>, CfcError> {
+        self.read_at(entry.payload_base, entry.meta_len, "archive field meta")
+    }
+
+    /// Parse a target's meta area into (model bytes, hybrid weights).
+    fn parse_target_meta(meta: &[u8]) -> Result<TargetMeta, CfcError> {
+        let mut r = Reader::new(meta);
+        let model_len = r.len_u64("embedded model length")?;
+        let model_bytes = r.bytes(model_len, "embedded model")?.to_vec();
+        let hybrid_len = r.len_u64("hybrid weights length")?;
+        let hybrid = HybridModel::try_deserialize(r.bytes(hybrid_len, "hybrid weights")?)?;
+        Ok((model_bytes, hybrid))
+    }
+
+    /// Decode one baseline (non-target) block to its slab field through a
+    /// reusable scratch. Errors carry the field/block context.
+    pub(crate) fn decode_baseline_block(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        self.decode_baseline_block_inner(entry, idx, scratch)
+            .map_err(|e| e.in_field(&entry.name, Some(idx)))
+    }
+
+    fn decode_baseline_block_inner(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        self.read_block_into(entry, idx, scratch)?;
+        let field = baseline_decoder().decompress_with(&scratch.block, &mut scratch.dec)?;
+        self.check_slab_shape(entry, idx, field.shape())?;
+        Ok(field)
+    }
+
+    /// Decode one target block given its decoded anchor slabs and parsed
+    /// meta. Errors carry the field/block context.
+    pub(crate) fn decode_target_block(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        anchor_slabs: &[&Field],
+        model_bytes: &[u8],
+        hybrid: &HybridModel,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        self.decode_target_block_inner(entry, idx, anchor_slabs, model_bytes, hybrid, scratch)
+            .map_err(|e| e.in_field(&entry.name, Some(idx)))
+    }
+
+    fn decode_target_block_inner(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        anchor_slabs: &[&Field],
+        model_bytes: &[u8],
+        hybrid: &HybridModel,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        self.read_block_into(entry, idx, scratch)?;
+        let container = Container::try_from_bytes(&scratch.block)?;
+        self.check_slab_shape(entry, idx, container.shape)?;
+        let ndim = container.shape.ndim();
+        let mut model = deserialize_model(model_bytes)?;
+        if model.spec.in_channels != anchor_slabs.len() * ndim {
+            return Err(CfcError::ShapeMismatch {
+                expected: format!("{} input channels", model.spec.in_channels),
+                found: format!("{} anchors × {ndim} axes", anchor_slabs.len()),
+            });
+        }
+        if model.spec.out_channels != ndim {
+            return Err(CfcError::Corrupt {
+                context: "embedded model",
+                detail: format!(
+                    "{} output channels for a {ndim}-D block",
+                    model.spec.out_channels
+                ),
+            });
+        }
+        if hybrid.arity() != ndim + 1 {
+            return Err(CfcError::Corrupt {
+                context: "hybrid weights",
+                detail: format!("arity {} for a {ndim}-D block", hybrid.arity()),
+            });
+        }
+        if anchor_slabs.iter().any(|a| a.shape() != container.shape) {
+            return Err(CfcError::ShapeMismatch {
+                expected: container.shape.to_string(),
+                found: "anchor slab with a different shape".into(),
+            });
+        }
+        let diffs = predict_differences(&mut model, anchor_slabs);
+        let predictor = CrossFieldHybridPredictor::new(&diffs, container.eb, hybrid.clone());
+        let lattice =
+            baseline_decoder().decompress_lattice_with(&container, &predictor, &mut scratch.dec)?;
+        Ok(lattice.reconstruct(container.eb))
+    }
+
+    /// Verify a decoded block's shape against the manifest's chunk
+    /// geometry (a block stream that lies about its slab is corrupt).
+    fn check_slab_shape(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        found: Shape,
+    ) -> Result<(), CfcError> {
+        let shape = entry.shape.expect("v2 entries record shape");
+        let (r0, r1) = block_range(shape.dims()[0], entry.chunk_slabs, idx);
+        let expected = slab_shape_of(shape, r1 - r0);
+        if found != expected {
+            return Err(CfcError::ShapeMismatch {
+                expected: format!("block {idx} of {}: {expected}", entry.name),
+                found: found.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Decode a single block of `field` (block `idx` along axis 0),
+    /// touching only that block's bytes — plus, for a cross-field target,
+    /// the same block of each anchor and the field's meta area.
+    ///
+    /// For v1 archives only block 0 exists and decodes the whole field.
+    pub fn decode_block(&self, field: &str, idx: usize) -> Result<Field, CfcError> {
+        self.decode_block_with(field, idx, &mut ArchiveScratch::new())
+    }
+
+    /// [`ArchiveReader::decode_block`] through a caller-owned
+    /// [`ArchiveScratch`], so a loop over blocks reuses one set of decode
+    /// buffers instead of allocating per block.
+    pub fn decode_block_with(
+        &self,
+        field: &str,
+        idx: usize,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        let entry = self.entry(field)?;
+        if self.version == 1 {
+            if idx != 0 {
+                return Err(CfcError::InvalidInput(format!(
+                    "v1 archives hold one stream per field; block {idx} does not exist"
+                ))
+                .in_field(field, Some(idx)));
+            }
+            return self.decode_field_v1(entry);
+        }
+        let meta = self.target_meta(entry)?;
+        let mut memo = AnchorMemo::new();
+        self.decode_block_v2(entry, idx, meta.as_ref(), scratch, &mut memo)
+    }
+
+    /// Parse a v2 target's meta once (`None` for baseline/anchor roles) —
+    /// multi-block decodes hoist this out of their block loops.
+    pub(crate) fn target_meta(&self, entry: &ArchiveEntry) -> Result<Option<TargetMeta>, CfcError> {
+        if entry.role != FieldRole::Target {
+            return Ok(None);
+        }
+        Self::parse_target_meta(&self.read_meta(entry)?)
+            .map(Some)
+            .map_err(|e| e.in_field(&entry.name, None))
+    }
+
+    /// Decode one v2 block given the field's already-parsed meta, memoizing
+    /// decoded anchor blocks in `memo` so one multi-block call (or one
+    /// block whose target lists an anchor twice) decodes each anchor block
+    /// at most once.
+    pub(crate) fn decode_block_v2(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        meta: Option<&TargetMeta>,
+        scratch: &mut ArchiveScratch,
+        memo: &mut AnchorMemo,
+    ) -> Result<Field, CfcError> {
+        let Some((model_bytes, hybrid)) = meta else {
+            return self.decode_baseline_block(entry, idx, scratch);
+        };
+        let mut anchor_keys = Vec::with_capacity(entry.anchors.len());
+        for a in &entry.anchors {
+            // manifest validation guarantees anchors exist and are not targets
+            let ai = self.entry_index(a).expect("validated anchor");
+            if let std::collections::hash_map::Entry::Vacant(slot) = memo.entry((ai, idx)) {
+                slot.insert(self.decode_baseline_block(&self.entries[ai], idx, scratch)?);
+            }
+            anchor_keys.push(ai);
+        }
+        let slab_refs: Vec<&Field> = anchor_keys.iter().map(|&ai| &memo[&(ai, idx)]).collect();
+        self.decode_target_block(entry, idx, &slab_refs, model_bytes, hybrid, scratch)
+    }
+
+    /// Decode an axis-aligned [`Region`] of `field`, reading only the
+    /// blocks whose axis-0 slabs intersect it (plus the matching anchor
+    /// blocks when the field is a cross-field target — each anchor block
+    /// decoded at most once per call).
+    ///
+    /// On v1 archives this degrades to a whole-field decode followed by a
+    /// crop — the v1 container has no random-access index.
+    pub fn decode_region(&self, field: &str, region: &Region) -> Result<Field, CfcError> {
+        let entry = self.entry(field)?;
+        if self.version == 1 {
+            let full = self.decode_field_v1(entry)?;
+            region
+                .validate(full.shape())
+                .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
+            return Ok(full.crop(region));
+        }
+        let shape = entry.shape.expect("v2 entries record shape");
+        region
+            .validate(shape)
+            .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
+        let (b_first, b_last) = region.block_cover(entry.chunk_slabs);
+        let meta = self.target_meta(entry)?; // once, not per block
+        let mut scratch = ArchiveScratch::new(); // shared by the block loop
+        let mut memo = AnchorMemo::new(); // anchor blocks decode once per call
+        let mut slabs = Vec::with_capacity(b_last - b_first + 1);
+        for bi in b_first..=b_last {
+            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref(), &mut scratch, &mut memo)?);
+        }
+        let stitched = Field::concat_axis0(&slabs);
+        // re-anchor the region to the stitched slab range
+        Ok(stitched.crop(&region.rebase_axis0(b_first * entry.chunk_slabs)))
+    }
+
+    /// Decode every field, every block in parallel: baselines and anchors
+    /// first, then the cross-field targets against the decoded anchors.
+    pub fn decode_all(&self) -> Result<Dataset, CfcError> {
+        self.decode_all_with_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// [`ArchiveReader::decode_all`] with an explicit worker-thread cap.
+    pub fn decode_all_with_threads(&self, threads: usize) -> Result<Dataset, CfcError> {
+        let mut decoded: HashMap<&str, Field> = HashMap::new();
+
+        if self.version == 1 {
+            let independents: Vec<&ArchiveEntry> = self
+                .entries
+                .iter()
+                .filter(|e| e.role != FieldRole::Target)
+                .collect();
+            let phase1 = run_parallel(independents.len(), threads, |i| {
+                self.decode_field_v1(independents[i])
+            });
+            for (e, res) in independents.iter().zip(phase1) {
+                decoded.insert(e.name.as_str(), res?);
+            }
+            let targets: Vec<&ArchiveEntry> = self
+                .entries
+                .iter()
+                .filter(|e| e.role == FieldRole::Target)
+                .collect();
+            let phase2 = run_parallel(targets.len(), threads, |i| {
+                let e = targets[i];
+                let refs: Vec<&Field> = e.anchors.iter().map(|a| &decoded[a.as_str()]).collect();
+                self.decode_field_v1_anchored(e, &refs)
+            });
+            let mut targets_dec: HashMap<&str, Field> = HashMap::new();
+            for (e, res) in targets.iter().zip(phase2) {
+                targets_dec.insert(e.name.as_str(), res?);
+            }
+            decoded.extend(targets_dec);
+            return self.assemble(decoded);
+        }
+
+        // ---- v2: flatten (field, block) and decode in parallel ---------
+        let independents: Vec<&ArchiveEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.role != FieldRole::Target)
+            .collect();
+        let tasks: Vec<(usize, usize)> = independents
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, e)| (0..e.blocks.len()).map(move |bi| (fi, bi)))
+            .collect();
+        let phase1 = run_parallel_scratch(tasks.len(), threads, ArchiveScratch::new, |s, t| {
+            let (fi, bi) = tasks[t];
+            self.decode_baseline_block(independents[fi], bi, s)
+        });
+        let mut slabs: HashMap<&str, Vec<Field>> = HashMap::new();
+        for (&(fi, _), res) in tasks.iter().zip(phase1) {
+            slabs
+                .entry(independents[fi].name.as_str())
+                .or_default()
+                .push(res?);
+        }
+        for (name, parts) in slabs {
+            decoded.insert(name, Field::concat_axis0(&parts));
+        }
+
+        let targets: Vec<&ArchiveEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.role == FieldRole::Target)
+            .collect();
+        let mut metas = Vec::with_capacity(targets.len());
+        for e in &targets {
+            metas.push(self.target_meta(e)?.expect("target entries carry meta"));
+        }
+        let t_tasks: Vec<(usize, usize)> = targets
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, e)| (0..e.blocks.len()).map(move |bi| (fi, bi)))
+            .collect();
+        let phase2 = run_parallel_scratch(t_tasks.len(), threads, ArchiveScratch::new, |s, t| {
+            let (fi, bi) = t_tasks[t];
+            let e = targets[fi];
+            let shape = e.shape.expect("v2 shape");
+            let (r0, r1) = block_range(shape.dims()[0], e.chunk_slabs, bi);
+            let anchor_slabs: Vec<Field> = e
+                .anchors
+                .iter()
+                .map(|a| decoded[a.as_str()].slab(r0, r1))
+                .collect();
+            let refs: Vec<&Field> = anchor_slabs.iter().collect();
+            let (model_bytes, hybrid) = &metas[fi];
+            self.decode_target_block(e, bi, &refs, model_bytes, hybrid, s)
+        });
+        let mut t_slabs: HashMap<&str, Vec<Field>> = HashMap::new();
+        for (&(fi, _), res) in t_tasks.iter().zip(phase2) {
+            t_slabs
+                .entry(targets[fi].name.as_str())
+                .or_default()
+                .push(res?);
+        }
+        for (name, parts) in t_slabs {
+            decoded.insert(name, Field::concat_axis0(&parts));
+        }
+        self.assemble(decoded)
+    }
+
+    /// Assemble decoded fields into a [`Dataset`] in archive order,
+    /// validating the common shape before the (panicking) `Dataset::push`
+    /// can see a mismatch.
+    fn assemble(&self, mut decoded: HashMap<&str, Field>) -> Result<Dataset, CfcError> {
+        let first = &self.entries[0];
+        let shape = decoded[first.name.as_str()].shape();
+        for e in &self.entries {
+            let found = decoded[e.name.as_str()].shape();
+            if found != shape {
+                return Err(CfcError::ShapeMismatch {
+                    expected: shape.to_string(),
+                    found: format!("{found} in field {}", e.name),
+                });
+            }
+        }
+        let mut ds = Dataset::new(self.name.clone(), shape);
+        for e in &self.entries {
+            let field = decoded
+                .remove(e.name.as_str())
+                .expect("every entry decoded");
+            ds.push(e.name.clone(), field);
+        }
+        Ok(ds)
+    }
+
+    /// Decode a single field by name (decoding its anchors first if it is
+    /// a cross-field target — each anchor block decoded at most once).
+    pub fn decode_field(&self, name: &str) -> Result<Field, CfcError> {
+        let entry = self.entry(name)?;
+        if self.version == 1 {
+            return self.decode_field_v1(entry);
+        }
+        let meta = self.target_meta(entry)?; // once, not per block
+        let mut scratch = ArchiveScratch::new(); // shared by the block loop
+        let mut memo = AnchorMemo::new(); // anchor blocks decode once per call
+        let mut slabs = Vec::with_capacity(entry.blocks.len());
+        for bi in 0..entry.blocks.len() {
+            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref(), &mut scratch, &mut memo)?);
+        }
+        Ok(Field::concat_axis0(&slabs))
+    }
+
+    /// Decode a v1 entry's monolithic stream, decoding its anchors first
+    /// when it is a target.
+    pub(crate) fn decode_field_v1(&self, entry: &ArchiveEntry) -> Result<Field, CfcError> {
+        if entry.role != FieldRole::Target {
+            let stream = self
+                .read_at(
+                    entry.payload_base,
+                    entry.payload_len,
+                    "archive field stream",
+                )
+                .map_err(|e| e.in_field(&entry.name, None))?;
+            return baseline_decoder()
+                .decompress(&stream)
+                .map_err(|e| e.in_field(&entry.name, None));
+        }
+        let mut anchors = Vec::with_capacity(entry.anchors.len());
+        for a in &entry.anchors {
+            let ae = self.entry(a).expect("validated anchor");
+            anchors.push(self.decode_field_v1(ae)?);
+        }
+        let refs: Vec<&Field> = anchors.iter().collect();
+        self.decode_field_v1_anchored(entry, &refs)
+    }
+
+    /// Decode a v1 target stream against already-decoded anchor fields
+    /// (the store routes cached anchors through here).
+    pub(crate) fn decode_field_v1_anchored(
+        &self,
+        entry: &ArchiveEntry,
+        anchors: &[&Field],
+    ) -> Result<Field, CfcError> {
+        let stream = self
+            .read_at(
+                entry.payload_base,
+                entry.payload_len,
+                "archive field stream",
+            )
+            .map_err(|e| e.in_field(&entry.name, None))?;
+        cross_decoder()
+            .decompress(&stream, anchors)
+            .map_err(|e| e.in_field(&entry.name, None))
+    }
+}
+
+/// Decoder-side baseline codec. The bound is irrelevant on decode (streams
+/// carry their own), so any positive value works.
+fn baseline_decoder() -> SzCompressor {
+    SzCompressor::baseline(1e-3)
+}
+
+/// Decoder-side cross-field pipeline for v1 streams (same note as
+/// [`baseline_decoder`]).
+fn cross_decoder() -> crate::pipeline::CrossFieldCompressor {
+    crate::pipeline::CrossFieldCompressor::new(1e-3)
+}

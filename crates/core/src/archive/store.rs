@@ -1,0 +1,477 @@
+//! Concurrent archive serving layer: a thread-safe wrapper over
+//! [`ArchiveReader`] with a byte-budgeted LRU cache of decoded blocks.
+//!
+//! A plain [`ArchiveReader`] is stateless: every `decode_region` call
+//! re-decodes the blocks it covers, and a cross-field target pays an extra
+//! decode of its anchor blocks on every read. [`ArchiveStore`] turns the
+//! per-request decode tax into a cache hit:
+//!
+//! * **Decoded-block LRU cache** — keyed by `(field, block)`, bounded by a
+//!   byte budget ([`StoreConfig::capacity_bytes`]) measured in decoded
+//!   `f32` bytes. Anchor blocks dragged in by cross-field targets go
+//!   through the same cache, so repeated region reads over a CFNN/hybrid
+//!   target stop re-decoding their anchors.
+//! * **Single-flight dedup** — concurrent requests for the same block
+//!   coalesce: one thread decodes, the rest wait and share the result.
+//! * **Shared scratch pool** — decode workers borrow
+//!   [`ArchiveScratch`] buffers from a [`ScratchPool`] so steady-state
+//!   serving stays allocation-light without per-thread ownership.
+//!
+//! All methods take `&self`; wrap the store in an `Arc` and call it from
+//! as many threads as you like. Cache hits clone an `Arc<Field>`, never
+//! the samples.
+//!
+//! ```no_run
+//! use cfc_core::archive::{ArchiveReader, ArchiveStore, StoreConfig};
+//! use cfc_tensor::Region;
+//!
+//! let file = std::fs::File::open("snapshot.cfar").unwrap();
+//! let reader = ArchiveReader::open(file).unwrap();
+//! let store = std::sync::Arc::new(ArchiveStore::new(
+//!     reader,
+//!     StoreConfig::with_capacity(256 << 20),
+//! ));
+//! let window = store.decode_region("RH", &Region::d2(100, 200, 0, 512)).unwrap();
+//! println!("{} samples, stats {:?}", window.len(), store.stats());
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Seek};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use cfc_sz::{CfcError, ScratchPool};
+use cfc_tensor::{Field, Region};
+
+use super::format::FieldRole;
+use super::reader::{ArchiveReader, ArchiveScratch, TargetMeta};
+
+/// Configuration for an [`ArchiveStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Byte budget for cached decoded blocks (decoded `f32` bytes, i.e.
+    /// 4 × elements per block). `0` disables caching entirely — every call
+    /// decodes from the source, which is the right baseline for
+    /// measurements and for callers that never re-read.
+    pub capacity_bytes: usize,
+    /// Idle [`ArchiveScratch`] values kept in the worker pool (extras
+    /// returned beyond this are dropped).
+    pub max_idle_scratch: usize,
+}
+
+impl Default for StoreConfig {
+    /// 256 MiB of decoded blocks, one idle scratch per available core.
+    fn default() -> Self {
+        StoreConfig {
+            capacity_bytes: 256 << 20,
+            max_idle_scratch: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8),
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Default configuration at an explicit cache byte budget.
+    pub fn with_capacity(capacity_bytes: usize) -> Self {
+        StoreConfig {
+            capacity_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// A store with the cache disabled (every read decodes).
+    pub fn uncached() -> Self {
+        Self::with_capacity(0)
+    }
+}
+
+/// Point-in-time snapshot of an [`ArchiveStore`]'s counters, from
+/// [`ArchiveStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Block requests served without decoding: from the cache, or handed
+    /// the result of another thread's in-flight decode.
+    pub hits: u64,
+    /// Block requests that had to decode.
+    pub misses: u64,
+    /// Cached blocks dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Blocks inserted into the cache.
+    pub insertions: u64,
+    /// Requests that waited for another thread's in-flight decode of the
+    /// same block instead of decoding it again (single-flight dedup).
+    pub coalesced: u64,
+    /// Blocks currently cached.
+    pub cached_blocks: usize,
+    /// Decoded bytes currently cached.
+    pub cached_bytes: usize,
+    /// Configured cache byte budget.
+    pub capacity_bytes: usize,
+}
+
+impl StoreStats {
+    /// Fraction of block requests served from the cache (0 when no
+    /// requests have been made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Cache key: (entry index in the manifest, block index along axis 0).
+type BlockKey = (usize, usize);
+
+struct CacheEntry {
+    field: Arc<Field>,
+    /// LRU timestamp (key into `CacheInner::lru`).
+    tick: u64,
+    /// Decoded byte size (4 × elements).
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<BlockKey, CacheEntry>,
+    /// LRU order: oldest tick first. Ticks are unique, so this is a total
+    /// order over cached blocks.
+    lru: BTreeMap<u64, BlockKey>,
+    tick: u64,
+    bytes: usize,
+    /// Blocks currently being decoded by some thread (single-flight).
+    /// Waiters clone the [`Flight`] and block on its condvar; the decoder
+    /// publishes its result there, so waiters are served even when the
+    /// block is too big to cache.
+    inflight: HashMap<BlockKey, Arc<Flight>>,
+}
+
+/// Per-block in-flight decode slot: the decoding thread publishes its
+/// outcome here and every coalesced waiter reads it directly — the result
+/// reaches waiters whether or not it was cacheable.
+#[derive(Default)]
+struct Flight {
+    result: Mutex<Option<Result<Arc<Field>, CfcError>>>,
+    done: Condvar,
+}
+
+/// Concurrent, caching serving layer over an [`ArchiveReader`].
+///
+/// See the [module docs](self) for the design; in short: `&self` methods,
+/// `(field, block)`-keyed LRU of decoded blocks with a byte budget,
+/// single-flight decode dedup, and [`StoreStats`] counters. Construct
+/// once, share behind an `Arc`, serve from any number of threads.
+pub struct ArchiveStore<R> {
+    reader: ArchiveReader<R>,
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    scratch: ScratchPool<ArchiveScratch>,
+    /// Parsed target meta (CFNN bytes + hybrid weights), once per field.
+    metas: Mutex<HashMap<usize, Arc<TargetMeta>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// Publishes the decode outcome to the in-flight slot and clears the
+/// marker on drop — runs even when the decode errors (or unwinds), so a
+/// failed block never wedges its waiters.
+struct FlightPublisher<'a> {
+    inner: &'a Mutex<CacheInner>,
+    key: BlockKey,
+    flight: Arc<Flight>,
+    outcome: Option<Result<Arc<Field>, CfcError>>,
+}
+
+impl Drop for FlightPublisher<'_> {
+    fn drop(&mut self) {
+        let mut g = lock(self.inner);
+        g.inflight.remove(&self.key);
+        drop(g);
+        let outcome = self.outcome.take().unwrap_or_else(|| {
+            Err(CfcError::Corrupt {
+                context: "archive store",
+                detail: "block decode worker did not complete".into(),
+            })
+        });
+        *self.flight.result.lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
+        self.flight.done.notify_all();
+    }
+}
+
+fn lock(m: &Mutex<CacheInner>) -> MutexGuard<'_, CacheInner> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl<R: Read + Seek + Send> ArchiveStore<R> {
+    /// Wrap a parsed reader in a store with the given configuration.
+    pub fn new(reader: ArchiveReader<R>, config: StoreConfig) -> Self {
+        ArchiveStore {
+            reader,
+            capacity: config.capacity_bytes,
+            inner: Mutex::new(CacheInner::default()),
+            scratch: ScratchPool::new(config.max_idle_scratch),
+            metas: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Parse an archive from a seekable source and wrap it in a store
+    /// (shorthand for [`ArchiveReader::open`] + [`ArchiveStore::new`]).
+    pub fn open(src: R, config: StoreConfig) -> Result<Self, CfcError> {
+        Ok(Self::new(ArchiveReader::open(src)?, config))
+    }
+
+    /// The wrapped reader (manifest access, uncached decode calls).
+    pub fn reader(&self) -> &ArchiveReader<R> {
+        &self.reader
+    }
+
+    /// Snapshot the cache counters.
+    pub fn stats(&self) -> StoreStats {
+        let g = lock(&self.inner);
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            cached_blocks: g.map.len(),
+            cached_bytes: g.bytes,
+            capacity_bytes: self.capacity,
+        }
+    }
+
+    /// Drop every cached block (counters keep accumulating; in-flight
+    /// decodes are unaffected and will re-insert on completion).
+    pub fn clear(&self) {
+        let mut g = lock(&self.inner);
+        g.map.clear();
+        g.lru.clear();
+        g.bytes = 0;
+    }
+
+    /// Decode one block of `field` through the cache, sharing the decoded
+    /// samples with every other holder (`Arc`). Semantics match
+    /// [`ArchiveReader::decode_block`]: for a cross-field target the
+    /// matching anchor blocks are decoded (and cached) too; for v1
+    /// archives only block 0 exists and holds the whole field.
+    pub fn decode_block(&self, field: &str, idx: usize) -> Result<Arc<Field>, CfcError> {
+        let fi = self.reader.entry_index(field)?;
+        let n_blocks = self.reader.entries()[fi].n_blocks();
+        if idx >= n_blocks {
+            return Err(CfcError::InvalidInput(format!(
+                "field {field} has {n_blocks} blocks, asked for {idx}"
+            ))
+            .in_field(field, Some(idx)));
+        }
+        self.get_block(fi, idx)
+    }
+
+    /// Decode an axis-aligned region of `field` through the cache —
+    /// [`ArchiveReader::decode_region`] semantics, but every covering
+    /// block (and anchor block) is a potential cache hit, so repeated
+    /// reads over a hot window decode nothing after the first call.
+    pub fn decode_region(&self, field: &str, region: &Region) -> Result<Field, CfcError> {
+        let fi = self.reader.entry_index(field)?;
+        let entry = &self.reader.entries()[fi];
+        if self.reader.version() == 1 {
+            let full = self.get_block(fi, 0)?;
+            region
+                .validate(full.shape())
+                .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
+            return Ok(full.crop(region));
+        }
+        let shape = entry.shape().expect("v2 entries record shape");
+        region
+            .validate(shape)
+            .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
+        let (b_first, b_last) = region.block_cover(entry.chunk_slabs());
+        let blocks: Vec<Arc<Field>> = (b_first..=b_last)
+            .map(|bi| self.get_block(fi, bi))
+            .collect::<Result<_, _>>()?;
+        let local = region.rebase_axis0(b_first * entry.chunk_slabs());
+        if blocks.len() == 1 {
+            return Ok(blocks[0].crop(&local));
+        }
+        let refs: Vec<&Field> = blocks.iter().map(|b| b.as_ref()).collect();
+        Ok(Field::concat_axis0_refs(&refs).crop(&local))
+    }
+
+    /// Decode a whole field through the cache (stitched owned copy).
+    pub fn decode_field(&self, field: &str) -> Result<Field, CfcError> {
+        let fi = self.reader.entry_index(field)?;
+        let entry = &self.reader.entries()[fi];
+        if self.reader.version() == 1 {
+            return Ok((*self.get_block(fi, 0)?).clone());
+        }
+        let blocks: Vec<Arc<Field>> = (0..entry.n_blocks())
+            .map(|bi| self.get_block(fi, bi))
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&Field> = blocks.iter().map(|b| b.as_ref()).collect();
+        Ok(Field::concat_axis0_refs(&refs))
+    }
+
+    /// Cache-or-decode one block, with single-flight dedup: concurrent
+    /// requests for the same block coalesce onto one decode, and the
+    /// decoder hands its result (or error) straight to every waiter —
+    /// even when the block is too big to cache.
+    fn get_block(&self, fi: usize, idx: usize) -> Result<Arc<Field>, CfcError> {
+        let key = (fi, idx);
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return self.decode_uncached(fi, idx).map(Arc::new);
+        }
+        let flight = {
+            let mut g = lock(&self.inner);
+            if let Some(entry) = g.map.get(&key) {
+                let field = entry.field.clone();
+                let old_tick = entry.tick;
+                g.tick += 1;
+                let tick = g.tick;
+                g.lru.remove(&old_tick);
+                g.lru.insert(tick, key);
+                g.map.get_mut(&key).expect("just read").tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(field);
+            }
+            if let Some(f) = g.inflight.get(&key) {
+                // coalesce: wait on the in-flight decode's own slot and
+                // share whatever it produces
+                let f = Arc::clone(f);
+                drop(g);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                let mut slot = f.result.lock().unwrap_or_else(|p| p.into_inner());
+                while slot.is_none() {
+                    slot = f.done.wait(slot).unwrap_or_else(|p| p.into_inner());
+                }
+                let shared = slot.as_ref().expect("published above").clone();
+                if shared.is_ok() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return shared;
+            }
+            let f = Arc::new(Flight::default());
+            g.inflight.insert(key, Arc::clone(&f));
+            f
+        };
+        let mut publisher = FlightPublisher {
+            inner: &self.inner,
+            key,
+            flight,
+            outcome: None,
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.decode_uncached(fi, idx).map(Arc::new);
+        if let Ok(arc) = &result {
+            self.insert(key, arc.clone());
+        }
+        publisher.outcome = Some(result.clone());
+        drop(publisher); // publishes to waiters + clears in-flight (also on unwind)
+        result
+    }
+
+    /// Insert a decoded block and evict least-recently-used blocks until
+    /// the budget holds. Blocks bigger than the whole budget are served
+    /// but not cached.
+    fn insert(&self, key: BlockKey, field: Arc<Field>) {
+        let bytes = field.len() * 4;
+        if bytes > self.capacity {
+            return;
+        }
+        let mut g = lock(&self.inner);
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some(old) = g.map.insert(key, CacheEntry { field, tick, bytes }) {
+            g.lru.remove(&old.tick);
+            g.bytes -= old.bytes;
+        }
+        g.lru.insert(tick, key);
+        g.bytes += bytes;
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while g.bytes > self.capacity {
+            let (&oldest, &victim) = g.lru.iter().next().expect("over budget implies entries");
+            g.lru.remove(&oldest);
+            let e = g.map.remove(&victim).expect("lru entry cached");
+            g.bytes -= e.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Decode one block from the source (no cache read for the block
+    /// itself; anchor blocks still go through the cache).
+    fn decode_uncached(&self, fi: usize, idx: usize) -> Result<Field, CfcError> {
+        let entry = &self.reader.entries()[fi];
+        if self.reader.version() == 1 {
+            if entry.role != FieldRole::Target {
+                return self.reader.decode_field_v1(entry);
+            }
+            let anchors = self.anchor_blocks(entry, 0)?;
+            let refs: Vec<&Field> = anchors.iter().map(|a| a.as_ref()).collect();
+            return self.reader.decode_field_v1_anchored(entry, &refs);
+        }
+        let mut scratch = self.scratch.get();
+        if entry.role != FieldRole::Target {
+            return self.reader.decode_baseline_block(entry, idx, &mut scratch);
+        }
+        let meta = self.target_meta(fi)?;
+        let anchors = self.anchor_blocks(entry, idx)?;
+        let refs: Vec<&Field> = anchors.iter().map(|a| a.as_ref()).collect();
+        self.reader
+            .decode_target_block(entry, idx, &refs, &meta.0, &meta.1, &mut scratch)
+    }
+
+    /// Fetch a target's anchor blocks through the cache, decoding each
+    /// distinct anchor block once even when the anchor list repeats a
+    /// name.
+    fn anchor_blocks(
+        &self,
+        entry: &super::format::ArchiveEntry,
+        idx: usize,
+    ) -> Result<Vec<Arc<Field>>, CfcError> {
+        let mut fetched: HashMap<usize, Arc<Field>> = HashMap::new();
+        let mut out = Vec::with_capacity(entry.anchors.len());
+        for a in &entry.anchors {
+            let ai = self.reader.entry_index(a).expect("validated anchor");
+            let block = match fetched.get(&ai) {
+                Some(b) => b.clone(),
+                None => {
+                    let b = self.get_block(ai, idx)?;
+                    fetched.insert(ai, b.clone());
+                    b
+                }
+            };
+            out.push(block);
+        }
+        Ok(out)
+    }
+
+    /// Parse (once) and share a target field's meta area. The parse (an
+    /// archive read plus model deserialization) runs *outside* the map
+    /// lock so cold starts on different target fields stay concurrent; a
+    /// racing duplicate parse is harmless and the first insert wins.
+    fn target_meta(&self, fi: usize) -> Result<Arc<TargetMeta>, CfcError> {
+        {
+            let metas = self.metas.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(m) = metas.get(&fi) {
+                return Ok(m.clone());
+            }
+        }
+        let entry = &self.reader.entries()[fi];
+        let parsed = Arc::new(
+            self.reader
+                .target_meta(entry)?
+                .expect("target entries carry meta"),
+        );
+        let mut metas = self.metas.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(metas.entry(fi).or_insert(parsed).clone())
+    }
+}

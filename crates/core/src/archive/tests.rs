@@ -1,0 +1,729 @@
+//! Unit tests for the archive subsystem: writer/reader roundtrips, plan
+//! validation, corruption handling, the per-call anchor memo, and the
+//! concurrent [`ArchiveStore`].
+
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cfc_sz::CfcError;
+use cfc_tensor::{Dataset, Field, Region, Shape};
+
+use super::*;
+use crate::config::TrainConfig;
+
+/// A small coupled 3-field dataset: T and P are anchors, RH is a
+/// nonlinear function of both plus its own smooth structure.
+fn snapshot(rows: usize, cols: usize) -> Dataset {
+    let shape = Shape::d2(rows, cols);
+    let t = Field::from_fn(shape, |i| {
+        ((i[0] as f32) * 0.13).sin() * 15.0 + ((i[1] as f32) * 0.09).cos() * 9.0 + 280.0
+    });
+    let p = Field::from_fn(shape, |i| {
+        1000.0 - (i[0] as f32) * 0.8 + ((i[1] as f32) * 0.05).sin() * 3.0
+    });
+    let rh = Field::from_vec(
+        shape,
+        t.as_slice()
+            .iter()
+            .zip(p.as_slice())
+            .map(|(&tv, &pv)| 0.4 * (tv - 280.0) + 0.05 * (pv - 1000.0) + 50.0)
+            .collect(),
+    );
+    let mut ds = Dataset::new("SNAP", shape);
+    ds.push("T", t);
+    ds.push("P", p);
+    ds.push("RH", rh);
+    ds
+}
+
+fn check_bound(orig: &Field, dec: &Field, eb: f64) {
+    for (a, b) in orig.as_slice().iter().zip(dec.as_slice()) {
+        assert!(
+            ((a - b).abs() as f64) <= eb * (1.0 + 1e-9),
+            "bound violated: |{a} − {b}| > {eb}"
+        );
+    }
+}
+
+fn small_train() -> TrainConfig {
+    TrainConfig::fast()
+}
+
+#[test]
+fn archive_roundtrips_every_field_within_bound() {
+    let ds = snapshot(40, 40);
+    let (bytes, report) = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T", "P"])
+        .build()
+        .write_with_report(&ds)
+        .unwrap();
+    assert_eq!(report.fields.len(), 3);
+    assert!(report.ratio() > 1.0, "ratio {}", report.ratio());
+
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    assert_eq!(reader.name(), "SNAP");
+    assert_eq!(reader.version(), ARCHIVE_VERSION);
+    let dec = reader.decode_all().unwrap();
+    assert_eq!(dec.field_names(), ds.field_names());
+    for fr in &report.fields {
+        check_bound(
+            ds.expect_field(&fr.name),
+            dec.expect_field(&fr.name),
+            fr.eb_abs,
+        );
+    }
+}
+
+#[test]
+fn chunked_archive_roundtrips_and_blocks_match_slabs() {
+    let ds = snapshot(40, 40);
+    // 8 rows per block → 5 blocks
+    let (bytes, report) = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T", "P"])
+        .chunk_elements(8 * 40)
+        .build()
+        .write_with_report(&ds)
+        .unwrap();
+    assert!(report.fields.iter().all(|f| f.n_blocks == 5), "{report:?}");
+
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    let dec = reader.decode_all().unwrap();
+    for fr in &report.fields {
+        check_bound(
+            ds.expect_field(&fr.name),
+            dec.expect_field(&fr.name),
+            fr.eb_abs,
+        );
+        // every block equals the matching slab of the full decode
+        let full = dec.expect_field(&fr.name);
+        for bi in 0..5 {
+            let block = reader.decode_block(&fr.name, bi).unwrap();
+            assert_eq!(
+                block.as_slice(),
+                full.slab(bi * 8, (bi + 1) * 8).as_slice(),
+                "block {bi} of {}",
+                fr.name
+            );
+        }
+    }
+}
+
+#[test]
+fn decode_region_matches_decode_all_crop() {
+    let ds = snapshot(36, 24);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T", "P"])
+        .chunk_elements(6 * 24)
+        .build()
+        .write(&ds)
+        .unwrap();
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    let dec = reader.decode_all().unwrap();
+    for name in ["T", "P", "RH"] {
+        for region in [
+            Region::d2(0, 36, 0, 24),
+            Region::d2(5, 19, 3, 20),
+            Region::d2(30, 36, 0, 24),
+            Region::d2(7, 8, 11, 12),
+        ] {
+            let got = reader.decode_region(name, &region).unwrap();
+            let want = dec.expect_field(name).crop(&region);
+            assert_eq!(got, want, "{name} {region}");
+        }
+    }
+    // region outside the field is a typed error, wrapped with the field
+    let err = reader
+        .decode_region("T", &Region::d2(0, 37, 0, 24))
+        .unwrap_err();
+    assert!(
+        matches!(err.root_cause(), CfcError::InvalidInput(_)),
+        "{err:?}"
+    );
+    assert!(
+        matches!(&err, CfcError::InField { field, .. } if field == "T"),
+        "{err:?}"
+    );
+    assert!(reader
+        .decode_region("missing", &Region::d2(0, 1, 0, 1))
+        .is_err());
+}
+
+#[test]
+fn single_partial_block_accounting_is_consistent() {
+    // dim0 (9) smaller than the chunk (16 slabs) → one partial block
+    let ds = snapshot(9, 40);
+    let (bytes, report) = ArchiveBuilder::relative(1e-3)
+        .chunk_elements(16 * 40)
+        .build()
+        .write_with_report(&ds)
+        .unwrap();
+    assert!(report.fields.iter().all(|f| f.n_blocks == 1));
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    for e in reader.entries() {
+        assert_eq!(e.n_blocks(), 1);
+        // stream_len == meta + Σ block lens, exactly
+        let blocks: usize = (0..e.n_blocks()).map(|i| e.block_len(i).unwrap()).sum();
+        assert_eq!(e.stream_len(), e.meta_len + blocks);
+        let fr = report.fields.iter().find(|f| f.name == e.name).unwrap();
+        assert_eq!(fr.bytes, e.stream_len());
+        assert!(fr.ratio(ds.shape().len()) > 0.0);
+        assert_eq!(fr.ratio(0), 0.0, "zero-sample ratio must not divide");
+    }
+    let dec = reader.decode_all().unwrap();
+    assert_eq!(dec.shape(), ds.shape());
+}
+
+#[test]
+fn report_ratio_guards_degenerate_division() {
+    let empty = ArchiveReport {
+        fields: Vec::new(),
+        raw_bytes: 0,
+        archive_bytes: 0,
+    };
+    assert_eq!(empty.ratio(), 0.0);
+    let no_raw = ArchiveReport {
+        fields: Vec::new(),
+        raw_bytes: 0,
+        archive_bytes: 100,
+    };
+    assert_eq!(no_raw.ratio(), 0.0);
+    let fr = FieldReport {
+        name: "x".into(),
+        role: FieldRole::Independent,
+        bytes: 0,
+        n_blocks: 1,
+        eb_abs: 1e-3,
+    };
+    assert_eq!(fr.ratio(100), 0.0, "zero-byte payload must not divide");
+}
+
+#[test]
+fn write_to_matches_write_and_streams_to_files() {
+    let ds = snapshot(24, 24);
+    let builder = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T"])
+        .chunk_elements(8 * 24);
+    let in_memory = builder.clone().build().write(&ds).unwrap();
+
+    let dir = std::env::temp_dir().join("cfc_archive_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snap.cfar");
+    let file = std::fs::File::create(&path).unwrap();
+    builder
+        .build()
+        .write_to(&ds, std::io::BufWriter::new(file))
+        .unwrap();
+    let on_disk = std::fs::read(&path).unwrap();
+    assert_eq!(in_memory, on_disk, "sink choice must not change bytes");
+
+    let reader = ArchiveReader::open(std::fs::File::open(&path).unwrap()).unwrap();
+    let dec = reader.decode_all().unwrap();
+    assert_eq!(dec.field_names(), ds.field_names());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flipped_block_bit_is_a_checksum_error_naming_the_field() {
+    let ds = snapshot(24, 24);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .chunk_elements(8 * 24)
+        .build()
+        .write(&ds)
+        .unwrap();
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    // flip one bit inside the last block payload of the last field
+    // (payload areas sit at the end of each field record)
+    let e = reader.entries().last().unwrap();
+    let off = (e.payload_base as usize) + e.payload_len - 1;
+    let mut bad = bytes.clone();
+    bad[off] ^= 0x01;
+    let bad_reader = ArchiveReader::new(&bad).unwrap();
+    let idx = e.n_blocks() - 1;
+    let name = e.name.clone();
+    let err = bad_reader.decode_block(&name, idx).unwrap_err();
+    assert!(
+        matches!(err.root_cause(), CfcError::ChecksumMismatch { .. }),
+        "{err:?}"
+    );
+    // the wrapper names the failing field and block
+    assert!(
+        matches!(
+            &err,
+            CfcError::InField { field, block: Some(b), .. } if *field == name && *b == idx
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn roles_recorded_in_manifest() {
+    let ds = snapshot(24, 24);
+    let bytes = ArchiveBuilder::relative(1e-2)
+        .train_config(small_train())
+        .cross_field("RH", &["T"])
+        .build()
+        .write(&ds)
+        .unwrap();
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    let role_of = |n: &str| reader.entries().iter().find(|e| e.name == n).unwrap().role;
+    assert_eq!(role_of("T"), FieldRole::Anchor);
+    assert_eq!(role_of("P"), FieldRole::Independent);
+    assert_eq!(role_of("RH"), FieldRole::Target);
+    assert_eq!(
+        reader
+            .entries()
+            .iter()
+            .find(|e| e.name == "RH")
+            .unwrap()
+            .anchors,
+        vec!["T".to_string()]
+    );
+    // v2 manifests also record the shape
+    assert_eq!(reader.entries()[0].shape(), Some(ds.shape()));
+}
+
+#[test]
+fn decode_field_reads_one_target() {
+    let ds = snapshot(24, 24);
+    let builder = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T", "P"]);
+    let (bytes, report) = builder.build().write_with_report(&ds).unwrap();
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    let rh = reader.decode_field("RH").unwrap();
+    let eb = report
+        .fields
+        .iter()
+        .find(|f| f.name == "RH")
+        .unwrap()
+        .eb_abs;
+    check_bound(ds.expect_field("RH"), &rh, eb);
+    assert!(reader.decode_field("missing").is_err());
+}
+
+#[test]
+fn plan_validation_rejects_bad_roles() {
+    let ds = snapshot(16, 16);
+    // unknown target
+    let e = ArchiveBuilder::relative(1e-3)
+        .cross_field("NOPE", &["T"])
+        .build()
+        .write(&ds);
+    assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+    // unknown anchor
+    let e = ArchiveBuilder::relative(1e-3)
+        .cross_field("RH", &["NOPE"])
+        .build()
+        .write(&ds);
+    assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+    // target anchored on another target
+    let e = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T"])
+        .cross_field("P", &["RH"])
+        .build()
+        .write(&ds);
+    assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+    // self-anchor
+    let e = ArchiveBuilder::relative(1e-3)
+        .cross_field("RH", &["RH"])
+        .build()
+        .write(&ds);
+    assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+}
+
+#[test]
+fn oversized_patch_is_a_plan_error_not_a_panic() {
+    // default TrainConfig has patch 24; on a 24x24 dataset the trainer
+    // would assert inside a worker thread — must surface as Err instead
+    let ds = snapshot(24, 24);
+    let e = ArchiveBuilder::relative(1e-3)
+        .cross_field("RH", &["T"])
+        .build()
+        .write(&ds);
+    assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+}
+
+#[test]
+fn oversized_field_name_is_an_error() {
+    let shape = Shape::d2(8, 8);
+    let mut ds = Dataset::new("N", shape);
+    ds.push("A".repeat(70_000), Field::zeros(shape));
+    let e = ArchiveBuilder::relative(1e-3).build().write(&ds);
+    assert!(matches!(e, Err(CfcError::InvalidInput(_))), "{e:?}");
+}
+
+#[test]
+fn all_baseline_plan_needs_no_roles() {
+    let ds = snapshot(20, 20);
+    let (bytes, report) = ArchiveBuilder::relative(1e-3)
+        .build()
+        .write_with_report(&ds)
+        .unwrap();
+    assert!(report
+        .fields
+        .iter()
+        .all(|f| f.role == FieldRole::Independent));
+    let dec = ArchiveReader::new(&bytes).unwrap().decode_all().unwrap();
+    for fr in &report.fields {
+        check_bound(
+            ds.expect_field(&fr.name),
+            dec.expect_field(&fr.name),
+            fr.eb_abs,
+        );
+    }
+}
+
+#[test]
+fn parallel_and_serial_writes_are_bit_identical() {
+    let ds = snapshot(32, 32);
+    let build = |threads| {
+        ArchiveBuilder::relative(1e-3)
+            .train_config(small_train())
+            .cross_field("RH", &["T", "P"])
+            .chunk_elements(8 * 32)
+            .threads(threads)
+            .build()
+            .write(&ds)
+            .unwrap()
+    };
+    assert_eq!(build(1), build(4), "thread count must not change bytes");
+}
+
+#[test]
+fn three_d_datasets_chunk_along_depth() {
+    let shape = Shape::d3(10, 12, 12);
+    let u = Field::from_fn(shape, |i| {
+        (i[0] as f32) * 0.7 + ((i[1] as f32) * 0.3).sin() * 5.0 + (i[2] as f32) * 0.1
+    });
+    let v = u.map(|x| 0.6 * x + 2.0);
+    let mut ds = Dataset::new("D3", shape);
+    ds.push("U", u);
+    ds.push("V", v);
+    let (bytes, report) = ArchiveBuilder::relative(1e-3)
+        .chunk_elements(3 * 12 * 12)
+        .build()
+        .write_with_report(&ds)
+        .unwrap();
+    // 10 slabs at 3/block → 4 blocks, last one partial
+    assert!(report.fields.iter().all(|f| f.n_blocks == 4));
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    let dec = reader.decode_all().unwrap();
+    for fr in &report.fields {
+        check_bound(
+            ds.expect_field(&fr.name),
+            dec.expect_field(&fr.name),
+            fr.eb_abs,
+        );
+    }
+    let block = reader.decode_block("U", 3).unwrap();
+    assert_eq!(block.shape(), Shape::d3(1, 12, 12));
+    assert_eq!(
+        block.as_slice(),
+        dec.expect_field("U").slab(9, 10).as_slice()
+    );
+    let region = reader
+        .decode_region("V", &Region::d3(2, 7, 1, 11, 3, 9))
+        .unwrap();
+    assert_eq!(
+        region,
+        dec.expect_field("V").crop(&Region::d3(2, 7, 1, 11, 3, 9))
+    );
+}
+
+#[test]
+fn corrupt_archives_error_not_panic() {
+    let ds = snapshot(20, 20);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T"])
+        .chunk_elements(5 * 20)
+        .build()
+        .write(&ds)
+        .unwrap();
+    // wrong magic
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        ArchiveReader::new(&bad),
+        Err(CfcError::BadMagic { .. })
+    ));
+    // future version
+    let mut bad = bytes.clone();
+    bad[4] = 0xEE;
+    assert!(matches!(
+        ArchiveReader::new(&bad),
+        Err(CfcError::UnsupportedVersion { .. })
+    ));
+    // every truncation point fails cleanly at parse or decode
+    for cut in (0..bytes.len()).step_by(97) {
+        match ArchiveReader::new(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(r) => {
+                let _ = r.decode_all();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// anchor-block dedup within a single decode call
+// ---------------------------------------------------------------------
+
+/// `Read + Seek` wrapper counting every byte read from the source.
+struct CountingReader<R> {
+    inner: R,
+    read: Arc<AtomicU64>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl<R: Seek> Seek for CountingReader<R> {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
+    }
+}
+
+type CountingArchiveReader = ArchiveReader<CountingReader<std::io::Cursor<Vec<u8>>>>;
+
+fn counting_reader(bytes: &[u8]) -> (CountingArchiveReader, Arc<AtomicU64>) {
+    let read = Arc::new(AtomicU64::new(0));
+    let src = CountingReader {
+        inner: std::io::Cursor::new(bytes.to_vec()),
+        read: Arc::clone(&read),
+    };
+    (ArchiveReader::open(src).expect("parse"), read)
+}
+
+#[test]
+fn decode_region_reads_each_anchor_block_once_even_with_duplicate_anchors() {
+    let ds = snapshot(40, 40);
+    // RH deliberately lists T twice: without the per-call memo every
+    // target block would decode (and read) its T block twice
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T", "T"])
+        .chunk_elements(8 * 40)
+        .build()
+        .write(&ds)
+        .unwrap();
+
+    let (reader, read) = counting_reader(&bytes);
+    let rh = reader.entry("RH").unwrap().clone();
+    let t = reader.entry("T").unwrap().clone();
+    let region = Region::d2(5, 30, 0, 40); // blocks 0..=3
+    let after_toc = read.load(Ordering::Relaxed);
+    let got = reader.decode_region("RH", &region).unwrap();
+    let block_bytes = read.load(Ordering::Relaxed) - after_toc;
+
+    // exactly: RH meta + RH blocks 0..=3 + T blocks 0..=3 (each ONCE)
+    let expected: usize = rh.meta_len
+        + (0..=3)
+            .map(|bi| rh.block_len(bi).unwrap() + t.block_len(bi).unwrap())
+            .sum::<usize>();
+    assert_eq!(
+        block_bytes, expected as u64,
+        "duplicate anchors must not re-read anchor blocks within one call"
+    );
+
+    // and the samples are right
+    let full = ArchiveReader::new(&bytes).unwrap().decode_all().unwrap();
+    assert_eq!(got, full.expect_field("RH").crop(&region));
+}
+
+// ---------------------------------------------------------------------
+// ArchiveStore
+// ---------------------------------------------------------------------
+
+fn chunked_cross_field_archive() -> (Dataset, Vec<u8>) {
+    let ds = snapshot(40, 40);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T", "P"])
+        .chunk_elements(8 * 40)
+        .build()
+        .write(&ds)
+        .unwrap();
+    (ds, bytes)
+}
+
+#[test]
+fn store_serves_blocks_regions_and_fields_matching_reader() {
+    let (_, bytes) = chunked_cross_field_archive();
+    let plain = ArchiveReader::new(&bytes).unwrap().decode_all().unwrap();
+    let store = ArchiveStore::new(ArchiveReader::new(&bytes).unwrap(), StoreConfig::default());
+
+    for name in ["T", "P", "RH"] {
+        assert_eq!(&store.decode_field(name).unwrap(), plain.expect_field(name));
+        for bi in 0..5 {
+            assert_eq!(
+                store.decode_block(name, bi).unwrap().as_slice(),
+                plain
+                    .expect_field(name)
+                    .slab(bi * 8, (bi + 1) * 8)
+                    .as_slice()
+            );
+        }
+        for region in [
+            Region::d2(0, 40, 0, 40),
+            Region::d2(5, 19, 3, 20),
+            Region::d2(7, 8, 11, 12),
+        ] {
+            assert_eq!(
+                store.decode_region(name, &region).unwrap(),
+                plain.expect_field(name).crop(&region),
+                "{name} {region}"
+            );
+        }
+    }
+    let stats = store.stats();
+    assert!(stats.hits > 0, "warm reads must hit: {stats:?}");
+    assert!(stats.cached_bytes > 0 && stats.cached_blocks > 0);
+    assert_eq!(stats.capacity_bytes, StoreConfig::default().capacity_bytes);
+    assert!(stats.hit_rate() > 0.0);
+}
+
+#[test]
+fn store_warm_cache_decodes_each_block_once() {
+    let (_, bytes) = chunked_cross_field_archive();
+    let store = ArchiveStore::new(ArchiveReader::new(&bytes).unwrap(), StoreConfig::default());
+    let region = Region::d2(5, 30, 0, 40); // RH blocks 0..=3 (+ T, P anchors)
+    let first = store.decode_region("RH", &region).unwrap();
+    let cold = store.stats();
+    // 4 RH blocks + 4 T blocks + 4 P blocks decoded, nothing twice
+    assert_eq!(cold.misses, 12, "{cold:?}");
+    assert_eq!(cold.insertions, 12, "{cold:?}");
+
+    for _ in 0..5 {
+        assert_eq!(store.decode_region("RH", &region).unwrap(), first);
+    }
+    let warm = store.stats();
+    assert_eq!(warm.misses, cold.misses, "warm reads must not decode");
+    assert_eq!(warm.hits, cold.hits + 5 * 4, "5 repeats × 4 target blocks");
+    assert_eq!(warm.evictions, 0);
+}
+
+#[test]
+fn store_respects_byte_budget_and_evicts_lru() {
+    let (_, bytes) = chunked_cross_field_archive();
+    // every block is 8×40 f32 = 1280 B; budget fits exactly two blocks
+    let store = ArchiveStore::new(
+        ArchiveReader::new(&bytes).unwrap(),
+        StoreConfig::with_capacity(2 * 8 * 40 * 4),
+    );
+    for bi in 0..5 {
+        store.decode_block("T", bi).unwrap();
+    }
+    let stats = store.stats();
+    assert!(stats.cached_bytes <= stats.capacity_bytes, "{stats:?}");
+    assert_eq!(stats.cached_blocks, 2, "{stats:?}");
+    assert_eq!(stats.evictions, 3, "{stats:?}");
+    // most-recent blocks survive: 3 and 4 hit, 0 misses again
+    store.decode_block("T", 4).unwrap();
+    store.decode_block("T", 3).unwrap();
+    let warm = store.stats();
+    assert_eq!(warm.hits, stats.hits + 2);
+    store.decode_block("T", 0).unwrap();
+    assert_eq!(store.stats().misses, warm.misses + 1);
+}
+
+#[test]
+fn store_with_zero_capacity_never_caches_but_matches() {
+    let (_, bytes) = chunked_cross_field_archive();
+    let plain = ArchiveReader::new(&bytes).unwrap().decode_all().unwrap();
+    let store = ArchiveStore::new(ArchiveReader::new(&bytes).unwrap(), StoreConfig::uncached());
+    let region = Region::d2(5, 30, 3, 20);
+    for _ in 0..3 {
+        assert_eq!(
+            store.decode_region("RH", &region).unwrap(),
+            plain.expect_field("RH").crop(&region)
+        );
+    }
+    let stats = store.stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.cached_blocks, 0);
+    assert_eq!(stats.cached_bytes, 0);
+    assert!(stats.misses > 0);
+}
+
+#[test]
+fn store_clear_drops_blocks_but_keeps_counters() {
+    let (_, bytes) = chunked_cross_field_archive();
+    let store = ArchiveStore::new(ArchiveReader::new(&bytes).unwrap(), StoreConfig::default());
+    store.decode_field("T").unwrap();
+    let before = store.stats();
+    assert!(before.cached_blocks > 0);
+    store.clear();
+    let after = store.stats();
+    assert_eq!(after.cached_blocks, 0);
+    assert_eq!(after.cached_bytes, 0);
+    assert_eq!(after.misses, before.misses);
+    // decoding again repopulates
+    store.decode_field("T").unwrap();
+    assert!(store.stats().cached_blocks > 0);
+}
+
+#[test]
+fn store_concurrent_same_block_decodes_once() {
+    let (_, bytes) = chunked_cross_field_archive();
+    let store = Arc::new(ArchiveStore::new(
+        ArchiveReader::new(&bytes).unwrap(),
+        StoreConfig::default(),
+    ));
+    let n_threads = 8;
+    std::thread::scope(|s| {
+        for _ in 0..n_threads {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for _ in 0..4 {
+                    store.decode_block("RH", 2).unwrap();
+                }
+            });
+        }
+    });
+    let stats = store.stats();
+    // RH block 2 + anchors T and P block 2: exactly 3 decodes total,
+    // no matter how the threads interleave (single-flight)
+    assert_eq!(stats.misses, 3, "{stats:?}");
+    // every other request (8 threads × 4 calls − 1 decoder) is a hit,
+    // whether it waited for the in-flight decode or arrived later
+    assert_eq!(stats.hits, 8 * 4 - 1, "{stats:?}");
+}
+
+#[test]
+fn store_bad_requests_are_typed_errors() {
+    let (_, bytes) = chunked_cross_field_archive();
+    let store = ArchiveStore::new(ArchiveReader::new(&bytes).unwrap(), StoreConfig::default());
+    assert!(store.decode_block("missing", 0).is_err());
+    let err = store.decode_block("T", 99).unwrap_err();
+    assert!(
+        matches!(err.root_cause(), CfcError::InvalidInput(_)),
+        "{err:?}"
+    );
+    assert!(store.decode_region("T", &Region::d2(0, 41, 0, 40)).is_err());
+    // a corrupt block errors through the store too, naming the field
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    let e = reader.entries().last().unwrap();
+    let (off, len) = e.block_span(e.n_blocks() - 1).unwrap();
+    let mut bad = bytes.clone();
+    bad[off as usize + len - 1] ^= 1;
+    let bad_store = ArchiveStore::new(ArchiveReader::new(&bad).unwrap(), StoreConfig::default());
+    let err = bad_store
+        .decode_block(&e.name, e.n_blocks() - 1)
+        .unwrap_err();
+    assert!(
+        matches!(err.root_cause(), CfcError::ChecksumMismatch { .. }),
+        "{err:?}"
+    );
+}

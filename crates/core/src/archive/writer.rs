@@ -1,0 +1,665 @@
+//! Archive write path: role planning, parallel per-(field, block) encode,
+//! and CFAR v2 serialization.
+//!
+//! [`ArchiveBuilder`] collects the error bound, training configuration,
+//! chunking, and the paper-Table-3-style field-role plan;
+//! [`ArchiveBuilder::build`] finalizes it into an [`ArchiveWriter`] whose
+//! [`write_to`](ArchiveWriter::write_to) streams the whole dataset into
+//! any `io::Write` sink without seeking.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+use bytes::BufMut;
+use cfc_sz::{
+    CfcError, DecodeScratch, EncodeScratch, ErrorBound, QuantLattice, QuantizerConfig, SzCompressor,
+};
+use cfc_tensor::{Dataset, Field, FieldStats, Shape};
+
+use crate::config::{CfnnSpec, CrossFieldConfig, TrainConfig};
+use crate::hybrid::{HybridConfig, HybridModel};
+use crate::pipeline::{deserialize_model, serialize_model};
+use crate::predict::predict_differences;
+use crate::predictor::{sample_hybrid_training, CrossFieldHybridPredictor};
+use crate::train::train_cfnn;
+
+use super::format::{
+    block_range, chunk_slabs_for, n_blocks_for, put_str, slab_shape_of, FieldRole, ARCHIVE_MAGIC,
+    ARCHIVE_VERSION, DEFAULT_CHUNK_ELEMENTS,
+};
+use super::{run_parallel, run_parallel_scratch};
+
+/// Per-target plan: which anchors condition it, and (optionally) a specific
+/// CFNN architecture. When `spec` is `None` the writer picks the scaled
+/// paper architecture for the dataset's dimensionality.
+#[derive(Debug, Clone)]
+struct TargetPlan {
+    anchors: Vec<String>,
+    spec: Option<CfnnSpec>,
+}
+
+/// Builder for [`ArchiveWriter`]: error bound, training configuration,
+/// chunking, and the field-role plan (paper Table 3 style).
+#[derive(Debug, Clone)]
+pub struct ArchiveBuilder {
+    bound: ErrorBound,
+    quantizer: QuantizerConfig,
+    hybrid: HybridConfig,
+    train: TrainConfig,
+    targets: Vec<(String, TargetPlan)>,
+    threads: usize,
+    chunk_elements: usize,
+}
+
+impl ArchiveBuilder {
+    /// Archive at the given error bound; every field baseline-compressed
+    /// until roles are added.
+    pub fn new(bound: ErrorBound) -> Self {
+        ArchiveBuilder {
+            bound,
+            quantizer: QuantizerConfig::default(),
+            hybrid: HybridConfig::default(),
+            train: TrainConfig::default(),
+            targets: Vec::new(),
+            threads: 0,
+            chunk_elements: DEFAULT_CHUNK_ELEMENTS,
+        }
+    }
+
+    /// Convenience constructor for a value-range-relative bound.
+    pub fn relative(rel_eb: f64) -> Self {
+        Self::new(ErrorBound::Relative(rel_eb))
+    }
+
+    /// Override the CFNN training configuration (defaults to
+    /// [`TrainConfig::default`]).
+    pub fn train_config(mut self, cfg: TrainConfig) -> Self {
+        self.train = cfg;
+        self
+    }
+
+    /// Override the residual quantizer.
+    pub fn quantizer(mut self, q: QuantizerConfig) -> Self {
+        self.quantizer = q;
+        self
+    }
+
+    /// Override the hybrid-model fitting configuration.
+    pub fn hybrid_config(mut self, h: HybridConfig) -> Self {
+        self.hybrid = h;
+        self
+    }
+
+    /// Cap worker threads (0 = one per available core).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Target elements per block (default [`DEFAULT_CHUNK_ELEMENTS`]),
+    /// rounded up to whole slabs along axis 0. Values ≥ the field size
+    /// produce a single block; 0 is clamped to 1.
+    pub fn chunk_elements(mut self, n: usize) -> Self {
+        self.chunk_elements = n.max(1);
+        self
+    }
+
+    /// Mark `target` as a cross-field target conditioned on `anchors`
+    /// (paper Table 3 row), with the default architecture for the dataset's
+    /// dimensionality.
+    pub fn cross_field(mut self, target: &str, anchors: &[&str]) -> Self {
+        self.targets.push((
+            target.to_string(),
+            TargetPlan {
+                anchors: anchors.iter().map(|s| s.to_string()).collect(),
+                spec: None,
+            },
+        ));
+        self
+    }
+
+    /// Like [`ArchiveBuilder::cross_field`] with an explicit CFNN spec.
+    pub fn cross_field_with_spec(mut self, target: &str, anchors: &[&str], spec: CfnnSpec) -> Self {
+        self.targets.push((
+            target.to_string(),
+            TargetPlan {
+                anchors: anchors.iter().map(|s| s.to_string()).collect(),
+                spec: Some(spec),
+            },
+        ));
+        self
+    }
+
+    /// Adopt experiment rows (e.g. `paper_table3()` filtered to one
+    /// dataset) as the role plan.
+    pub fn plan_from(mut self, rows: &[CrossFieldConfig]) -> Self {
+        for row in rows {
+            self.targets.push((
+                row.target.to_string(),
+                TargetPlan {
+                    anchors: row.anchors.iter().map(|s| s.to_string()).collect(),
+                    spec: Some(row.spec),
+                },
+            ));
+        }
+        self
+    }
+
+    /// Finalize into a writer.
+    pub fn build(self) -> ArchiveWriter {
+        ArchiveWriter { cfg: self }
+    }
+}
+
+/// Writes a whole [`Dataset`] into one self-describing chunked archive.
+pub struct ArchiveWriter {
+    cfg: ArchiveBuilder,
+}
+
+/// Per-field outcome reported by [`ArchiveWriter::write_with_report`].
+#[derive(Debug, Clone)]
+pub struct FieldReport {
+    /// Field name.
+    pub name: String,
+    /// Role the plan assigned.
+    pub role: FieldRole,
+    /// Compressed payload size in bytes (meta + all blocks).
+    pub bytes: usize,
+    /// Number of blocks the field was split into.
+    pub n_blocks: usize,
+    /// Absolute error bound the reconstruction satisfies.
+    pub eb_abs: f64,
+}
+
+impl FieldReport {
+    /// Compression ratio of this field against `f32` input. Returns `0.0`
+    /// when the field holds no samples or no payload bytes — callers must
+    /// not divide by it.
+    pub fn ratio(&self, n_samples: usize) -> f64 {
+        if n_samples == 0 || self.bytes == 0 {
+            return 0.0;
+        }
+        (n_samples * 4) as f64 / self.bytes as f64
+    }
+}
+
+/// Whole-archive outcome.
+#[derive(Debug, Clone)]
+pub struct ArchiveReport {
+    /// Per-field entries in dataset order.
+    pub fields: Vec<FieldReport>,
+    /// Raw dataset size (4 bytes/sample).
+    pub raw_bytes: usize,
+    /// Final archive size.
+    pub archive_bytes: usize,
+}
+
+impl ArchiveReport {
+    /// End-to-end compression ratio. Returns `0.0` when either side of the
+    /// division is degenerate (empty archive or zero raw bytes) so callers
+    /// never see `inf`/`NaN`.
+    pub fn ratio(&self) -> f64 {
+        if self.archive_bytes == 0 || self.raw_bytes == 0 {
+            return 0.0;
+        }
+        self.raw_bytes as f64 / self.archive_bytes as f64
+    }
+}
+
+/// One compressed field en route to serialization.
+struct EncodedField {
+    name: String,
+    role: FieldRole,
+    anchors: Vec<String>,
+    eb_abs: f64,
+    shape: Shape,
+    chunk_slabs: usize,
+    /// Meta payload: empty for baseline fields; `model | hybrid` (each
+    /// u64-length-prefixed) for targets.
+    meta: Vec<u8>,
+    /// Per-block encoded streams, in axis-0 order.
+    blocks: Vec<Vec<u8>>,
+}
+
+impl EncodedField {
+    fn payload_len(&self) -> usize {
+        self.meta.len() + self.blocks.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+impl ArchiveWriter {
+    /// Compress every field of `ds` and serialize the archive into a
+    /// buffer (thin wrapper over [`ArchiveWriter::write_to`]).
+    pub fn write(&self, ds: &Dataset) -> Result<Vec<u8>, CfcError> {
+        self.write_with_report(ds).map(|(bytes, _)| bytes)
+    }
+
+    /// [`ArchiveWriter::write`] plus the per-field report.
+    pub fn write_with_report(&self, ds: &Dataset) -> Result<(Vec<u8>, ArchiveReport), CfcError> {
+        let mut buf = Vec::new();
+        let report = self.write_to(ds, &mut buf)?;
+        Ok((buf, report))
+    }
+
+    /// Compress every field of `ds` and stream the archive into `sink`.
+    ///
+    /// Blocks are written in field order as soon as the (parallel) encode
+    /// completes; the sink never needs to seek, so a growing file, a socket,
+    /// or a pipe all work.
+    pub fn write_to<W: Write>(&self, ds: &Dataset, mut sink: W) -> Result<ArchiveReport, CfcError> {
+        let encoded = self.encode(ds)?;
+        let ordered: Vec<&EncodedField> = ds.iter().map(|(n, _)| &encoded[n]).collect();
+
+        let io = |e: std::io::Error| CfcError::Io {
+            context: "writing archive",
+            detail: e.to_string(),
+        };
+        let mut written = 0usize;
+
+        // ---- archive header --------------------------------------------
+        let mut head = Vec::new();
+        head.put_slice(ARCHIVE_MAGIC);
+        head.put_u16_le(ARCHIVE_VERSION);
+        put_str(&mut head, ds.name());
+        head.put_u32_le(ordered.len() as u32);
+        sink.write_all(&head).map_err(io)?;
+        written += head.len();
+
+        // ---- per-field header + index + payload ------------------------
+        let mut fields = Vec::with_capacity(ordered.len());
+        for e in &ordered {
+            let mut h = Vec::new();
+            put_str(&mut h, &e.name);
+            h.put_u8(e.role as u8);
+            h.put_u16_le(e.anchors.len() as u16);
+            for a in &e.anchors {
+                put_str(&mut h, a);
+            }
+            h.put_f64_le(e.eb_abs);
+            h.put_u8(e.shape.ndim() as u8);
+            for &d in e.shape.dims() {
+                h.put_u64_le(d as u64);
+            }
+            h.put_u32_le(e.chunk_slabs as u32);
+            h.put_u32_le(e.blocks.len() as u32);
+            h.put_u64_le(e.meta.len() as u64);
+            h.put_u64_le(e.payload_len() as u64);
+            // block index: offsets relative to the payload area, which
+            // starts with the meta bytes
+            let mut rel = e.meta.len() as u64;
+            for b in &e.blocks {
+                h.put_u64_le(rel);
+                h.put_u64_le(b.len() as u64);
+                h.put_u32_le(cfc_sz::crc32(b));
+                rel += b.len() as u64;
+            }
+            sink.write_all(&h).map_err(io)?;
+            sink.write_all(&e.meta).map_err(io)?;
+            written += h.len() + e.meta.len();
+            for b in &e.blocks {
+                sink.write_all(b).map_err(io)?;
+                written += b.len();
+            }
+            fields.push(FieldReport {
+                name: e.name.clone(),
+                role: e.role,
+                bytes: e.payload_len(),
+                n_blocks: e.blocks.len(),
+                eb_abs: e.eb_abs,
+            });
+        }
+        sink.flush().map_err(io)?;
+
+        Ok(ArchiveReport {
+            fields,
+            raw_bytes: ds.len() * ds.shape().len() * 4,
+            archive_bytes: written,
+        })
+    }
+
+    /// Validate the plan and encode every field into blocks (in parallel).
+    fn encode(&self, ds: &Dataset) -> Result<HashMap<String, EncodedField>, CfcError> {
+        if ds.is_empty() {
+            return Err(CfcError::InvalidInput(
+                "cannot archive an empty dataset".into(),
+            ));
+        }
+        for (name, _) in ds.iter() {
+            // names are serialized with a u16 length prefix; `as u16` would
+            // silently truncate in release builds and corrupt the archive
+            if name.len() > u16::MAX as usize {
+                return Err(CfcError::InvalidInput(format!(
+                    "field name of {} bytes exceeds the u16 length prefix",
+                    name.len()
+                )));
+            }
+        }
+        if u32::try_from(ds.len()).is_err() {
+            return Err(CfcError::InvalidInput(
+                "field count exceeds the u32 table prefix".into(),
+            ));
+        }
+        let roles = self.plan_roles(ds)?;
+        let shape = ds.shape();
+        let ndim = shape.ndim();
+        if !self.cfg.targets.is_empty() {
+            // cross-field targets go through CFNN training, whose patch
+            // sampler asserts patch + 1 < slice extent — surface that as a
+            // plan error instead of a panic inside a worker thread
+            if ndim == 1 {
+                return Err(CfcError::InvalidInput(
+                    "cross-field targets require 2-D or 3-D datasets".into(),
+                ));
+            }
+            let dims = shape.dims();
+            let (srows, scols) = if ndim == 2 {
+                (dims[0], dims[1])
+            } else {
+                (dims[1], dims[2])
+            };
+            let p = self.cfg.train.patch;
+            if p + 1 >= srows || p + 1 >= scols {
+                return Err(CfcError::InvalidInput(format!(
+                    "training patch {p} too large for {srows}x{scols} slices; \
+                     shrink TrainConfig::patch or use a larger dataset"
+                )));
+            }
+            if self
+                .cfg
+                .targets
+                .iter()
+                .any(|(_, plan)| plan.anchors.len() > u16::MAX as usize)
+            {
+                return Err(CfcError::InvalidInput("more than u16::MAX anchors".into()));
+            }
+        }
+
+        let chunk_slabs = chunk_slabs_for(shape, self.cfg.chunk_elements);
+        let dim0 = shape.dims()[0];
+        let n_blocks = n_blocks_for(dim0, chunk_slabs);
+        if u32::try_from(n_blocks).is_err() || u32::try_from(chunk_slabs).is_err() {
+            return Err(CfcError::InvalidInput(
+                "chunk geometry exceeds the u32 index prefix".into(),
+            ));
+        }
+        let threads = self.threads();
+
+        // ---- phase 1: anchors + independents, parallel over blocks -----
+        let independents: Vec<(&str, &Field, FieldRole)> = ds
+            .iter()
+            .filter_map(|(n, f)| match roles[n] {
+                FieldRole::Target => None,
+                role => Some((n, f, role)),
+            })
+            .collect();
+        // resolve each field's user-facing bound once from full-field
+        // statistics, then compress each block at that *absolute* bound so
+        // every block independently satisfies it
+        let mut field_ebs = Vec::with_capacity(independents.len());
+        for (_, field, _) in &independents {
+            field_ebs.push(self.cfg.bound.try_resolve(&FieldStats::of(field))?);
+        }
+        let tasks: Vec<(usize, usize)> = (0..independents.len())
+            .flat_map(|fi| (0..n_blocks).map(move |bi| (fi, bi)))
+            .collect();
+        let phase1 = run_parallel_scratch(
+            tasks.len(),
+            threads,
+            || (EncodeScratch::new(), DecodeScratch::new()),
+            |(enc_scratch, dec_scratch), t| {
+                let (fi, bi) = tasks[t];
+                let (_, field, role) = independents[fi];
+                let block = SzCompressor {
+                    bound: ErrorBound::Absolute(field_ebs[fi]),
+                    quantizer: self.cfg.quantizer,
+                    predictor: cfc_sz::PredictorKind::Lorenzo,
+                };
+                let (r0, r1) = block_range(dim0, chunk_slabs, bi);
+                let slab = field.slab(r0, r1);
+                let stream = block.compress_with(&slab, enc_scratch)?;
+                // anchors are round-tripped here: the decoder's view of an
+                // anchor IS the decoded block stream, so reusing these bytes
+                // keeps both sides bit-identical by construction
+                let decoded = if role == FieldRole::Anchor {
+                    Some(block.decompress_with(&stream.bytes, dec_scratch)?)
+                } else {
+                    None
+                };
+                Ok::<_, CfcError>((stream.bytes, decoded))
+            },
+        );
+        let mut encoded: HashMap<String, EncodedField> = independents
+            .iter()
+            .enumerate()
+            .map(|(fi, (name, _, role))| {
+                (
+                    name.to_string(),
+                    EncodedField {
+                        name: name.to_string(),
+                        role: *role,
+                        anchors: Vec::new(),
+                        eb_abs: field_ebs[fi],
+                        shape,
+                        chunk_slabs,
+                        meta: Vec::new(),
+                        blocks: Vec::with_capacity(n_blocks),
+                    },
+                )
+            })
+            .collect();
+        let mut anchor_slabs: HashMap<&str, Vec<Field>> = HashMap::new();
+        for (t, res) in tasks.iter().zip(phase1) {
+            let (fi, _) = *t;
+            let (name, _, role) = independents[fi];
+            let (bytes, decoded) = res?;
+            encoded
+                .get_mut(name)
+                .expect("phase1 field")
+                .blocks
+                .push(bytes);
+            if role == FieldRole::Anchor {
+                anchor_slabs
+                    .entry(name)
+                    .or_default()
+                    .push(decoded.expect("anchor decoded"));
+            }
+        }
+        let anchors_dec: HashMap<&str, Field> = anchor_slabs
+            .into_iter()
+            .map(|(n, slabs)| (n, Field::concat_axis0(&slabs)))
+            .collect();
+
+        // ---- phase 2: cross-field targets ------------------------------
+        // 2a: train every CFNN in parallel (training dominates the cost)
+        let targets: Vec<(&str, &TargetPlan)> = self
+            .cfg
+            .targets
+            .iter()
+            .map(|(n, p)| (n.as_str(), p))
+            .collect();
+        let trained_models = run_parallel(targets.len(), threads, |i| {
+            let (name, plan) = targets[i];
+            let target = ds.expect_field(name);
+            let orig_refs: Vec<&Field> = plan.anchors.iter().map(|a| ds.expect_field(a)).collect();
+            let spec = plan
+                .spec
+                .unwrap_or_else(|| default_spec(plan.anchors.len(), ndim));
+            if spec.in_channels != plan.anchors.len() * ndim || spec.out_channels != ndim {
+                return Err(CfcError::InvalidInput(format!(
+                    "spec for target {name} does not match {} anchors × {ndim} axes",
+                    plan.anchors.len()
+                )));
+            }
+            // trained on original data (one model serves every bound,
+            // paper §III-D2); inference will see the decoded anchors,
+            // exactly like the reader
+            let trained = train_cfnn(&spec, &self.cfg.train, &orig_refs, target);
+            Ok::<_, CfcError>(serialize_model(&trained))
+        });
+        // 2b: per target — blockwise inference, one hybrid fit, blockwise
+        // encode (blocks in parallel; each worker deserializes its own
+        // model copy, the same bytes the decoder will see)
+        for ((name, plan), model_res) in targets.iter().zip(trained_models) {
+            let model_bytes = model_res?;
+            let target = ds.expect_field(name);
+            let stats = FieldStats::of(target);
+            let eb_user = self.cfg.bound.try_resolve(&stats)?;
+            let eb = self.cfg.bound.try_resolve_quantization(&stats)?;
+            let lattice = QuantLattice::prequantize(target, eb);
+            let dec_refs: Vec<&Field> = plan
+                .anchors
+                .iter()
+                .map(|a| &anchors_dec[a.as_str()])
+                .collect();
+
+            // blockwise inference on the decoded anchor slabs — identical
+            // to what the decoder computes per block
+            let block_diffs = run_parallel(n_blocks, threads, |bi| {
+                let (r0, r1) = block_range(dim0, chunk_slabs, bi);
+                let slabs: Vec<Field> = dec_refs.iter().map(|a| a.slab(r0, r1)).collect();
+                let slab_refs: Vec<&Field> = slabs.iter().collect();
+                let mut model = deserialize_model(&model_bytes)?;
+                Ok::<_, CfcError>(predict_differences(&mut model, &slab_refs))
+            });
+            let block_diffs: Vec<Vec<Field>> = block_diffs.into_iter().collect::<Result<_, _>>()?;
+
+            // hybrid fit on the whole-field view of the blockwise diffs
+            let step = 2.0 * eb;
+            let dq_full: Vec<Vec<f64>> = (0..ndim)
+                .map(|axis| {
+                    block_diffs
+                        .iter()
+                        .flat_map(|d| d[axis].as_slice().iter().map(|&v| v as f64 / step))
+                        .collect()
+                })
+                .collect();
+            let (preds, targets_s) = sample_hybrid_training(
+                &lattice,
+                &dq_full,
+                self.cfg.hybrid.n_samples,
+                self.cfg.hybrid.seed,
+            );
+            let hybrid = HybridModel::fit_least_squares(&preds, &targets_s);
+
+            // blockwise encode with the shared hybrid weights
+            let sz = SzCompressor {
+                bound: ErrorBound::Absolute(eb_user),
+                quantizer: self.cfg.quantizer,
+                predictor: cfc_sz::PredictorKind::Lorenzo,
+            };
+            let blocks = run_parallel_scratch(n_blocks, threads, EncodeScratch::new, |s, bi| {
+                let (r0, r1) = block_range(dim0, chunk_slabs, bi);
+                let slab_shape = slab_shape_of(shape, r1 - r0);
+                let slab_lattice = lattice_slab(&lattice, shape, r0, r1, slab_shape);
+                let predictor =
+                    CrossFieldHybridPredictor::new(&block_diffs[bi], eb, hybrid.clone());
+                let (container, _) = sz.compress_lattice_with(&slab_lattice, &predictor, eb, s);
+                container.to_bytes()
+            });
+
+            let mut meta = Vec::new();
+            meta.put_u64_le(model_bytes.len() as u64);
+            meta.extend_from_slice(&model_bytes);
+            let hb = hybrid.serialize();
+            meta.put_u64_le(hb.len() as u64);
+            meta.extend_from_slice(&hb);
+
+            encoded.insert(
+                name.to_string(),
+                EncodedField {
+                    name: name.to_string(),
+                    role: FieldRole::Target,
+                    anchors: plan.anchors.clone(),
+                    eb_abs: eb_user,
+                    shape,
+                    chunk_slabs,
+                    meta,
+                    blocks,
+                },
+            );
+        }
+        Ok(encoded)
+    }
+
+    fn threads(&self) -> usize {
+        if self.cfg.threads > 0 {
+            self.cfg.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Resolve the role of every dataset field, validating the plan.
+    fn plan_roles<'a>(&self, ds: &'a Dataset) -> Result<HashMap<&'a str, FieldRole>, CfcError> {
+        let mut roles: HashMap<&str, FieldRole> = ds
+            .iter()
+            .map(|(n, _)| (n, FieldRole::Independent))
+            .collect();
+        let target_names: Vec<&str> = self.cfg.targets.iter().map(|(n, _)| n.as_str()).collect();
+        for (target, plan) in &self.cfg.targets {
+            let target_key = roles
+                .get_key_value(target.as_str())
+                .map(|(k, _)| *k)
+                .ok_or_else(|| {
+                    CfcError::InvalidInput(format!("plan names unknown target field {target}"))
+                })?;
+            if plan.anchors.is_empty() {
+                return Err(CfcError::InvalidInput(format!(
+                    "target {target} has no anchors"
+                )));
+            }
+            for anchor in &plan.anchors {
+                if anchor == target {
+                    return Err(CfcError::InvalidInput(format!(
+                        "target {target} cannot anchor itself"
+                    )));
+                }
+                if target_names.contains(&anchor.as_str()) {
+                    return Err(CfcError::InvalidInput(format!(
+                        "anchor {anchor} of {target} is itself a cross-field target; \
+                         anchors must decode independently"
+                    )));
+                }
+                let key = roles
+                    .get_key_value(anchor.as_str())
+                    .map(|(k, _)| *k)
+                    .ok_or_else(|| {
+                        CfcError::InvalidInput(format!("plan names unknown anchor field {anchor}"))
+                    })?;
+                roles.insert(key, FieldRole::Anchor);
+            }
+            if roles[target_key] == FieldRole::Target {
+                return Err(CfcError::InvalidInput(format!(
+                    "duplicate plan for target {target}"
+                )));
+            }
+            roles.insert(target_key, FieldRole::Target);
+        }
+        Ok(roles)
+    }
+}
+
+/// Slab `[r0, r1)` of a prequantized lattice (contiguous row-major copy).
+fn lattice_slab(
+    lattice: &QuantLattice,
+    shape: Shape,
+    r0: usize,
+    r1: usize,
+    out: Shape,
+) -> QuantLattice {
+    let slab_len: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+    QuantLattice::from_vec(
+        out,
+        lattice.as_slice()[r0 * slab_len..r1 * slab_len].to_vec(),
+    )
+}
+
+/// Default CFNN architecture by dimensionality (the scaled paper specs).
+fn default_spec(n_anchors: usize, ndim: usize) -> CfnnSpec {
+    match ndim {
+        3 => CfnnSpec::scaled_3d(n_anchors),
+        _ => CfnnSpec::scaled_2d(n_anchors),
+    }
+}

@@ -25,7 +25,9 @@
 //!   stream (with embedded model) out — plus [`CrossFieldCodec`], which
 //!   packages model + anchors behind the unified fallible
 //!   [`cfc_sz::Codec`] trait;
-//! * [`archive`] is the dataset-level entry point: [`ArchiveBuilder`] →
+//! * [`archive`] is the dataset-level entry point, layered as
+//!   `archive::format` (wire structs) / `archive::writer` /
+//!   `archive::reader` / `archive::store`: [`ArchiveBuilder`] →
 //!   [`ArchiveWriter`] streams a whole multi-field snapshot (anchors,
 //!   baselines, and cross-field targets) into one versioned,
 //!   self-describing *chunked* container — every field split into
@@ -34,6 +36,9 @@
 //!   out-of-band configuration**, serving whole snapshots
 //!   (`decode_all`), single blocks (`decode_block`), or axis-aligned
 //!   windows (`decode_region`) while reading only the bytes it needs.
+//!   For concurrent serving, [`ArchiveStore`] wraps a reader in a
+//!   thread-safe decoded-block LRU cache with single-flight dedup and
+//!   [`StoreStats`] observability.
 //!
 //! Every decode path is fallible: corrupt or adversarial bytes surface as
 //! [`cfc_sz::CfcError`], never a panic.
@@ -48,8 +53,8 @@ pub mod predictor;
 pub mod train;
 
 pub use archive::{
-    ArchiveBuilder, ArchiveEntry, ArchiveReader, ArchiveReport, ArchiveWriter, FieldReport,
-    FieldRole,
+    ArchiveBuilder, ArchiveEntry, ArchiveReader, ArchiveReport, ArchiveStore, ArchiveWriter,
+    FieldReport, FieldRole, StoreConfig, StoreStats,
 };
 pub use config::{CfnnSpec, CrossFieldConfig, TrainConfig};
 pub use hybrid::HybridModel;

@@ -5,7 +5,7 @@
 //! cross-field codec in `cfc-core`, and anything downstream plugs into the
 //! same two methods. Both directions are fallible: encode-side input
 //! validation and *every* decode-path failure surface as
-//! [`CfcError`](crate::CfcError), never a panic.
+//! [`crate::CfcError`], never a panic.
 
 use cfc_tensor::Field;
 

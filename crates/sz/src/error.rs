@@ -77,6 +77,45 @@ pub enum CfcError {
         /// The I/O error's message (`std::io::Error` is not `Clone`).
         detail: String,
     },
+    /// Any of the above, wrapped with the archive field (and, when block
+    /// random access is involved, block index) it occurred in. Produced by
+    /// [`CfcError::in_field`] on the archive decode paths so multi-field
+    /// failures always name their origin; the underlying failure is
+    /// reachable through [`std::error::Error::source`].
+    InField {
+        /// Name of the archive field being decoded.
+        field: String,
+        /// Block index within the field, when the failure is block-scoped.
+        block: Option<usize>,
+        /// The underlying failure.
+        source: Box<CfcError>,
+    },
+}
+
+impl CfcError {
+    /// Wrap this error with the archive field (and optional block index)
+    /// it occurred in. An error that already carries field context is
+    /// returned unchanged — the innermost attribution, recorded closest to
+    /// the failure site, is the accurate one.
+    pub fn in_field(self, field: &str, block: Option<usize>) -> CfcError {
+        match self {
+            CfcError::InField { .. } => self,
+            other => CfcError::InField {
+                field: field.to_string(),
+                block,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The error with any field/block attribution stripped — the
+    /// underlying failure a caller should match on.
+    pub fn root_cause(&self) -> &CfcError {
+        match self {
+            CfcError::InField { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for CfcError {
@@ -118,11 +157,26 @@ impl fmt::Display for CfcError {
                 "checksum mismatch in {context}: recorded {expected:#010x}, computed {found:#010x}"
             ),
             CfcError::Io { context, detail } => write!(f, "I/O error while {context}: {detail}"),
+            CfcError::InField {
+                field,
+                block,
+                source,
+            } => match block {
+                Some(b) => write!(f, "field {field:?} block {b}: {source}"),
+                None => write!(f, "field {field:?}: {source}"),
+            },
         }
     }
 }
 
-impl std::error::Error for CfcError {}
+impl std::error::Error for CfcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CfcError::InField { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Checked little-endian reader over untrusted bytes.
 ///
@@ -247,6 +301,120 @@ mod tests {
         data.extend_from_slice(&u64::MAX.to_le_bytes());
         let mut r = Reader::new(&data);
         assert!(r.len_u64("len").is_err());
+    }
+
+    /// One instance of every variant, paired with its exact rendered
+    /// message. Exhaustive: adding a variant without extending this table
+    /// fails the message-stability test below.
+    fn variant_messages() -> Vec<(CfcError, &'static str)> {
+        vec![
+            (
+                CfcError::BadMagic {
+                    expected: *b"CFSZ",
+                    found: vec![1, 2],
+                },
+                "bad magic: expected \"CFSZ\", found [1, 2]",
+            ),
+            (
+                CfcError::UnsupportedVersion {
+                    found: 9,
+                    supported: 2,
+                },
+                "unsupported stream version 9 (this build decodes ≤ 2)",
+            ),
+            (
+                CfcError::InvalidHeader("ndim 7".into()),
+                "invalid header: ndim 7",
+            ),
+            (
+                CfcError::Truncated {
+                    context: "header",
+                    needed: 8,
+                    available: 2,
+                },
+                "truncated input while reading header: needed 8 bytes, had 2",
+            ),
+            (
+                CfcError::MissingSection {
+                    tag: 3,
+                    name: "codes",
+                },
+                "stream missing required section codes (tag 3)",
+            ),
+            (
+                CfcError::Corrupt {
+                    context: "archive",
+                    detail: "zero fields".into(),
+                },
+                "corrupt archive: zero fields",
+            ),
+            (
+                CfcError::ShapeMismatch {
+                    expected: "4x4".into(),
+                    found: "4x5".into(),
+                },
+                "shape mismatch: expected 4x4, found 4x5",
+            ),
+            (
+                CfcError::InvalidInput("bad bound".into()),
+                "invalid input: bad bound",
+            ),
+            (
+                CfcError::ChecksumMismatch {
+                    context: "archive block",
+                    expected: 1,
+                    found: 2,
+                },
+                "checksum mismatch in archive block: recorded 0x00000001, computed 0x00000002",
+            ),
+            (
+                CfcError::Io {
+                    context: "writing archive",
+                    detail: "disk full".into(),
+                },
+                "I/O error while writing archive: disk full",
+            ),
+            (
+                CfcError::InvalidInput("short".into()).in_field("T", Some(3)),
+                "field \"T\" block 3: invalid input: short",
+            ),
+            (
+                CfcError::InvalidInput("short".into()).in_field("T", None),
+                "field \"T\": invalid input: short",
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_variant_message_is_nonempty_and_stable() {
+        for (e, want) in variant_messages() {
+            let got = e.to_string();
+            assert!(!got.is_empty(), "{e:?} renders an empty message");
+            assert_eq!(got, want, "message drifted for {e:?}");
+        }
+    }
+
+    #[test]
+    fn in_field_attaches_context_once_and_chains_source() {
+        use std::error::Error;
+        let inner = CfcError::ChecksumMismatch {
+            context: "archive block",
+            expected: 1,
+            found: 2,
+        };
+        let wrapped = inner.clone().in_field("RH", Some(4));
+        assert_eq!(wrapped.root_cause(), &inner);
+        assert_eq!(
+            wrapped.source().unwrap().to_string(),
+            inner.to_string(),
+            "source() must expose the underlying failure"
+        );
+        // re-wrapping keeps the innermost (accurate) attribution
+        let rewrapped = wrapped.clone().in_field("outer", None);
+        assert_eq!(rewrapped, wrapped);
+        // non-wrapped variants have no source and are their own root cause
+        assert!(inner.source().is_none());
+        assert_eq!(inner.root_cause(), &inner);
     }
 
     #[test]

@@ -228,7 +228,7 @@ impl HuffmanTable {
         Ok(())
     }
 
-    /// Reference bit-serial decode — one [`CanonicalIndex::walk`] per
+    /// Reference bit-serial decode — one canonical-index walk per
     /// symbol, no primary table — kept for differential testing (the
     /// proptest equivalence suite pits the packed-table fast path against
     /// it) and the perf harness's before/after comparison. Semantically

@@ -61,4 +61,4 @@ pub use error_bound::ErrorBound;
 pub use lattice::QuantLattice;
 pub use predict::{CentralDiffPredictor, LorenzoPredictor, Predictor, RegressionPredictor};
 pub use quantizer::{QuantizerConfig, DEFAULT_RADIUS};
-pub use scratch::{DecodeScratch, EncodeScratch};
+pub use scratch::{DecodeScratch, EncodeScratch, PooledScratch, ScratchPool};

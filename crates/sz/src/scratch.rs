@@ -113,6 +113,88 @@ impl EncodeScratch {
     }
 }
 
+/// A lock-protected pool of reusable scratch values for request-driven
+/// workers (e.g. the archive store serving `decode_region` from many
+/// threads, where no worker owns a long-lived scratch).
+///
+/// [`ScratchPool::get`] hands out a pooled value — or a fresh
+/// `T::default()` when the pool is empty — wrapped in a [`PooledScratch`]
+/// guard that returns it to the pool on drop. Buffers therefore keep their
+/// steady-state capacity across requests, with at most one pooled value
+/// per concurrently active worker.
+#[derive(Debug, Default)]
+pub struct ScratchPool<T: Default> {
+    pool: std::sync::Mutex<Vec<T>>,
+    /// Cap on idle pooled values (extras are dropped on return).
+    max_idle: usize,
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// A pool keeping at most `max_idle` idle values around.
+    pub fn new(max_idle: usize) -> Self {
+        ScratchPool {
+            pool: std::sync::Mutex::new(Vec::new()),
+            max_idle,
+        }
+    }
+
+    /// Check out a scratch value (pooled if available, fresh otherwise).
+    pub fn get(&self) -> PooledScratch<'_, T> {
+        let item = self
+            .pool
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_default();
+        PooledScratch {
+            pool: self,
+            item: Some(item),
+        }
+    }
+
+    /// Idle values currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.pool.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    fn put_back(&self, item: T) {
+        let mut pool = self.pool.lock().unwrap_or_else(|p| p.into_inner());
+        if pool.len() < self.max_idle {
+            pool.push(item);
+        }
+    }
+}
+
+/// RAII checkout from a [`ScratchPool`]; derefs to the pooled value and
+/// returns it to the pool when dropped.
+#[derive(Debug)]
+pub struct PooledScratch<'a, T: Default> {
+    pool: &'a ScratchPool<T>,
+    item: Option<T>,
+}
+
+impl<T: Default> std::ops::Deref for PooledScratch<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.item.as_ref().expect("live until drop")
+    }
+}
+
+impl<T: Default> std::ops::DerefMut for PooledScratch<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.item.as_mut().expect("live until drop")
+    }
+}
+
+impl<T: Default> Drop for PooledScratch<'_, T> {
+    fn drop(&mut self) {
+        if let Some(item) = self.item.take() {
+            self.pool.put_back(item);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +223,42 @@ mod tests {
         s.outliers.reserve(10);
         s.track(before);
         assert_eq!(s.growths(), 3);
+    }
+
+    #[test]
+    fn pool_reuses_returned_scratch() {
+        let pool: ScratchPool<DecodeScratch> = ScratchPool::new(4);
+        {
+            let mut s = pool.get();
+            s.codes.reserve(1 << 12);
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 1);
+        // the same grown buffer comes back out
+        let s = pool.get();
+        assert!(s.codes.capacity() >= 1 << 12);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_caps_idle_values() {
+        let pool: ScratchPool<DecodeScratch> = ScratchPool::new(1);
+        let a = pool.get();
+        let b = pool.get();
+        drop(a);
+        drop(b); // second return exceeds max_idle and is dropped
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pool_hands_out_distinct_values_concurrently() {
+        let pool: ScratchPool<EncodeScratch> = ScratchPool::new(8);
+        let a = pool.get();
+        let b = pool.get();
+        // distinct allocations, not aliases
+        assert_ne!(
+            std::ptr::from_ref::<EncodeScratch>(&*a),
+            std::ptr::from_ref::<EncodeScratch>(&*b),
+        );
     }
 }

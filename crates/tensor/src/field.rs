@@ -169,11 +169,19 @@ impl Field {
     /// Concatenate same-trailing-shape parts along axis 0 (inverse of
     /// repeated [`Field::slab`] extraction over a partition).
     pub fn concat_axis0(parts: &[Field]) -> Field {
+        let refs: Vec<&Field> = parts.iter().collect();
+        Self::concat_axis0_refs(&refs)
+    }
+
+    /// [`Field::concat_axis0`] over borrowed parts — lets callers stitch
+    /// shared blocks (e.g. `Arc<Field>` cache entries) without cloning
+    /// them into an owned slice first.
+    pub fn concat_axis0_refs(parts: &[&Field]) -> Field {
         assert!(!parts.is_empty(), "nothing to concatenate");
         let first = parts[0].shape();
         let trailing: &[usize] = &first.dims()[1..];
         let mut rows = 0usize;
-        let mut data = Vec::new();
+        let mut total = 0usize;
         for p in parts {
             assert_eq!(
                 &p.shape().dims()[1..],
@@ -181,6 +189,10 @@ impl Field {
                 "trailing shape mismatch in concat_axis0"
             );
             rows += p.shape().dims()[0];
+            total += p.len();
+        }
+        let mut data = Vec::with_capacity(total);
+        for p in parts {
             data.extend_from_slice(p.as_slice());
         }
         let out_dims: Vec<usize> = std::iter::once(rows)
@@ -348,6 +360,8 @@ mod tests {
         let f = iota(Shape::d2(7, 3));
         let parts = vec![f.slab(0, 2), f.slab(2, 5), f.slab(5, 7)];
         assert_eq!(Field::concat_axis0(&parts), f);
+        let refs: Vec<&Field> = parts.iter().collect();
+        assert_eq!(Field::concat_axis0_refs(&refs), f);
     }
 
     #[test]

@@ -100,6 +100,25 @@ impl Region {
         self.len() == 0
     }
 
+    /// Indices of the first and last axis-0 blocks a chunked container
+    /// must decode to cover this region, for blocks of `chunk_slabs` rows
+    /// each (`chunk_slabs > 0`). Both ends are inclusive.
+    pub fn block_cover(&self, chunk_slabs: usize) -> (usize, usize) {
+        assert!(chunk_slabs > 0, "block_cover needs a positive chunk size");
+        (self.start[0] / chunk_slabs, (self.end[0] - 1) / chunk_slabs)
+    }
+
+    /// The same region re-anchored to a slab that starts at axis-0 row
+    /// `base` (subtracted from the axis-0 range; other axes unchanged) —
+    /// the crop window to apply after stitching the covering blocks.
+    pub fn rebase_axis0(&self, base: usize) -> Region {
+        assert!(base <= self.start[0], "base {base} past region start");
+        let mut out = *self;
+        out.start[0] -= base;
+        out.end[0] -= base;
+        out
+    }
+
     /// Check the region fits inside `shape`; `Err` carries a description of
     /// the first violation (dimensionality or an out-of-bounds axis).
     pub fn validate(&self, shape: Shape) -> Result<(), String> {
@@ -163,5 +182,31 @@ mod tests {
     #[should_panic]
     fn empty_range_panics() {
         let _ = Region::d1(3, 3);
+    }
+
+    #[test]
+    fn block_cover_spans_touched_blocks() {
+        let r = Region::d2(5, 19, 3, 20);
+        assert_eq!(r.block_cover(6), (0, 3));
+        assert_eq!(r.block_cover(5), (1, 3));
+        // single-row region touches exactly one block
+        assert_eq!(Region::d2(7, 8, 0, 4).block_cover(8), (0, 0));
+        // block boundary: end is exclusive, so row 8 starts block 1
+        assert_eq!(Region::d2(0, 8, 0, 4).block_cover(8), (0, 0));
+        assert_eq!(Region::d2(8, 9, 0, 4).block_cover(8), (1, 1));
+    }
+
+    #[test]
+    fn rebase_axis0_shifts_only_axis0() {
+        let r = Region::d3(10, 14, 2, 5, 1, 3);
+        let b = r.rebase_axis0(8);
+        assert_eq!(b, Region::d3(2, 6, 2, 5, 1, 3));
+        assert_eq!(r.rebase_axis0(0), r);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rebase_past_start_panics() {
+        let _ = Region::d1(3, 5).rebase_axis0(4);
     }
 }

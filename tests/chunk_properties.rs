@@ -150,14 +150,26 @@ proptest! {
         let bad_reader = ArchiveReader::new(&bad).expect("TOC untouched");
         let res = std::panic::catch_unwind(|| bad_reader.decode_block(name, *bi));
         match res {
-            Ok(Err(CfcError::ChecksumMismatch { .. })) => {}
+            Ok(Err(ref e)) if matches!(e.root_cause(), CfcError::ChecksumMismatch { .. }) => {
+                // the error wrapper must attribute the failure to the
+                // exact field and block whose payload was flipped
+                prop_assert!(
+                    matches!(
+                        e,
+                        CfcError::InField { field, block: Some(b), .. }
+                            if field == name && b == bi
+                    ),
+                    "wrong attribution: {e:?} for field {name} block {bi}"
+                );
+            }
             Ok(other) => prop_assert!(false, "expected ChecksumMismatch, got {other:?}"),
             Err(_) => prop_assert!(false, "decode_block panicked on a flipped bit"),
         }
         // the full decode hits the same wall, typed
-        prop_assert!(matches!(
-            bad_reader.decode_all(),
-            Err(CfcError::ChecksumMismatch { .. })
-        ));
+        let full = bad_reader.decode_all();
+        prop_assert!(
+            matches!(&full, Err(e) if matches!(e.root_cause(), CfcError::ChecksumMismatch { .. })),
+            "expected ChecksumMismatch from decode_all, got {full:?}"
+        );
     }
 }

@@ -1,0 +1,208 @@
+//! Concurrency and equivalence tests for `ArchiveStore`:
+//!
+//! * N threads hammering `decode_region` over pseudo-random regions must
+//!   byte-match the single-threaded `decode_all`, under a cold cache, a
+//!   warm cache, and a cache so small it thrashes;
+//! * a proptest asserting cache-on and cache-off stores decode identically
+//!   for arbitrary shapes, chunkings, and regions;
+//! * the v1 golden fixture served through the store matches its direct
+//!   reader decode.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cross_field_compression::core::archive::{
+    ArchiveBuilder, ArchiveReader, ArchiveStore, StoreConfig,
+};
+use cross_field_compression::core::TrainConfig;
+use cross_field_compression::tensor::{Dataset, Field, Region, Shape};
+
+/// Coupled three-field snapshot (T, P anchors; RH a cross-field target).
+fn snapshot(rows: usize, cols: usize) -> Dataset {
+    let shape = Shape::d2(rows, cols);
+    let t = Field::from_fn(shape, |i| {
+        ((i[0] as f32) * 0.11).sin() * 12.0 + ((i[1] as f32) * 0.07).cos() * 8.0 + 285.0
+    });
+    let p = Field::from_fn(shape, |i| {
+        1013.0 - (i[0] as f32) * 0.6 + ((i[1] as f32) * 0.04).sin() * 2.5
+    });
+    let rh = t.zip_map(&p, |tv, pv| {
+        0.5 * (tv - 285.0) + 0.04 * (pv - 1013.0) + 55.0
+    });
+    let mut ds = Dataset::new("CONC", shape);
+    ds.push("T", t);
+    ds.push("P", p);
+    ds.push("RH", rh);
+    ds
+}
+
+fn cross_field_archive(rows: usize, cols: usize, chunk_rows: usize) -> Vec<u8> {
+    ArchiveBuilder::relative(1e-3)
+        .train_config(TrainConfig::fast())
+        .cross_field("RH", &["T", "P"])
+        .chunk_elements(chunk_rows * cols)
+        .build()
+        .write(&snapshot(rows, cols))
+        .expect("write")
+}
+
+use cfc_bench::rng::XorShift;
+
+/// Hammer `store.decode_region` from `n_threads` threads with
+/// pseudo-random regions over every field, asserting every result
+/// byte-matches the reference decode.
+fn hammer(store: &Arc<ArchiveStore<std::io::Cursor<Vec<u8>>>>, reference: &Dataset, seed: u64) {
+    let shape = reference.shape();
+    let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
+    let n_threads = 8;
+    let iters = 24;
+    std::thread::scope(|s| {
+        for ti in 0..n_threads {
+            let store = Arc::clone(store);
+            s.spawn(move || {
+                let mut rng = XorShift(seed ^ (0x9E37_79B9 + ti as u64));
+                for it in 0..iters {
+                    let name = ["T", "P", "RH"][(ti + it) % 3];
+                    let (r0, r1) = rng.range(rows);
+                    let (c0, c1) = rng.range(cols);
+                    let region = Region::d2(r0, r1, c0, c1);
+                    let got = store
+                        .decode_region(name, &region)
+                        .unwrap_or_else(|e| panic!("decode_region {name} {region}: {e}"));
+                    let want = reference.expect_field(name).crop(&region);
+                    assert_eq!(got, want, "thread {ti} iter {it}: {name} {region}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn hammered_store_matches_decode_all_cold_and_warm() {
+    let bytes = cross_field_archive(48, 32, 7);
+    let reference = ArchiveReader::new(&bytes)
+        .unwrap()
+        .decode_all_with_threads(1)
+        .unwrap();
+
+    let store = Arc::new(ArchiveStore::new(
+        ArchiveReader::new(&bytes).unwrap(),
+        StoreConfig::default(),
+    ));
+    // cold: first pass populates the cache under contention
+    hammer(&store, &reference, 1);
+    let cold = store.stats();
+    assert!(cold.misses > 0);
+    // warm: the whole archive fits the default budget, so a second pass
+    // must serve entirely from cache — not a single new decode
+    hammer(&store, &reference, 2);
+    let warm = store.stats();
+    assert_eq!(warm.misses, cold.misses, "warm pass must not decode");
+    assert!(warm.hits > cold.hits);
+}
+
+#[test]
+fn hammered_store_matches_under_eviction_pressure() {
+    let bytes = cross_field_archive(48, 32, 7);
+    let reference = ArchiveReader::new(&bytes)
+        .unwrap()
+        .decode_all_with_threads(1)
+        .unwrap();
+    // budget of ~2 blocks (7×32 f32 = 896 B each): constant thrash, same bytes
+    let store = Arc::new(ArchiveStore::new(
+        ArchiveReader::new(&bytes).unwrap(),
+        StoreConfig::with_capacity(2 * 7 * 32 * 4),
+    ));
+    hammer(&store, &reference, 3);
+    let stats = store.stats();
+    assert!(stats.evictions > 0, "tiny budget must evict: {stats:?}");
+    assert!(
+        stats.cached_bytes <= stats.capacity_bytes,
+        "budget violated: {stats:?}"
+    );
+}
+
+#[test]
+fn store_serves_v1_golden_fixture() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("small_v1.cfar");
+    let bytes = std::fs::read(&path).expect("golden v1 fixture");
+    let reference = ArchiveReader::new(&bytes).unwrap().decode_all().unwrap();
+    let store = ArchiveStore::new(ArchiveReader::new(&bytes).unwrap(), StoreConfig::default());
+    for e in store.reader().entries() {
+        let name = e.name.clone();
+        let full = store.decode_field(&name).unwrap();
+        assert_eq!(&full, reference.expect_field(&name), "{name}");
+        // v1 random access degrades to cached whole-field decode + crop
+        let shape = full.shape();
+        let region = Region::full(shape);
+        assert_eq!(store.decode_region(&name, &region).unwrap(), full);
+    }
+    // second pass over every field is all cache hits
+    let before = store.stats();
+    for e in store.reader().entries() {
+        store.decode_field(&e.name).unwrap();
+    }
+    let after = store.stats();
+    assert_eq!(after.misses, before.misses, "v1 fields must cache too");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cache-on and cache-off stores (and the plain reader) decode the
+    /// same bytes for arbitrary geometry, chunking, and regions.
+    #[test]
+    fn cached_and_uncached_stores_decode_identically(
+        rows in 8usize..32,
+        cols in 4usize..16,
+        chunk_rows in 1usize..10,
+        r0f in 0u32..1000, r1f in 0u32..1000,
+        c0f in 0u32..1000, c1f in 0u32..1000,
+        capacity_blocks in 0usize..4,
+    ) {
+        let shape = Shape::d2(rows, cols);
+        let ds = snapshot(rows, cols);
+        let bytes = ArchiveBuilder::relative(1e-3)
+            .chunk_elements(chunk_rows * cols)
+            .build()
+            .write(&ds)
+            .expect("write");
+
+        // map fractions to a non-empty in-bounds region
+        let pick = |lo: u32, hi: u32, extent: usize| {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let s = (lo as usize * extent) / 1001;
+            let e = ((hi as usize * extent) / 1001 + 1).min(extent);
+            (s.min(extent - 1), e.max(s + 1))
+        };
+        let (r0, r1) = pick(r0f, r1f, rows);
+        let (c0, c1) = pick(c0f, c1f, cols);
+        let region = Region::d2(r0, r1, c0, c1);
+        prop_assert!(region.validate(shape).is_ok());
+
+        let uncached = ArchiveStore::new(
+            ArchiveReader::new(&bytes).unwrap(),
+            StoreConfig::uncached(),
+        );
+        // capacity from 0 blocks (still uncached) up to a few: eviction
+        // behaviour in the middle must never change the samples
+        let cached = ArchiveStore::new(
+            ArchiveReader::new(&bytes).unwrap(),
+            StoreConfig::with_capacity(capacity_blocks * chunk_rows * cols * 4),
+        );
+        let plain = ArchiveReader::new(&bytes).unwrap();
+
+        for name in ["T", "P", "RH"] {
+            let want = plain.decode_region(name, &region).expect("reader");
+            // two passes over the cached store: populate, then re-serve
+            for _ in 0..2 {
+                prop_assert_eq!(&cached.decode_region(name, &region).expect("cached"), &want);
+                prop_assert_eq!(&uncached.decode_region(name, &region).expect("uncached"), &want);
+            }
+        }
+        prop_assert_eq!(uncached.stats().hits, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! `cfc-serve` HTTP serving perf harness.
+//!
+//! ```sh
+//! # committed numbers (a few seconds):
+//! cargo run --release -p cfc-bench --bin serve_bench -- --label pr5 --out BENCH_serve.json
+//! # CI smoke (sub-second, validates the JSON schema and exits non-zero on rot):
+//! cargo run --release -p cfc-bench --bin serve_bench -- --smoke --out target/serve_smoke.json
+//! ```
+
+use cfc_bench::serve_perf::{run, to_json, validate_json, ServeBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut label = String::from("current");
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--label" => {
+                i += 1;
+                label = args.get(i).expect("--label needs a value").clone();
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("--out needs a value").clone());
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: serve_bench [--smoke] [--label L] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = if smoke {
+        ServeBenchConfig::smoke()
+    } else {
+        ServeBenchConfig::full()
+    };
+    eprintln!(
+        "serve_bench: {}x{} snapshot, {} rows/block, {} clients x {} requests, {} server threads{}",
+        cfg.rows,
+        cfg.cols,
+        cfg.chunk_rows,
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.server_threads,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let result = run(&label, cfg);
+
+    println!("run {:>22}: {}", "label", result.label);
+    println!("  clients               {:>9}", result.clients);
+    println!("  server threads        {:>9}", result.server_threads);
+    println!("  requests              {:>9}", result.requests);
+    println!("  p50 latency           {:>9.3} ms", result.p50_ms);
+    println!("  p99 latency           {:>9.3} ms", result.p99_ms);
+    println!(
+        "  aggregate throughput  {:>9.1} MB/s",
+        result.aggregate_mb_s
+    );
+    println!(
+        "  request throughput    {:>9.1} req/s",
+        result.requests_per_s
+    );
+    println!("  cache hit rate        {:>9.1} %", result.hit_rate * 100.0);
+
+    let doc = to_json(std::slice::from_ref(&result));
+    if let Err(e) = validate_json(&doc) {
+        eprintln!("generated document failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output directory");
+            }
+        }
+        std::fs::write(&path, &doc).expect("write bench JSON");
+        eprintln!("wrote {path}");
+    }
+}

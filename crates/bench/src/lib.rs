@@ -6,6 +6,7 @@ pub mod perf;
 pub mod pgm;
 pub mod rng;
 pub mod runner;
+pub mod serve_perf;
 pub mod store_perf;
 
 pub use runner::{run_codec, ExperimentContext, FieldResult, PAPER_ERROR_BOUNDS};

@@ -1,0 +1,382 @@
+//! `cfc-serve` HTTP serving perf harness behind the `serve_bench` binary
+//! and the CI bench-smoke step.
+//!
+//! Spins a real [`ArchiveServer`] on an ephemeral loopback port over the
+//! same coupled cross-field snapshot as the store harness, warms the
+//! decoded-block cache, then drives N concurrent keep-alive clients over
+//! a mixed region workload (two window heights at pseudo-random offsets,
+//! an occasional `/stats` probe) and reports:
+//!
+//! * `p50_ms` / `p99_ms` — per-request wall-clock latency percentiles
+//!   across every client request,
+//! * `aggregate_mb_s` — MB/s of decoded `f32` region payload delivered to
+//!   all clients over the measurement window,
+//! * `requests_per_s` — aggregate request throughput,
+//! * `hit_rate` — store cache hit fraction over the run.
+//!
+//! Results serialize to a hand-rolled `cfc-serve-bench-v1` JSON document
+//! (the offline build has no serde); [`validate_json`] checks the schema
+//! so CI can assert the tooling still works without trusting absolute
+//! numbers.
+
+use std::io::Cursor;
+use std::time::{Duration, Instant};
+
+use cfc_core::archive::{ArchiveBuilder, ArchiveStore, StoreConfig};
+use cfc_core::TrainConfig;
+use cfc_serve::{ArchiveServer, HttpClient, ServeConfig};
+
+use crate::rng::XorShift;
+use crate::store_perf::coupled_snapshot;
+
+/// Schema marker the JSON document carries; bump when fields change.
+pub const SCHEMA: &str = "cfc-serve-bench-v1";
+
+/// Harness sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    /// Axis-0 extent of the synthetic snapshot.
+    pub rows: usize,
+    /// Axis-1 extent.
+    pub cols: usize,
+    /// Axis-0 rows per block.
+    pub chunk_rows: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client issues during the timed window.
+    pub requests_per_client: usize,
+    /// Server worker threads.
+    pub server_threads: usize,
+    /// Axis-0 extent of the tall region window (the short one is half).
+    pub region_rows: usize,
+}
+
+impl ServeBenchConfig {
+    /// Full-size run for committed numbers.
+    pub fn full() -> Self {
+        ServeBenchConfig {
+            rows: 768,
+            cols: 512,
+            chunk_rows: 24,
+            clients: 8,
+            requests_per_client: 600,
+            server_threads: 8,
+            region_rows: 48,
+        }
+    }
+
+    /// Tiny CI smoke run: exercises every stage in well under a second.
+    pub fn smoke() -> Self {
+        ServeBenchConfig {
+            rows: 96,
+            cols: 64,
+            chunk_rows: 8,
+            clients: 2,
+            requests_per_client: 24,
+            server_threads: 2,
+            region_rows: 12,
+        }
+    }
+}
+
+/// One labelled harness run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchRun {
+    /// Run label (e.g. `pr6`).
+    pub label: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Server worker threads.
+    pub server_threads: usize,
+    /// Total requests issued across all clients.
+    pub requests: usize,
+    /// Median per-request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency in milliseconds.
+    pub p99_ms: f64,
+    /// MB/s of decoded `f32` region payload delivered, aggregated over
+    /// all clients.
+    pub aggregate_mb_s: f64,
+    /// Requests per second, aggregated over all clients.
+    pub requests_per_s: f64,
+    /// Store cache hit fraction over the whole run.
+    pub hit_rate: f64,
+}
+
+/// The region targets of one client's workload: mixed window heights at
+/// deterministic pseudo-random offsets, full width.
+fn client_targets(cfg: &ServeBenchConfig, client: usize) -> Vec<String> {
+    let mut rng = XorShift(0x5EED_CAFE_0000 ^ (client as u64).wrapping_mul(0x9E37_79B9));
+    (0..cfg.requests_per_client)
+        .map(|i| {
+            let span = if i % 3 == 0 {
+                (cfg.region_rows / 2).max(1)
+            } else {
+                cfg.region_rows.min(cfg.rows - 1)
+            };
+            let r0 = (rng.next_u64() as usize) % (cfg.rows - span);
+            format!("/field/RH/region?start={r0},0&shape={span},{}", cfg.cols)
+        })
+        .collect()
+}
+
+/// Run the harness and return the labelled measurements.
+pub fn run(label: &str, cfg: ServeBenchConfig) -> ServeBenchRun {
+    let ds = coupled_snapshot(cfg.rows, cfg.cols);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .train_config(TrainConfig::fast())
+        .cross_field("RH", &["T", "P"])
+        .chunk_elements(cfg.chunk_rows * cfg.cols)
+        .build()
+        .write(&ds)
+        .expect("bench archive write");
+    let store = ArchiveStore::open(Cursor::new(bytes), StoreConfig::default())
+        .expect("bench archive parse");
+    let mut server = ArchiveServer::bind(
+        store,
+        "127.0.0.1:0",
+        ServeConfig {
+            read_timeout: Duration::from_secs(10),
+            ..ServeConfig::with_threads(cfg.server_threads)
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr();
+
+    // warm the decoded-block cache: every block of RH (and its anchors)
+    // decodes once, so the timed window measures the serving path, not
+    // cold decode
+    {
+        let mut warm = HttpClient::connect(addr).expect("warmup connect");
+        let resp = warm
+            .get(&format!(
+                "/field/RH/region?start=0,0&shape={},{}",
+                cfg.rows, cfg.cols
+            ))
+            .expect("warmup request");
+        assert_eq!(resp.status, 200, "warmup failed: {}", resp.body_str());
+    }
+
+    // timed window: every client hammers its own keep-alive connection
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<f64>, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|ci| {
+                let targets = client_targets(&cfg, ci);
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("client connect");
+                    let mut latencies = Vec::with_capacity(targets.len());
+                    let mut payload_bytes = 0usize;
+                    for (i, target) in targets.iter().enumerate() {
+                        let t = Instant::now();
+                        let resp = client.get(target).expect("bench request");
+                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(
+                            resp.status,
+                            200,
+                            "bench request failed: {}",
+                            resp.body_str()
+                        );
+                        let (_, payload) = resp.frame().expect("frame body");
+                        payload_bytes += payload.len();
+                        // an occasional stats probe rides along, mirroring
+                        // a dashboard polling a production server
+                        if i % 64 == 63 {
+                            let stats = client.get("/stats").expect("stats probe");
+                            assert_eq!(stats.status, 200);
+                        }
+                    }
+                    (latencies, payload_bytes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = per_client
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total_bytes: usize = per_client.iter().map(|(_, b)| b).sum();
+    let requests = latencies.len();
+    let percentile = |p: f64| -> f64 {
+        let idx = ((requests as f64 - 1.0) * p).round() as usize;
+        latencies[idx.min(requests - 1)]
+    };
+    let hit_rate = server.store().snapshot().hit_rate();
+    server.shutdown();
+
+    ServeBenchRun {
+        label: label.to_string(),
+        clients: cfg.clients,
+        server_threads: cfg.server_threads,
+        requests,
+        p50_ms: percentile(0.50),
+        p99_ms: percentile(0.99),
+        aggregate_mb_s: total_bytes as f64 / 1e6 / wall_s.max(1e-9),
+        requests_per_s: requests as f64 / wall_s.max(1e-9),
+        hit_rate,
+    }
+}
+
+fn push_field(out: &mut String, key: &str, v: f64, comma: bool) {
+    out.push_str(&format!("    \"{key}\": {v:.3}"));
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+/// Serialize runs to the committed JSON layout.
+pub fn to_json(runs: &[ServeBenchRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(
+        "  \"unit\": \"MB/s of decoded f32 region payload delivered over HTTP, ms latency\",\n",
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"label\": \"{}\",\n", r.label));
+        out.push_str(&format!("    \"clients\": {},\n", r.clients));
+        out.push_str(&format!("    \"server_threads\": {},\n", r.server_threads));
+        out.push_str(&format!("    \"requests\": {},\n", r.requests));
+        push_field(&mut out, "p50_ms", r.p50_ms, true);
+        push_field(&mut out, "p99_ms", r.p99_ms, true);
+        push_field(&mut out, "aggregate_mb_s", r.aggregate_mb_s, true);
+        push_field(&mut out, "requests_per_s", r.requests_per_s, true);
+        push_field(&mut out, "hit_rate", r.hit_rate, false);
+        out.push_str(if i + 1 < runs.len() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Keys every run object must carry with a positive numeric value.
+pub const REQUIRED_KEYS: [&str; 7] = [
+    "clients",
+    "requests",
+    "p50_ms",
+    "p99_ms",
+    "aggregate_mb_s",
+    "requests_per_s",
+    "hit_rate",
+];
+
+/// Structural validation of a serve-bench JSON document: schema marker
+/// present, at least one run, every required key present with a positive
+/// value. (Not a general JSON parser — just enough to keep the CI smoke
+/// step from passing on an empty or truncated file.)
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema marker {SCHEMA}"));
+    }
+    let n_runs = doc.matches("\"label\":").count();
+    if n_runs == 0 {
+        return Err("document holds no runs".into());
+    }
+    for key in REQUIRED_KEYS {
+        let needle = format!("\"{key}\":");
+        let count = doc.matches(&needle).count();
+        if count != n_runs {
+            return Err(format!("key {key} appears {count} times for {n_runs} runs"));
+        }
+        for (at, _) in doc.match_indices(&needle) {
+            let rest = doc[at + needle.len()..].trim_start();
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            match num.parse::<f64>() {
+                Ok(v) if v > 0.0 && v.is_finite() => {}
+                _ => return Err(format!("key {key} has non-positive value {num:?}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extract the first numeric value following `"key":` in `doc`.
+pub fn extract_value(doc: &str, key: &str) -> Option<f64> {
+    crate::store_perf::extract_value(doc, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run(mb_s: f64) -> ServeBenchRun {
+        ServeBenchRun {
+            label: "unit".into(),
+            clients: 8,
+            server_threads: 8,
+            requests: 4800,
+            p50_ms: 0.4,
+            p99_ms: 2.1,
+            aggregate_mb_s: mb_s,
+            requests_per_s: 9000.0,
+            hit_rate: 0.97,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let doc = to_json(&[sample_run(800.0), sample_run(650.0)]);
+        validate_json(&doc).expect("valid document");
+        assert_eq!(extract_value(&doc, "aggregate_mb_s"), Some(800.0));
+        assert_eq!(extract_value(&doc, "clients"), Some(8.0));
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_json("{}").is_err());
+        let mut bad = sample_run(100.0);
+        bad.hit_rate = 0.0; // non-positive
+        assert!(validate_json(&to_json(&[bad])).is_err());
+        let good = to_json(&[sample_run(100.0)]);
+        assert!(validate_json(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn committed_bench_results_validate_and_meet_acceptance() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_serve.json");
+        let doc = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        validate_json(&doc).expect("committed BENCH_serve.json must satisfy the schema");
+        let clients = extract_value(&doc, "clients").expect("committed document carries clients");
+        assert!(
+            clients >= 8.0,
+            "committed run used {clients} clients, below the 8-client acceptance bar"
+        );
+        let mb_s = extract_value(&doc, "aggregate_mb_s")
+            .expect("committed document carries aggregate_mb_s");
+        assert!(
+            mb_s >= 500.0,
+            "committed aggregate throughput {mb_s} MB/s below the 500 MB/s acceptance bar"
+        );
+        for key in ["p50_ms", "p99_ms"] {
+            assert!(
+                extract_value(&doc, key).is_some_and(|v| v > 0.0),
+                "committed document must record {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_run_produces_valid_document() {
+        let run = run("unit-smoke", ServeBenchConfig::smoke());
+        assert!(run.aggregate_mb_s > 0.0);
+        assert!(run.p99_ms >= run.p50_ms);
+        assert!(run.hit_rate > 0.0);
+        validate_json(&to_json(&[run])).expect("smoke run document validates");
+    }
+}

@@ -103,9 +103,10 @@ pub struct StoreBenchRun {
 }
 
 /// Coupled snapshot with a genuine cross-field target: RH is a smooth
-/// nonlinear function of the T and P anchors, so the paper pipeline (CFNN
-/// + hybrid) actually engages on the serving path.
-fn coupled_snapshot(rows: usize, cols: usize) -> Dataset {
+/// nonlinear function of the T and P anchors, so the paper pipeline
+/// (CFNN and hybrid) actually engages on the serving path. (Shared with
+/// the `serve_bench` harness, which serves the same workload over HTTP.)
+pub fn coupled_snapshot(rows: usize, cols: usize) -> Dataset {
     let shape = Shape::d2(rows, cols);
     let t = Field::from_fn(shape, |i| {
         ((i[0] as f32) * 0.021).sin() * 14.0 + ((i[1] as f32) * 0.017).cos() * 9.0 + 283.0

@@ -177,6 +177,65 @@ impl ArchiveEntry {
     }
 }
 
+/// Read-only metadata view of one archive field — everything a serving
+/// front-end (manifest endpoints, capacity planners) needs to describe a
+/// field without poking at reader internals or payload bytes.
+///
+/// Produced by [`ArchiveEntry::info`] and the `field_infos` accessors on
+/// `ArchiveReader` / `ArchiveStore`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldInfo {
+    /// Field name.
+    pub name: String,
+    /// Role recorded at write time.
+    pub role: FieldRole,
+    /// Anchor field names (empty unless the field is a cross-field target).
+    pub anchors: Vec<String>,
+    /// Absolute error bound the reconstruction satisfies.
+    pub eb_abs: f64,
+    /// Field extents, outermost axis first (empty for v1 archives, whose
+    /// manifests predate the shape column).
+    pub dims: Vec<usize>,
+    /// Independently decodable blocks (1 for v1 archives).
+    pub n_blocks: usize,
+    /// Axis-0 rows per block (0 for v1 archives).
+    pub chunk_slabs: usize,
+    /// Compressed payload bytes (meta area + all blocks).
+    pub compressed_bytes: usize,
+}
+
+impl FieldInfo {
+    /// Total element count (0 when the shape is unknown, i.e. v1).
+    pub fn elements(&self) -> usize {
+        if self.dims.is_empty() {
+            0
+        } else {
+            self.dims.iter().product()
+        }
+    }
+
+    /// Decoded (raw `f32`) byte size, `4 × elements`.
+    pub fn decoded_bytes(&self) -> usize {
+        self.elements() * 4
+    }
+}
+
+impl ArchiveEntry {
+    /// The read-only metadata view of this entry.
+    pub fn info(&self) -> FieldInfo {
+        FieldInfo {
+            name: self.name.clone(),
+            role: self.role,
+            anchors: self.anchors.clone(),
+            eb_abs: self.eb_abs,
+            dims: self.shape.map(|s| s.dims().to_vec()).unwrap_or_default(),
+            n_blocks: self.n_blocks(),
+            chunk_slabs: self.chunk_slabs,
+            compressed_bytes: self.payload_len,
+        }
+    }
+}
+
 /// Incremental table-of-contents reader over a seekable source: tracks the
 /// absolute position, bounds every read against the source length, and
 /// maps short reads to [`CfcError::Truncated`].

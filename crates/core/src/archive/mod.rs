@@ -67,7 +67,7 @@ pub mod store;
 pub mod writer;
 
 pub use format::{
-    ArchiveEntry, FieldRole, ARCHIVE_MAGIC, ARCHIVE_VERSION, DEFAULT_CHUNK_ELEMENTS,
+    ArchiveEntry, FieldInfo, FieldRole, ARCHIVE_MAGIC, ARCHIVE_VERSION, DEFAULT_CHUNK_ELEMENTS,
     MIN_SUPPORTED_VERSION,
 };
 pub use reader::{ArchiveReader, ArchiveScratch};

@@ -232,6 +232,26 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         &self.entries
     }
 
+    /// Field names in archive order.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Read-only metadata views of every field, in archive order — the
+    /// manifest a serving front-end exposes.
+    pub fn field_infos(&self) -> Vec<super::format::FieldInfo> {
+        self.entries.iter().map(|e| e.info()).collect()
+    }
+
+    /// Metadata view of one field, `None` when the archive has no field of
+    /// that name.
+    pub fn field_info(&self, name: &str) -> Option<super::format::FieldInfo> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.info())
+    }
+
     pub(crate) fn entry(&self, name: &str) -> Result<&ArchiveEntry, CfcError> {
         self.entries
             .iter()

@@ -37,7 +37,6 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Seek};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use cfc_sz::{CfcError, ScratchPool};
@@ -87,7 +86,12 @@ impl StoreConfig {
 }
 
 /// Point-in-time snapshot of an [`ArchiveStore`]'s counters, from
-/// [`ArchiveStore::stats`].
+/// [`ArchiveStore::snapshot`].
+///
+/// Every field is captured under one lock acquisition, so the counters
+/// are mutually consistent: `cached_blocks == insertions - evictions`,
+/// `insertions <= misses`, and `hits + misses` never under-counts a
+/// request whose effect is already visible elsewhere in the snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Block requests served without decoding: from the cache, or handed
@@ -95,7 +99,8 @@ pub struct StoreStats {
     pub hits: u64,
     /// Block requests that had to decode.
     pub misses: u64,
-    /// Cached blocks dropped to stay under the byte budget.
+    /// Cached blocks dropped: evicted to stay under the byte budget, or
+    /// replaced by a newer decode of the same block.
     pub evictions: u64,
     /// Blocks inserted into the cache.
     pub insertions: u64,
@@ -111,10 +116,15 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
+    /// Total block requests observed (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Fraction of block requests served from the cache (0 when no
     /// requests have been made).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.lookups();
         if total == 0 {
             return 0.0;
         }
@@ -146,6 +156,15 @@ struct CacheInner {
     /// publishes its result there, so waiters are served even when the
     /// block is too big to cache.
     inflight: HashMap<BlockKey, Arc<Flight>>,
+    /// Request/cache counters, kept under the same lock as the map so a
+    /// [`StoreStats`] snapshot is internally consistent (never e.g.
+    /// `insertions > misses` or `cached_blocks != insertions - evictions`
+    /// from a half-applied update).
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+    coalesced: u64,
 }
 
 /// Per-block in-flight decode slot: the decoding thread publishes its
@@ -170,11 +189,6 @@ pub struct ArchiveStore<R> {
     scratch: ScratchPool<ArchiveScratch>,
     /// Parsed target meta (CFNN bytes + hybrid weights), once per field.
     metas: Mutex<HashMap<usize, Arc<TargetMeta>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    insertions: AtomicU64,
-    coalesced: AtomicU64,
 }
 
 /// Publishes the decode outcome to the in-flight slot and clears the
@@ -216,11 +230,6 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
             inner: Mutex::new(CacheInner::default()),
             scratch: ScratchPool::new(config.max_idle_scratch),
             metas: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -235,25 +244,56 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
         &self.reader
     }
 
-    /// Snapshot the cache counters.
-    pub fn stats(&self) -> StoreStats {
+    /// Archive (dataset) name.
+    pub fn archive_name(&self) -> &str {
+        self.reader.name()
+    }
+
+    /// Container version of the wrapped archive (1 or 2).
+    pub fn version(&self) -> u16 {
+        self.reader.version()
+    }
+
+    /// Read-only metadata views of every field, in archive order.
+    pub fn field_infos(&self) -> Vec<super::format::FieldInfo> {
+        self.reader.field_infos()
+    }
+
+    /// Metadata view of one field, `None` when the archive has no field of
+    /// that name.
+    pub fn field_info(&self, name: &str) -> Option<super::format::FieldInfo> {
+        self.reader.field_info(name)
+    }
+
+    /// Consistent point-in-time snapshot of the cache counters: every
+    /// field is read under one lock acquisition, so derived quantities
+    /// (hit rate, `insertions - evictions`) never mix a half-applied
+    /// update — concurrent readers of `/stats`-style endpoints can rely
+    /// on the [`StoreStats`] invariants.
+    pub fn snapshot(&self) -> StoreStats {
         let g = lock(&self.inner);
         StoreStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            insertions: g.insertions,
+            coalesced: g.coalesced,
             cached_blocks: g.map.len(),
             cached_bytes: g.bytes,
             capacity_bytes: self.capacity,
         }
     }
 
+    /// Alias for [`ArchiveStore::snapshot`] (historical name).
+    pub fn stats(&self) -> StoreStats {
+        self.snapshot()
+    }
+
     /// Drop every cached block (counters keep accumulating; in-flight
     /// decodes are unaffected and will re-insert on completion).
     pub fn clear(&self) {
         let mut g = lock(&self.inner);
+        g.evictions += g.map.len() as u64;
         g.map.clear();
         g.lru.clear();
         g.bytes = 0;
@@ -327,7 +367,7 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
     fn get_block(&self, fi: usize, idx: usize) -> Result<Arc<Field>, CfcError> {
         let key = (fi, idx);
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            lock(&self.inner).misses += 1;
             return self.decode_uncached(fi, idx).map(Arc::new);
         }
         let flight = {
@@ -340,27 +380,28 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
                 g.lru.remove(&old_tick);
                 g.lru.insert(tick, key);
                 g.map.get_mut(&key).expect("just read").tick = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                g.hits += 1;
                 return Ok(field);
             }
             if let Some(f) = g.inflight.get(&key) {
                 // coalesce: wait on the in-flight decode's own slot and
                 // share whatever it produces
                 let f = Arc::clone(f);
+                g.coalesced += 1;
                 drop(g);
-                self.coalesced.fetch_add(1, Ordering::Relaxed);
                 let mut slot = f.result.lock().unwrap_or_else(|p| p.into_inner());
                 while slot.is_none() {
                     slot = f.done.wait(slot).unwrap_or_else(|p| p.into_inner());
                 }
                 let shared = slot.as_ref().expect("published above").clone();
                 if shared.is_ok() {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    lock(&self.inner).hits += 1;
                 }
                 return shared;
             }
             let f = Arc::new(Flight::default());
             g.inflight.insert(key, Arc::clone(&f));
+            g.misses += 1;
             f
         };
         let mut publisher = FlightPublisher {
@@ -369,7 +410,6 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
             flight,
             outcome: None,
         };
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let result = self.decode_uncached(fi, idx).map(Arc::new);
         if let Ok(arc) = &result {
             self.insert(key, arc.clone());
@@ -393,16 +433,19 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
         if let Some(old) = g.map.insert(key, CacheEntry { field, tick, bytes }) {
             g.lru.remove(&old.tick);
             g.bytes -= old.bytes;
+            // a replaced entry is a dropped cached block: count it as an
+            // eviction so `cached_blocks == insertions - evictions` holds
+            g.evictions += 1;
         }
         g.lru.insert(tick, key);
         g.bytes += bytes;
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        g.insertions += 1;
         while g.bytes > self.capacity {
             let (&oldest, &victim) = g.lru.iter().next().expect("over budget implies entries");
             g.lru.remove(&oldest);
             let e = g.map.remove(&victim).expect("lru entry cached");
             g.bytes -= e.bytes;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            g.evictions += 1;
         }
     }
 

@@ -54,7 +54,7 @@ pub mod train;
 
 pub use archive::{
     ArchiveBuilder, ArchiveEntry, ArchiveReader, ArchiveReport, ArchiveStore, ArchiveWriter,
-    FieldReport, FieldRole, StoreConfig, StoreStats,
+    FieldInfo, FieldReport, FieldRole, StoreConfig, StoreStats,
 };
 pub use config::{CfnnSpec, CrossFieldConfig, TrainConfig};
 pub use hybrid::HybridModel;

@@ -1,0 +1,189 @@
+//! A minimal blocking HTTP/1.1 client for exercising the server from
+//! tests, benchmarks, and examples — one keep-alive connection per
+//! [`HttpClient`], `GET` only, bodies read by `Content-Length`.
+//!
+//! This is intentionally the *other half* of the hand-rolled wire code in
+//! [`crate::http`]: it exists so integration tests and `serve_bench` can
+//! drive the server over real sockets without any external dependency. It
+//! is not a general-purpose HTTP client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in receive order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as (lossy) text — convenient for JSON endpoints.
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Split a binary frame body (`[u32 LE header_len][JSON][payload]`)
+    /// into its JSON header and raw payload bytes. `None` when the body
+    /// is not a well-formed frame.
+    pub fn frame(&self) -> Option<(&str, &[u8])> {
+        let header_len = u32::from_le_bytes(self.body.get(..4)?.try_into().ok()?) as usize;
+        let header = self.body.get(4..4 + header_len)?;
+        let payload = self.body.get(4 + header_len..)?;
+        Some((std::str::from_utf8(header).ok()?, payload))
+    }
+
+    /// Decode a frame's payload as little-endian `f32` samples. `None`
+    /// when the body is not a frame or the payload length is not a
+    /// multiple of 4.
+    pub fn payload_f32(&self) -> Option<Vec<f32>> {
+        let (_, payload) = self.frame()?;
+        if payload.len() % 4 != 0 {
+            return None;
+        }
+        Some(
+            payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    }
+}
+
+/// A keep-alive connection to a [`crate::ArchiveServer`].
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Set the read timeout for responses.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Issue `GET target` on the shared connection and read the response.
+    pub fn get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        self.writer.write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: cfc-serve\r\nConnection: keep-alive\r\n\r\n")
+                .as_bytes(),
+        )?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_parsing() {
+        let header = br#"{"field": "T"}"#;
+        let mut body = (header.len() as u32).to_le_bytes().to_vec();
+        body.extend_from_slice(header);
+        body.extend_from_slice(&1.5f32.to_le_bytes());
+        body.extend_from_slice(&(-2.0f32).to_le_bytes());
+        let resp = ClientResponse {
+            status: 200,
+            headers: vec![],
+            body,
+        };
+        let (json, payload) = resp.frame().unwrap();
+        assert_eq!(json, r#"{"field": "T"}"#);
+        assert_eq!(payload.len(), 8);
+        assert_eq!(resp.payload_f32().unwrap(), vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn frame_rejects_truncation() {
+        let resp = ClientResponse {
+            status: 200,
+            headers: vec![],
+            body: vec![255, 0, 0, 0, b'{'],
+        };
+        assert!(resp.frame().is_none());
+        let short = ClientResponse {
+            status: 200,
+            headers: vec![],
+            body: vec![1, 0],
+        };
+        assert!(short.frame().is_none());
+    }
+}

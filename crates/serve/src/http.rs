@@ -1,0 +1,371 @@
+//! Minimal HTTP/1.1 wire handling: a hand-rolled, size-limited request
+//! parser and a response writer, on nothing but `std::io`.
+//!
+//! This is deliberately not a general HTTP implementation. The server
+//! only ever answers `GET` requests with in-memory bodies, so the parser
+//! supports exactly that subset — and turns everything outside it into a
+//! typed [`RequestError`] the connection loop maps to a status code:
+//!
+//! * request line and headers are read with hard byte caps
+//!   ([`MAX_REQUEST_LINE_BYTES`], [`MAX_HEADER_BYTES`], [`MAX_HEADERS`]) so
+//!   a hostile peer cannot balloon server memory (→ `431`);
+//! * request bodies are rejected outright (→ `413`);
+//! * anything structurally off — a bad request line, a header without a
+//!   colon, an unsupported HTTP version — is `Malformed` (→ `400`);
+//! * connection persistence follows HTTP/1.1 semantics: keep-alive by
+//!   default, `Connection: close` honored, HTTP/1.0 closes unless the
+//!   client asks to keep the connection.
+
+use std::io::{BufRead, Read, Write};
+
+/// Cap on the request line (`GET /path?query HTTP/1.1`) in bytes.
+pub const MAX_REQUEST_LINE_BYTES: usize = 8 * 1024;
+/// Cap on the total header section in bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Cap on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed request: method, percent-decoded path, raw query string,
+/// and the connection-persistence decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, as sent (`GET`, `HEAD`, …).
+    pub method: String,
+    /// Percent-decoded path component (no query string).
+    pub path: String,
+    /// Raw query string (bytes after `?`, empty when absent).
+    pub query: String,
+    /// Whether the client wants the connection kept open after this
+    /// request (HTTP/1.1 default, overridable via `Connection`).
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be parsed; each variant maps to one response
+/// status (or, for [`RequestError::Closed`] / [`RequestError::Io`], to
+/// silently dropping the connection).
+#[derive(Debug)]
+pub enum RequestError {
+    /// Clean EOF before the first request byte — the peer is done with
+    /// the keep-alive connection.
+    Closed,
+    /// The socket failed mid-request (includes read timeouts).
+    Io(std::io::Error),
+    /// Structurally invalid request (→ `400`).
+    Malformed(&'static str),
+    /// A size cap was exceeded (→ `431`).
+    TooLarge(&'static str),
+    /// The request carries a body, which this server never accepts
+    /// (→ `413`).
+    BodyUnsupported,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Closed => write!(f, "connection closed"),
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+            RequestError::Malformed(what) => write!(f, "malformed request: {what}"),
+            RequestError::TooLarge(what) => write!(f, "request too large: {what}"),
+            RequestError::BodyUnsupported => write!(f, "request bodies are not supported"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Read one `\n`-terminated line of at most `cap` bytes (CR/LF stripped).
+/// `Ok(None)` is clean EOF before any byte.
+fn read_line_limited(
+    r: &mut impl BufRead,
+    cap: usize,
+    what: &'static str,
+) -> Result<Option<String>, RequestError> {
+    let mut buf = Vec::new();
+    let n = r
+        .take(cap as u64 + 2)
+        .read_until(b'\n', &mut buf)
+        .map_err(RequestError::Io)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        // either the peer hung up mid-line or the cap cut the read short
+        if n >= cap {
+            return Err(RequestError::TooLarge(what));
+        }
+        return Err(RequestError::Malformed("line ended before CRLF"));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| RequestError::Malformed("non-UTF-8 bytes"))
+}
+
+/// Decode `%XX` escapes in a path component (`+` is left alone — it is
+/// only a space in form-encoded bodies, not in paths).
+pub fn percent_decode(s: &str) -> Result<String, &'static str> {
+    if !s.contains('%') {
+        return Ok(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3).ok_or("truncated %-escape")?;
+            let hi = (hex[0] as char).to_digit(16).ok_or("bad %-escape digit")?;
+            let lo = (hex[1] as char).to_digit(16).ok_or("bad %-escape digit")?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| "%-escapes decode to invalid UTF-8")
+}
+
+/// Parse one request (request line + headers) off a buffered stream.
+///
+/// Returns [`RequestError::Closed`] on clean EOF before the request line,
+/// so keep-alive loops can tell "peer finished" from "peer sent garbage".
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, RequestError> {
+    let line = match read_line_limited(r, MAX_REQUEST_LINE_BYTES, "request line")? {
+        None => return Err(RequestError::Closed),
+        Some(l) if l.is_empty() => return Err(RequestError::Malformed("empty request line")),
+        Some(l) => l,
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(
+                "request line is not `METHOD TARGET VERSION`",
+            ))
+        }
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(RequestError::Malformed("unsupported HTTP version")),
+    };
+    let (raw_path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q.to_string()),
+        None => (target, String::new()),
+    };
+    let path = percent_decode(raw_path).map_err(RequestError::Malformed)?;
+
+    let mut keep_alive = http11;
+    let mut content_length = 0u64;
+    let mut has_body_header = false;
+    let mut header_bytes = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = match read_line_limited(r, MAX_HEADER_BYTES, "header line")? {
+            None => return Err(RequestError::Malformed("EOF inside headers")),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            if has_body_header || content_length > 0 {
+                return Err(RequestError::BodyUnsupported);
+            }
+            return Ok(Request {
+                method: method.to_string(),
+                path,
+                query,
+                keep_alive,
+            });
+        }
+        header_bytes += line.len() + 2;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(RequestError::TooLarge("header section"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RequestError::Malformed("header without a colon"))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| RequestError::Malformed("unparseable Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            has_body_header = true;
+        }
+    }
+    Err(RequestError::TooLarge("header count"))
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Everything about a response except its body bytes (which the worker
+/// assembles in a pooled buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseHead {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl ResponseHead {
+    /// A JSON response at `status`.
+    pub fn json(status: u16) -> Self {
+        ResponseHead {
+            status,
+            content_type: "application/json",
+        }
+    }
+
+    /// A binary frame response (`200`).
+    pub fn frame() -> Self {
+        ResponseHead {
+            status: 200,
+            content_type: "application/x-cfc-frame",
+        }
+    }
+}
+
+/// Serialize head + body to the stream. `keep_alive` controls the
+/// `Connection` header the client sees — the caller must actually close
+/// the connection when it sends `false`.
+pub fn write_response(
+    w: &mut impl Write,
+    head: ResponseHead,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nServer: cfc-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        head.status,
+        reason(head.status),
+        head.content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    w.write_all(header.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let req = parse("GET /fields HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/fields");
+        assert_eq!(req.query, "");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn splits_query_and_decodes_path() {
+        let req = parse("GET /field/R%48/region?start=0,0&shape=4,4 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/field/RH/region");
+        assert_eq!(req.query, "start=0,0&shape=4,4");
+    }
+
+    #[test]
+    fn connection_semantics() {
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse("\r\n\r\n"), Err(RequestError::Malformed(_))));
+        assert!(matches!(
+            parse("GET /\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(RequestError::Closed)));
+    }
+
+    #[test]
+    fn rejects_bodies_and_oversize() {
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"),
+            Err(RequestError::BodyUnsupported)
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(RequestError::BodyUnsupported)
+        ));
+        let long = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "a".repeat(MAX_REQUEST_LINE_BYTES)
+        );
+        assert!(matches!(parse(&long), Err(RequestError::TooLarge(_))));
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "X-H: v\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert!(matches!(parse(&many), Err(RequestError::TooLarge(_))));
+    }
+
+    #[test]
+    fn percent_decode_edge_cases() {
+        assert_eq!(percent_decode("/plain").unwrap(), "/plain");
+        assert_eq!(percent_decode("%2Fa%2fb").unwrap(), "/a/b");
+        assert!(percent_decode("%2").is_err());
+        assert!(percent_decode("%zz").is_err());
+        assert_eq!(percent_decode("a+b").unwrap(), "a+b");
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, ResponseHead::json(200), b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Typed parsing of `Region` requests from URL query strings.
+//!
+//! The region endpoint addresses an axis-aligned box as two comma-joined
+//! integer lists:
+//!
+//! ```text
+//! /field/RH/region?start=0,0,0&shape=4,64,64
+//! ```
+//!
+//! [`region_from_query`] turns that into a validated
+//! [`cfc_tensor::Region`] or a [`RegionQueryError`] that names exactly
+//! what was wrong — missing or duplicated parameters, unparseable or
+//! overflowing integers, rank mismatches, empty extents. The parser never
+//! panics on any input (in particular it front-runs the panicking
+//! `Region::from_ranges` constructor on empty axes and start+shape
+//! overflow).
+//!
+//! Bounds against a concrete field shape are *not* checked here — the
+//! caller validates the parsed region against the field it addresses
+//! (`Region::validate`), which is where out-of-range requests become
+//! `422` responses.
+
+use cfc_tensor::{Region, MAX_DIMS};
+
+/// Why a query string does not describe a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionQueryError {
+    /// A required parameter (`start` or `shape`) is absent.
+    MissingParam(&'static str),
+    /// A required parameter appears more than once.
+    DuplicateParam(&'static str),
+    /// A parameter other than `start`/`shape` was supplied.
+    UnknownParam(String),
+    /// A list element failed to parse as a non-negative integer (also
+    /// covers values too large for `usize`).
+    BadInteger {
+        /// Which parameter held the bad element.
+        param: &'static str,
+        /// The element as received.
+        value: String,
+    },
+    /// `start` and `shape` list different numbers of axes.
+    RankMismatch {
+        /// Axes in `start`.
+        start: usize,
+        /// Axes in `shape`.
+        shape: usize,
+    },
+    /// The axis count is outside the supported `1..=MAX_DIMS`.
+    BadRank(usize),
+    /// A `shape` extent of zero (regions are never empty).
+    EmptyAxis(usize),
+    /// `start + shape` overflows the index space on an axis.
+    Overflow(usize),
+}
+
+impl std::fmt::Display for RegionQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionQueryError::MissingParam(p) => write!(f, "missing query parameter `{p}`"),
+            RegionQueryError::DuplicateParam(p) => write!(f, "duplicate query parameter `{p}`"),
+            RegionQueryError::UnknownParam(p) => write!(f, "unknown query parameter `{p}`"),
+            RegionQueryError::BadInteger { param, value } => {
+                write!(
+                    f,
+                    "`{param}` element {value:?} is not a valid non-negative integer"
+                )
+            }
+            RegionQueryError::RankMismatch { start, shape } => {
+                write!(f, "`start` lists {start} axes but `shape` lists {shape}")
+            }
+            RegionQueryError::BadRank(n) => {
+                write!(f, "{n} axes outside the supported 1..={MAX_DIMS}")
+            }
+            RegionQueryError::EmptyAxis(k) => write!(f, "axis {k} has zero extent"),
+            RegionQueryError::Overflow(k) => {
+                write!(f, "start + shape overflows the index space on axis {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegionQueryError {}
+
+fn parse_list(param: &'static str, raw: &str) -> Result<Vec<usize>, RegionQueryError> {
+    raw.split(',')
+        .map(|part| {
+            let part = part.trim();
+            part.parse::<usize>()
+                .map_err(|_| RegionQueryError::BadInteger {
+                    param,
+                    value: part.to_string(),
+                })
+        })
+        .collect()
+}
+
+/// Parse `start=…&shape=…` into a [`Region`]. See the [module docs](self)
+/// for the grammar and error taxonomy.
+pub fn region_from_query(query: &str) -> Result<Region, RegionQueryError> {
+    let mut start: Option<Vec<usize>> = None;
+    let mut shape: Option<Vec<usize>> = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "start" => {
+                if start.is_some() {
+                    return Err(RegionQueryError::DuplicateParam("start"));
+                }
+                start = Some(parse_list("start", value)?);
+            }
+            "shape" => {
+                if shape.is_some() {
+                    return Err(RegionQueryError::DuplicateParam("shape"));
+                }
+                shape = Some(parse_list("shape", value)?);
+            }
+            other => return Err(RegionQueryError::UnknownParam(other.to_string())),
+        }
+    }
+    let start = start.ok_or(RegionQueryError::MissingParam("start"))?;
+    let shape = shape.ok_or(RegionQueryError::MissingParam("shape"))?;
+    if start.len() != shape.len() {
+        return Err(RegionQueryError::RankMismatch {
+            start: start.len(),
+            shape: shape.len(),
+        });
+    }
+    if !(1..=MAX_DIMS).contains(&start.len()) {
+        return Err(RegionQueryError::BadRank(start.len()));
+    }
+    let mut ranges = Vec::with_capacity(start.len());
+    for (k, (&s, &extent)) in start.iter().zip(&shape).enumerate() {
+        if extent == 0 {
+            return Err(RegionQueryError::EmptyAxis(k));
+        }
+        let end = s.checked_add(extent).ok_or(RegionQueryError::Overflow(k))?;
+        ranges.push((s, end));
+    }
+    Ok(Region::from_ranges(&ranges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_queries() {
+        assert_eq!(
+            region_from_query("start=0,0,0&shape=4,64,64").unwrap(),
+            Region::d3(0, 4, 0, 64, 0, 64)
+        );
+        assert_eq!(
+            region_from_query("shape=8&start=3").unwrap(),
+            Region::d1(3, 11)
+        );
+        // whitespace around elements tolerated
+        assert_eq!(
+            region_from_query("start=1, 2&shape= 3,4").unwrap(),
+            Region::d2(1, 4, 2, 6)
+        );
+    }
+
+    #[test]
+    fn rejects_missing_and_duplicate_params() {
+        assert_eq!(
+            region_from_query(""),
+            Err(RegionQueryError::MissingParam("start"))
+        );
+        assert_eq!(
+            region_from_query("start=0,0"),
+            Err(RegionQueryError::MissingParam("shape"))
+        );
+        assert_eq!(
+            region_from_query("start=1&start=2&shape=3"),
+            Err(RegionQueryError::DuplicateParam("start"))
+        );
+        assert_eq!(
+            region_from_query("start=1&shape=2&limit=9"),
+            Err(RegionQueryError::UnknownParam("limit".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_integers() {
+        for bad in [
+            "start=a&shape=2",
+            "start=-1&shape=2",
+            "start=1.5&shape=2",
+            "start=&shape=2",
+        ] {
+            assert!(
+                matches!(
+                    region_from_query(bad),
+                    Err(RegionQueryError::BadInteger { .. })
+                ),
+                "{bad} should be a BadInteger error"
+            );
+        }
+        // a value that overflows usize is a parse error, not a panic
+        assert!(matches!(
+            region_from_query("start=99999999999999999999999999&shape=2"),
+            Err(RegionQueryError::BadInteger { param: "start", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rank_problems() {
+        assert_eq!(
+            region_from_query("start=0,0&shape=4,64,64"),
+            Err(RegionQueryError::RankMismatch { start: 2, shape: 3 })
+        );
+        assert_eq!(
+            region_from_query("start=0,0,0,0&shape=1,1,1,1"),
+            Err(RegionQueryError::BadRank(4))
+        );
+    }
+
+    #[test]
+    fn rejects_empty_axes_and_overflow() {
+        assert_eq!(
+            region_from_query("start=0,3&shape=4,0"),
+            Err(RegionQueryError::EmptyAxis(1))
+        );
+        assert_eq!(
+            region_from_query(&format!("start={}&shape=2", usize::MAX)),
+            Err(RegionQueryError::Overflow(0))
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! End-to-end HTTP tests for `cfc-serve`: a real `ArchiveServer` on an
+//! ephemeral port, hammered over real sockets.
+//!
+//! * region and block bytes fetched over HTTP must be **bit-identical**
+//!   to direct `ArchiveStore::decode_region` / `decode_block` output,
+//!   from 8 concurrent client threads on keep-alive connections;
+//! * the error surface is typed: `404` for unknown fields and
+//!   out-of-range blocks, `422` for unsatisfiable regions, `400` for
+//!   malformed queries, `405` for non-GET methods;
+//! * `/fields` and `/stats` expose the manifest and consistent counters;
+//! * shutdown is clean: every server thread joins, the port stops
+//!   accepting, and a server dropped mid-traffic does not hang.
+
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cross_field_compression::core::archive::{ArchiveBuilder, ArchiveStore, StoreConfig};
+use cross_field_compression::core::TrainConfig;
+use cross_field_compression::tensor::{Dataset, Field, Region, Shape};
+
+use cfc_serve::{ArchiveServer, HttpClient, ServeConfig};
+
+const ROWS: usize = 96;
+const COLS: usize = 64;
+const CHUNK_ROWS: usize = 16;
+
+/// Coupled three-field snapshot (T, P anchors; RH a cross-field target)
+/// so the serving path exercises anchor-block decodes too.
+fn snapshot() -> Dataset {
+    let shape = Shape::d2(ROWS, COLS);
+    let t = Field::from_fn(shape, |i| {
+        ((i[0] as f32) * 0.13).sin() * 11.0 + ((i[1] as f32) * 0.05).cos() * 7.0 + 284.0
+    });
+    let p = Field::from_fn(shape, |i| {
+        1011.0 - (i[0] as f32) * 0.4 + ((i[1] as f32) * 0.06).sin() * 3.0
+    });
+    let rh = t.zip_map(&p, |tv, pv| {
+        0.5 * (tv - 284.0) + 0.05 * (pv - 1011.0) + 50.0
+    });
+    let mut ds = Dataset::new("SERVE-TEST", shape);
+    ds.push("T", t);
+    ds.push("P", p);
+    ds.push("RH", rh);
+    ds
+}
+
+/// Encode once per process (the write side trains a CFNN — the expensive
+/// part); every test serves its own store over the shared bytes.
+fn archive_bytes() -> Vec<u8> {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES
+        .get_or_init(|| {
+            ArchiveBuilder::relative(1e-3)
+                .train_config(TrainConfig::fast())
+                .cross_field("RH", &["T", "P"])
+                .chunk_elements(CHUNK_ROWS * COLS)
+                .build()
+                .write(&snapshot())
+                .expect("write test archive")
+        })
+        .clone()
+}
+
+fn store() -> ArchiveStore<Cursor<Vec<u8>>> {
+    ArchiveStore::open(Cursor::new(archive_bytes()), StoreConfig::default()).expect("parse")
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        read_timeout: Duration::from_millis(500),
+        ..ServeConfig::with_threads(4)
+    }
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_regions() {
+    let reference = Arc::new(store());
+    let server = ArchiveServer::bind(store(), "127.0.0.1:0", test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    std::thread::scope(|s| {
+        for ti in 0..8usize {
+            let reference = Arc::clone(&reference);
+            s.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for it in 0..12usize {
+                    let name = ["T", "P", "RH"][(ti + it) % 3];
+                    let r0 = (ti * 7 + it * 11) % (ROWS - 20);
+                    let c0 = (ti * 5 + it * 3) % (COLS - 16);
+                    let (h, w) = (20, 16);
+                    let resp = client
+                        .get(&format!(
+                            "/field/{name}/region?start={r0},{c0}&shape={h},{w}"
+                        ))
+                        .expect("region request");
+                    assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+                    let (header, payload) = resp.frame().expect("frame body");
+                    assert!(
+                        header.contains(&format!("\"field\": \"{name}\"")),
+                        "{header}"
+                    );
+                    assert!(
+                        header.contains(&format!("\"shape\": [{h}, {w}]")),
+                        "{header}"
+                    );
+                    let want = reference
+                        .decode_region(name, &Region::d2(r0, r0 + h, c0, c0 + w))
+                        .expect("direct decode");
+                    let want_bytes: Vec<u8> = want
+                        .as_slice()
+                        .iter()
+                        .flat_map(|v| v.to_le_bytes())
+                        .collect();
+                    assert_eq!(payload, want_bytes, "thread {ti} iter {it}: {name}");
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.region, 8 * 12);
+    assert_eq!(stats.connections, 8);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn block_endpoint_matches_direct_decode() {
+    let reference = store();
+    let server = ArchiveServer::bind(store(), "127.0.0.1:0", test_config()).expect("bind");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    let n_blocks = reference.field_info("RH").unwrap().n_blocks;
+    assert!(n_blocks > 1, "test archive must be chunked");
+    for idx in 0..n_blocks {
+        let resp = client
+            .get(&format!("/field/RH/block/{idx}"))
+            .expect("block request");
+        assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+        let got = resp.payload_f32().expect("frame payload");
+        let want = reference.decode_block("RH", idx).expect("direct decode");
+        assert_eq!(got.len(), want.len());
+        assert!(
+            got.iter()
+                .zip(want.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "block {idx} bytes differ"
+        );
+    }
+}
+
+#[test]
+fn typed_error_statuses() {
+    let server = ArchiveServer::bind(store(), "127.0.0.1:0", test_config()).expect("bind");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    // unknown field → 404 (region, block, and the field prefix itself)
+    for target in [
+        "/field/NOPE/region?start=0,0&shape=4,4",
+        "/field/NOPE/block/0",
+    ] {
+        let resp = client.get(target).expect("request");
+        assert_eq!(resp.status, 404, "{target}: {}", resp.body_str());
+        assert!(resp.body_str().contains("no field"), "{}", resp.body_str());
+    }
+    // out-of-range block index → 404
+    let resp = client.get("/field/RH/block/9999").expect("request");
+    assert_eq!(resp.status, 404);
+    // region out of bounds / wrong rank for the field → 422
+    for target in [
+        "/field/RH/region?start=90,0&shape=20,64",
+        "/field/RH/region?start=0,0,0&shape=4,4,4",
+    ] {
+        let resp = client.get(target).expect("request");
+        assert_eq!(resp.status, 422, "{target}: {}", resp.body_str());
+    }
+    // malformed query grammar → 400
+    for target in [
+        "/field/RH/region?start=a,b&shape=4,4",
+        "/field/RH/region?start=0,0",
+        "/field/RH/region?start=0,0&shape=4,0",
+        "/field/RH/block/notanumber",
+    ] {
+        let resp = client.get(target).expect("request");
+        assert_eq!(resp.status, 400, "{target}: {}", resp.body_str());
+    }
+    // unknown route → 404, wrong method → 405
+    assert_eq!(client.get("/no/such/route").expect("request").status, 404);
+    {
+        let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+        raw.write_all(b"POST /fields HTTP/1.1\r\n\r\n").unwrap();
+        let mut text = String::new();
+        raw.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405"), "{text}");
+    }
+    let stats = server.stats();
+    assert!(stats.errors >= 10, "{stats:?}");
+}
+
+#[test]
+fn fields_stats_and_healthz_endpoints() {
+    let server = ArchiveServer::bind(store(), "127.0.0.1:0", test_config()).expect("bind");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    let resp = client.get("/healthz").expect("healthz");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_str().contains("ok"));
+
+    let manifest = client.get("/fields").expect("fields").body_str();
+    assert!(
+        manifest.contains("\"archive\": \"SERVE-TEST\""),
+        "{manifest}"
+    );
+    for (name, role) in [("T", "anchor"), ("P", "anchor"), ("RH", "cross-field")] {
+        assert!(
+            manifest.contains(&format!("\"name\": \"{name}\", \"role\": \"{role}\"")),
+            "{manifest}"
+        );
+    }
+    assert!(
+        manifest.contains(&format!("\"shape\": [{ROWS}, {COLS}]")),
+        "{manifest}"
+    );
+    assert!(
+        manifest.contains("\"anchors\": [\"T\", \"P\"]"),
+        "{manifest}"
+    );
+
+    // warm a region, then check the stats surface
+    client
+        .get("/field/RH/region?start=0,0&shape=16,64")
+        .expect("warm");
+    client
+        .get("/field/RH/region?start=0,0&shape=16,64")
+        .expect("hit");
+    let stats = client.get("/stats").expect("stats").body_str();
+    for key in [
+        "\"uptime_secs\"",
+        "\"connections\"",
+        "\"rejected_saturated\"",
+        "\"region\": 2",
+        "\"hits\"",
+        "\"hit_rate\"",
+    ] {
+        assert!(stats.contains(key), "missing {key} in {stats}");
+    }
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = ArchiveServer::bind(store(), "127.0.0.1:0", test_config()).expect("bind");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    for _ in 0..32 {
+        let resp = client.get("/healthz").expect("keep-alive request");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.healthz, 32);
+    assert_eq!(stats.connections, 1, "one keep-alive connection expected");
+}
+
+#[test]
+fn shutdown_is_clean_and_joins_all_threads() {
+    let mut server = ArchiveServer::bind(store(), "127.0.0.1:0", test_config()).expect("bind");
+    let addr = server.local_addr();
+    // in-flight traffic right up to shutdown
+    let mut client = HttpClient::connect(addr).expect("connect");
+    for _ in 0..4 {
+        assert_eq!(client.get("/healthz").expect("request").status, 200);
+    }
+    drop(client);
+    server.shutdown(); // joins acceptor + workers; must not hang
+    server.shutdown(); // idempotent
+
+    // the listener is gone: a fresh connection must fail or be dropped
+    // without a response
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = Vec::new();
+            let n = s.read_to_end(&mut buf).map(|_| buf.len()).unwrap_or(0);
+            assert_eq!(
+                n,
+                0,
+                "served after shutdown: {:?}",
+                String::from_utf8_lossy(&buf)
+            );
+        }
+    }
+}
+
+#[test]
+fn server_drop_mid_traffic_does_not_hang() {
+    let server = ArchiveServer::bind(store(), "127.0.0.1:0", test_config()).expect("bind");
+    let addr = server.local_addr();
+    let mut client = HttpClient::connect(addr).expect("connect");
+    assert_eq!(client.get("/fields").expect("request").status, 200);
+    drop(server); // graceful: drains and joins via Drop
+                  // the kept-alive client connection is closed by the draining worker
+    client.set_timeout(Some(Duration::from_secs(2))).unwrap();
+    assert!(
+        client.get("/fields").is_err(),
+        "connection should be closed"
+    );
+}

@@ -123,6 +123,63 @@ fn hammered_store_matches_under_eviction_pressure() {
     );
 }
 
+/// `snapshot()` must be internally consistent at every instant, even with
+/// decoders racing it under eviction pressure: all counters are captured
+/// under one lock, so `cached_blocks == insertions - evictions`,
+/// `insertions <= misses`, and the hit rate can never exceed 1 — a
+/// half-applied update (e.g. a miss counted but its insertion not yet, read
+/// through independent atomics) would trip these.
+#[test]
+fn stats_snapshot_is_consistent_under_concurrent_load() {
+    let bytes = cross_field_archive(48, 32, 7);
+    // ~2-block budget: constant insert/evict churn while we snapshot
+    let store = Arc::new(ArchiveStore::new(
+        ArchiveReader::new(&bytes).unwrap(),
+        StoreConfig::with_capacity(2 * 7 * 32 * 4),
+    ));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for ti in 0..4u64 {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut rng = XorShift(0xFEED_F00D ^ ti);
+                for it in 0.. {
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    let name = ["T", "P", "RH"][(it as usize + ti as usize) % 3];
+                    let (r0, r1) = rng.range(48);
+                    let region = Region::d2(r0, r1, 0, 32);
+                    store.decode_region(name, &region).expect("decode");
+                }
+            });
+        }
+        for _ in 0..2000 {
+            let snap = store.snapshot();
+            assert_eq!(
+                snap.cached_blocks as u64,
+                snap.insertions - snap.evictions,
+                "inconsistent snapshot: {snap:?}"
+            );
+            assert!(
+                snap.insertions <= snap.misses,
+                "insertion without a miss: {snap:?}"
+            );
+            assert!(snap.hits <= snap.lookups(), "hits exceed lookups: {snap:?}");
+            assert!(snap.hit_rate() <= 1.0);
+            assert!(
+                snap.cached_bytes <= snap.capacity_bytes,
+                "budget violated: {snap:?}"
+            );
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let end = store.snapshot();
+    assert!(end.evictions > 0, "churn expected: {end:?}");
+    assert_eq!(end.cached_blocks as u64, end.insertions - end.evictions);
+}
+
 #[test]
 fn store_serves_v1_golden_fixture() {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

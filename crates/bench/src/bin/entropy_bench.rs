@@ -14,6 +14,7 @@ fn main() {
     let mut smoke = false;
     let mut label = String::from("current");
     let mut out_path: Option<String> = None;
+    let mut assert_floor: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -26,8 +27,13 @@ fn main() {
                 i += 1;
                 out_path = Some(args.get(i).expect("--out needs a value").clone());
             }
+            "--assert-floor" => {
+                i += 1;
+                let v = args.get(i).expect("--assert-floor needs a value (MB/s)");
+                assert_floor = Some(v.parse().expect("--assert-floor must be numeric"));
+            }
             other => {
-                eprintln!("unknown argument {other}; usage: entropy_bench [--smoke] [--label L] [--out PATH]");
+                eprintln!("unknown argument {other}; usage: entropy_bench [--smoke] [--label L] [--out PATH] [--assert-floor MB_S]");
                 std::process::exit(2);
             }
         }
@@ -63,8 +69,16 @@ fn main() {
         result.huffman_decode_mb_s / result.huffman_decode_reference_mb_s
     );
     println!(
+        "  huffman emit          {:>9.1} MB/s",
+        result.huffman_emit_mb_s
+    );
+    println!(
         "  codes encode          {:>9.1} MB/s",
         result.codes_encode_mb_s
+    );
+    println!(
+        "  lz parse              {:>9.1} MB/s (of payload bytes)",
+        result.lz_parse_mb_s
     );
     println!(
         "  codes decode          {:>9.1} MB/s",
@@ -84,6 +98,19 @@ fn main() {
     if let Err(e) = validate_json(&doc) {
         eprintln!("generated document failed schema validation: {e}");
         std::process::exit(1);
+    }
+    if let Some(floor) = assert_floor {
+        if result.archive_write_mb_s < floor {
+            eprintln!(
+                "FAIL: archive_write {:.1} MB/s below the committed floor {floor} MB/s",
+                result.archive_write_mb_s
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "archive_write {:.1} MB/s meets the floor {floor} MB/s",
+            result.archive_write_mb_s
+        );
     }
     if let Some(path) = out_path {
         if let Some(parent) = std::path::Path::new(&path).parent() {

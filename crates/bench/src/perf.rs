@@ -9,8 +9,14 @@
 //!   smooth fields),
 //! * `huffman_decode_reference` — the bit-serial reference decoder kept for
 //!   differential testing, i.e. the pre-optimization decode path,
+//! * `huffman_emit` — the batched word-level bit emission alone
+//!   (table already built, scratch output buffer reused), isolating the
+//!   per-symbol emit cost from tree construction,
 //! * `codes_encode` / `codes_decode` — the full residual-code stage
 //!   (Huffman + LZSS) through `cfc_sz::compressor`,
+//! * `lz_parse` — the LZSS match search alone over the staged Huffman
+//!   payload (MB/s of payload bytes parsed), isolating the dictionary
+//!   stage the codes pipeline pays per block,
 //! * `archive_write` / `archive_decode` — end-to-end chunked-archive
 //!   round-trip on a generated multi-field snapshot.
 //!
@@ -93,6 +99,11 @@ pub struct BenchRun {
     pub archive_decode_mb_s: f64,
     /// Whole-archive compression ratio.
     pub archive_ratio: f64,
+    /// LZSS parse stage alone, MB/s of payload bytes (0 when not measured —
+    /// older runs predate this key).
+    pub lz_parse_mb_s: f64,
+    /// Word-level Huffman bit emission alone (0 when not measured).
+    pub huffman_emit_mb_s: f64,
 }
 
 /// Synthetic quantization-code stream with the skew the entropy coder sees
@@ -162,6 +173,27 @@ pub fn run(label: &str, cfg: BenchConfig) -> BenchRun {
                 .expect("harness stream decodes"),
         );
     });
+    // emission alone: table already built, output buffer reused
+    let mut emit_buf = Vec::new();
+    let emit_s = best_secs(cfg.repeats, || {
+        emit_buf.clear();
+        table
+            .try_encode_append(std::hint::black_box(&codes), &mut emit_buf)
+            .expect("harness symbols are in the table");
+        std::hint::black_box(&emit_buf);
+    });
+
+    // LZ parse alone, over the same staged payload codes_encode compresses
+    let mut staged = table.serialize();
+    staged.extend_from_slice(&bits);
+    let staged_mb = staged.len() as f64 / 1e6;
+    let mut lz_scratch = cfc_sz::lossless::LzScratch::new();
+    let lz_s = best_secs(cfg.repeats, || {
+        std::hint::black_box(cfc_sz::lossless::parse_probe(
+            std::hint::black_box(&staged),
+            &mut lz_scratch,
+        ));
+    });
 
     let payload = encode_codes(&codes);
     let stage_enc_s = best_secs(cfg.repeats, || {
@@ -200,6 +232,8 @@ pub fn run(label: &str, cfg: BenchConfig) -> BenchRun {
         archive_write_mb_s: bench.write_mb_s,
         archive_decode_mb_s: bench.decode_all_mb_s,
         archive_ratio: bench.ratio,
+        lz_parse_mb_s: staged_mb / lz_s,
+        huffman_emit_mb_s: mb / emit_s,
     }
 }
 
@@ -230,6 +264,14 @@ pub fn to_json(runs: &[BenchRun]) -> String {
         );
         push_field(&mut out, "codes_encode_mb_s", r.codes_encode_mb_s, true);
         push_field(&mut out, "codes_decode_mb_s", r.codes_decode_mb_s, true);
+        // optional per-stage encode timings: only runs that measured them
+        // carry the keys (older committed runs predate them)
+        if r.lz_parse_mb_s > 0.0 {
+            push_field(&mut out, "lz_parse_mb_s", r.lz_parse_mb_s, true);
+        }
+        if r.huffman_emit_mb_s > 0.0 {
+            push_field(&mut out, "huffman_emit_mb_s", r.huffman_emit_mb_s, true);
+        }
         push_field(&mut out, "archive_write_mb_s", r.archive_write_mb_s, true);
         push_field(&mut out, "archive_decode_mb_s", r.archive_decode_mb_s, true);
         push_field(&mut out, "archive_ratio", r.archive_ratio, false);
@@ -254,8 +296,29 @@ pub const REQUIRED_KEYS: [&str; 7] = [
     "archive_ratio",
 ];
 
+/// Keys newer runs may carry (per-stage encode timings). When present they
+/// must be positive, but older committed runs legitimately lack them.
+pub const OPTIONAL_KEYS: [&str; 2] = ["lz_parse_mb_s", "huffman_emit_mb_s"];
+
+fn check_positive_values(doc: &str, key: &str) -> Result<(), String> {
+    let needle = format!("\"{key}\":");
+    for (at, _) in doc.match_indices(&needle) {
+        let rest = doc[at + needle.len()..].trim_start();
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        match num.parse::<f64>() {
+            Ok(v) if v > 0.0 && v.is_finite() => {}
+            _ => return Err(format!("key {key} has non-positive value {num:?}")),
+        }
+    }
+    Ok(())
+}
+
 /// Structural validation of a bench JSON document: schema marker present,
-/// at least one run, every required key present with a positive value.
+/// at least one run, every required key present with a positive value, and
+/// optional keys (when present) positive and at most once per run.
 /// (Not a general JSON parser — just enough to keep the CI smoke step from
 /// passing on an empty or truncated file.)
 pub fn validate_json(doc: &str) -> Result<(), String> {
@@ -267,25 +330,38 @@ pub fn validate_json(doc: &str) -> Result<(), String> {
         return Err("document holds no runs".into());
     }
     for key in REQUIRED_KEYS {
-        let needle = format!("\"{key}\":");
-        let count = doc.matches(&needle).count();
+        let count = doc.matches(&format!("\"{key}\":")).count();
         if count != n_runs {
             return Err(format!("key {key} appears {count} times for {n_runs} runs"));
         }
-        // every occurrence must be followed by a positive number
-        for (at, _) in doc.match_indices(&needle) {
-            let rest = doc[at + needle.len()..].trim_start();
-            let num: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-                .collect();
-            match num.parse::<f64>() {
-                Ok(v) if v > 0.0 && v.is_finite() => {}
-                _ => return Err(format!("key {key} has non-positive value {num:?}")),
-            }
+        check_positive_values(doc, key)?;
+    }
+    for key in OPTIONAL_KEYS {
+        let count = doc.matches(&format!("\"{key}\":")).count();
+        if count > n_runs {
+            return Err(format!("key {key} appears {count} times for {n_runs} runs"));
         }
+        check_positive_values(doc, key)?;
     }
     Ok(())
+}
+
+/// Extract a metric value from the run labelled `label` in a bench JSON
+/// document (the first occurrence of `key` after that label). Used by the
+/// committed-floor tests and the `--assert-floor` CI hook.
+pub fn run_metric(doc: &str, label: &str, key: &str) -> Option<f64> {
+    let at = doc.find(&format!("\"label\": \"{label}\""))?;
+    let tail = &doc[at..];
+    // stay inside this run object
+    let end = tail.find("\n  }").unwrap_or(tail.len());
+    let tail = &tail[..end];
+    let kat = tail.find(&format!("\"{key}\":"))?;
+    let rest = tail[kat + key.len() + 3..].trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse::<f64>().ok()
 }
 
 #[cfg(test)]
@@ -303,10 +379,9 @@ mod tests {
         assert_eq!(codes, synthetic_codes(10_000, 512));
     }
 
-    #[test]
-    fn json_roundtrip_validates() {
-        let run = BenchRun {
-            label: "unit".into(),
+    fn unit_run(label: &str) -> BenchRun {
+        BenchRun {
+            label: label.into(),
             n_symbols: 100,
             radius: 512,
             huffman_encode_mb_s: 1.0,
@@ -317,9 +392,46 @@ mod tests {
             archive_write_mb_s: 5.0,
             archive_decode_mb_s: 6.0,
             archive_ratio: 7.0,
-        };
-        let doc = to_json(&[run.clone(), run]);
+            lz_parse_mb_s: 0.0,
+            huffman_emit_mb_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let doc = to_json(&[unit_run("unit"), unit_run("unit")]);
         validate_json(&doc).expect("valid document");
+    }
+
+    #[test]
+    fn optional_stage_keys_validate_when_present() {
+        // one run with the per-stage keys, one (older) without: both valid
+        let with = BenchRun {
+            lz_parse_mb_s: 120.0,
+            huffman_emit_mb_s: 900.0,
+            ..unit_run("new")
+        };
+        let doc = to_json(&[unit_run("old"), with]);
+        assert_eq!(doc.matches("\"lz_parse_mb_s\":").count(), 1);
+        validate_json(&doc).expect("optional keys on a subset of runs");
+        // a zero-valued optional key must never be emitted (it would fail
+        // the positivity rule)
+        assert!(!to_json(&[unit_run("old")]).contains("lz_parse_mb_s"));
+    }
+
+    #[test]
+    fn run_metric_extracts_per_run_values() {
+        let mut a = unit_run("alpha");
+        a.archive_write_mb_s = 42.5;
+        let mut b = unit_run("beta");
+        b.archive_write_mb_s = 99.0;
+        b.lz_parse_mb_s = 300.0;
+        let doc = to_json(&[a, b]);
+        assert_eq!(run_metric(&doc, "alpha", "archive_write_mb_s"), Some(42.5));
+        assert_eq!(run_metric(&doc, "beta", "archive_write_mb_s"), Some(99.0));
+        assert_eq!(run_metric(&doc, "beta", "lz_parse_mb_s"), Some(300.0));
+        assert_eq!(run_metric(&doc, "alpha", "lz_parse_mb_s"), None);
+        assert_eq!(run_metric(&doc, "gamma", "archive_write_mb_s"), None);
     }
 
     #[test]
@@ -334,36 +446,28 @@ mod tests {
     }
 
     #[test]
+    fn committed_pr7_run_meets_encode_floors() {
+        // the encode-overhaul acceptance floors: ≥3× on archive write
+        // (36.74 → ≥110) and ≥250 MB/s on the codes stage
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_entropy.json");
+        let doc = std::fs::read_to_string(&path).expect("BENCH_entropy.json");
+        let write = run_metric(&doc, "pr7", "archive_write_mb_s")
+            .expect("pr7 run with archive_write_mb_s committed");
+        assert!(write >= 110.0, "pr7 archive_write_mb_s {write} < 110");
+        let enc = run_metric(&doc, "pr7", "codes_encode_mb_s").expect("pr7 codes_encode_mb_s");
+        assert!(enc >= 250.0, "pr7 codes_encode_mb_s {enc} < 250");
+    }
+
+    #[test]
     fn validation_rejects_broken_documents() {
         assert!(validate_json("{}").is_err());
-        let doc = to_json(&[BenchRun {
-            label: "bad".into(),
-            n_symbols: 1,
-            radius: 1,
-            huffman_encode_mb_s: 0.0, // non-positive
-            huffman_decode_mb_s: 1.0,
-            huffman_decode_reference_mb_s: 1.0,
-            codes_encode_mb_s: 1.0,
-            codes_decode_mb_s: 1.0,
-            archive_write_mb_s: 1.0,
-            archive_decode_mb_s: 1.0,
-            archive_ratio: 1.0,
-        }]);
-        assert!(validate_json(&doc).is_err());
+        let mut bad = unit_run("bad");
+        bad.huffman_encode_mb_s = 0.0; // non-positive
+        assert!(validate_json(&to_json(&[bad])).is_err());
         // truncation must fail
-        let good = to_json(&[BenchRun {
-            label: "g".into(),
-            n_symbols: 1,
-            radius: 1,
-            huffman_encode_mb_s: 1.0,
-            huffman_decode_mb_s: 1.0,
-            huffman_decode_reference_mb_s: 1.0,
-            codes_encode_mb_s: 1.0,
-            codes_decode_mb_s: 1.0,
-            archive_write_mb_s: 1.0,
-            archive_decode_mb_s: 1.0,
-            archive_ratio: 1.0,
-        }]);
+        let good = to_json(&[unit_run("g")]);
         assert!(validate_json(&good[..good.len() / 2]).is_err());
     }
 }

@@ -12,7 +12,8 @@ use std::io::Write;
 
 use bytes::BufMut;
 use cfc_sz::{
-    CfcError, DecodeScratch, EncodeScratch, ErrorBound, QuantLattice, QuantizerConfig, SzCompressor,
+    CfcError, DecodeScratch, EncodeScratch, ErrorBound, QuantLattice, QuantizerConfig, ScratchPool,
+    SzCompressor,
 };
 use cfc_tensor::{Dataset, Field, FieldStats, Shape};
 
@@ -402,10 +403,16 @@ impl ArchiveWriter {
         let tasks: Vec<(usize, usize)> = (0..independents.len())
             .flat_map(|fi| (0..n_blocks).map(move |bi| (fi, bi)))
             .collect();
+        // pooled scratch: worker buffers return to the pools between
+        // phases and between the sequential per-target encode loops, so
+        // steady-state capacity is paid once per thread for the whole
+        // archive, not once per run_parallel_scratch call
+        let enc_pool: ScratchPool<EncodeScratch> = ScratchPool::new(threads);
+        let dec_pool: ScratchPool<DecodeScratch> = ScratchPool::new(threads);
         let phase1 = run_parallel_scratch(
             tasks.len(),
             threads,
-            || (EncodeScratch::new(), DecodeScratch::new()),
+            || (enc_pool.get(), dec_pool.get()),
             |(enc_scratch, dec_scratch), t| {
                 let (fi, bi) = tasks[t];
                 let (_, field, role) = independents[fi];
@@ -416,12 +423,12 @@ impl ArchiveWriter {
                 };
                 let (r0, r1) = block_range(dim0, chunk_slabs, bi);
                 let slab = field.slab(r0, r1);
-                let stream = block.compress_with(&slab, enc_scratch)?;
+                let stream = block.compress_with(&slab, &mut *enc_scratch)?;
                 // anchors are round-tripped here: the decoder's view of an
                 // anchor IS the decoded block stream, so reusing these bytes
                 // keeps both sides bit-identical by construction
                 let decoded = if role == FieldRole::Anchor {
-                    Some(block.decompress_with(&stream.bytes, dec_scratch)?)
+                    Some(block.decompress_with(&stream.bytes, &mut *dec_scratch)?)
                 } else {
                     None
                 };
@@ -547,15 +554,21 @@ impl ArchiveWriter {
                 quantizer: self.cfg.quantizer,
                 predictor: cfc_sz::PredictorKind::Lorenzo,
             };
-            let blocks = run_parallel_scratch(n_blocks, threads, EncodeScratch::new, |s, bi| {
-                let (r0, r1) = block_range(dim0, chunk_slabs, bi);
-                let slab_shape = slab_shape_of(shape, r1 - r0);
-                let slab_lattice = lattice_slab(&lattice, shape, r0, r1, slab_shape);
-                let predictor =
-                    CrossFieldHybridPredictor::new(&block_diffs[bi], eb, hybrid.clone());
-                let (container, _) = sz.compress_lattice_with(&slab_lattice, &predictor, eb, s);
-                container.to_bytes()
-            });
+            let blocks = run_parallel_scratch(
+                n_blocks,
+                threads,
+                || enc_pool.get(),
+                |s, bi| {
+                    let (r0, r1) = block_range(dim0, chunk_slabs, bi);
+                    let slab_shape = slab_shape_of(shape, r1 - r0);
+                    let slab_lattice = lattice_slab(&lattice, shape, r0, r1, slab_shape);
+                    let predictor =
+                        CrossFieldHybridPredictor::new(&block_diffs[bi], eb, hybrid.clone());
+                    let (container, _) =
+                        sz.compress_lattice_with(&slab_lattice, &predictor, eb, &mut *s);
+                    container.to_bytes()
+                },
+            );
 
             let mut meta = Vec::new();
             meta.put_u64_le(model_bytes.len() as u64);

@@ -16,10 +16,16 @@
 pub const MAX_BITS_PER_CALL: u32 = 57;
 
 /// Append-only bit writer.
+///
+/// Writes accumulate in a 64-bit word and flush eight bytes at a time: a
+/// `write_bits` call only touches the byte buffer when the accumulator
+/// fills, so several short codes (the Huffman hot path) share one branch
+/// and one 8-byte store per 64 emitted bits. Between calls up to 63 bits
+/// may be staged; [`BitWriter::finish`] flushes the remainder.
 #[derive(Debug, Default)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Bits currently staged in `acc` (< 8 between calls).
+    /// Bits currently staged in `acc` (< 64 between calls).
     nbits: u32,
     /// Staged bits, LSB-first; bits at positions ≥ `nbits` are zero.
     acc: u64,
@@ -31,6 +37,16 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Writer that *appends* to `buf` — existing bytes are kept, so callers
+    /// can stage a header and the bitstream in one reusable allocation.
+    pub fn append_to(buf: Vec<u8>) -> Self {
+        BitWriter {
+            buf,
+            nbits: 0,
+            acc: 0,
+        }
+    }
+
     /// Write the low `n` bits of `value` (LSB first), `n ≤` [`MAX_BITS_PER_CALL`].
     #[inline]
     pub fn write_bits(&mut self, value: u64, n: u32) {
@@ -39,19 +55,19 @@ impl BitWriter {
             "write_bits supports at most {MAX_BITS_PER_CALL} bits per call"
         );
         debug_assert!(value < (1u64 << n), "value {value} wider than {n} bits");
-        self.acc |= value << self.nbits;
-        self.nbits += n;
-        if self.nbits >= 8 {
-            let bytes = (self.nbits / 8) as usize;
-            self.buf.extend_from_slice(&self.acc.to_le_bytes()[..bytes]);
-            // nbits peaks at 7 + 57 = 64, where the shift-by-64 below would
-            // be UB — the accumulator is simply empty then
-            self.acc = if bytes == 8 {
-                0
-            } else {
-                self.acc >> (bytes * 8)
-            };
-            self.nbits -= bytes as u32 * 8;
+        let total = self.nbits + n;
+        if total >= 64 {
+            // the accumulator fills: emit the whole word, carry the bits of
+            // `value` that did not fit. Shifts stay in range: nbits ≤ 63,
+            // and total ≥ 64 with n ≤ 57 forces nbits ≥ 7 > 0, so
+            // 64 − nbits ≤ 57.
+            let merged = self.acc | (value << self.nbits);
+            self.buf.extend_from_slice(&merged.to_le_bytes());
+            self.acc = value >> (64 - self.nbits);
+            self.nbits = total - 64;
+        } else {
+            self.acc |= value << self.nbits;
+            self.nbits = total;
         }
     }
 
@@ -66,11 +82,11 @@ impl BitWriter {
         self.buf.len() * 8 + self.nbits as usize
     }
 
-    /// Flush and return the byte buffer.
+    /// Flush and return the byte buffer (staged bits are padded to whole
+    /// bytes with zeros).
     pub fn finish(mut self) -> Vec<u8> {
-        if self.nbits > 0 {
-            self.buf.push(self.acc as u8);
-        }
+        let bytes = (self.nbits as usize).div_ceil(8);
+        self.buf.extend_from_slice(&self.acc.to_le_bytes()[..bytes]);
         self.buf
     }
 }
@@ -319,6 +335,30 @@ mod tests {
         for &v in &vals {
             assert_eq!(r.read_bits(MAX_BITS_PER_CALL), v);
         }
+    }
+
+    #[test]
+    fn finish_flushes_multi_byte_tail() {
+        // the word-level writer can hold up to 63 staged bits at finish()
+        let mut w = BitWriter::new();
+        w.write_bits(0x0055_AA55_AA55_AA55 & ((1 << 55) - 1), 55);
+        assert_eq!(w.bit_len(), 55);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 7);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(55), 0x0055_AA55_AA55_AA55 & ((1 << 55) - 1));
+    }
+
+    #[test]
+    fn append_to_preserves_prefix() {
+        let mut prefix = vec![0xDE, 0xAD];
+        prefix.reserve(64);
+        let mut w = BitWriter::append_to(prefix);
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        assert_eq!(&bytes[..2], &[0xDE, 0xAD]);
+        assert_eq!(bytes[2], 0b101);
+        assert!(bytes.capacity() >= 64, "appending keeps the allocation");
     }
 
     #[test]

@@ -75,49 +75,15 @@ pub fn encode(
 /// values to [`encode_residuals`] (prediction on the prequantized lattice
 /// is order-independent), but no per-call allocation. Per-block archive
 /// workers prefer this: blocks already run in parallel, so nested
-/// data-parallelism would only add overhead.
+/// data-parallelism would only add overhead. Dispatches to
+/// [`Predictor::residuals_into`], so structured predictors (Lorenzo) run
+/// their vectorized row kernels.
 pub fn encode_residuals_into(
     lattice: &QuantLattice,
     predictor: &dyn Predictor,
     out: &mut Vec<i64>,
 ) {
-    let shape = lattice.shape();
-    out.clear();
-    out.reserve(shape.len());
-    match shape.ndim() {
-        1 => {
-            for i in 0..shape.dims()[0] {
-                out.push(lattice.at(i).wrapping_sub(predictor.predict(lattice, &[i])));
-            }
-        }
-        2 => {
-            let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
-            for i in 0..rows {
-                for j in 0..cols {
-                    out.push(
-                        lattice
-                            .at(i * cols + j)
-                            .wrapping_sub(predictor.predict(lattice, &[i, j])),
-                    );
-                }
-            }
-        }
-        3 => {
-            let d = shape.dims();
-            for k in 0..d[0] {
-                for i in 0..d[1] {
-                    for j in 0..d[2] {
-                        out.push(
-                            lattice
-                                .at((k * d[1] + i) * d[2] + j)
-                                .wrapping_sub(predictor.predict(lattice, &[k, i, j])),
-                        );
-                    }
-                }
-            }
-        }
-        _ => unreachable!("Shape guarantees 1..=3 dims"),
-    }
+    predictor.residuals_into(lattice, out);
 }
 
 /// [`encode`] into reusable scratch buffers: residuals, codes, and

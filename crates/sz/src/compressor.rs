@@ -87,10 +87,20 @@ impl SzCompressor {
         );
         let mut container = Container::new(lattice.shape(), eb, self.quantizer.radius);
         codec::encode_with(lattice, predictor, &self.quantizer, scratch);
-        let (codes, outliers) = scratch.streams();
-        container.push(SectionTag::Residuals, encode_codes(codes));
-        container.push(SectionTag::Outliers, encode_outliers(outliers));
-        (container, outliers.len())
+        // split borrows: codes/outliers are inputs, payload/lz are staging
+        let crate::scratch::EncodeScratch {
+            codes,
+            outliers,
+            payload,
+            lz,
+            ..
+        } = scratch;
+        container.push(SectionTag::Residuals, encode_codes_into(codes, payload, lz));
+        container.push(
+            SectionTag::Outliers,
+            encode_outliers_into(outliers, payload, lz),
+        );
+        (container, scratch.streams().1.len())
     }
 
     /// Decode a container's residual sections with an arbitrary predictor.
@@ -204,10 +214,20 @@ impl SzCompressor {
                 codec::encode_with(&lattice, &reg, &self.quantizer, scratch)
             }
         };
-        let (codes, outliers) = scratch.streams();
+        // split borrows: codes/outliers are inputs, payload/lz are staging
+        let crate::scratch::EncodeScratch {
+            codes,
+            outliers,
+            payload,
+            lz,
+            ..
+        } = scratch;
         let n_outliers = outliers.len();
-        container.push(SectionTag::Residuals, encode_codes(codes));
-        container.push(SectionTag::Outliers, encode_outliers(outliers));
+        container.push(SectionTag::Residuals, encode_codes_into(codes, payload, lz));
+        container.push(
+            SectionTag::Outliers,
+            encode_outliers_into(outliers, payload, lz),
+        );
         scratch.track(before);
         Ok(EncodedStream {
             bytes: container.to_bytes(),
@@ -276,13 +296,24 @@ impl SzCompressor {
 
 /// Huffman + LZSS encode residual codes.
 pub fn encode_codes(codes: &[u32]) -> Vec<u8> {
+    encode_codes_into(codes, &mut Vec::new(), &mut lossless::LzScratch::new())
+}
+
+/// [`encode_codes`] through caller-owned staging: the Huffman table and
+/// bitstream land in `payload` (cleared first) and the lossless stage
+/// reuses `lz`, so per-block encode loops allocate only the output.
+pub fn encode_codes_into(
+    codes: &[u32],
+    payload: &mut Vec<u8>,
+    lz: &mut lossless::LzScratch,
+) -> Vec<u8> {
+    payload.clear();
     let table = HuffmanTable::from_symbols(codes);
-    let tbl = table.serialize();
-    let bits = table.encode(codes);
-    let mut payload = Vec::with_capacity(tbl.len() + bits.len());
-    payload.extend_from_slice(&tbl);
-    payload.extend_from_slice(&bits);
-    lossless::compress(&payload)
+    table.serialize_into(payload);
+    table
+        .try_encode_append(codes, payload)
+        .expect("table was built from these symbols");
+    lossless::compress_with(payload, lz)
 }
 
 /// Inverse of [`encode_codes`]. Panics on corrupt input; use
@@ -322,13 +353,23 @@ pub fn try_decode_codes_into(
 
 /// Serialize outliers (zig-zag varint) and LZSS the result.
 pub fn encode_outliers(outliers: &[i64]) -> Vec<u8> {
-    let mut raw = Vec::with_capacity(8 + outliers.len() * 3);
-    raw.extend_from_slice(&(outliers.len() as u64).to_le_bytes());
+    encode_outliers_into(outliers, &mut Vec::new(), &mut lossless::LzScratch::new())
+}
+
+/// [`encode_outliers`] through caller-owned staging (see
+/// [`encode_codes_into`]).
+pub fn encode_outliers_into(
+    outliers: &[i64],
+    payload: &mut Vec<u8>,
+    lz: &mut lossless::LzScratch,
+) -> Vec<u8> {
+    payload.clear();
+    payload.extend_from_slice(&(outliers.len() as u64).to_le_bytes());
     for &v in outliers {
         let zz = ((v << 1) ^ (v >> 63)) as u64;
-        write_varint(&mut raw, zz);
+        write_varint(payload, zz);
     }
-    lossless::compress(&raw)
+    lossless::compress_with(payload, lz)
 }
 
 /// Inverse of [`encode_outliers`]. Panics on corrupt input; use

@@ -8,6 +8,12 @@
 //! `(symbol, length)` table — canonical code assignment reconstructs the
 //! exact codes on the decoder side.
 //!
+//! Encoding is word-level: symbols are counted through a dense histogram,
+//! and emission merges code *pairs* (≤ 64 bits, since codes are ≤ 32 bits)
+//! into a local 64-bit accumulator that flushes eight bytes at a time —
+//! see [`HuffmanTable::try_encode_append`], the checked hot path every
+//! internal caller uses.
+//!
 //! Decoding is table-driven: a [`TABLE_BITS`]-wide primary lookup maps the
 //! next bits of the stream (which hold the bit-reversed code prefix,
 //! LSB-first) straight to `(symbol, code_len)`, so the common short codes
@@ -17,7 +23,7 @@
 //! bit-serial decoder is kept as [`HuffmanTable::try_decode_reference`]
 //! for differential testing.
 
-use crate::bitstream::{BitReader, BitWriter};
+use crate::bitstream::BitReader;
 use crate::error::CfcError;
 use std::sync::OnceLock;
 
@@ -75,12 +81,32 @@ impl HuffmanTable {
     }
 
     /// Count symbols in `data` and build the table.
+    ///
+    /// Compact alphabets (every production stream: residual codes ≤
+    /// 2·radius, LZ byte streams ≤ 255) are counted through a dense
+    /// histogram — one cache-resident pass instead of a tree insert per
+    /// symbol; pathologically wide alphabets fall back to a map.
     pub fn from_symbols(data: &[u32]) -> Self {
-        let mut counts = std::collections::BTreeMap::new();
-        for &s in data {
-            *counts.entry(s).or_insert(0u64) += 1;
-        }
-        let freqs: Vec<(u32, u64)> = counts.into_iter().collect();
+        let max_sym = data.iter().copied().max().unwrap_or(0) as usize;
+        // dense counting pays for itself while the histogram stays small
+        // relative to the data (and caps the transient allocation)
+        let freqs: Vec<(u32, u64)> = if max_sym < (1 << 20).max(data.len() * 4) {
+            let mut hist = vec![0u64; max_sym + 1];
+            for &s in data {
+                hist[s as usize] += 1;
+            }
+            hist.iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(s, &c)| (s as u32, c))
+                .collect()
+        } else {
+            let mut counts = std::collections::BTreeMap::new();
+            for &s in data {
+                *counts.entry(s).or_insert(0u64) += 1;
+            }
+            counts.into_iter().collect()
+        };
         Self::from_frequencies(&freqs)
     }
 
@@ -125,18 +151,82 @@ impl HuffmanTable {
 
     /// Encode `data` and return the packed bits.
     ///
-    /// Canonical codes are MSB-first; the bit writer is LSB-first, so the
+    /// Canonical codes are MSB-first; the bitstream is LSB-first, so the
     /// lookup table stores bit-reversed codes — writing them LSB-first puts
     /// the MSB on the stream first, matching the decoder's peek order.
+    ///
+    /// Panics when `data` contains a symbol absent from the table; use
+    /// [`HuffmanTable::try_encode`] to get a typed error instead.
     pub fn encode(&self, data: &[u32]) -> Vec<u8> {
-        let lut = self.enc_lut();
-        let mut w = BitWriter::new();
-        for &s in data {
-            let (code, len) = lut[s as usize];
-            debug_assert!(len > 0, "symbol {s} not in table");
-            w.write_bits(code, len);
+        self.try_encode(data)
+            .expect("symbol absent from Huffman table")
+    }
+
+    /// Fallible [`HuffmanTable::encode`]: a symbol with no code in this
+    /// table — above the largest tabled symbol or simply never counted —
+    /// returns [`CfcError::InvalidInput`] instead of panicking (or, worse,
+    /// silently emitting zero bits and corrupting the stream).
+    pub fn try_encode(&self, data: &[u32]) -> Result<Vec<u8>, CfcError> {
+        let mut out = Vec::new();
+        self.try_encode_append(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`HuffmanTable::try_encode`] appending to a caller-owned buffer, so
+    /// encode loops reuse one allocation across streams (and can stage a
+    /// serialized table and its bitstream contiguously).
+    ///
+    /// The emission loop is word-level: codes accumulate in a local 64-bit
+    /// word and flush eight bytes at a time, with symbol *pairs* merged
+    /// into one accumulator update when their combined width allows (codes
+    /// are ≤ [`MAX_CODE_LEN`] = 32 bits, so any pair fits in 64).
+    ///
+    /// On error `out` may hold a partial bitstream; callers discard its
+    /// contents, not the buffer.
+    pub fn try_encode_append(&self, data: &[u32], out: &mut Vec<u8>) -> Result<(), CfcError> {
+        #[inline]
+        fn lut_get(lut: &[(u64, u32)], s: u32) -> Result<(u64, u32), CfcError> {
+            match lut.get(s as usize) {
+                Some(&(code, len)) if len > 0 => Ok((code, len)),
+                _ => Err(CfcError::InvalidInput(format!(
+                    "symbol {s} has no code in this Huffman table"
+                ))),
+            }
         }
-        w.finish()
+        let lut = self.enc_lut();
+        let mut acc = 0u64;
+        let mut nbits = 0u32;
+        // bits at positions ≥ nbits of acc are zero; flush a full word as
+        // soon as it fills, carrying the overflow
+        macro_rules! push_bits {
+            ($code:expr, $len:expr) => {{
+                let (code, len): (u64, u32) = ($code, $len);
+                let total = nbits + len;
+                if total >= 64 {
+                    let merged = acc | (code << nbits);
+                    out.extend_from_slice(&merged.to_le_bytes());
+                    // nbits == 0 only when len == 64 exactly (a maximal
+                    // pair on an empty accumulator): nothing carries
+                    acc = if nbits == 0 { 0 } else { code >> (64 - nbits) };
+                    nbits = total - 64;
+                } else {
+                    acc |= code << nbits;
+                    nbits = total;
+                }
+            }};
+        }
+        let mut pairs = data.chunks_exact(2);
+        for pair in &mut pairs {
+            let (c0, l0) = lut_get(lut, pair[0])?;
+            let (c1, l1) = lut_get(lut, pair[1])?;
+            push_bits!(c0 | (c1 << l0), l0 + l1);
+        }
+        if let [s] = *pairs.remainder() {
+            let (code, len) = lut_get(lut, s)?;
+            push_bits!(code, len);
+        }
+        out.extend_from_slice(&acc.to_le_bytes()[..(nbits as usize).div_ceil(8)]);
+        Ok(())
     }
 
     /// Decode `count` symbols from `bits`.
@@ -253,12 +343,19 @@ impl HuffmanTable {
     /// Serialize the `(symbol, length)` table compactly.
     pub fn serialize(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(4 + self.lengths.len() * 5);
+        self.serialize_into(&mut out);
+        out
+    }
+
+    /// [`HuffmanTable::serialize`] appending to a caller-owned buffer, so
+    /// encode loops can stage table + bitstream in one reused allocation.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.reserve(4 + self.lengths.len() * 5);
         out.extend_from_slice(&(self.lengths.len() as u32).to_le_bytes());
         for &(sym, len) in &self.lengths {
             out.extend_from_slice(&sym.to_le_bytes());
             out.push(len as u8);
         }
-        out
     }
 
     /// Inverse of [`HuffmanTable::serialize`]; returns the table and bytes consumed.
@@ -726,6 +823,94 @@ mod tests {
             assert!(fast.is_err(), "cut {cut} must fail");
             assert_eq!(fast.is_err(), slow.is_err());
         }
+    }
+
+    #[test]
+    fn absent_symbol_is_a_typed_error_not_a_silent_zero_code() {
+        // regression: `encode` used to guard absent symbols with a
+        // debug_assert only — release builds emitted a zero-length code and
+        // produced an undecodable stream
+        let table = HuffmanTable::from_symbols(&[1, 1, 2, 2, 5, 5]);
+        // 3 is below max_sym but was never counted: no code
+        let err = table.try_encode(&[1, 3, 2]).unwrap_err();
+        assert!(matches!(err, CfcError::InvalidInput(_)), "{err:?}");
+        // the stream length must not silently shrink either: a valid
+        // prefix followed by the bad symbol still errors
+        assert!(table.try_encode(&[1, 2, 5, 3]).is_err());
+    }
+
+    #[test]
+    fn symbol_above_max_sym_is_a_typed_error_not_a_panic() {
+        // regression: symbols above the dense LUT's max_sym used to index
+        // out of bounds and panic from a public API
+        let table = HuffmanTable::from_symbols(&[7, 7, 9]);
+        for bad in [10u32, 1000, u32::MAX] {
+            let err = table.try_encode(&[7, bad]).unwrap_err();
+            assert!(matches!(err, CfcError::InvalidInput(_)), "{bad}: {err:?}");
+        }
+        // in-table symbols still encode fine through the checked path
+        let bits = table.try_encode(&[7, 9, 7]).unwrap();
+        assert_eq!(table.decode(&bits, 3), vec![7, 9, 7]);
+    }
+
+    #[test]
+    fn encode_append_reuses_and_appends() {
+        let data: Vec<u32> = (0..500).map(|i| i % 9).collect();
+        let table = HuffmanTable::from_symbols(&data);
+        let direct = table.encode(&data);
+        let mut buf = vec![0xAB, 0xCD];
+        table.try_encode_append(&data, &mut buf).unwrap();
+        assert_eq!(&buf[..2], &[0xAB, 0xCD]);
+        assert_eq!(&buf[2..], &direct[..]);
+        // steady state: same stream through the warmed buffer reallocates
+        // nothing
+        buf.clear();
+        let cap = buf.capacity();
+        table.try_encode_append(&data, &mut buf).unwrap();
+        assert_eq!(buf, direct);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn word_level_emission_matches_reference_decoder_on_long_codes() {
+        // deep table: code pairs span the 64-bit accumulator boundary in
+        // every alignment, including the maximal 32+32 pair
+        let freqs: Vec<(u32, u64)> = (0..40u32).map(|i| (i, 1u64 << i.min(50))).collect();
+        let table = HuffmanTable::from_frequencies(&freqs);
+        let data: Vec<u32> = (0..40u32).rev().cycle().take(5000).collect();
+        let bits = table.encode(&data);
+        assert_eq!(table.try_decode_reference(&bits, data.len()).unwrap(), data);
+        assert_eq!(table.try_decode(&bits, data.len()).unwrap(), data);
+        // odd-length input exercises the unpaired-tail path
+        let odd = &data[..4999];
+        let bits = table.encode(odd);
+        assert_eq!(table.try_decode_reference(&bits, odd.len()).unwrap(), odd);
+    }
+
+    #[test]
+    fn dense_and_map_counting_build_identical_tables() {
+        // the wide-alphabet fallback must produce the same canonical table
+        // as dense counting does for the same multiset of symbols
+        let data: Vec<u32> = (0..4000u32).map(|i| (i * i) % 700).collect();
+        let wide: Vec<u32> = data.iter().map(|&s| s * (1 << 22)).collect();
+        let t1 = HuffmanTable::from_symbols(&wide);
+        let mut counts = std::collections::BTreeMap::new();
+        for &s in &wide {
+            *counts.entry(s).or_insert(0u64) += 1;
+        }
+        let freqs: Vec<(u32, u64)> = counts.into_iter().collect();
+        let t2 = HuffmanTable::from_frequencies(&freqs);
+        assert_eq!(t1.serialize(), t2.serialize());
+        assert_eq!(t1.encode(&wide), t2.encode(&wide));
+    }
+
+    #[test]
+    fn serialize_into_matches_serialize() {
+        let table = HuffmanTable::from_symbols(&[1, 1, 1, 4, 4, 200]);
+        let mut buf = vec![9u8];
+        table.serialize_into(&mut buf);
+        assert_eq!(buf[0], 9);
+        assert_eq!(&buf[1..], &table.serialize()[..]);
     }
 
     #[test]

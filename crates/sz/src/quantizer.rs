@@ -94,6 +94,10 @@ impl QuantizerConfig {
 
     /// [`QuantizerConfig::encode`] into caller-owned buffers (cleared
     /// first), so per-block encode loops reuse steady-state capacity.
+    ///
+    /// The codes pass is branchless (a select per element, which LLVM
+    /// vectorizes); outliers — rare by construction — are collected in a
+    /// second pass only when the first saw at least one escape.
     pub fn encode_into(
         &self,
         deltas: &[i64],
@@ -103,14 +107,28 @@ impl QuantizerConfig {
     ) {
         assert_eq!(deltas.len(), lattice.len());
         codes.clear();
-        codes.reserve(deltas.len());
         outliers.clear();
-        for (&d, &q) in deltas.iter().zip(lattice) {
-            let (code, out) = self.encode_one(d, q);
-            codes.push(code);
-            if let Some(v) = out {
-                outliers.push(v);
+        let r = self.radius as i64;
+        let esc = self.escape();
+        let mut escapes = 0usize;
+        codes.extend(deltas.iter().map(|&d| {
+            let in_range = d > -r && d < r;
+            escapes += !in_range as usize;
+            if in_range {
+                (d + r) as u32
+            } else {
+                esc
             }
+        }));
+        if escapes > 0 {
+            outliers.reserve(escapes);
+            outliers.extend(
+                deltas
+                    .iter()
+                    .zip(lattice)
+                    .filter(|&(&d, _)| !(d > -r && d < r))
+                    .map(|(_, &q)| q),
+            );
         }
     }
 }

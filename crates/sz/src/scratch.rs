@@ -8,10 +8,12 @@
 //! it to the `*_with` codec entry points
 //! ([`crate::SzCompressor::compress_with`],
 //! [`crate::SzCompressor::decompress_with`]); after the first block these
-//! buffers have steady-state capacity. Smaller transient allocations
-//! remain (container section copies, per-stream Huffman tables, the LZ
-//! token-section vectors) — the scratch covers the element-proportional
-//! buffers, not every allocation on the path.
+//! buffers have steady-state capacity. [`EncodeScratch`] also embeds the
+//! staged entropy payload and the LZSS matcher state
+//! ([`crate::lossless::LzScratch`]), so the whole
+//! residuals→Huffman→LZ encode chain is allocation-free at steady state;
+//! only small transients remain (per-stream Huffman tables, section
+//! headers).
 //!
 //! Both types count buffer *growths* (a capacity increase on any internal
 //! buffer) so tests can assert the covered buffers really stop growing in
@@ -64,7 +66,8 @@ impl DecodeScratch {
 }
 
 /// Reusable buffers for the encode path: prediction residuals, their
-/// quantized codes, and the escaped outlier values.
+/// quantized codes, the escaped outlier values, the staged entropy
+/// payload, and the LZ matcher state.
 #[derive(Debug, Default)]
 pub struct EncodeScratch {
     /// Per-sample prediction residuals.
@@ -73,6 +76,11 @@ pub struct EncodeScratch {
     pub(crate) codes: Vec<u32>,
     /// Escaped lattice values.
     pub(crate) outliers: Vec<i64>,
+    /// Staged pre-lossless payload (Huffman table + bits, or outlier
+    /// varints).
+    pub(crate) payload: Vec<u8>,
+    /// LZSS hash chains, token list, and stream staging.
+    pub(crate) lz: crate::lossless::LzScratch,
     /// Times any buffer had to grow its capacity.
     pub(crate) growths: usize,
 }
@@ -96,19 +104,23 @@ impl EncodeScratch {
     }
 
     /// Record capacity changes against a pre-operation snapshot.
-    pub(crate) fn track(&mut self, before: (usize, usize, usize)) {
-        let (d, c, o) = before;
+    pub(crate) fn track(&mut self, before: (usize, usize, usize, usize, usize)) {
+        let (d, c, o, p, l) = before;
         self.growths += usize::from(self.deltas.capacity() > d)
             + usize::from(self.codes.capacity() > c)
-            + usize::from(self.outliers.capacity() > o);
+            + usize::from(self.outliers.capacity() > o)
+            + usize::from(self.payload.capacity() > p)
+            + usize::from(self.lz.cap_sum() > l);
     }
 
     /// Capacity snapshot for [`EncodeScratch::track`].
-    pub(crate) fn caps(&self) -> (usize, usize, usize) {
+    pub(crate) fn caps(&self) -> (usize, usize, usize, usize, usize) {
         (
             self.deltas.capacity(),
             self.codes.capacity(),
             self.outliers.capacity(),
+            self.payload.capacity(),
+            self.lz.cap_sum(),
         )
     }
 }
@@ -221,8 +233,14 @@ mod tests {
         s.deltas.reserve(10);
         s.codes.reserve(10);
         s.outliers.reserve(10);
+        s.payload.reserve(10);
         s.track(before);
-        assert_eq!(s.growths(), 3);
+        assert_eq!(s.growths(), 4);
+        // LZ scratch growth counts as one more
+        let before = s.caps();
+        let _ = crate::lossless::compress_with(&vec![7u8; 4096], &mut s.lz);
+        s.track(before);
+        assert_eq!(s.growths(), 5);
     }
 
     #[test]

@@ -136,6 +136,110 @@ fn steady_state_block_decode_reuses_buffers() {
     );
 }
 
+/// Property sweep over the batched encode pipeline: random skewed /
+/// uniform / wide symbol streams through word-level Huffman emission and
+/// the reusable scratch chain, checked for byte identity with the
+/// allocating path, round-trip equality against the bit-serial reference
+/// decoder, and zero steady-state scratch growth.
+mod encode_sweep {
+    use cross_field_compression::sz::compressor::{
+        encode_codes, encode_codes_into, try_decode_codes,
+    };
+    use cross_field_compression::sz::huffman::HuffmanTable;
+    use cross_field_compression::sz::lossless;
+    use cross_field_compression::sz::{EncodeScratch, SzCompressor};
+    use cross_field_compression::tensor::{Field, Shape};
+    use cross_field_compression::Codec;
+    use proptest::prelude::*;
+
+    /// Shape a raw arbitrary stream into one of three regimes: skewed
+    /// (mass at one centre code, the shape Lorenzo residuals produce),
+    /// uniform over a small alphabet (defeats multi-symbol packing), and
+    /// wide arbitrary values (stress the table header and escape paths).
+    fn shape_stream(raw: &[u32], regime: usize, centre: u32, every: usize) -> Vec<u32> {
+        match regime {
+            0 => raw
+                .iter()
+                .enumerate()
+                .map(|(k, &s)| if k % every == 0 { s % 1025 } else { centre })
+                .collect(),
+            1 => raw.iter().map(|&s| s % 17).collect(),
+            _ => raw.to_vec(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Batched emission through a reused scratch: identical bytes to
+        /// the allocating path, exact round trip through both the fast
+        /// decoder and the bit-serial reference, and no staging-buffer
+        /// regrowth once warm.
+        #[test]
+        fn batched_emission_round_trips_through_reused_scratch(
+            raw in prop::collection::vec(any::<u32>(), 64..2048),
+            regime in 0usize..3,
+            centre in 0u32..1025,
+            every in 2usize..24,
+        ) {
+            let symbols = shape_stream(&raw, regime, centre, every);
+            let mut payload = Vec::new();
+            let mut lz = lossless::LzScratch::new();
+
+            let bytes = encode_codes_into(&symbols, &mut payload, &mut lz);
+            // the scratch path must not change the wire bytes
+            prop_assert_eq!(&bytes, &encode_codes(&symbols));
+
+            let fast = try_decode_codes(&bytes, symbols.len()).expect("valid section");
+            prop_assert_eq!(&fast, &symbols);
+
+            // differential against the bit-serial reference decoder
+            let staged = lossless::try_decompress(&bytes).expect("lossless layer");
+            let (table, used) = HuffmanTable::try_deserialize(&staged).expect("table header");
+            let slow = table
+                .try_decode_reference(&staged[used..], symbols.len())
+                .expect("reference decode");
+            prop_assert_eq!(&slow, &symbols);
+
+            // steady state: re-encoding the same stream grows nothing
+            let cap = payload.capacity();
+            for _ in 0..3 {
+                let again = encode_codes_into(&symbols, &mut payload, &mut lz);
+                prop_assert_eq!(&again, &bytes);
+            }
+            // steady-state emission must not regrow the staging buffer
+            prop_assert_eq!(payload.capacity(), cap);
+        }
+
+        /// The whole encode chain (predict → quantize → emit → LZ) through
+        /// `EncodeScratch`: random sample data stays byte-identical to the
+        /// plain path, with zero growth counters at steady state.
+        #[test]
+        fn full_encode_chain_is_allocation_free_at_steady_state(
+            samples in prop::collection::vec(-1000.0f32..1000.0, 256..2048),
+            rows in 2usize..8,
+        ) {
+            // 256 samples over at most 7 rows keeps cols well above 2
+            let cols = samples.len() / rows;
+            let field = Field::from_fn(Shape::d2(rows, cols), |i| samples[i[0] * cols + i[1]]);
+            let c = SzCompressor::baseline(1e-3);
+            let plain = c.compress(&field).unwrap();
+
+            let mut scratch = EncodeScratch::new();
+            let first = c.compress_with(&field, &mut scratch).unwrap();
+            prop_assert_eq!(&first.bytes, &plain.bytes);
+
+            let warmed = scratch.growths();
+            for _ in 0..3 {
+                let again = c.compress_with(&field, &mut scratch).unwrap();
+                prop_assert_eq!(&again.bytes, &plain.bytes);
+            }
+            // steady-state encode must not grow any scratch buffer
+            prop_assert_eq!(scratch.growths(), warmed);
+        }
+    }
+}
+
 #[test]
 fn scratch_and_fresh_block_decodes_agree() {
     let ds = snapshot(36, 24);

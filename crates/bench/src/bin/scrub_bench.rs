@@ -1,0 +1,57 @@
+//! Scrub / salvage / repair throughput harness.
+//!
+//! ```text
+//! cargo run --release -p cfc-bench --bin scrub_bench -- [--smoke] [--label NAME] [--out PATH]
+//! ```
+//!
+//! Emits the JSON document described in [`cfc_bench::scrub_perf`] and
+//! exits non-zero if the document fails its own validation.
+
+use cfc_bench::scrub_perf::{run, to_json, validate_json, ScrubBenchConfig};
+
+fn main() {
+    let mut cfg = ScrubBenchConfig::full();
+    let mut label = String::from("dev");
+    let mut out: Option<String> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => cfg = ScrubBenchConfig::smoke(),
+            "--label" => label = argv.next().expect("--label needs a value"),
+            "--out" => out = Some(argv.next().expect("--out needs a value")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "scrub bench: {}x{} snapshot, {} rows/block, {} flips, best of {}",
+        cfg.rows, cfg.cols, cfg.chunk_rows, cfg.flips, cfg.repeats
+    );
+    let result = run(&label, cfg);
+    println!("archive            {:>10} bytes", result.archive_bytes);
+    println!("scrub              {:>10.2} MB/s", result.scrub_mb_s);
+    println!("deep scrub         {:>10.2} MB/s", result.deep_scrub_mb_s);
+    println!(
+        "salvage decode     {:>10.2} MB/s  ({} damaged blocks)",
+        result.salvage_decode_mb_s, result.damaged_blocks
+    );
+    println!("repair             {:>10.2} MB/s", result.repair_mb_s);
+    println!("findings on rot    {:>10}", result.findings);
+
+    let doc = to_json(std::slice::from_ref(&result));
+    if let Err(err) = validate_json(&doc) {
+        eprintln!("emitted document failed validation: {err}");
+        std::process::exit(1);
+    }
+    if let Some(path) = out {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&path, &doc).expect("write results");
+        eprintln!("wrote {path}");
+    }
+}

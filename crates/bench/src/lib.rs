@@ -6,6 +6,7 @@ pub mod perf;
 pub mod pgm;
 pub mod rng;
 pub mod runner;
+pub mod scrub_perf;
 pub mod serve_perf;
 pub mod store_perf;
 

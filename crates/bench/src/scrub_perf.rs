@@ -1,0 +1,299 @@
+//! Scrub / salvage perf harness behind the `scrub_bench` binary and the
+//! CI bench-smoke step.
+//!
+//! Uses the same deterministic [`FaultInjectingReader`] as the fault
+//! tolerance tests to manufacture a corrupted copy of a coupled archive
+//! (seeded random bit flips confined to the cross-field target's block
+//! payloads), then measures the whole robustness surface:
+//!
+//! * `scrub_mb_s` — shallow integrity scan throughput (structure, index,
+//!   CRCs, anchor graph) over the pristine archive,
+//! * `deep_scrub_mb_s` — the same plus a salvage decode of every field,
+//! * `salvage_decode_mb_s` — decoded-samples throughput of a salvage
+//!   decode over the corrupted copy (healthy blocks decoded, damaged ones
+//!   filled and reported),
+//! * `repair_mb_s` — index-rebuild/truncation repair throughput on a
+//!   torn copy,
+//! * `findings` / `damaged_blocks` — corruption actually observed, so a
+//!   smoke run that stops detecting anything fails validation.
+//!
+//! Results serialize to the same hand-rolled JSON layout as the other
+//! harnesses; [`validate_json`] keeps the CI smoke step honest.
+
+use std::io::Read;
+use std::time::Instant;
+
+use cfc_core::archive::{
+    repair_bytes, scrub_bytes, ArchiveBuilder, ArchiveReader, DecodePolicy, FaultInjectingReader,
+    FaultPlan, ScrubOptions,
+};
+use cfc_core::TrainConfig;
+
+use crate::store_perf::coupled_snapshot;
+
+/// Schema marker the JSON document carries; bump when fields change.
+pub const SCHEMA: &str = "cfc-scrub-bench-v1";
+
+/// Harness sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrubBenchConfig {
+    /// Axis-0 extent of the synthetic snapshot.
+    pub rows: usize,
+    /// Axis-1 extent.
+    pub cols: usize,
+    /// Axis-0 rows per block.
+    pub chunk_rows: usize,
+    /// Seeded random bit flips injected into the target's payload.
+    pub flips: usize,
+    /// Timed repetitions (best-of is reported).
+    pub repeats: usize,
+}
+
+impl ScrubBenchConfig {
+    /// Full-size run for committed numbers.
+    pub fn full() -> Self {
+        ScrubBenchConfig {
+            rows: 768,
+            cols: 512,
+            chunk_rows: 24,
+            flips: 24,
+            repeats: 5,
+        }
+    }
+
+    /// Tiny CI smoke run: exercises every stage in well under a second.
+    pub fn smoke() -> Self {
+        ScrubBenchConfig {
+            rows: 96,
+            cols: 64,
+            chunk_rows: 8,
+            flips: 4,
+            repeats: 2,
+        }
+    }
+}
+
+/// One labelled harness run.
+#[derive(Debug, Clone)]
+pub struct ScrubBenchRun {
+    /// Run label (e.g. `pr8`).
+    pub label: String,
+    /// Archive size in bytes.
+    pub archive_bytes: usize,
+    /// Shallow scrub throughput over the pristine archive.
+    pub scrub_mb_s: f64,
+    /// Deep (decode-everything) scrub throughput.
+    pub deep_scrub_mb_s: f64,
+    /// Salvage decode throughput (decoded f32 samples) on the corrupted copy.
+    pub salvage_decode_mb_s: f64,
+    /// Torn-tail repair throughput over the archive bytes.
+    pub repair_mb_s: f64,
+    /// Scrub findings on the corrupted copy (must be positive).
+    pub findings: usize,
+    /// Blocks the salvage decode filled rather than decoded.
+    pub damaged_blocks: usize,
+}
+
+/// Best-of-`repeats` wall-clock seconds for `f`.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Run the harness and return the labelled measurements.
+pub fn run(label: &str, cfg: ScrubBenchConfig) -> ScrubBenchRun {
+    let ds = coupled_snapshot(cfg.rows, cfg.cols);
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .train_config(TrainConfig::fast())
+        .cross_field("RH", &["T", "P"])
+        .chunk_elements(cfg.chunk_rows * cfg.cols)
+        .build()
+        .write(&ds)
+        .expect("bench archive write");
+    let archive_mb = bytes.len() as f64 / 1e6;
+
+    // pristine scrub: shallow and deep must both come back clean
+    let shallow_s = best_secs(cfg.repeats, || {
+        let report = scrub_bytes(&bytes, &ScrubOptions { deep: false });
+        assert!(report.is_clean(), "pristine archive must scrub clean");
+    });
+    let deep_s = best_secs(cfg.repeats, || {
+        let report = scrub_bytes(&bytes, &ScrubOptions { deep: true });
+        assert!(report.is_clean(), "pristine archive must deep-scrub clean");
+    });
+
+    // corrupted copy: seeded flips confined to RH's block payloads,
+    // materialized through the same FaultInjectingReader the tests use
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    let rh = reader
+        .entries()
+        .iter()
+        .find(|e| e.name == "RH")
+        .expect("target entry");
+    let (first_off, _) = rh.block_span(0).expect("span");
+    let (last_off, last_len) = rh.block_span(rh.n_blocks() - 1).expect("span");
+    let payload = first_off..last_off + last_len as u64;
+    let plan = FaultPlan::new().flip_random(0x5C2B_BE4C, payload, cfg.flips);
+    let mut corrupt = Vec::with_capacity(bytes.len());
+    FaultInjectingReader::new(std::io::Cursor::new(bytes.clone()), plan)
+        .read_to_end(&mut corrupt)
+        .expect("materialize corrupted copy");
+
+    let report = scrub_bytes(&corrupt, &ScrubOptions { deep: false });
+    let findings = report.findings.len();
+    assert!(findings > 0, "injected corruption must be detected");
+
+    // salvage decode of the damaged target: healthy blocks decoded,
+    // damaged ones filled and reported
+    let corrupt_reader = ArchiveReader::new(&corrupt).expect("corrupt manifest parses");
+    let decoded_mb = (cfg.rows * cfg.cols * 4) as f64 / 1e6;
+    let mut damaged_blocks = 0usize;
+    let salvage_s = best_secs(cfg.repeats, || {
+        let s = corrupt_reader
+            .decode_field_policy("RH", DecodePolicy::salvage())
+            .expect("salvage decode");
+        damaged_blocks = s.damage.len();
+        std::hint::black_box(s.data);
+    });
+    assert!(damaged_blocks > 0, "salvage must observe the damage");
+
+    // torn-tail repair back to a decodable archive
+    let torn = &bytes[..last_off as usize + last_len / 2];
+    let repair_s = best_secs(cfg.repeats, || {
+        let fixed = repair_bytes(torn).expect("scan-recoverable");
+        assert!(!fixed.actions.is_empty());
+        std::hint::black_box(fixed.bytes);
+    });
+
+    ScrubBenchRun {
+        label: label.to_string(),
+        archive_bytes: bytes.len(),
+        scrub_mb_s: archive_mb / shallow_s.max(1e-9),
+        deep_scrub_mb_s: archive_mb / deep_s.max(1e-9),
+        salvage_decode_mb_s: decoded_mb / salvage_s.max(1e-9),
+        repair_mb_s: archive_mb / repair_s.max(1e-9),
+        findings,
+        damaged_blocks,
+    }
+}
+
+fn push_field(out: &mut String, key: &str, v: f64, comma: bool) {
+    out.push_str(&format!("    \"{key}\": {v:.2}"));
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+/// Serialize runs to the committed JSON layout.
+pub fn to_json(runs: &[ScrubBenchRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"unit\": \"MB/s of archive bytes scanned / f32 samples salvaged\",\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"label\": \"{}\",\n", r.label));
+        out.push_str(&format!("    \"archive_bytes\": {},\n", r.archive_bytes));
+        out.push_str(&format!("    \"findings\": {},\n", r.findings));
+        out.push_str(&format!("    \"damaged_blocks\": {},\n", r.damaged_blocks));
+        push_field(&mut out, "scrub_mb_s", r.scrub_mb_s, true);
+        push_field(&mut out, "deep_scrub_mb_s", r.deep_scrub_mb_s, true);
+        push_field(&mut out, "salvage_decode_mb_s", r.salvage_decode_mb_s, true);
+        push_field(&mut out, "repair_mb_s", r.repair_mb_s, false);
+        out.push_str(if i + 1 < runs.len() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Keys every run object must carry with a positive numeric value.
+pub const REQUIRED_KEYS: [&str; 6] = [
+    "findings",
+    "damaged_blocks",
+    "scrub_mb_s",
+    "deep_scrub_mb_s",
+    "salvage_decode_mb_s",
+    "repair_mb_s",
+];
+
+/// Structural validation of a scrub-bench JSON document (same contract as
+/// the other harnesses: schema marker, at least one run, every required
+/// key positive).
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema marker {SCHEMA}"));
+    }
+    let n_runs = doc.matches("\"label\":").count();
+    if n_runs == 0 {
+        return Err("document holds no runs".into());
+    }
+    for key in REQUIRED_KEYS {
+        let needle = format!("\"{key}\":");
+        let count = doc.matches(&needle).count();
+        if count != n_runs {
+            return Err(format!("key {key} appears {count} times for {n_runs} runs"));
+        }
+        for (at, _) in doc.match_indices(&needle) {
+            let rest = doc[at + needle.len()..].trim_start();
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            match num.parse::<f64>() {
+                Ok(v) if v > 0.0 && v.is_finite() => {}
+                _ => return Err(format!("key {key} has non-positive value {num:?}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> ScrubBenchRun {
+        ScrubBenchRun {
+            label: "unit".into(),
+            archive_bytes: 100_000,
+            scrub_mb_s: 900.0,
+            deep_scrub_mb_s: 120.0,
+            salvage_decode_mb_s: 80.0,
+            repair_mb_s: 400.0,
+            findings: 3,
+            damaged_blocks: 2,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let doc = to_json(&[sample_run()]);
+        validate_json(&doc).expect("valid document");
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_json("{}").is_err());
+        let mut bad = sample_run();
+        bad.findings = 0;
+        assert!(validate_json(&to_json(&[bad])).is_err());
+        let good = to_json(&[sample_run()]);
+        assert!(validate_json(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn smoke_run_produces_valid_document() {
+        let run = run("unit-smoke", ScrubBenchConfig::smoke());
+        assert!(run.findings > 0);
+        assert!(run.damaged_blocks > 0);
+        validate_json(&to_json(&[run])).expect("smoke run document validates");
+    }
+}

@@ -259,10 +259,9 @@ impl<R: Read + Seek> TocReader<'_, R> {
             });
         }
         let mut buf = vec![0u8; n];
-        self.src.read_exact(&mut buf).map_err(|e| CfcError::Io {
-            context,
-            detail: e.to_string(),
-        })?;
+        self.src
+            .read_exact(&mut buf)
+            .map_err(|e| CfcError::io(context, &e))?;
         self.pos += n as u64;
         Ok(buf)
     }
@@ -278,10 +277,7 @@ impl<R: Read + Seek> TocReader<'_, R> {
         self.pos += n;
         self.src
             .seek(SeekFrom::Start(self.pos))
-            .map_err(|e| CfcError::Io {
-                context,
-                detail: e.to_string(),
-            })?;
+            .map_err(|e| CfcError::io(context, &e))?;
         Ok(())
     }
 

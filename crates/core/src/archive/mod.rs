@@ -61,16 +61,24 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod damage;
+pub mod fault;
 pub mod format;
 pub mod reader;
+pub mod scrub;
 pub mod store;
 pub mod writer;
 
+pub use damage::{BlockDamage, DamageMap, DecodePolicy, Salvaged};
+pub use fault::{FaultInjectingReader, FaultPlan, FaultStats};
 pub use format::{
     ArchiveEntry, FieldInfo, FieldRole, ARCHIVE_MAGIC, ARCHIVE_VERSION, DEFAULT_CHUNK_ELEMENTS,
     MIN_SUPPORTED_VERSION,
 };
 pub use reader::{ArchiveReader, ArchiveScratch};
+pub use scrub::{
+    repair_bytes, scrub_bytes, RepairOutcome, ScrubFinding, ScrubKind, ScrubOptions, ScrubReport,
+};
 pub use store::{ArchiveStore, StoreConfig, StoreStats};
 pub use writer::{ArchiveBuilder, ArchiveReport, ArchiveWriter, FieldReport};
 

@@ -27,11 +27,43 @@ use crate::pipeline::deserialize_model;
 use crate::predict::predict_differences;
 use crate::predictor::CrossFieldHybridPredictor;
 
+use super::damage::{DamageMap, DecodePolicy, Salvaged};
 use super::format::{
     block_range, parse_entry_v1, parse_entry_v2, slab_shape_of, ArchiveEntry, FieldRole, TocReader,
     ARCHIVE_MAGIC, ARCHIVE_VERSION, MIN_SUPPORTED_VERSION,
 };
 use super::{run_parallel, run_parallel_scratch};
+
+/// A slab of `fill` values shaped like block `idx` of a v2 entry — what a
+/// salvage decode substitutes for a damaged block.
+pub(crate) fn fill_slab(entry: &ArchiveEntry, idx: usize, fill: f32) -> Field {
+    let shape = entry.shape.expect("v2 entries record shape");
+    let (r0, r1) = block_range(shape.dims()[0], entry.chunk_slabs, idx);
+    let slab = slab_shape_of(shape, r1 - r0);
+    let n = slab.len();
+    Field::from_vec(slab, vec![fill; n])
+}
+
+/// Record block `idx` of `entry` as damaged in `damage`, attributing the
+/// cause: when `e` carries another field's attribution (a corrupt anchor
+/// block discovered while decoding a target), the anchor's own block is
+/// recorded as the root damage and the target block as cascaded from it.
+pub(crate) fn record_block_damage(
+    damage: &mut DamageMap,
+    entry: &ArchiveEntry,
+    idx: usize,
+    e: &CfcError,
+) {
+    let root = e.root_cause().clone();
+    if let CfcError::InField { field, block, .. } = e {
+        if field != &entry.name {
+            damage.record(field, block.unwrap_or(idx), None, root.clone());
+            damage.record(&entry.name, idx, Some(field.clone()), root);
+            return;
+        }
+    }
+    damage.record(&entry.name, idx, None, root);
+}
 
 /// Reusable per-worker buffers for block decode: the raw (compressed)
 /// block bytes plus the codec-level [`DecodeScratch`]. One scratch per
@@ -104,12 +136,7 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
     /// block indexes pointing past EOF, duplicate or dangling names all
     /// return [`CfcError`].
     pub fn open(mut src: R) -> Result<Self, CfcError> {
-        let io = |context: &'static str| {
-            move |e: std::io::Error| CfcError::Io {
-                context,
-                detail: e.to_string(),
-            }
-        };
+        let io = |context: &'static str| move |e: std::io::Error| CfcError::io(context, &e);
         let src_len = src.seek(SeekFrom::End(0)).map_err(io("sizing archive"))?;
         src.seek(SeekFrom::Start(0))
             .map_err(io("rewinding archive"))?;
@@ -284,10 +311,8 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         buf: &mut Vec<u8>,
     ) -> Result<(), CfcError> {
         let mut src = self.src.lock().unwrap_or_else(|p| p.into_inner());
-        src.seek(SeekFrom::Start(at)).map_err(|e| CfcError::Io {
-            context,
-            detail: e.to_string(),
-        })?;
+        src.seek(SeekFrom::Start(at))
+            .map_err(|e| CfcError::io(context, &e))?;
         buf.clear();
         buf.resize(len, 0);
         src.read_exact(buf).map_err(|e| {
@@ -298,10 +323,7 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
                     available: self.src_len.saturating_sub(at) as usize,
                 }
             } else {
-                CfcError::Io {
-                    context,
-                    detail: e.to_string(),
-                }
+                CfcError::io(context, &e)
             }
         })?;
         Ok(())
@@ -542,29 +564,99 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
     /// On v1 archives this degrades to a whole-field decode followed by a
     /// crop — the v1 container has no random-access index.
     pub fn decode_region(&self, field: &str, region: &Region) -> Result<Field, CfcError> {
+        self.decode_region_policy(field, region, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
+    /// [`ArchiveReader::decode_region`] under an explicit [`DecodePolicy`].
+    ///
+    /// Under [`DecodePolicy::Salvage`] damaged blocks no longer fail the
+    /// call: their slice of the output is filled with the policy's fill
+    /// value and reported in the returned [`DamageMap`] (anchor damage
+    /// cascades to its dependents, correctly attributed — see the
+    /// [`super::damage`] module docs). Errors outside block payloads —
+    /// unknown field, invalid region — still fail the call, as does any
+    /// damage on a v1 archive, whose monolithic per-field stream leaves
+    /// nothing to salvage block-wise.
+    pub fn decode_region_policy(
+        &self,
+        field: &str,
+        region: &Region,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
         let entry = self.entry(field)?;
         if self.version == 1 {
             let full = self.decode_field_v1(entry)?;
             region
                 .validate(full.shape())
                 .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
-            return Ok(full.crop(region));
+            return Ok(Salvaged {
+                data: full.crop(region),
+                damage: DamageMap::new(),
+            });
         }
         let shape = entry.shape.expect("v2 entries record shape");
         region
             .validate(shape)
             .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
         let (b_first, b_last) = region.block_cover(entry.chunk_slabs);
-        let meta = self.target_meta(entry)?; // once, not per block
+        let (slabs, damage) = self.decode_blocks_policy(entry, b_first, b_last, policy)?;
+        let stitched = Field::concat_axis0(&slabs);
+        // re-anchor the region to the stitched slab range
+        Ok(Salvaged {
+            data: stitched.crop(&region.rebase_axis0(b_first * entry.chunk_slabs)),
+            damage,
+        })
+    }
+
+    /// Decode v2 blocks `b_first..=b_last` of `entry` under `policy`,
+    /// sharing one scratch, anchor memo, and parsed meta across the loop.
+    /// The single implementation behind both the strict and salvage
+    /// region/field decode entry points.
+    fn decode_blocks_policy(
+        &self,
+        entry: &ArchiveEntry,
+        b_first: usize,
+        b_last: usize,
+        policy: DecodePolicy,
+    ) -> Result<(Vec<Field>, DamageMap), CfcError> {
+        // A target's meta area is itself payload that can rot; under
+        // Salvage a bad meta area damages every requested block of the
+        // target (there is nothing to decode any block against).
+        let meta: Result<Option<TargetMeta>, CfcError> = match self.target_meta(entry) {
+            Ok(m) => Ok(m),
+            Err(e) => match policy {
+                DecodePolicy::Strict => return Err(e),
+                DecodePolicy::Salvage { .. } => Err(e),
+            },
+        };
+        let mut damage = DamageMap::new();
         let mut scratch = ArchiveScratch::new(); // shared by the block loop
         let mut memo = AnchorMemo::new(); // anchor blocks decode once per call
         let mut slabs = Vec::with_capacity(b_last - b_first + 1);
         for bi in b_first..=b_last {
-            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref(), &mut scratch, &mut memo)?);
+            let slab = match &meta {
+                Err(meta_err) => {
+                    let fill = policy.fill().expect("strict meta failure returned above");
+                    damage.record(&entry.name, bi, None, meta_err.root_cause().clone());
+                    fill_slab(entry, bi, fill)
+                }
+                Ok(m) => {
+                    match self.decode_block_v2(entry, bi, m.as_ref(), &mut scratch, &mut memo) {
+                        Ok(f) => f,
+                        Err(e) => match policy {
+                            DecodePolicy::Strict => return Err(e),
+                            DecodePolicy::Salvage { fill } => {
+                                record_block_damage(&mut damage, entry, bi, &e);
+                                fill_slab(entry, bi, fill)
+                            }
+                        },
+                    }
+                }
+            };
+            slabs.push(slab);
         }
-        let stitched = Field::concat_axis0(&slabs);
-        // re-anchor the region to the stitched slab range
-        Ok(stitched.crop(&region.rebase_axis0(b_first * entry.chunk_slabs)))
+        Ok((slabs, damage))
     }
 
     /// Decode every field, every block in parallel: baselines and anchors
@@ -706,18 +798,31 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
     /// Decode a single field by name (decoding its anchors first if it is
     /// a cross-field target — each anchor block decoded at most once).
     pub fn decode_field(&self, name: &str) -> Result<Field, CfcError> {
+        self.decode_field_policy(name, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
+    /// [`ArchiveReader::decode_field`] under an explicit [`DecodePolicy`]
+    /// (same salvage semantics as
+    /// [`ArchiveReader::decode_region_policy`]).
+    pub fn decode_field_policy(
+        &self,
+        name: &str,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
         let entry = self.entry(name)?;
         if self.version == 1 {
-            return self.decode_field_v1(entry);
+            return self.decode_field_v1(entry).map(|data| Salvaged {
+                data,
+                damage: DamageMap::new(),
+            });
         }
-        let meta = self.target_meta(entry)?; // once, not per block
-        let mut scratch = ArchiveScratch::new(); // shared by the block loop
-        let mut memo = AnchorMemo::new(); // anchor blocks decode once per call
-        let mut slabs = Vec::with_capacity(entry.blocks.len());
-        for bi in 0..entry.blocks.len() {
-            slabs.push(self.decode_block_v2(entry, bi, meta.as_ref(), &mut scratch, &mut memo)?);
-        }
-        Ok(Field::concat_axis0(&slabs))
+        let (slabs, damage) =
+            self.decode_blocks_policy(entry, 0, entry.blocks.len() - 1, policy)?;
+        Ok(Salvaged {
+            data: Field::concat_axis0(&slabs),
+            damage,
+        })
     }
 
     /// Decode a v1 entry's monolithic stream, decoding its anchors first

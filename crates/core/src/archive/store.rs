@@ -42,8 +42,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use cfc_sz::{CfcError, ScratchPool};
 use cfc_tensor::{Field, Region};
 
+use super::damage::{DamageMap, DecodePolicy, Salvaged};
 use super::format::FieldRole;
-use super::reader::{ArchiveReader, ArchiveScratch, TargetMeta};
+use super::reader::{fill_slab, record_block_damage, ArchiveReader, ArchiveScratch, TargetMeta};
 
 /// Configuration for an [`ArchiveStore`].
 #[derive(Debug, Clone, Copy)]
@@ -56,16 +57,26 @@ pub struct StoreConfig {
     /// Idle [`ArchiveScratch`] values kept in the worker pool (extras
     /// returned beyond this are dropped).
     pub max_idle_scratch: usize,
+    /// Times a block decode that failed with a *transient* I/O error
+    /// ([`CfcError::is_transient`]) is retried before the error is
+    /// surfaced. `0` disables retrying.
+    pub max_retries: u32,
+    /// Sleep before retry `n` (1-based) is `n × retry_backoff` — linear
+    /// backoff, so a persistently flaky source backs off harder.
+    pub retry_backoff: std::time::Duration,
 }
 
 impl Default for StoreConfig {
-    /// 256 MiB of decoded blocks, one idle scratch per available core.
+    /// 256 MiB of decoded blocks, one idle scratch per available core,
+    /// 2 transient retries at 1 ms linear backoff.
     fn default() -> Self {
         StoreConfig {
             capacity_bytes: 256 << 20,
             max_idle_scratch: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(8),
+            max_retries: 2,
+            retry_backoff: std::time::Duration::from_millis(1),
         }
     }
 }
@@ -113,6 +124,12 @@ pub struct StoreStats {
     pub cached_bytes: usize,
     /// Configured cache byte budget.
     pub capacity_bytes: usize,
+    /// Block decodes re-attempted after a transient I/O failure
+    /// ([`StoreConfig::max_retries`] bounds the attempts per decode).
+    pub retries: u64,
+    /// Damaged blocks replaced by fill values by a
+    /// [`DecodePolicy::Salvage`] decode instead of failing the call.
+    pub salvaged_blocks: u64,
 }
 
 impl StoreStats {
@@ -165,6 +182,8 @@ struct CacheInner {
     evictions: u64,
     insertions: u64,
     coalesced: u64,
+    retries: u64,
+    salvaged_blocks: u64,
 }
 
 /// Per-block in-flight decode slot: the decoding thread publishes its
@@ -185,6 +204,8 @@ struct Flight {
 pub struct ArchiveStore<R> {
     reader: ArchiveReader<R>,
     capacity: usize,
+    max_retries: u32,
+    retry_backoff: std::time::Duration,
     inner: Mutex<CacheInner>,
     scratch: ScratchPool<ArchiveScratch>,
     /// Parsed target meta (CFNN bytes + hybrid weights), once per field.
@@ -227,6 +248,8 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
         ArchiveStore {
             reader,
             capacity: config.capacity_bytes,
+            max_retries: config.max_retries,
+            retry_backoff: config.retry_backoff,
             inner: Mutex::new(CacheInner::default()),
             scratch: ScratchPool::new(config.max_idle_scratch),
             metas: Mutex::new(HashMap::new()),
@@ -281,6 +304,8 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
             cached_blocks: g.map.len(),
             cached_bytes: g.bytes,
             capacity_bytes: self.capacity,
+            retries: g.retries,
+            salvaged_blocks: g.salvaged_blocks,
         }
     }
 
@@ -321,6 +346,26 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
     /// block (and anchor block) is a potential cache hit, so repeated
     /// reads over a hot window decode nothing after the first call.
     pub fn decode_region(&self, field: &str, region: &Region) -> Result<Field, CfcError> {
+        self.decode_region_policy(field, region, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
+    /// [`ArchiveStore::decode_region`] under an explicit [`DecodePolicy`].
+    ///
+    /// Salvage semantics match
+    /// [`ArchiveReader::decode_region_policy`]: damaged blocks are filled
+    /// and reported in the [`DamageMap`] instead of failing the call, with
+    /// anchor damage cascaded to its dependents. Filled blocks are **never
+    /// cached** — the cache only ever holds strictly-decoded data, so a
+    /// later strict read of the same block re-reads the source rather than
+    /// being served fill. Each filled block bumps
+    /// [`StoreStats::salvaged_blocks`].
+    pub fn decode_region_policy(
+        &self,
+        field: &str,
+        region: &Region,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
         let fi = self.reader.entry_index(field)?;
         let entry = &self.reader.entries()[fi];
         if self.reader.version() == 1 {
@@ -328,36 +373,89 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
             region
                 .validate(full.shape())
                 .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
-            return Ok(full.crop(region));
+            return Ok(Salvaged {
+                data: full.crop(region),
+                damage: DamageMap::new(),
+            });
         }
         let shape = entry.shape().expect("v2 entries record shape");
         region
             .validate(shape)
             .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
         let (b_first, b_last) = region.block_cover(entry.chunk_slabs());
-        let blocks: Vec<Arc<Field>> = (b_first..=b_last)
-            .map(|bi| self.get_block(fi, bi))
-            .collect::<Result<_, _>>()?;
+        let (blocks, damage) = self.get_blocks_policy(fi, b_first, b_last, policy)?;
         let local = region.rebase_axis0(b_first * entry.chunk_slabs());
         if blocks.len() == 1 {
-            return Ok(blocks[0].crop(&local));
+            return Ok(Salvaged {
+                data: blocks[0].crop(&local),
+                damage,
+            });
         }
         let refs: Vec<&Field> = blocks.iter().map(|b| b.as_ref()).collect();
-        Ok(Field::concat_axis0_refs(&refs).crop(&local))
+        Ok(Salvaged {
+            data: Field::concat_axis0_refs(&refs).crop(&local),
+            damage,
+        })
     }
 
     /// Decode a whole field through the cache (stitched owned copy).
     pub fn decode_field(&self, field: &str) -> Result<Field, CfcError> {
+        self.decode_field_policy(field, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
+    /// [`ArchiveStore::decode_field`] under an explicit [`DecodePolicy`]
+    /// (same salvage semantics as
+    /// [`ArchiveStore::decode_region_policy`]).
+    pub fn decode_field_policy(
+        &self,
+        field: &str,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
         let fi = self.reader.entry_index(field)?;
         let entry = &self.reader.entries()[fi];
         if self.reader.version() == 1 {
-            return Ok((*self.get_block(fi, 0)?).clone());
+            return Ok(Salvaged {
+                data: (*self.get_block(fi, 0)?).clone(),
+                damage: DamageMap::new(),
+            });
         }
-        let blocks: Vec<Arc<Field>> = (0..entry.n_blocks())
-            .map(|bi| self.get_block(fi, bi))
-            .collect::<Result<_, _>>()?;
+        let (blocks, damage) = self.get_blocks_policy(fi, 0, entry.n_blocks() - 1, policy)?;
         let refs: Vec<&Field> = blocks.iter().map(|b| b.as_ref()).collect();
-        Ok(Field::concat_axis0_refs(&refs))
+        Ok(Salvaged {
+            data: Field::concat_axis0_refs(&refs),
+            damage,
+        })
+    }
+
+    /// Fetch v2 blocks `b_first..=b_last` of entry `fi` through the cache
+    /// under `policy`: strict propagates the first failure, salvage
+    /// substitutes a fill slab (never cached) and records the damage.
+    fn get_blocks_policy(
+        &self,
+        fi: usize,
+        b_first: usize,
+        b_last: usize,
+        policy: DecodePolicy,
+    ) -> Result<(Vec<Arc<Field>>, DamageMap), CfcError> {
+        let entry = &self.reader.entries()[fi];
+        let mut damage = DamageMap::new();
+        let mut blocks = Vec::with_capacity(b_last - b_first + 1);
+        for bi in b_first..=b_last {
+            let block = match self.get_block(fi, bi) {
+                Ok(b) => b,
+                Err(e) => match policy {
+                    DecodePolicy::Strict => return Err(e),
+                    DecodePolicy::Salvage { fill } => {
+                        record_block_damage(&mut damage, entry, bi, &e);
+                        lock(&self.inner).salvaged_blocks += 1;
+                        Arc::new(fill_slab(entry, bi, fill))
+                    }
+                },
+            };
+            blocks.push(block);
+        }
+        Ok((blocks, damage))
     }
 
     /// Cache-or-decode one block, with single-flight dedup: concurrent
@@ -368,7 +466,7 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
         let key = (fi, idx);
         if self.capacity == 0 {
             lock(&self.inner).misses += 1;
-            return self.decode_uncached(fi, idx).map(Arc::new);
+            return self.decode_with_retry(fi, idx).map(Arc::new);
         }
         let flight = {
             let mut g = lock(&self.inner);
@@ -410,7 +508,7 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
             flight,
             outcome: None,
         };
-        let result = self.decode_uncached(fi, idx).map(Arc::new);
+        let result = self.decode_with_retry(fi, idx).map(Arc::new);
         if let Ok(arc) = &result {
             self.insert(key, arc.clone());
         }
@@ -446,6 +544,27 @@ impl<R: Read + Seek + Send> ArchiveStore<R> {
             let e = g.map.remove(&victim).expect("lru entry cached");
             g.bytes -= e.bytes;
             g.evictions += 1;
+        }
+    }
+
+    /// [`ArchiveStore::decode_uncached`] behind a bounded transient-retry
+    /// loop: a decode that failed with a transient I/O error
+    /// ([`CfcError::is_transient`] — interrupted syscall, timeout) is
+    /// re-attempted up to [`StoreConfig::max_retries`] times with linear
+    /// backoff. Deterministic failures (checksum mismatch, truncation,
+    /// structural corruption) are never retried — the same bad bytes would
+    /// just be re-read.
+    fn decode_with_retry(&self, fi: usize, idx: usize) -> Result<Field, CfcError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.decode_uncached(fi, idx) {
+                Err(e) if e.is_transient() && attempt < self.max_retries => {
+                    attempt += 1;
+                    lock(&self.inner).retries += 1;
+                    std::thread::sleep(self.retry_backoff * attempt);
+                }
+                other => return other,
+            }
         }
     }
 

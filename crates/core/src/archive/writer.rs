@@ -251,10 +251,7 @@ impl ArchiveWriter {
         let encoded = self.encode(ds)?;
         let ordered: Vec<&EncodedField> = ds.iter().map(|(n, _)| &encoded[n]).collect();
 
-        let io = |e: std::io::Error| CfcError::Io {
-            context: "writing archive",
-            detail: e.to_string(),
-        };
+        let io = |e: std::io::Error| CfcError::io("writing archive", &e);
         let mut written = 0usize;
 
         // ---- archive header --------------------------------------------

@@ -1,0 +1,148 @@
+//! `cfc-fsck` — verify, and optionally repair, CFAR archive integrity.
+//!
+//! ```text
+//! usage: cfc-fsck [--deep] [--repair] [--out PATH] [--json] <archive.cfar>
+//!
+//!   --deep     also decode every block (slow; catches rot that passes CRC)
+//!   --repair   rebuild a corrupt block index / truncate a torn tail,
+//!              writing the repaired archive to --out
+//!   --out      output path for --repair (default: <archive>.repaired)
+//!   --json     machine-readable report on stdout
+//!
+//! exit status: 0 = clean (after repair, if requested)
+//!              1 = findings remain
+//!              2 = usage or I/O error, or unrepairable archive
+//! ```
+//!
+//! The checks and repair semantics live in [`cfc_core::archive::scrub`];
+//! this binary is argument parsing, file I/O, and report formatting.
+
+use std::process::ExitCode;
+
+use cfc_core::archive::{repair_bytes, scrub_bytes, ScrubOptions, ScrubReport};
+
+struct Args {
+    path: String,
+    deep: bool,
+    repair: bool,
+    out: Option<String>,
+    json: bool,
+}
+
+const USAGE: &str = "usage: cfc-fsck [--deep] [--repair] [--out PATH] [--json] <archive.cfar>";
+
+fn parse_args() -> Result<Args, String> {
+    let mut deep = false;
+    let mut repair = false;
+    let mut out = None;
+    let mut json = false;
+    let mut path = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--deep" => deep = true,
+            "--repair" => repair = true,
+            "--json" => json = true,
+            "--out" => {
+                out = Some(argv.next().ok_or("--out requires a path")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"));
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one archive path\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let path = path.ok_or(USAGE)?;
+    if out.is_some() && !repair {
+        return Err(format!("--out only makes sense with --repair\n{USAGE}"));
+    }
+    Ok(Args {
+        path,
+        deep,
+        repair,
+        out,
+        json,
+    })
+}
+
+fn print_report(report: &ScrubReport, path: &str, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+    println!(
+        "{path}: v{} archive, {} bytes, {} field(s), {} block(s) checked{}",
+        report.version,
+        report.archive_len,
+        report.fields_checked,
+        report.blocks_checked,
+        if report.deep { ", deep" } else { "" },
+    );
+    if report.is_clean() {
+        println!("clean: no findings");
+        return;
+    }
+    println!("{} finding(s):", report.findings.len());
+    for f in &report.findings {
+        let place = match (&f.field, f.block) {
+            (Some(field), Some(b)) => format!("{field}[{b}]"),
+            (Some(field), None) => field.clone(),
+            _ => "archive".to_string(),
+        };
+        println!("  {:<12} {place}: {}", f.kind.label(), f.detail);
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let bytes = std::fs::read(&args.path).map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    let opts = ScrubOptions { deep: args.deep };
+
+    if !args.repair {
+        let report = scrub_bytes(&bytes, &opts);
+        print_report(&report, &args.path, args.json);
+        return Ok(if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    let outcome = repair_bytes(&bytes).map_err(|e| format!("unrepairable: {e}"))?;
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.repaired", args.path));
+    if !args.json {
+        if outcome.actions.is_empty() {
+            println!("{}: no repair needed", args.path);
+        }
+        for a in &outcome.actions {
+            println!("repair: {a}");
+        }
+    }
+    std::fs::write(&out_path, &outcome.bytes)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let report = scrub_bytes(&outcome.bytes, &opts);
+    print_report(&report, &out_path, args.json);
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("cfc-fsck: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -36,6 +36,13 @@ impl ClientResponse {
         String::from_utf8_lossy(&self.body).into_owned()
     }
 
+    /// The `X-Cfc-Damage` summary a salvage-mode response carries when
+    /// some blocks were filled rather than decoded; `None` on healthy
+    /// (or strict) responses.
+    pub fn damage(&self) -> Option<&str> {
+        self.header("x-cfc-damage")
+    }
+
     /// Split a binary frame body (`[u32 LE header_len][JSON][payload]`)
     /// into its JSON header and raw payload bytes. `None` when the body
     /// is not a well-formed frame.
@@ -81,9 +88,14 @@ impl HttpClient {
         })
     }
 
-    /// Set the read timeout for responses.
+    /// Set the timeout for both reading responses and writing requests.
+    ///
+    /// Both halves matter: a peer that stops *reading* stalls request
+    /// writes just as indefinitely as one that stops *writing* stalls
+    /// response reads, and the write half previously had no bound at all.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
-        self.reader.get_ref().set_read_timeout(timeout)
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
     }
 
     /// Issue `GET target` on the shared connection and read the response.

@@ -221,12 +221,16 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Everything about a response except its body bytes (which the worker
 /// assembles in a pooled buffer).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ResponseHead {
     /// HTTP status code.
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Compact damage summary (see `DamageMap::summary`) emitted as an
+    /// `X-Cfc-Damage` header on salvaged responses; `None` (no header) on
+    /// healthy ones.
+    pub damage: Option<String>,
 }
 
 impl ResponseHead {
@@ -235,6 +239,7 @@ impl ResponseHead {
         ResponseHead {
             status,
             content_type: "application/json",
+            damage: None,
         }
     }
 
@@ -243,7 +248,14 @@ impl ResponseHead {
         ResponseHead {
             status: 200,
             content_type: "application/x-cfc-frame",
+            damage: None,
         }
+    }
+
+    /// Attach a damage summary, served as the `X-Cfc-Damage` header.
+    pub fn with_damage(mut self, summary: String) -> Self {
+        self.damage = Some(summary);
+        self
     }
 }
 
@@ -256,8 +268,12 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    let damage = match &head.damage {
+        Some(s) if !s.is_empty() => format!("X-Cfc-Damage: {s}\r\n"),
+        _ => String::new(),
+    };
     let header = format!(
-        "HTTP/1.1 {} {}\r\nServer: cfc-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nServer: cfc-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\n{damage}Connection: {}\r\n\r\n",
         head.status,
         reason(head.status),
         head.content_type,
@@ -367,5 +383,25 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+        assert!(!text.contains("X-Cfc-Damage"));
+    }
+
+    #[test]
+    fn damage_header_on_salvaged_responses() {
+        let mut out = Vec::new();
+        let head = ResponseHead::frame().with_damage("T:0,3;RH:1".to_string());
+        write_response(&mut out, head, b"x", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Cfc-Damage: T:0,3;RH:1\r\n"));
+        // an empty summary must not emit an empty header
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            ResponseHead::frame().with_damage(String::new()),
+            b"x",
+            false,
+        )
+        .unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("X-Cfc-Damage"));
     }
 }

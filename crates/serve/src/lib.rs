@@ -15,8 +15,9 @@
 //! |---|---|
 //! | `GET /fields` | JSON manifest: archive name, container version, and per-field name/role/anchors/error-bound/shape/block geometry/compressed size |
 //! | `GET /field/{name}/region?start=0,0&shape=4,64` | binary frame of the decoded axis-aligned region |
+//! | `GET /field/{name}/region?…&mode=salvage&fill=0` | same, but damaged blocks are filled instead of failing the request; damage is reported in the frame header and an `X-Cfc-Damage` response header |
 //! | `GET /field/{name}/block/{idx}` | binary frame of one independently decodable block |
-//! | `GET /stats` | JSON: uptime, per-endpoint request counters, connection/backpressure counters, and a consistent [`StoreStats`](cfc_core::archive::StoreStats) snapshot with hit rate |
+//! | `GET /stats` | JSON: uptime, per-endpoint request counters (including caught handler `panics`), connection/backpressure counters, and a consistent [`StoreStats`](cfc_core::archive::StoreStats) snapshot with hit rate, transient-read `retries`, and `salvaged_blocks` |
 //! | `GET /healthz` | `{"status": "ok"}` liveness probe |
 //!
 //! ## Binary frame format
@@ -39,6 +40,16 @@
 //! `400`; oversized requests are `431`/`413`; a full accept queue is
 //! `503`; corrupt archives surface as `500`. Every error body is JSON:
 //! `{"status": N, "error": "..."}`.
+//!
+//! ## Fault tolerance
+//!
+//! A handler panic (a bug, or hostile input finding one) is caught per
+//! request: the client gets a `500`, the `panics` counter in `/stats`
+//! ticks, and the worker thread survives to serve the next connection.
+//! Corrupt archive payloads never take the server down either — strict
+//! decodes answer `500` naming the damaged block, and `mode=salvage`
+//! keeps serving the healthy remainder (see
+//! [`DecodePolicy`](cfc_core::archive::DecodePolicy)).
 //!
 //! ## Example
 //!
@@ -65,5 +76,5 @@ mod router;
 pub mod server;
 
 pub use client::{ClientResponse, HttpClient};
-pub use query::{region_from_query, RegionQueryError};
+pub use query::{region_from_query, region_request_from_query, RegionQueryError};
 pub use server::{ArchiveServer, ServeConfig, ServerStats};

@@ -19,7 +19,18 @@
 //! caller validates the parsed region against the field it addresses
 //! (`Region::validate`), which is where out-of-range requests become
 //! `422` responses.
+//!
+//! The region endpoint additionally accepts a decode-policy suffix,
+//! parsed by [`region_request_from_query`]:
+//!
+//! ```text
+//! /field/RH/region?start=0,0&shape=4,64&mode=salvage&fill=-1
+//! ```
+//!
+//! `mode` is `strict` (the default) or `salvage`; `fill` (salvage only)
+//! is the finite `f32` written over damaged blocks, default `0`.
 
+use cfc_core::archive::DecodePolicy;
 use cfc_tensor::{Region, MAX_DIMS};
 
 /// Why a query string does not describe a region.
@@ -52,6 +63,13 @@ pub enum RegionQueryError {
     EmptyAxis(usize),
     /// `start + shape` overflows the index space on an axis.
     Overflow(usize),
+    /// `mode` is neither `strict` nor `salvage`.
+    BadMode(String),
+    /// `fill` is not a finite float.
+    BadFill(String),
+    /// `fill` was supplied without `mode=salvage` (strict decodes never
+    /// fill anything, so the parameter would be silently meaningless).
+    FillWithoutSalvage,
 }
 
 impl std::fmt::Display for RegionQueryError {
@@ -76,6 +94,15 @@ impl std::fmt::Display for RegionQueryError {
             RegionQueryError::Overflow(k) => {
                 write!(f, "start + shape overflows the index space on axis {k}")
             }
+            RegionQueryError::BadMode(m) => {
+                write!(f, "`mode` must be `strict` or `salvage`, got {m:?}")
+            }
+            RegionQueryError::BadFill(v) => {
+                write!(f, "`fill` element {v:?} is not a finite float")
+            }
+            RegionQueryError::FillWithoutSalvage => {
+                write!(f, "`fill` only applies with `mode=salvage`")
+            }
         }
     }
 }
@@ -95,8 +122,37 @@ fn parse_list(param: &'static str, raw: &str) -> Result<Vec<usize>, RegionQueryE
         .collect()
 }
 
+/// Validate parsed `start`/`shape` lists into a [`Region`].
+fn build_region(
+    start: Option<Vec<usize>>,
+    shape: Option<Vec<usize>>,
+) -> Result<Region, RegionQueryError> {
+    let start = start.ok_or(RegionQueryError::MissingParam("start"))?;
+    let shape = shape.ok_or(RegionQueryError::MissingParam("shape"))?;
+    if start.len() != shape.len() {
+        return Err(RegionQueryError::RankMismatch {
+            start: start.len(),
+            shape: shape.len(),
+        });
+    }
+    if !(1..=MAX_DIMS).contains(&start.len()) {
+        return Err(RegionQueryError::BadRank(start.len()));
+    }
+    let mut ranges = Vec::with_capacity(start.len());
+    for (k, (&s, &extent)) in start.iter().zip(&shape).enumerate() {
+        if extent == 0 {
+            return Err(RegionQueryError::EmptyAxis(k));
+        }
+        let end = s.checked_add(extent).ok_or(RegionQueryError::Overflow(k))?;
+        ranges.push((s, end));
+    }
+    Ok(Region::from_ranges(&ranges))
+}
+
 /// Parse `start=…&shape=…` into a [`Region`]. See the [module docs](self)
-/// for the grammar and error taxonomy.
+/// for the grammar and error taxonomy. `mode`/`fill` are *not* accepted
+/// here — use [`region_request_from_query`] for the full region-endpoint
+/// grammar.
 pub fn region_from_query(query: &str) -> Result<Region, RegionQueryError> {
     let mut start: Option<Vec<usize>> = None;
     let mut shape: Option<Vec<usize>> = None;
@@ -118,26 +174,78 @@ pub fn region_from_query(query: &str) -> Result<Region, RegionQueryError> {
             other => return Err(RegionQueryError::UnknownParam(other.to_string())),
         }
     }
-    let start = start.ok_or(RegionQueryError::MissingParam("start"))?;
-    let shape = shape.ok_or(RegionQueryError::MissingParam("shape"))?;
-    if start.len() != shape.len() {
-        return Err(RegionQueryError::RankMismatch {
-            start: start.len(),
-            shape: shape.len(),
-        });
-    }
-    if !(1..=MAX_DIMS).contains(&start.len()) {
-        return Err(RegionQueryError::BadRank(start.len()));
-    }
-    let mut ranges = Vec::with_capacity(start.len());
-    for (k, (&s, &extent)) in start.iter().zip(&shape).enumerate() {
-        if extent == 0 {
-            return Err(RegionQueryError::EmptyAxis(k));
+    build_region(start, shape)
+}
+
+/// Parse the full region-endpoint grammar:
+/// `start=…&shape=…[&mode=strict|salvage[&fill=F]]` into the region to
+/// decode plus the [`DecodePolicy`] to decode it under.
+///
+/// Omitted `mode` means [`DecodePolicy::Strict`]; `fill` defaults to `0`
+/// under `mode=salvage` and is rejected under strict (it would silently
+/// do nothing).
+pub fn region_request_from_query(query: &str) -> Result<(Region, DecodePolicy), RegionQueryError> {
+    let mut start: Option<Vec<usize>> = None;
+    let mut shape: Option<Vec<usize>> = None;
+    let mut mode: Option<&str> = None;
+    let mut fill_raw: Option<&str> = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "start" => {
+                if start.is_some() {
+                    return Err(RegionQueryError::DuplicateParam("start"));
+                }
+                start = Some(parse_list("start", value)?);
+            }
+            "shape" => {
+                if shape.is_some() {
+                    return Err(RegionQueryError::DuplicateParam("shape"));
+                }
+                shape = Some(parse_list("shape", value)?);
+            }
+            "mode" => {
+                if mode.is_some() {
+                    return Err(RegionQueryError::DuplicateParam("mode"));
+                }
+                mode = Some(value);
+            }
+            "fill" => {
+                if fill_raw.is_some() {
+                    return Err(RegionQueryError::DuplicateParam("fill"));
+                }
+                fill_raw = Some(value);
+            }
+            other => return Err(RegionQueryError::UnknownParam(other.to_string())),
         }
-        let end = s.checked_add(extent).ok_or(RegionQueryError::Overflow(k))?;
-        ranges.push((s, end));
     }
-    Ok(Region::from_ranges(&ranges))
+    let region = build_region(start, shape)?;
+    let policy = match mode {
+        None | Some("strict") => {
+            if fill_raw.is_some() {
+                return Err(RegionQueryError::FillWithoutSalvage);
+            }
+            DecodePolicy::Strict
+        }
+        Some("salvage") => {
+            let fill = match fill_raw {
+                None => 0.0,
+                Some(raw) => {
+                    let v: f32 = raw
+                        .trim()
+                        .parse()
+                        .map_err(|_| RegionQueryError::BadFill(raw.to_string()))?;
+                    if !v.is_finite() {
+                        return Err(RegionQueryError::BadFill(raw.to_string()));
+                    }
+                    v
+                }
+            };
+            DecodePolicy::Salvage { fill }
+        }
+        Some(other) => return Err(RegionQueryError::BadMode(other.to_string())),
+    };
+    Ok((region, policy))
 }
 
 #[cfg(test)]
@@ -213,6 +321,48 @@ mod tests {
         assert_eq!(
             region_from_query("start=0,0,0,0&shape=1,1,1,1"),
             Err(RegionQueryError::BadRank(4))
+        );
+    }
+
+    #[test]
+    fn parses_decode_modes() {
+        let (r, p) = region_request_from_query("start=0,0&shape=4,4").unwrap();
+        assert_eq!(r, Region::d2(0, 4, 0, 4));
+        assert_eq!(p, DecodePolicy::Strict);
+        let (_, p) = region_request_from_query("start=0&shape=4&mode=strict").unwrap();
+        assert_eq!(p, DecodePolicy::Strict);
+        let (_, p) = region_request_from_query("start=0&shape=4&mode=salvage").unwrap();
+        assert_eq!(p, DecodePolicy::Salvage { fill: 0.0 });
+        let (_, p) = region_request_from_query("mode=salvage&fill=-1.5&start=0&shape=4").unwrap();
+        assert_eq!(p, DecodePolicy::Salvage { fill: -1.5 });
+    }
+
+    #[test]
+    fn rejects_bad_modes_and_fills() {
+        assert_eq!(
+            region_request_from_query("start=0&shape=4&mode=lenient"),
+            Err(RegionQueryError::BadMode("lenient".into()))
+        );
+        assert_eq!(
+            region_request_from_query("start=0&shape=4&mode=salvage&fill=nan"),
+            Err(RegionQueryError::BadFill("nan".into()))
+        );
+        assert_eq!(
+            region_request_from_query("start=0&shape=4&mode=salvage&fill="),
+            Err(RegionQueryError::BadFill("".into()))
+        );
+        assert_eq!(
+            region_request_from_query("start=0&shape=4&fill=1"),
+            Err(RegionQueryError::FillWithoutSalvage)
+        );
+        assert_eq!(
+            region_request_from_query("start=0&shape=4&mode=salvage&mode=strict"),
+            Err(RegionQueryError::DuplicateParam("mode"))
+        );
+        // the plain region parser still refuses policy parameters
+        assert_eq!(
+            region_from_query("start=0&shape=4&mode=salvage"),
+            Err(RegionQueryError::UnknownParam("mode".into()))
         );
     }
 

@@ -26,12 +26,12 @@
 
 use std::io::{Read, Seek};
 
-use cfc_core::archive::{ArchiveStore, FieldInfo};
+use cfc_core::archive::{ArchiveStore, DecodePolicy, FieldInfo};
 use cfc_sz::CfcError;
 use cfc_tensor::Field;
 
 use crate::http::{Request, ResponseHead};
-use crate::query::region_from_query;
+use crate::query::region_request_from_query;
 use crate::server::EndpointCounters;
 
 /// Escape a string for embedding in a JSON document.
@@ -147,22 +147,37 @@ fn handle_region<R: Read + Seek + Send>(
     let Some(info) = store.field_info(name) else {
         return error_response(body, 404, &format!("archive has no field {name}"));
     };
-    let region = match region_from_query(query) {
+    let (region, policy) = match region_request_from_query(query) {
         Ok(r) => r,
         Err(e) => return error_response(body, 400, &e.to_string()),
     };
-    match store.decode_region(name, &region) {
-        Ok(field) => {
+    match store.decode_region_policy(name, &region, policy) {
+        Ok(salvaged) => {
+            let field = salvaged.data;
             let start: Vec<usize> = (0..region.ndim()).map(|k| region.start(k)).collect();
+            // under salvage the header always carries a "damage" key
+            // (empty string when healthy) so clients get a stable schema
+            let damage_json = match policy {
+                DecodePolicy::Strict => String::new(),
+                DecodePolicy::Salvage { .. } => format!(
+                    ", \"damage\": \"{}\"",
+                    json_escape(&salvaged.damage.summary())
+                ),
+            };
             let header = format!(
                 "{{\"field\": \"{}\", \"start\": {}, \"shape\": {}, \"elements\": {}, \
-                 \"dtype\": \"f32\", \"order\": \"little\"}}",
+                 \"dtype\": \"f32\", \"order\": \"little\"{damage_json}}}",
                 json_escape(&info.name),
                 dims_json(&start),
                 dims_json(field.shape().dims()),
                 field.len(),
             );
-            frame_response(body, &header, &field)
+            let head = frame_response(body, &header, &field);
+            if salvaged.damage.is_empty() {
+                head
+            } else {
+                head.with_damage(salvaged.damage.summary())
+            }
         }
         Err(e) => error_response(body, status_for(&e), &e.to_string()),
     }
@@ -218,10 +233,11 @@ fn handle_stats<R: Read + Seek + Send>(
         format!(
             "{{\"uptime_secs\": {uptime_secs:.3}, \"connections\": {}, \
              \"rejected_saturated\": {}, \"requests\": {{\"fields\": {}, \"region\": {}, \
-             \"block\": {}, \"stats\": {}, \"healthz\": {}, \"errors\": {}}}, \
+             \"block\": {}, \"stats\": {}, \"healthz\": {}, \"errors\": {}, \"panics\": {}}}, \
              \"store\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"insertions\": {}, \
              \"evictions\": {}, \"cached_blocks\": {}, \"cached_bytes\": {}, \
-             \"capacity_bytes\": {}, \"hit_rate\": {:.6}}}}}\n",
+             \"capacity_bytes\": {}, \"hit_rate\": {:.6}, \"retries\": {}, \
+             \"salvaged_blocks\": {}}}}}\n",
             c.connections,
             c.rejected_saturated,
             c.fields,
@@ -230,6 +246,7 @@ fn handle_stats<R: Read + Seek + Send>(
             c.stats,
             c.healthz,
             c.errors,
+            c.panics,
             s.hits,
             s.misses,
             s.coalesced,
@@ -239,6 +256,8 @@ fn handle_stats<R: Read + Seek + Send>(
             s.cached_bytes,
             s.capacity_bytes,
             s.hit_rate(),
+            s.retries,
+            s.salvaged_blocks,
         )
         .as_bytes(),
     );

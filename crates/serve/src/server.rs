@@ -88,6 +88,7 @@ pub struct EndpointCounters {
     stats: AtomicU64,
     healthz: AtomicU64,
     errors: AtomicU64,
+    panics: AtomicU64,
 }
 
 macro_rules! bump {
@@ -108,6 +109,7 @@ impl EndpointCounters {
         bump_stats => stats,
         bump_healthz => healthz,
         bump_error => errors,
+        bump_panic => panics,
     );
 
     pub(crate) fn snapshot(&self) -> ServerStats {
@@ -121,6 +123,7 @@ impl EndpointCounters {
             stats: self.stats.load(Ordering::Relaxed),
             healthz: self.healthz.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,6 +150,9 @@ pub struct ServerStats {
     pub healthz: u64,
     /// Responses with a 4xx/5xx status (any endpoint).
     pub errors: u64,
+    /// Requests whose handler panicked; each was answered `500` and its
+    /// worker survived to serve the next connection.
+    pub panics: u64,
 }
 
 impl ServerStats {
@@ -378,13 +384,31 @@ fn serve_connection<R: Read + Seek + Send>(shared: &Shared<R>, stream: TcpStream
             && served < shared.cfg.max_requests_per_connection
             && !shared.shutdown.load(Ordering::SeqCst);
         body.clear();
-        let head = router::respond(
-            &shared.store,
-            &shared.counters,
-            shared.started.elapsed().as_secs_f64(),
-            &req,
-            &mut body,
-        );
+        // a panic anywhere in dispatch or decode must not take the worker
+        // down: answer 500, count it, and close this connection (its
+        // half-assembled body is untrustworthy) — the worker itself
+        // survives to serve the next one
+        let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            router::respond(
+                &shared.store,
+                &shared.counters,
+                shared.started.elapsed().as_secs_f64(),
+                &req,
+                &mut body,
+            )
+        }));
+        let (head, keep) = match dispatched {
+            Ok(head) => (head, keep),
+            Err(_) => {
+                shared.counters.bump_panic();
+                shared.counters.bump_error();
+                body.clear();
+                body.extend_from_slice(
+                    b"{\"status\": 500, \"error\": \"internal panic while serving request\"}\n",
+                );
+                (ResponseHead::json(500), false)
+            }
+        };
         if write_response(&mut writer, head, &body, keep).is_err() || !keep {
             return;
         }

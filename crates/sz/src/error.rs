@@ -74,6 +74,9 @@ pub enum CfcError {
     Io {
         /// What was being read or written.
         context: &'static str,
+        /// The failure's [`std::io::ErrorKind`] — the signal
+        /// [`CfcError::is_transient`] classifies retryability from.
+        kind: std::io::ErrorKind,
         /// The I/O error's message (`std::io::Error` is not `Clone`).
         detail: String,
     },
@@ -93,6 +96,40 @@ pub enum CfcError {
 }
 
 impl CfcError {
+    /// Wrap a [`std::io::Error`] with the operation it interrupted,
+    /// preserving its [`std::io::ErrorKind`] for transience classification.
+    pub fn io(context: &'static str, e: &std::io::Error) -> CfcError {
+        CfcError::Io {
+            context,
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+
+    /// Whether an [`std::io::ErrorKind`] names a *transient* condition —
+    /// one where retrying the same operation can plausibly succeed
+    /// (interrupted syscalls, timeouts, contention), as opposed to
+    /// permanent failures like missing files, bad data, or EOF.
+    ///
+    /// This is the single source of truth for every retry loop in the
+    /// workspace; see [`CfcError::is_transient`] for the error-level view.
+    pub fn io_kind_is_transient(kind: std::io::ErrorKind) -> bool {
+        use std::io::ErrorKind::*;
+        matches!(kind, Interrupted | TimedOut | WouldBlock)
+    }
+
+    /// Whether this error is worth retrying: its [`CfcError::root_cause`]
+    /// is an [`CfcError::Io`] of a transient [`std::io::ErrorKind`]
+    /// (interrupted syscall, timeout, would-block). Checksum mismatches,
+    /// truncation, and structural corruption are deterministic — retrying
+    /// them re-reads the same bad bytes — so they are never transient.
+    pub fn is_transient(&self) -> bool {
+        match self.root_cause() {
+            CfcError::Io { kind, .. } => Self::io_kind_is_transient(*kind),
+            _ => false,
+        }
+    }
+
     /// Wrap this error with the archive field (and optional block index)
     /// it occurred in. An error that already carries field context is
     /// returned unchanged — the innermost attribution, recorded closest to
@@ -156,7 +193,9 @@ impl fmt::Display for CfcError {
                 f,
                 "checksum mismatch in {context}: recorded {expected:#010x}, computed {found:#010x}"
             ),
-            CfcError::Io { context, detail } => write!(f, "I/O error while {context}: {detail}"),
+            CfcError::Io {
+                context, detail, ..
+            } => write!(f, "I/O error while {context}: {detail}"),
             CfcError::InField {
                 field,
                 block,
@@ -370,6 +409,7 @@ mod tests {
             (
                 CfcError::Io {
                     context: "writing archive",
+                    kind: std::io::ErrorKind::Other,
                     detail: "disk full".into(),
                 },
                 "I/O error while writing archive: disk full",
@@ -415,6 +455,74 @@ mod tests {
         // non-wrapped variants have no source and are their own root cause
         assert!(inner.source().is_none());
         assert_eq!(inner.root_cause(), &inner);
+    }
+
+    #[test]
+    fn io_transience_classification() {
+        use std::io::ErrorKind;
+        // transient: retrying the same operation can plausibly succeed
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+        ] {
+            assert!(CfcError::io_kind_is_transient(kind), "{kind:?}");
+            let e = CfcError::io("reading block", &std::io::Error::new(kind, "flaky"));
+            assert!(e.is_transient(), "{kind:?} should be transient");
+            // attribution does not change the classification
+            assert!(e.in_field("T", Some(2)).is_transient());
+        }
+        // permanent: the same bytes (or the same absence) come back
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::UnexpectedEof,
+            ErrorKind::InvalidData,
+            ErrorKind::BrokenPipe,
+            ErrorKind::Other,
+        ] {
+            assert!(!CfcError::io_kind_is_transient(kind), "{kind:?}");
+            let e = CfcError::io("reading block", &std::io::Error::new(kind, "dead"));
+            assert!(!e.is_transient(), "{kind:?} should be permanent");
+        }
+        // non-I/O failures are deterministic, never transient
+        for e in [
+            CfcError::ChecksumMismatch {
+                context: "archive block",
+                expected: 1,
+                found: 2,
+            },
+            CfcError::Truncated {
+                context: "header",
+                needed: 8,
+                available: 2,
+            },
+            CfcError::InvalidInput("bad".into()),
+        ] {
+            assert!(!e.is_transient(), "{e:?}");
+            assert!(!e.in_field("T", None).is_transient());
+        }
+    }
+
+    #[test]
+    fn io_constructor_preserves_kind() {
+        let e = CfcError::io(
+            "sizing archive",
+            &std::io::Error::new(std::io::ErrorKind::TimedOut, "slow disk"),
+        );
+        assert!(matches!(
+            e,
+            CfcError::Io {
+                context: "sizing archive",
+                kind: std::io::ErrorKind::TimedOut,
+                ..
+            }
+        ));
+        assert_eq!(
+            e.to_string(),
+            "I/O error while sizing archive: slow disk",
+            "kind must not leak into the stable message"
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cross_field_compression::core::archive::{ArchiveBuilder, ArchiveStore, StoreConfig};
+use cross_field_compression::core::archive::{
+    ArchiveBuilder, ArchiveReader, ArchiveStore, FaultInjectingReader, FaultPlan, StoreConfig,
+};
 use cross_field_compression::core::TrainConfig;
 use cross_field_compression::tensor::{Dataset, Field, Region, Shape};
 
@@ -243,6 +245,142 @@ fn fields_stats_and_healthz_endpoints() {
     ] {
         assert!(stats.contains(key), "missing {key} in {stats}");
     }
+}
+
+#[test]
+fn stats_schema_is_pinned() {
+    let server = ArchiveServer::bind(store(), "127.0.0.1:0", test_config()).expect("bind");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    let stats = client.get("/stats").expect("stats").body_str();
+    for key in [
+        "uptime_secs",
+        "connections",
+        "rejected_saturated",
+        "fields",
+        "region",
+        "block",
+        "stats",
+        "healthz",
+        "errors",
+        "panics",
+        "hits",
+        "misses",
+        "coalesced",
+        "insertions",
+        "evictions",
+        "cached_blocks",
+        "cached_bytes",
+        "capacity_bytes",
+        "hit_rate",
+        "retries",
+        "salvaged_blocks",
+    ] {
+        assert!(
+            stats.contains(&format!("\"{key}\"")),
+            "missing key {key} in {stats}"
+        );
+    }
+}
+
+/// One corrupt block: strict region requests answer a typed `500` naming
+/// the field, salvage-mode requests answer `200` with the healthy blocks
+/// byte-identical, the damaged block filled, and the damage advertised in
+/// both the frame header and the `X-Cfc-Damage` response header — and the
+/// server keeps serving afterwards.
+#[test]
+fn salvage_mode_serves_damaged_archives() {
+    let mut bytes = archive_bytes();
+    let reader = ArchiveReader::new(&bytes).expect("open");
+    let rh = reader
+        .entries()
+        .iter()
+        .position(|e| e.name == "RH")
+        .expect("RH entry");
+    let (off, len) = reader.entries()[rh].block_span(0).expect("span");
+    bytes[off as usize + len / 2] ^= 0x40;
+
+    let reference = store(); // the clean archive, for expected bytes
+    let damaged =
+        ArchiveStore::open(Cursor::new(bytes), StoreConfig::default()).expect("parse damaged");
+    let server = ArchiveServer::bind(damaged, "127.0.0.1:0", test_config()).expect("bind");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    let resp = client
+        .get("/field/RH/region?start=0,0&shape=32,64")
+        .expect("strict request");
+    assert_eq!(resp.status, 500, "{}", resp.body_str());
+    assert!(resp.body_str().contains("RH"), "{}", resp.body_str());
+    assert!(resp.damage().is_none());
+
+    let resp = client
+        .get("/field/RH/region?start=0,0&shape=32,64&mode=salvage&fill=-7")
+        .expect("salvage request");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert_eq!(resp.damage(), Some("RH:0"));
+    let (header, _) = resp.frame().expect("frame body");
+    assert!(header.contains("\"damage\": \"RH:0\""), "{header}");
+    let got = resp.payload_f32().expect("payload");
+    let want = reference
+        .decode_region("RH", &Region::d2(0, 32, 0, 64))
+        .expect("clean decode");
+    let block_len = CHUNK_ROWS * COLS;
+    assert!(
+        got[..block_len].iter().all(|&v| v == -7.0),
+        "damaged block must be pure fill"
+    );
+    assert!(
+        got[block_len..]
+            .iter()
+            .zip(&want.as_slice()[block_len..])
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "healthy block must be byte-identical to the clean decode"
+    );
+
+    // a healthy salvage request advertises no damage but keeps the key
+    let resp = client
+        .get("/field/T/region?start=0,0&shape=16,64&mode=salvage")
+        .expect("healthy salvage");
+    assert_eq!(resp.status, 200);
+    assert!(resp.damage().is_none());
+    assert!(resp.frame().unwrap().0.contains("\"damage\": \"\""));
+
+    assert_eq!(client.get("/healthz").expect("alive").status, 200);
+}
+
+/// A panic inside the decode path answers that one request `500`, bumps
+/// the `panics` counter, closes the connection — and the worker thread
+/// survives to serve fresh connections.
+#[test]
+fn worker_survives_handler_panic() {
+    let bytes = archive_bytes();
+    let reader = ArchiveReader::new(&bytes).expect("open");
+    let ti = reader
+        .entries()
+        .iter()
+        .position(|e| e.name == "T")
+        .expect("T entry");
+    let (off, len) = reader.entries()[ti].block_span(1).expect("span");
+    let plan = FaultPlan::new().panic_at(off..off + len as u64);
+    let faulty = FaultInjectingReader::new(Cursor::new(bytes), plan);
+    let store = ArchiveStore::open(faulty, StoreConfig::default()).expect("parse");
+    let server = ArchiveServer::bind(store, "127.0.0.1:0", test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let resp = client
+        .get(&format!(
+            "/field/T/region?start={CHUNK_ROWS},0&shape={CHUNK_ROWS},{COLS}"
+        ))
+        .expect("panicking request still gets a response");
+    assert_eq!(resp.status, 500, "{}", resp.body_str());
+    assert!(resp.body_str().contains("panic"), "{}", resp.body_str());
+    assert_eq!(resp.header("connection"), Some("close"));
+
+    let mut client = HttpClient::connect(addr).expect("reconnect");
+    assert_eq!(client.get("/healthz").expect("healthz").status, 200);
+    let stats = client.get("/stats").expect("stats").body_str();
+    assert!(stats.contains("\"panics\": 1"), "{stats}");
+    assert_eq!(server.stats().panics, 1);
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! return `Err(CfcError)` — never panic, never decode garbage silently —
 //! through both the baseline [`SzCompressor`] and the archive reader.
 
-use cross_field_compression::core::archive::{ArchiveBuilder, ArchiveReader};
+use cross_field_compression::core::archive::{ArchiveBuilder, ArchiveReader, DecodePolicy};
 use cross_field_compression::core::config::{CfnnSpec, TrainConfig};
 use cross_field_compression::core::pipeline::{CrossFieldCodec, CrossFieldCompressor};
 use cross_field_compression::core::train::train_cfnn;
@@ -342,6 +342,160 @@ fn archive_garbage_after_valid_toc_is_contained() {
         if len < 4 || &buf[..4] != b"CFAR" {
             assert!(res.unwrap().is_err());
         }
+    }
+}
+
+/// Corruption sweep over every `(field, block)`: with exactly that block's
+/// payload flipped, Strict decode fails with a typed error naming the
+/// field and block, and Salvage decode recovers **every other block
+/// byte-for-byte** while reporting exactly the corrupted block.
+#[test]
+fn salvage_sweep_recovers_every_healthy_block() {
+    let (bytes, _) = sample_archive();
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    let clean = reader.decode_all().expect("clean decode");
+    let rows_per_block = 6;
+    let cols = 24;
+    let spans: Vec<(String, usize, u64, usize)> = reader
+        .entries()
+        .iter()
+        .flat_map(|e| {
+            (0..e.n_blocks()).map(move |b| {
+                let (off, len) = e.block_span(b).expect("span");
+                (e.name.clone(), b, off, len)
+            })
+        })
+        .collect();
+    assert_eq!(spans.len(), 8, "2 fields × 4 blocks");
+
+    for (name, b, off, len) in &spans {
+        let mut bad = bytes.clone();
+        bad[*off as usize + len / 2] ^= 0x01;
+        let r = ArchiveReader::new(&bad).expect("manifest still parses");
+
+        let err = r
+            .decode_field(name)
+            .expect_err("strict decode of a corrupt block must fail");
+        match &err {
+            CfcError::InField { field, block, .. } => {
+                assert_eq!(field, name, "error must name the damaged field");
+                assert_eq!(*block, Some(*b), "error must name the damaged block");
+            }
+            other => panic!("expected InField, got {other}"),
+        }
+
+        let s = r
+            .decode_field_policy(name, DecodePolicy::Salvage { fill: f32::NAN })
+            .expect("salvage decode");
+        assert_eq!(s.damage.blocks_of(name), vec![*b], "{name}[{b}]");
+        assert_eq!(s.damage.len(), 1, "exactly one damaged location");
+        let want = clean.expect_field(name);
+        for k in 0..4usize {
+            let lo = k * rows_per_block * cols;
+            let hi = lo + rows_per_block * cols;
+            if k == *b {
+                assert!(
+                    s.data.as_slice()[lo..hi].iter().all(|v| v.is_nan()),
+                    "{name}[{k}] must be pure fill"
+                );
+            } else {
+                assert!(
+                    s.data.as_slice()[lo..hi]
+                        .iter()
+                        .zip(&want.as_slice()[lo..hi])
+                        .all(|(a, w)| a.to_bits() == w.to_bits()),
+                    "{name}[{k}] must be byte-identical with {name}[{b}] corrupt"
+                );
+            }
+        }
+    }
+}
+
+/// Corrupting an *anchor* block under salvage cascades: the target's
+/// matching block is filled too, attributed to the anchor, and every
+/// other target block still decodes byte-for-byte.
+#[test]
+fn salvage_cascades_anchor_damage_to_targets() {
+    let (bytes, _) = sample_archive();
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    let clean = reader.decode_all().expect("clean decode");
+    let a = reader
+        .entries()
+        .iter()
+        .find(|e| e.name == "A")
+        .expect("anchor entry");
+    let (off, len) = a.block_span(2).expect("span");
+    let mut bad = bytes.clone();
+    bad[off as usize + len / 2] ^= 0x08;
+
+    let r = ArchiveReader::new(&bad).expect("manifest parses");
+    let s = r
+        .decode_field_policy("T", DecodePolicy::salvage())
+        .expect("salvage decode of the dependent target");
+    assert_eq!(s.damage.blocks_of("T"), vec![2]);
+    assert_eq!(s.damage.blocks_of("A"), vec![2], "root damage recorded too");
+    let t2 = s
+        .damage
+        .iter()
+        .find(|d| d.field == "T" && d.block == 2)
+        .expect("target damage entry");
+    assert_eq!(
+        t2.cascaded_from.as_deref(),
+        Some("A"),
+        "target damage must name the corrupt anchor"
+    );
+    assert_eq!(s.damage.summary(), "A:2;T:2");
+
+    let want = clean.expect_field("T");
+    let span = 6 * 24;
+    for k in [0usize, 1, 3] {
+        assert!(
+            s.data.as_slice()[k * span..(k + 1) * span]
+                .iter()
+                .zip(&want.as_slice()[k * span..(k + 1) * span])
+                .all(|(x, w)| x.to_bits() == w.to_bits()),
+            "T[{k}] must survive A[2] corruption byte-for-byte"
+        );
+    }
+    assert!(s.data.as_slice()[2 * span..3 * span]
+        .iter()
+        .all(|v| *v == 0.0));
+}
+
+/// Several blocks corrupted at once: salvage reports exactly that set and
+/// the complement decodes byte-for-byte.
+#[test]
+fn salvage_reports_exactly_the_corrupted_set() {
+    let (bytes, _) = sample_archive();
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    let clean = reader.decode_all().expect("clean decode");
+    let t = reader
+        .entries()
+        .iter()
+        .find(|e| e.name == "T")
+        .expect("target entry");
+    let mut bad = bytes.clone();
+    for b in [0usize, 2] {
+        let (off, len) = t.block_span(b).expect("span");
+        bad[off as usize + len / 3] ^= 0x20;
+    }
+
+    let r = ArchiveReader::new(&bad).expect("manifest parses");
+    let s = r
+        .decode_field_policy("T", DecodePolicy::salvage())
+        .expect("salvage decode");
+    assert_eq!(s.damage.blocks_of("T"), vec![0, 2]);
+    assert_eq!(s.damage.len(), 2);
+    let want = clean.expect_field("T");
+    let span = 6 * 24;
+    for k in [1usize, 3] {
+        assert!(
+            s.data.as_slice()[k * span..(k + 1) * span]
+                .iter()
+                .zip(&want.as_slice()[k * span..(k + 1) * span])
+                .all(|(x, w)| x.to_bits() == w.to_bits()),
+            "healthy T[{k}] must be byte-identical"
+        );
     }
 }
 

@@ -3,8 +3,8 @@
 //! ```sh
 //! # committed numbers (a few seconds):
 //! cargo run --release -p cfc-bench --bin store_bench -- --label pr4 --out BENCH_store.json
-//! # CI smoke (sub-second, validates the JSON schema and exits non-zero on rot):
-//! cargo run --release -p cfc-bench --bin store_bench -- --smoke --out target/store_smoke.json
+//! # CI smoke (validates the JSON schema, guards the tier-2 speedup floor):
+//! cargo run --release -p cfc-bench --bin store_bench -- --smoke --out target/store_smoke.json --assert-floor 10
 //! ```
 
 use cfc_bench::store_perf::{run, to_json, validate_json, StoreBenchConfig};
@@ -14,6 +14,7 @@ fn main() {
     let mut smoke = false;
     let mut label = String::from("current");
     let mut out_path: Option<String> = None;
+    let mut floor: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -26,9 +27,18 @@ fn main() {
                 i += 1;
                 out_path = Some(args.get(i).expect("--out needs a value").clone());
             }
+            "--assert-floor" => {
+                i += 1;
+                floor = Some(
+                    args.get(i)
+                        .expect("--assert-floor needs a value")
+                        .parse()
+                        .expect("--assert-floor takes a number"),
+                );
+            }
             other => {
                 eprintln!(
-                    "unknown argument {other}; usage: store_bench [--smoke] [--label L] [--out PATH]"
+                    "unknown argument {other}; usage: store_bench [--smoke] [--label L] [--out PATH] [--assert-floor X]"
                 );
                 std::process::exit(2);
             }
@@ -69,10 +79,41 @@ fn main() {
         result.warm_region_mb_s, result.warm_speedup_x
     );
     println!(
+        "  warm, single tier     {:>9.1} MB/s  (control: tier 2 + prefetch off)",
+        result.warm_single_tier_mb_s
+    );
+    println!(
         "  concurrent warm serve {:>9.1} MB/s aggregate",
         result.concurrent_warm_mb_s
     );
     println!("  cache hit rate        {:>9.1} %", result.hit_rate * 100.0);
+    println!(
+        "  slow-source uncached  {:>9.1} MB/s  (modeled {} ms/req)",
+        result.uncached_latency_mb_s,
+        cfc_bench::store_perf::MODELED_LATENCY_MS
+    );
+    println!(
+        "  tier-2 under evict    {:>9.1} MB/s  ({:.2}x vs slow uncached)",
+        result.evicted_tier2_mb_s, result.tier2_speedup_x
+    );
+    println!(
+        "  cold scan, no prefetch{:>9.1} MB/s",
+        result.scan_no_prefetch_mb_s
+    );
+    println!(
+        "  cold scan, prefetch   {:>9.1} MB/s  ({:.2}x vs no prefetch)",
+        result.scan_prefetch_mb_s, result.prefetch_speedup_x
+    );
+
+    if let Some(floor) = floor {
+        if result.tier2_speedup_x < floor {
+            eprintln!(
+                "tier-2 speedup {:.2}x below the asserted floor {floor}x",
+                result.tier2_speedup_x
+            );
+            std::process::exit(1);
+        }
+    }
 
     let doc = to_json(std::slice::from_ref(&result));
     if let Err(e) = validate_json(&doc) {

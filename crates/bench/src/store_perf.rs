@@ -10,10 +10,31 @@
 //!   covering block (plus anchors) from the source,
 //! * `cold_region_mb_s` — first sweep of a caching store (decodes + fills),
 //! * `warm_region_mb_s` — steady-state sweeps served from the cache,
+//! * `warm_single_tier_mb_s` — the same warm sweep with tier 2 and
+//!   prefetch disabled, a same-process control isolating the tier
+//!   bookkeeping tax from host throughput drift,
 //! * `concurrent_warm_mb_s` — aggregate throughput of N threads sweeping
 //!   the warm store concurrently,
 //! * `warm_speedup_x` — warm ÷ uncached (the acceptance number),
 //! * `hit_rate` — cache hit fraction over the whole run.
+//!
+//! Two further sweeps model a *slow* source ([`LatencySource`]: an
+//! in-memory archive whose payload reads each cost a fixed
+//! [`MODELED_LATENCY_MS`], the cost profile of cold HDD or object
+//! storage) — the regime the two-tier cache and prefetch exist for:
+//!
+//! * `uncached_latency_mb_s` — the same region sweep with caching off,
+//!   paying the modeled round-trip on every block,
+//! * `evicted_tier2_mb_s` — a tiered store whose tier-1 budget holds only
+//!   25% of the working set, re-sweeping under constant eviction: demand
+//!   misses promote from tier-2 compressed bytes (in-memory decode, no
+//!   round-trip),
+//! * `tier2_speedup_x` — evicted ÷ uncached-latency (the tier-2
+//!   acceptance number; `--assert-floor` guards it in CI),
+//! * `scan_no_prefetch_mb_s` / `scan_prefetch_mb_s` — a cold sequential
+//!   block scan with prefetch off vs. on (depth 8, 6 workers): readahead
+//!   overlaps the modeled round-trips instead of paying them serially,
+//! * `prefetch_speedup_x` — prefetch ÷ no-prefetch cold scan.
 //!
 //! Throughput is MB/s of *decoded* region samples served (4 bytes each).
 //! Results serialize to a small hand-rolled JSON document (the offline
@@ -21,9 +42,9 @@
 //! assert the tooling still works without trusting absolute numbers.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use cfc_core::archive::{ArchiveBuilder, ArchiveReader, ArchiveStore, StoreConfig};
+use cfc_core::archive::{ArchiveBuilder, ArchiveReader, ArchiveSource, ArchiveStore, StoreConfig};
 use cfc_core::TrainConfig;
 use cfc_tensor::{Dataset, Field, Region, Shape};
 
@@ -31,6 +52,41 @@ use crate::rng::XorShift;
 
 /// Schema marker the JSON document carries; bump when fields change.
 pub const SCHEMA: &str = "cfc-store-bench-v1";
+
+/// Modeled per-request latency of the slow-source sweeps: the order of a
+/// cold HDD seek or an object-store GET round-trip. Large against block
+/// decode cost (~0.3–1.5 ms), which is exactly the regime where tier 2
+/// and prefetch pay.
+pub const MODELED_LATENCY_MS: u64 = 20;
+
+/// An in-memory archive whose payload-sized reads each cost a fixed
+/// sleep — deterministic stand-in for a high-latency source (cold HDD,
+/// object storage). Tiny reads (manifest field headers) stay free so the
+/// sweeps time serving, not `open()`; anything payload-sized (the
+/// synthetic blocks compress to a few hundred bytes) pays the trip.
+pub struct LatencySource {
+    bytes: Vec<u8>,
+    delay: Duration,
+}
+
+impl LatencySource {
+    pub fn new(bytes: Vec<u8>, delay: Duration) -> Self {
+        LatencySource { bytes, delay }
+    }
+}
+
+impl ArchiveSource for LatencySource {
+    fn len(&self) -> std::io::Result<u64> {
+        Ok(self.bytes.len() as u64)
+    }
+
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        if buf.len() >= 64 {
+            std::thread::sleep(self.delay);
+        }
+        self.bytes.read_exact_at(offset, buf)
+    }
+}
 
 /// Harness sizing.
 #[derive(Debug, Clone, Copy)]
@@ -94,12 +150,30 @@ pub struct StoreBenchRun {
     pub cold_region_mb_s: f64,
     /// Steady-state cached serving throughput.
     pub warm_region_mb_s: f64,
+    /// The same warm sweep on a single-tier store (tier-2 budget 0,
+    /// prefetch off) in the same process — the pr4-equivalent
+    /// bookkeeping, so `warm / warm_single_tier` isolates the tier tax
+    /// from machine-to-machine throughput drift.
+    pub warm_single_tier_mb_s: f64,
     /// `warm_region_mb_s / uncached_region_mb_s`.
     pub warm_speedup_x: f64,
     /// Aggregate warm throughput across concurrent threads.
     pub concurrent_warm_mb_s: f64,
     /// Cache hit fraction across the whole caching run.
     pub hit_rate: f64,
+    /// Cache-off sweep against the modeled high-latency source.
+    pub uncached_latency_mb_s: f64,
+    /// Tiered store under eviction pressure (tier 1 = 25% of the working
+    /// set) against the same source: misses promote from tier 2.
+    pub evicted_tier2_mb_s: f64,
+    /// `evicted_tier2_mb_s / uncached_latency_mb_s`.
+    pub tier2_speedup_x: f64,
+    /// Cold sequential block scan, prefetch disabled.
+    pub scan_no_prefetch_mb_s: f64,
+    /// The same cold scan with readahead (depth 8, 6 workers).
+    pub scan_prefetch_mb_s: f64,
+    /// `scan_prefetch_mb_s / scan_no_prefetch_mb_s`.
+    pub prefetch_speedup_x: f64,
 }
 
 /// Coupled snapshot with a genuine cross-field target: RH is a smooth
@@ -190,6 +264,27 @@ pub fn run(label: &str, cfg: StoreBenchConfig) -> StoreBenchRun {
         }
     });
 
+    // control: the identical warm sweep with tier 2 and prefetch off —
+    // pr4-equivalent bookkeeping, timed back-to-back in the same
+    // process, so the tiered/single-tier ratio isolates the tier tax
+    // (cross-run absolute numbers drift >10% with host load)
+    let single = ArchiveStore::new(
+        open(),
+        StoreConfig {
+            tier2_capacity_bytes: 0,
+            ..StoreConfig::default()
+        }
+        .no_prefetch(),
+    );
+    for r in &regions {
+        std::hint::black_box(single.decode_region("RH", r).expect("single-tier fill"));
+    }
+    let single_warm_s = best_secs(cfg.repeats, false, || {
+        for r in &regions {
+            std::hint::black_box(single.decode_region("RH", r).expect("single-tier warm"));
+        }
+    });
+
     // concurrent warm sweeps: every thread runs the full sweep, so the
     // aggregate served volume is threads × sweep_mb per round
     let shared = Arc::new(store);
@@ -213,8 +308,76 @@ pub fn run(label: &str, cfg: StoreBenchConfig) -> StoreBenchRun {
     });
     let stats = shared.stats();
 
+    // ---- slow-source sweeps: the tier-2 / prefetch regime -------------
+    let delay = Duration::from_millis(MODELED_LATENCY_MS);
+    let lat_open =
+        || ArchiveReader::open(LatencySource::new(bytes.clone(), delay)).expect("bench parse");
+
+    // cache off: every block (and anchor block) pays the round-trip.
+    // One timed sweep — the sleeps make it deterministic and expensive.
+    let lat_uncached = ArchiveStore::new(lat_open(), StoreConfig::uncached());
+    let lat_uncached_s = best_secs(1, false, || {
+        for r in &regions {
+            std::hint::black_box(lat_uncached.decode_region("RH", r).expect("latency read"));
+        }
+    });
+
+    // tier 1 sized to 25% of the decoded working set (3 fields: the
+    // target sweep drags both anchors through the cache), tier 2 big
+    // enough for every compressed payload: steady state is constant
+    // eviction, with misses promoting from tier 2 instead of re-paying
+    // the round-trip. Prefetch off so this isolates the tier.
+    let working_set = cfg.rows * cfg.cols * 4 * 3;
+    let tiered = ArchiveStore::new(
+        lat_open(),
+        StoreConfig::with_tiers(working_set / 4, 64 << 20).no_prefetch(),
+    );
+    for r in &regions {
+        std::hint::black_box(tiered.decode_region("RH", r).expect("tier fill"));
+    }
+    let evicted_s = best_secs(cfg.repeats, false, || {
+        for r in &regions {
+            std::hint::black_box(tiered.decode_region("RH", r).expect("evicted read"));
+        }
+    });
+
+    // cold sequential scan over the baseline field T, one block per
+    // region: prefetch-off pays blocks × round-trip serially; prefetch-on
+    // overlaps the round-trips on its worker pool. Fresh (cold) store per
+    // measurement — warming is the thing being measured.
+    let n_blocks = ArchiveReader::new(&bytes).expect("parse").entries()[0].n_blocks();
+    let scan: Vec<Region> = (0..n_blocks)
+        .map(|b| {
+            Region::d2(
+                b * cfg.chunk_rows,
+                ((b + 1) * cfg.chunk_rows).min(cfg.rows),
+                0,
+                cfg.cols,
+            )
+        })
+        .collect();
+    let scan_mb: f64 = scan.iter().map(|r| (r.len() * 4) as f64).sum::<f64>() / 1e6;
+    let timed_scan = |config: StoreConfig| {
+        let store = ArchiveStore::new(lat_open(), config);
+        let t0 = Instant::now();
+        for r in &scan {
+            std::hint::black_box(store.decode_region("T", r).expect("scan read"));
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let scan_off_s = timed_scan(StoreConfig::default().no_prefetch());
+    let scan_on_s = timed_scan(StoreConfig {
+        prefetch_depth: 8,
+        prefetch_workers: 6,
+        ..StoreConfig::default()
+    });
+
     let warm_mb_s = sweep_mb / warm_s.max(1e-9);
     let uncached_mb_s = sweep_mb / uncached_s.max(1e-9);
+    let uncached_latency_mb_s = sweep_mb / lat_uncached_s.max(1e-9);
+    let evicted_tier2_mb_s = sweep_mb / evicted_s.max(1e-9);
+    let scan_no_prefetch_mb_s = scan_mb / scan_off_s.max(1e-9);
+    let scan_prefetch_mb_s = scan_mb / scan_on_s.max(1e-9);
     StoreBenchRun {
         label: label.to_string(),
         n_blocks: shared.reader().entries()[0].n_blocks(),
@@ -222,9 +385,16 @@ pub fn run(label: &str, cfg: StoreBenchConfig) -> StoreBenchRun {
         uncached_region_mb_s: uncached_mb_s,
         cold_region_mb_s: sweep_mb / cold_s.max(1e-9),
         warm_region_mb_s: warm_mb_s,
+        warm_single_tier_mb_s: sweep_mb / single_warm_s.max(1e-9),
         warm_speedup_x: warm_mb_s / uncached_mb_s.max(1e-9),
         concurrent_warm_mb_s: cfg.threads as f64 * sweep_mb / conc_s.max(1e-9),
         hit_rate: stats.hit_rate(),
+        uncached_latency_mb_s,
+        evicted_tier2_mb_s,
+        tier2_speedup_x: evicted_tier2_mb_s / uncached_latency_mb_s.max(1e-9),
+        scan_no_prefetch_mb_s,
+        scan_prefetch_mb_s,
+        prefetch_speedup_x: scan_prefetch_mb_s / scan_no_prefetch_mb_s.max(1e-9),
     }
 }
 
@@ -253,6 +423,12 @@ pub fn to_json(runs: &[StoreBenchRun]) -> String {
         );
         push_field(&mut out, "cold_region_mb_s", r.cold_region_mb_s, true);
         push_field(&mut out, "warm_region_mb_s", r.warm_region_mb_s, true);
+        push_field(
+            &mut out,
+            "warm_single_tier_mb_s",
+            r.warm_single_tier_mb_s,
+            true,
+        );
         push_field(&mut out, "warm_speedup_x", r.warm_speedup_x, true);
         push_field(
             &mut out,
@@ -260,7 +436,23 @@ pub fn to_json(runs: &[StoreBenchRun]) -> String {
             r.concurrent_warm_mb_s,
             true,
         );
-        push_field(&mut out, "hit_rate", r.hit_rate, false);
+        push_field(&mut out, "hit_rate", r.hit_rate, true);
+        push_field(
+            &mut out,
+            "uncached_latency_mb_s",
+            r.uncached_latency_mb_s,
+            true,
+        );
+        push_field(&mut out, "evicted_tier2_mb_s", r.evicted_tier2_mb_s, true);
+        push_field(&mut out, "tier2_speedup_x", r.tier2_speedup_x, true);
+        push_field(
+            &mut out,
+            "scan_no_prefetch_mb_s",
+            r.scan_no_prefetch_mb_s,
+            true,
+        );
+        push_field(&mut out, "scan_prefetch_mb_s", r.scan_prefetch_mb_s, true);
+        push_field(&mut out, "prefetch_speedup_x", r.prefetch_speedup_x, false);
         out.push_str(if i + 1 < runs.len() {
             "  },\n"
         } else {
@@ -281,6 +473,19 @@ pub const REQUIRED_KEYS: [&str; 6] = [
     "hit_rate",
 ];
 
+/// Keys added with the two-tier cache: optional per run (runs recorded
+/// before the tier existed lack them), but wherever present the value
+/// must be positive.
+pub const TIERED_KEYS: [&str; 7] = [
+    "warm_single_tier_mb_s",
+    "uncached_latency_mb_s",
+    "evicted_tier2_mb_s",
+    "tier2_speedup_x",
+    "scan_no_prefetch_mb_s",
+    "scan_prefetch_mb_s",
+    "prefetch_speedup_x",
+];
+
 /// Structural validation of a store-bench JSON document: schema marker
 /// present, at least one run, every required key present with a positive
 /// value. (Not a general JSON parser — just enough to keep the CI smoke
@@ -299,20 +504,38 @@ pub fn validate_json(doc: &str) -> Result<(), String> {
         if count != n_runs {
             return Err(format!("key {key} appears {count} times for {n_runs} runs"));
         }
-        // every occurrence must be followed by a positive number
-        for (at, _) in doc.match_indices(&needle) {
-            let rest = doc[at + needle.len()..].trim_start();
-            let num: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-                .collect();
-            match num.parse::<f64>() {
-                Ok(v) if v > 0.0 && v.is_finite() => {}
-                _ => return Err(format!("key {key} has non-positive value {num:?}")),
-            }
+        check_positive(doc, &needle)?;
+    }
+    // tiered keys are optional (pre-tier runs lack them) but never bogus
+    for key in TIERED_KEYS {
+        check_positive(doc, &format!("\"{key}\":"))?;
+    }
+    Ok(())
+}
+
+/// Every occurrence of `needle` must be followed by a positive finite
+/// number.
+fn check_positive(doc: &str, needle: &str) -> Result<(), String> {
+    for (at, _) in doc.match_indices(needle) {
+        let rest = doc[at + needle.len()..].trim_start();
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        match num.parse::<f64>() {
+            Ok(v) if v > 0.0 && v.is_finite() => {}
+            _ => return Err(format!("key {needle} has non-positive value {num:?}")),
         }
     }
     Ok(())
+}
+
+/// The document tail starting at the run labelled `label` — pass to
+/// [`extract_value`] to read that run's fields (each run's keys follow
+/// its label, so first-match extraction stays within the run).
+pub fn run_slice<'a>(doc: &'a str, label: &str) -> Option<&'a str> {
+    let at = doc.find(&format!("\"label\": \"{label}\""))?;
+    Some(&doc[at..])
 }
 
 /// Extract the first numeric value following `"key":` in `doc`.
@@ -339,9 +562,16 @@ mod tests {
             uncached_region_mb_s: 100.0,
             cold_region_mb_s: 90.0,
             warm_region_mb_s: 100.0 * speedup,
+            warm_single_tier_mb_s: 100.0 * speedup,
             warm_speedup_x: speedup,
             concurrent_warm_mb_s: 500.0,
             hit_rate: 0.9,
+            uncached_latency_mb_s: 5.0,
+            evicted_tier2_mb_s: 75.0,
+            tier2_speedup_x: 15.0,
+            scan_no_prefetch_mb_s: 10.0,
+            scan_prefetch_mb_s: 40.0,
+            prefetch_speedup_x: 4.0,
         }
     }
 
@@ -376,6 +606,39 @@ mod tests {
             speedup >= 3.0,
             "committed warm-cache speedup {speedup}x below the 3x acceptance bar"
         );
+
+        // the pr9 tiered-cache run pins the two-tier and prefetch floors
+        let pr9 = run_slice(&doc, "pr9").expect("committed document carries a pr9 run");
+        let tier2 = extract_value(pr9, "tier2_speedup_x").expect("pr9 carries tier2_speedup_x");
+        assert!(
+            tier2 >= 10.0,
+            "committed tier-2 speedup {tier2}x below the 10x acceptance bar"
+        );
+        let prefetch =
+            extract_value(pr9, "prefetch_speedup_x").expect("pr9 carries prefetch_speedup_x");
+        assert!(
+            prefetch >= 1.5,
+            "committed prefetch speedup {prefetch}x below the 1.5x acceptance bar"
+        );
+        // the tiered cache must not have taxed the plain warm path:
+        // within 10% of the same-run single-tier (pr4-equivalent
+        // bookkeeping) control. The control runs back-to-back in the
+        // same process because cross-session absolute throughput drifts
+        // more than 10% with host load — re-measured on the pr9 host,
+        // the committed pr4 code itself served 11.5–12.9 GB/s against
+        // its recorded 14.7.
+        let pr9_warm = extract_value(pr9, "warm_region_mb_s").expect("pr9 warm");
+        let pr9_single =
+            extract_value(pr9, "warm_single_tier_mb_s").expect("pr9 single-tier control");
+        assert!(
+            pr9_warm >= 0.9 * pr9_single,
+            "pr9 tiered warm serve {pr9_warm} MB/s regressed more than 10% from the \
+             same-run single-tier control {pr9_single}"
+        );
+        // and the pr4 baseline run must still be present, un-rewritten
+        let pr4_warm = extract_value(run_slice(&doc, "pr4").expect("pr4 run"), "warm_region_mb_s")
+            .expect("pr4 warm");
+        assert!(pr4_warm > 0.0);
     }
 
     #[test]
@@ -383,6 +646,8 @@ mod tests {
         let run = run("unit-smoke", StoreBenchConfig::smoke());
         assert!(run.warm_region_mb_s > 0.0);
         assert!(run.hit_rate > 0.0);
+        assert!(run.tier2_speedup_x > 0.0);
+        assert!(run.prefetch_speedup_x > 0.0);
         validate_json(&to_json(&[run])).expect("smoke run document validates");
     }
 }

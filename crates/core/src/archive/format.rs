@@ -4,16 +4,16 @@
 //! Everything in this module is pure structure — no compression, no
 //! threading. [`super::writer`] serializes these structs, [`super::reader`]
 //! and [`super::store`] consume them. The per-field manifest row is
-//! [`ArchiveEntry`]; the incremental, bounds-checked parse over a seekable
-//! source is the crate-private `TocReader` plus `parse_entry_v1` /
-//! `parse_entry_v2`.
-
-use std::io::{Read, Seek, SeekFrom};
+//! [`ArchiveEntry`]; the incremental, bounds-checked parse over a
+//! positional [`ArchiveSource`] is the crate-private `TocReader` plus
+//! `parse_entry_v1` / `parse_entry_v2`.
 
 use bytes::BufMut;
 use cfc_sz::stream::MAX_ELEMENTS;
 use cfc_sz::CfcError;
 use cfc_tensor::Shape;
+
+use super::source::ArchiveSource;
 
 /// Archive magic bytes.
 pub const ARCHIVE_MAGIC: &[u8; 4] = b"CFAR";
@@ -236,16 +236,16 @@ impl ArchiveEntry {
     }
 }
 
-/// Incremental table-of-contents reader over a seekable source: tracks the
-/// absolute position, bounds every read against the source length, and
+/// Incremental table-of-contents reader over a positional source: tracks
+/// the absolute position, bounds every read against the source length, and
 /// maps short reads to [`CfcError::Truncated`].
-pub(crate) struct TocReader<'a, R: Read + Seek> {
-    pub(crate) src: &'a mut R,
+pub(crate) struct TocReader<'a, S: ArchiveSource> {
+    pub(crate) src: &'a S,
     pub(crate) pos: u64,
     pub(crate) len: u64,
 }
 
-impl<R: Read + Seek> TocReader<'_, R> {
+impl<S: ArchiveSource> TocReader<'_, S> {
     pub(crate) fn remaining(&self) -> u64 {
         self.len - self.pos
     }
@@ -260,7 +260,7 @@ impl<R: Read + Seek> TocReader<'_, R> {
         }
         let mut buf = vec![0u8; n];
         self.src
-            .read_exact(&mut buf)
+            .read_exact_at(self.pos, &mut buf)
             .map_err(|e| CfcError::io(context, &e))?;
         self.pos += n as u64;
         Ok(buf)
@@ -274,10 +274,8 @@ impl<R: Read + Seek> TocReader<'_, R> {
                 available: self.remaining() as usize,
             });
         }
+        // positional source: skipping is pure arithmetic, no seek to issue
         self.pos += n;
-        self.src
-            .seek(SeekFrom::Start(self.pos))
-            .map_err(|e| CfcError::io(context, &e))?;
         Ok(())
     }
 
@@ -336,8 +334,8 @@ impl<R: Read + Seek> TocReader<'_, R> {
 
 /// Parse one v1 manifest row (monolithic per-field stream, no shape, no
 /// block index) and skip over its payload.
-pub(crate) fn parse_entry_v1<R: Read + Seek>(
-    toc: &mut TocReader<'_, R>,
+pub(crate) fn parse_entry_v1<S: ArchiveSource>(
+    toc: &mut TocReader<'_, S>,
 ) -> Result<ArchiveEntry, CfcError> {
     let name = toc.str("field name")?;
     let role = FieldRole::from_u8(toc.u8("field role")?).ok_or(CfcError::Corrupt {
@@ -376,8 +374,8 @@ pub(crate) fn parse_entry_v1<R: Read + Seek>(
 /// Parse one v2 manifest row (shape, chunk geometry, meta area, block
 /// index) and skip over its payload, validating every length and offset
 /// against the source size.
-pub(crate) fn parse_entry_v2<R: Read + Seek>(
-    toc: &mut TocReader<'_, R>,
+pub(crate) fn parse_entry_v2<S: ArchiveSource>(
+    toc: &mut TocReader<'_, S>,
 ) -> Result<ArchiveEntry, CfcError> {
     let name = toc.str("field name")?;
     let role = FieldRole::from_u8(toc.u8("field role")?).ok_or(CfcError::Corrupt {

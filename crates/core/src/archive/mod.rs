@@ -15,7 +15,7 @@
 //!        ──► one versioned, self-describing CFAR v2 container with a
 //!            per-field block index (offset | length | CRC32)
 //!
-//!   ArchiveReader::open(impl Read + Seek) ──► manifest only (no payloads)
+//!   ArchiveReader::open(impl ArchiveSource) ──► manifest only (no payloads)
 //!        decode_all(): every block of every field in parallel
 //!        decode_block(field, i): reads + decodes ONE block (plus the same
 //!            anchor blocks when the field is a cross-field target)
@@ -23,10 +23,12 @@
 //!            intersect the region's axis-0 range
 //!
 //!   ArchiveStore::new(reader, config) ──► shared, thread-safe serving
-//!        layer: the same decode calls behind a byte-budgeted LRU cache of
-//!        decoded blocks with single-flight dedup — repeated or concurrent
-//!        reads of hot regions (and the anchor blocks cross-field targets
-//!        drag in) decode once and then hit the cache
+//!        layer: the same decode calls behind a two-tier cache (byte-
+//!        budgeted LRU of decoded blocks over an LRU of compressed block
+//!        bytes) with single-flight dedup and sequential-scan prefetch —
+//!        repeated or concurrent reads of hot regions (and the anchor
+//!        blocks cross-field targets drag in) decode once and then hit
+//!        the cache; evicted blocks re-enter via a cheap in-memory decode
 //! ```
 //!
 //! ## Module layout
@@ -36,11 +38,16 @@
 //!   ([`ArchiveEntry`]) parsing for both container versions.
 //! * [`writer`] — [`ArchiveBuilder`] → [`ArchiveWriter`]: role planning,
 //!   CFNN training, parallel per-(field, block) encode, serialization.
+//! * [`source`](mod@source) — [`ArchiveSource`]: the positional
+//!   (`pread`-style) byte-source trait archives are read through, so
+//!   concurrent block decodes never serialize on a shared cursor;
+//!   [`SeekSource`] adapts plain `Read + Seek` streams.
 //! * [`reader`] — [`ArchiveReader`]: stateless, lazily-reading decode of
 //!   whole snapshots, single fields, single blocks, or axis-aligned
-//!   regions from any `Read + Seek` source.
+//!   regions from any [`ArchiveSource`].
 //! * [`store`] — [`ArchiveStore`]: a concurrent serving layer over a
-//!   reader, with a decoded-block LRU cache and [`StoreStats`] counters.
+//!   reader, with a two-tier block cache (decoded fields over compressed
+//!   bytes), speculative sequential prefetch, and [`StoreStats`] counters.
 //!
 //! ## Container versions
 //!
@@ -66,6 +73,7 @@ pub mod fault;
 pub mod format;
 pub mod reader;
 pub mod scrub;
+pub mod source;
 pub mod store;
 pub mod writer;
 
@@ -79,6 +87,7 @@ pub use reader::{ArchiveReader, ArchiveScratch};
 pub use scrub::{
     repair_bytes, scrub_bytes, RepairOutcome, ScrubFinding, ScrubKind, ScrubOptions, ScrubReport,
 };
+pub use source::{ArchiveSource, SeekSource};
 pub use store::{ArchiveStore, StoreConfig, StoreStats};
 pub use writer::{ArchiveBuilder, ArchiveReport, ArchiveWriter, FieldReport};
 

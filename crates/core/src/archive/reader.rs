@@ -14,8 +14,6 @@
 //! threads, wrap a reader in [`super::store::ArchiveStore`].
 
 use std::collections::HashMap;
-use std::io::{Read, Seek, SeekFrom};
-use std::sync::Mutex;
 
 use cfc_sz::error::Reader;
 use cfc_sz::stream::Container;
@@ -29,9 +27,10 @@ use crate::predictor::CrossFieldHybridPredictor;
 
 use super::damage::{DamageMap, DecodePolicy, Salvaged};
 use super::format::{
-    block_range, parse_entry_v1, parse_entry_v2, slab_shape_of, ArchiveEntry, FieldRole, TocReader,
-    ARCHIVE_MAGIC, ARCHIVE_VERSION, MIN_SUPPORTED_VERSION,
+    block_range, parse_entry_v1, parse_entry_v2, slab_shape_of, ArchiveEntry, BlockMeta, FieldRole,
+    TocReader, ARCHIVE_MAGIC, ARCHIVE_VERSION, MIN_SUPPORTED_VERSION,
 };
+use super::source::ArchiveSource;
 use super::{run_parallel, run_parallel_scratch};
 
 /// A slab of `fill` values shaped like block `idx` of a v2 entry — what a
@@ -108,14 +107,19 @@ pub(crate) type AnchorMemo = HashMap<(usize, usize), Field>;
 pub(crate) type TargetMeta = (Vec<u8>, HybridModel);
 
 /// Reads archives written by [`super::ArchiveWriter`] — lazily, from any
-/// seekable byte source. Only the manifest is parsed up front; payload
-/// bytes are read (and CRC-checked) when a field, block, or region is
-/// decoded.
+/// positional [`ArchiveSource`] (a file, an in-memory buffer, a
+/// [`super::source::SeekSource`]-wrapped stream). Only the manifest is
+/// parsed up front; payload bytes are read (and CRC-checked) when a field,
+/// block, or region is decoded.
+///
+/// Because sources are positional, concurrent block decodes never
+/// serialize on a shared cursor — files go straight to `pread`, buffers
+/// to a slice copy.
 pub struct ArchiveReader<R> {
     name: String,
     version: u16,
     entries: Vec<ArchiveEntry>,
-    src: Mutex<R>,
+    src: R,
     src_len: u64,
 }
 
@@ -127,21 +131,17 @@ impl ArchiveReader<std::io::Cursor<Vec<u8>>> {
     }
 }
 
-impl<R: Read + Seek + Send> ArchiveReader<R> {
-    /// Parse and validate the archive table of contents from a seekable
-    /// source (a file, a cursor, …). Payloads are not read yet.
-    /// (`Send` lets block decodes fan out across worker threads.)
+impl<R: ArchiveSource> ArchiveReader<R> {
+    /// Parse and validate the archive table of contents from a positional
+    /// source. Payloads are not read yet.
     ///
     /// Total over arbitrary bytes: bad magic, future versions, truncation,
     /// block indexes pointing past EOF, duplicate or dangling names all
     /// return [`CfcError`].
-    pub fn open(mut src: R) -> Result<Self, CfcError> {
-        let io = |context: &'static str| move |e: std::io::Error| CfcError::io(context, &e);
-        let src_len = src.seek(SeekFrom::End(0)).map_err(io("sizing archive"))?;
-        src.seek(SeekFrom::Start(0))
-            .map_err(io("rewinding archive"))?;
+    pub fn open(src: R) -> Result<Self, CfcError> {
+        let src_len = src.len().map_err(|e| CfcError::io("sizing archive", &e))?;
         let mut toc = TocReader {
-            src: &mut src,
+            src: &src,
             pos: 0,
             len: src_len,
         };
@@ -239,7 +239,7 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
             name,
             version,
             entries,
-            src: Mutex::new(src),
+            src,
             src_len,
         })
     }
@@ -302,7 +302,8 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         Ok(buf)
     }
 
-    /// Read `len` bytes at absolute offset `at` into a reusable buffer.
+    /// Read `len` bytes at absolute offset `at` into a reusable buffer —
+    /// one positional read, no shared cursor, safe from any thread.
     fn read_at_into(
         &self,
         at: u64,
@@ -310,12 +311,9 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         context: &'static str,
         buf: &mut Vec<u8>,
     ) -> Result<(), CfcError> {
-        let mut src = self.src.lock().unwrap_or_else(|p| p.into_inner());
-        src.seek(SeekFrom::Start(at))
-            .map_err(|e| CfcError::io(context, &e))?;
         buf.clear();
         buf.resize(len, 0);
-        src.read_exact(buf).map_err(|e| {
+        self.src.read_exact_at(at, buf).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
                 CfcError::Truncated {
                     context,
@@ -329,6 +327,21 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         Ok(())
     }
 
+    /// Block index row for `idx`, or the typed out-of-range error.
+    fn block_meta<'e>(
+        &self,
+        entry: &'e ArchiveEntry,
+        idx: usize,
+    ) -> Result<&'e BlockMeta, CfcError> {
+        entry.blocks.get(idx).ok_or_else(|| {
+            CfcError::InvalidInput(format!(
+                "field {} has {} blocks, asked for {idx}",
+                entry.name,
+                entry.blocks.len()
+            ))
+        })
+    }
+
     /// Read one block's bytes into the scratch buffer and verify its CRC.
     fn read_block_into(
         &self,
@@ -336,13 +349,7 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         idx: usize,
         scratch: &mut ArchiveScratch,
     ) -> Result<(), CfcError> {
-        let b = entry.blocks.get(idx).ok_or_else(|| {
-            CfcError::InvalidInput(format!(
-                "field {} has {} blocks, asked for {idx}",
-                entry.name,
-                entry.blocks.len()
-            ))
-        })?;
+        let b = self.block_meta(entry, idx)?;
         let cap = scratch.block.capacity();
         self.read_at_into(
             entry.payload_base + b.rel_offset,
@@ -351,15 +358,23 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
             &mut scratch.block,
         )?;
         scratch.block_growths += usize::from(scratch.block.capacity() > cap);
-        let found = crc32(&scratch.block);
-        if found != b.crc {
-            return Err(CfcError::ChecksumMismatch {
-                context: "archive block",
-                expected: b.crc,
-                found,
-            });
-        }
-        Ok(())
+        verify_block_crc(b, &scratch.block)
+    }
+
+    /// Read one block's raw (compressed) bytes into a fresh owned buffer
+    /// and verify its CRC — the fetch half of a block decode, split out so
+    /// a caching layer can retain the (typically 6–7× smaller) compressed
+    /// bytes as a second cache tier once the decode succeeds. Errors carry
+    /// no field context; callers wrap with [`CfcError::in_field`].
+    pub(crate) fn fetch_block_bytes(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+    ) -> Result<Vec<u8>, CfcError> {
+        let b = self.block_meta(entry, idx)?;
+        let bytes = self.read_at(entry.payload_base + b.rel_offset, b.len, "archive block")?;
+        verify_block_crc(b, &bytes)?;
+        Ok(bytes)
     }
 
     /// Read a field's meta area (embedded model + hybrid weights).
@@ -396,7 +411,32 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         scratch: &mut ArchiveScratch,
     ) -> Result<Field, CfcError> {
         self.read_block_into(entry, idx, scratch)?;
-        let field = baseline_decoder().decompress_with(&scratch.block, &mut scratch.dec)?;
+        let ArchiveScratch { block, dec, .. } = scratch;
+        self.decode_baseline_bytes_inner(entry, idx, block, dec)
+    }
+
+    /// Decode one baseline block from already-fetched, CRC-verified bytes
+    /// — the pure-CPU half of [`ArchiveReader::decode_baseline_block`],
+    /// used by tier-2 cache promotion (no source I/O).
+    pub(crate) fn decode_baseline_block_bytes(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        bytes: &[u8],
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        self.decode_baseline_bytes_inner(entry, idx, bytes, &mut scratch.dec)
+            .map_err(|e| e.in_field(&entry.name, Some(idx)))
+    }
+
+    fn decode_baseline_bytes_inner(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        bytes: &[u8],
+        dec: &mut DecodeScratch,
+    ) -> Result<Field, CfcError> {
+        let field = baseline_decoder().decompress_with(bytes, dec)?;
         self.check_slab_shape(entry, idx, field.shape())?;
         Ok(field)
     }
@@ -416,6 +456,33 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
             .map_err(|e| e.in_field(&entry.name, Some(idx)))
     }
 
+    /// Decode one target block from already-fetched, CRC-verified bytes
+    /// given its decoded anchor slabs and parsed meta — the pure-CPU half
+    /// of [`ArchiveReader::decode_target_block`], used by tier-2 cache
+    /// promotion (no source I/O for the block itself).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn decode_target_block_bytes(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        bytes: &[u8],
+        anchor_slabs: &[&Field],
+        model_bytes: &[u8],
+        hybrid: &HybridModel,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        self.decode_target_bytes_inner(
+            entry,
+            idx,
+            bytes,
+            anchor_slabs,
+            model_bytes,
+            hybrid,
+            &mut scratch.dec,
+        )
+        .map_err(|e| e.in_field(&entry.name, Some(idx)))
+    }
+
     fn decode_target_block_inner(
         &self,
         entry: &ArchiveEntry,
@@ -426,7 +493,22 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         scratch: &mut ArchiveScratch,
     ) -> Result<Field, CfcError> {
         self.read_block_into(entry, idx, scratch)?;
-        let container = Container::try_from_bytes(&scratch.block)?;
+        let ArchiveScratch { block, dec, .. } = scratch;
+        self.decode_target_bytes_inner(entry, idx, block, anchor_slabs, model_bytes, hybrid, dec)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_target_bytes_inner(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        bytes: &[u8],
+        anchor_slabs: &[&Field],
+        model_bytes: &[u8],
+        hybrid: &HybridModel,
+        dec: &mut DecodeScratch,
+    ) -> Result<Field, CfcError> {
+        let container = Container::try_from_bytes(bytes)?;
         self.check_slab_shape(entry, idx, container.shape)?;
         let ndim = container.shape.ndim();
         let mut model = deserialize_model(model_bytes)?;
@@ -459,8 +541,7 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
         }
         let diffs = predict_differences(&mut model, anchor_slabs);
         let predictor = CrossFieldHybridPredictor::new(&diffs, container.eb, hybrid.clone());
-        let lattice =
-            baseline_decoder().decompress_lattice_with(&container, &predictor, &mut scratch.dec)?;
+        let lattice = baseline_decoder().decompress_lattice_with(&container, &predictor, dec)?;
         Ok(lattice.reconstruct(container.eb))
     }
 
@@ -867,6 +948,19 @@ impl<R: Read + Seek + Send> ArchiveReader<R> {
             .decompress(&stream, anchors)
             .map_err(|e| e.in_field(&entry.name, None))
     }
+}
+
+/// Verify a block's CRC32 against its index row.
+fn verify_block_crc(b: &BlockMeta, bytes: &[u8]) -> Result<(), CfcError> {
+    let found = crc32(bytes);
+    if found != b.crc {
+        return Err(CfcError::ChecksumMismatch {
+            context: "archive block",
+            expected: b.crc,
+            found,
+        });
+    }
+    Ok(())
 }
 
 /// Decoder-side baseline codec. The bound is irrelevant on decode (streams

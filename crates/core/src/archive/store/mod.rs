@@ -1,0 +1,934 @@
+//! Concurrent archive serving layer: a thread-safe wrapper over
+//! [`ArchiveReader`] with a two-tier block cache and speculative
+//! sequential prefetch.
+//!
+//! A plain [`ArchiveReader`] is stateless: every `decode_region` call
+//! re-decodes the blocks it covers, and a cross-field target pays an extra
+//! decode of its anchor blocks on every read. [`ArchiveStore`] turns the
+//! per-request decode tax into a cache hit:
+//!
+//! * **Tier 1: decoded-block LRU** — keyed by `(field, block)`, bounded by
+//!   a byte budget ([`StoreConfig::capacity_bytes`]) measured in decoded
+//!   `f32` bytes. Anchor blocks dragged in by cross-field targets go
+//!   through the same cache, so repeated region reads over a CFNN/hybrid
+//!   target stop re-decoding their anchors.
+//! * **Tier 2: compressed-bytes LRU** — the raw (CRC-verified) block
+//!   bytes, bounded by [`StoreConfig::tier2_capacity_bytes`]. At the
+//!   archive's typical 6–7× compression the same budget covers ~6–7× more
+//!   data than tier 1, so a block evicted from tier 1 usually re-enters
+//!   with a cheap in-memory decode instead of a source read — the
+//!   difference between microseconds and a disk (or object-store)
+//!   round-trip. Tier-1 evictions *demote* (refresh the tier-2 entry);
+//!   tier-2 hits *promote* back into tier 1 on decode.
+//! * **Speculative prefetch** — `decode_region`/`decode_field`/
+//!   `decode_block` report the block window they covered; two consecutive
+//!   windows on a field with the same positive axis-0 stride make an
+//!   active scan, and the next [`StoreConfig::prefetch_depth`] blocks are
+//!   decoded ahead on detached workers through the same single-flight
+//!   slots, so a demand read arriving mid-prefetch coalesces instead of
+//!   decoding twice.
+//! * **Single-flight dedup** — concurrent requests for the same block
+//!   coalesce: one thread decodes, the rest wait and share the result.
+//! * **Negative caching** — repeated probes for unknown field names are
+//!   answered from a small error cache instead of re-formatting the error
+//!   each time (counted in [`StoreStats::negative_hits`]).
+//! * **Shared scratch pool** — decode workers borrow
+//!   [`ArchiveScratch`] buffers from a [`ScratchPool`] so steady-state
+//!   serving stays allocation-light without per-thread ownership.
+//!
+//! Nothing ever enters either tier unless its whole decode succeeded:
+//! CRC-failed bytes and [`DecodePolicy::Salvage`] fill are never cached,
+//! in tier 1 *or* tier 2. [`ArchiveStore::purge`] and
+//! [`ArchiveStore::invalidate_field`] drop cached state after the
+//! underlying archive is rewritten (e.g. by `cfc-fsck --repair`), with a
+//! generation guard so in-flight decodes can't resurrect stale blocks.
+//!
+//! All methods take `&self`; wrap the store in an `Arc` and call it from
+//! as many threads as you like. Cache hits clone an `Arc<Field>`, never
+//! the samples.
+//!
+//! ```no_run
+//! use cfc_core::archive::{ArchiveReader, ArchiveStore, StoreConfig};
+//! use cfc_tensor::Region;
+//!
+//! let file = std::fs::File::open("snapshot.cfar").unwrap();
+//! let reader = ArchiveReader::open(file).unwrap();
+//! let store = std::sync::Arc::new(ArchiveStore::new(
+//!     reader,
+//!     StoreConfig::with_capacity(256 << 20),
+//! ));
+//! let window = store.decode_region("RH", &Region::d2(100, 200, 0, 512)).unwrap();
+//! println!("{} samples, stats {:?}", window.len(), store.stats());
+//! ```
+
+mod prefetch;
+mod tier;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use cfc_sz::{CfcError, ScratchPool};
+use cfc_tensor::{Field, Region};
+
+use super::damage::{DamageMap, DecodePolicy, Salvaged};
+use super::format::FieldRole;
+use super::reader::{fill_slab, record_block_damage, ArchiveReader, ArchiveScratch, TargetMeta};
+use super::source::ArchiveSource;
+
+use prefetch::{PrefetchShared, WorkerSet};
+use tier::{lock, BlockKey, CacheInner, Flight, FlightPublisher};
+
+/// Unknown-field errors cached for negative lookups (bounded so an
+/// adversarial probe stream can't grow the map without limit).
+const NEGATIVE_CACHE_CAP: usize = 256;
+
+/// Configuration for an [`ArchiveStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Byte budget for tier 1, the cache of decoded blocks (decoded `f32`
+    /// bytes, i.e. 4 × elements per block). `0` disables caching entirely
+    /// — every call decodes from the source, tier 2 and prefetch
+    /// included — which is the right baseline for measurements and for
+    /// callers that never re-read.
+    pub capacity_bytes: usize,
+    /// Byte budget for tier 2, the cache of raw *compressed* block bytes.
+    /// Blocks evicted from tier 1 whose bytes are still resident here
+    /// re-enter with an in-memory decode instead of a source read. `0`
+    /// disables the tier.
+    pub tier2_capacity_bytes: usize,
+    /// Idle [`ArchiveScratch`] values kept in the worker pool (extras
+    /// returned beyond this are dropped).
+    pub max_idle_scratch: usize,
+    /// Times a block decode that failed with a *transient* I/O error
+    /// ([`CfcError::is_transient`]) is retried before the error is
+    /// surfaced. `0` disables retrying.
+    pub max_retries: u32,
+    /// Sleep before retry `n` (1-based) is `n × retry_backoff` — linear
+    /// backoff, so a persistently flaky source backs off harder.
+    pub retry_backoff: std::time::Duration,
+    /// Blocks decoded ahead of an active sequential scan. `0` disables
+    /// prefetch.
+    pub prefetch_depth: usize,
+    /// Detached prefetch workers (spawned lazily on the first prediction;
+    /// a store that never scans spawns none). `0` disables prefetch.
+    pub prefetch_workers: usize,
+}
+
+impl Default for StoreConfig {
+    /// 256 MiB of decoded blocks over 64 MiB of compressed bytes (≈
+    /// 400+ MiB of decoded coverage at the typical 6–7× ratio), one idle
+    /// scratch per available core, 2 transient retries at 1 ms linear
+    /// backoff, prefetch 4 blocks ahead on 2 workers.
+    fn default() -> Self {
+        StoreConfig {
+            capacity_bytes: 256 << 20,
+            tier2_capacity_bytes: 64 << 20,
+            max_idle_scratch: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8),
+            max_retries: 2,
+            retry_backoff: std::time::Duration::from_millis(1),
+            prefetch_depth: 4,
+            prefetch_workers: 2,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Default configuration at an explicit tier-1 cache byte budget.
+    pub fn with_capacity(capacity_bytes: usize) -> Self {
+        StoreConfig {
+            capacity_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Default configuration at explicit tier-1 and tier-2 byte budgets.
+    pub fn with_tiers(capacity_bytes: usize, tier2_capacity_bytes: usize) -> Self {
+        StoreConfig {
+            capacity_bytes,
+            tier2_capacity_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// A store with all caching disabled (every read decodes from the
+    /// source; no prefetch).
+    pub fn uncached() -> Self {
+        StoreConfig {
+            capacity_bytes: 0,
+            tier2_capacity_bytes: 0,
+            prefetch_depth: 0,
+            ..Self::default()
+        }
+    }
+
+    /// This configuration with speculative prefetch disabled — for
+    /// deterministic tests/benches where background decodes would perturb
+    /// counters or timings.
+    pub fn no_prefetch(mut self) -> Self {
+        self.prefetch_depth = 0;
+        self
+    }
+}
+
+/// Point-in-time snapshot of an [`ArchiveStore`]'s counters, from
+/// [`ArchiveStore::snapshot`].
+///
+/// Every field is captured under one lock acquisition, so the counters
+/// are mutually consistent: `cached_blocks == insertions - evictions`,
+/// `insertions <= misses + prefetched_blocks`, `tier2_hits <= misses`,
+/// and `hits + misses` never under-counts a request whose effect is
+/// already visible elsewhere in the snapshot.
+///
+/// `hits`/`misses`/`hit_rate` describe *demand* traffic against tier 1
+/// only — prefetch workers never touch them, so the hit rate keeps
+/// meaning "fraction of caller block requests served without decoding".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Block requests served without decoding: from tier 1, or handed the
+    /// result of another thread's in-flight decode.
+    pub hits: u64,
+    /// Block requests that had to decode (from tier-2 bytes or from the
+    /// source).
+    pub misses: u64,
+    /// Tier-1 blocks dropped: evicted to stay under the byte budget,
+    /// replaced by a newer decode, or invalidated.
+    pub evictions: u64,
+    /// Blocks inserted into tier 1.
+    pub insertions: u64,
+    /// Requests that waited for another thread's in-flight decode of the
+    /// same block instead of decoding it again (single-flight dedup).
+    pub coalesced: u64,
+    /// Blocks currently in tier 1.
+    pub cached_blocks: usize,
+    /// Decoded bytes currently in tier 1.
+    pub cached_bytes: usize,
+    /// Configured tier-1 byte budget.
+    pub capacity_bytes: usize,
+    /// Block decodes re-attempted after a transient I/O failure
+    /// ([`StoreConfig::max_retries`] bounds the attempts per decode).
+    pub retries: u64,
+    /// Damaged blocks replaced by fill values by a
+    /// [`DecodePolicy::Salvage`] decode instead of failing the call.
+    pub salvaged_blocks: u64,
+    /// Demand misses whose compressed bytes were still in tier 2 — served
+    /// by an in-memory decode, no source I/O. Always ≤ `misses`.
+    pub tier2_hits: u64,
+    /// Compressed block payloads inserted into tier 2.
+    pub tier2_insertions: u64,
+    /// Tier-2 entries dropped (budget evictions, replacements,
+    /// invalidations).
+    pub tier2_evictions: u64,
+    /// Blocks currently in tier 2.
+    pub tier2_blocks: usize,
+    /// Compressed bytes currently in tier 2.
+    pub tier2_bytes: usize,
+    /// Configured tier-2 byte budget.
+    pub tier2_capacity_bytes: usize,
+    /// Tier-1 evictions whose compressed bytes remained resident in
+    /// tier 2 (the block stayed one in-memory decode away).
+    pub demotions: u64,
+    /// Blocks decoded out of tier 2 back into tier 1.
+    pub promotions: u64,
+    /// Blocks queued for speculative decode by the scan detector.
+    pub prefetch_issued: u64,
+    /// Blocks actually decoded by prefetch workers (issued minus those
+    /// already cached, in flight, or dropped at shutdown).
+    pub prefetched_blocks: u64,
+    /// Demand hits on a block a prefetch worker had decoded ahead of the
+    /// scan (each prefetched block counts at most once).
+    pub prefetch_hits: u64,
+    /// Unknown-field probes answered from the negative name cache.
+    pub negative_hits: u64,
+}
+
+impl StoreStats {
+    /// Total block requests observed (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of demand block requests served from tier 1 (0 when no
+    /// requests have been made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Everything the store and its detached prefetch workers share: the
+/// reader, configuration, both cache tiers, scratch, metadata caches, and
+/// the prefetch queue. Reference-counted so workers can outlive a single
+/// call and still be joined on store drop.
+struct StoreCore<R> {
+    reader: ArchiveReader<R>,
+    config: StoreConfig,
+    cache: Mutex<CacheInner>,
+    scratch: ScratchPool<ArchiveScratch>,
+    /// Parsed target meta (CFNN bytes + hybrid weights), once per field.
+    metas: Mutex<HashMap<usize, Arc<TargetMeta>>>,
+    /// Pre-built unknown-field errors, so repeated bad-name probes skip
+    /// the per-probe scan + format (bounded by [`NEGATIVE_CACHE_CAP`]).
+    negatives: Mutex<HashMap<String, CfcError>>,
+    prefetch: Arc<PrefetchShared>,
+}
+
+/// Concurrent, caching serving layer over an [`ArchiveReader`].
+///
+/// See the [module docs](self) for the design; in short: `&self` methods,
+/// a `(field, block)`-keyed two-tier cache (decoded blocks over
+/// compressed bytes, each with its own byte budget), single-flight decode
+/// dedup, speculative sequential prefetch, and [`StoreStats`] counters.
+/// Construct once, share behind an `Arc`, serve from any number of
+/// threads.
+pub struct ArchiveStore<R> {
+    core: Arc<StoreCore<R>>,
+    workers: WorkerSet,
+}
+
+impl<R: ArchiveSource + 'static> ArchiveStore<R> {
+    /// Wrap a parsed reader in a store with the given configuration.
+    pub fn new(reader: ArchiveReader<R>, config: StoreConfig) -> Self {
+        let prefetch = Arc::new(PrefetchShared::new());
+        ArchiveStore {
+            core: Arc::new(StoreCore {
+                reader,
+                cache: Mutex::new(CacheInner::default()),
+                scratch: ScratchPool::new(config.max_idle_scratch),
+                metas: Mutex::new(HashMap::new()),
+                negatives: Mutex::new(HashMap::new()),
+                prefetch: Arc::clone(&prefetch),
+                config,
+            }),
+            workers: WorkerSet::new(prefetch),
+        }
+    }
+
+    /// Parse an archive from a positional source and wrap it in a store
+    /// (shorthand for [`ArchiveReader::open`] + [`ArchiveStore::new`]).
+    pub fn open(src: R, config: StoreConfig) -> Result<Self, CfcError> {
+        Ok(Self::new(ArchiveReader::open(src)?, config))
+    }
+
+    /// The wrapped reader (manifest access, uncached decode calls).
+    pub fn reader(&self) -> &ArchiveReader<R> {
+        &self.core.reader
+    }
+
+    /// Archive (dataset) name.
+    pub fn archive_name(&self) -> &str {
+        self.core.reader.name()
+    }
+
+    /// Container version of the wrapped archive (1 or 2).
+    pub fn version(&self) -> u16 {
+        self.core.reader.version()
+    }
+
+    /// Read-only metadata views of every field, in archive order.
+    pub fn field_infos(&self) -> Vec<super::format::FieldInfo> {
+        self.core.reader.field_infos()
+    }
+
+    /// Metadata view of one field, `None` when the archive has no field of
+    /// that name.
+    pub fn field_info(&self, name: &str) -> Option<super::format::FieldInfo> {
+        self.core.reader.field_info(name)
+    }
+
+    /// Consistent point-in-time snapshot of the cache counters: every
+    /// field is read under one lock acquisition, so derived quantities
+    /// (hit rate, `insertions - evictions`) never mix a half-applied
+    /// update — concurrent readers of `/stats`-style endpoints can rely
+    /// on the [`StoreStats`] invariants.
+    pub fn snapshot(&self) -> StoreStats {
+        let g = lock(&self.core.cache);
+        StoreStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            insertions: g.insertions,
+            coalesced: g.coalesced,
+            cached_blocks: g.t1_blocks(),
+            cached_bytes: g.t1_cached_bytes(),
+            capacity_bytes: self.core.config.capacity_bytes,
+            retries: g.retries,
+            salvaged_blocks: g.salvaged_blocks,
+            tier2_hits: g.tier2_hits,
+            tier2_insertions: g.tier2_insertions,
+            tier2_evictions: g.tier2_evictions,
+            tier2_blocks: g.t2_blocks(),
+            tier2_bytes: g.t2_cached_bytes(),
+            tier2_capacity_bytes: self.core.config.tier2_capacity_bytes,
+            demotions: g.demotions,
+            promotions: g.promotions,
+            prefetch_issued: g.prefetch_issued,
+            prefetched_blocks: g.prefetched_blocks,
+            prefetch_hits: g.prefetch_hits,
+            negative_hits: g.negative_hits,
+        }
+    }
+
+    /// Alias for [`ArchiveStore::snapshot`] (historical name).
+    pub fn stats(&self) -> StoreStats {
+        self.snapshot()
+    }
+
+    /// Drop every cached block from both tiers (counters keep
+    /// accumulating; in-flight decodes are unaffected and will re-insert
+    /// on completion). To also drop parsed metadata and fence out
+    /// in-flight re-insertion — e.g. after the underlying archive file
+    /// was rewritten — use [`ArchiveStore::purge`].
+    pub fn clear(&self) {
+        lock(&self.core.cache).clear_cached();
+    }
+
+    /// Drop *all* cached state — both cache tiers, parsed target
+    /// metadata, the negative name cache, queued prefetches — and fence
+    /// out in-flight decodes, so nothing read before the purge can
+    /// re-enter the cache afterwards.
+    ///
+    /// This is the call to make after the underlying archive bytes change
+    /// under the store (e.g. `cfc-fsck --repair` rewrote the file):
+    /// a subsequent read re-fetches everything from the source.
+    pub fn purge(&self) {
+        {
+            let mut g = lock(&self.core.cache);
+            g.generation += 1;
+            g.clear_cached();
+        }
+        lock(&self.core.metas).clear();
+        lock(&self.core.negatives).clear();
+        self.core.prefetch.reset();
+    }
+
+    /// Drop cached state for one field — and for every target that lists
+    /// it as an anchor, whose cached blocks were decoded *against* the
+    /// invalidated data. In-flight decodes of the affected fields are
+    /// fenced out like [`ArchiveStore::purge`] does. Errors when the
+    /// archive has no field of that name.
+    pub fn invalidate_field(&self, name: &str) -> Result<(), CfcError> {
+        let fi = self.core.entry_index(name)?;
+        let entries = self.core.reader.entries();
+        let mut victims = vec![fi];
+        victims.extend(
+            entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.anchors.iter().any(|a| a == name))
+                .map(|(i, _)| i),
+        );
+        {
+            let mut g = lock(&self.core.cache);
+            g.generation += 1;
+            for &i in &victims {
+                g.invalidate_entry(i);
+            }
+        }
+        {
+            let mut metas = lock(&self.core.metas);
+            for &i in &victims {
+                metas.remove(&i);
+            }
+        }
+        for &i in &victims {
+            self.core.prefetch.invalidate_entry(i);
+        }
+        Ok(())
+    }
+
+    /// Block until the speculative prefetch queue is drained and no
+    /// worker is mid-decode — for tests and benches that need a
+    /// deterministic cache state after a scan.
+    pub fn prefetch_quiesce(&self) {
+        if self.workers.spawned() {
+            self.core.prefetch.quiesce();
+        }
+    }
+
+    /// Decode one block of `field` through the cache, sharing the decoded
+    /// samples with every other holder (`Arc`). Semantics match
+    /// [`ArchiveReader::decode_block`]: for a cross-field target the
+    /// matching anchor blocks are decoded (and cached) too; for v1
+    /// archives only block 0 exists and holds the whole field.
+    pub fn decode_block(&self, field: &str, idx: usize) -> Result<Arc<Field>, CfcError> {
+        let fi = self.core.entry_index(field)?;
+        let n_blocks = self.core.reader.entries()[fi].n_blocks();
+        if idx >= n_blocks {
+            return Err(CfcError::InvalidInput(format!(
+                "field {field} has {n_blocks} blocks, asked for {idx}"
+            ))
+            .in_field(field, Some(idx)));
+        }
+        self.maybe_prefetch(fi, idx, idx);
+        self.core.get_block(fi, idx, true)
+    }
+
+    /// Decode an axis-aligned region of `field` through the cache —
+    /// [`ArchiveReader::decode_region`] semantics, but every covering
+    /// block (and anchor block) is a potential cache hit, so repeated
+    /// reads over a hot window decode nothing after the first call — and
+    /// a sequential scan of windows triggers readahead of the blocks the
+    /// next windows will need.
+    pub fn decode_region(&self, field: &str, region: &Region) -> Result<Field, CfcError> {
+        self.decode_region_policy(field, region, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
+    /// [`ArchiveStore::decode_region`] under an explicit [`DecodePolicy`].
+    ///
+    /// Salvage semantics match
+    /// [`ArchiveReader::decode_region_policy`]: damaged blocks are filled
+    /// and reported in the [`DamageMap`] instead of failing the call, with
+    /// anchor damage cascaded to its dependents. Filled blocks are **never
+    /// cached** — neither tier ever holds anything but strictly-decoded
+    /// data, so a later strict read of the same block re-reads the source
+    /// rather than being served fill. Each filled block bumps
+    /// [`StoreStats::salvaged_blocks`].
+    pub fn decode_region_policy(
+        &self,
+        field: &str,
+        region: &Region,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
+        let fi = self.core.entry_index(field)?;
+        let entry = &self.core.reader.entries()[fi];
+        if self.core.reader.version() == 1 {
+            let full = self.core.get_block(fi, 0, true)?;
+            region
+                .validate(full.shape())
+                .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
+            return Ok(Salvaged {
+                data: full.crop(region),
+                damage: DamageMap::new(),
+            });
+        }
+        let shape = entry.shape().expect("v2 entries record shape");
+        region
+            .validate(shape)
+            .map_err(|m| CfcError::InvalidInput(m).in_field(field, None))?;
+        let (b_first, b_last) = region.block_cover(entry.chunk_slabs());
+        self.maybe_prefetch(fi, b_first, b_last);
+        let (blocks, damage) = self.core.get_blocks_policy(fi, b_first, b_last, policy)?;
+        let local = region.rebase_axis0(b_first * entry.chunk_slabs());
+        if blocks.len() == 1 {
+            return Ok(Salvaged {
+                data: blocks[0].crop(&local),
+                damage,
+            });
+        }
+        let refs: Vec<&Field> = blocks.iter().map(|b| b.as_ref()).collect();
+        Ok(Salvaged {
+            data: Field::concat_axis0_refs(&refs).crop(&local),
+            damage,
+        })
+    }
+
+    /// Decode a whole field through the cache (stitched owned copy).
+    pub fn decode_field(&self, field: &str) -> Result<Field, CfcError> {
+        self.decode_field_policy(field, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
+    /// [`ArchiveStore::decode_field`] under an explicit [`DecodePolicy`]
+    /// (same salvage semantics as
+    /// [`ArchiveStore::decode_region_policy`]).
+    pub fn decode_field_policy(
+        &self,
+        field: &str,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
+        let fi = self.core.entry_index(field)?;
+        let entry = &self.core.reader.entries()[fi];
+        if self.core.reader.version() == 1 {
+            return Ok(Salvaged {
+                data: (*self.core.get_block(fi, 0, true)?).clone(),
+                damage: DamageMap::new(),
+            });
+        }
+        let n_blocks = entry.n_blocks();
+        self.maybe_prefetch(fi, 0, n_blocks - 1);
+        let (blocks, damage) = self.core.get_blocks_policy(fi, 0, n_blocks - 1, policy)?;
+        let refs: Vec<&Field> = blocks.iter().map(|b| b.as_ref()).collect();
+        Ok(Salvaged {
+            data: Field::concat_axis0_refs(&refs),
+            damage,
+        })
+    }
+
+    /// Report a demand access of blocks `[b_first, b_last]` to the scan
+    /// detector and enqueue any predicted readahead, spawning the worker
+    /// pool on the first prediction. Cheap no-op unless prefetch is
+    /// enabled and an active scan is detected.
+    fn maybe_prefetch(&self, fi: usize, b_first: usize, b_last: usize) {
+        let cfg = &self.core.config;
+        if cfg.capacity_bytes == 0
+            || cfg.prefetch_depth == 0
+            || cfg.prefetch_workers == 0
+            || self.core.reader.version() == 1
+        {
+            return;
+        }
+        let n_blocks = self.core.reader.entries()[fi].n_blocks();
+        let preds =
+            self.core
+                .prefetch
+                .note_access(fi, b_first, b_last, n_blocks, cfg.prefetch_depth);
+        if preds.is_empty() {
+            return;
+        }
+        let keys: Vec<BlockKey> = {
+            let g = lock(&self.core.cache);
+            preds
+                .into_iter()
+                .map(|b| (fi, b))
+                .filter(|k| !g.t1_contains(k) && !g.inflight.contains_key(k))
+                .collect()
+        };
+        if keys.is_empty() {
+            return;
+        }
+        self.workers.ensure(&self.core, cfg.prefetch_workers);
+        let issued = self.core.prefetch.enqueue(&keys);
+        if issued > 0 {
+            lock(&self.core.cache).prefetch_issued += issued as u64;
+        }
+    }
+}
+
+impl<R: ArchiveSource> StoreCore<R> {
+    /// Position of `name` in the manifest, with negative caching: the
+    /// linear name scan runs lock-free on the hot (known-name) path, and
+    /// unknown names are answered from a bounded error cache after the
+    /// first probe.
+    fn entry_index(&self, name: &str) -> Result<usize, CfcError> {
+        if let Some(i) = self.reader.entries().iter().position(|e| e.name == name) {
+            return Ok(i);
+        }
+        let mut negatives = lock(&self.negatives);
+        if let Some(err) = negatives.get(name) {
+            let err = err.clone();
+            drop(negatives);
+            lock(&self.cache).negative_hits += 1;
+            return Err(err);
+        }
+        let err = CfcError::InvalidInput(format!("archive has no field {name}"));
+        if negatives.len() < NEGATIVE_CACHE_CAP {
+            negatives.insert(name.to_string(), err.clone());
+        }
+        Err(err)
+    }
+
+    /// Fetch v2 blocks `b_first..=b_last` of entry `fi` through the cache
+    /// under `policy`: strict propagates the first failure, salvage
+    /// substitutes a fill slab (never cached) and records the damage.
+    fn get_blocks_policy(
+        &self,
+        fi: usize,
+        b_first: usize,
+        b_last: usize,
+        policy: DecodePolicy,
+    ) -> Result<(Vec<Arc<Field>>, DamageMap), CfcError> {
+        let entry = &self.reader.entries()[fi];
+        let mut damage = DamageMap::new();
+        let mut blocks = Vec::with_capacity(b_last - b_first + 1);
+        for bi in b_first..=b_last {
+            let block = match self.get_block(fi, bi, true) {
+                Ok(b) => b,
+                Err(e) => match policy {
+                    DecodePolicy::Strict => return Err(e),
+                    DecodePolicy::Salvage { fill } => {
+                        record_block_damage(&mut damage, entry, bi, &e);
+                        lock(&self.cache).salvaged_blocks += 1;
+                        Arc::new(fill_slab(entry, bi, fill))
+                    }
+                },
+            };
+            blocks.push(block);
+        }
+        Ok((blocks, damage))
+    }
+
+    /// Cache-or-decode one block, with single-flight dedup: concurrent
+    /// requests for the same block coalesce onto one decode, and the
+    /// decoder hands its result (or error) straight to every waiter —
+    /// even when the block is too big to cache.
+    ///
+    /// `demand` distinguishes caller traffic from speculative work:
+    /// prefetch lookups never touch the hit/miss counters or tier-1
+    /// recency, so [`StoreStats::hit_rate`] keeps describing what callers
+    /// experienced.
+    fn get_block(&self, fi: usize, idx: usize, demand: bool) -> Result<Arc<Field>, CfcError> {
+        let key = (fi, idx);
+        if self.config.capacity_bytes == 0 {
+            if demand {
+                lock(&self.cache).misses += 1;
+            }
+            return self.decode_with_retry(fi, idx, demand, 0).map(Arc::new);
+        }
+        let (flight, t2, gen) = {
+            let mut g = lock(&self.cache);
+            if let Some(field) = g.t1_lookup(key, demand) {
+                return Ok(field);
+            }
+            if let Some(f) = g.inflight.get(&key) {
+                // coalesce: wait on the in-flight decode's own slot and
+                // share whatever it produces
+                let f = Arc::clone(f);
+                if demand {
+                    g.coalesced += 1;
+                }
+                drop(g);
+                let shared = f.wait();
+                if demand && shared.is_ok() {
+                    lock(&self.cache).hits += 1;
+                }
+                return shared;
+            }
+            if demand {
+                g.misses += 1;
+            }
+            let t2 = g.t2_lookup(&key, demand);
+            let f = Arc::new(Flight::default());
+            g.inflight.insert(key, Arc::clone(&f));
+            (f, t2, g.generation)
+        };
+        self.finish_decode(key, flight, t2, demand, gen)
+    }
+
+    /// Speculatively decode one block (worker entry point): skip if it is
+    /// already cached or in flight, otherwise decode through the normal
+    /// path so demand reads coalesce with it. Errors are swallowed — a
+    /// failed prefetch simply leaves the block for the demand path (which
+    /// will surface the error with retry semantics).
+    fn prefetch_block(&self, key: BlockKey) {
+        let (flight, t2, gen) = {
+            let mut g = lock(&self.cache);
+            if g.t1_contains(&key) || g.inflight.contains_key(&key) {
+                return;
+            }
+            let f = Arc::new(Flight::default());
+            g.inflight.insert(key, Arc::clone(&f));
+            let t2 = g.t2_lookup(&key, false);
+            (f, t2, g.generation)
+        };
+        let _ = self.finish_decode(key, flight, t2, false, gen);
+    }
+
+    /// The decode tail shared by demand misses and prefetch: decode from
+    /// tier-2 bytes when available (promotion) or from the source,
+    /// insert into the cache unless the generation moved, and publish to
+    /// coalesced waiters.
+    fn finish_decode(
+        &self,
+        key: BlockKey,
+        flight: Arc<Flight>,
+        t2: Option<Arc<Vec<u8>>>,
+        demand: bool,
+        gen: u64,
+    ) -> Result<Arc<Field>, CfcError> {
+        let mut publisher = FlightPublisher {
+            inner: &self.cache,
+            key,
+            flight,
+            outcome: None,
+        };
+        let promoted = t2.is_some();
+        let result = match t2 {
+            Some(bytes) => self.decode_from_tier2(key.0, key.1, &bytes, demand),
+            None => self.decode_with_retry(key.0, key.1, demand, gen),
+        }
+        .map(Arc::new);
+        if let Ok(arc) = &result {
+            let mut g = lock(&self.cache);
+            if g.generation == gen {
+                g.insert_t1(key, Arc::clone(arc), !demand, self.config.capacity_bytes);
+                if promoted {
+                    g.promotions += 1;
+                }
+            }
+            if !demand {
+                g.prefetched_blocks += 1;
+            }
+        }
+        publisher.outcome = Some(result.clone());
+        drop(publisher); // publishes to waiters + clears in-flight (also on unwind)
+        result
+    }
+
+    /// Decode a block from its tier-2 compressed bytes — pure CPU for the
+    /// block itself (anchor blocks still go through the cache). No retry
+    /// loop: there is no source I/O to fail transiently, and the nested
+    /// anchor fetches carry their own.
+    fn decode_from_tier2(
+        &self,
+        fi: usize,
+        idx: usize,
+        bytes: &[u8],
+        demand: bool,
+    ) -> Result<Field, CfcError> {
+        let entry = &self.reader.entries()[fi];
+        let mut scratch = self.scratch.get();
+        if entry.role != FieldRole::Target {
+            return self
+                .reader
+                .decode_baseline_block_bytes(entry, idx, bytes, &mut scratch);
+        }
+        let meta = self.target_meta(fi)?;
+        let anchors = self.anchor_blocks(entry, idx, demand)?;
+        let refs: Vec<&Field> = anchors.iter().map(|a| a.as_ref()).collect();
+        self.reader.decode_target_block_bytes(
+            entry,
+            idx,
+            bytes,
+            &refs,
+            &meta.0,
+            &meta.1,
+            &mut scratch,
+        )
+    }
+
+    /// [`StoreCore::decode_uncached`] behind a bounded transient-retry
+    /// loop: a decode that failed with a transient I/O error
+    /// ([`CfcError::is_transient`] — interrupted syscall, timeout) is
+    /// re-attempted up to [`StoreConfig::max_retries`] times with linear
+    /// backoff. Deterministic failures (checksum mismatch, truncation,
+    /// structural corruption) are never retried — the same bad bytes would
+    /// just be re-read.
+    fn decode_with_retry(
+        &self,
+        fi: usize,
+        idx: usize,
+        demand: bool,
+        gen: u64,
+    ) -> Result<Field, CfcError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.decode_uncached(fi, idx, demand, gen) {
+                Err(e) if e.is_transient() && attempt < self.config.max_retries => {
+                    attempt += 1;
+                    lock(&self.cache).retries += 1;
+                    std::thread::sleep(self.config.retry_backoff * attempt);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Decode one block from the source (no cache read for the block
+    /// itself; anchor blocks still go through the cache). On success the
+    /// block's compressed bytes are stashed in tier 2 — and only on
+    /// success, so CRC-failed or structurally-corrupt bytes never enter
+    /// the tier.
+    fn decode_uncached(
+        &self,
+        fi: usize,
+        idx: usize,
+        demand: bool,
+        gen: u64,
+    ) -> Result<Field, CfcError> {
+        let entry = &self.reader.entries()[fi];
+        if self.reader.version() == 1 {
+            if entry.role != FieldRole::Target {
+                return self.reader.decode_field_v1(entry);
+            }
+            let anchors = self.anchor_blocks(entry, 0, demand)?;
+            let refs: Vec<&Field> = anchors.iter().map(|a| a.as_ref()).collect();
+            return self.reader.decode_field_v1_anchored(entry, &refs);
+        }
+        let mut scratch = self.scratch.get();
+        if entry.role != FieldRole::Target {
+            let bytes = self
+                .reader
+                .fetch_block_bytes(entry, idx)
+                .map_err(|e| e.in_field(&entry.name, Some(idx)))?;
+            let field =
+                self.reader
+                    .decode_baseline_block_bytes(entry, idx, &bytes, &mut scratch)?;
+            self.stash_tier2((fi, idx), bytes, gen);
+            return Ok(field);
+        }
+        let meta = self.target_meta(fi)?;
+        let anchors = self.anchor_blocks(entry, idx, demand)?;
+        let refs: Vec<&Field> = anchors.iter().map(|a| a.as_ref()).collect();
+        let bytes = self
+            .reader
+            .fetch_block_bytes(entry, idx)
+            .map_err(|e| e.in_field(&entry.name, Some(idx)))?;
+        let field = self.reader.decode_target_block_bytes(
+            entry,
+            idx,
+            &bytes,
+            &refs,
+            &meta.0,
+            &meta.1,
+            &mut scratch,
+        )?;
+        self.stash_tier2((fi, idx), bytes, gen);
+        Ok(field)
+    }
+
+    /// Stash a successfully decoded block's compressed bytes in tier 2
+    /// (no-op when caching is off or the generation moved under us).
+    fn stash_tier2(&self, key: BlockKey, bytes: Vec<u8>, gen: u64) {
+        if self.config.capacity_bytes == 0 || self.config.tier2_capacity_bytes == 0 {
+            return;
+        }
+        let mut g = lock(&self.cache);
+        if g.generation != gen {
+            return;
+        }
+        g.insert_t2(key, Arc::new(bytes), self.config.tier2_capacity_bytes);
+    }
+
+    /// Fetch a target's anchor blocks through the cache, decoding each
+    /// distinct anchor block once even when the anchor list repeats a
+    /// name.
+    fn anchor_blocks(
+        &self,
+        entry: &super::format::ArchiveEntry,
+        idx: usize,
+        demand: bool,
+    ) -> Result<Vec<Arc<Field>>, CfcError> {
+        let mut fetched: HashMap<usize, Arc<Field>> = HashMap::new();
+        let mut out = Vec::with_capacity(entry.anchors.len());
+        for a in &entry.anchors {
+            let ai = self.reader.entry_index(a).expect("validated anchor");
+            let block = match fetched.get(&ai) {
+                Some(b) => b.clone(),
+                None => {
+                    let b = self.get_block(ai, idx, demand)?;
+                    fetched.insert(ai, b.clone());
+                    b
+                }
+            };
+            out.push(block);
+        }
+        Ok(out)
+    }
+
+    /// Parse (once) and share a target field's meta area. The parse (an
+    /// archive read plus model deserialization) runs *outside* the map
+    /// lock so cold starts on different target fields stay concurrent; a
+    /// racing duplicate parse is harmless and the first insert wins.
+    fn target_meta(&self, fi: usize) -> Result<Arc<TargetMeta>, CfcError> {
+        {
+            let metas = lock(&self.metas);
+            if let Some(m) = metas.get(&fi) {
+                return Ok(m.clone());
+            }
+        }
+        let entry = &self.reader.entries()[fi];
+        let parsed = Arc::new(
+            self.reader
+                .target_meta(entry)?
+                .expect("target entries carry meta"),
+        );
+        let mut metas = lock(&self.metas);
+        Ok(metas.entry(fi).or_insert(parsed).clone())
+    }
+}

@@ -2,7 +2,6 @@
 //! validation, corruption handling, the per-call anchor memo, and the
 //! concurrent [`ArchiveStore`].
 
-use std::io::{Read, Seek, SeekFrom};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -475,23 +474,21 @@ fn corrupt_archives_error_not_panic() {
 // anchor-block dedup within a single decode call
 // ---------------------------------------------------------------------
 
-/// `Read + Seek` wrapper counting every byte read from the source.
+/// [`ArchiveSource`] wrapper counting every byte read from the source.
 struct CountingReader<R> {
     inner: R,
     read: Arc<AtomicU64>,
 }
 
-impl<R: Read> Read for CountingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.read.fetch_add(n as u64, Ordering::Relaxed);
-        Ok(n)
+impl<R: ArchiveSource> ArchiveSource for CountingReader<R> {
+    fn len(&self) -> std::io::Result<u64> {
+        self.inner.len()
     }
-}
 
-impl<R: Seek> Seek for CountingReader<R> {
-    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
-        self.inner.seek(pos)
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        self.inner.read_exact_at(offset, buf)?;
+        self.read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
     }
 }
 

@@ -24,7 +24,7 @@
 //! element count, so a client can parse the payload without re-asking the
 //! manifest.
 
-use std::io::{Read, Seek};
+use cfc_core::archive::ArchiveSource;
 
 use cfc_core::archive::{ArchiveStore, DecodePolicy, FieldInfo};
 use cfc_sz::CfcError;
@@ -121,7 +121,7 @@ fn field_json(info: &FieldInfo) -> String {
     )
 }
 
-fn handle_fields<R: Read + Seek + Send>(
+fn handle_fields<R: ArchiveSource + 'static>(
     store: &ArchiveStore<R>,
     body: &mut Vec<u8>,
 ) -> ResponseHead {
@@ -138,7 +138,7 @@ fn handle_fields<R: Read + Seek + Send>(
     ResponseHead::json(200)
 }
 
-fn handle_region<R: Read + Seek + Send>(
+fn handle_region<R: ArchiveSource + 'static>(
     store: &ArchiveStore<R>,
     name: &str,
     query: &str,
@@ -183,7 +183,7 @@ fn handle_region<R: Read + Seek + Send>(
     }
 }
 
-fn handle_block<R: Read + Seek + Send>(
+fn handle_block<R: ArchiveSource + 'static>(
     store: &ArchiveStore<R>,
     name: &str,
     idx_raw: &str,
@@ -221,7 +221,7 @@ fn handle_block<R: Read + Seek + Send>(
     }
 }
 
-fn handle_stats<R: Read + Seek + Send>(
+fn handle_stats<R: ArchiveSource + 'static>(
     store: &ArchiveStore<R>,
     counters: &EndpointCounters,
     uptime_secs: f64,
@@ -237,7 +237,11 @@ fn handle_stats<R: Read + Seek + Send>(
              \"store\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"insertions\": {}, \
              \"evictions\": {}, \"cached_blocks\": {}, \"cached_bytes\": {}, \
              \"capacity_bytes\": {}, \"hit_rate\": {:.6}, \"retries\": {}, \
-             \"salvaged_blocks\": {}}}}}\n",
+             \"salvaged_blocks\": {}, \"tier2_hits\": {}, \"tier2_insertions\": {}, \
+             \"tier2_evictions\": {}, \"tier2_blocks\": {}, \"tier2_bytes\": {}, \
+             \"tier2_capacity_bytes\": {}, \"demotions\": {}, \"promotions\": {}, \
+             \"prefetch_issued\": {}, \"prefetched_blocks\": {}, \"prefetch_hits\": {}, \
+             \"negative_hits\": {}}}}}\n",
             c.connections,
             c.rejected_saturated,
             c.fields,
@@ -258,6 +262,18 @@ fn handle_stats<R: Read + Seek + Send>(
             s.hit_rate(),
             s.retries,
             s.salvaged_blocks,
+            s.tier2_hits,
+            s.tier2_insertions,
+            s.tier2_evictions,
+            s.tier2_blocks,
+            s.tier2_bytes,
+            s.tier2_capacity_bytes,
+            s.demotions,
+            s.promotions,
+            s.prefetch_issued,
+            s.prefetched_blocks,
+            s.prefetch_hits,
+            s.negative_hits,
         )
         .as_bytes(),
     );
@@ -267,7 +283,7 @@ fn handle_stats<R: Read + Seek + Send>(
 /// Dispatch one parsed request against the store, assembling the body
 /// into `body` (cleared by the caller) and bumping the per-endpoint
 /// counters.
-pub(crate) fn respond<R: Read + Seek + Send>(
+pub(crate) fn respond<R: ArchiveSource + 'static>(
     store: &ArchiveStore<R>,
     counters: &EndpointCounters,
     uptime_secs: f64,

@@ -22,14 +22,14 @@
 //! most [`ServeConfig::read_timeout`].
 
 use std::collections::VecDeque;
-use std::io::{BufReader, BufWriter, Read, Seek};
+use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cfc_core::archive::ArchiveStore;
+use cfc_core::archive::{ArchiveSource, ArchiveStore};
 use cfc_sz::ScratchPool;
 
 use crate::http::{read_request, write_response, RequestError, ResponseHead};
@@ -189,7 +189,7 @@ pub struct ArchiveServer<R> {
     workers: Vec<JoinHandle<()>>,
 }
 
-impl<R: Read + Seek + Send + 'static> ArchiveServer<R> {
+impl<R: ArchiveSource + 'static> ArchiveServer<R> {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
     /// the acceptor and worker threads serving `store`.
     pub fn bind(
@@ -324,7 +324,7 @@ fn saturated_503(mut stream: TcpStream) {
     );
 }
 
-fn worker_loop<R: Read + Seek + Send>(shared: &Shared<R>) {
+fn worker_loop<R: ArchiveSource + 'static>(shared: &Shared<R>) {
     loop {
         let conn = {
             let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
@@ -345,7 +345,7 @@ fn worker_loop<R: Read + Seek + Send>(shared: &Shared<R>) {
     }
 }
 
-fn serve_connection<R: Read + Seek + Send>(shared: &Shared<R>, stream: TcpStream) {
+fn serve_connection<R: ArchiveSource + 'static>(shared: &Shared<R>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {

@@ -14,7 +14,7 @@ use std::io::Cursor;
 
 use cross_field_compression::core::archive::{
     repair_bytes, scrub_bytes, ArchiveBuilder, ArchiveReader, ArchiveStore, DecodePolicy,
-    FaultInjectingReader, FaultPlan, ScrubKind, ScrubOptions, StoreConfig,
+    FaultInjectingReader, FaultPlan, ScrubKind, ScrubOptions, SeekSource, StoreConfig,
 };
 use cross_field_compression::core::config::TrainConfig;
 use cross_field_compression::tensor::{Dataset, Field, Region, Shape};
@@ -62,9 +62,12 @@ fn faulty_store(
     bytes: Vec<u8>,
     plan: FaultPlan,
     config: StoreConfig,
-) -> ArchiveStore<FaultInjectingReader<Cursor<Vec<u8>>>> {
-    ArchiveStore::open(FaultInjectingReader::new(Cursor::new(bytes), plan), config)
-        .expect("manifest reads cleanly")
+) -> ArchiveStore<SeekSource<FaultInjectingReader<Cursor<Vec<u8>>>>> {
+    ArchiveStore::open(
+        SeekSource::new(FaultInjectingReader::new(Cursor::new(bytes), plan)),
+        config,
+    )
+    .expect("manifest reads cleanly")
 }
 
 #[test]
@@ -134,7 +137,10 @@ fn salvage_fill_is_never_cached() {
     let (off, len) = block_span(&bytes, "T", 1);
     bytes[off as usize + len / 2] ^= 0x04; // permanent payload rot
 
-    let store = ArchiveStore::open(Cursor::new(bytes), StoreConfig::default()).expect("parse");
+    // readahead off: the tier-2 purity counts below are exact, and a
+    // speculative decode of T[2]/T[3] would add its own tier-2 entries
+    let store = ArchiveStore::open(Cursor::new(bytes), StoreConfig::default().no_prefetch())
+        .expect("parse");
     let region = Region::d2(0, 2 * ROWS_PER_BLOCK, 0, COLS);
 
     // strict: typed failure naming the block
@@ -158,6 +164,20 @@ fn salvage_fill_is_never_cached() {
     // and a strict read afterwards still reports the corruption — it was
     // never served fill out of the cache
     assert!(store.decode_block("T", 1).is_err());
+
+    // tier-2 purity: the compressed-bytes tier must hold exactly the
+    // blocks whose decode fully succeeded — T[0] plus the anchor blocks
+    // A[0] and A[1] — and never the CRC-failed bytes of T[1], even though
+    // they were fetched on every attempt
+    let s = store.snapshot();
+    assert_eq!(
+        s.tier2_blocks, 3,
+        "tier 2 must hold T[0], A[0], A[1] and nothing else"
+    );
+    assert_eq!(
+        s.tier2_insertions, 3,
+        "the damaged block's bytes must never have entered tier 2"
+    );
 }
 
 #[test]

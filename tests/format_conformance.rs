@@ -9,12 +9,11 @@
 //! produce, that it still reproduces the fixture **byte-for-byte**. Any
 //! accidental change to the serialized layout fails here first.
 
-use std::io::{Read, Seek, SeekFrom};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cfc_bench::golden;
-use cross_field_compression::core::archive::{ArchiveReader, FieldRole};
+use cross_field_compression::core::archive::{ArchiveReader, ArchiveSource, FieldRole};
 use cross_field_compression::tensor::{Dataset, Region};
 
 fn fixture(name: &str) -> Vec<u8> {
@@ -183,24 +182,22 @@ fn partial_block_fixture_accounts_exactly() {
     assert_eq!(last.shape().dims(), &[1, 12, 12]);
 }
 
-/// `Read + Seek` wrapper that counts every byte actually read — the
+/// [`ArchiveSource`] wrapper that counts every byte actually read — the
 /// instrument behind the random-access acceptance test.
 struct CountingReader<R> {
     inner: R,
     read: Arc<AtomicU64>,
 }
 
-impl<R: Read> Read for CountingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.read.fetch_add(n as u64, Ordering::Relaxed);
-        Ok(n)
+impl<R: ArchiveSource> ArchiveSource for CountingReader<R> {
+    fn len(&self) -> std::io::Result<u64> {
+        self.inner.len()
     }
-}
 
-impl<R: Seek> Seek for CountingReader<R> {
-    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
-        self.inner.seek(pos)
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        self.inner.read_exact_at(offset, buf)?;
+        self.read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
     }
 }
 

@@ -17,7 +17,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cross_field_compression::core::archive::{
-    ArchiveBuilder, ArchiveReader, ArchiveStore, FaultInjectingReader, FaultPlan, StoreConfig,
+    ArchiveBuilder, ArchiveReader, ArchiveStore, FaultInjectingReader, FaultPlan, SeekSource,
+    StoreConfig,
 };
 use cross_field_compression::core::TrainConfig;
 use cross_field_compression::tensor::{Dataset, Field, Region, Shape};
@@ -274,6 +275,18 @@ fn stats_schema_is_pinned() {
         "hit_rate",
         "retries",
         "salvaged_blocks",
+        "tier2_hits",
+        "tier2_insertions",
+        "tier2_evictions",
+        "tier2_blocks",
+        "tier2_bytes",
+        "tier2_capacity_bytes",
+        "demotions",
+        "promotions",
+        "prefetch_issued",
+        "prefetched_blocks",
+        "prefetch_hits",
+        "negative_hits",
     ] {
         assert!(
             stats.contains(&format!("\"{key}\"")),
@@ -361,7 +374,7 @@ fn worker_survives_handler_panic() {
         .expect("T entry");
     let (off, len) = reader.entries()[ti].block_span(1).expect("span");
     let plan = FaultPlan::new().panic_at(off..off + len as u64);
-    let faulty = FaultInjectingReader::new(Cursor::new(bytes), plan);
+    let faulty = SeekSource::new(FaultInjectingReader::new(Cursor::new(bytes), plan));
     let store = ArchiveStore::open(faulty, StoreConfig::default()).expect("parse");
     let server = ArchiveServer::bind(store, "127.0.0.1:0", test_config()).expect("bind");
     let addr = server.local_addr();

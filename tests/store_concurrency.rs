@@ -123,12 +123,61 @@ fn hammered_store_matches_under_eviction_pressure() {
     );
 }
 
+/// 8 threads over a working set far larger than the tier-1 budget, with
+/// tier 2 and prefetch on: every decoded byte must still match the
+/// reference, tier 2 must actually absorb the tier-1 churn (demotions and
+/// tier-2 hits), and the cross-tier counter invariants must hold — a
+/// tier-2 hit only happens on a demand miss, and speculative decodes are
+/// accounted separately from demand misses.
+#[test]
+fn hammered_tiered_store_matches_under_eviction_pressure() {
+    let bytes = cross_field_archive(48, 32, 7);
+    let reference = ArchiveReader::new(&bytes)
+        .unwrap()
+        .decode_all_with_threads(1)
+        .unwrap();
+    // tier 1 holds ~2 of the 21 blocks (7×32 f32 = 896 B each); tier 2 is
+    // big enough for every compressed payload, so steady state is pure
+    // demote/promote traffic
+    let store = Arc::new(ArchiveStore::new(
+        ArchiveReader::new(&bytes).unwrap(),
+        StoreConfig::with_tiers(2 * 7 * 32 * 4, 1 << 20),
+    ));
+    hammer(&store, &reference, 5);
+    store.prefetch_quiesce();
+    let stats = store.stats();
+    assert!(stats.evictions > 0, "tiny tier 1 must evict: {stats:?}");
+    assert!(
+        stats.demotions > 0,
+        "evictions with resident tier-2 bytes must demote: {stats:?}"
+    );
+    assert!(
+        stats.tier2_hits > 0,
+        "re-reads after eviction must hit tier 2: {stats:?}"
+    );
+    assert!(
+        stats.tier2_hits <= stats.misses,
+        "tier-2 hits only happen on demand misses: {stats:?}"
+    );
+    assert!(
+        stats.insertions <= stats.misses + stats.prefetched_blocks,
+        "inserts come only from demand misses or prefetch: {stats:?}"
+    );
+    assert!(
+        stats.cached_bytes <= stats.capacity_bytes
+            && stats.tier2_bytes <= stats.tier2_capacity_bytes,
+        "budgets violated: {stats:?}"
+    );
+}
+
 /// `snapshot()` must be internally consistent at every instant, even with
 /// decoders racing it under eviction pressure: all counters are captured
 /// under one lock, so `cached_blocks == insertions - evictions`,
-/// `insertions <= misses`, and the hit rate can never exceed 1 — a
-/// half-applied update (e.g. a miss counted but its insertion not yet, read
-/// through independent atomics) would trip these.
+/// `insertions <= misses + prefetched_blocks` (every insert comes from a
+/// demand miss or a prefetch decode), `tier2_hits <= misses`, and the hit
+/// rate can never exceed 1 — a half-applied update (e.g. a miss counted
+/// but its insertion not yet, read through independent atomics) would
+/// trip these.
 #[test]
 fn stats_snapshot_is_consistent_under_concurrent_load() {
     let bytes = cross_field_archive(48, 32, 7);
@@ -163,14 +212,22 @@ fn stats_snapshot_is_consistent_under_concurrent_load() {
                 "inconsistent snapshot: {snap:?}"
             );
             assert!(
-                snap.insertions <= snap.misses,
-                "insertion without a miss: {snap:?}"
+                snap.insertions <= snap.misses + snap.prefetched_blocks,
+                "insertion without a miss or prefetch: {snap:?}"
+            );
+            assert!(
+                snap.tier2_hits <= snap.misses,
+                "tier-2 hit without a demand miss: {snap:?}"
             );
             assert!(snap.hits <= snap.lookups(), "hits exceed lookups: {snap:?}");
             assert!(snap.hit_rate() <= 1.0);
             assert!(
                 snap.cached_bytes <= snap.capacity_bytes,
-                "budget violated: {snap:?}"
+                "tier-1 budget violated: {snap:?}"
+            );
+            assert!(
+                snap.tier2_bytes <= snap.tier2_capacity_bytes,
+                "tier-2 budget violated: {snap:?}"
             );
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);

@@ -10,14 +10,20 @@
 //! * `small_v1.cfar` — the frozen CFAR **v1** layout (one monolithic
 //!   stream per field), via [`cfc_bench::golden::write_v1`]. Proves v1
 //!   archives written before the chunked container still decode.
-//! * `small_v2.cfar` — the current chunked container for the same 2-D
-//!   dataset (4 blocks of 8 rows, cross-field `RH` on `T`+`P`).
+//! * `small_v2.cfar` — the chunked single-snapshot container for the same
+//!   2-D dataset (4 blocks of 8 rows, cross-field `RH` on `T`+`P`).
 //! * `partial_v2.cfar` — a 3-D baseline-only dataset whose depth is not a
 //!   multiple of the chunk, pinning partial-final-block accounting.
+//! * `small_v3_keyframes.cfar` — a 3-epoch **v3** temporal archive with
+//!   `keyframe_interval(1)`: every epoch a keyframe, no delta chains.
+//! * `small_v3_delta.cfar` — 6 epochs at interval 3: two keyframes, each
+//!   heading a two-delta chain.
+//! * `partial_v3.cfar` — the evolving 3-D dataset, 4 epochs at interval 2,
+//!   pinning partial-final-block accounting inside delta epochs.
 //!
 //! `tests/format_conformance.rs` asserts the production writer still
-//! reproduces the v2 fixtures byte-for-byte and that all three decode with
-//! the expected manifests, ratios, and error bounds.
+//! reproduces the v2/v3 fixtures byte-for-byte and that all of them decode
+//! with the expected manifests, ratios, and error bounds.
 
 use cfc_bench::golden;
 
@@ -46,4 +52,30 @@ fn main() {
         .expect("write partial v2");
     std::fs::write(dir.join("partial_v2.cfar"), &v2p).expect("write partial fixture");
     println!("partial_v2.cfar: {} bytes", v2p.len());
+
+    let v3k = golden::golden_builder()
+        .chunk_elements(golden::GOLDEN_CHUNK_ELEMENTS)
+        .keyframe_interval(1)
+        .build()
+        .write_epochs(&golden::golden_epochs(3))
+        .expect("write v3 keyframes");
+    std::fs::write(dir.join("small_v3_keyframes.cfar"), &v3k).expect("write v3 keyframe fixture");
+    println!("small_v3_keyframes.cfar: {} bytes", v3k.len());
+
+    let v3d = golden::golden_builder()
+        .chunk_elements(golden::GOLDEN_CHUNK_ELEMENTS)
+        .keyframe_interval(golden::GOLDEN_KEYFRAME_INTERVAL)
+        .build()
+        .write_epochs(&golden::golden_epochs(golden::GOLDEN_V3_EPOCHS))
+        .expect("write v3 delta");
+    std::fs::write(dir.join("small_v3_delta.cfar"), &v3d).expect("write v3 delta fixture");
+    println!("small_v3_delta.cfar: {} bytes", v3d.len());
+
+    let v3p = golden::golden_partial_builder()
+        .keyframe_interval(2)
+        .build()
+        .write_epochs(&golden::golden_epochs_3d(4))
+        .expect("write partial v3");
+    std::fs::write(dir.join("partial_v3.cfar"), &v3p).expect("write partial v3 fixture");
+    println!("partial_v3.cfar: {} bytes", v3p.len());
 }

@@ -1,0 +1,109 @@
+//! Temporal-archive (v3) vs independent-snapshot (v2) bench.
+//!
+//! ```sh
+//! # committed numbers (a few seconds):
+//! cargo run --release -p cfc-bench --bin temporal_bench -- --label pr10 --out BENCH_temporal.json
+//! # CI smoke (validates the JSON schema, guards the delta-chain gain floor):
+//! cargo run --release -p cfc-bench --bin temporal_bench -- --smoke --out target/temporal_smoke.json --assert-floor 1.3
+//! ```
+
+use cfc_bench::temporal_perf::{run, to_json, validate_json, TemporalBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut label = String::from("current");
+    let mut out_path: Option<String> = None;
+    let mut floor: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--label" => {
+                i += 1;
+                label = args.get(i).expect("--label needs a value").clone();
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("--out needs a value").clone());
+            }
+            "--assert-floor" => {
+                i += 1;
+                floor = Some(
+                    args.get(i)
+                        .expect("--assert-floor needs a value")
+                        .parse()
+                        .expect("--assert-floor takes a number"),
+                );
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: temporal_bench [--smoke] [--label L] [--out PATH] [--assert-floor X]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = if smoke {
+        TemporalBenchConfig::smoke()
+    } else {
+        TemporalBenchConfig::full()
+    };
+    eprintln!(
+        "temporal_bench: {}x{} snapshots, {} epochs, keyframe every {}, {} rows/block{}",
+        cfg.rows,
+        cfg.cols,
+        cfg.n_epochs,
+        cfg.keyframe_interval,
+        cfg.chunk_rows,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let result = run(&label, cfg);
+
+    println!("run {:>22}: {}", "label", result.label);
+    println!("  raw series            {:>9} bytes", result.raw_bytes);
+    println!(
+        "  independent v2        {:>9} bytes  ({:.2}x ratio)",
+        result.independent_bytes, result.ratio_independent
+    );
+    println!(
+        "  temporal v3           {:>9} bytes  ({:.2}x ratio)",
+        result.temporal_bytes, result.ratio_temporal
+    );
+    println!(
+        "  temporal gain         {:>9.2}x vs independent snapshots",
+        result.temporal_gain_x
+    );
+    println!("  encode                {:>9.1} MB/s", result.encode_mb_s);
+    println!(
+        "  random epoch decode   {:>9.1} MB/s",
+        result.epoch_decode_mb_s
+    );
+
+    if let Some(floor) = floor {
+        if result.temporal_gain_x < floor {
+            eprintln!(
+                "temporal gain {:.3}x below the asserted floor {floor}x",
+                result.temporal_gain_x
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let doc = to_json(std::slice::from_ref(&result));
+    if let Err(e) = validate_json(&doc) {
+        eprintln!("generated document failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output directory");
+            }
+        }
+        std::fs::write(&path, &doc).expect("write bench JSON");
+        eprintln!("wrote {path}");
+    }
+}

@@ -9,5 +9,6 @@ pub mod runner;
 pub mod scrub_perf;
 pub mod serve_perf;
 pub mod store_perf;
+pub mod temporal_perf;
 
 pub use runner::{run_codec, ExperimentContext, FieldResult, PAPER_ERROR_BOUNDS};

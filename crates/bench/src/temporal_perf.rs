@@ -1,0 +1,333 @@
+//! Temporal-archive (CFAR v3) perf harness behind the `temporal_bench`
+//! binary and the CI bench-smoke step.
+//!
+//! Encodes the same evolving snapshot sequence two ways and compares:
+//!
+//! * **independent** — one v2 archive per epoch (the only option before
+//!   v3), total bytes summed over the sequence;
+//! * **temporal** — a single v3 archive with periodic keyframes and
+//!   previous-epoch delta encoding in between.
+//!
+//! The headline number is `temporal_gain_x = independent_bytes /
+//! temporal_bytes` — how much the delta chain buys over re-encoding
+//! every snapshot from scratch at the same error bound. The CI smoke
+//! step asserts a floor on it (ROADMAP item 2 promises ≥ 1.3×), so a
+//! regression in the delta path shows up as a red build rather than a
+//! silently fatter archive. Encode and random-epoch decode throughput
+//! ride along so the temporal path's speed is tracked too.
+
+use std::time::Instant;
+
+use cfc_core::archive::{ArchiveBuilder, ArchiveReader};
+use cfc_core::TrainConfig;
+use cfc_datagen::{temporal, GenParams};
+use cfc_tensor::Shape;
+
+/// Schema marker the JSON document carries; bump when fields change.
+pub const SCHEMA: &str = "cfc-temporal-bench-v1";
+
+/// Harness sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalBenchConfig {
+    /// Axis-0 extent of each snapshot.
+    pub rows: usize,
+    /// Axis-1 extent.
+    pub cols: usize,
+    /// Epochs in the simulated campaign.
+    pub n_epochs: usize,
+    /// Keyframe every this many epochs in the v3 archive.
+    pub keyframe_interval: usize,
+    /// Axis-0 rows per block.
+    pub chunk_rows: usize,
+    /// Relative error bound shared by both encodings.
+    pub rel_eb: f64,
+    /// Timed repetitions (best-of is reported).
+    pub repeats: usize,
+}
+
+impl TemporalBenchConfig {
+    /// Full-size run for committed numbers.
+    pub fn full() -> Self {
+        TemporalBenchConfig {
+            rows: 256,
+            cols: 256,
+            n_epochs: 12,
+            keyframe_interval: 4,
+            chunk_rows: 16,
+            rel_eb: 1e-3,
+            repeats: 3,
+        }
+    }
+
+    /// Tiny CI smoke run: exercises both encodings in a few seconds.
+    pub fn smoke() -> Self {
+        TemporalBenchConfig {
+            rows: 64,
+            cols: 64,
+            n_epochs: 6,
+            keyframe_interval: 3,
+            chunk_rows: 8,
+            rel_eb: 1e-3,
+            repeats: 1,
+        }
+    }
+}
+
+/// One labelled harness run.
+#[derive(Debug, Clone)]
+pub struct TemporalBenchRun {
+    /// Run label (e.g. `pr10`).
+    pub label: String,
+    /// Epochs encoded.
+    pub n_epochs: usize,
+    /// Keyframe interval of the v3 archive.
+    pub keyframe_interval: usize,
+    /// Raw series size (4 bytes/sample × epochs).
+    pub raw_bytes: usize,
+    /// Summed size of the per-epoch independent v2 archives.
+    pub independent_bytes: usize,
+    /// Size of the single v3 temporal archive.
+    pub temporal_bytes: usize,
+    /// Compression ratio of the independent-snapshot baseline.
+    pub ratio_independent: f64,
+    /// Compression ratio of the v3 temporal archive.
+    pub ratio_temporal: f64,
+    /// `independent_bytes / temporal_bytes` — the delta-chain payoff.
+    pub temporal_gain_x: f64,
+    /// v3 encode throughput over the raw series.
+    pub encode_mb_s: f64,
+    /// Decode throughput of a random mid-chain epoch (keyframe + deltas).
+    pub epoch_decode_mb_s: f64,
+}
+
+/// Best-of-`repeats` wall-clock seconds for `f`.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn builder(cfg: &TemporalBenchConfig) -> ArchiveBuilder {
+    ArchiveBuilder::relative(cfg.rel_eb)
+        .train_config(TrainConfig::fast())
+        .cross_field("RH", &["TS", "PS"])
+        .chunk_elements(cfg.chunk_rows * cfg.cols)
+}
+
+/// Run the harness and return the labelled measurements.
+pub fn run(label: &str, cfg: TemporalBenchConfig) -> TemporalBenchRun {
+    let snaps = temporal::generate(
+        Shape::d2(cfg.rows, cfg.cols),
+        cfg.n_epochs,
+        GenParams::default(),
+    );
+
+    // baseline: one independent v2 archive per epoch
+    let v2 = builder(&cfg).build();
+    let independent_bytes: usize = snaps
+        .iter()
+        .map(|s| v2.write(s).expect("independent v2 write").len())
+        .sum();
+
+    // temporal: a single v3 archive over the whole sequence
+    let v3 = builder(&cfg)
+        .keyframe_interval(cfg.keyframe_interval)
+        .build();
+    let mut encoded: Option<(Vec<u8>, cfc_core::archive::TemporalReport)> = None;
+    let encode_s = best_secs(cfg.repeats, || {
+        encoded = Some(v3.write_epochs_with_report(&snaps).expect("v3 write"));
+    });
+    let (bytes, report) = encoded.expect("timed at least once");
+    assert_eq!(report.epochs.len(), cfg.n_epochs);
+    let raw_mb = report.raw_bytes as f64 / 1e6;
+
+    // random access into the middle of a delta chain: the worst epoch is
+    // the one right before the next keyframe (longest walk-back)
+    let reader = ArchiveReader::new(&bytes).expect("parse v3 archive");
+    let epoch = (cfg.keyframe_interval - 1).min(cfg.n_epochs - 1);
+    let epoch_mb = (cfg.rows * cfg.cols * 4 * reader.field_names().len()) as f64 / 1e6;
+    let decode_s = best_secs(cfg.repeats, || {
+        let ds = reader.decode_epoch(epoch).expect("epoch decode");
+        std::hint::black_box(ds);
+    });
+
+    TemporalBenchRun {
+        label: label.to_string(),
+        n_epochs: cfg.n_epochs,
+        keyframe_interval: cfg.keyframe_interval,
+        raw_bytes: report.raw_bytes,
+        independent_bytes,
+        temporal_bytes: bytes.len(),
+        ratio_independent: report.raw_bytes as f64 / independent_bytes as f64,
+        ratio_temporal: report.ratio(),
+        temporal_gain_x: independent_bytes as f64 / bytes.len() as f64,
+        encode_mb_s: raw_mb / encode_s.max(1e-9),
+        epoch_decode_mb_s: epoch_mb / decode_s.max(1e-9),
+    }
+}
+
+fn push_field(out: &mut String, key: &str, v: f64, comma: bool) {
+    out.push_str(&format!("    \"{key}\": {v:.3}"));
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+/// Serialize runs to the committed JSON layout.
+pub fn to_json(runs: &[TemporalBenchRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(
+        "  \"unit\": \"compression ratio (raw/encoded); gain = independent bytes / temporal bytes\",\n",
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"label\": \"{}\",\n", r.label));
+        out.push_str(&format!("    \"n_epochs\": {},\n", r.n_epochs));
+        out.push_str(&format!(
+            "    \"keyframe_interval\": {},\n",
+            r.keyframe_interval
+        ));
+        out.push_str(&format!("    \"raw_bytes\": {},\n", r.raw_bytes));
+        out.push_str(&format!(
+            "    \"independent_bytes\": {},\n",
+            r.independent_bytes
+        ));
+        out.push_str(&format!("    \"temporal_bytes\": {},\n", r.temporal_bytes));
+        push_field(&mut out, "ratio_independent", r.ratio_independent, true);
+        push_field(&mut out, "ratio_temporal", r.ratio_temporal, true);
+        push_field(&mut out, "temporal_gain_x", r.temporal_gain_x, true);
+        push_field(&mut out, "encode_mb_s", r.encode_mb_s, true);
+        push_field(&mut out, "epoch_decode_mb_s", r.epoch_decode_mb_s, false);
+        out.push_str(if i + 1 < runs.len() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Keys every run object must carry with a positive numeric value.
+pub const REQUIRED_KEYS: [&str; 8] = [
+    "raw_bytes",
+    "independent_bytes",
+    "temporal_bytes",
+    "ratio_independent",
+    "ratio_temporal",
+    "temporal_gain_x",
+    "encode_mb_s",
+    "epoch_decode_mb_s",
+];
+
+/// Structural validation of a temporal-bench JSON document (same
+/// contract as the other harnesses: schema marker, at least one run,
+/// every required key positive).
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema marker {SCHEMA}"));
+    }
+    let n_runs = doc.matches("\"label\":").count();
+    if n_runs == 0 {
+        return Err("document holds no runs".into());
+    }
+    for key in REQUIRED_KEYS {
+        let needle = format!("\"{key}\":");
+        let count = doc.matches(&needle).count();
+        if count != n_runs {
+            return Err(format!("key {key} appears {count} times for {n_runs} runs"));
+        }
+        for (at, _) in doc.match_indices(&needle) {
+            let rest = doc[at + needle.len()..].trim_start();
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            match num.parse::<f64>() {
+                Ok(v) if v > 0.0 && v.is_finite() => {}
+                _ => return Err(format!("key {key} has non-positive value {num:?}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extract the first numeric value after `"key":` in `doc`.
+pub fn extract_value(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> TemporalBenchRun {
+        TemporalBenchRun {
+            label: "unit".into(),
+            n_epochs: 12,
+            keyframe_interval: 4,
+            raw_bytes: 3_145_728,
+            independent_bytes: 400_000,
+            temporal_bytes: 250_000,
+            ratio_independent: 7.86,
+            ratio_temporal: 12.58,
+            temporal_gain_x: 1.6,
+            encode_mb_s: 40.0,
+            epoch_decode_mb_s: 300.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let doc = to_json(&[sample_run()]);
+        validate_json(&doc).expect("valid document");
+        assert_eq!(extract_value(&doc, "temporal_gain_x"), Some(1.6));
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_json("{}").is_err());
+        let mut bad = sample_run();
+        bad.temporal_gain_x = 0.0;
+        assert!(validate_json(&to_json(&[bad])).is_err());
+        let good = to_json(&[sample_run()]);
+        assert!(validate_json(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn smoke_run_beats_independent_snapshots() {
+        let run = run("unit-smoke", TemporalBenchConfig::smoke());
+        assert!(
+            run.temporal_gain_x > 1.0,
+            "temporal archive must beat independent snapshots, got {:.3}x",
+            run.temporal_gain_x
+        );
+        validate_json(&to_json(&[run])).expect("smoke run document validates");
+    }
+
+    /// The committed document at the repo root stays valid and keeps the
+    /// ROADMAP promise: temporal ≥ 1.3× the independent-snapshot bytes.
+    #[test]
+    fn committed_document_holds_the_floor() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_temporal.json");
+        let doc = std::fs::read_to_string(path).expect("committed BENCH_temporal.json");
+        validate_json(&doc).expect("committed document validates");
+        let gain = extract_value(&doc, "temporal_gain_x").expect("gain present");
+        assert!(
+            gain >= 1.3,
+            "committed temporal gain {gain:.3}x below the 1.3x floor"
+        );
+    }
+}

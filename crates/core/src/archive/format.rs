@@ -17,10 +17,19 @@ use super::source::ArchiveSource;
 
 /// Archive magic bytes.
 pub const ARCHIVE_MAGIC: &[u8; 4] = b"CFAR";
-/// Current archive container version (chunked).
-pub const ARCHIVE_VERSION: u16 = 2;
+/// Current archive container version (temporal: multi-epoch with delta
+/// snapshots and CRC-protected field meta).
+pub const ARCHIVE_VERSION: u16 = 3;
+/// Container version emitted for single-snapshot archives. Single
+/// snapshots keep the v2 layout so existing archives stay byte-identical;
+/// only multi-epoch writes ([`super::ArchiveWriter::write_epochs_to`])
+/// emit v3.
+pub const ARCHIVE_VERSION_SNAPSHOT: u16 = 2;
 /// Oldest container version this build still decodes.
 pub const MIN_SUPPORTED_VERSION: u16 = 1;
+/// Default keyframe interval for multi-epoch archives: every fourth epoch
+/// is a full keyframe, the rest are deltas against the previous epoch.
+pub const DEFAULT_KEYFRAME_INTERVAL: usize = 4;
 /// Default chunk size: elements per block (rounded up to whole slabs along
 /// axis 0). 2^20 samples ≈ 4 MiB of raw `f32` per block.
 pub const DEFAULT_CHUNK_ELEMENTS: usize = 1 << 20;
@@ -35,6 +44,10 @@ pub enum FieldRole {
     Anchor = 1,
     /// Compressed with the cross-field pipeline against its anchors.
     Target = 2,
+    /// Compressed against the decoded same-name field of the previous
+    /// epoch (v3 temporal archives; never appears in epoch 0 or any
+    /// keyframe epoch).
+    Delta = 3,
 }
 
 impl FieldRole {
@@ -43,6 +56,7 @@ impl FieldRole {
             0 => Some(FieldRole::Independent),
             1 => Some(FieldRole::Anchor),
             2 => Some(FieldRole::Target),
+            3 => Some(FieldRole::Delta),
             _ => None,
         }
     }
@@ -53,6 +67,7 @@ impl FieldRole {
             FieldRole::Independent => "independent",
             FieldRole::Anchor => "anchor",
             FieldRole::Target => "cross-field",
+            FieldRole::Delta => "temporal-delta",
         }
     }
 }
@@ -81,6 +96,16 @@ pub(crate) fn slab_shape_of(shape: Shape, rows: usize) -> Shape {
         .chain(shape.dims()[1..].iter().copied())
         .collect();
     Shape::from_slice(&dims)
+}
+
+/// Epoch-qualified field name used in damage reports, scrub findings and
+/// errors: the plain name for epoch 0, `name@eN` otherwise.
+pub(crate) fn qualified_field_name(name: &str, epoch: usize) -> String {
+    if epoch == 0 {
+        name.to_string()
+    } else {
+        format!("{name}@e{epoch}")
+    }
 }
 
 /// Serialize a u16-length-prefixed string (field and archive names).
@@ -113,6 +138,11 @@ pub struct ArchiveEntry {
     pub anchors: Vec<String>,
     /// Absolute error bound the reconstruction satisfies.
     pub eb_abs: f64,
+    /// Epoch this entry belongs to (always 0 for v1/v2 archives).
+    pub epoch: usize,
+    /// CRC32 over the meta area (v3; 0 for v1/v2, which predate the
+    /// column).
+    pub(crate) meta_crc: u32,
     /// Field shape (`None` for v1 archives, whose manifests predate the
     /// shape column — the shape is learned by decoding).
     pub(crate) shape: Option<Shape>,
@@ -134,6 +164,12 @@ impl ArchiveEntry {
         self.payload_len
     }
 
+    /// Epoch-qualified display name: the plain field name for epoch 0
+    /// (so v1/v2 diagnostics are unchanged), `name@eN` for later epochs.
+    pub fn qualified_name(&self) -> String {
+        qualified_field_name(&self.name, self.epoch)
+    }
+
     /// Number of independently decodable blocks (1 for v1 archives).
     pub fn n_blocks(&self) -> usize {
         self.blocks.len().max(1)
@@ -142,6 +178,12 @@ impl ArchiveEntry {
     /// Field shape, when the manifest records it (v2).
     pub fn shape(&self) -> Option<Shape> {
         self.shape
+    }
+
+    /// Meta-area bytes preceding the blocks (embedded model and/or hybrid
+    /// weights; nonzero only for target and temporal-delta entries).
+    pub fn meta_len(&self) -> usize {
+        self.meta_len
     }
 
     /// Compressed size of one block (v2 archives).
@@ -362,6 +404,8 @@ pub(crate) fn parse_entry_v1<S: ArchiveSource>(
         role,
         anchors,
         eb_abs,
+        epoch: 0,
+        meta_crc: 0,
         shape: None,
         chunk_slabs: 0,
         payload_base,
@@ -376,6 +420,23 @@ pub(crate) fn parse_entry_v1<S: ArchiveSource>(
 /// against the source size.
 pub(crate) fn parse_entry_v2<S: ArchiveSource>(
     toc: &mut TocReader<'_, S>,
+) -> Result<ArchiveEntry, CfcError> {
+    parse_entry_chunked(toc, false, 0)
+}
+
+/// Parse one v3 manifest row: the v2 layout with a CRC32 over the meta
+/// area inserted between the payload length and the block index.
+pub(crate) fn parse_entry_v3<S: ArchiveSource>(
+    toc: &mut TocReader<'_, S>,
+    epoch: usize,
+) -> Result<ArchiveEntry, CfcError> {
+    parse_entry_chunked(toc, true, epoch)
+}
+
+fn parse_entry_chunked<S: ArchiveSource>(
+    toc: &mut TocReader<'_, S>,
+    with_meta_crc: bool,
+    epoch: usize,
 ) -> Result<ArchiveEntry, CfcError> {
     let name = toc.str("field name")?;
     let role = FieldRole::from_u8(toc.u8("field role")?).ok_or(CfcError::Corrupt {
@@ -447,6 +508,11 @@ pub(crate) fn parse_entry_v2<S: ArchiveSource>(
             detail: format!("meta {meta_len} exceeds payload {payload_len}"),
         });
     }
+    let meta_crc = if with_meta_crc {
+        toc.u32("field meta crc")?
+    } else {
+        0
+    };
     // the index itself: 20 bytes per block
     if (n_blocks as u64).saturating_mul(20) > toc.remaining() {
         return Err(CfcError::Truncated {
@@ -489,6 +555,8 @@ pub(crate) fn parse_entry_v2<S: ArchiveSource>(
         role,
         anchors,
         eb_abs,
+        epoch,
+        meta_crc,
         shape: Some(shape),
         chunk_slabs,
         payload_base,
@@ -534,6 +602,8 @@ mod tests {
             role: FieldRole::Independent,
             anchors: Vec::new(),
             eb_abs: 1e-3,
+            epoch: 0,
+            meta_crc: 0,
             shape: Some(Shape::d2(10, 6)),
             chunk_slabs: 4,
             payload_base: 0,

@@ -51,7 +51,17 @@
 //!
 //! ## Container versions
 //!
-//! * **v2** (current): chunked. Per field the header stores shape, chunk
+//! * **v3** (current, temporal): a sequence of epochs, each holding every
+//!   field in the v2 per-field layout plus a CRC32 over the meta area.
+//!   Epochs at multiples of the keyframe interval are **keyframes**
+//!   (encoded exactly like a v2 snapshot, cross-field plan included);
+//!   the rest are **delta epochs** whose fields carry
+//!   [`FieldRole::Delta`] and encode against the decoded previous epoch,
+//!   so random access to any epoch decodes at most one keyframe block
+//!   plus the delta chain back to it. Written by
+//!   [`ArchiveWriter::write_epochs_to`]; single-snapshot writes keep
+//!   emitting v2 so existing fixtures stay byte-identical.
+//! * **v2**: chunked. Per field the header stores shape, chunk
 //!   geometry, a meta area (embedded CFNN + hybrid weights for targets),
 //!   and the block index; payloads follow. Blocks decode independently —
 //!   the slab boundary resets predictor context (neighbours outside the
@@ -80,8 +90,8 @@ pub mod writer;
 pub use damage::{BlockDamage, DamageMap, DecodePolicy, Salvaged};
 pub use fault::{FaultInjectingReader, FaultPlan, FaultStats};
 pub use format::{
-    ArchiveEntry, FieldInfo, FieldRole, ARCHIVE_MAGIC, ARCHIVE_VERSION, DEFAULT_CHUNK_ELEMENTS,
-    MIN_SUPPORTED_VERSION,
+    ArchiveEntry, FieldInfo, FieldRole, ARCHIVE_MAGIC, ARCHIVE_VERSION, ARCHIVE_VERSION_SNAPSHOT,
+    DEFAULT_CHUNK_ELEMENTS, DEFAULT_KEYFRAME_INTERVAL, MIN_SUPPORTED_VERSION,
 };
 pub use reader::{ArchiveReader, ArchiveScratch};
 pub use scrub::{
@@ -89,7 +99,7 @@ pub use scrub::{
 };
 pub use source::{ArchiveSource, SeekSource};
 pub use store::{ArchiveStore, StoreConfig, StoreStats};
-pub use writer::{ArchiveBuilder, ArchiveReport, ArchiveWriter, FieldReport};
+pub use writer::{ArchiveBuilder, ArchiveReport, ArchiveWriter, FieldReport, TemporalReport};
 
 /// Run `f(0..n)` across up to `threads` scoped workers, preserving result
 /// order. One task per block, so big fields no longer serialize through a

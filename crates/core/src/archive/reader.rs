@@ -23,12 +23,12 @@ use cfc_tensor::{Dataset, Field, Region, Shape};
 use crate::hybrid::HybridModel;
 use crate::pipeline::deserialize_model;
 use crate::predict::predict_differences;
-use crate::predictor::CrossFieldHybridPredictor;
+use crate::predictor::{CrossFieldHybridPredictor, TemporalHybridPredictor, TEMPORAL_ARITY};
 
 use super::damage::{DamageMap, DecodePolicy, Salvaged};
 use super::format::{
-    block_range, parse_entry_v1, parse_entry_v2, slab_shape_of, ArchiveEntry, BlockMeta, FieldRole,
-    TocReader, ARCHIVE_MAGIC, ARCHIVE_VERSION, MIN_SUPPORTED_VERSION,
+    block_range, parse_entry_v1, parse_entry_v2, parse_entry_v3, slab_shape_of, ArchiveEntry,
+    BlockMeta, FieldRole, TocReader, ARCHIVE_MAGIC, ARCHIVE_VERSION, MIN_SUPPORTED_VERSION,
 };
 use super::source::ArchiveSource;
 use super::{run_parallel, run_parallel_scratch};
@@ -43,25 +43,22 @@ pub(crate) fn fill_slab(entry: &ArchiveEntry, idx: usize, fill: f32) -> Field {
     Field::from_vec(slab, vec![fill; n])
 }
 
-/// Record block `idx` of `entry` as damaged in `damage`, attributing the
-/// cause: when `e` carries another field's attribution (a corrupt anchor
-/// block discovered while decoding a target), the anchor's own block is
-/// recorded as the root damage and the target block as cascaded from it.
-pub(crate) fn record_block_damage(
-    damage: &mut DamageMap,
-    entry: &ArchiveEntry,
-    idx: usize,
-    e: &CfcError,
-) {
+/// Record block `idx` of the (epoch-qualified) field `name` as damaged in
+/// `damage`, attributing the cause: when `e` carries another field's
+/// attribution (a corrupt anchor block discovered while decoding a target,
+/// or a damaged chain predecessor discovered while decoding a temporal
+/// delta), that field's own block is recorded as the root damage and
+/// `name`'s block as cascaded from it.
+pub(crate) fn record_block_damage(damage: &mut DamageMap, name: &str, idx: usize, e: &CfcError) {
     let root = e.root_cause().clone();
     if let CfcError::InField { field, block, .. } = e {
-        if field != &entry.name {
+        if field != name {
             damage.record(field, block.unwrap_or(idx), None, root.clone());
-            damage.record(&entry.name, idx, Some(field.clone()), root);
+            damage.record(name, idx, Some(field.clone()), root);
             return;
         }
     }
-    damage.record(&entry.name, idx, None, root);
+    damage.record(name, idx, None, root);
 }
 
 /// Reusable per-worker buffers for block decode: the raw (compressed)
@@ -118,7 +115,12 @@ pub(crate) type TargetMeta = (Vec<u8>, HybridModel);
 pub struct ArchiveReader<R> {
     name: String,
     version: u16,
+    /// All entries, flat: entry `epoch × n_fields + pos` is field `pos`
+    /// of `epoch`. v1/v2 archives have exactly one epoch.
     entries: Vec<ArchiveEntry>,
+    n_epochs: usize,
+    n_fields: usize,
+    keyframe_interval: usize,
     src: R,
     src_len: u64,
 }
@@ -161,6 +163,19 @@ impl<R: ArchiveSource> ArchiveReader<R> {
             });
         }
         let name = toc.str("archive name")?;
+        let (n_epochs, keyframe_interval) = if version >= 3 {
+            let n_epochs = toc.u32("epoch count")? as usize;
+            let interval = toc.u32("keyframe interval")? as usize;
+            if n_epochs == 0 || interval == 0 {
+                return Err(CfcError::Corrupt {
+                    context: "archive",
+                    detail: format!("{n_epochs} epochs at keyframe interval {interval}"),
+                });
+            }
+            (n_epochs, interval)
+        } else {
+            (1, 1)
+        };
         let n_fields = toc.u32("field count")? as usize;
         if n_fields == 0 {
             return Err(CfcError::Corrupt {
@@ -169,58 +184,119 @@ impl<R: ArchiveSource> ArchiveReader<R> {
             });
         }
         // every entry needs ≥ 19 bytes of fixed headers
-        if (n_fields as u64).saturating_mul(19) > toc.remaining() {
+        let total = n_fields.checked_mul(n_epochs).ok_or(CfcError::Corrupt {
+            context: "archive",
+            detail: "entry count overflows".into(),
+        })?;
+        if (total as u64).saturating_mul(19) > toc.remaining() {
             return Err(CfcError::Truncated {
                 context: "archive field table",
-                needed: n_fields * 19,
+                needed: total * 19,
                 available: toc.remaining() as usize,
             });
         }
-        let mut entries = Vec::with_capacity(n_fields);
-        for _ in 0..n_fields {
-            let entry = if version == 1 {
-                parse_entry_v1(&mut toc)?
-            } else {
-                parse_entry_v2(&mut toc)?
-            };
-            entries.push(entry);
+        let mut entries = Vec::with_capacity(total);
+        for epoch in 0..n_epochs {
+            if version >= 3 {
+                let kind = toc.u8("epoch kind")?;
+                let expect = u8::from(epoch % keyframe_interval != 0);
+                if kind != expect {
+                    return Err(CfcError::Corrupt {
+                        context: "archive",
+                        detail: format!(
+                            "epoch {epoch} kind byte {kind} disagrees with \
+                             keyframe interval {keyframe_interval}"
+                        ),
+                    });
+                }
+            }
+            for _ in 0..n_fields {
+                let entry = match version {
+                    1 => parse_entry_v1(&mut toc)?,
+                    2 => parse_entry_v2(&mut toc)?,
+                    _ => parse_entry_v3(&mut toc, epoch)?,
+                };
+                entries.push(entry);
+            }
         }
 
-        // referential integrity of the manifest
-        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
-        for (i, e) in entries.iter().enumerate() {
-            if names[..i].contains(&e.name.as_str()) {
-                return Err(CfcError::Corrupt {
-                    context: "archive",
-                    detail: format!("duplicate field {}", e.name),
-                });
-            }
-            if e.role == FieldRole::Target && e.anchors.is_empty() {
-                return Err(CfcError::Corrupt {
-                    context: "archive",
-                    detail: format!("target {} without anchors", e.name),
-                });
-            }
-            for a in &e.anchors {
-                match entries.iter().find(|o| &o.name == a) {
-                    None => {
-                        return Err(CfcError::Corrupt {
-                            context: "archive",
-                            detail: format!("field {} references unknown anchor {a}", e.name),
-                        })
+        // referential integrity of the manifest, per epoch: names are
+        // unique within an epoch, anchors resolve within the same epoch,
+        // delta roles appear exactly in delta epochs
+        for epoch in 0..n_epochs {
+            let ep = &entries[epoch * n_fields..(epoch + 1) * n_fields];
+            let delta_epoch = version >= 3 && epoch % keyframe_interval != 0;
+            let names: Vec<&str> = ep.iter().map(|e| e.name.as_str()).collect();
+            for (i, e) in ep.iter().enumerate() {
+                if names[..i].contains(&e.name.as_str()) {
+                    return Err(CfcError::Corrupt {
+                        context: "archive",
+                        detail: format!("duplicate field {}", e.qualified_name()),
+                    });
+                }
+                if (e.role == FieldRole::Delta) != delta_epoch {
+                    return Err(CfcError::Corrupt {
+                        context: "archive",
+                        detail: format!(
+                            "field {} role {} in a {} epoch",
+                            e.qualified_name(),
+                            e.role.label(),
+                            if delta_epoch { "delta" } else { "keyframe" },
+                        ),
+                    });
+                }
+                if e.role == FieldRole::Target && e.anchors.is_empty() {
+                    return Err(CfcError::Corrupt {
+                        context: "archive",
+                        detail: format!("target {} without anchors", e.qualified_name()),
+                    });
+                }
+                if e.role == FieldRole::Delta && !e.anchors.is_empty() {
+                    return Err(CfcError::Corrupt {
+                        context: "archive",
+                        detail: format!(
+                            "delta field {} lists anchors; its anchor is the previous epoch",
+                            e.qualified_name()
+                        ),
+                    });
+                }
+                for a in &e.anchors {
+                    match ep.iter().find(|o| &o.name == a) {
+                        None => {
+                            return Err(CfcError::Corrupt {
+                                context: "archive",
+                                detail: format!("field {} references unknown anchor {a}", e.name),
+                            })
+                        }
+                        Some(o) if o.role == FieldRole::Target => {
+                            return Err(CfcError::Corrupt {
+                                context: "archive",
+                                detail: format!("anchor {a} of {} is itself a target", e.name),
+                            })
+                        }
+                        Some(_) => {}
                     }
-                    Some(o) if o.role == FieldRole::Target => {
-                        return Err(CfcError::Corrupt {
-                            context: "archive",
-                            detail: format!("anchor {a} of {} is itself a target", e.name),
-                        })
-                    }
-                    Some(_) => {}
+                }
+            }
+            // every epoch must list the same fields in the same order, or
+            // the flat epoch × n_fields indexing (and with it the delta
+            // chain) is unsound
+            if epoch > 0 {
+                let first: Vec<&str> = entries[..n_fields]
+                    .iter()
+                    .map(|e| e.name.as_str())
+                    .collect();
+                if names != first {
+                    return Err(CfcError::Corrupt {
+                        context: "archive",
+                        detail: format!("epoch {epoch} fields differ from epoch 0"),
+                    });
                 }
             }
         }
-        // v2 manifests record geometry up front: every field must agree on
-        // shape and chunking, or block-level cross-field decode is unsound
+        // v2 manifests record geometry up front: every field (of every
+        // epoch) must agree on shape and chunking, or block-level
+        // cross-field and temporal decode is unsound
         if version >= 2 {
             let first = &entries[0];
             for e in &entries[1..] {
@@ -229,7 +305,8 @@ impl<R: ArchiveSource> ArchiveReader<R> {
                         context: "archive",
                         detail: format!(
                             "field {} disagrees with {} on shape or chunk geometry",
-                            e.name, first.name
+                            e.qualified_name(),
+                            first.name
                         ),
                     });
                 }
@@ -239,6 +316,9 @@ impl<R: ArchiveSource> ArchiveReader<R> {
             name,
             version,
             entries,
+            n_epochs,
+            n_fields,
+            keyframe_interval,
             src,
             src_len,
         })
@@ -249,50 +329,84 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         &self.name
     }
 
-    /// Container version of the parsed archive (1 or 2).
+    /// Container version of the parsed archive (1, 2, or 3).
     pub fn version(&self) -> u16 {
         self.version
     }
 
-    /// Manifest entries in archive order.
+    /// Number of epochs in the archive (1 for v1/v2).
+    pub fn n_epochs(&self) -> usize {
+        self.n_epochs
+    }
+
+    /// Keyframe interval recorded in the archive (1 for v1/v2): epoch `e`
+    /// is a full keyframe iff `e % interval == 0`, a delta otherwise.
+    pub fn keyframe_interval(&self) -> usize {
+        self.keyframe_interval
+    }
+
+    /// Fields per epoch (total for v1/v2 archives, which are one epoch).
+    pub fn fields_per_epoch(&self) -> usize {
+        self.n_fields
+    }
+
+    /// All manifest entries, flat across epochs: entry
+    /// `epoch × n_fields + pos` is field `pos` of `epoch`.
     pub fn entries(&self) -> &[ArchiveEntry] {
         &self.entries
     }
 
+    /// Epoch-0 manifest entries in archive order.
+    fn epoch0(&self) -> &[ArchiveEntry] {
+        &self.entries[..self.n_fields]
+    }
+
     /// Field names in archive order.
     pub fn field_names(&self) -> Vec<&str> {
-        self.entries.iter().map(|e| e.name.as_str()).collect()
+        self.epoch0().iter().map(|e| e.name.as_str()).collect()
     }
 
     /// Read-only metadata views of every field, in archive order — the
-    /// manifest a serving front-end exposes.
+    /// manifest a serving front-end exposes. Fields are uniform across
+    /// epochs (same names, shape, chunking), so one epoch describes all.
     pub fn field_infos(&self) -> Vec<super::format::FieldInfo> {
-        self.entries.iter().map(|e| e.info()).collect()
+        self.epoch0().iter().map(|e| e.info()).collect()
     }
 
     /// Metadata view of one field, `None` when the archive has no field of
     /// that name.
     pub fn field_info(&self, name: &str) -> Option<super::format::FieldInfo> {
-        self.entries
+        self.epoch0()
             .iter()
             .find(|e| e.name == name)
             .map(|e| e.info())
     }
 
     pub(crate) fn entry(&self, name: &str) -> Result<&ArchiveEntry, CfcError> {
-        self.entries
+        self.epoch0()
             .iter()
             .find(|e| e.name == name)
             .ok_or_else(|| CfcError::InvalidInput(format!("archive has no field {name}")))
     }
 
     /// Position of `name` in the manifest (the stable key block caches and
-    /// anchor memos use).
+    /// anchor memos use): epoch 0's entry.
     pub(crate) fn entry_index(&self, name: &str) -> Result<usize, CfcError> {
-        self.entries
+        self.epoch0()
             .iter()
             .position(|e| e.name == name)
             .ok_or_else(|| CfcError::InvalidInput(format!("archive has no field {name}")))
+    }
+
+    /// Flat entry index of field `name` at `epoch`.
+    pub(crate) fn entry_index_at(&self, name: &str, epoch: usize) -> Result<usize, CfcError> {
+        if epoch >= self.n_epochs {
+            return Err(CfcError::InvalidInput(format!(
+                "archive has {} epochs, asked for {epoch}",
+                self.n_epochs
+            )));
+        }
+        Ok(epoch * self.n_fields + self.entry_index(name)?)
     }
 
     /// Read `len` bytes at absolute offset `at`.
@@ -377,9 +491,22 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         Ok(bytes)
     }
 
-    /// Read a field's meta area (embedded model + hybrid weights).
+    /// Read a field's meta area (embedded model + hybrid weights),
+    /// verifying the manifest's meta CRC on v3 archives — meta rot
+    /// surfaces as a typed checksum error, never a garbled decode.
     fn read_meta(&self, entry: &ArchiveEntry) -> Result<Vec<u8>, CfcError> {
-        self.read_at(entry.payload_base, entry.meta_len, "archive field meta")
+        let meta = self.read_at(entry.payload_base, entry.meta_len, "archive field meta")?;
+        if self.version >= 3 {
+            let found = crc32(&meta);
+            if found != entry.meta_crc {
+                return Err(CfcError::ChecksumMismatch {
+                    context: "archive field meta",
+                    expected: entry.meta_crc,
+                    found,
+                });
+            }
+        }
+        Ok(meta)
     }
 
     /// Parse a target's meta area into (model bytes, hybrid weights).
@@ -401,7 +528,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         scratch: &mut ArchiveScratch,
     ) -> Result<Field, CfcError> {
         self.decode_baseline_block_inner(entry, idx, scratch)
-            .map_err(|e| e.in_field(&entry.name, Some(idx)))
+            .map_err(|e| e.in_field(&entry.qualified_name(), Some(idx)))
     }
 
     fn decode_baseline_block_inner(
@@ -426,7 +553,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         scratch: &mut ArchiveScratch,
     ) -> Result<Field, CfcError> {
         self.decode_baseline_bytes_inner(entry, idx, bytes, &mut scratch.dec)
-            .map_err(|e| e.in_field(&entry.name, Some(idx)))
+            .map_err(|e| e.in_field(&entry.qualified_name(), Some(idx)))
     }
 
     fn decode_baseline_bytes_inner(
@@ -453,7 +580,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         scratch: &mut ArchiveScratch,
     ) -> Result<Field, CfcError> {
         self.decode_target_block_inner(entry, idx, anchor_slabs, model_bytes, hybrid, scratch)
-            .map_err(|e| e.in_field(&entry.name, Some(idx)))
+            .map_err(|e| e.in_field(&entry.qualified_name(), Some(idx)))
     }
 
     /// Decode one target block from already-fetched, CRC-verified bytes
@@ -480,7 +607,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
             hybrid,
             &mut scratch.dec,
         )
-        .map_err(|e| e.in_field(&entry.name, Some(idx)))
+        .map_err(|e| e.in_field(&entry.qualified_name(), Some(idx)))
     }
 
     fn decode_target_block_inner(
@@ -545,6 +672,82 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         Ok(lattice.reconstruct(container.eb))
     }
 
+    /// Decode one temporal-delta block given the decoded same-name slab of
+    /// the previous epoch. Errors carry the epoch-qualified field/block
+    /// context.
+    pub(crate) fn decode_delta_block(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        prev_slab: &Field,
+        hybrid: &HybridModel,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        (|| {
+            self.read_block_into(entry, idx, scratch)?;
+            let ArchiveScratch { block, dec, .. } = scratch;
+            self.decode_delta_bytes_inner(entry, idx, block, prev_slab, hybrid, dec)
+        })()
+        .map_err(|e| e.in_field(&entry.qualified_name(), Some(idx)))
+    }
+
+    /// Decode one temporal-delta block from already-fetched, CRC-verified
+    /// bytes — the pure-CPU half of [`ArchiveReader::decode_delta_block`],
+    /// used by tier-2 cache promotion.
+    pub(crate) fn decode_delta_block_bytes(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        bytes: &[u8],
+        prev_slab: &Field,
+        hybrid: &HybridModel,
+        scratch: &mut ArchiveScratch,
+    ) -> Result<Field, CfcError> {
+        self.decode_delta_bytes_inner(entry, idx, bytes, prev_slab, hybrid, &mut scratch.dec)
+            .map_err(|e| e.in_field(&entry.qualified_name(), Some(idx)))
+    }
+
+    fn decode_delta_bytes_inner(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        bytes: &[u8],
+        prev_slab: &Field,
+        hybrid: &HybridModel,
+        dec: &mut DecodeScratch,
+    ) -> Result<Field, CfcError> {
+        let container = Container::try_from_bytes(bytes)?;
+        self.check_slab_shape(entry, idx, container.shape)?;
+        let ndim = container.shape.ndim();
+        if !(2..=3).contains(&ndim) {
+            return Err(CfcError::Corrupt {
+                context: "archive entry",
+                detail: format!("{ndim}-D temporal-delta block"),
+            });
+        }
+        if hybrid.arity() != TEMPORAL_ARITY {
+            return Err(CfcError::Corrupt {
+                context: "hybrid weights",
+                detail: format!(
+                    "arity {} for a temporal-delta block (expected {TEMPORAL_ARITY})",
+                    hybrid.arity()
+                ),
+            });
+        }
+        if prev_slab.shape() != container.shape {
+            return Err(CfcError::ShapeMismatch {
+                expected: container.shape.to_string(),
+                found: "previous-epoch slab with a different shape".into(),
+            });
+        }
+        // same prediction the writer used: the previous epoch's decoded
+        // slab mixed with the Lorenzo guess by the hybrid weights shipped
+        // in the meta area
+        let predictor = TemporalHybridPredictor::new(prev_slab, container.eb, hybrid.clone());
+        let lattice = baseline_decoder().decompress_lattice_with(&container, &predictor, dec)?;
+        Ok(lattice.reconstruct(container.eb))
+    }
+
     /// Verify a decoded block's shape against the manifest's chunk
     /// geometry (a block stream that lies about its slab is corrupt).
     fn check_slab_shape(
@@ -558,7 +761,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         let expected = slab_shape_of(shape, r1 - r0);
         if found != expected {
             return Err(CfcError::ShapeMismatch {
-                expected: format!("block {idx} of {}: {expected}", entry.name),
+                expected: format!("block {idx} of {}: {expected}", entry.qualified_name()),
                 found: found.to_string(),
             });
         }
@@ -572,6 +775,27 @@ impl<R: ArchiveSource> ArchiveReader<R> {
     /// For v1 archives only block 0 exists and decodes the whole field.
     pub fn decode_block(&self, field: &str, idx: usize) -> Result<Field, CfcError> {
         self.decode_block_with(field, idx, &mut ArchiveScratch::new())
+    }
+
+    /// [`ArchiveReader::decode_block`] at an explicit epoch. A temporal
+    /// delta decodes its chain back to the covering keyframe — at most
+    /// `1 + keyframe_interval − 1` blocks of this field position.
+    pub fn decode_block_at(
+        &self,
+        field: &str,
+        idx: usize,
+        epoch: usize,
+    ) -> Result<Field, CfcError> {
+        let entry = &self.entries[self.entry_index_at(field, epoch)?];
+        let meta = self.target_meta(entry)?;
+        let mut memo = AnchorMemo::new();
+        self.decode_block_v2(
+            entry,
+            idx,
+            meta.as_ref(),
+            &mut ArchiveScratch::new(),
+            &mut memo,
+        )
     }
 
     /// [`ArchiveReader::decode_block`] through a caller-owned
@@ -598,15 +822,17 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         self.decode_block_v2(entry, idx, meta.as_ref(), scratch, &mut memo)
     }
 
-    /// Parse a v2 target's meta once (`None` for baseline/anchor roles) —
-    /// multi-block decodes hoist this out of their block loops.
+    /// Parse a target or temporal-delta entry's meta once (`None` for
+    /// baseline/anchor roles) — multi-block decodes hoist this out of
+    /// their block loops. Delta entries embed no model (their anchor is
+    /// the previous epoch), so their model bytes are empty.
     pub(crate) fn target_meta(&self, entry: &ArchiveEntry) -> Result<Option<TargetMeta>, CfcError> {
-        if entry.role != FieldRole::Target {
+        if entry.role != FieldRole::Target && entry.role != FieldRole::Delta {
             return Ok(None);
         }
         Self::parse_target_meta(&self.read_meta(entry)?)
             .map(Some)
-            .map_err(|e| e.in_field(&entry.name, None))
+            .map_err(|e| e.in_field(&entry.qualified_name(), None))
     }
 
     /// Decode one v2 block given the field's already-parsed meta, memoizing
@@ -621,13 +847,23 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         scratch: &mut ArchiveScratch,
         memo: &mut AnchorMemo,
     ) -> Result<Field, CfcError> {
+        if entry.role == FieldRole::Delta {
+            let (_, hybrid) = meta.ok_or(CfcError::Corrupt {
+                context: "archive entry",
+                detail: "delta entry without meta".into(),
+            })?;
+            return self.decode_delta_chain(entry, idx, hybrid, scratch, memo);
+        }
         let Some((model_bytes, hybrid)) = meta else {
             return self.decode_baseline_block(entry, idx, scratch);
         };
         let mut anchor_keys = Vec::with_capacity(entry.anchors.len());
         for a in &entry.anchors {
-            // manifest validation guarantees anchors exist and are not targets
-            let ai = self.entry_index(a).expect("validated anchor");
+            // manifest validation guarantees anchors exist (within the
+            // entry's own epoch) and are not targets
+            let ai = self
+                .entry_index_at(a, entry.epoch)
+                .expect("validated anchor");
             if let std::collections::hash_map::Entry::Vacant(slot) = memo.entry((ai, idx)) {
                 slot.insert(self.decode_baseline_block(&self.entries[ai], idx, scratch)?);
             }
@@ -635,6 +871,63 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         }
         let slab_refs: Vec<&Field> = anchor_keys.iter().map(|&ai| &memo[&(ai, idx)]).collect();
         self.decode_target_block(entry, idx, &slab_refs, model_bytes, hybrid, scratch)
+    }
+
+    /// Decode a temporal-delta block by walking its chain back to the
+    /// nearest memoized predecessor or covering keyframe, then decoding
+    /// forward — iteratively, so chain length costs neither stack depth
+    /// nor repeated work. Intermediate epochs land in `memo`; exactly
+    /// `1 keyframe + chain` blocks of this field position are read.
+    fn decode_delta_chain(
+        &self,
+        entry: &ArchiveEntry,
+        idx: usize,
+        hybrid: &HybridModel,
+        scratch: &mut ArchiveScratch,
+        memo: &mut AnchorMemo,
+    ) -> Result<Field, CfcError> {
+        let fi = self
+            .entry_index_at(&entry.name, entry.epoch)
+            .expect("own entry");
+        // walk back over delta predecessors that are not yet decoded
+        let mut stack = vec![fi];
+        loop {
+            let cur = *stack.last().expect("non-empty chain");
+            let prev = cur - self.n_fields;
+            if memo.contains_key(&(prev, idx)) {
+                break;
+            }
+            let pe = &self.entries[prev];
+            if pe.role == FieldRole::Delta {
+                stack.push(prev);
+                continue;
+            }
+            // covering keyframe: decode it (baseline or cross-field
+            // target) into the memo and stop walking
+            let pmeta = self.target_meta(pe)?;
+            let base = self.decode_block_v2(pe, idx, pmeta.as_ref(), scratch, memo)?;
+            memo.insert((prev, idx), base);
+            break;
+        }
+        // decode forward through the chain, oldest epoch first
+        while let Some(ci) = stack.pop() {
+            let ce = &self.entries[ci];
+            let prev_key = (ci - self.n_fields, idx);
+            let owned;
+            let h: &HybridModel = if ci == fi {
+                hybrid
+            } else {
+                owned = self.target_meta(ce)?.expect("delta entries carry meta");
+                &owned.1
+            };
+            let prev_slab = memo.get(&prev_key).expect("chain predecessor decoded");
+            let f = self.decode_delta_block(ce, idx, prev_slab, h, scratch)?;
+            if ci == fi {
+                return Ok(f);
+            }
+            memo.insert((ci, idx), f);
+        }
+        unreachable!("chain always contains the requested entry")
     }
 
     /// Decode an axis-aligned [`Region`] of `field`, reading only the
@@ -646,6 +939,17 @@ impl<R: ArchiveSource> ArchiveReader<R> {
     /// crop — the v1 container has no random-access index.
     pub fn decode_region(&self, field: &str, region: &Region) -> Result<Field, CfcError> {
         self.decode_region_policy(field, region, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
+    /// [`ArchiveReader::decode_region`] at an explicit epoch.
+    pub fn decode_region_at(
+        &self,
+        field: &str,
+        region: &Region,
+        epoch: usize,
+    ) -> Result<Field, CfcError> {
+        self.decode_region_policy_at(field, region, epoch, DecodePolicy::Strict)
             .map(|s| s.data)
     }
 
@@ -665,7 +969,21 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         region: &Region,
         policy: DecodePolicy,
     ) -> Result<Salvaged<Field>, CfcError> {
-        let entry = self.entry(field)?;
+        self.decode_region_policy_at(field, region, 0, policy)
+    }
+
+    /// [`ArchiveReader::decode_region_policy`] at an explicit epoch.
+    /// Damage on epochs past the first is reported under the qualified
+    /// name `{field}@e{epoch}`, so the same block index in different
+    /// epochs never collides in the [`DamageMap`].
+    pub fn decode_region_policy_at(
+        &self,
+        field: &str,
+        region: &Region,
+        epoch: usize,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
+        let entry = &self.entries[self.entry_index_at(field, epoch)?];
         if self.version == 1 {
             let full = self.decode_field_v1(entry)?;
             region
@@ -719,7 +1037,12 @@ impl<R: ArchiveSource> ArchiveReader<R> {
             let slab = match &meta {
                 Err(meta_err) => {
                     let fill = policy.fill().expect("strict meta failure returned above");
-                    damage.record(&entry.name, bi, None, meta_err.root_cause().clone());
+                    damage.record(
+                        &entry.qualified_name(),
+                        bi,
+                        None,
+                        meta_err.root_cause().clone(),
+                    );
                     fill_slab(entry, bi, fill)
                 }
                 Ok(m) => {
@@ -728,7 +1051,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
                         Err(e) => match policy {
                             DecodePolicy::Strict => return Err(e),
                             DecodePolicy::Salvage { fill } => {
-                                record_block_damage(&mut damage, entry, bi, &e);
+                                record_block_damage(&mut damage, &entry.qualified_name(), bi, &e);
                                 fill_slab(entry, bi, fill)
                             }
                         },
@@ -756,7 +1079,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
 
         if self.version == 1 {
             let independents: Vec<&ArchiveEntry> = self
-                .entries
+                .epoch0()
                 .iter()
                 .filter(|e| e.role != FieldRole::Target)
                 .collect();
@@ -767,7 +1090,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
                 decoded.insert(e.name.as_str(), res?);
             }
             let targets: Vec<&ArchiveEntry> = self
-                .entries
+                .epoch0()
                 .iter()
                 .filter(|e| e.role == FieldRole::Target)
                 .collect();
@@ -784,9 +1107,11 @@ impl<R: ArchiveSource> ArchiveReader<R> {
             return self.assemble(decoded);
         }
 
-        // ---- v2: flatten (field, block) and decode in parallel ---------
+        // ---- v2+: flatten (field, block) and decode in parallel --------
+        // Only the first epoch — it is always a keyframe, so every entry
+        // here is a baseline, anchor, or same-epoch target.
         let independents: Vec<&ArchiveEntry> = self
-            .entries
+            .epoch0()
             .iter()
             .filter(|e| e.role != FieldRole::Target)
             .collect();
@@ -811,7 +1136,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         }
 
         let targets: Vec<&ArchiveEntry> = self
-            .entries
+            .epoch0()
             .iter()
             .filter(|e| e.role == FieldRole::Target)
             .collect();
@@ -857,7 +1182,7 @@ impl<R: ArchiveSource> ArchiveReader<R> {
     fn assemble(&self, mut decoded: HashMap<&str, Field>) -> Result<Dataset, CfcError> {
         let first = &self.entries[0];
         let shape = decoded[first.name.as_str()].shape();
-        for e in &self.entries {
+        for e in self.epoch0() {
             let found = decoded[e.name.as_str()].shape();
             if found != shape {
                 return Err(CfcError::ShapeMismatch {
@@ -867,11 +1192,36 @@ impl<R: ArchiveSource> ArchiveReader<R> {
             }
         }
         let mut ds = Dataset::new(self.name.clone(), shape);
-        for e in &self.entries {
+        for e in self.epoch0() {
             let field = decoded
                 .remove(e.name.as_str())
                 .expect("every entry decoded");
             ds.push(e.name.clone(), field);
+        }
+        Ok(ds)
+    }
+
+    /// Decode every field of one epoch into a [`Dataset`]. Epoch 0 is
+    /// [`ArchiveReader::decode_all`]; later epochs decode each field
+    /// through its delta chain back to the covering keyframe.
+    pub fn decode_epoch(&self, epoch: usize) -> Result<Dataset, CfcError> {
+        if epoch >= self.n_epochs {
+            return Err(CfcError::InvalidInput(format!(
+                "archive has {} epochs, asked for {epoch}",
+                self.n_epochs
+            )));
+        }
+        if epoch == 0 {
+            return self.decode_all();
+        }
+        let shape = self.entries[0]
+            .shape
+            .expect("multi-epoch archives are chunked");
+        let mut ds = Dataset::new(self.name.clone(), shape);
+        for pos in 0..self.n_fields {
+            let name = self.entries[pos].name.clone();
+            let field = self.decode_field_at(&name, epoch)?;
+            ds.push(name, field);
         }
         Ok(ds)
     }
@@ -883,6 +1233,12 @@ impl<R: ArchiveSource> ArchiveReader<R> {
             .map(|s| s.data)
     }
 
+    /// [`ArchiveReader::decode_field`] at an explicit epoch.
+    pub fn decode_field_at(&self, name: &str, epoch: usize) -> Result<Field, CfcError> {
+        self.decode_field_policy_at(name, epoch, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
     /// [`ArchiveReader::decode_field`] under an explicit [`DecodePolicy`]
     /// (same salvage semantics as
     /// [`ArchiveReader::decode_region_policy`]).
@@ -891,7 +1247,17 @@ impl<R: ArchiveSource> ArchiveReader<R> {
         name: &str,
         policy: DecodePolicy,
     ) -> Result<Salvaged<Field>, CfcError> {
-        let entry = self.entry(name)?;
+        self.decode_field_policy_at(name, 0, policy)
+    }
+
+    /// [`ArchiveReader::decode_field_policy`] at an explicit epoch.
+    pub fn decode_field_policy_at(
+        &self,
+        name: &str,
+        epoch: usize,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
+        let entry = &self.entries[self.entry_index_at(name, epoch)?];
         if self.version == 1 {
             return self.decode_field_v1(entry).map(|data| Salvaged {
                 data,

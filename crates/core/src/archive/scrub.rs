@@ -10,9 +10,12 @@
 //!   at the payload end (the writer emits contiguous blocks; anything else
 //!   is index rot).
 //! * **Checksums** — every block's bytes re-hashed against the CRC32
-//!   recorded in its index row, and its `CFSZ` stream magic checked.
+//!   recorded in its index row, its `CFSZ` stream magic checked, and (v3)
+//!   the meta area re-hashed against the manifest's meta CRC.
 //! * **Anchor graph** — duplicate names, dangling anchors, targets
-//!   anchored on targets, targets without anchors.
+//!   anchored on targets, targets without anchors; on v3 archives the
+//!   checks run per epoch, plus the epoch-kind rules (delta roles appear
+//!   exactly in delta epochs, delta entries carry no anchor list).
 //! * **Deep mode** — every block of every field actually decoded (via a
 //!   salvage-policy decode, so one rotten block doesn't mask the rest);
 //!   damage that the cheap checks missed surfaces as
@@ -37,6 +40,13 @@
 //!   extent, and fields whose manifests or meta areas are gone (plus any
 //!   targets orphaned by a dropped anchor) are dropped.
 //!
+//! Multi-epoch (v3) archives repair at epoch granularity instead: a torn
+//! tail is cut back to the longest prefix of fully-present epochs and the
+//! header's epoch count patched in place. Truncating *inside* an epoch
+//! would break its intra-epoch anchor graph, and cutting a keyframe's
+//! blocks would orphan every delta epoch chained on it, so no finer repair
+//! is attempted.
+//!
 //! Both operate on in-memory bytes: a scrubber is an offline tool and
 //! archives are file-sized. The walk is *lenient* — unlike
 //! [`ArchiveReader::open`], which rejects a corrupt manifest at the first
@@ -50,7 +60,9 @@ use cfc_sz::{crc32, CfcError};
 use bytes::BufMut;
 
 use super::damage::DecodePolicy;
-use super::format::{n_blocks_for, put_str, FieldRole, ARCHIVE_MAGIC, ARCHIVE_VERSION};
+use super::format::{
+    n_blocks_for, put_str, qualified_field_name, FieldRole, ARCHIVE_MAGIC, ARCHIVE_VERSION,
+};
 use super::reader::ArchiveReader;
 
 /// Options for [`scrub_bytes`].
@@ -205,8 +217,12 @@ struct RawEntry {
     dims: Vec<u64>,
     chunk_slabs: u32,
     meta_len: u64,
+    /// CRC32 the manifest records over the meta area (v3; 0 before).
+    meta_crc: u32,
     payload_len: u64,
     rows: Vec<RawRow>,
+    /// Epoch the entry belongs to (always 0 for v1/v2).
+    epoch: usize,
     /// Absolute offset of the payload area (meta, then blocks).
     payload_base: u64,
     /// Payload bytes physically present (`< payload_len` when torn).
@@ -219,6 +235,11 @@ impl RawEntry {
         let base = self.payload_base as usize;
         &bytes[base..base + self.payload_available as usize]
     }
+
+    /// Epoch-qualified display name, matching reader damage reports.
+    fn qualified(&self) -> String {
+        qualified_field_name(&self.name, self.epoch)
+    }
 }
 
 /// Lenient walk result: whatever was parseable, plus the structural
@@ -226,7 +247,12 @@ impl RawEntry {
 struct Walk {
     version: u16,
     name: String,
+    /// Fields *per epoch* (the header's field count).
     declared_fields: usize,
+    /// Epochs the header declares (1 for v1/v2).
+    n_epochs: usize,
+    /// Keyframe interval the header declares (1 for v1/v2).
+    keyframe_interval: usize,
     entries: Vec<RawEntry>,
     findings: Vec<ScrubFinding>,
 }
@@ -257,6 +283,8 @@ fn walk(bytes: &[u8]) -> Walk {
         version: 0,
         name: String::new(),
         declared_fields: 0,
+        n_epochs: 1,
+        keyframe_interval: 1,
         entries: Vec::new(),
         findings: Vec::new(),
     };
@@ -278,6 +306,19 @@ fn walk(bytes: &[u8]) -> Walk {
         }
         w.version = version;
         w.name = read_str(&mut r, "archive name")?;
+        if version >= 3 {
+            w.n_epochs = r.u32("epoch count")? as usize;
+            w.keyframe_interval = r.u32("keyframe interval")? as usize;
+            if w.n_epochs == 0 || w.keyframe_interval == 0 {
+                return Err(CfcError::Corrupt {
+                    context: "archive",
+                    detail: format!(
+                        "{} epochs at keyframe interval {}",
+                        w.n_epochs, w.keyframe_interval
+                    ),
+                });
+            }
+        }
         w.declared_fields = r.u32("field count")? as usize;
         Ok(())
     })();
@@ -285,26 +326,51 @@ fn walk(bytes: &[u8]) -> Walk {
         w.findings.push(structure(format!("archive header: {e}")));
         return w;
     }
-    for fi in 0..w.declared_fields {
-        match parse_raw_entry(bytes, &mut r, w.version) {
-            Ok(entry) => {
-                let torn = entry.payload_available < entry.payload_len;
-                w.entries.push(entry);
-                if torn {
-                    // the next manifest row would start past EOF
-                    let missing = w.declared_fields - fi - 1;
-                    if missing > 0 {
+    let total = w.declared_fields * w.n_epochs;
+    'epochs: for epoch in 0..w.n_epochs {
+        if w.version >= 3 {
+            match r.u8("epoch kind") {
+                Ok(kind) => {
+                    let expect = u8::from(epoch % w.keyframe_interval != 0);
+                    if kind != expect {
                         w.findings.push(structure(format!(
-                            "{missing} trailing field manifest(s) missing after torn payload"
+                            "epoch {epoch} kind byte {kind} disagrees with keyframe \
+                             interval {}",
+                            w.keyframe_interval
                         )));
                     }
-                    break;
+                }
+                Err(e) => {
+                    w.findings
+                        .push(structure(format!("epoch {epoch} kind byte: {e}")));
+                    break 'epochs;
                 }
             }
-            Err(e) => {
-                w.findings
-                    .push(structure(format!("field manifest {fi}: {e}")));
-                break;
+        }
+        for fi in 0..w.declared_fields {
+            match parse_raw_entry(bytes, &mut r, w.version, epoch) {
+                Ok(entry) => {
+                    let torn = entry.payload_available < entry.payload_len;
+                    w.entries.push(entry);
+                    if torn {
+                        // the next manifest row would start past EOF
+                        let missing = total - w.entries.len();
+                        if missing > 0 {
+                            w.findings.push(structure(format!(
+                                "{missing} trailing field manifest(s) missing after torn payload"
+                            )));
+                        }
+                        break 'epochs;
+                    }
+                }
+                Err(e) => {
+                    w.findings.push(structure(if w.version >= 3 {
+                        format!("field manifest {fi} of epoch {epoch}: {e}")
+                    } else {
+                        format!("field manifest {fi}: {e}")
+                    }));
+                    break 'epochs;
+                }
             }
         }
     }
@@ -312,7 +378,12 @@ fn walk(bytes: &[u8]) -> Walk {
 }
 
 /// Parse one manifest row just strictly enough to locate the next one.
-fn parse_raw_entry(bytes: &[u8], r: &mut Reader<'_>, version: u16) -> Result<RawEntry, CfcError> {
+fn parse_raw_entry(
+    bytes: &[u8],
+    r: &mut Reader<'_>,
+    version: u16,
+    epoch: usize,
+) -> Result<RawEntry, CfcError> {
     let name = read_str(r, "field name")?;
     let role_byte = r.u8("field role")?;
     let n_anchors = r.u16("anchor count")? as usize;
@@ -336,8 +407,10 @@ fn parse_raw_entry(bytes: &[u8], r: &mut Reader<'_>, version: u16) -> Result<Raw
             dims: Vec::new(),
             chunk_slabs: 0,
             meta_len: 0,
+            meta_crc: 0,
             payload_len,
             rows: Vec::new(),
+            epoch,
             payload_base,
             payload_available: available,
         });
@@ -358,6 +431,11 @@ fn parse_raw_entry(bytes: &[u8], r: &mut Reader<'_>, version: u16) -> Result<Raw
     let n_blocks = r.u32("block count")? as usize;
     let meta_len = r.u64("field meta length")?;
     let payload_len = r.u64("field payload length")?;
+    let meta_crc = if version >= 3 {
+        r.u32("field meta crc")?
+    } else {
+        0
+    };
     if n_blocks > bytes.len() / 20 + 1 {
         return Err(CfcError::Corrupt {
             context: "archive block index",
@@ -382,8 +460,10 @@ fn parse_raw_entry(bytes: &[u8], r: &mut Reader<'_>, version: u16) -> Result<Raw
         dims,
         chunk_slabs,
         meta_len,
+        meta_crc,
         payload_len,
         rows,
+        epoch,
         payload_base,
         payload_available: available,
     })
@@ -403,10 +483,13 @@ pub fn scrub_bytes(bytes: &[u8], opts: &ScrubOptions) -> ScrubReport {
             check_index(e, &mut findings);
             blocks_checked += check_blocks(e, bytes, &mut findings);
         }
+        if w.version >= 3 {
+            check_meta_crc(e, bytes, &mut findings);
+        }
         if e.payload_available < e.payload_len {
             findings.push(ScrubFinding {
                 kind: ScrubKind::Truncation,
-                field: Some(e.name.clone()),
+                field: Some(e.qualified()),
                 block: first_torn_block(e),
                 detail: format!(
                     "payload torn: {} of {} bytes present",
@@ -415,7 +498,7 @@ pub fn scrub_bytes(bytes: &[u8], opts: &ScrubOptions) -> ScrubReport {
             });
         }
     }
-    check_anchor_graph(&w.entries, w.version, &mut findings);
+    check_anchor_graph(&w.entries, w.version, w.keyframe_interval, &mut findings);
 
     if opts.deep {
         deep_check(bytes, &w, &mut findings);
@@ -442,7 +525,7 @@ fn check_entry_header(e: &RawEntry, version: u16, findings: &mut Vec<ScrubFindin
     let mut bad = |detail: String| {
         findings.push(ScrubFinding {
             kind: ScrubKind::Structure,
-            field: Some(e.name.clone()),
+            field: Some(e.qualified()),
             block: None,
             detail,
         })
@@ -489,7 +572,7 @@ fn check_index(e: &RawEntry, findings: &mut Vec<ScrubFinding>) {
     let mut bad = |block: usize, detail: String| {
         findings.push(ScrubFinding {
             kind: ScrubKind::IndexBounds,
-            field: Some(e.name.clone()),
+            field: Some(e.qualified()),
             block: Some(block),
             detail,
         })
@@ -541,7 +624,7 @@ fn check_blocks(e: &RawEntry, bytes: &[u8], findings: &mut Vec<ScrubFinding>) ->
         if found != row.crc {
             findings.push(ScrubFinding {
                 kind: ScrubKind::Checksum,
-                field: Some(e.name.clone()),
+                field: Some(e.qualified()),
                 block: Some(bi),
                 detail: format!("recorded {:#010x}, computed {found:#010x}", row.crc),
             });
@@ -549,7 +632,7 @@ fn check_blocks(e: &RawEntry, bytes: &[u8], findings: &mut Vec<ScrubFinding>) ->
         if block.len() < 4 || &block[..4] != b"CFSZ" {
             findings.push(ScrubFinding {
                 kind: ScrubKind::BlockMagic,
-                field: Some(e.name.clone()),
+                field: Some(e.qualified()),
                 block: Some(bi),
                 detail: "block does not start a CFSZ container".into(),
             });
@@ -558,31 +641,70 @@ fn check_blocks(e: &RawEntry, bytes: &[u8], findings: &mut Vec<ScrubFinding>) ->
     checked
 }
 
-fn check_anchor_graph(entries: &[RawEntry], version: u16, findings: &mut Vec<ScrubFinding>) {
+/// v3 manifests record a CRC32 over the meta area; re-hash whatever of it
+/// is physically present (a short meta is torn, reported elsewhere).
+fn check_meta_crc(e: &RawEntry, bytes: &[u8], findings: &mut Vec<ScrubFinding>) {
+    if e.payload_available < e.meta_len {
+        return;
+    }
+    let meta = &e.payload(bytes)[..e.meta_len as usize];
+    let found = crc32(meta);
+    if found != e.meta_crc {
+        findings.push(ScrubFinding {
+            kind: ScrubKind::Checksum,
+            field: Some(e.qualified()),
+            block: None,
+            detail: format!(
+                "meta area: recorded {:#010x}, computed {found:#010x}",
+                e.meta_crc
+            ),
+        });
+    }
+}
+
+fn check_anchor_graph(
+    entries: &[RawEntry],
+    version: u16,
+    keyframe_interval: usize,
+    findings: &mut Vec<ScrubFinding>,
+) {
     for (i, e) in entries.iter().enumerate() {
         let mut bad = |detail: String| {
             findings.push(ScrubFinding {
                 kind: ScrubKind::AnchorGraph,
-                field: Some(e.name.clone()),
+                field: Some(e.qualified()),
                 block: None,
                 detail,
             })
         };
-        if entries[..i].iter().any(|o| o.name == e.name) {
+        // names are scoped per epoch; anchors resolve within the epoch too
+        let peers = || entries.iter().filter(|o| o.epoch == e.epoch);
+        if entries[..i]
+            .iter()
+            .any(|o| o.epoch == e.epoch && o.name == e.name)
+        {
             bad("duplicate field name".into());
         }
         let is_target = e.role_byte == FieldRole::Target as u8;
+        let is_delta = e.role_byte == FieldRole::Delta as u8;
         if is_target && e.anchors.is_empty() {
             bad("target without anchors".into());
         }
-        if !is_target && !e.anchors.is_empty() {
+        if is_delta && !e.anchors.is_empty() {
+            bad(format!(
+                "delta field carries {} anchor reference(s); its anchor is the \
+                 previous epoch",
+                e.anchors.len()
+            ));
+        }
+        if !is_target && !is_delta && !e.anchors.is_empty() {
             bad(format!(
                 "non-target carries {} anchor reference(s)",
                 e.anchors.len()
             ));
         }
         for a in &e.anchors {
-            match entries.iter().find(|o| &o.name == a) {
+            match peers().find(|o| &o.name == a) {
                 None => bad(format!("references unknown anchor {a}")),
                 Some(o) if o.role_byte == FieldRole::Target as u8 => {
                     bad(format!("anchor {a} is itself a target"))
@@ -590,13 +712,29 @@ fn check_anchor_graph(entries: &[RawEntry], version: u16, findings: &mut Vec<Scr
                 Some(_) => {}
             }
         }
-        // v2: all fields must agree on shape and chunk geometry
+        // v3: delta roles appear exactly in delta epochs
+        if version >= 3 && keyframe_interval > 0 {
+            let delta_epoch = e.epoch % keyframe_interval != 0;
+            if is_delta != delta_epoch {
+                findings.push(ScrubFinding {
+                    kind: ScrubKind::Structure,
+                    field: Some(e.qualified()),
+                    block: None,
+                    detail: format!(
+                        "role byte {} in a {} epoch",
+                        e.role_byte,
+                        if delta_epoch { "delta" } else { "keyframe" },
+                    ),
+                });
+            }
+        }
+        // v2+: all fields of every epoch agree on shape and chunk geometry
         if version >= 2 && i > 0 {
             let first = &entries[0];
             if e.dims != first.dims || e.chunk_slabs != first.chunk_slabs {
                 findings.push(ScrubFinding {
                     kind: ScrubKind::Structure,
-                    field: Some(e.name.clone()),
+                    field: Some(e.qualified()),
                     block: None,
                     detail: format!("disagrees with {} on shape or chunk geometry", first.name),
                 });
@@ -621,7 +759,7 @@ fn deep_check(bytes: &[u8], w: &Walk, findings: &mut Vec<ScrubFinding>) {
         }
     };
     for e in &w.entries {
-        match reader.decode_field_policy(&e.name, DecodePolicy::salvage()) {
+        match reader.decode_field_policy_at(&e.name, e.epoch, DecodePolicy::salvage()) {
             Ok(s) => {
                 for d in &s.damage {
                     let dup = findings.iter().any(|f| {
@@ -643,7 +781,7 @@ fn deep_check(bytes: &[u8], w: &Walk, findings: &mut Vec<ScrubFinding>) {
             }
             Err(err) => findings.push(ScrubFinding {
                 kind: ScrubKind::Decode,
-                field: Some(e.name.clone()),
+                field: Some(e.qualified()),
                 block: None,
                 detail: err.to_string(),
             }),
@@ -685,6 +823,54 @@ fn scan_blocks(payload: &[u8], meta_len: u64) -> Vec<RawRow> {
     rows
 }
 
+/// v3 repair: truncate a torn tail at an epoch boundary. Cutting blocks
+/// *inside* an epoch would break its intra-epoch anchor graph, and cutting
+/// a keyframe's blocks would orphan every delta epoch chained on it, so
+/// the only re-encoding-free recovery is keeping the longest prefix of
+/// fully-present epochs and patching the header's epoch count in place
+/// (a u32 right after the archive name). Non-torn damage (payload or
+/// index rot) is left untouched — rewriting it would bless corrupt data.
+fn repair_v3(bytes: &[u8], w: &Walk) -> Result<RepairOutcome, CfcError> {
+    let per_epoch = w.declared_fields;
+    let mut complete = 0usize;
+    while complete < w.n_epochs {
+        let lo = complete * per_epoch;
+        let hi = lo + per_epoch;
+        if hi > w.entries.len()
+            || w.entries[lo..hi]
+                .iter()
+                .any(|e| e.payload_available < e.payload_len)
+        {
+            break;
+        }
+        complete += 1;
+    }
+    if complete == 0 {
+        return Err(CfcError::Corrupt {
+            context: "archive repair",
+            detail: "no complete epoch to keep".into(),
+        });
+    }
+    if complete == w.n_epochs {
+        return Ok(RepairOutcome {
+            bytes: bytes.to_vec(),
+            actions: Vec::new(),
+        });
+    }
+    let last = &w.entries[complete * per_epoch - 1];
+    let end = (last.payload_base + last.payload_len) as usize;
+    let mut out = bytes[..end].to_vec();
+    let off = 8 + w.name.len(); // magic(4) + version(2) + name length(2)
+    out[off..off + 4].copy_from_slice(&(complete as u32).to_le_bytes());
+    Ok(RepairOutcome {
+        bytes: out,
+        actions: vec![format!(
+            "truncate torn tail: keep the first {complete} of {} epoch(s)",
+            w.n_epochs
+        )],
+    })
+}
+
 /// Attempt to repair an archive without re-encoding anything. Two repairs
 /// are possible (see the [module docs](self)): rebuilding index rows from
 /// scanned block boundaries, and truncating a torn tail to the longest
@@ -713,6 +899,9 @@ pub fn repair_bytes(bytes: &[u8]) -> Result<RepairOutcome, CfcError> {
              block structure to rebuild"
                 .into(),
         ));
+    }
+    if w.version >= 3 {
+        return repair_v3(bytes, &w);
     }
     let mut actions = Vec::new();
 
@@ -903,6 +1092,39 @@ mod tests {
             .expect("archive write")
     }
 
+    /// `n` evolving epochs of the [`sample_archive`] structure: same two
+    /// fields, phase-drifted so consecutive epochs differ smoothly.
+    fn sample_epochs(n: usize) -> Vec<Dataset> {
+        let shape = Shape::d2(24, 16);
+        (0..n)
+            .map(|e| {
+                let t = e as f32;
+                let a = Field::from_fn(shape, |i| {
+                    ((i[0] as f32) * 0.2 + 0.05 * t).sin() * 10.0 + i[1] as f32 * 0.1 + 0.3 * t
+                });
+                let tf = a.map(|v| 0.8 * v + 2.0);
+                let mut ds = Dataset::new("SCRUB", shape);
+                ds.push("A", a);
+                ds.push("T", tf);
+                ds
+            })
+            .collect()
+    }
+
+    /// 4-epoch v3 archive at keyframe interval 2 over [`sample_epochs`]:
+    /// epochs 0 and 2 are keyframes, 1 and 3 temporal deltas. Same block
+    /// geometry as [`sample_archive`] (4 blocks per field per epoch).
+    fn sample_temporal_archive() -> Vec<u8> {
+        ArchiveBuilder::relative(1e-3)
+            .train_config(TrainConfig::fast())
+            .cross_field("T", &["A"])
+            .chunk_elements(6 * 16)
+            .keyframe_interval(2)
+            .build()
+            .write_epochs(&sample_epochs(4))
+            .expect("temporal archive write")
+    }
+
     fn find(haystack: &[u8], needle: &[u8]) -> usize {
         haystack
             .windows(needle.len())
@@ -1067,5 +1289,121 @@ mod tests {
         assert_eq!(report.version, 0);
         assert_eq!(report.findings[0].kind, ScrubKind::Structure);
         assert!(repair_bytes(b"not an archive at all").is_err());
+    }
+
+    #[test]
+    fn clean_temporal_archive_scrubs_clean_even_deep() {
+        let bytes = sample_temporal_archive();
+        let report = scrub_bytes(&bytes, &ScrubOptions { deep: true });
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.version, 3);
+        assert_eq!(report.fields_checked, 8, "2 fields × 4 epochs");
+        assert_eq!(report.blocks_checked, 32, "4 blocks × 2 fields × 4 epochs");
+    }
+
+    #[test]
+    fn delta_meta_flip_is_a_checksum_finding() {
+        let mut bytes = sample_temporal_archive();
+        let reader = ArchiveReader::new(&bytes).expect("open");
+        // entry 3 = field T of delta epoch 1; its meta area holds the
+        // temporal hybrid weights
+        let e = &reader.entries()[3];
+        assert_eq!(e.qualified_name(), "T@e1");
+        assert!(e.meta_len() > 0, "delta entries carry hybrid meta");
+        let off = e.payload_base as usize + 2;
+        drop(reader);
+        bytes[off] ^= 0x40;
+        let report = scrub_bytes(&bytes, &ScrubOptions::default());
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        let f = &report.findings[0];
+        assert_eq!(f.kind, ScrubKind::Checksum);
+        assert_eq!(f.field.as_deref(), Some("T@e1"));
+        assert_eq!(f.block, None);
+        assert!(f.detail.contains("meta area"), "{}", f.detail);
+    }
+
+    #[test]
+    fn epoch_kind_flip_is_flagged() {
+        let mut bytes = sample_temporal_archive();
+        let reader = ArchiveReader::new(&bytes).expect("open");
+        // epoch 1's kind byte sits right after epoch 0's last payload
+        let last = &reader.entries()[1];
+        let off = last.payload_base as usize + last.payload_len;
+        drop(reader);
+        bytes[off] ^= 1;
+        let report = scrub_bytes(&bytes, &ScrubOptions::default());
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.kind == ScrubKind::Structure && f.detail.contains("kind byte")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn torn_epoch_tail_truncates_to_complete_epochs() {
+        let clean = sample_temporal_archive();
+        let reader = ArchiveReader::new(&clean).expect("open");
+        let want0 = reader.decode_epoch(0).expect("epoch 0");
+        let want1 = reader.decode_epoch(1).expect("epoch 1");
+        // tear inside epoch 2's first field payload
+        let e = &reader.entries()[4];
+        let cut = e.payload_base as usize + e.payload_len / 2;
+        drop(reader);
+        let torn = &clean[..cut];
+
+        let report = scrub_bytes(torn, &ScrubOptions::default());
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.kind == ScrubKind::Truncation),
+            "{:?}",
+            report.findings
+        );
+
+        let fixed = repair_bytes(torn).expect("repairable");
+        assert!(
+            fixed
+                .actions
+                .iter()
+                .any(|a| a.contains("truncate torn tail")),
+            "{:?}",
+            fixed.actions
+        );
+        let report = scrub_bytes(&fixed.bytes, &ScrubOptions { deep: true });
+        assert!(report.is_clean(), "{:?}", report.findings);
+        let got = ArchiveReader::new(&fixed.bytes).expect("open repaired");
+        assert_eq!(got.n_epochs(), 2);
+        for (epoch, want) in [(0, &want0), (1, &want1)] {
+            let dec = got.decode_epoch(epoch).expect("decode repaired epoch");
+            for name in ["A", "T"] {
+                assert_eq!(
+                    dec.expect_field(name).as_slice(),
+                    want.expect_field(name).as_slice(),
+                    "epoch {epoch} field {name} must survive repair bit-exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torn_first_epoch_refuses_repair() {
+        let clean = sample_temporal_archive();
+        let reader = ArchiveReader::new(&clean).expect("open");
+        let e = &reader.entries()[0];
+        let cut = e.payload_base as usize + e.payload_len / 2;
+        drop(reader);
+        assert!(repair_bytes(&clean[..cut]).is_err());
+    }
+
+    #[test]
+    fn clean_temporal_repair_is_identity() {
+        let bytes = sample_temporal_archive();
+        let out = repair_bytes(&bytes).expect("clean repair");
+        assert!(out.actions.is_empty());
+        assert_eq!(out.bytes, bytes);
     }
 }

@@ -324,9 +324,19 @@ impl<R: ArchiveSource + 'static> ArchiveStore<R> {
         self.core.reader.name()
     }
 
-    /// Container version of the wrapped archive (1 or 2).
+    /// Container version of the wrapped archive (1, 2, or 3).
     pub fn version(&self) -> u16 {
         self.core.reader.version()
+    }
+
+    /// Number of epochs in the wrapped archive (1 for v1/v2).
+    pub fn n_epochs(&self) -> usize {
+        self.core.reader.n_epochs()
+    }
+
+    /// Keyframe interval of the wrapped archive (1 for v1/v2).
+    pub fn keyframe_interval(&self) -> usize {
+        self.core.reader.keyframe_interval()
     }
 
     /// Read-only metadata views of every field, in archive order.
@@ -406,39 +416,90 @@ impl<R: ArchiveSource + 'static> ArchiveStore<R> {
         self.core.prefetch.reset();
     }
 
-    /// Drop cached state for one field — and for every target that lists
-    /// it as an anchor, whose cached blocks were decoded *against* the
-    /// invalidated data. In-flight decodes of the affected fields are
-    /// fenced out like [`ArchiveStore::purge`] does. Errors when the
-    /// archive has no field of that name.
+    /// Drop cached state for one field in **every** epoch — and for every
+    /// entry decoded *against* the invalidated data: same-epoch targets
+    /// that list it as an anchor, and (on temporal archives) the delta
+    /// chains hanging off each affected position until the next keyframe.
+    /// In-flight decodes of the affected entries are fenced out like
+    /// [`ArchiveStore::purge`] does. Errors when the archive has no field
+    /// of that name.
     pub fn invalidate_field(&self, name: &str) -> Result<(), CfcError> {
-        let fi = self.core.entry_index(name)?;
+        let pos = self.core.entry_index(name)?;
+        let mut victims: Vec<usize> = (0..self.core.reader.n_epochs())
+            .flat_map(|e| self.stale_after(pos, e, name))
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+        self.apply_invalidation(&victims);
+        Ok(())
+    }
+
+    /// Drop cached state for one field at one epoch, cascading to
+    /// everything decoded against it: same-epoch cross-field targets, and
+    /// — because a delta epoch decodes against the previous epoch — every
+    /// affected position forward through the delta epochs until the next
+    /// keyframe breaks the chain. The call after a repair rewrote one
+    /// epoch's bytes in place.
+    pub fn invalidate_field_at(&self, name: &str, epoch: usize) -> Result<(), CfcError> {
+        let pos = self.core.entry_index(name)?;
+        let n_epochs = self.core.reader.n_epochs();
+        if epoch >= n_epochs {
+            return Err(CfcError::InvalidInput(format!(
+                "archive has {n_epochs} epochs, asked for {epoch}"
+            )));
+        }
+        let mut victims = self.stale_after(pos, epoch, name);
+        victims.sort_unstable();
+        victims.dedup();
+        self.apply_invalidation(&victims);
+        Ok(())
+    }
+
+    /// Flat entry indices whose cached state is stale once the field at
+    /// position `pos` changes at `epoch`: the entry itself, same-epoch
+    /// targets anchored on `name`, and those positions carried forward
+    /// through the following delta epochs.
+    fn stale_after(&self, pos: usize, epoch: usize, name: &str) -> Vec<usize> {
+        let n = self.core.reader.fields_per_epoch();
+        let interval = self.core.reader.keyframe_interval();
+        let n_epochs = self.core.reader.n_epochs();
         let entries = self.core.reader.entries();
-        let mut victims = vec![fi];
-        victims.extend(
-            entries
+        let mut positions = vec![pos];
+        positions.extend(
+            entries[epoch * n..(epoch + 1) * n]
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| e.anchors.iter().any(|a| a == name))
+                .filter(|(i, e)| *i != pos && e.anchors.iter().any(|a| a == name))
                 .map(|(i, _)| i),
         );
+        let mut victims: Vec<usize> = positions.iter().map(|&p| epoch * n + p).collect();
+        let mut e = epoch + 1;
+        while e < n_epochs && !e.is_multiple_of(interval) {
+            victims.extend(positions.iter().map(|&p| e * n + p));
+            e += 1;
+        }
+        victims
+    }
+
+    /// Bump the generation fence and drop cached blocks, parsed meta, and
+    /// queued prefetches for the given flat entry indices.
+    fn apply_invalidation(&self, victims: &[usize]) {
         {
             let mut g = lock(&self.core.cache);
             g.generation += 1;
-            for &i in &victims {
+            for &i in victims {
                 g.invalidate_entry(i);
             }
         }
         {
             let mut metas = lock(&self.core.metas);
-            for &i in &victims {
+            for &i in victims {
                 metas.remove(&i);
             }
         }
-        for &i in &victims {
+        for &i in victims {
             self.core.prefetch.invalidate_entry(i);
         }
-        Ok(())
     }
 
     /// Block until the speculative prefetch queue is drained and no
@@ -456,7 +517,19 @@ impl<R: ArchiveSource + 'static> ArchiveStore<R> {
     /// matching anchor blocks are decoded (and cached) too; for v1
     /// archives only block 0 exists and holds the whole field.
     pub fn decode_block(&self, field: &str, idx: usize) -> Result<Arc<Field>, CfcError> {
-        let fi = self.core.entry_index(field)?;
+        self.decode_block_at(field, idx, 0)
+    }
+
+    /// [`ArchiveStore::decode_block`] at an explicit epoch. A temporal
+    /// delta block decodes its chain back to the covering keyframe, every
+    /// link a potential cache hit.
+    pub fn decode_block_at(
+        &self,
+        field: &str,
+        idx: usize,
+        epoch: usize,
+    ) -> Result<Arc<Field>, CfcError> {
+        let fi = self.core.entry_index_at(field, epoch)?;
         let n_blocks = self.core.reader.entries()[fi].n_blocks();
         if idx >= n_blocks {
             return Err(CfcError::InvalidInput(format!(
@@ -495,7 +568,31 @@ impl<R: ArchiveSource + 'static> ArchiveStore<R> {
         region: &Region,
         policy: DecodePolicy,
     ) -> Result<Salvaged<Field>, CfcError> {
-        let fi = self.core.entry_index(field)?;
+        self.decode_region_policy_at(field, region, 0, policy)
+    }
+
+    /// [`ArchiveStore::decode_region`] at an explicit epoch.
+    pub fn decode_region_at(
+        &self,
+        field: &str,
+        region: &Region,
+        epoch: usize,
+    ) -> Result<Field, CfcError> {
+        self.decode_region_policy_at(field, region, epoch, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
+    /// [`ArchiveStore::decode_region_policy`] at an explicit epoch.
+    /// Damage on epochs past the first is reported under the qualified
+    /// name `{field}@e{epoch}`.
+    pub fn decode_region_policy_at(
+        &self,
+        field: &str,
+        region: &Region,
+        epoch: usize,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
+        let fi = self.core.entry_index_at(field, epoch)?;
         let entry = &self.core.reader.entries()[fi];
         if self.core.reader.version() == 1 {
             let full = self.core.get_block(fi, 0, true)?;
@@ -542,7 +639,23 @@ impl<R: ArchiveSource + 'static> ArchiveStore<R> {
         field: &str,
         policy: DecodePolicy,
     ) -> Result<Salvaged<Field>, CfcError> {
-        let fi = self.core.entry_index(field)?;
+        self.decode_field_policy_at(field, 0, policy)
+    }
+
+    /// [`ArchiveStore::decode_field`] at an explicit epoch.
+    pub fn decode_field_at(&self, field: &str, epoch: usize) -> Result<Field, CfcError> {
+        self.decode_field_policy_at(field, epoch, DecodePolicy::Strict)
+            .map(|s| s.data)
+    }
+
+    /// [`ArchiveStore::decode_field_policy`] at an explicit epoch.
+    pub fn decode_field_policy_at(
+        &self,
+        field: &str,
+        epoch: usize,
+        policy: DecodePolicy,
+    ) -> Result<Salvaged<Field>, CfcError> {
+        let fi = self.core.entry_index_at(field, epoch)?;
         let entry = &self.core.reader.entries()[fi];
         if self.core.reader.version() == 1 {
             return Ok(Salvaged {
@@ -601,10 +714,10 @@ impl<R: ArchiveSource + 'static> ArchiveStore<R> {
 }
 
 impl<R: ArchiveSource> StoreCore<R> {
-    /// Position of `name` in the manifest, with negative caching: the
-    /// linear name scan runs lock-free on the hot (known-name) path, and
-    /// unknown names are answered from a bounded error cache after the
-    /// first probe.
+    /// Position of `name` in the manifest (epoch 0), with negative
+    /// caching: the linear name scan runs lock-free on the hot
+    /// (known-name) path, and unknown names are answered from a bounded
+    /// error cache after the first probe.
     fn entry_index(&self, name: &str) -> Result<usize, CfcError> {
         if let Some(i) = self.reader.entries().iter().position(|e| e.name == name) {
             return Ok(i);
@@ -621,6 +734,20 @@ impl<R: ArchiveSource> StoreCore<R> {
             negatives.insert(name.to_string(), err.clone());
         }
         Err(err)
+    }
+
+    /// Flat entry index of `name` at `epoch` (the cache key space is flat
+    /// across epochs, so the same block index in different epochs never
+    /// collides).
+    fn entry_index_at(&self, name: &str, epoch: usize) -> Result<usize, CfcError> {
+        let pos = self.entry_index(name)?;
+        let n_epochs = self.reader.n_epochs();
+        if epoch >= n_epochs {
+            return Err(CfcError::InvalidInput(format!(
+                "archive has {n_epochs} epochs, asked for {epoch}"
+            )));
+        }
+        Ok(epoch * self.reader.fields_per_epoch() + pos)
     }
 
     /// Fetch v2 blocks `b_first..=b_last` of entry `fi` through the cache
@@ -642,7 +769,7 @@ impl<R: ArchiveSource> StoreCore<R> {
                 Err(e) => match policy {
                     DecodePolicy::Strict => return Err(e),
                     DecodePolicy::Salvage { fill } => {
-                        record_block_damage(&mut damage, entry, bi, &e);
+                        record_block_damage(&mut damage, &entry.qualified_name(), bi, &e);
                         lock(&self.cache).salvaged_blocks += 1;
                         Arc::new(fill_slab(entry, bi, fill))
                     }
@@ -773,6 +900,20 @@ impl<R: ArchiveSource> StoreCore<R> {
     ) -> Result<Field, CfcError> {
         let entry = &self.reader.entries()[fi];
         let mut scratch = self.scratch.get();
+        if entry.role == FieldRole::Delta {
+            // the temporal anchor (same position, previous epoch) goes
+            // through the cache like any cross-field anchor would
+            let meta = self.target_meta(fi)?;
+            let prev = self.get_block(fi - self.reader.fields_per_epoch(), idx, demand)?;
+            return self.reader.decode_delta_block_bytes(
+                entry,
+                idx,
+                bytes,
+                &prev,
+                &meta.1,
+                &mut scratch,
+            );
+        }
         if entry.role != FieldRole::Target {
             return self
                 .reader
@@ -841,6 +982,29 @@ impl<R: ArchiveSource> StoreCore<R> {
             return self.reader.decode_field_v1_anchored(entry, &refs);
         }
         let mut scratch = self.scratch.get();
+        if entry.role == FieldRole::Delta {
+            // Fetch the temporal anchor — block `idx` of the same field
+            // position in the previous epoch — through the cache. The
+            // recursion is depth-first along the delta chain and stops at
+            // the covering keyframe, so a cold random epoch access reads
+            // exactly one keyframe block plus the chain's delta blocks.
+            let meta = self.target_meta(fi)?;
+            let prev = self.get_block(fi - self.reader.fields_per_epoch(), idx, demand)?;
+            let bytes = self
+                .reader
+                .fetch_block_bytes(entry, idx)
+                .map_err(|e| e.in_field(&entry.qualified_name(), Some(idx)))?;
+            let field = self.reader.decode_delta_block_bytes(
+                entry,
+                idx,
+                &bytes,
+                &prev,
+                &meta.1,
+                &mut scratch,
+            )?;
+            self.stash_tier2((fi, idx), bytes, gen);
+            return Ok(field);
+        }
         if entry.role != FieldRole::Target {
             let bytes = self
                 .reader
@@ -897,7 +1061,10 @@ impl<R: ArchiveSource> StoreCore<R> {
         let mut fetched: HashMap<usize, Arc<Field>> = HashMap::new();
         let mut out = Vec::with_capacity(entry.anchors.len());
         for a in &entry.anchors {
-            let ai = self.reader.entry_index(a).expect("validated anchor");
+            let ai = self
+                .reader
+                .entry_index_at(a, entry.epoch)
+                .expect("validated anchor");
             let block = match fetched.get(&ai) {
                 Some(b) => b.clone(),
                 None => {
@@ -926,7 +1093,7 @@ impl<R: ArchiveSource> StoreCore<R> {
         let parsed = Arc::new(
             self.reader
                 .target_meta(entry)?
-                .expect("target entries carry meta"),
+                .expect("target and delta entries carry meta"),
         );
         let mut metas = lock(&self.metas);
         Ok(metas.entry(fi).or_insert(parsed).clone())

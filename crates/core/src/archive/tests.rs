@@ -63,7 +63,9 @@ fn archive_roundtrips_every_field_within_bound() {
 
     let reader = ArchiveReader::new(&bytes).unwrap();
     assert_eq!(reader.name(), "SNAP");
-    assert_eq!(reader.version(), ARCHIVE_VERSION);
+    // single-snapshot writes stay on the v2 container; only
+    // `write_epochs_to` emits v3
+    assert_eq!(reader.version(), ARCHIVE_VERSION_SNAPSHOT);
     let dec = reader.decode_all().unwrap();
     assert_eq!(dec.field_names(), ds.field_names());
     for fr in &report.fields {
@@ -723,4 +725,124 @@ fn store_bad_requests_are_typed_errors() {
         matches!(err.root_cause(), CfcError::ChecksumMismatch { .. }),
         "{err:?}"
     );
+}
+
+// ---------------------------------------------------------------------
+// v3 temporal archives
+// ---------------------------------------------------------------------
+
+/// `n` smoothly-evolving snapshots of the 3-field dataset: the same
+/// structure drifts a little each epoch, so consecutive epochs are
+/// highly correlated — the case temporal deltas exist for.
+fn evolving(rows: usize, cols: usize, n: usize) -> Vec<Dataset> {
+    (0..n)
+        .map(|e| {
+            let t0 = e as f32 * 0.35;
+            let shape = Shape::d2(rows, cols);
+            let t = Field::from_fn(shape, |i| {
+                ((i[0] as f32) * 0.13 + t0 * 0.1).sin() * 15.0
+                    + ((i[1] as f32) * 0.09 - t0 * 0.07).cos() * 9.0
+                    + 280.0
+                    + t0
+            });
+            let p = Field::from_fn(shape, |i| {
+                1000.0 - (i[0] as f32) * 0.8 + ((i[1] as f32) * 0.05 + t0 * 0.2).sin() * 3.0
+            });
+            let rh = Field::from_vec(
+                shape,
+                t.as_slice()
+                    .iter()
+                    .zip(p.as_slice())
+                    .map(|(&tv, &pv)| 0.4 * (tv - 280.0) + 0.05 * (pv - 1000.0) + 50.0)
+                    .collect(),
+            );
+            let mut ds = Dataset::new("SNAP", shape);
+            ds.push("T", t);
+            ds.push("P", p);
+            ds.push("RH", rh);
+            ds
+        })
+        .collect()
+}
+
+#[test]
+fn temporal_archive_roundtrips_and_is_epoch_addressable() {
+    let snaps = evolving(36, 30, 7);
+    let (bytes, report) = ArchiveBuilder::relative(1e-3)
+        .train_config(small_train())
+        .cross_field("RH", &["T", "P"])
+        .chunk_elements(6 * 30)
+        .keyframe_interval(3)
+        .build()
+        .write_epochs_with_report(&snaps)
+        .unwrap();
+    assert_eq!(report.epochs.len(), 7);
+    assert_eq!(report.keyframe_interval, 3);
+    assert!(report.ratio() > 1.0, "ratio {}", report.ratio());
+
+    let reader = ArchiveReader::new(&bytes).unwrap();
+    assert_eq!(reader.version(), ARCHIVE_VERSION);
+    assert_eq!(reader.n_epochs(), 7);
+    assert_eq!(reader.keyframe_interval(), 3);
+    assert_eq!(reader.field_names(), vec!["T", "P", "RH"]);
+
+    // every epoch honours the bound its report recorded
+    for (e, ds) in snaps.iter().enumerate() {
+        let dec = reader.decode_epoch(e).unwrap();
+        for fr in &report.epochs[e].fields {
+            check_bound(
+                ds.expect_field(&fr.name),
+                dec.expect_field(&fr.name),
+                fr.eb_abs,
+            );
+        }
+    }
+
+    // region decode at an epoch crops the same samples as the full decode
+    let region = Region::d2(5, 17, 3, 27);
+    for e in [1usize, 3, 6] {
+        let full = reader.decode_field_at("T", e).unwrap();
+        let got = reader.decode_region_at("T", &region, e).unwrap();
+        assert_eq!(got, full.crop(&region), "epoch {e}");
+    }
+
+    // the store serves bit-identical data through its cache
+    let store = ArchiveStore::new(ArchiveReader::new(&bytes).unwrap(), StoreConfig::default());
+    assert_eq!(store.n_epochs(), 7);
+    assert_eq!(store.keyframe_interval(), 3);
+    for e in [0usize, 2, 4, 6] {
+        for name in ["T", "P", "RH"] {
+            let a = store.decode_field_at(name, e).unwrap();
+            let b = reader.decode_field_at(name, e).unwrap();
+            assert!(
+                a.as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "store vs reader mismatch: {name} at epoch {e}"
+            );
+        }
+    }
+
+    // out-of-range epochs are typed errors everywhere
+    assert!(reader.decode_field_at("T", 7).is_err());
+    assert!(reader.decode_epoch(7).is_err());
+    assert!(store.decode_block_at("T", 0, 7).is_err());
+    assert!(store.invalidate_field_at("T", 7).is_err());
+}
+
+#[test]
+fn temporal_write_rejects_mismatched_snapshots() {
+    let mut snaps = evolving(24, 24, 3);
+    let builder = || {
+        ArchiveBuilder::relative(1e-3)
+            .train_config(small_train())
+            .chunk_elements(6 * 24)
+            .keyframe_interval(2)
+            .build()
+    };
+    assert!(builder().write_epochs(&[]).is_err(), "empty sequence");
+    // shape drift between epochs
+    snaps[1] = snapshot(24, 30);
+    assert!(builder().write_epochs(&snaps).is_err(), "shape drift");
 }

@@ -21,12 +21,15 @@ use crate::config::{CfnnSpec, CrossFieldConfig, TrainConfig};
 use crate::hybrid::{HybridConfig, HybridModel};
 use crate::pipeline::{deserialize_model, serialize_model};
 use crate::predict::predict_differences;
-use crate::predictor::{sample_hybrid_training, CrossFieldHybridPredictor};
+use crate::predictor::{
+    sample_hybrid_training, sample_temporal_training, CrossFieldHybridPredictor,
+    TemporalHybridPredictor,
+};
 use crate::train::train_cfnn;
 
 use super::format::{
     block_range, chunk_slabs_for, n_blocks_for, put_str, slab_shape_of, FieldRole, ARCHIVE_MAGIC,
-    ARCHIVE_VERSION, DEFAULT_CHUNK_ELEMENTS,
+    ARCHIVE_VERSION, ARCHIVE_VERSION_SNAPSHOT, DEFAULT_CHUNK_ELEMENTS, DEFAULT_KEYFRAME_INTERVAL,
 };
 use super::{run_parallel, run_parallel_scratch};
 
@@ -50,6 +53,7 @@ pub struct ArchiveBuilder {
     targets: Vec<(String, TargetPlan)>,
     threads: usize,
     chunk_elements: usize,
+    keyframe_interval: usize,
 }
 
 impl ArchiveBuilder {
@@ -64,6 +68,7 @@ impl ArchiveBuilder {
             targets: Vec::new(),
             threads: 0,
             chunk_elements: DEFAULT_CHUNK_ELEMENTS,
+            keyframe_interval: DEFAULT_KEYFRAME_INTERVAL,
         }
     }
 
@@ -102,6 +107,16 @@ impl ArchiveBuilder {
     /// produce a single block; 0 is clamped to 1.
     pub fn chunk_elements(mut self, n: usize) -> Self {
         self.chunk_elements = n.max(1);
+        self
+    }
+
+    /// Epochs between full keyframes in multi-epoch (v3) archives
+    /// (default [`DEFAULT_KEYFRAME_INTERVAL`]). `1` makes every epoch a
+    /// keyframe; larger values trade longer delta chains (more blocks to
+    /// decode on random epoch access) for ratio. 0 is clamped to 1.
+    /// Ignored by single-snapshot writes.
+    pub fn keyframe_interval(mut self, n: usize) -> Self {
+        self.keyframe_interval = n.max(1);
         self
     }
 
@@ -207,6 +222,31 @@ impl ArchiveReport {
     }
 }
 
+/// Whole-series outcome of a multi-epoch ([`ArchiveWriter::write_epochs`])
+/// write.
+#[derive(Debug, Clone)]
+pub struct TemporalReport {
+    /// Per-epoch reports; the index is the epoch number.
+    pub epochs: Vec<ArchiveReport>,
+    /// Keyframe interval recorded in the archive.
+    pub keyframe_interval: usize,
+    /// Raw series size (4 bytes/sample × epochs).
+    pub raw_bytes: usize,
+    /// Final archive size.
+    pub archive_bytes: usize,
+}
+
+impl TemporalReport {
+    /// End-to-end compression ratio of the whole series. Returns `0.0`
+    /// when either side of the division is degenerate.
+    pub fn ratio(&self) -> f64 {
+        if self.archive_bytes == 0 || self.raw_bytes == 0 {
+            return 0.0;
+        }
+        self.raw_bytes as f64 / self.archive_bytes as f64
+    }
+}
+
 /// One compressed field en route to serialization.
 struct EncodedField {
     name: String,
@@ -222,10 +262,72 @@ struct EncodedField {
     blocks: Vec<Vec<u8>>,
 }
 
+/// Encoded fields by name, plus (when requested) the decoded mirror the
+/// next delta epoch conditions on.
+type EncodeWithMirrorResult =
+    Result<(HashMap<String, EncodedField>, HashMap<String, Field>), CfcError>;
+
 impl EncodedField {
     fn payload_len(&self) -> usize {
         self.meta.len() + self.blocks.iter().map(Vec::len).sum::<usize>()
     }
+
+    fn report(&self) -> FieldReport {
+        FieldReport {
+            name: self.name.clone(),
+            role: self.role,
+            bytes: self.payload_len(),
+            n_blocks: self.blocks.len(),
+            eb_abs: self.eb_abs,
+        }
+    }
+}
+
+/// Serialize one field (manifest row + meta + blocks) into `sink`,
+/// returning the bytes written. v3 rows (`with_meta_crc`) add a CRC32
+/// over the meta area between the payload length and the block index.
+fn write_field<W: Write>(
+    sink: &mut W,
+    e: &EncodedField,
+    with_meta_crc: bool,
+) -> Result<usize, CfcError> {
+    let io = |err: std::io::Error| CfcError::io("writing archive", &err);
+    let mut h = Vec::new();
+    put_str(&mut h, &e.name);
+    h.put_u8(e.role as u8);
+    h.put_u16_le(e.anchors.len() as u16);
+    for a in &e.anchors {
+        put_str(&mut h, a);
+    }
+    h.put_f64_le(e.eb_abs);
+    h.put_u8(e.shape.ndim() as u8);
+    for &d in e.shape.dims() {
+        h.put_u64_le(d as u64);
+    }
+    h.put_u32_le(e.chunk_slabs as u32);
+    h.put_u32_le(e.blocks.len() as u32);
+    h.put_u64_le(e.meta.len() as u64);
+    h.put_u64_le(e.payload_len() as u64);
+    if with_meta_crc {
+        h.put_u32_le(cfc_sz::crc32(&e.meta));
+    }
+    // block index: offsets relative to the payload area, which starts
+    // with the meta bytes
+    let mut rel = e.meta.len() as u64;
+    for b in &e.blocks {
+        h.put_u64_le(rel);
+        h.put_u64_le(b.len() as u64);
+        h.put_u32_le(cfc_sz::crc32(b));
+        rel += b.len() as u64;
+    }
+    sink.write_all(&h).map_err(io)?;
+    sink.write_all(&e.meta).map_err(io)?;
+    let mut written = h.len() + e.meta.len();
+    for b in &e.blocks {
+        sink.write_all(b).map_err(io)?;
+        written += b.len();
+    }
+    Ok(written)
 }
 
 impl ArchiveWriter {
@@ -257,7 +359,9 @@ impl ArchiveWriter {
         // ---- archive header --------------------------------------------
         let mut head = Vec::new();
         head.put_slice(ARCHIVE_MAGIC);
-        head.put_u16_le(ARCHIVE_VERSION);
+        // single snapshots keep emitting the v2 layout byte-for-byte;
+        // only multi-epoch writes bump to ARCHIVE_VERSION
+        head.put_u16_le(ARCHIVE_VERSION_SNAPSHOT);
         put_str(&mut head, ds.name());
         head.put_u32_le(ordered.len() as u32);
         sink.write_all(&head).map_err(io)?;
@@ -266,45 +370,8 @@ impl ArchiveWriter {
         // ---- per-field header + index + payload ------------------------
         let mut fields = Vec::with_capacity(ordered.len());
         for e in &ordered {
-            let mut h = Vec::new();
-            put_str(&mut h, &e.name);
-            h.put_u8(e.role as u8);
-            h.put_u16_le(e.anchors.len() as u16);
-            for a in &e.anchors {
-                put_str(&mut h, a);
-            }
-            h.put_f64_le(e.eb_abs);
-            h.put_u8(e.shape.ndim() as u8);
-            for &d in e.shape.dims() {
-                h.put_u64_le(d as u64);
-            }
-            h.put_u32_le(e.chunk_slabs as u32);
-            h.put_u32_le(e.blocks.len() as u32);
-            h.put_u64_le(e.meta.len() as u64);
-            h.put_u64_le(e.payload_len() as u64);
-            // block index: offsets relative to the payload area, which
-            // starts with the meta bytes
-            let mut rel = e.meta.len() as u64;
-            for b in &e.blocks {
-                h.put_u64_le(rel);
-                h.put_u64_le(b.len() as u64);
-                h.put_u32_le(cfc_sz::crc32(b));
-                rel += b.len() as u64;
-            }
-            sink.write_all(&h).map_err(io)?;
-            sink.write_all(&e.meta).map_err(io)?;
-            written += h.len() + e.meta.len();
-            for b in &e.blocks {
-                sink.write_all(b).map_err(io)?;
-                written += b.len();
-            }
-            fields.push(FieldReport {
-                name: e.name.clone(),
-                role: e.role,
-                bytes: e.payload_len(),
-                n_blocks: e.blocks.len(),
-                eb_abs: e.eb_abs,
-            });
+            written += write_field(&mut sink, e, false)?;
+            fields.push(e.report());
         }
         sink.flush().map_err(io)?;
 
@@ -315,8 +382,249 @@ impl ArchiveWriter {
         })
     }
 
+    /// Compress a sequence of snapshots into one multi-epoch (v3) archive
+    /// (thin wrapper over [`ArchiveWriter::write_epochs_to`]).
+    pub fn write_epochs(&self, snapshots: &[Dataset]) -> Result<Vec<u8>, CfcError> {
+        self.write_epochs_with_report(snapshots).map(|(b, _)| b)
+    }
+
+    /// [`ArchiveWriter::write_epochs`] plus the per-epoch report.
+    pub fn write_epochs_with_report(
+        &self,
+        snapshots: &[Dataset],
+    ) -> Result<(Vec<u8>, TemporalReport), CfcError> {
+        let mut buf = Vec::new();
+        let report = self.write_epochs_to(snapshots, &mut buf)?;
+        Ok((buf, report))
+    }
+
+    /// Compress a sequence of snapshots into one multi-epoch (v3) archive
+    /// and stream it into `sink`.
+    ///
+    /// Epoch 0 and every `keyframe_interval`-th epoch is a full keyframe
+    /// (encoded exactly like a single-snapshot archive, cross-field plan
+    /// included); every other epoch stores temporal deltas conditioned on
+    /// the *decoded* fields of the previous epoch, so random access to
+    /// epoch `t` decodes at most one keyframe plus the delta chain back to
+    /// it — never the whole series.
+    pub fn write_epochs_to<W: Write>(
+        &self,
+        snapshots: &[Dataset],
+        mut sink: W,
+    ) -> Result<TemporalReport, CfcError> {
+        let first = snapshots.first().ok_or_else(|| {
+            CfcError::InvalidInput("cannot archive an empty epoch sequence".into())
+        })?;
+        if u32::try_from(snapshots.len()).is_err() {
+            return Err(CfcError::InvalidInput(
+                "epoch count exceeds the u32 header prefix".into(),
+            ));
+        }
+        let shape = first.shape();
+        let names: Vec<&str> = first.iter().map(|(n, _)| n).collect();
+        for (e, ds) in snapshots.iter().enumerate().skip(1) {
+            if ds.shape() != shape {
+                return Err(CfcError::InvalidInput(format!(
+                    "epoch {e} shape differs from epoch 0"
+                )));
+            }
+            let ns: Vec<&str> = ds.iter().map(|(n, _)| n).collect();
+            if ns != names {
+                return Err(CfcError::InvalidInput(format!(
+                    "epoch {e} fields differ from epoch 0"
+                )));
+            }
+        }
+        let interval = self.cfg.keyframe_interval;
+        if shape.ndim() == 1 && snapshots.len() > 1 && interval > 1 {
+            return Err(CfcError::InvalidInput(
+                "temporal deltas require 2-D or 3-D datasets; \
+                 use keyframe_interval(1) for 1-D series"
+                    .into(),
+            ));
+        }
+
+        let io = |e: std::io::Error| CfcError::io("writing archive", &e);
+        let mut head = Vec::new();
+        head.put_slice(ARCHIVE_MAGIC);
+        head.put_u16_le(ARCHIVE_VERSION);
+        put_str(&mut head, first.name());
+        head.put_u32_le(snapshots.len() as u32);
+        head.put_u32_le(interval as u32);
+        head.put_u32_le(first.len() as u32);
+        sink.write_all(&head).map_err(io)?;
+        let mut written = head.len();
+
+        let mut epochs = Vec::with_capacity(snapshots.len());
+        let mut mirror: HashMap<String, Field> = HashMap::new();
+        for (e, ds) in snapshots.iter().enumerate() {
+            let keyframe = e % interval == 0;
+            // the decoded mirror is only carried while a delta epoch follows
+            let next_is_delta = e + 1 < snapshots.len() && (e + 1) % interval != 0;
+            let (ordered, new_mirror) = if keyframe {
+                let (mut encoded, m) = self.encode_with_mirror(ds, next_is_delta)?;
+                let ordered: Vec<EncodedField> = ds
+                    .iter()
+                    .map(|(n, _)| encoded.remove(n).expect("encoded field"))
+                    .collect();
+                (ordered, m)
+            } else {
+                self.encode_delta_epoch(ds, &mirror, next_is_delta)?
+            };
+            sink.write_all(&[if keyframe { 0u8 } else { 1u8 }])
+                .map_err(io)?;
+            written += 1;
+            let mut fields = Vec::with_capacity(ordered.len());
+            let mut epoch_bytes = 1usize;
+            for f in &ordered {
+                let n = write_field(&mut sink, f, true)?;
+                written += n;
+                epoch_bytes += n;
+                fields.push(f.report());
+            }
+            epochs.push(ArchiveReport {
+                fields,
+                raw_bytes: ds.len() * shape.len() * 4,
+                archive_bytes: epoch_bytes,
+            });
+            mirror = new_mirror;
+        }
+        sink.flush().map_err(io)?;
+
+        Ok(TemporalReport {
+            epochs,
+            keyframe_interval: interval,
+            raw_bytes: snapshots.len() * first.len() * shape.len() * 4,
+            archive_bytes: written,
+        })
+    }
+
+    /// Encode one delta epoch: every field is conditioned on the decoded
+    /// same-name field of the previous epoch — "previous epoch" as the
+    /// anchor role. Per block, the prediction mixes the causal Lorenzo
+    /// guess, the previous epoch's decoded value, and the
+    /// temporally-corrected Lorenzo (see
+    /// [`crate::predictor::TemporalHybridPredictor`]), weighted by a
+    /// per-field hybrid fit that ships in the meta area.
+    fn encode_delta_epoch(
+        &self,
+        ds: &Dataset,
+        prev: &HashMap<String, Field>,
+        want_mirror: bool,
+    ) -> Result<(Vec<EncodedField>, HashMap<String, Field>), CfcError> {
+        let shape = ds.shape();
+        if !(2..=3).contains(&shape.ndim()) {
+            return Err(CfcError::InvalidInput(
+                "temporal delta epochs require 2-D or 3-D datasets".into(),
+            ));
+        }
+        let chunk_slabs = chunk_slabs_for(shape, self.cfg.chunk_elements);
+        let dim0 = shape.dims()[0];
+        let n_blocks = n_blocks_for(dim0, chunk_slabs);
+        let threads = self.threads();
+        let enc_pool: ScratchPool<EncodeScratch> = ScratchPool::new(threads);
+
+        let mut out = Vec::with_capacity(ds.len());
+        let mut mirror = HashMap::new();
+        for (name, field) in ds.iter() {
+            let prev_field = prev.get(name).ok_or_else(|| {
+                CfcError::InvalidInput(format!("no previous-epoch state for field {name}"))
+            })?;
+            let stats = FieldStats::of(field);
+            let eb_user = self.cfg.bound.try_resolve(&stats)?;
+            let bound = ErrorBound::Absolute(eb_user);
+
+            // hybrid weights: fitted once per field on the whole-field
+            // lattice against the previous epoch's decoded values; the
+            // weights ship in the meta area, so encoder and decoder share
+            // them by construction
+            let eb_fit = bound.try_resolve_quantization(&stats)?;
+            let lattice_fit = QuantLattice::prequantize(field, eb_fit);
+            let step = 2.0 * eb_fit;
+            let pq_full: Vec<f64> = prev_field
+                .as_slice()
+                .iter()
+                .map(|&v| v as f64 / step)
+                .collect();
+            let (preds, targets) = sample_temporal_training(
+                &lattice_fit,
+                &pq_full,
+                self.cfg.hybrid.n_samples,
+                self.cfg.hybrid.seed,
+            );
+            let hybrid = HybridModel::fit_least_squares(&preds, &targets);
+
+            let sz = SzCompressor {
+                bound,
+                quantizer: self.cfg.quantizer,
+                predictor: cfc_sz::PredictorKind::Lorenzo,
+            };
+            let results = run_parallel_scratch(
+                n_blocks,
+                threads,
+                || enc_pool.get(),
+                |s, bi| {
+                    let (r0, r1) = block_range(dim0, chunk_slabs, bi);
+                    let slab = field.slab(r0, r1);
+                    // the quantization bound is resolved from the slab's
+                    // own stats, exactly like an independent encode of the
+                    // same slab — this is what makes a delta-chain decode
+                    // bit-identical to an independently-encoded snapshot
+                    let eb_q = bound.try_resolve_quantization(&FieldStats::of(&slab))?;
+                    let lattice = QuantLattice::prequantize(&slab, eb_q);
+                    let prev_slab = prev_field.slab(r0, r1);
+                    let predictor = TemporalHybridPredictor::new(&prev_slab, eb_q, hybrid.clone());
+                    let (container, _) =
+                        sz.compress_lattice_with(&lattice, &predictor, eb_q, &mut *s);
+                    let decoded = want_mirror.then(|| lattice.reconstruct(eb_q));
+                    Ok::<_, CfcError>((container.to_bytes(), decoded))
+                },
+            );
+            let mut blocks = Vec::with_capacity(n_blocks);
+            let mut dec_slabs = Vec::new();
+            for res in results {
+                let (bytes, decoded) = res?;
+                blocks.push(bytes);
+                if let Some(d) = decoded {
+                    dec_slabs.push(d);
+                }
+            }
+            if want_mirror {
+                mirror.insert(name.to_string(), Field::concat_axis0(&dec_slabs));
+            }
+
+            let mut meta = Vec::new();
+            // no embedded model: the anchor is the previous epoch itself
+            meta.put_u64_le(0);
+            let hb = hybrid.serialize();
+            meta.put_u64_le(hb.len() as u64);
+            meta.extend_from_slice(&hb);
+
+            out.push(EncodedField {
+                name: name.to_string(),
+                role: FieldRole::Delta,
+                anchors: Vec::new(),
+                eb_abs: eb_user,
+                shape,
+                chunk_slabs,
+                meta,
+                blocks,
+            });
+        }
+        Ok((out, mirror))
+    }
+
     /// Validate the plan and encode every field into blocks (in parallel).
     fn encode(&self, ds: &Dataset) -> Result<HashMap<String, EncodedField>, CfcError> {
+        Ok(self.encode_with_mirror(ds, false)?.0)
+    }
+
+    /// [`ArchiveWriter::encode`] plus (when `want_mirror`) the decoded
+    /// view of every field — bit-identical to what a reader reconstructs
+    /// from the emitted blocks. Multi-epoch writes feed this mirror to the
+    /// next epoch's delta encode so writer and reader condition on exactly
+    /// the same anchor values.
+    fn encode_with_mirror(&self, ds: &Dataset, want_mirror: bool) -> EncodeWithMirrorResult {
         if ds.is_empty() {
             return Err(CfcError::InvalidInput(
                 "cannot archive an empty dataset".into(),
@@ -423,8 +731,9 @@ impl ArchiveWriter {
                 let stream = block.compress_with(&slab, &mut *enc_scratch)?;
                 // anchors are round-tripped here: the decoder's view of an
                 // anchor IS the decoded block stream, so reusing these bytes
-                // keeps both sides bit-identical by construction
-                let decoded = if role == FieldRole::Anchor {
+                // keeps both sides bit-identical by construction (mirror
+                // requests round-trip every field the same way)
+                let decoded = if role == FieldRole::Anchor || want_mirror {
                     Some(block.decompress_with(&stream.bytes, &mut *dec_scratch)?)
                 } else {
                     None
@@ -451,7 +760,7 @@ impl ArchiveWriter {
                 )
             })
             .collect();
-        let mut anchor_slabs: HashMap<&str, Vec<Field>> = HashMap::new();
+        let mut decoded_slabs: HashMap<&str, Vec<Field>> = HashMap::new();
         for (t, res) in tasks.iter().zip(phase1) {
             let (fi, _) = *t;
             let (name, _, role) = independents[fi];
@@ -461,17 +770,25 @@ impl ArchiveWriter {
                 .expect("phase1 field")
                 .blocks
                 .push(bytes);
-            if role == FieldRole::Anchor {
-                anchor_slabs
+            if role == FieldRole::Anchor || want_mirror {
+                decoded_slabs
                     .entry(name)
                     .or_default()
-                    .push(decoded.expect("anchor decoded"));
+                    .push(decoded.expect("decoded block"));
             }
         }
-        let anchors_dec: HashMap<&str, Field> = anchor_slabs
+        let anchors_dec: HashMap<&str, Field> = decoded_slabs
             .into_iter()
             .map(|(n, slabs)| (n, Field::concat_axis0(&slabs)))
             .collect();
+        let mut mirror: HashMap<String, Field> = if want_mirror {
+            anchors_dec
+                .iter()
+                .map(|(n, f)| (n.to_string(), f.clone()))
+                .collect()
+        } else {
+            HashMap::new()
+        };
 
         // ---- phase 2: cross-field targets ------------------------------
         // 2a: train every CFNN in parallel (training dominates the cost)
@@ -574,6 +891,11 @@ impl ArchiveWriter {
             meta.put_u64_le(hb.len() as u64);
             meta.extend_from_slice(&hb);
 
+            if want_mirror {
+                // lattice coding is lossless, so the reader's per-block
+                // reconstruction concatenates to exactly this field
+                mirror.insert(name.to_string(), lattice.reconstruct(eb));
+            }
             encoded.insert(
                 name.to_string(),
                 EncodedField {
@@ -588,7 +910,7 @@ impl ArchiveWriter {
                 },
             );
         }
-        Ok(encoded)
+        Ok((encoded, mirror))
     }
 
     fn threads(&self) -> usize {

@@ -107,6 +107,172 @@ impl Predictor for CrossFieldHybridPredictor {
     }
 }
 
+/// Arity of the temporal hybrid: Lorenzo, previous-epoch value, and the
+/// temporally-corrected Lorenzo, independent of dimensionality.
+pub const TEMPORAL_ARITY: usize = 3;
+
+/// Per-point candidate predictions for a temporal-delta block (see
+/// [`TemporalHybridPredictor`]). `pq` is the previous epoch's decoded slab
+/// in *current* lattice units; `out` must hold [`TEMPORAL_ARITY`] slots.
+#[inline]
+pub fn temporal_candidate_predictions(
+    lattice: &QuantLattice,
+    pq: &[f64],
+    idx: &[usize],
+    out: &mut [f64],
+) {
+    let shape = lattice.shape();
+    let dims = shape.dims();
+    // zero-padded lookup into the fully-known previous-epoch plane
+    let pq_at = |coords: &[isize]| -> f64 {
+        let mut off = 0usize;
+        for (k, &c) in coords.iter().enumerate() {
+            if c < 0 || c as usize >= dims[k] {
+                return 0.0;
+            }
+            off = off * dims[k] + c as usize;
+        }
+        pq[off]
+    };
+    match *idx {
+        [i, j] => {
+            let (ii, jj) = (i as isize, j as isize);
+            let lorenzo = lattice.get2(ii - 1, jj) as f64 + lattice.get2(ii, jj - 1) as f64
+                - lattice.get2(ii - 1, jj - 1) as f64;
+            let p = pq_at(&[ii, jj]);
+            let p_lorenzo = pq_at(&[ii - 1, jj]) + pq_at(&[ii, jj - 1]) - pq_at(&[ii - 1, jj - 1]);
+            out[0] = lorenzo;
+            out[1] = p;
+            // spatial Lorenzo of the *increment*: exact for any increment
+            // that is locally affine, and exactly `p` for a static field
+            out[2] = p + (lorenzo - p_lorenzo);
+        }
+        [k, i, j] => {
+            let (kk, ii, jj) = (k as isize, i as isize, j as isize);
+            let lorenzo = lattice.get3(kk - 1, ii, jj) as f64
+                + lattice.get3(kk, ii - 1, jj) as f64
+                + lattice.get3(kk, ii, jj - 1) as f64
+                - lattice.get3(kk - 1, ii - 1, jj) as f64
+                - lattice.get3(kk - 1, ii, jj - 1) as f64
+                - lattice.get3(kk, ii - 1, jj - 1) as f64
+                + lattice.get3(kk - 1, ii - 1, jj - 1) as f64;
+            let p = pq_at(&[kk, ii, jj]);
+            let p_lorenzo =
+                pq_at(&[kk - 1, ii, jj]) + pq_at(&[kk, ii - 1, jj]) + pq_at(&[kk, ii, jj - 1])
+                    - pq_at(&[kk - 1, ii - 1, jj])
+                    - pq_at(&[kk - 1, ii, jj - 1])
+                    - pq_at(&[kk, ii - 1, jj - 1])
+                    + pq_at(&[kk - 1, ii - 1, jj - 1]);
+            out[0] = lorenzo;
+            out[1] = p;
+            out[2] = p + (lorenzo - p_lorenzo);
+        }
+        _ => unreachable!("temporal prediction is 2-D/3-D"),
+    }
+}
+
+/// Causal temporal hybrid predictor for delta epochs.
+///
+/// Candidates per point (mixed by a fitted [`HybridModel`] of arity
+/// [`TEMPORAL_ARITY`]):
+///
+/// 1. **Lorenzo** over the current lattice — ignores the previous epoch
+///    entirely (best when the field decorrelated);
+/// 2. **previous value** — the same point of the previous epoch's decoded
+///    slab, converted to current lattice units (best for static or
+///    noise-dominated content: one quantization error, not three);
+/// 3. **temporal Lorenzo** — previous value plus the spatial Lorenzo
+///    residual of the increment plane (exact when the epoch-to-epoch
+///    increment is locally affine, e.g. smooth advection).
+///
+/// Both sides build `pq` from the *decoded* previous epoch, so encoder and
+/// decoder predictions agree exactly.
+pub struct TemporalHybridPredictor {
+    pq: Vec<f64>,
+    model: HybridModel,
+    ndim: usize,
+}
+
+impl TemporalHybridPredictor {
+    /// Build from the previous epoch's decoded slab (physical units) and
+    /// the absolute error bound of the current block's lattice.
+    pub fn new(prev_slab: &Field, eb: f64, model: HybridModel) -> Self {
+        let ndim = prev_slab.shape().ndim();
+        assert!(ndim == 2 || ndim == 3);
+        assert_eq!(
+            model.arity(),
+            TEMPORAL_ARITY,
+            "temporal hybrid arity is fixed"
+        );
+        let step = 2.0 * eb;
+        let pq: Vec<f64> = prev_slab
+            .as_slice()
+            .iter()
+            .map(|&v| v as f64 / step)
+            .collect();
+        TemporalHybridPredictor { pq, model, ndim }
+    }
+
+    /// The previous-epoch plane in lattice units (for training reuse).
+    pub fn pq(&self) -> &[f64] {
+        &self.pq
+    }
+
+    /// The hybrid weights in use.
+    pub fn model(&self) -> &HybridModel {
+        &self.model
+    }
+}
+
+impl Predictor for TemporalHybridPredictor {
+    #[inline]
+    fn predict(&self, lattice: &QuantLattice, idx: &[usize]) -> i64 {
+        debug_assert_eq!(idx.len(), self.ndim);
+        let mut preds = [0.0f64; TEMPORAL_ARITY];
+        temporal_candidate_predictions(lattice, &self.pq, idx, &mut preds);
+        self.model.combine(&preds).round() as i64
+    }
+
+    fn name(&self) -> &'static str {
+        "temporal-hybrid"
+    }
+}
+
+/// Sample temporal-hybrid training data from the true lattice (encoder
+/// side): `(candidate_predictions, targets)` at `n` deterministic interior
+/// points. `pq` is the previous epoch in current lattice units.
+pub fn sample_temporal_training(
+    lattice: &QuantLattice,
+    pq: &[f64],
+    n: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let shape = lattice.shape();
+    let ndim = shape.ndim();
+    let dims = shape.dims().to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut preds = Vec::with_capacity(n);
+    let mut targets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx: Vec<usize> = dims
+            .iter()
+            .map(|&d| if d > 1 { rng.random_range(1..d) } else { 0 })
+            .collect();
+        let mut p = vec![0.0f64; TEMPORAL_ARITY];
+        temporal_candidate_predictions(lattice, pq, &idx, &mut p);
+        let off = match ndim {
+            2 => idx[0] * dims[1] + idx[1],
+            3 => (idx[0] * dims[1] + idx[1]) * dims[2] + idx[2],
+            _ => unreachable!(),
+        };
+        preds.push(p);
+        targets.push(lattice.as_slice()[off] as f64);
+    }
+    (preds, targets)
+}
+
 /// Sample hybrid-model training data from the true lattice (encoder side):
 /// returns `(candidate_predictions, targets)` at `n` deterministic interior
 /// points.
@@ -270,6 +436,122 @@ mod tests {
             assert_eq!(p[1], t);
             assert_eq!(p[2], t);
         }
+    }
+
+    #[test]
+    fn temporal_previous_value_candidate_is_exact_on_static_fields() {
+        // identical epochs: the previous-value candidate alone reproduces
+        // the lattice exactly at every point, border included
+        let lat = lattice2(10, 12, |i, j| ((i * 31 + j * 17) % 57) as i64 - 20);
+        let pq: Vec<f64> = lat.as_slice().iter().map(|&v| v as f64).collect();
+        let model = HybridModel {
+            weights: vec![0.0, 1.0, 0.0],
+            losses: vec![],
+        };
+        let pred = TemporalHybridPredictor {
+            pq: pq.clone(),
+            model,
+            ndim: 2,
+        };
+        for i in 0..10 {
+            for j in 0..12 {
+                assert_eq!(
+                    pred.predict(&lat, &[i, j]),
+                    lat.get2(i as isize, j as isize),
+                    "at ({i},{j})"
+                );
+            }
+        }
+        // the temporal-Lorenzo candidate is exact too when the increment
+        // is zero (interior and borders share the zero-padding convention)
+        let model = HybridModel {
+            weights: vec![0.0, 0.0, 1.0],
+            losses: vec![],
+        };
+        let pred = TemporalHybridPredictor { pq, model, ndim: 2 };
+        for i in 0..10 {
+            for j in 0..12 {
+                assert_eq!(
+                    pred.predict(&lat, &[i, j]),
+                    lat.get2(i as isize, j as isize)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_lorenzo_candidate_absorbs_affine_increments() {
+        // previous epoch rough, current = previous + affine ramp: the
+        // temporal-Lorenzo candidate is exact on interior points
+        let prev = lattice2(9, 9, |i, j| ((i * 13 + j * 29) % 83) as i64);
+        let cur = lattice2(9, 9, |i, j| {
+            prev.get2(i as isize, j as isize) + 4 * i as i64 + 7 * j as i64 + 3
+        });
+        let pq: Vec<f64> = prev.as_slice().iter().map(|&v| v as f64).collect();
+        let model = HybridModel {
+            weights: vec![0.0, 0.0, 1.0],
+            losses: vec![],
+        };
+        let pred = TemporalHybridPredictor { pq, model, ndim: 2 };
+        for i in 1..9 {
+            for j in 1..9 {
+                assert_eq!(
+                    pred.predict(&cur, &[i, j]),
+                    cur.get2(i as isize, j as isize),
+                    "at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_hybrid_roundtrips_through_codec() {
+        let prev = lattice2(20, 20, |i, j| ((i * 7 + j * 11) % 63) as i64 + i as i64);
+        let cur = lattice2(20, 20, |i, j| {
+            prev.get2(i as isize, j as isize) + ((i + 2 * j) % 5) as i64
+        });
+        let pq: Vec<f64> = prev.as_slice().iter().map(|&v| v as f64).collect();
+        let (preds, targets) = sample_temporal_training(&cur, &pq, 400, 9);
+        let model = HybridModel::fit_least_squares(&preds, &targets);
+        assert_eq!(model.arity(), TEMPORAL_ARITY);
+        let predictor = TemporalHybridPredictor { pq, model, ndim: 2 };
+        let quant = QuantizerConfig { radius: 512 };
+        let enc = codec::encode(&cur, &predictor, &quant);
+        let dec = codec::decode(cur.shape(), &enc.codes, &enc.outliers, &predictor, &quant);
+        assert_eq!(dec.as_slice(), cur.as_slice());
+    }
+
+    #[test]
+    fn temporal_3d_roundtrips() {
+        let shape = Shape::d3(4, 6, 6);
+        let prev_data: Vec<i64> = (0..shape.len()).map(|o| ((o * 37) % 101) as i64).collect();
+        let cur_data: Vec<i64> = prev_data.iter().map(|&v| v + 2).collect();
+        let prev = QuantLattice::from_vec(shape, prev_data);
+        let cur = QuantLattice::from_vec(shape, cur_data);
+        let pq: Vec<f64> = prev.as_slice().iter().map(|&v| v as f64).collect();
+        let model = HybridModel {
+            weights: vec![0.1, 0.6, 0.3],
+            losses: vec![],
+        };
+        let predictor = TemporalHybridPredictor { pq, model, ndim: 3 };
+        let quant = QuantizerConfig { radius: 512 };
+        let enc = codec::encode(&cur, &predictor, &quant);
+        let dec = codec::decode(shape, &enc.codes, &enc.outliers, &predictor, &quant);
+        assert_eq!(dec.as_slice(), cur.as_slice());
+    }
+
+    #[test]
+    fn temporal_new_converts_units() {
+        let f = Field::from_vec(Shape::d2(2, 2), vec![0.2, 0.4, -0.2, 0.0]);
+        let model = HybridModel {
+            weights: vec![0.2, 0.5, 0.3],
+            losses: vec![],
+        };
+        let p = TemporalHybridPredictor::new(&f, 0.1, model);
+        for (got, want) in p.pq().iter().zip([1.0, 2.0, -1.0, 0.0]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        assert_eq!(p.model().arity(), 3);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod hurricane;
 pub mod noise;
 pub mod physics;
 pub mod scale;
+pub mod temporal;
 
 pub use catalog::{paper_catalog, DatasetInfo};
 pub use dataset::{Dataset, GenParams};

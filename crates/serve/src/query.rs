@@ -20,15 +20,20 @@
 //! (`Region::validate`), which is where out-of-range requests become
 //! `422` responses.
 //!
-//! The region endpoint additionally accepts a decode-policy suffix,
-//! parsed by [`region_request_from_query`]:
+//! The region endpoint additionally accepts a decode-policy suffix and a
+//! temporal-archive epoch selector, parsed by
+//! [`region_request_from_query`]:
 //!
 //! ```text
-//! /field/RH/region?start=0,0&shape=4,64&mode=salvage&fill=-1
+//! /field/RH/region?start=0,0&shape=4,64&mode=salvage&fill=-1&epoch=3
 //! ```
 //!
 //! `mode` is `strict` (the default) or `salvage`; `fill` (salvage only)
-//! is the finite `f32` written over damaged blocks, default `0`.
+//! is the finite `f32` written over damaged blocks, default `0`; `epoch`
+//! selects a snapshot of a v3 temporal archive, default `0`. Whether the
+//! epoch actually exists is the caller's check (out-of-range epochs are
+//! `404`s, like unknown fields). The block endpoint accepts `epoch`
+//! alone, via [`epoch_from_query`].
 
 use cfc_core::archive::DecodePolicy;
 use cfc_tensor::{Region, MAX_DIMS};
@@ -70,6 +75,8 @@ pub enum RegionQueryError {
     /// `fill` was supplied without `mode=salvage` (strict decodes never
     /// fill anything, so the parameter would be silently meaningless).
     FillWithoutSalvage,
+    /// `epoch` failed to parse as a non-negative integer.
+    BadEpoch(String),
 }
 
 impl std::fmt::Display for RegionQueryError {
@@ -102,6 +109,9 @@ impl std::fmt::Display for RegionQueryError {
             }
             RegionQueryError::FillWithoutSalvage => {
                 write!(f, "`fill` only applies with `mode=salvage`")
+            }
+            RegionQueryError::BadEpoch(v) => {
+                write!(f, "`epoch` value {v:?} is not a valid non-negative integer")
             }
         }
     }
@@ -177,18 +187,48 @@ pub fn region_from_query(query: &str) -> Result<Region, RegionQueryError> {
     build_region(start, shape)
 }
 
+/// Parse an `epoch` parameter value into a non-negative integer.
+fn parse_epoch(raw: &str) -> Result<usize, RegionQueryError> {
+    let raw = raw.trim();
+    raw.parse::<usize>()
+        .map_err(|_| RegionQueryError::BadEpoch(raw.to_string()))
+}
+
+/// Parse the block-endpoint query grammar: empty, or `epoch=N` alone.
+/// Returns the epoch to decode at (default 0).
+pub fn epoch_from_query(query: &str) -> Result<usize, RegionQueryError> {
+    let mut epoch: Option<usize> = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "epoch" => {
+                if epoch.is_some() {
+                    return Err(RegionQueryError::DuplicateParam("epoch"));
+                }
+                epoch = Some(parse_epoch(value)?);
+            }
+            other => return Err(RegionQueryError::UnknownParam(other.to_string())),
+        }
+    }
+    Ok(epoch.unwrap_or(0))
+}
+
 /// Parse the full region-endpoint grammar:
-/// `start=…&shape=…[&mode=strict|salvage[&fill=F]]` into the region to
-/// decode plus the [`DecodePolicy`] to decode it under.
+/// `start=…&shape=…[&mode=strict|salvage[&fill=F]][&epoch=N]` into the
+/// region to decode, the [`DecodePolicy`] to decode it under, and the
+/// epoch to decode at.
 ///
 /// Omitted `mode` means [`DecodePolicy::Strict`]; `fill` defaults to `0`
 /// under `mode=salvage` and is rejected under strict (it would silently
-/// do nothing).
-pub fn region_request_from_query(query: &str) -> Result<(Region, DecodePolicy), RegionQueryError> {
+/// do nothing); omitted `epoch` means `0`, the first (or only) snapshot.
+pub fn region_request_from_query(
+    query: &str,
+) -> Result<(Region, DecodePolicy, usize), RegionQueryError> {
     let mut start: Option<Vec<usize>> = None;
     let mut shape: Option<Vec<usize>> = None;
     let mut mode: Option<&str> = None;
     let mut fill_raw: Option<&str> = None;
+    let mut epoch: Option<usize> = None;
     for pair in query.split('&').filter(|p| !p.is_empty()) {
         let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
         match key {
@@ -215,6 +255,12 @@ pub fn region_request_from_query(query: &str) -> Result<(Region, DecodePolicy), 
                     return Err(RegionQueryError::DuplicateParam("fill"));
                 }
                 fill_raw = Some(value);
+            }
+            "epoch" => {
+                if epoch.is_some() {
+                    return Err(RegionQueryError::DuplicateParam("epoch"));
+                }
+                epoch = Some(parse_epoch(value)?);
             }
             other => return Err(RegionQueryError::UnknownParam(other.to_string())),
         }
@@ -245,7 +291,7 @@ pub fn region_request_from_query(query: &str) -> Result<(Region, DecodePolicy), 
         }
         Some(other) => return Err(RegionQueryError::BadMode(other.to_string())),
     };
-    Ok((region, policy))
+    Ok((region, policy, epoch.unwrap_or(0)))
 }
 
 #[cfg(test)]
@@ -326,15 +372,49 @@ mod tests {
 
     #[test]
     fn parses_decode_modes() {
-        let (r, p) = region_request_from_query("start=0,0&shape=4,4").unwrap();
+        let (r, p, e) = region_request_from_query("start=0,0&shape=4,4").unwrap();
         assert_eq!(r, Region::d2(0, 4, 0, 4));
         assert_eq!(p, DecodePolicy::Strict);
-        let (_, p) = region_request_from_query("start=0&shape=4&mode=strict").unwrap();
+        assert_eq!(e, 0);
+        let (_, p, _) = region_request_from_query("start=0&shape=4&mode=strict").unwrap();
         assert_eq!(p, DecodePolicy::Strict);
-        let (_, p) = region_request_from_query("start=0&shape=4&mode=salvage").unwrap();
+        let (_, p, _) = region_request_from_query("start=0&shape=4&mode=salvage").unwrap();
         assert_eq!(p, DecodePolicy::Salvage { fill: 0.0 });
-        let (_, p) = region_request_from_query("mode=salvage&fill=-1.5&start=0&shape=4").unwrap();
+        let (_, p, _) =
+            region_request_from_query("mode=salvage&fill=-1.5&start=0&shape=4").unwrap();
         assert_eq!(p, DecodePolicy::Salvage { fill: -1.5 });
+    }
+
+    #[test]
+    fn parses_and_rejects_epochs() {
+        let (_, _, e) = region_request_from_query("start=0&shape=4&epoch=3").unwrap();
+        assert_eq!(e, 3);
+        let (_, p, e) = region_request_from_query("epoch=7&mode=salvage&start=0&shape=4").unwrap();
+        assert_eq!(p, DecodePolicy::Salvage { fill: 0.0 });
+        assert_eq!(e, 7);
+        assert_eq!(
+            region_request_from_query("start=0&shape=4&epoch=-1"),
+            Err(RegionQueryError::BadEpoch("-1".into()))
+        );
+        assert_eq!(
+            region_request_from_query("start=0&shape=4&epoch=two"),
+            Err(RegionQueryError::BadEpoch("two".into()))
+        );
+        assert_eq!(
+            region_request_from_query("start=0&shape=4&epoch=1&epoch=2"),
+            Err(RegionQueryError::DuplicateParam("epoch"))
+        );
+        // the block-endpoint grammar: epoch alone, default 0
+        assert_eq!(epoch_from_query(""), Ok(0));
+        assert_eq!(epoch_from_query("epoch=5"), Ok(5));
+        assert_eq!(
+            epoch_from_query("epoch=x"),
+            Err(RegionQueryError::BadEpoch("x".into()))
+        );
+        assert_eq!(
+            epoch_from_query("start=0"),
+            Err(RegionQueryError::UnknownParam("start".into()))
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ use cfc_sz::CfcError;
 use cfc_tensor::Field;
 
 use crate::http::{Request, ResponseHead};
-use crate::query::region_request_from_query;
+use crate::query::{epoch_from_query, region_request_from_query};
 use crate::server::EndpointCounters;
 
 /// Escape a string for embedding in a JSON document.
@@ -128,9 +128,12 @@ fn handle_fields<R: ArchiveSource + 'static>(
     let fields: Vec<String> = store.field_infos().iter().map(field_json).collect();
     body.extend_from_slice(
         format!(
-            "{{\"archive\": \"{}\", \"version\": {}, \"fields\": [\n  {}\n]}}\n",
+            "{{\"archive\": \"{}\", \"version\": {}, \"epochs\": {}, \
+             \"keyframe_interval\": {}, \"fields\": [\n  {}\n]}}\n",
             json_escape(store.archive_name()),
             store.version(),
+            store.n_epochs(),
+            store.keyframe_interval(),
             fields.join(",\n  "),
         )
         .as_bytes(),
@@ -147,11 +150,18 @@ fn handle_region<R: ArchiveSource + 'static>(
     let Some(info) = store.field_info(name) else {
         return error_response(body, 404, &format!("archive has no field {name}"));
     };
-    let (region, policy) = match region_request_from_query(query) {
+    let (region, policy, epoch) = match region_request_from_query(query) {
         Ok(r) => r,
         Err(e) => return error_response(body, 400, &e.to_string()),
     };
-    match store.decode_region_policy(name, &region, policy) {
+    if epoch >= store.n_epochs() {
+        return error_response(
+            body,
+            404,
+            &format!("archive has {} epochs, asked for {epoch}", store.n_epochs()),
+        );
+    }
+    match store.decode_region_policy_at(name, &region, epoch, policy) {
         Ok(salvaged) => {
             let field = salvaged.data;
             let start: Vec<usize> = (0..region.ndim()).map(|k| region.start(k)).collect();
@@ -165,8 +175,8 @@ fn handle_region<R: ArchiveSource + 'static>(
                 ),
             };
             let header = format!(
-                "{{\"field\": \"{}\", \"start\": {}, \"shape\": {}, \"elements\": {}, \
-                 \"dtype\": \"f32\", \"order\": \"little\"{damage_json}}}",
+                "{{\"field\": \"{}\", \"epoch\": {epoch}, \"start\": {}, \"shape\": {}, \
+                 \"elements\": {}, \"dtype\": \"f32\", \"order\": \"little\"{damage_json}}}",
                 json_escape(&info.name),
                 dims_json(&start),
                 dims_json(field.shape().dims()),
@@ -187,6 +197,7 @@ fn handle_block<R: ArchiveSource + 'static>(
     store: &ArchiveStore<R>,
     name: &str,
     idx_raw: &str,
+    query: &str,
     body: &mut Vec<u8>,
 ) -> ResponseHead {
     let Some(info) = store.field_info(name) else {
@@ -199,6 +210,17 @@ fn handle_block<R: ArchiveSource + 'static>(
             &format!("block index {idx_raw:?} is not an integer"),
         );
     };
+    let epoch = match epoch_from_query(query) {
+        Ok(e) => e,
+        Err(e) => return error_response(body, 400, &e.to_string()),
+    };
+    if epoch >= store.n_epochs() {
+        return error_response(
+            body,
+            404,
+            &format!("archive has {} epochs, asked for {epoch}", store.n_epochs()),
+        );
+    }
     if idx >= info.n_blocks {
         return error_response(
             body,
@@ -206,11 +228,11 @@ fn handle_block<R: ArchiveSource + 'static>(
             &format!("field {name} has {} blocks, asked for {idx}", info.n_blocks),
         );
     }
-    match store.decode_block(name, idx) {
+    match store.decode_block_at(name, idx, epoch) {
         Ok(field) => {
             let header = format!(
-                "{{\"field\": \"{}\", \"block\": {idx}, \"shape\": {}, \"elements\": {}, \
-                 \"dtype\": \"f32\", \"order\": \"little\"}}",
+                "{{\"field\": \"{}\", \"epoch\": {epoch}, \"block\": {idx}, \"shape\": {}, \
+                 \"elements\": {}, \"dtype\": \"f32\", \"order\": \"little\"}}",
                 json_escape(&info.name),
                 dims_json(field.shape().dims()),
                 field.len(),
@@ -322,7 +344,7 @@ pub(crate) fn respond<R: ArchiveSource + 'static>(
         }
         ["field", name, "block", idx] => {
             counters.bump_block();
-            handle_block(store, name, idx, body)
+            handle_block(store, name, idx, &req.query, body)
         }
         _ => error_response(body, 404, &format!("no route for {}", req.path)),
     };

@@ -263,6 +263,17 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if va != vb {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} ({:?} vs {:?})",
+                format!($($fmt)+),
+                va,
+                vb
+            )));
+        }
+    }};
 }
 
 pub mod prelude {

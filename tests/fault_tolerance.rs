@@ -8,7 +8,11 @@
 //!   the damaged blocks, never pollutes the cache, and bumps
 //!   `salvaged_blocks`;
 //! * `scrub_bytes` finds injected corruption that `repair_bytes` then
-//!   round-trips back to a fully decodable archive.
+//!   round-trips back to a fully decodable archive;
+//! * on temporal (v3) archives, keyframe damage cascades `cascaded_from`
+//!   blame through the dependent delta epochs — and stops at the next
+//!   keyframe — while epoch-scoped store invalidation drops exactly the
+//!   entries a torn-tail repair removed from disk.
 
 use std::io::Cursor;
 
@@ -45,6 +49,54 @@ fn sample_archive() -> Vec<u8> {
                 .expect("archive write")
         })
         .clone()
+}
+
+const EPOCHS: usize = 6;
+const INTERVAL: usize = 3;
+
+/// The [`sample_archive`] structure evolved over [`EPOCHS`] epochs at
+/// keyframe interval [`INTERVAL`]: keyframes at 0 and 3, each heading a
+/// two-delta chain.
+fn temporal_archive() -> Vec<u8> {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES
+        .get_or_init(|| {
+            let shape = Shape::d2(ROWS, COLS);
+            let snapshots: Vec<Dataset> = (0..EPOCHS)
+                .map(|e| {
+                    let t = e as f32;
+                    let anchor = Field::from_fn(shape, |i| {
+                        ((i[0] as f32) * 0.2 + 0.04 * t).sin() * 10.0 + i[1] as f32 * 0.1 + 0.25 * t
+                    });
+                    let target = anchor.map(|v| 0.8 * v + 2.0);
+                    let mut ds = Dataset::new("FAULT", shape);
+                    ds.push("A", anchor);
+                    ds.push("T", target);
+                    ds
+                })
+                .collect();
+            ArchiveBuilder::relative(1e-3)
+                .train_config(TrainConfig::fast())
+                .cross_field("T", &["A"])
+                .chunk_elements(ROWS_PER_BLOCK * COLS)
+                .keyframe_interval(INTERVAL)
+                .build()
+                .write_epochs(&snapshots)
+                .expect("temporal archive write")
+        })
+        .clone()
+}
+
+/// Absolute span of one block of `field` at `epoch`.
+fn block_span_at(bytes: &[u8], field: &str, epoch: usize, block: usize) -> (u64, usize) {
+    let reader = ArchiveReader::new(bytes).expect("parse");
+    reader
+        .entries()
+        .iter()
+        .find(|e| e.name == field && e.epoch == epoch)
+        .expect("entry")
+        .block_span(block)
+        .expect("span")
 }
 
 fn block_span(bytes: &[u8], field: &str, block: usize) -> (u64, usize) {
@@ -223,4 +275,122 @@ fn scrub_finds_injected_corruption_and_repair_roundtrips() {
             "{name}: repaired prefix must match the clean decode"
         );
     }
+}
+
+/// Damage in a keyframe block is blamed causally through every epoch that
+/// decodes against it: the same-epoch cross-field target, and the delta
+/// chain hanging off the keyframe — until the next keyframe breaks the
+/// chain and epochs decode clean again.
+#[test]
+fn keyframe_damage_cascades_blame_through_delta_epochs() {
+    let mut bytes = temporal_archive();
+    let (off, len) = block_span_at(&bytes, "A", 0, 2);
+    bytes[off as usize + len / 2] ^= 0x08; // rot inside keyframe block A[2]
+    let reader = ArchiveReader::new(&bytes).expect("parse v3");
+
+    // epoch 0: the target cascades off its damaged anchor block
+    let s = reader
+        .decode_field_policy_at("T", 0, DecodePolicy::salvage())
+        .expect("salvage epoch 0");
+    assert_eq!(s.damage.blocks_of("A"), vec![2]);
+    assert_eq!(s.damage.blocks_of("T"), vec![2]);
+    let root = s.damage.iter().find(|d| d.field == "A").expect("root");
+    assert_eq!(root.cascaded_from, None, "the anchor block carries the rot");
+    let t0 = s.damage.iter().find(|d| d.field == "T").expect("target");
+    assert_eq!(t0.cascaded_from.as_deref(), Some("A"));
+
+    // delta epochs 1 and 2 chain on the damaged data: blame propagates
+    // with `cascaded_from` naming the chain predecessor, never the epoch's
+    // own (healthy) bytes
+    for epoch in [1usize, 2] {
+        let s = reader
+            .decode_field_policy_at("T", epoch, DecodePolicy::salvage())
+            .expect("salvage delta epoch");
+        let name = format!("T@e{epoch}");
+        assert_eq!(s.damage.blocks_of(&name), vec![2], "{}", s.damage.summary());
+        let d = s.damage.iter().find(|d| d.field == name).expect("entry");
+        let from = d.cascaded_from.as_deref().expect("cascaded damage");
+        assert!(
+            from.starts_with('T') || from.starts_with('A'),
+            "blame must point into the chain, got {from}"
+        );
+    }
+
+    // the next keyframe (epoch 3) breaks the chain: it and its deltas
+    // decode strictly clean
+    for epoch in 3..EPOCHS {
+        for field in ["A", "T"] {
+            let s = reader
+                .decode_field_policy_at(field, epoch, DecodePolicy::salvage())
+                .expect("decode past next keyframe");
+            assert!(
+                s.damage.is_empty(),
+                "epoch {epoch} field {field} must be clean: {}",
+                s.damage.summary()
+            );
+        }
+    }
+}
+
+/// The post-`cfc-fsck --repair` workflow on a temporal archive: a torn
+/// tail is truncated back to the last complete epoch boundary on disk,
+/// and epoch-scoped invalidation then drops exactly the store entries the
+/// repair removed — earlier epochs keep serving from cache.
+#[test]
+fn repair_truncation_plus_epoch_invalidation_drops_stale_entries() {
+    let bytes = temporal_archive();
+    let path = std::env::temp_dir().join(format!("cfc_fault_v3_{}.cfar", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write temp archive");
+
+    let store = ArchiveStore::open(
+        std::fs::File::open(&path).expect("open"),
+        StoreConfig {
+            max_retries: 0,
+            ..StoreConfig::default().no_prefetch()
+        },
+    )
+    .expect("parse");
+    // warm epoch 0 and the whole second chain (keyframe 3 + deltas 4, 5)
+    let e3 = store.decode_field_at("A", 3).expect("epoch 3");
+    for epoch in [0usize, 4, 5] {
+        store.decode_field_at("A", epoch).expect("warm");
+    }
+
+    // the file is torn inside epoch 4 and repaired in place: cfc-fsck
+    // truncates to the 4 complete epochs and patches the epoch count
+    let (off, len) = block_span_at(&bytes, "A", 4, 1);
+    let torn = &bytes[..off as usize + len / 2];
+    assert!(!scrub_bytes(torn, &ScrubOptions::default()).is_clean());
+    let fixed = repair_bytes(torn).expect("torn tail is repairable");
+    assert!(
+        fixed
+            .actions
+            .iter()
+            .any(|a| a.contains("truncate torn tail")),
+        "{:?}",
+        fixed.actions
+    );
+    assert_eq!(
+        ArchiveReader::new(&fixed.bytes).expect("parse").n_epochs(),
+        4
+    );
+    std::fs::write(&path, &fixed.bytes).expect("rewrite repaired archive");
+
+    // purge the epochs the repair dropped, for both fields
+    for field in ["A", "T"] {
+        store.invalidate_field_at(field, 4).expect("invalidate");
+    }
+
+    // the surviving chain still serves from cache (no new misses)...
+    let misses = store.snapshot().misses;
+    assert_eq!(store.decode_field_at("A", 3).expect("cached epoch 3"), e3);
+    assert_eq!(store.snapshot().misses, misses, "epoch 3 must stay cached");
+
+    // ...while the dropped epochs are gone: nothing stale is served, the
+    // read goes to disk and finds the bytes missing
+    assert!(
+        store.decode_field_at("A", 4).is_err(),
+        "epoch 4 must not be served from a stale cache after invalidation"
+    );
+    let _ = std::fs::remove_file(&path);
 }

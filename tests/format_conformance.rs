@@ -182,6 +182,128 @@ fn partial_block_fixture_accounts_exactly() {
     assert_eq!(last.shape().dims(), &[1, 12, 12]);
 }
 
+#[test]
+fn v3_keyframe_fixture_decodes_with_expected_manifest() {
+    // keyframe_interval(1): every epoch is a keyframe, no delta entries
+    let bytes = fixture("small_v3_keyframes.cfar");
+    let reader = ArchiveReader::new(&bytes).expect("parse v3");
+    assert_eq!(reader.version(), 3);
+    assert_eq!(reader.name(), "GOLDEN");
+    assert_eq!(reader.n_epochs(), 3);
+    assert_eq!(reader.keyframe_interval(), 1);
+    assert_eq!(reader.fields_per_epoch(), 3);
+    assert_eq!(reader.entries().len(), 9, "3 epochs × 3 fields, flat");
+
+    for (i, e) in reader.entries().iter().enumerate() {
+        assert_eq!(e.epoch, i / 3, "entries are laid out epoch-major");
+        assert_ne!(e.role, FieldRole::Delta, "keyframe-only archive");
+        assert_eq!(e.n_blocks(), 4, "32 rows at 8 rows/block");
+    }
+    for epoch in 0..3 {
+        let orig = golden::golden_epoch_dataset(epoch as f32);
+        let dec = reader.decode_epoch(epoch).expect("decode epoch");
+        let bounds: Vec<(String, f64)> = reader.entries()[epoch * 3..(epoch + 1) * 3]
+            .iter()
+            .map(|e| (e.name.clone(), e.eb_abs))
+            .collect();
+        assert_within_bounds(&orig, &dec, &bounds);
+    }
+}
+
+#[test]
+fn v3_delta_fixture_decodes_with_expected_manifest() {
+    // interval 3 over 6 epochs: keyframes at 0 and 3, two-delta chains after
+    let bytes = fixture("small_v3_delta.cfar");
+    let reader = ArchiveReader::new(&bytes).expect("parse v3");
+    assert_eq!(reader.version(), 3);
+    assert_eq!(reader.n_epochs(), golden::GOLDEN_V3_EPOCHS);
+    assert_eq!(reader.keyframe_interval(), golden::GOLDEN_KEYFRAME_INTERVAL);
+    assert_eq!(reader.entries().len(), 18);
+
+    for e in reader.entries() {
+        if e.epoch % golden::GOLDEN_KEYFRAME_INTERVAL == 0 {
+            assert_ne!(e.role, FieldRole::Delta, "epoch {} is a keyframe", e.epoch);
+        } else {
+            assert_eq!(e.role, FieldRole::Delta, "epoch {} is a delta", e.epoch);
+            assert!(e.anchors.is_empty(), "the anchor is implicit (epoch−1)");
+            assert!(
+                e.stream_len() > 0 && e.meta_len() > 0,
+                "delta entries carry hybrid weights in the meta area"
+            );
+        }
+    }
+    for epoch in 0..golden::GOLDEN_V3_EPOCHS {
+        let orig = golden::golden_epoch_dataset(epoch as f32);
+        let dec = reader.decode_epoch(epoch).expect("decode epoch");
+        let bounds: Vec<(String, f64)> = reader.entries()[epoch * 3..(epoch + 1) * 3]
+            .iter()
+            .map(|e| (e.name.clone(), e.eb_abs))
+            .collect();
+        assert_within_bounds(&orig, &dec, &bounds);
+    }
+}
+
+#[test]
+fn v3_writers_reproduce_fixtures_byte_for_byte() {
+    let keyframes = golden::golden_builder()
+        .chunk_elements(golden::GOLDEN_CHUNK_ELEMENTS)
+        .keyframe_interval(1)
+        .build()
+        .write_epochs(&golden::golden_epochs(3))
+        .expect("write");
+    assert_eq!(
+        keyframes,
+        fixture("small_v3_keyframes.cfar"),
+        "the production writer drifted from the committed v3 keyframe \
+         fixture — if the format change is intentional, bump \
+         ARCHIVE_VERSION and regenerate with make_golden"
+    );
+
+    let delta = golden::golden_builder()
+        .chunk_elements(golden::GOLDEN_CHUNK_ELEMENTS)
+        .keyframe_interval(golden::GOLDEN_KEYFRAME_INTERVAL)
+        .build()
+        .write_epochs(&golden::golden_epochs(golden::GOLDEN_V3_EPOCHS))
+        .expect("write");
+    assert_eq!(
+        delta,
+        fixture("small_v3_delta.cfar"),
+        "the production writer drifted from the committed v3 delta fixture"
+    );
+}
+
+#[test]
+fn v3_partial_block_fixture_accounts_exactly() {
+    let bytes = fixture("partial_v3.cfar");
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    assert_eq!(reader.version(), 3);
+    assert_eq!(reader.n_epochs(), 4);
+    assert_eq!(reader.keyframe_interval(), 2);
+    for e in reader.entries() {
+        // depth 5 at 2 slabs/block → 3 blocks, last partial — in every epoch
+        assert_eq!(e.n_blocks(), 3);
+    }
+    let written = golden::golden_partial_builder()
+        .keyframe_interval(2)
+        .build()
+        .write_epochs(&golden::golden_epochs_3d(4))
+        .expect("write");
+    assert_eq!(written, bytes, "v3 partial-block fixture drifted");
+
+    let orig = golden::golden_epochs_3d(4);
+    for epoch in 0..4 {
+        let dec = reader.decode_epoch(epoch).expect("decode");
+        let bounds: Vec<(String, f64)> = reader.entries()[epoch * 2..(epoch + 1) * 2]
+            .iter()
+            .map(|e| (e.name.clone(), e.eb_abs))
+            .collect();
+        assert_within_bounds(&orig[epoch], &dec, &bounds);
+    }
+    // a partial final block of a *delta* epoch decodes standalone
+    let last = reader.decode_block_at("U", 2, 3).expect("partial block");
+    assert_eq!(last.shape().dims(), &[1, 12, 12]);
+}
+
 /// [`ArchiveSource`] wrapper that counts every byte actually read — the
 /// instrument behind the random-access acceptance test.
 struct CountingReader<R> {

@@ -518,3 +518,94 @@ fn archive_decodes_with_no_out_of_band_configuration() {
         }
     }
 }
+
+#[test]
+fn v3_meta_corruption_sweep_is_typed_not_garbled() {
+    // Small temporal archive: 3 epochs at keyframe interval 2, so the
+    // sweep covers both CRC-protected meta kinds — the epoch-0 target's
+    // embedded model and a delta epoch's temporal hybrid weights.
+    let shape = Shape::d2(24, 24);
+    let snapshots: Vec<Dataset> = (0..3)
+        .map(|t| {
+            let a = Field::from_fn(shape, |idx| {
+                ((idx[0] as f32) * 0.2 + 0.05 * t as f32).sin() * 10.0
+                    + idx[1] as f32 * 0.1
+                    + 0.3 * t as f32
+            });
+            let target = a.map(|v| 0.8 * v + 2.0);
+            let mut ds = Dataset::new("ROBUST_V3", shape);
+            ds.push("A", a);
+            ds.push("T", target);
+            ds
+        })
+        .collect();
+    let bytes = ArchiveBuilder::relative(1e-3)
+        .train_config(TrainConfig::fast())
+        .cross_field("T", &["A"])
+        .chunk_elements(6 * 24)
+        .keyframe_interval(2)
+        .build()
+        .write_epochs(&snapshots)
+        .expect("v3 write");
+
+    let reader = ArchiveReader::new(&bytes).expect("parse");
+    assert_eq!(reader.version(), 3);
+    // (display name, plain name, epoch, meta start, meta len) for every
+    // entry that carries a meta area — blocks start right after it
+    let metas: Vec<(String, String, usize, usize, usize)> = reader
+        .entries()
+        .iter()
+        .filter(|e| e.meta_len() > 0)
+        .map(|e| {
+            let (b0, _) = e.block_span(0).expect("block 0 span");
+            (
+                e.qualified_name(),
+                e.name.clone(),
+                e.epoch,
+                b0 as usize - e.meta_len(),
+                e.meta_len(),
+            )
+        })
+        .collect();
+    assert!(
+        metas.iter().any(|m| m.2 == 0) && metas.iter().any(|m| m.2 > 0),
+        "sweep must cover a keyframe model and a delta's hybrid weights"
+    );
+    drop(reader);
+
+    for (qualified, name, epoch, start, len) in metas {
+        // every byte of the small delta metas; stride through the larger
+        // embedded-model meta so the sweep stays fast
+        let stride = (len / 64).max(1);
+        for off in (0..len).step_by(stride) {
+            let mut bad = bytes.clone();
+            bad[start + off] ^= 0x01;
+            let reader = ArchiveReader::new(&bad).expect("TOC is untouched");
+
+            // strict decode: the typed checksum error, never garbled data
+            let err = reader
+                .decode_field_at(&name, epoch)
+                .expect_err("meta flip must not decode");
+            assert!(
+                matches!(
+                    err.root_cause(),
+                    CfcError::ChecksumMismatch {
+                        context: "archive field meta",
+                        ..
+                    }
+                ),
+                "{qualified} meta byte {off}: wrong error {err:?}"
+            );
+
+            // salvage decode: total, with every block of the field damaged
+            let s = reader
+                .decode_field_policy_at(&name, epoch, DecodePolicy::salvage())
+                .expect("salvage never fails on payload rot");
+            assert_eq!(
+                s.damage.blocks_of(&qualified).len(),
+                4,
+                "{qualified} meta byte {off}: all 4 blocks must be damaged"
+            );
+        }
+    }
+}
